@@ -1,0 +1,98 @@
+"""Ablation: TACC_Stats sampling interval (1 / 10 / 30 minutes).
+
+The paper chose 10 minutes as the overhead/fidelity sweet spot (§3).
+This ablation measures both sides of that trade on one job: raw data
+volume scales inversely with the interval, and the job-summary error —
+from piecewise-constant integration of the *same* underlying behaviour
+realization — grows as the cadence coarsens.
+"""
+
+import io
+
+import pytest
+
+from repro.cluster.hardware import ranger_node
+from repro.cluster.node import Node
+from repro.ingest.summarize import summarize_job_from_hosts
+from repro.tacc_stats.daemon import TaccStatsDaemon
+from repro.tacc_stats.format import StatsWriter
+from repro.tacc_stats.parser import parse_host_text
+from repro.util.rng import RngFactory
+from repro.util.tables import render_table
+from repro.workload.applications import get_app
+from repro.workload.behavior import JobBehavior
+from repro.workload.users import generate_users
+
+_DURATION = 8 * 3600.0
+_METRICS = ("cpu_idle", "cpu_flops", "io_scratch_write", "net_ib_tx")
+
+
+def _behavior():
+    """One fixed realization on a fine (60 s) grid, shared by all
+    cadences — the ablation isolates the *measurement* cadence."""
+    users = generate_users(5, RngFactory(3).stream("u"))
+    return JobBehavior(get_app("wrf"), users[0], ranger_node(), 2,
+                       duration=_DURATION, sample_interval=60.0,
+                       behavior_seed=77)
+
+
+def _collect(behavior, interval: float):
+    """Sample the shared behaviour at a given cadence; return
+    (summary, raw bytes)."""
+    node = Node(index=0, hostname="c000-000.abl", hardware=ranger_node())
+    buf = io.StringIO()
+    daemon = TaccStatsDaemon(node, RngFactory(1).stream("n"),
+                             StatsWriter(buf, node.hostname))
+    daemon.begin_job("1", 0.0, behavior, 0)
+    t = interval
+    while t < _DURATION:
+        daemon.sample(t)
+        t += interval
+    daemon.end_job("1", _DURATION)
+    host = parse_host_text(buf.getvalue())
+    summary = summarize_job_from_hosts("1", [host],
+                                       wall_seconds=_DURATION)
+    return summary, len(buf.getvalue())
+
+
+def test_ablation_sampling(benchmark, save_artifact):
+    behavior = _behavior()
+    reference, b60 = _collect(behavior, 60.0)
+    sum600, b600 = benchmark.pedantic(
+        _collect, args=(behavior, 600.0), rounds=2, iterations=1)
+    sum1800, b1800 = _collect(behavior, 1800.0)
+
+    rows = []
+    for interval, (summary, nbytes) in (
+        (60.0, (reference, b60)),
+        (600.0, (sum600, b600)),
+        (1800.0, (sum1800, b1800)),
+    ):
+        err = max(
+            abs(summary.metrics[m] - reference.metrics[m])
+            / max(abs(reference.metrics[m]), 1e-9)
+            for m in _METRICS
+        )
+        rows.append({
+            "interval": f"{interval / 60:.0f} min",
+            "bytes/job": nbytes,
+            "bytes/node/day": int(nbytes * 86400 / _DURATION),
+            "max summary err": f"{err:.1%}",
+        })
+    text = render_table(
+        rows, ["interval", "bytes/job", "bytes/node/day",
+               "max summary err"],
+        title="Ablation: sampling interval (one 8 h WRF job, shared "
+              "behaviour realization)",
+    )
+    save_artifact("ablation_sampling", text)
+    print("\n" + text)
+
+    # Volume scales ~inversely with the interval.
+    assert 6 < b60 / b600 < 14
+    assert 2 < b600 / b1800 < 4.5
+    # 10-minute summaries stay close to the 1-minute reference.
+    for m in _METRICS:
+        assert sum600.metrics[m] == pytest.approx(
+            reference.metrics[m], rel=0.25, abs=0.05
+        ), m

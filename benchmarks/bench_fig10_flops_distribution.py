@@ -1,0 +1,39 @@
+"""Figure 10: kernel density of the Ranger FLOPS series.
+
+Paper claims reproduced: the distribution concentrates at a small
+fraction of the 579 TF peak ("typically less than 20 TF ... with very
+moderate peak values"), with a small spike at zero from shutdown
+periods.  The density is a Gaussian KDE with Scott's rule, as in the
+paper (R's density()).
+"""
+
+import numpy as np
+
+from repro.util.textchart import sparkline
+from repro.xdmod.density import series_density
+
+
+def test_fig10_flops_distribution(benchmark, ranger_run, save_artifact):
+    curve = benchmark(series_density, ranger_run.warehouse, "ranger",
+                      "flops_tf")
+    peak = ranger_run.config.peak_tflops
+
+    text = (
+        "Figure 10 (reproduced): Ranger FLOPS kernel density\n\n"
+        f"TF grid {curve.grid[0]:.2f}..{curve.grid[-1]:.2f}:\n"
+        + sparkline(curve.density)
+        + f"\nmode {curve.mode:.2f} TF, mean {curve.mean:.2f} TF, "
+          f"peak {peak:.1f} TF"
+    )
+    save_artifact("fig10_flops_distribution", text)
+    print("\n" + text)
+
+    assert curve.mode < 0.15 * peak
+    assert curve.mean < 0.15 * peak
+    # Negligible mass anywhere near benchmarked peak.
+    assert curve.fraction_above(0.5 * peak) < 0.01
+    # The outage spike at zero: density at 0 is a visible local feature
+    # when full-system outages occurred.
+    if any(o.is_full_system for o in ranger_run.outages):
+        _, v = ranger_run.warehouse.series("ranger", "flops_tf")
+        assert (v <= 1e-9).mean() > 0.0

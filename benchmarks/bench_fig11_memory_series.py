@@ -1,0 +1,39 @@
+"""Figure 11: memory used per node over time on both systems.
+
+Paper claims reproduced: Ranger (32 GB/node) averages under 10 GB with
+peaks under 16 GB (< 50 % of capacity); Lonestar4 (24 GB/node) runs
+relatively hotter, ~15 GB on average — i.e. a substantially higher
+fraction of capacity than Ranger.
+"""
+
+from repro.util.textchart import series_text
+from repro.xdmod.timeseries import SystemTimeseries
+
+
+def test_fig11_memory_series(benchmark, ranger_run, lonestar_run,
+                             save_artifact):
+    ts_r = SystemTimeseries(ranger_run.warehouse, "ranger")
+    ts_l = SystemTimeseries(lonestar_run.warehouse, "lonestar4")
+    mem_r = benchmark(ts_r.memory_per_node)
+    mem_l = ts_l.memory_per_node()
+
+    cap_r = ranger_run.config.node.memory_gb
+    cap_l = lonestar_run.config.node.memory_gb
+    text = "Figure 11 (reproduced): memory used per node (GB)\n\n" + "\n".join([
+        series_text(mem_r.times, mem_r.values, label="Ranger    (32 GB)"),
+        series_text(mem_l.times, mem_l.values, label="Lonestar4 (24 GB)"),
+        "",
+        f"Ranger: mean {mem_r.mean:.1f} GB ({mem_r.mean / cap_r:.0%}), "
+        f"peak {mem_r.peak:.1f} GB ({mem_r.peak / cap_r:.0%})",
+        f"Lonestar4: mean {mem_l.mean:.1f} GB ({mem_l.mean / cap_l:.0%}), "
+        f"peak {mem_l.peak:.1f} GB ({mem_l.peak / cap_l:.0%})",
+    ])
+    save_artifact("fig11_memory_series", text)
+    print("\n" + text)
+
+    # Ranger: low occupancy (paper: <10/32 GB mean, <16 GB peaks).
+    assert mem_r.mean / cap_r < 0.45
+    assert mem_r.peak / cap_r < 0.7
+    # Lonestar4 runs a higher fraction of its capacity than Ranger.
+    assert mem_l.mean / cap_l > mem_r.mean / cap_r
+    assert mem_l.peak <= cap_l

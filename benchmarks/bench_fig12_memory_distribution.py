@@ -1,0 +1,52 @@
+"""Figure 12: kernel densities of per-job mean and maximum memory per
+node on both systems.
+
+Paper claims reproduced: the max curve (red) sits right of the mean
+curve (black); on Ranger even the job-max memory stays around half of
+the 32 GB capacity with negligible mass above 16 GB, while on Lonestar4
+the max curve approaches the full 24 GB.
+"""
+
+from repro.util.textchart import sparkline
+from repro.xdmod.density import metric_density
+
+
+def _curves(run):
+    q = run.query()
+    return (metric_density(q, "mem_used"),
+            metric_density(q, "mem_used_max"))
+
+
+def test_fig12_memory_distribution(benchmark, ranger_run, lonestar_run,
+                                   save_artifact):
+    mean_r, max_r = benchmark(_curves, ranger_run)
+    mean_l, max_l = _curves(lonestar_run)
+    cap_r = ranger_run.config.node.memory_gb
+    cap_l = lonestar_run.config.node.memory_gb
+
+    def block(name, mean_c, max_c, cap):
+        return (
+            f"{name} (capacity {cap:.0f} GB)\n"
+            f"  mean: {sparkline(mean_c.density)}  "
+            f"[mode {mean_c.mode:.1f} GB]\n"
+            f"  max:  {sparkline(max_c.density)}  "
+            f"[mode {max_c.mode:.1f} GB]\n"
+            f"  mass above capacity/2: mean {mean_c.fraction_above(cap / 2):.1%}, "
+            f"max {max_c.fraction_above(cap / 2):.1%}"
+        )
+
+    text = ("Figure 12 (reproduced): memory per node distributions\n\n"
+            + block("Ranger", mean_r, max_r, cap_r) + "\n\n"
+            + block("Lonestar4", mean_l, max_l, cap_l))
+    save_artifact("fig12_memory_distribution", text)
+    print("\n" + text)
+
+    # Max curve right of mean curve, both systems.
+    assert max_r.mean > mean_r.mean
+    assert max_l.mean > mean_l.mean
+    # Ranger: low usage even at job max (paper: ~50 % of capacity).
+    assert max_r.mean < 0.6 * cap_r
+    assert mean_r.fraction_above(0.5 * cap_r) < 0.15
+    # Lonestar4: hotter, with the max curve approaching capacity.
+    assert max_l.mean / cap_l > max_r.mean / cap_r
+    assert max_l.fraction_above(0.75 * cap_l) > 0.02

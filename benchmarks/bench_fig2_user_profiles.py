@@ -1,0 +1,46 @@
+"""Figure 2: normalized 8-metric usage profiles of 5 heavy Ranger users.
+
+Paper claims reproduced: profiles are normalized so the average user is a
+unit octagon; the five largest consumers of node-hours have *strongly
+different* profiles (one FLOPS/network heavy, one dominated by cpu_idle
+and filesystem traffic, ...).
+"""
+
+import numpy as np
+
+from repro.ingest.summarize import KEY_METRICS
+from repro.util.tables import Column, render_table
+from repro.util.textchart import radar_text
+from repro.xdmod.profiles import UsageProfiler
+
+
+def test_fig2_user_profiles(benchmark, ranger_run, save_artifact):
+    profiler = UsageProfiler(ranger_run.query())
+    profiles = benchmark(profiler.top_profiles, "user", 5)
+
+    rows = []
+    for p in profiles:
+        row = {"user": p.entity, "node_hours": f"{p.node_hours:.0f}"}
+        row.update({m: f"{p.values[m]:.2f}" for m in KEY_METRICS})
+        rows.append(row)
+    text = render_table(
+        rows, ["user", "node_hours"] + list(KEY_METRICS),
+        title="Figure 2 (reproduced): top-5 user profiles, facility avg = 1.0",
+    )
+    text += "\n\n" + "\n\n".join(
+        f"{p.entity}:\n{radar_text(p.values)}" for p in profiles[:2]
+    )
+    save_artifact("fig2_user_profiles", text)
+    print("\n" + text)
+
+    assert len(profiles) == 5
+    # Heavy users: each holds a nontrivial share of facility node-hours.
+    total = ranger_run.query().node_hours
+    assert all(p.node_hours > 0.01 * total for p in profiles)
+    # "Note the variability in the usage profiles between users": across
+    # the five, at least one metric spans a >3x range, and profiles are
+    # not mutually similar.
+    mat = np.array([[p.values[m] for m in KEY_METRICS] for p in profiles])
+    spans = mat.max(axis=0) / np.maximum(mat.min(axis=0), 1e-9)
+    assert spans.max() > 3.0
+    assert (mat.max(axis=0) - mat.min(axis=0)).max() > 0.8

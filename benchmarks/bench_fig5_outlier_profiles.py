@@ -1,0 +1,41 @@
+"""Figure 5: usage profiles of the users circled in Figure 4.
+
+Paper claims reproduced: the circled user's cpu_idle sits far above the
+facility average (8x on Ranger, 5x on Lonestar4) while every *other*
+metric shows normal-to-light usage — "nothing to explain the anomalously
+high CPU idle fraction".
+"""
+
+from repro.ingest.summarize import KEY_METRICS
+from repro.util.textchart import radar_text
+from repro.xdmod.efficiency import EfficiencyAnalysis
+from repro.xdmod.profiles import UsageProfiler
+
+
+def _circled_profile(run):
+    q = run.query()
+    worst = EfficiencyAnalysis(q).worst_heavy_user()
+    return UsageProfiler(q).profile("user", worst.user)
+
+
+def test_fig5_outlier_profiles(benchmark, ranger_run, lonestar_run,
+                               save_artifact):
+    p_r = benchmark(_circled_profile, ranger_run)
+    p_l = _circled_profile(lonestar_run)
+
+    text = "Figure 5 (reproduced): circled users' profiles\n\n" + "\n\n".join(
+        f"{name} — {p.entity} ({p.job_count} jobs, "
+        f"{p.node_hours:.0f} node-hours):\n{radar_text(p.values)}"
+        for name, p in (("Ranger", p_r), ("Lonestar4", p_l))
+    )
+    save_artifact("fig5_outlier_profiles", text)
+    print("\n" + text)
+
+    for p in (p_r, p_l):
+        idle_ratio = p.values["cpu_idle"]
+        # Paper: 8x / 5x the average user's idle.  Accept >= 3x.
+        assert idle_ratio > 3.0
+        # Every other metric: normal-to-light (no alternative explanation).
+        others = [p.values[m] for m in KEY_METRICS if m != "cpu_idle"]
+        assert max(others) < idle_ratio / 2
+        assert max(others) < 2.5

@@ -1,0 +1,43 @@
+"""Figure 6: combined log-offset fit of all 5 metrics' persistence ratios
+for both systems.
+
+Paper: Ranger slope 0.36(2) p=5e-12, intercept −0.17(6) p=0.016, R²=0.87;
+Lonestar4 slope 0.42(2) p=9e-15, intercept −0.28(5) p=2e-5, R²=0.93 — and
+the Lonestar4 slope is *steeper* because its jobs are shorter (446 vs 549
+weighted-mean minutes), so the metrics forget their values faster.
+"""
+
+from repro.util.tables import render_kv
+from repro.xdmod.persistence import PersistenceAnalysis
+
+
+def test_fig6_persistence_fit(benchmark, ranger_run, lonestar_run,
+                              save_artifact):
+    pa_r = PersistenceAnalysis(ranger_run.warehouse, "ranger")
+    pa_l = PersistenceAnalysis(lonestar_run.warehouse, "lonestar4")
+    fit_r = benchmark(pa_r.combined_fit)
+    fit_l = pa_l.combined_fit()
+
+    text = "\n\n".join([
+        render_kv({"fit": fit_r.summary(),
+                   "paper": "intercept -0.17(6) p=0.016, slope 0.36(2), "
+                            "R^2=0.87"},
+                  title="Figure 6 (reproduced) — Ranger"),
+        render_kv({"fit": fit_l.summary(),
+                   "paper": "intercept -0.28(5) p=2e-5, slope 0.42(2), "
+                            "R^2=0.93"},
+                  title="Figure 6 (reproduced) — Lonestar4"),
+    ])
+    save_artifact("fig6_persistence_fit", text)
+    print("\n" + text)
+
+    for fit in (fit_r, fit_l):
+        assert 0.2 < fit.slope < 0.55
+        assert fit.slope_p < 1e-4  # highly significant, as in the paper
+        assert fit.r_squared > 0.6
+        assert -0.45 < fit.intercept < 0.25
+    # Shorter jobs on Lonestar4 -> steeper slope (paper: 0.42 vs 0.36).
+    # At our 1/60-scale node counts the effect (≈0.02-0.05) is of the
+    # same order as seed noise, so assert it with a noise allowance; the
+    # full-scale direction is documented in EXPERIMENTS.md.
+    assert fit_l.slope > fit_r.slope - 0.03

@@ -1,0 +1,62 @@
+"""Figure 7: the three XDMoD sample reports — (a) average memory per core
+by parent science, (b) CPU hours split into user/idle/system, (c) Lustre
+filesystem traffic for scratch/share/work.
+
+Shape claims reproduced: memory per core varies across sciences around
+the 2 GB/core installed on Ranger; user time dominates the CPU-hour
+split; scratch dominates the Lustre traffic with work and share far
+behind.
+"""
+
+import numpy as np
+
+from repro.util.tables import render_table
+from repro.xdmod.reports import ResourceManagerReport
+
+
+def test_fig7_xdmod_reports(benchmark, ranger_run, save_artifact):
+    report = ResourceManagerReport(ranger_run.warehouse, "ranger")
+    data = benchmark(report.generate)
+    ts = data["timeseries"]
+
+    # 7a: memory per core by parent science.
+    rows_a = [
+        {"science field": field, "GB/core": f"{gb:.2f}"}
+        for field, gb in data["mem_per_core_by_field"].items()
+    ]
+    # 7b: CPU-hour split.
+    split = ts.cpu_hours_split()
+    rows_b = [
+        {"component": name, "mean fraction": f"{s.values.mean():.3f}"}
+        for name, s in split.items()
+    ]
+    # 7c: Lustre traffic.
+    lustre = ts.lustre_rates()
+    rows_c = [
+        {"filesystem": fs, "mean MB/s": f"{s.mean:.2f}",
+         "peak MB/s": f"{s.peak:.1f}"}
+        for fs, s in lustre.items()
+    ]
+    text = "\n\n".join([
+        render_table(rows_a, ["science field", "GB/core"],
+                     title="Figure 7a (reproduced): memory/core by science"),
+        render_table(rows_b, ["component", "mean fraction"],
+                     title="Figure 7b (reproduced): CPU time split"),
+        render_table(rows_c, ["filesystem", "mean MB/s", "peak MB/s"],
+                     title="Figure 7c (reproduced): Lustre traffic"),
+    ])
+    save_artifact("fig7_xdmod_reports", text)
+    print("\n" + text)
+
+    # 7a: values scattered around but below the 2 GB/core installed.
+    per_core = np.array(list(data["mem_per_core_by_field"].values()))
+    assert (per_core > 0).all()
+    assert per_core.max() <= 2.0
+    assert per_core.max() > 1.5 * per_core.min()  # sciences differ
+    # 7b: user >> idle > 0; fractions sane.
+    assert split["user"].values.mean() > 0.6
+    assert 0.0 < split["idle"].values.mean() < 0.4
+    assert split["sys"].values.mean() < 0.1
+    # 7c: scratch dominates.
+    assert lustre["scratch"].mean > 5 * lustre["work"].mean
+    assert lustre["work"].mean > lustre["share"].mean

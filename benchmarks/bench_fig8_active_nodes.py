@@ -1,0 +1,38 @@
+"""Figure 8: active nodes vs time for both systems.
+
+Paper claims reproduced: most nodes are active throughout the study
+period; the count drops (to zero for full-system events) during
+"relatively infrequent" planned and unplanned shutdowns.
+"""
+
+import numpy as np
+
+from repro.util.textchart import series_text
+from repro.xdmod.timeseries import SystemTimeseries
+
+
+def test_fig8_active_nodes(benchmark, ranger_run, lonestar_run,
+                           save_artifact):
+    ts_r = SystemTimeseries(ranger_run.warehouse, "ranger")
+    ts_l = SystemTimeseries(lonestar_run.warehouse, "lonestar4")
+    active_r = benchmark(ts_r.active_nodes)
+    active_l = ts_l.active_nodes()
+
+    text = "Figure 8 (reproduced): active nodes over time\n\n" + "\n".join([
+        series_text(active_r.times, active_r.values,
+                    label="Ranger   ", fmt=".0f"),
+        series_text(active_l.times, active_l.values,
+                    label="Lonestar4", fmt=".0f"),
+    ])
+    save_artifact("fig8_active_nodes", text)
+    print("\n" + text)
+
+    for run, active in ((ranger_run, active_r), (lonestar_run, active_l)):
+        n = run.config.num_nodes
+        assert active.peak == n
+        assert active.mean > 0.85 * n          # "most ... active"
+        assert active.time_at_zero_fraction() < 0.1  # infrequent outages
+        # Dips exist where the outage schedule says they should.
+        full = [o for o in run.outages if o.is_full_system]
+        if full:
+            assert active.minimum == 0

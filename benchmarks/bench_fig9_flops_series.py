@@ -1,0 +1,31 @@
+"""Figure 9: system SSE FLOPS over time on Ranger.
+
+Paper claims reproduced: output is irregular; the long-term average is a
+small fraction of the benchmarked peak (<20 TF of 579 TF ≈ 3.5 %), and
+even peak excursions stay far below it (<50 TF ≈ 8.6 %).
+"""
+
+from repro.util.textchart import series_text
+from repro.xdmod.timeseries import SystemTimeseries
+
+
+def test_fig9_flops_series(benchmark, ranger_run, save_artifact):
+    ts = SystemTimeseries(ranger_run.warehouse, "ranger")
+    flops = benchmark(ts.flops)
+    peak = ranger_run.config.peak_tflops
+
+    text = (
+        "Figure 9 (reproduced): Ranger system FLOPS\n\n"
+        + series_text(flops.times, flops.values, label="TF", fmt=".2f")
+        + f"\n\nbenchmarked peak: {peak:.1f} TF; "
+          f"measured mean {flops.mean:.2f} TF "
+          f"({flops.mean / peak:.1%} of peak); "
+          f"measured max {flops.peak:.2f} TF ({flops.peak / peak:.1%})"
+    )
+    save_artifact("fig9_flops_series", text)
+    print("\n" + text)
+
+    assert 0.01 < flops.mean / peak < 0.15       # paper: ~3.5 %
+    assert flops.peak / peak < 0.35              # paper: peaks < ~9 %
+    # Irregular output: meaningful relative variability.
+    assert flops.values.std() > 0.15 * flops.mean

@@ -1,0 +1,59 @@
+"""Ingest throughput: parse + match + summarize + load for raw host files.
+
+The paper flags "the sheer volume of the data" as a core challenge
+(§1.2) and ingests 20 months × 3936 nodes into Netezza/MySQL.  This
+bench measures our pipeline's sustained rate in host-days of raw text
+per second and in jobs per second, end to end from the archive.
+"""
+
+import pytest
+
+from repro import Facility, TEST_SYSTEM
+from repro.ingest.pipeline import IngestPipeline
+from repro.ingest.warehouse import Warehouse
+from repro.lariat.records import lariat_record_for
+from repro.scheduler.accounting import AccountingWriter
+from repro.tacc_stats.archive import HostArchive
+
+
+@pytest.fixture(scope="module")
+def prepared(tmp_path_factory):
+    """A finished archive + accounting text, built once."""
+    import io
+    archive_dir = str(tmp_path_factory.mktemp("ingest_bench"))
+    fac = Facility(TEST_SYSTEM, seed=21)
+    run = fac.run_with_files(archive_dir)
+    buf = io.StringIO()
+    AccountingWriter(buf, TEST_SYSTEM.node.cores, "ranger").write_all(
+        run.records)
+    lariat = [lariat_record_for(r, TEST_SYSTEM.node.cores)
+              for r in run.records]
+    return archive_dir, buf.getvalue(), lariat, run
+
+
+def test_ingest_throughput(benchmark, prepared, save_artifact):
+    archive_dir, accounting, lariat, run = prepared
+
+    def ingest():
+        pipeline = IngestPipeline(Warehouse())
+        return pipeline.ingest(
+            TEST_SYSTEM, accounting_text=accounting,
+            archive=HostArchive(archive_dir), lariat_records=lariat,
+        )
+
+    report = benchmark(ingest)
+    assert report.jobs_loaded > 0
+    mean_s = benchmark.stats.stats.mean
+    host_days = run.archive_stats.host_days
+    raw_mb = run.archive_stats.raw_bytes / 1e6
+    text = (
+        "Ingest throughput (archive -> warehouse, end to end)\n\n"
+        f"corpus: {host_days} host-days, {raw_mb:.1f} MB raw, "
+        f"{report.jobs_loaded} jobs\n"
+        f"one pass: {mean_s:.2f} s  "
+        f"({host_days / mean_s:.1f} host-days/s, "
+        f"{raw_mb / mean_s:.1f} MB/s, "
+        f"{report.jobs_loaded / mean_s:.1f} jobs/s)"
+    )
+    save_artifact("ingest_throughput", text)
+    print("\n" + text)

@@ -1,0 +1,50 @@
+"""Shared fixtures for the figure/table reproduction benches.
+
+Two study-period replicas (one per system) are simulated once per session;
+each bench times the *analysis* that generates its table or figure and
+writes the reproduced rows/series to ``benchmarks/out/<name>.txt`` so the
+numbers recorded in EXPERIMENTS.md can be regenerated verbatim.
+
+Scale note (DESIGN.md §3): node counts and horizons are compressed from
+the paper's 3936-node × 20-month production systems; every reproduced
+quantity is either per-job, node-hour-weighted, or a fraction of capacity,
+so the *shape* is preserved at this scale.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import Facility, LONESTAR4, RANGER
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: Scaled study periods used by every figure bench.  Populations are kept
+#: in the hundreds so per-application user pools are big enough for the
+#: paper's app-level comparisons (one sloppy heavy user must not be able
+#: to swamp a whole application's node-hour-weighted profile).
+RANGER_BENCH = RANGER.scaled(num_nodes=64, horizon_days=40, n_users=240)
+LONESTAR_BENCH = LONESTAR4.scaled(num_nodes=48, horizon_days=35, n_users=200)
+
+
+@pytest.fixture(scope="session")
+def ranger_run():
+    return Facility(RANGER_BENCH, seed=42).run()
+
+
+@pytest.fixture(scope="session")
+def lonestar_run():
+    return Facility(LONESTAR_BENCH, seed=42).run()
+
+
+@pytest.fixture(scope="session")
+def save_artifact():
+    """Write a reproduced table/series to benchmarks/out/<name>.txt."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _save

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Application-developer / resource-manager view (paper §4.3.2, §5):
+compare the molecular-dynamics codes across two architectures and ask
+the paper's closing question — which codes should a center steer users
+toward, and on which machine?
+
+Simulates both Ranger (AMD) and Lonestar4 (Intel) with independent
+workloads, reproduces the Figure 3 comparison, and prints the
+"bouquet of machines" recommendation table.
+
+    python examples/app_comparison.py [--days D]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import Facility, LONESTAR4, RANGER
+from repro.ingest.summarize import KEY_METRICS
+from repro.ingest.warehouse import Warehouse
+from repro.util.tables import render_table
+from repro.util.textchart import radar_text
+from repro.xdmod.profiles import UsageProfiler
+from repro.xdmod.query import JobQuery
+
+MD_APPS = ("namd", "amber", "gromacs")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=float, default=30)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    warehouse = Warehouse()
+    configs = {
+        "ranger": RANGER.scaled(num_nodes=64, horizon_days=args.days,
+                                n_users=220),
+        "lonestar4": LONESTAR4.scaled(num_nodes=48, horizon_days=args.days,
+                                      n_users=200),
+    }
+    for name, cfg in configs.items():
+        print(f"Simulating {name} ({cfg.num_nodes} nodes, "
+              f"{args.days:g} days) ...")
+        Facility(cfg, seed=args.seed).run(warehouse=warehouse,
+                                          with_syslog=False)
+
+    # Figure 3 table: each code vs its system's average job.
+    rows = []
+    profiles = {}
+    for name in configs:
+        profiler = UsageProfiler(JobQuery(warehouse, name))
+        for app in MD_APPS:
+            p = profiler.profile("app", app)
+            profiles[(name, app)] = p
+            rows.append({
+                "system-app": f"{name[0].upper()}-{app}",
+                "jobs": p.job_count,
+                **{m: f"{p.values[m]:.2f}" for m in KEY_METRICS},
+            })
+    print()
+    print(render_table(rows, ["system-app", "jobs"] + list(KEY_METRICS),
+                       title="Figure 3 (reproduced): MD codes vs system "
+                             "average (=1.0)"))
+
+    print("\nNAMD on Ranger:")
+    print(radar_text(profiles[("ranger", "namd")].values))
+    print("\nAMBER on Ranger:")
+    print(radar_text(profiles[("ranger", "amber")].values))
+
+    # The paper's closing proposal, in full: the bouquet analysis over
+    # every application with presence on both systems.
+    from repro.xdmod.bouquet import BouquetAnalysis
+    print()
+    print(BouquetAnalysis(warehouse).render())
+
+
+if __name__ == "__main__":
+    main()

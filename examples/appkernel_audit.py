@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Performance auditing with application kernels (the XDMoD capability
+the paper's framework builds on — its reference [2] — applied to §4.3.4's
+"evaluating the efficiency and effectiveness of new versions of the
+system software stack").
+
+Simulates a facility running the standard kernel battery on a 12-hour
+cadence, injects a software-stack regression half way through the study
+period (a miscompiled MD library after a maintenance window: −30 % FLOPS
+for NAMD/GROMACS), and shows the control charts catching it — with onset
+time and magnitude — while the unaffected I/O kernel stays quiet.
+
+    python examples/appkernel_audit.py [--days D] [--factor F]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import Facility, RANGER
+from repro.util.tables import render_kv, render_table
+from repro.util.textchart import sparkline
+from repro.util.timeutil import DAY
+from repro.xdmod.appkernels import (
+    AppKernelMonitor,
+    DEFAULT_KERNELS,
+    PerfRegression,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=float, default=16)
+    parser.add_argument("--factor", type=float, default=0.7,
+                        help="FLOPS factor after the bad update")
+    parser.add_argument("--seed", type=int, default=17)
+    args = parser.parse_args()
+
+    onset = args.days / 2 * DAY
+    cfg = RANGER.scaled(num_nodes=24, horizon_days=args.days, n_users=40)
+    regression = PerfRegression(start=onset, flops_factor=args.factor,
+                                apps=("namd", "gromacs"))
+    print(f"Simulating {args.days:g} days with the app-kernel battery; "
+          f"injecting a {1 - args.factor:.0%} MD FLOPS regression at "
+          f"day {args.days / 2:g} ...")
+    run = Facility(cfg, seed=args.seed, appkernels=DEFAULT_KERNELS,
+                   regressions=(regression,)).run(with_syslog=False)
+
+    monitor = AppKernelMonitor(run.query())
+    print("\nControl charts (kernel FLOPS, GF/s/node):")
+    for kernel in monitor.kernels():
+        chart = monitor.chart(kernel, "cpu_flops")
+        flags = "".join("!" if v else "." for v in chart.violations)
+        print(f"  {kernel:10s} {sparkline(chart.values)}")
+        print(f"  {'':10s} {flags}   "
+              f"baseline {chart.baseline_mean:.1f} "
+              f"± {chart.baseline_sigma:.2f}")
+
+    findings = monitor.detect_regressions()
+    if not findings:
+        print("\nNo regressions detected.")
+        return
+    rows = [
+        {"kernel": f["kernel"], "metric": f["metric"],
+         "onset (day)": f"{f['onset_time'] / DAY:.1f}",
+         "change": f"{f['relative_change']:+.0%}"}
+        for f in findings
+    ]
+    print()
+    print(render_table(rows, ["kernel", "metric", "onset (day)", "change"],
+                       title="Detected regressions"))
+    print()
+    print(render_kv({
+        "injected": f"{1 - args.factor:.0%} FLOPS loss on namd/gromacs "
+                    f"at day {args.days / 2:g}",
+        "verdict": "the audit catches the bad update from the kernels "
+                   "alone — no user ever has to file a ticket",
+    }))
+
+
+if __name__ == "__main__":
+    main()

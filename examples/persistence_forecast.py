@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Systems-administrator view (paper §4.3.4): how predictable is this
+machine's near-future resource use?
+
+Reproduces Table 1 and the Figure 6 combined fit for a simulated Ranger,
+then uses the fitted logarithmic model the way the paper suggests — "jobs
+could be selected from the queue to complement the present resource
+usage" — by forecasting each metric's uncertainty band at a few horizons.
+
+    python examples/persistence_forecast.py [--days D] [--nodes N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import Facility, RANGER
+from repro.util.tables import render_kv, render_table
+from repro.xdmod.persistence import PersistenceAnalysis
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=float, default=40)
+    parser.add_argument("--nodes", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    cfg = RANGER.scaled(num_nodes=args.nodes, horizon_days=args.days,
+                        n_users=150)
+    print(f"Simulating {args.days:g} days on {args.nodes} nodes ...")
+    run = Facility(cfg, seed=args.seed).run(with_syslog=False)
+    analysis = PersistenceAnalysis(run.warehouse, cfg.name)
+
+    # Table 1.
+    table = analysis.table()
+    rows = []
+    for off in table[0].offsets_min:
+        row = {"offset (min)": off}
+        for r in table:
+            k = r.offsets_min.index(off) if off in r.offsets_min else None
+            row[r.metric] = f"{r.ratios[k]:.3f}" if k is not None else "-"
+        rows.append(row)
+    print()
+    print(render_table(rows,
+                       ["offset (min)"] + [r.metric for r in table],
+                       title="Table 1 (reproduced): offset-sigma ratios"))
+
+    fit = analysis.combined_fit()
+    print()
+    print(render_kv({
+        "combined fit": fit.summary(),
+        "paper (Ranger)": "intercept -0.17(6), slope 0.36(2), R^2 = 0.87",
+        "least predictable": analysis.predictability_order()[0],
+    }, title="Figure 6 (reproduced)"))
+
+    # Forecast bands: current value +/- ratio(t) * sigma (in native units).
+    print("\nForecast uncertainty bands (fitted model):")
+    forecast_rows = []
+    for metric, series_name in analysis._metrics.items():
+        _, v = run.warehouse.series(cfg.name, series_name)
+        sigma = float(np.std(v))
+        current = float(v[-1])
+        row = {"metric": metric, "now": f"{current:.2f}"}
+        for horizon in (10, 100, 1000):
+            ratio = float(np.clip(fit.predict([np.log10(horizon)])[0],
+                                  0.0, 1.0))
+            band = ratio * np.sqrt(2.0) * sigma
+            row[f"+{horizon}min"] = f"±{band:.2f}"
+        forecast_rows.append(row)
+    print(render_table(
+        forecast_rows,
+        ["metric", "now", "+10min", "+100min", "+1000min"],
+        title="value ± band (native units per series)",
+    ))
+    print("\nReading: within ~10 minutes the machine's state is nearly "
+          "known; by ~1000 minutes (≈ the mean job length) only the "
+          "ensemble statistics remain — exactly the paper's conclusion.")
+
+
+if __name__ == "__main__":
+    main()

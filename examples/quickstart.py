@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Quickstart: simulate a scaled Ranger, run the SUPReMM pipeline, and
+print the headline analytics.
+
+    python examples/quickstart.py [--seed N] [--nodes N] [--days D]
+
+This uses the fast synthesis path (behaviour model → job summaries →
+warehouse).  See ``examples/full_pipeline.py`` for the complete
+text-format tool chain.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import Facility, RANGER
+from repro.ingest.summarize import KEY_METRICS
+from repro.util.tables import Column, render_kv, render_table
+from repro.util.textchart import radar_text, series_text
+from repro.xdmod.efficiency import EfficiencyAnalysis
+from repro.xdmod.profiles import UsageProfiler
+from repro.xdmod.timeseries import SystemTimeseries
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--nodes", type=int, default=64)
+    parser.add_argument("--days", type=float, default=21)
+    parser.add_argument("--users", type=int, default=120)
+    args = parser.parse_args()
+
+    config = RANGER.scaled(num_nodes=args.nodes, horizon_days=args.days,
+                           n_users=args.users)
+    print(f"Simulating {config.name}: {config.num_nodes} nodes, "
+          f"{args.days:g} days, {config.n_users} users "
+          f"(seed {args.seed}) ...")
+    run = Facility(config, seed=args.seed).run()
+    query = run.query()
+
+    print()
+    print(render_kv({
+        "jobs completed": len(run.records),
+        "jobs in warehouse": len(query),
+        "node hours": f"{query.node_hours:,.0f}",
+        "facility efficiency":
+            f"{1 - query.weighted_mean('cpu_idle'):.1%}",
+        "mean job FLOPS": f"{query.weighted_mean('cpu_flops'):.1f} GF/s/node",
+        "mean memory": f"{query.weighted_mean('mem_used'):.1f} GB/node",
+    }, title="Facility summary"))
+
+    # System-level time series (the Figures 8/9/11 views).
+    ts = SystemTimeseries(run.warehouse, config.name)
+    print()
+    active = ts.active_nodes()
+    flops = ts.flops()
+    mem = ts.memory_per_node()
+    print(series_text(active.times, active.values, label="active nodes",
+                      fmt=".0f"))
+    print(series_text(flops.times, flops.values, label="system TF   "))
+    print(series_text(mem.times, mem.values, label="GB per node "))
+    print(f"\nFLOPS delivered: {ts.flops_fraction_of_peak():.1%} of the "
+          f"{config.peak_tflops:.1f} TF peak")
+
+    # The heaviest user's normalized profile (the Figure 2 view).
+    profiler = UsageProfiler(query)
+    top_user = query.top("user", 1)[0]
+    profile = profiler.profile("user", top_user)
+    print(f"\nHeaviest user {top_user} "
+          f"({profile.node_hours:,.0f} node-hours) vs facility avg (=1.0):")
+    print(radar_text(profile.values))
+
+    # Who is wasting node-hours (the Figure 4 view).
+    eff = EfficiencyAnalysis(query)
+    worst = eff.worst_heavy_user()
+    print(f"\nMost wasteful heavy user: {worst.user} — "
+          f"{worst.idle_fraction:.0%} of {worst.node_hours:,.0f} "
+          f"node-hours spent CPU-idle")
+
+    # Per-application comparison (the Figure 3 view).
+    rows = []
+    for app in query.top("app", 6):
+        p = profiler.profile("app", app)
+        rows.append({
+            "app": app,
+            "node hours": f"{p.node_hours:,.0f}",
+            **{m: f"{p.values[m]:.2f}" for m in KEY_METRICS[:4]},
+        })
+    print()
+    print(render_table(rows,
+                       ["app", "node hours"] + list(KEY_METRICS[:4]),
+                       title="Top applications vs facility average"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy-path shim: this environment lacks the `wheel` package, so PEP 517
+editable installs fail; `pip install -e . --no-use-pep517` works via this file."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""repro: a working reproduction of "Enabling Comprehensive Data-Driven
+System Management for Large Computational Facilities" (SC13).
+
+The package rebuilds the paper's full tool chain against a simulated
+facility: the TACC_Stats job-aware collector suite and text format, the
+Lariat job summarizer, the rationalized syslog, the SUPReMM ingest
+pipeline into a relational warehouse, and the XDMoD-style analytics that
+regenerate every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import Facility, RANGER
+    from repro.xdmod import UsageProfiler
+
+    run = Facility(RANGER.scaled(num_nodes=128, horizon_days=30),
+                   seed=42).run()
+    profiler = UsageProfiler(run.query())
+    for p in profiler.top_profiles("user", 5):      # Figure 2
+        print(p.entity, p.values)
+"""
+
+from repro.config import FacilityConfig, LONESTAR4, RANGER, TEST_SYSTEM
+from repro.facility import Facility, FacilityRun
+from repro.ingest.summarize import KEY_METRICS, SUMMARY_METRICS
+from repro.ingest.warehouse import Warehouse
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Facility",
+    "FacilityRun",
+    "FacilityConfig",
+    "RANGER",
+    "LONESTAR4",
+    "TEST_SYSTEM",
+    "Warehouse",
+    "KEY_METRICS",
+    "SUMMARY_METRICS",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Anomaly detection and failure linkage (the ANCOR direction, paper §4.3.4
+and reference [26]).
+
+Two pieces: robust per-metric outlier detection on job summaries (jobs
+anomalous *for their application*), and the linkage of those anomalies to
+rationalized-syslog failure events — "anomalous resource use patterns ...
+are commonly the precursors of job failures" (§4.3.1).
+"""
+
+from repro.anomaly.detect import AnomalousJob, AnomalyDetector
+from repro.anomaly.link import AnomalyFailureLink, link_anomalies_to_failures
+from repro.anomaly.ancor import AncorAnalysis, Association, Diagnosis
+
+__all__ = [
+    "AnomalousJob",
+    "AnomalyDetector",
+    "AnomalyFailureLink",
+    "link_anomalies_to_failures",
+    "AncorAnalysis",
+    "Association",
+    "Diagnosis",
+]

@@ -1,0 +1,231 @@
+"""ANCOR-style failure diagnosis (paper §4.3.4 and reference [26],
+"Linking Resource Usage Anomalies with System Failures from Cluster Log
+Data").
+
+Three layers on top of the basic anomaly↔failure join:
+
+* **association mining** — for every (anomalous metric, failure kind)
+  pair, the *lift* ``P(kind | metric anomalous) / P(kind)`` measured
+  from the warehouse: which resource anomalies actually precede which
+  faults on *this* machine;
+* **per-job diagnosis** — for a failed job, rank root-cause hypotheses
+  by combining its syslog evidence with its anomaly flags through the
+  learned lift table;
+* **lead time** — how long before job end the first failure-class
+  message appeared ("anomalous resource use patterns ... are commonly
+  the precursors of job failures", §4.3.1): the window in which a
+  proactive support staff could have intervened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.anomaly.detect import AnomalousJob, AnomalyDetector
+from repro.ingest.warehouse import Warehouse
+from repro.syslogr.catalog import MessageKind
+from repro.xdmod.query import JobQuery
+
+__all__ = ["Association", "Diagnosis", "AncorAnalysis"]
+
+#: Domain priors: which metric anomalies plausibly cause which faults.
+#: The learned lift sharpens or suppresses these; a pair absent here can
+#: still surface if its lift is strong (data beats priors).
+_CAUSE_PRIORS: dict[tuple[str, str], str] = {
+    ("mem_used_max", "oom_kill"): "memory exhaustion (working set near capacity)",
+    ("mem_used", "oom_kill"): "memory exhaustion (sustained high usage)",
+    ("io_scratch_write", "lustre_timeout"): "filesystem overload (scratch writes)",
+    ("io_scratch_write", "lustre_eviction"): "filesystem overload (client evicted)",
+    ("net_lnet_tx", "lustre_timeout"): "filesystem overload (lnet saturation)",
+    ("cpu_idle", "soft_lockup"): "hung/livelocked process",
+    ("net_ib_tx", "ib_link_down"): "fabric stress on a flaky link",
+}
+
+_FAILURE_KINDS = tuple(k.value for k in MessageKind if k.is_failure)
+
+
+@dataclass(frozen=True)
+class Association:
+    """One mined (anomalous metric → failure kind) association."""
+
+    metric: str
+    kind: str
+    lift: float
+    support: int           # anomalous-on-metric jobs with this kind
+    anomalous_jobs: int    # jobs anomalous on this metric
+    base_rate: float       # P(kind) over all jobs
+
+    @property
+    def confidence(self) -> float:
+        """P(kind | metric anomalous)."""
+        if self.anomalous_jobs == 0:
+            return 0.0
+        return self.support / self.anomalous_jobs
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """Root-cause ranking for one job."""
+
+    jobid: str
+    user: str
+    app: str
+    exit_status: str
+    failure_events: tuple[str, ...]
+    anomalies: tuple[AnomalousJob, ...]
+    hypotheses: tuple[tuple[str, float], ...]  # (explanation, score) desc
+    lead_time_s: float | None
+
+    @property
+    def top_hypothesis(self) -> str | None:
+        return self.hypotheses[0][0] if self.hypotheses else None
+
+
+class AncorAnalysis:
+    """Mines associations once, then diagnoses jobs cheaply."""
+
+    def __init__(self, warehouse: Warehouse, system: str,
+                 detector: AnomalyDetector | None = None,
+                 z_threshold: float = 3.5):
+        self.warehouse = warehouse
+        self.system = system
+        self.query = JobQuery(warehouse, system)
+        det = detector or AnomalyDetector(self.query,
+                                          z_threshold=z_threshold)
+        self._anomalies_by_job: dict[str, list[AnomalousJob]] = det.by_job()
+
+        # Per-job failure events (and their times) from syslog.
+        self._events: dict[str, list[tuple[float, str]]] = {}
+        for t, _host, jobid, kind, _sev in warehouse.syslog_events(system):
+            if jobid is not None and kind in _FAILURE_KINDS:
+                self._events.setdefault(jobid, []).append((t, kind))
+        for lst in self._events.values():
+            lst.sort()
+
+        self._table = self._mine()
+        self._job_index = {
+            jid: i for i, jid in enumerate(self.query.column("jobid"))
+        }
+
+    # -- association mining ---------------------------------------------------
+
+    def _mine(self) -> list[Association]:
+        n_jobs = max(len(self.query), 1)
+        kind_count: dict[str, int] = {}
+        for events in self._events.values():
+            for kind in {k for _, k in events}:
+                kind_count[kind] = kind_count.get(kind, 0) + 1
+
+        metric_jobs: dict[str, set[str]] = {}
+        for jid, flags in self._anomalies_by_job.items():
+            for a in flags:
+                if a.robust_z > 0:  # high-side anomalies cause faults
+                    metric_jobs.setdefault(a.metric, set()).add(jid)
+
+        out: list[Association] = []
+        for metric, jobs in metric_jobs.items():
+            for kind, total in kind_count.items():
+                base = total / n_jobs
+                support = sum(
+                    1 for j in jobs
+                    if any(k == kind for _, k in self._events.get(j, ()))
+                )
+                if support == 0:
+                    continue
+                confidence = support / len(jobs)
+                out.append(Association(
+                    metric=metric, kind=kind,
+                    lift=confidence / base if base else float("inf"),
+                    support=support, anomalous_jobs=len(jobs),
+                    base_rate=base,
+                ))
+        out.sort(key=lambda a: -a.lift)
+        return out
+
+    def association_table(self, min_support: int = 3) -> list[Association]:
+        """Mined associations with at least *min_support* co-occurrences,
+        strongest lift first."""
+        return [a for a in self._table if a.support >= min_support]
+
+    def _lift(self, metric: str, kind: str) -> float:
+        for a in self._table:
+            if a.metric == metric and a.kind == kind:
+                return a.lift
+        return 1.0
+
+    # -- diagnosis ------------------------------------------------------------
+
+    def diagnose(self, jobid: str) -> Diagnosis:
+        """Rank root-cause hypotheses for one job."""
+        if jobid not in self._job_index:
+            raise KeyError(f"job {jobid!r} not in warehouse for "
+                           f"{self.system}")
+        i = self._job_index[jobid]
+        events = self._events.get(jobid, [])
+        kinds = tuple(sorted({k for _, k in events}))
+        anomalies = tuple(self._anomalies_by_job.get(jobid, ()))
+
+        scores: dict[str, float] = {}
+        for a in anomalies:
+            if a.robust_z <= 0:
+                continue
+            for kind in kinds:
+                prior = _CAUSE_PRIORS.get((a.metric, kind))
+                lift = self._lift(a.metric, kind)
+                if prior is None and lift < 2.0:
+                    continue
+                label = prior or (
+                    f"{a.metric} anomaly associated with {kind} "
+                    f"(lift {lift:.1f})"
+                )
+                weight = min(abs(a.robust_z), 10.0) * max(lift, 1.0)
+                scores[label] = scores.get(label, 0.0) + weight
+        if not scores and kinds:
+            # Faults with no resource anomaly: name the evidence itself.
+            for kind in kinds:
+                scores[f"{kind} without a resource-use anomaly "
+                       "(external/hardware cause)"] = 1.0
+
+        end_time = float(self.query.column("end_time")[i])
+        lead = None
+        if events:
+            lead = max(end_time - events[0][0], 0.0)
+
+        hypotheses = tuple(sorted(scores.items(), key=lambda kv: -kv[1]))
+        return Diagnosis(
+            jobid=jobid,
+            user=str(self.query.column("user")[i]),
+            app=str(self.query.column("app")[i]),
+            exit_status=str(self.query.column("exit_status")[i]),
+            failure_events=kinds,
+            anomalies=anomalies,
+            hypotheses=hypotheses,
+            lead_time_s=lead,
+        )
+
+    def diagnose_failures(self) -> list[Diagnosis]:
+        """Diagnoses for every abnormally-exited job that left evidence,
+        richest evidence first."""
+        exit_col = self.query.column("exit_status")
+        jobids = self.query.column("jobid")
+        out = []
+        for jid, status in zip(jobids, exit_col):
+            if status == "completed":
+                continue
+            d = self.diagnose(str(jid))
+            if d.failure_events or d.anomalies:
+                out.append(d)
+        out.sort(key=lambda d: -(len(d.failure_events) + len(d.anomalies)))
+        return out
+
+    def mean_lead_time(self) -> float | None:
+        """Average warning window across jobs with failure events."""
+        leads = []
+        for jid in self._events:
+            if jid in self._job_index:
+                d_end = float(
+                    self.query.column("end_time")[self._job_index[jid]])
+                leads.append(max(d_end - self._events[jid][0][0], 0.0))
+        return float(np.mean(leads)) if leads else None

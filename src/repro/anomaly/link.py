@@ -1,0 +1,89 @@
+"""Link resource-use anomalies to syslog failure events (ANCOR-style).
+
+Given the detector's flags and the rationalized syslog events in the
+warehouse, associate each anomalous job with the failure-class messages
+tagged with its job id, and quantify the association: do anomalous jobs
+draw failure events more often than normal jobs?  That enrichment ratio is
+the quantitative version of the paper's claim that anomalies "are commonly
+the precursors of job failures" (§4.3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.anomaly.detect import AnomalousJob
+from repro.ingest.warehouse import Warehouse
+from repro.syslogr.catalog import MessageKind
+
+__all__ = ["AnomalyFailureLink", "link_anomalies_to_failures"]
+
+_FAILURE_KINDS = frozenset(k.value for k in MessageKind if k.is_failure)
+
+
+@dataclass(frozen=True)
+class AnomalyFailureLink:
+    """The linkage result for one system."""
+
+    #: jobid -> (anomaly flags, failure-event kinds observed)
+    linked: dict[str, tuple[tuple[AnomalousJob, ...], tuple[str, ...]]]
+    anomalous_with_failures: int
+    anomalous_total: int
+    normal_with_failures: int
+    normal_total: int
+
+    @property
+    def anomalous_failure_rate(self) -> float:
+        if self.anomalous_total == 0:
+            return float("nan")
+        return self.anomalous_with_failures / self.anomalous_total
+
+    @property
+    def normal_failure_rate(self) -> float:
+        if self.normal_total == 0:
+            return float("nan")
+        return self.normal_with_failures / self.normal_total
+
+    @property
+    def enrichment(self) -> float:
+        """How much likelier an anomalous job is to draw failure events."""
+        base = self.normal_failure_rate
+        if not base:
+            return float("inf") if self.anomalous_failure_rate else 1.0
+        return self.anomalous_failure_rate / base
+
+
+def link_anomalies_to_failures(
+    warehouse: Warehouse,
+    system: str,
+    anomalies: list[AnomalousJob],
+) -> AnomalyFailureLink:
+    """Join anomaly flags with per-job failure events."""
+    # jobid -> failure kinds from syslog.
+    failures: dict[str, list[str]] = {}
+    for t, host, jobid, kind, severity in warehouse.syslog_events(system):
+        if jobid is None or kind not in _FAILURE_KINDS:
+            continue
+        failures.setdefault(jobid, []).append(kind)
+
+    by_job: dict[str, list[AnomalousJob]] = {}
+    for a in anomalies:
+        by_job.setdefault(a.jobid, []).append(a)
+
+    linked = {
+        jid: (tuple(flags), tuple(failures.get(jid, ())))
+        for jid, flags in by_job.items()
+    }
+
+    all_jobids = set(warehouse.job_table(system, metrics=())["jobid"])
+    anomalous_ids = set(by_job)
+    normal_ids = all_jobids - anomalous_ids
+    return AnomalyFailureLink(
+        linked=linked,
+        anomalous_with_failures=sum(
+            1 for j in anomalous_ids if failures.get(j)
+        ),
+        anomalous_total=len(anomalous_ids),
+        normal_with_failures=sum(1 for j in normal_ids if failures.get(j)),
+        normal_total=len(normal_ids),
+    )

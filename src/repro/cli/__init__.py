@@ -1,0 +1,35 @@
+"""Command-line tools.
+
+The paper's tool chain is operated from cron jobs and admin shells; this
+package provides the equivalent operational surface:
+
+* ``repro-simulate`` — run a simulated facility and persist the warehouse
+  (optionally the full text-format archive);
+* ``repro-report`` — render any stakeholder report from a warehouse;
+* ``repro-stats-cat`` — inspect a TACC_Stats archive file (header,
+  schemas, blocks, job windows);
+* ``repro-persistence`` — print Table 1 / the Figure 6 fit for a system;
+* ``repro-diagnose`` — ANCOR-style failure diagnosis and the mined
+  anomaly→failure association table;
+* ``repro-export`` — dump any aggregate/profile/series/density as CSV or
+  chart JSON.
+
+All entry points accept ``--help`` and return a nonzero exit status on
+error, so they compose in shell pipelines.
+"""
+
+from repro.cli.simulate import main as simulate_main
+from repro.cli.report import main as report_main
+from repro.cli.stats_cat import main as stats_cat_main
+from repro.cli.persistence import main as persistence_main
+from repro.cli.diagnose import main as diagnose_main
+from repro.cli.export import main as export_main
+
+__all__ = [
+    "simulate_main",
+    "report_main",
+    "stats_cat_main",
+    "persistence_main",
+    "diagnose_main",
+    "export_main",
+]

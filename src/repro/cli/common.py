@@ -1,0 +1,43 @@
+"""Shared CLI plumbing."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import FacilityConfig, LONESTAR4, RANGER
+
+__all__ = ["SYSTEMS", "add_system_args", "config_from_args", "die"]
+
+SYSTEMS: dict[str, FacilityConfig] = {
+    "ranger": RANGER,
+    "lonestar4": LONESTAR4,
+}
+
+
+def add_system_args(parser: argparse.ArgumentParser) -> None:
+    """The scaling knobs every simulation-facing command shares."""
+    parser.add_argument("--system", choices=sorted(SYSTEMS),
+                        default="ranger",
+                        help="which published system to replicate")
+    parser.add_argument("--nodes", type=int, default=32,
+                        help="scaled node count (default 32)")
+    parser.add_argument("--days", type=float, default=14,
+                        help="simulated horizon in days (default 14)")
+    parser.add_argument("--users", type=int, default=80,
+                        help="user population size (default 80)")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="master seed (default 42)")
+
+
+def config_from_args(args: argparse.Namespace) -> FacilityConfig:
+    """Build the scaled FacilityConfig the parsed args describe."""
+    base = SYSTEMS[args.system]
+    return base.scaled(num_nodes=args.nodes, horizon_days=args.days,
+                       n_users=args.users)
+
+
+def die(message: str, code: int = 2) -> "int":
+    """Print an error to stderr; returns the exit code to propagate."""
+    print(f"error: {message}", file=sys.stderr)
+    return code

@@ -1,0 +1,107 @@
+"""``repro-diagnose``: ANCOR-style failure diagnosis from a warehouse.
+
+Examples::
+
+    repro-diagnose --warehouse ranger.sqlite --system ranger
+    repro-diagnose --warehouse ranger.sqlite --system ranger --job 2000123
+    repro-diagnose --warehouse ranger.sqlite --system ranger --associations
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.anomaly.ancor import AncorAnalysis
+from repro.cli.common import die
+from repro.ingest.warehouse import Warehouse
+from repro.util.tables import render_kv, render_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``repro-diagnose`` (docstring = usage text)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-diagnose",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--warehouse", required=True)
+    parser.add_argument("--system", required=True)
+    parser.add_argument("--job", default=None,
+                        help="diagnose one job id (default: all failures)")
+    parser.add_argument("--associations", action="store_true",
+                        help="print the mined anomaly->failure table")
+    parser.add_argument("--limit", type=int, default=10,
+                        help="max failures to print (default 10)")
+    return parser
+
+
+def _print_diagnosis(d) -> None:
+    print(render_kv({
+        "job": d.jobid,
+        "user": d.user,
+        "app": d.app,
+        "exit": d.exit_status,
+        "failure events": ", ".join(d.failure_events) or "(none)",
+        "anomalies": ", ".join(
+            f"{a.metric}({a.robust_z:+.1f})" for a in d.anomalies
+        ) or "(none)",
+        "lead time": f"{d.lead_time_s / 60:.0f} min"
+        if d.lead_time_s is not None else "-",
+    }, title=f"Diagnosis — job {d.jobid}"))
+    for hypothesis, score in d.hypotheses[:3]:
+        print(f"  -> {hypothesis} (score {score:.1f})")
+    print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    warehouse = Warehouse(args.warehouse)
+    try:
+        if args.system not in warehouse.systems():
+            return die(f"system {args.system!r} not in {args.warehouse}")
+        ancor = AncorAnalysis(warehouse, args.system)
+
+        if args.associations:
+            rows = [
+                {"metric": a.metric, "failure": a.kind,
+                 "lift": f"{a.lift:.1f}",
+                 "confidence": f"{a.confidence:.1%}",
+                 "support": a.support}
+                for a in ancor.association_table()
+            ]
+            if not rows:
+                print("no associations with sufficient support")
+                return 0
+            print(render_table(
+                rows, ["metric", "failure", "lift", "confidence",
+                       "support"],
+                title=f"Anomaly -> failure associations — {args.system}",
+            ))
+            return 0
+
+        if args.job:
+            try:
+                _print_diagnosis(ancor.diagnose(args.job))
+            except KeyError as e:
+                return die(str(e), code=1)
+            return 0
+
+        diagnoses = ancor.diagnose_failures()
+        if not diagnoses:
+            print("no diagnosable failures")
+            return 0
+        lead = ancor.mean_lead_time()
+        print(f"{len(diagnoses)} diagnosable failures"
+              + (f"; mean warning window {lead / 60:.0f} min"
+                 if lead is not None else "") + "\n")
+        for d in diagnoses[: args.limit]:
+            _print_diagnosis(d)
+        return 0
+    finally:
+        warehouse.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

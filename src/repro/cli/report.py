@@ -1,0 +1,81 @@
+"""``repro-report``: render a stakeholder report from a warehouse.
+
+Examples::
+
+    repro-report --warehouse ranger.sqlite --system ranger support
+    repro-report --warehouse ranger.sqlite --system ranger user user0042
+    repro-report --warehouse ranger.sqlite --system ranger developer namd
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cli.common import die
+from repro.ingest.warehouse import Warehouse
+from repro.xdmod.reports import (
+    AdminReport,
+    DeveloperReport,
+    FundingAgencyReport,
+    ResourceManagerReport,
+    SupportStaffReport,
+    UserReport,
+)
+
+_NEEDS_TARGET = {"user": "a username", "developer": "an application tag"}
+
+_REPORTS = {
+    "user": UserReport,
+    "developer": DeveloperReport,
+    "support": SupportStaffReport,
+    "admin": AdminReport,
+    "manager": ResourceManagerReport,
+    "funding": FundingAgencyReport,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``repro-report`` (docstring = usage text)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-report",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--warehouse", required=True)
+    parser.add_argument("--system", required=True)
+    parser.add_argument("kind", choices=sorted(_REPORTS),
+                        help="which stakeholder's report")
+    parser.add_argument("target", nargs="?", default=None,
+                        help="username (user) or app tag (developer)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    warehouse = Warehouse(args.warehouse)
+    try:
+        if args.system not in warehouse.systems():
+            return die(f"system {args.system!r} not in {args.warehouse}; "
+                       f"has: {warehouse.systems()}")
+        report = _REPORTS[args.kind](warehouse, args.system)
+        if args.kind in _NEEDS_TARGET:
+            if not args.target:
+                return die(f"report {args.kind!r} needs {args.kind} "
+                           f"target: {_NEEDS_TARGET[args.kind]}")
+            try:
+                print(report.render(args.target))
+            except ValueError as e:
+                return die(str(e))
+        else:
+            if args.target:
+                return die(f"report {args.kind!r} takes no target")
+            print(report.render())
+        return 0
+    finally:
+        warehouse.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,112 @@
+"""``repro-simulate``: run one simulated study period.
+
+Examples::
+
+    repro-simulate --system ranger --nodes 64 --days 30 \
+        --warehouse ranger.sqlite
+    repro-simulate --system lonestar4 --nodes 16 --days 2 \
+        --warehouse ls4.sqlite --archive /tmp/ls4-stats
+
+With ``--archive`` the run goes through the full text-format tool chain
+(slower; intended for small configs); otherwise the fast synthesis path
+is used.  Multiple systems can share one warehouse file — run the
+command once per system.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.cli.common import add_system_args, config_from_args, die
+from repro.facility import Facility
+from repro.ingest.warehouse import Warehouse
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``repro-simulate`` (docstring = usage text)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-simulate",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    add_system_args(parser)
+    parser.add_argument("--warehouse", required=True,
+                        help="SQLite file to create/extend")
+    parser.add_argument("--archive", default=None,
+                        help="directory for a full text-format archive "
+                             "(enables the slow path)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-parallel node replay for --archive "
+                             "runs (output is byte-identical)")
+    parser.add_argument("--no-syslog", action="store_true",
+                        help="skip syslog generation (fast path only)")
+    parser.add_argument("--policy", choices=("easy", "fcfs", "aware"),
+                        default="easy",
+                        help="scheduling policy: EASY backfill (default), "
+                             "plain FCFS, or the §5 complement-aware "
+                             "backfill")
+    parser.add_argument("--appkernels", action="store_true",
+                        help="submit the standard application-kernel "
+                             "battery on its cadence")
+    parser.add_argument("--quiet", action="store_true")
+    return parser
+
+
+def _policy(name: str):
+    if name == "fcfs":
+        from repro.scheduler.policies import FCFSPolicy
+        return FCFSPolicy()
+    if name == "aware":
+        from repro.scheduler.resource_aware import (
+            ResourceAwareBackfillPolicy,
+        )
+        return ResourceAwareBackfillPolicy()
+    from repro.scheduler.policies import EasyBackfillPolicy
+    return EasyBackfillPolicy()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    cfg = config_from_args(args)
+    warehouse = Warehouse(args.warehouse)
+    if cfg.name in warehouse.systems():
+        return die(f"system {cfg.name!r} already present in "
+                   f"{args.warehouse}; use a fresh file or another system")
+    kernels = None
+    if args.appkernels:
+        from repro.xdmod.appkernels import DEFAULT_KERNELS
+        kernels = DEFAULT_KERNELS
+    facility = Facility(cfg, seed=args.seed, policy=_policy(args.policy),
+                        appkernels=kernels)
+
+    t0 = time.time()
+    if args.archive:
+        run = facility.run_with_files(args.archive, warehouse=warehouse,
+                                      workers=args.workers)
+    else:
+        run = facility.run(warehouse=warehouse,
+                           with_syslog=not args.no_syslog)
+    elapsed = time.time() - t0
+
+    if not args.quiet:
+        q = run.query()
+        print(f"[{cfg.name}] {len(run.records)} jobs simulated, "
+              f"{len(q)} with full summaries, "
+              f"{q.node_hours:,.0f} node-hours, "
+              f"efficiency {1 - q.weighted_mean('cpu_idle'):.1%} "
+              f"({elapsed:.1f}s)")
+        if run.archive_stats is not None:
+            s = run.archive_stats
+            print(f"archive: {s.file_count} files, "
+                  f"{s.raw_bytes / 1e6:.1f} MB raw, "
+                  f"{s.compression_ratio:.1f}x gzip")
+        print(f"warehouse: {args.warehouse}")
+    warehouse.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Cluster hardware substrate: nodes, processors, filesystems, fabric, outages.
+
+This package models just enough of a Linux HPC cluster for the TACC_Stats
+collectors to have something real to measure: per-socket core layouts and
+architecture-specific performance-counter event sets, Lustre/NFS mounts with
+quotas and purge policy, an InfiniBand fabric, and an outage process that
+produces the planned/unplanned downtime visible in the paper's Figure 8.
+"""
+
+from repro.cluster.hardware import ProcessorSpec, NodeHardware
+from repro.cluster.node import Node, NodeState
+from repro.cluster.cluster import Cluster, AllocationError
+from repro.cluster.filesystem import FilesystemSpec, FilesystemState
+from repro.cluster.interconnect import InterconnectSpec, Fabric
+from repro.cluster.outages import Outage, OutageKind, OutageGenerator
+
+__all__ = [
+    "ProcessorSpec",
+    "NodeHardware",
+    "Node",
+    "NodeState",
+    "Cluster",
+    "AllocationError",
+    "FilesystemSpec",
+    "FilesystemState",
+    "InterconnectSpec",
+    "Fabric",
+    "Outage",
+    "OutageKind",
+    "OutageGenerator",
+]

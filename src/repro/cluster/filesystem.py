@@ -1,0 +1,173 @@
+"""Shared filesystem models (Lustre scratch/work/share, NFS).
+
+The paper's 8 key metrics distinguish ``io_scratch_write`` from
+``io_work_write`` precisely because the two Lustre filesystems differ in
+*policy*, not mechanism: "scratch is purged periodically and has a largish
+quota to the tune of hundreds of TB, and work is non-purged space with a
+200 GB quota" (§4.2).  We model both the aggregate throughput counters that
+feed Figure 7c and the per-user quota/purge behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.units import GB, TB
+
+__all__ = ["FilesystemSpec", "FilesystemState", "QuotaExceeded"]
+
+
+class QuotaExceeded(Exception):
+    """Raised when a charge would push a user past the filesystem quota."""
+
+
+@dataclass(frozen=True)
+class FilesystemSpec:
+    """Static description of a shared filesystem mount.
+
+    Attributes
+    ----------
+    name:
+        Short metric-facing name (``"scratch"``, ``"work"``, ``"share"``).
+    kind:
+        ``"lustre"``, ``"nfs"`` or ``"panasas"`` — selects which TACC_Stats
+        collector (llite vs nfs) reports it and whether it contributes to
+        Lustre network (lnet) traffic.
+    mount:
+        Mount point rendered into collector device names.
+    quota_bytes:
+        Per-user quota.
+    purged:
+        Whether a periodic purge policy deletes old files.
+    purge_age_days:
+        Age threshold for the purge (only meaningful when ``purged``).
+    capacity_bytes:
+        Total capacity (used for occupancy reporting).
+    """
+
+    name: str
+    kind: str
+    mount: str
+    quota_bytes: int
+    purged: bool = False
+    purge_age_days: float = 10.0
+    capacity_bytes: int = 400 * TB
+
+    def __post_init__(self):
+        if self.kind not in ("lustre", "nfs", "panasas"):
+            raise ValueError(f"unknown filesystem kind {self.kind!r}")
+        if self.quota_bytes <= 0 or self.capacity_bytes <= 0:
+            raise ValueError("quota and capacity must be positive")
+
+    @property
+    def is_lustre(self) -> bool:
+        return self.kind == "lustre"
+
+
+def ranger_filesystems() -> tuple[FilesystemSpec, ...]:
+    """Ranger: three Lustre mounts (scratch purged, work 200 GB quota, share)."""
+    return (
+        FilesystemSpec("scratch", "lustre", "/scratch", quota_bytes=400 * TB,
+                       purged=True, purge_age_days=10, capacity_bytes=800 * TB),
+        FilesystemSpec("work", "lustre", "/work", quota_bytes=200 * GB,
+                       capacity_bytes=200 * TB),
+        FilesystemSpec("share", "lustre", "/share", quota_bytes=10 * GB,
+                       capacity_bytes=50 * TB),
+    )
+
+
+def lonestar4_filesystems() -> tuple[FilesystemSpec, ...]:
+    """Lonestar4: Lustre scratch/work plus NFS home over Ethernet."""
+    return (
+        FilesystemSpec("scratch", "lustre", "/scratch", quota_bytes=250 * TB,
+                       purged=True, purge_age_days=10, capacity_bytes=500 * TB),
+        FilesystemSpec("work", "lustre", "/work", quota_bytes=200 * GB,
+                       capacity_bytes=100 * TB),
+        FilesystemSpec("home", "nfs", "/home", quota_bytes=5 * GB,
+                       capacity_bytes=20 * TB),
+    )
+
+
+@dataclass
+class FilesystemState:
+    """Mutable state of one filesystem: usage ledger + throughput counters.
+
+    ``charge_write`` both advances the aggregate byte counter (what Figure 7c
+    plots) and grows the writing user's residency, enforcing the quota for
+    non-purged mounts; ``run_purge`` implements the scratch policy.
+    """
+
+    spec: FilesystemSpec
+    bytes_written: float = 0.0
+    bytes_read: float = 0.0
+    #: user -> list of (create_time, bytes) extents, oldest first.
+    _holdings: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+
+    def usage(self, user: str) -> float:
+        """Current residency of *user* in bytes."""
+        return sum(b for _, b in self._holdings.get(user, ()))
+
+    @property
+    def total_resident(self) -> float:
+        """Bytes currently resident across all users."""
+        return sum(b for exts in self._holdings.values() for _, b in exts)
+
+    def charge_read(self, nbytes: float) -> None:
+        """Account a read of *nbytes* (aggregate counter only)."""
+        if nbytes < 0:
+            raise ValueError("negative read")
+        self.bytes_read += nbytes
+
+    def charge_write(self, user: str, nbytes: float, now: float,
+                     enforce_quota: bool = True) -> None:
+        """Account a write of *nbytes* by *user* at time *now*.
+
+        Raises
+        ------
+        QuotaExceeded
+            If quota enforcement is on and the write would exceed the user's
+            quota.  Purged scratch filesystems historically ran with lax
+            enforcement, so jobs there keep running (the paper's scratch has
+            a quota "to the tune of hundreds of TB" that users rarely hit).
+        """
+        if nbytes < 0:
+            raise ValueError("negative write")
+        if enforce_quota and self.usage(user) + nbytes > self.spec.quota_bytes:
+            raise QuotaExceeded(
+                f"{user} over quota on {self.spec.name}: "
+                f"{self.usage(user) + nbytes:.0f} > {self.spec.quota_bytes}"
+            )
+        self.bytes_written += nbytes
+        self._holdings.setdefault(user, []).append((now, nbytes))
+
+    def release(self, user: str, nbytes: float) -> None:
+        """User deletes *nbytes* (oldest extents first)."""
+        exts = self._holdings.get(user, [])
+        remaining = nbytes
+        while exts and remaining > 0:
+            t, b = exts[0]
+            if b <= remaining:
+                exts.pop(0)
+                remaining -= b
+            else:
+                exts[0] = (t, b - remaining)
+                remaining = 0
+
+    def run_purge(self, now: float) -> float:
+        """Delete extents older than the purge age; returns bytes freed.
+
+        No-op (returns 0) on non-purged filesystems.
+        """
+        if not self.spec.purged:
+            return 0.0
+        cutoff = now - self.spec.purge_age_days * 86400.0
+        freed = 0.0
+        for user, exts in self._holdings.items():
+            keep = []
+            for t, b in exts:
+                if t < cutoff:
+                    freed += b
+                else:
+                    keep.append((t, b))
+            self._holdings[user] = keep
+        return freed

@@ -1,0 +1,151 @@
+"""Processor and node hardware models.
+
+The paper's two systems differ in exactly the ways TACC_Stats cares about:
+
+* **Ranger** — 4 × quad-core AMD Opteron (Barcelona) per node @ 2.3 GHz,
+  32 GB/node.  TACC_Stats programs the Opteron PMCs for FLOPS, memory
+  accesses, data-cache fills, and SMP/NUMA traffic.
+* **Lonestar4** — 2 × hexa-core Intel Xeon 5680 (Westmere) per node @
+  3.33 GHz, 24 GB/node.  PMCs are programmed for FLOPS, SMP/NUMA traffic and
+  L1D hits, and the FLOPS event is *not* SSE-comparable to Ranger's (the
+  paper notes the two systems' FLOPS series cannot be compared directly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.units import GB
+
+__all__ = ["ProcessorSpec", "NodeHardware", "OPTERON_BARCELONA", "XEON_5680"]
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """One processor socket.
+
+    Attributes
+    ----------
+    model:
+        Marketing name, rendered into the TACC_Stats header.
+    arch:
+        ``"amd64"`` or ``"intel"`` — selects which PMC collector runs and
+        which event set is programmed at job begin.
+    clock_ghz:
+        Core clock.
+    cores:
+        Cores per socket.
+    flops_per_cycle:
+        Peak double-precision FLOPs per core per cycle (SSE2: 4 for both
+        Barcelona and Westmere).
+    pmc_events:
+        Event names programmed into the counters at job begin, in counter
+        order (paper §3).
+    counter_width:
+        Width in bits of the hardware counter registers; the collectors
+        wrap at ``2**counter_width`` and the summarizer must correct for it.
+    """
+
+    model: str
+    arch: str
+    clock_ghz: float
+    cores: int
+    flops_per_cycle: int
+    pmc_events: tuple[str, ...]
+    counter_width: int = 48
+
+    def __post_init__(self):
+        if self.arch not in ("amd64", "intel"):
+            raise ValueError(f"unknown arch {self.arch!r}")
+        if self.cores <= 0 or self.clock_ghz <= 0:
+            raise ValueError("cores and clock must be positive")
+
+    @property
+    def peak_gflops(self) -> float:
+        """Peak GFLOP/s of one socket."""
+        return self.clock_ghz * self.flops_per_cycle * self.cores
+
+
+OPTERON_BARCELONA = ProcessorSpec(
+    model="AMD Opteron 8356 (Barcelona)",
+    arch="amd64",
+    clock_ghz=2.3,
+    cores=4,
+    flops_per_cycle=4,
+    pmc_events=("SSE_FLOPS", "DRAM_ACCESSES", "DCACHE_SYS_FILLS", "HT_LINK_TRAFFIC"),
+    counter_width=48,
+)
+
+XEON_5680 = ProcessorSpec(
+    model="Intel Xeon X5680 (Westmere-EP)",
+    arch="intel",
+    clock_ghz=3.33,
+    cores=6,
+    flops_per_cycle=4,
+    pmc_events=("FP_COMP_OPS", "QPI_TRAFFIC", "L1D_HITS"),
+    counter_width=48,
+)
+
+
+@dataclass(frozen=True)
+class NodeHardware:
+    """Hardware of one compute node.
+
+    The device lists mirror what the per-device TACC_Stats collectors
+    enumerate on a real node (``/proc/diskstats``, ``/sys/class/net``,
+    ``/sys/class/infiniband``).
+    """
+
+    processor: ProcessorSpec
+    sockets: int
+    memory_bytes: int
+    swap_bytes: int = 0
+    block_devices: tuple[str, ...] = ("sda",)
+    net_devices: tuple[str, ...] = ("eth0", "ib0")
+    ib_devices: tuple[str, ...] = ("mlx4_0",)
+
+    def __post_init__(self):
+        if self.sockets <= 0:
+            raise ValueError("sockets must be positive")
+        if self.memory_bytes <= 0:
+            raise ValueError("memory must be positive")
+
+    @property
+    def cores(self) -> int:
+        """Total cores in the node."""
+        return self.sockets * self.processor.cores
+
+    @property
+    def peak_gflops(self) -> float:
+        """Peak GFLOP/s of the whole node."""
+        return self.sockets * self.processor.peak_gflops
+
+    @property
+    def memory_gb(self) -> float:
+        """Installed memory in (binary) GB."""
+        return self.memory_bytes / GB
+
+    @property
+    def memory_per_core_gb(self) -> float:
+        """GB of memory per core (Figure 7a reports memory per core)."""
+        return self.memory_gb / self.cores
+
+
+def ranger_node() -> NodeHardware:
+    """A Ranger compute node: 4 sockets × 4 cores, 32 GB (147.2 GF peak)."""
+    return NodeHardware(
+        processor=OPTERON_BARCELONA,
+        sockets=4,
+        memory_bytes=32 * GB,
+        swap_bytes=0,  # Ranger nodes were diskless-swap
+    )
+
+
+def lonestar4_node() -> NodeHardware:
+    """A Lonestar4 compute node: 2 sockets × 6 cores, 24 GB (159.8 GF peak)."""
+    return NodeHardware(
+        processor=XEON_5680,
+        sockets=2,
+        memory_bytes=24 * GB,
+        swap_bytes=0,
+    )

@@ -1,0 +1,94 @@
+"""InfiniBand fabric model.
+
+TACC_Stats reports per-node IB port counters (``net_ib_tx`` / ``net_ib_rx``
+in the paper's key metrics) and Lustre networking (lnet) counters that ride
+the same fabric.  We model a two-level fat tree: nodes attach to leaf
+switches, leaves attach to a spine.  The topology only matters for
+aggregate switch-level occupancy reporting; per-node counters come from the
+collectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["InterconnectSpec", "Fabric"]
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Static fabric description.
+
+    Attributes
+    ----------
+    kind:
+        ``"infiniband"`` (Ranger, Lonestar4) — kept as a field so a Myrinet
+        variant (which TACC_Stats also supports) can be configured.
+    link_gbps:
+        Signalling rate of a host link (SDR 4x = 8 Gb/s data on Ranger;
+        QDR 4x = 32 Gb/s on Lonestar4).
+    radix:
+        Ports per leaf switch available for hosts.
+    """
+
+    kind: str = "infiniband"
+    link_gbps: float = 8.0
+    radix: int = 24
+
+    def __post_init__(self):
+        if self.kind not in ("infiniband", "myrinet"):
+            raise ValueError(f"unknown interconnect kind {self.kind!r}")
+        if self.link_gbps <= 0 or self.radix <= 1:
+            raise ValueError("link rate and radix must be positive")
+
+    @property
+    def link_mb_s(self) -> float:
+        """Host link data rate in MB/s (decimal MB, as IB counters report)."""
+        return self.link_gbps * 1e9 / 8 / 1e6
+
+
+class Fabric:
+    """Two-level fat tree over *num_nodes* hosts.
+
+    Provides the node→leaf mapping and switch-level aggregation of per-node
+    traffic — a support-staff report ("is one leaf saturated?") uses this.
+    """
+
+    def __init__(self, spec: InterconnectSpec, num_nodes: int):
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        self.spec = spec
+        self.num_nodes = num_nodes
+        self.num_leaves = (num_nodes + spec.radix - 1) // spec.radix
+        self._leaf_of = np.arange(num_nodes) // spec.radix
+
+    def leaf_of(self, node_index: int) -> int:
+        """Leaf switch index a node attaches to."""
+        if not 0 <= node_index < self.num_nodes:
+            raise IndexError(f"node index {node_index} out of range")
+        return int(self._leaf_of[node_index])
+
+    def nodes_on_leaf(self, leaf: int) -> np.ndarray:
+        """Indices of all nodes on a leaf switch."""
+        if not 0 <= leaf < self.num_leaves:
+            raise IndexError(f"leaf {leaf} out of range")
+        return np.nonzero(self._leaf_of == leaf)[0]
+
+    def leaf_aggregate(self, per_node_rate_mb: np.ndarray) -> np.ndarray:
+        """Sum a per-node traffic rate (MB/s) up to each leaf switch."""
+        rates = np.asarray(per_node_rate_mb, dtype=float)
+        if rates.shape != (self.num_nodes,):
+            raise ValueError(
+                f"expected {self.num_nodes} per-node rates, got {rates.shape}"
+            )
+        out = np.zeros(self.num_leaves)
+        np.add.at(out, self._leaf_of, rates)
+        return out
+
+    def leaf_saturation(self, per_node_rate_mb: np.ndarray,
+                        uplinks_per_leaf: int = 4) -> np.ndarray:
+        """Fraction of leaf uplink bandwidth in use (1.0 = saturated)."""
+        uplink_mb = uplinks_per_leaf * self.spec.link_mb_s
+        return self.leaf_aggregate(per_node_rate_mb) / uplink_mb

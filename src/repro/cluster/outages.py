@@ -1,0 +1,136 @@
+"""Facility outage process.
+
+Figure 8 of the paper shows the active-node count dropping to zero during
+"relatively infrequent" planned and unplanned shutdowns, with smaller dips
+as nodes cycle between jobs.  We generate:
+
+* **scheduled maintenance** — full-system, at a regular cadence with jitter;
+* **unscheduled outages** — Poisson arrivals, full-system with small
+  probability, otherwise hitting a random subset of nodes (e.g. a chassis
+  or a Lustre OSS taking out a rack's jobs).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.timeutil import DAY, HOUR
+
+__all__ = ["OutageKind", "Outage", "OutageGenerator"]
+
+
+class OutageKind(enum.Enum):
+    SCHEDULED = "scheduled"
+    UNSCHEDULED = "unscheduled"
+
+
+@dataclass(frozen=True)
+class Outage:
+    """One outage window.
+
+    ``nodes`` is None for a full-system outage, else a tuple of node indices.
+    """
+
+    start: float
+    end: float
+    kind: OutageKind
+    nodes: tuple[int, ...] | None = None
+
+    def __post_init__(self):
+        if self.end <= self.start:
+            raise ValueError("outage must have positive duration")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def is_full_system(self) -> bool:
+        return self.nodes is None
+
+
+class OutageGenerator:
+    """Draw an outage schedule for a simulation horizon.
+
+    Parameters
+    ----------
+    num_nodes:
+        Cluster size (for partial outages).
+    scheduled_interval_days:
+        Mean spacing of maintenance windows (0 disables them).
+    scheduled_duration_hours:
+        Length of each maintenance window.
+    unscheduled_rate_per_month:
+        Poisson rate of unplanned outages (30-day months).
+    unscheduled_mean_hours:
+        Mean (exponential) duration of unplanned outages.
+    full_system_prob:
+        Probability an unplanned outage takes the whole system down.
+    partial_fraction:
+        Fraction of nodes hit by a partial outage (± 50 % jitter).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        scheduled_interval_days: float = 45.0,
+        scheduled_duration_hours: float = 12.0,
+        unscheduled_rate_per_month: float = 1.0,
+        unscheduled_mean_hours: float = 4.0,
+        full_system_prob: float = 0.3,
+        partial_fraction: float = 0.05,
+    ):
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        self.num_nodes = num_nodes
+        self.scheduled_interval_days = scheduled_interval_days
+        self.scheduled_duration_hours = scheduled_duration_hours
+        self.unscheduled_rate_per_month = unscheduled_rate_per_month
+        self.unscheduled_mean_hours = unscheduled_mean_hours
+        self.full_system_prob = full_system_prob
+        self.partial_fraction = partial_fraction
+
+    def generate(self, horizon: float, rng: np.random.Generator) -> list[Outage]:
+        """All outages with ``start < horizon``, sorted and non-overlapping.
+
+        Overlapping windows are merged conservatively by dropping the later
+        one — the discrete-event engine requires disjoint outage intervals.
+        """
+        outages: list[Outage] = []
+
+        if self.scheduled_interval_days > 0:
+            t = self.scheduled_interval_days * DAY * (0.8 + 0.4 * rng.random())
+            while t < horizon:
+                outages.append(
+                    Outage(t, t + self.scheduled_duration_hours * HOUR,
+                           OutageKind.SCHEDULED)
+                )
+                t += self.scheduled_interval_days * DAY * (0.8 + 0.4 * rng.random())
+
+        if self.unscheduled_rate_per_month > 0:
+            rate_per_sec = self.unscheduled_rate_per_month / (30 * DAY)
+            t = rng.exponential(1.0 / rate_per_sec)
+            while t < horizon:
+                dur = max(10 * 60.0, rng.exponential(self.unscheduled_mean_hours * HOUR))
+                if rng.random() < self.full_system_prob:
+                    nodes = None
+                else:
+                    frac = self.partial_fraction * (0.5 + rng.random())
+                    k = max(1, int(round(frac * self.num_nodes)))
+                    nodes = tuple(
+                        int(i) for i in rng.choice(self.num_nodes, size=k,
+                                                   replace=False)
+                    )
+                outages.append(Outage(t, t + dur, OutageKind.UNSCHEDULED, nodes))
+                t += rng.exponential(1.0 / rate_per_sec)
+
+        outages.sort(key=lambda o: o.start)
+        disjoint: list[Outage] = []
+        for o in outages:
+            if disjoint and o.start < disjoint[-1].end:
+                continue
+            disjoint.append(o)
+        return disjoint

@@ -1,0 +1,481 @@
+"""Facility driver: simulate → collect → ingest → analyze, in one call.
+
+Two measurement paths produce the same warehouse contents:
+
+* :meth:`Facility.run` (fast path) — the behaviour model's rate matrices
+  are reduced to job summaries and system series directly, vectorized
+  per job.  Used for study-period-scale runs (thousands of jobs) behind
+  the figure/table benchmarks.
+* :meth:`Facility.run_with_files` (slow path) — per-node TACC_Stats
+  daemons serialize the real self-describing text format to a rotating
+  archive, and the ingest pipeline parses, matches, and summarizes it
+  back.  Used at smaller scale to prove the production pipeline
+  end-to-end and to measure the paper's volume/overhead claims.
+
+Both paths construct each job's :class:`~repro.workload.JobBehavior` from
+the same seed, so they agree statistically (asserted by integration
+tests).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.outages import Outage, OutageGenerator
+from repro.config import FacilityConfig
+from repro.ingest.pipeline import IngestPipeline, IngestReport
+from repro.ingest.summarize import JobSummary, summarize_job_from_rates
+from repro.ingest.warehouse import Warehouse
+from repro.lariat.logger import LariatLog
+from repro.lariat.records import lariat_record_for
+from repro.scheduler.accounting import AccountingWriter
+from repro.scheduler.engine import SchedulerEngine, SimulationResult
+from repro.scheduler.job import JobRecord
+from repro.scheduler.policies import EasyBackfillPolicy, SchedulingPolicy
+from repro.syslogr.generator import SyslogGenerator
+from repro.syslogr.rationalizer import RationalizedMessage, Rationalizer
+from repro.tacc_stats.archive import ArchiveStats, HostArchive
+from repro.tacc_stats.daemon import TaccStatsDaemon
+from repro.util.rng import RngFactory
+from repro.util.timeutil import aligned_samples
+from repro.workload.applications import APP_CATALOG, RATE_INDEX
+from repro.workload.behavior import DerivedRates, JobBehavior
+from repro.workload.generator import GeneratedWorkload, WorkloadGenerator
+from repro.xdmod.query import JobQuery
+
+__all__ = ["Facility", "FacilityRun"]
+
+_I_MEM = RATE_INDEX["mem_used_gb"]
+_I_FLOPS = RATE_INDEX["flops_gf"]
+
+
+def _build_behavior(cfg: FacilityConfig, users: dict, util_scale: float,
+                    phase_calibration: dict | None, regressions: tuple,
+                    record: JobRecord) -> JobBehavior:
+    """Reconstruct a job's behaviour from picklable inputs only.
+
+    Module-level (not a method) so multiprocessing workers can rebuild
+    behaviours independently: a behaviour is fully determined by the
+    request's seed and the facility context, so shipping the large rate
+    matrices between processes is never necessary.
+    """
+    req = record.request
+    flops_scale = 1.0
+    for regression in regressions:
+        if regression.applies(req.app, record.start_time):
+            flops_scale *= regression.flops_factor
+    # Application kernels are fixed benchmark inputs: a few percent of
+    # run-to-run variance, not the workload's job-level spread.
+    variability = 0.12 if req.queue == "appkernel" else 1.0
+    return JobBehavior(
+        app=APP_CATALOG[req.app],
+        user=users[req.user],
+        node_hw=cfg.node,
+        n_nodes=req.nodes,
+        duration=max(record.wall_seconds, cfg.sample_interval),
+        sample_interval=cfg.sample_interval,
+        behavior_seed=req.behavior_seed,
+        util_scale=util_scale,
+        calibration=phase_calibration,
+        flops_scale=flops_scale,
+        variability_scale=variability,
+    )
+
+
+def _replay_nodes(
+    cfg: FacilityConfig,
+    seed: int,
+    users: dict,
+    util_scale: float,
+    phase_calibration: dict | None,
+    regressions: tuple,
+    records: list[JobRecord],
+    node_indices: list[int],
+    archive_dir: str,
+    compress: bool,
+) -> ArchiveStats:
+    """Replay a set of nodes' daemons into the shared archive directory.
+
+    Each node's files are written only by the worker owning that node, so
+    concurrent workers never touch the same path; per-node RNG streams
+    make the output byte-identical regardless of how nodes are split
+    across workers (asserted by tests).
+    """
+    from repro.cluster.node import Node
+
+    rng_factory = RngFactory(seed)
+    prefix = cfg.stream_prefix
+    archive = HostArchive(archive_dir, compress=compress)
+    wanted = set(node_indices)
+    per_node: dict[int, list[tuple[float, float, JobRecord, int]]] = {}
+    needed_jobs: set[str] = set()
+    for record in records:
+        for slot, ni in enumerate(record.node_indices):
+            if ni in wanted:
+                per_node.setdefault(ni, []).append(
+                    (record.start_time, record.end_time, record, slot)
+                )
+                needed_jobs.add(record.jobid)
+    behaviors = {
+        r.jobid: _build_behavior(cfg, users, util_scale,
+                                 phase_calibration, regressions, r)
+        for r in records if r.jobid in needed_jobs
+    }
+
+    ticks = aligned_samples(0.0, cfg.horizon, cfg.sample_interval)
+    lustre = tuple(
+        fs.name for fs in cfg.filesystems if fs.kind == "lustre"
+    ) or ("scratch",)
+    nfs = tuple(fs.name for fs in cfg.filesystems if fs.kind == "nfs")
+    for ni in node_indices:
+        node = Node(index=ni,
+                    hostname=f"c{ni // 100:03d}-{ni % 100:03d}.{cfg.name}",
+                    hardware=cfg.node)
+        daemon = TaccStatsDaemon(
+            node,
+            rng_factory.stream(f"{prefix}/noise/{ni}"),
+            writer=lambda t, h=node.hostname: archive.writer(h, t),
+            lustre_mounts=lustre,
+            nfs_mounts=nfs,
+        )
+        # Same-instant ordering: end < periodic tick < begin, so a
+        # back-to-back allocation (next job starts the second the
+        # previous one releases the node) replays correctly.
+        events: list[tuple[float, int, object]] = [
+            (t, 1, None) for t in ticks
+        ]
+        for start, end, record, slot in per_node.get(ni, []):
+            events.append((start, 2, ("begin", record, slot)))
+            events.append((end, 0, ("end", record)))
+        events.sort(key=lambda e: (e[0], e[1]))
+        for t, kind, payload in events:
+            if kind == 1:
+                daemon.sample(t)
+            elif kind == 2:
+                _tag, record, slot = payload
+                daemon.begin_job(record.jobid, t,
+                                 behaviors[record.jobid], slot)
+            else:
+                _tag, record = payload
+                daemon.end_job(record.jobid, t)
+    return archive.close()
+
+
+def _replay_nodes_star(args: tuple) -> ArchiveStats:
+    return _replay_nodes(*args)
+
+
+@dataclass
+class FacilityRun:
+    """Everything one simulated study period produced."""
+
+    config: FacilityConfig
+    warehouse: Warehouse
+    workload: GeneratedWorkload
+    sim: SimulationResult
+    outages: list[Outage]
+    ingest_report: IngestReport | None = None
+    archive_stats: ArchiveStats | None = None
+
+    def query(self) -> JobQuery:
+        return JobQuery(self.warehouse, self.config.name)
+
+    @property
+    def records(self) -> list[JobRecord]:
+        return self.sim.records
+
+
+class Facility:
+    """One simulated system, reproducible from (config, seed)."""
+
+    def __init__(self, config: FacilityConfig, seed: int = 0,
+                 policy: SchedulingPolicy | None = None,
+                 phase_calibration: dict | None = None,
+                 appkernels: tuple | None = None,
+                 regressions: tuple | None = None):
+        """*appkernels* is a tuple of
+        :class:`repro.xdmod.appkernels.AppKernelSpec` to submit on their
+        cadences; *regressions* a tuple of
+        :class:`repro.xdmod.appkernels.PerfRegression` faults to inject."""
+        self.config = config
+        self.seed = seed
+        self.rng_factory = RngFactory(seed)
+        self.policy = policy or EasyBackfillPolicy()
+        self.phase_calibration = phase_calibration
+        self.appkernels = tuple(appkernels or ())
+        self.regressions = tuple(regressions or ())
+
+    def _stream(self, name: str) -> np.random.Generator:
+        return self.rng_factory.stream(f"{self.config.stream_prefix}/{name}")
+
+    # -- shared simulation front half ----------------------------------------
+
+    def _simulate(self) -> tuple[GeneratedWorkload, SimulationResult,
+                                 list[Outage], Cluster]:
+        cfg = self.config
+        workload = WorkloadGenerator(cfg, self.rng_factory).generate()
+        if self.appkernels:
+            from repro.xdmod.appkernels import (
+                kernel_requests,
+                kernel_user_profile,
+            )
+            kernels = kernel_requests(self.appkernels, cfg, self.seed)
+            merged = sorted(workload.requests + kernels,
+                            key=lambda r: r.submit_time)
+            users = dict(workload.users)
+            users[kernel_user_profile().username] = kernel_user_profile()
+            workload = GeneratedWorkload(
+                requests=merged, users=users,
+                util_scale=workload.util_scale,
+            )
+        cluster = Cluster(cfg.name, cfg.num_nodes, cfg.node,
+                          cfg.filesystems, cfg.interconnect)
+        outages = OutageGenerator(cfg.num_nodes).generate(
+            cfg.horizon, self._stream("outages")
+        )
+        sim = SchedulerEngine(cluster, self.policy).run(
+            workload.requests, outages, horizon=cfg.horizon
+        )
+        return workload, sim, outages, cluster
+
+    def _behavior_for(self, record: JobRecord,
+                      workload: GeneratedWorkload) -> JobBehavior:
+        return _build_behavior(
+            self.config, workload.users, workload.util_scale,
+            self.phase_calibration, self.regressions, record,
+        )
+
+    # -- fast path ----------------------------------------------------------------
+
+    def run(self, warehouse: Warehouse | None = None,
+            with_syslog: bool = True) -> FacilityRun:
+        """Fast path: behaviour → summaries + series → warehouse."""
+        cfg = self.config
+        workload, sim, outages, _cluster = self._simulate()
+        warehouse = warehouse or Warehouse()
+        warehouse.add_system(
+            cfg.name, num_nodes=cfg.num_nodes,
+            cores_per_node=cfg.node.cores,
+            mem_gb_per_node=cfg.node.memory_gb,
+            peak_tflops=cfg.peak_tflops,
+            sample_interval=cfg.sample_interval,
+        )
+
+        interval = cfg.sample_interval
+        n_bins = int(cfg.horizon // interval) + 1
+        bin_times = np.arange(n_bins) * interval
+        acc = {
+            name: np.zeros(n_bins)
+            for name in ("flops_gf", "mem_gb", "idle_nodes_equiv",
+                         "user_nodes_equiv", "sys_nodes_equiv",
+                         "io_scratch_write_mb", "io_work_write_mb",
+                         "io_share_write_mb", "ib_tx_mb", "busy_nodes")
+        }
+
+        summaries: list[JobSummary] = []
+        syslog_gen = SyslogGenerator(self._stream("syslog"), cfg.name)
+        raw_messages = []
+
+        for record in sim.records:
+            behavior = self._behavior_for(record, workload)
+            m = max(1, int(np.ceil(record.wall_seconds / interval)))
+            rates = behavior.rates_matrix(m)
+            summary = summarize_job_from_rates(
+                record, rates, mem_capacity_gb=cfg.node.memory_gb
+            )
+            summaries.append(summary)
+            warehouse.add_job(cfg.name, record, cfg.node.cores,
+                              summary=summary)
+
+            nodes = record.request.nodes
+            bin0 = int(record.start_time // interval)
+            bins = bin0 + np.arange(rates.shape[0])
+            ok = bins < n_bins
+            bins, r = bins[ok], rates[ok]
+            if bins.size == 0:
+                continue
+            idle = DerivedRates.cpu_idle(r)
+            np.add.at(acc["flops_gf"], bins, r[:, _I_FLOPS] * nodes)
+            np.add.at(acc["mem_gb"], bins, r[:, _I_MEM] * nodes)
+            np.add.at(acc["idle_nodes_equiv"], bins, idle * nodes)
+            np.add.at(acc["user_nodes_equiv"], bins,
+                      r[:, RATE_INDEX["cpu_user_frac"]] * nodes)
+            np.add.at(acc["sys_nodes_equiv"], bins,
+                      r[:, RATE_INDEX["cpu_sys_frac"]] * nodes)
+            for fs in ("scratch", "work", "share"):
+                np.add.at(acc[f"io_{fs}_write_mb"], bins,
+                          r[:, RATE_INDEX[f"io_{fs}_write_mb"]] * nodes)
+            np.add.at(acc["ib_tx_mb"], bins,
+                      DerivedRates.ib_tx_mb(r) * nodes)
+            np.add.at(acc["busy_nodes"], bins, float(nodes))
+
+            if with_syslog:
+                raw_messages.extend(syslog_gen.generate_for_job(
+                    record,
+                    mem_frac_max=summary.get("mem_used_max")
+                    / cfg.node.memory_gb,
+                    scratch_write_mb=summary.get("io_scratch_write"),
+                    cpu_idle_frac=summary.get("cpu_idle"),
+                ))
+
+        # Active-node step function sampled on the bin grid.
+        tl_t = np.array([t for t, _ in sim.active_node_timeline])
+        tl_n = np.array([n for _, n in sim.active_node_timeline])
+        idx = np.clip(np.searchsorted(tl_t, bin_times, side="right") - 1,
+                      0, len(tl_n) - 1)
+        active = tl_n[idx].astype(float)
+
+        busy = acc["busy_nodes"]
+        free = np.maximum(active - busy, 0.0)
+        denom = np.maximum(active, 1.0)
+        idle_frac = np.where(
+            active > 0, (acc["idle_nodes_equiv"] + free) / denom, 1.0
+        )
+        user_frac = np.where(active > 0, acc["user_nodes_equiv"] / denom, 0.0)
+        sys_frac = np.where(active > 0, acc["sys_nodes_equiv"] / denom, 0.0)
+        # Every up node carries the OS's resident footprint; job memory
+        # adds on top (the mem collector reports the same decomposition).
+        from repro.ingest.summarize import BASE_OS_GB
+        mem_per_node = np.where(
+            active > 0, acc["mem_gb"] / denom + BASE_OS_GB, 0.0
+        )
+        ib_per_node = np.where(active > 0, acc["ib_tx_mb"] / denom, 0.0)
+
+        series = {
+            "active_nodes": active,
+            "busy_nodes": busy,
+            "flops_tf": acc["flops_gf"] / 1000.0,
+            "mem_used_gb_per_node": mem_per_node,
+            "cpu_idle_frac": idle_frac,
+            "cpu_user_frac": user_frac,
+            "cpu_sys_frac": sys_frac,
+            "io_scratch_write_mb": acc["io_scratch_write_mb"],
+            "io_work_write_mb": acc["io_work_write_mb"],
+            "io_share_write_mb": acc["io_share_write_mb"],
+            "net_ib_tx_mb": ib_per_node,
+        }
+        for name, values in series.items():
+            warehouse.add_series(cfg.name, name, bin_times, values)
+
+        if with_syslog and raw_messages:
+            raw_messages.extend(syslog_gen.generate_background(
+                cfg.num_nodes, cfg.horizon
+            ))
+            rationalizer = Rationalizer()
+            for record in sim.records:
+                for ni in record.node_indices:
+                    host = f"c{ni // 100:03d}-{ni % 100:03d}.{cfg.name}"
+                    rationalizer.add_occupancy(
+                        host, record.start_time, record.end_time,
+                        record.jobid,
+                    )
+            rationalizer.finalize()
+            messages, _unknown = rationalizer.rationalize_stream(raw_messages)
+            for msg in messages:
+                warehouse.add_syslog_event(
+                    cfg.name, msg.time, msg.host, msg.jobid,
+                    msg.kind.value, msg.severity,
+                )
+
+        warehouse.commit()
+        return FacilityRun(
+            config=cfg, warehouse=warehouse, workload=workload, sim=sim,
+            outages=outages,
+        )
+
+    # -- slow (file-format) path ---------------------------------------------------
+
+    def run_with_files(
+        self,
+        archive_dir: str,
+        warehouse: Warehouse | None = None,
+        compress: bool = True,
+        workers: int = 1,
+    ) -> FacilityRun:
+        """Slow path: daemons write the text format; ingest parses it back.
+
+        Intended for small configs (``TEST_SYSTEM``-scale): cost is
+        O(nodes × samples × collectors).  The per-node replay is
+        embarrassingly parallel — every node owns its own files and RNG
+        stream — so ``workers > 1`` fans it out over a process pool with
+        byte-identical output (asserted by tests).
+        """
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        cfg = self.config
+        workload, sim, outages, cluster = self._simulate()
+
+        replay_args = (
+            cfg, self.seed, workload.users, workload.util_scale,
+            self.phase_calibration, self.regressions, sim.records,
+        )
+        all_nodes = list(range(cfg.num_nodes))
+        if workers == 1:
+            archive_stats = _replay_nodes(
+                *replay_args, all_nodes, archive_dir, compress)
+        else:
+            import multiprocessing
+
+            chunks = [all_nodes[i::workers] for i in range(workers)]
+            with multiprocessing.Pool(workers) as pool:
+                partials = pool.map(_replay_nodes_star, [
+                    (*replay_args, chunk, archive_dir, compress)
+                    for chunk in chunks if chunk
+                ])
+            archive_stats = ArchiveStats()
+            for p in partials:
+                archive_stats.raw_bytes += p.raw_bytes
+                archive_stats.compressed_bytes += p.compressed_bytes
+                archive_stats.file_count += p.file_count
+                archive_stats.host_days += p.host_days
+        archive = HostArchive(archive_dir, compress=compress)
+
+        # Side logs.
+        acct_buf = io.StringIO()
+        acct = AccountingWriter(acct_buf, cfg.node.cores, cfg.name)
+        acct.write_all(sim.records)
+        lariat_records = [
+            lariat_record_for(r, cfg.node.cores) for r in sim.records
+        ]
+
+        syslog_gen = SyslogGenerator(self._stream("syslog"), cfg.name)
+        raw = []
+        for record in sim.records:
+            behavior = self._behavior_for(record, workload)
+            m = max(1, int(np.ceil(record.wall_seconds / cfg.sample_interval)))
+            rates = behavior.rates_matrix(m)
+            summary = summarize_job_from_rates(record, rates)
+            raw.extend(syslog_gen.generate_for_job(
+                record,
+                mem_frac_max=summary.get("mem_used_max") / cfg.node.memory_gb,
+                scratch_write_mb=summary.get("io_scratch_write"),
+                cpu_idle_frac=summary.get("cpu_idle"),
+            ))
+        rationalizer = Rationalizer()
+        for record in sim.records:
+            for ni in record.node_indices:
+                rationalizer.add_occupancy(
+                    cluster.nodes[ni].hostname, record.start_time,
+                    record.end_time, record.jobid,
+                )
+        rationalizer.finalize()
+        messages, _ = rationalizer.rationalize_stream(raw)
+
+        warehouse = warehouse or Warehouse()
+        pipeline = IngestPipeline(warehouse)
+        report = pipeline.ingest(
+            cfg,
+            accounting_text=acct_buf.getvalue(),
+            archive=archive,
+            lariat_records=lariat_records,
+            syslog=messages,
+        )
+        return FacilityRun(
+            config=cfg, warehouse=warehouse, workload=workload, sim=sim,
+            outages=outages, ingest_report=report,
+            archive_stats=archive_stats,
+        )

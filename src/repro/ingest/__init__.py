@@ -1,0 +1,33 @@
+"""Ingest/ETL: raw TACC_Stats + accounting + Lariat → data warehouse.
+
+This is the SUPReMM integration layer (paper Figure 1): match each
+accounting record to the stats streams of the nodes it ran on, reduce the
+counter data to one per-job metric summary (rollover-aware deltas for
+events, means/maxima for gauges), attribute the job to an application
+(accounting tag, falling back to Lariat's library fingerprint), and load
+everything into a relational star schema.  The paper used an IBM Netezza
+appliance plus MySQL; we substitute SQLite (see DESIGN.md).
+"""
+
+from repro.ingest.summarize import (
+    JobSummary,
+    SUMMARY_METRICS,
+    summarize_job_from_hosts,
+    summarize_job_from_rates,
+)
+from repro.ingest.matcher import MatchedJob, MatchReport, match_jobs
+from repro.ingest.warehouse import Warehouse
+from repro.ingest.pipeline import IngestPipeline, IngestReport
+
+__all__ = [
+    "JobSummary",
+    "SUMMARY_METRICS",
+    "summarize_job_from_hosts",
+    "summarize_job_from_rates",
+    "MatchedJob",
+    "MatchReport",
+    "match_jobs",
+    "Warehouse",
+    "IngestPipeline",
+    "IngestReport",
+]

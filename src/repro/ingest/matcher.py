@@ -1,0 +1,124 @@
+"""Match accounting records to per-host TACC_Stats streams.
+
+TACC_Stats is batch-job aware — samples carry job ids — so matching is by
+id, with time-window validation: a host stream claiming job J must have
+its ``%begin``/``%end`` marks inside the accounting window (± slack for
+clock skew between the scheduler master and the nodes).  Jobs shorter than
+the sampling interval are excluded, exactly as the paper's study does
+("jobs included ... are those longer than the default TACC_Stats sampling
+interval of 10 minutes", §4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.scheduler.accounting import AccountingEntry
+from repro.tacc_stats.types import HostData
+
+__all__ = ["MatchedJob", "MatchReport", "match_jobs"]
+
+#: Tolerated clock skew between scheduler and node clocks, seconds.
+CLOCK_SLACK = 90.0
+
+
+@dataclass(frozen=True)
+class MatchedJob:
+    """One accounting entry with the host streams that observed it."""
+
+    entry: AccountingEntry
+    hosts: tuple[HostData, ...]
+
+    @property
+    def jobid(self) -> str:
+        return self.entry.job_number
+
+    @property
+    def complete(self) -> bool:
+        """All granted nodes reported stats for this job."""
+        return len(self.hosts) == self.entry.granted_nodes
+
+
+@dataclass
+class MatchReport:
+    """Bookkeeping of the match pass."""
+
+    matched: list[MatchedJob] = field(default_factory=list)
+    too_short: list[str] = field(default_factory=list)
+    no_stats: list[str] = field(default_factory=list)
+    window_mismatch: list[str] = field(default_factory=list)
+    partial: list[str] = field(default_factory=list)
+
+    @property
+    def match_rate(self) -> float:
+        total = (
+            len(self.matched) + len(self.no_stats) + len(self.window_mismatch)
+        )
+        return len(self.matched) / total if total else 0.0
+
+
+def match_jobs(
+    entries: list[AccountingEntry],
+    hosts: list[HostData],
+    min_seconds: float = 600.0,
+) -> MatchReport:
+    """Join accounting to stats.
+
+    Parameters
+    ----------
+    entries:
+        Parsed accounting records.
+    hosts:
+        Parsed per-host streams (any hosts; the index is built here).
+    min_seconds:
+        Exclusion threshold (default: one sampling interval).
+    """
+    # jobid -> hosts that carry it.
+    by_job: dict[str, list[HostData]] = {}
+    for h in hosts:
+        seen: set[str] = set()
+        for m in h.marks:
+            seen.add(m.jobid)
+        for b in h.blocks:
+            seen.update(b.jobids)
+        for jid in seen:
+            by_job.setdefault(jid, []).append(h)
+
+    report = MatchReport()
+    for entry in entries:
+        jid = entry.job_number
+        if entry.wall_seconds < min_seconds:
+            report.too_short.append(jid)
+            continue
+        candidates = by_job.get(jid, [])
+        if not candidates:
+            report.no_stats.append(jid)
+            continue
+        ok: list[HostData] = []
+        window_bad = False
+        for h in candidates:
+            w = h.job_window(jid)
+            if w is None:
+                # Stream saw the job but lost a mark (crash) — usable if
+                # it has tagged blocks inside the accounting window.
+                blocks = h.blocks_for_job(jid)
+                if not blocks:
+                    continue
+                w = (blocks[0].time, blocks[-1].time)
+            begin, end = w
+            if (begin < entry.start_time - CLOCK_SLACK
+                    or end > entry.end_time + CLOCK_SLACK):
+                window_bad = True
+                continue
+            ok.append(h)
+        if not ok:
+            if window_bad:
+                report.window_mismatch.append(jid)
+            else:
+                report.no_stats.append(jid)
+            continue
+        mj = MatchedJob(entry=entry, hosts=tuple(ok))
+        if not mj.complete:
+            report.partial.append(jid)
+        report.matched.append(mj)
+    return report

@@ -1,0 +1,309 @@
+"""SQLite-backed data warehouse (Netezza/MySQL substitute).
+
+Star-ish schema:
+
+* ``systems`` — one row per cluster (capacity facts for normalization);
+* ``jobs`` — the fact table: one row per completed job with its identity
+  dimensions (user, account, science field, application, queue, exit) and
+  node-hour facts;
+* ``job_metrics`` — (jobid, metric, value) long-form per-job summaries;
+* ``system_series`` — 10-minute system-level aggregates (active nodes,
+  total FLOPS, memory per node, filesystem rates) feeding Figures 8-12
+  and the persistence analysis;
+* ``syslog_events`` — rationalized failure events for the ANCOR linkage.
+
+The query layer (:mod:`repro.xdmod.query`) builds on this; everything here
+is plain, parameterized SQL.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ingest.summarize import SUMMARY_METRICS, JobSummary
+from repro.scheduler.job import JobRecord
+
+__all__ = ["Warehouse", "JobRow"]
+
+#: Bump when the SQL layout changes incompatibly; opening a file written
+#: by a different layout fails loudly instead of misreading it.
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE systems (
+    name            TEXT PRIMARY KEY,
+    num_nodes       INTEGER NOT NULL,
+    cores_per_node  INTEGER NOT NULL,
+    mem_gb_per_node REAL NOT NULL,
+    peak_tflops     REAL NOT NULL,
+    sample_interval REAL NOT NULL
+);
+CREATE TABLE jobs (
+    system        TEXT NOT NULL REFERENCES systems(name),
+    jobid         TEXT NOT NULL,
+    user          TEXT NOT NULL,
+    account       TEXT NOT NULL,
+    science_field TEXT NOT NULL,
+    app           TEXT NOT NULL,
+    queue         TEXT NOT NULL,
+    submit_time   REAL NOT NULL,
+    start_time    REAL NOT NULL,
+    end_time      REAL NOT NULL,
+    nodes         INTEGER NOT NULL,
+    cores         INTEGER NOT NULL,
+    exit_status   TEXT NOT NULL,
+    node_hours    REAL NOT NULL,
+    PRIMARY KEY (system, jobid)
+);
+CREATE TABLE job_metrics (
+    system TEXT NOT NULL,
+    jobid  TEXT NOT NULL,
+    metric TEXT NOT NULL,
+    value  REAL NOT NULL,
+    PRIMARY KEY (system, jobid, metric),
+    FOREIGN KEY (system, jobid) REFERENCES jobs(system, jobid)
+);
+CREATE TABLE system_series (
+    system TEXT NOT NULL,
+    metric TEXT NOT NULL,
+    t      REAL NOT NULL,
+    value  REAL NOT NULL,
+    PRIMARY KEY (system, metric, t)
+);
+CREATE TABLE syslog_events (
+    system TEXT NOT NULL,
+    t      REAL NOT NULL,
+    host   TEXT NOT NULL,
+    jobid  TEXT,
+    kind   TEXT NOT NULL,
+    severity TEXT NOT NULL
+);
+CREATE INDEX idx_jobs_user ON jobs(system, user);
+CREATE INDEX idx_jobs_app ON jobs(system, app);
+CREATE INDEX idx_jobs_field ON jobs(system, science_field);
+CREATE INDEX idx_metrics_metric ON job_metrics(system, metric);
+CREATE INDEX idx_syslog_job ON syslog_events(system, jobid);
+"""
+
+
+@dataclass(frozen=True)
+class JobRow:
+    """One row of the ``jobs`` fact table."""
+
+    system: str
+    jobid: str
+    user: str
+    account: str
+    science_field: str
+    app: str
+    queue: str
+    submit_time: float
+    start_time: float
+    end_time: float
+    nodes: int
+    cores: int
+    exit_status: str
+    node_hours: float
+
+
+class Warehouse:
+    """A warehouse instance (in-memory by default, or a file path)."""
+
+    def __init__(self, path: str = ":memory:"):
+        self._conn = sqlite3.connect(path)
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        have = self._conn.execute(
+            "SELECT name FROM sqlite_master WHERE type='table' AND name='jobs'"
+        ).fetchone()
+        if not have:
+            self._conn.executescript(_SCHEMA)
+            self._conn.execute(
+                "INSERT INTO meta VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+            self._conn.commit()
+        else:
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key='schema_version'"
+            ).fetchone() if self._has_table("meta") else None
+            found = int(row[0]) if row else 0
+            if found != SCHEMA_VERSION:
+                self._conn.close()
+                raise RuntimeError(
+                    f"warehouse {path!r} has schema version {found}, this "
+                    f"code expects {SCHEMA_VERSION}; re-run repro-simulate "
+                    f"into a fresh file"
+                )
+
+    def _has_table(self, name: str) -> bool:
+        return self._conn.execute(
+            "SELECT name FROM sqlite_master WHERE type='table' AND name=?",
+            (name,),
+        ).fetchone() is not None
+
+    def close(self) -> None:
+        self._conn.close()
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """Escape hatch for custom reports (read-only use expected)."""
+        return self._conn
+
+    # -- loading ---------------------------------------------------------------
+
+    def add_system(self, name: str, num_nodes: int, cores_per_node: int,
+                   mem_gb_per_node: float, peak_tflops: float,
+                   sample_interval: float) -> None:
+        self._conn.execute(
+            "INSERT INTO systems VALUES (?,?,?,?,?,?)",
+            (name, num_nodes, cores_per_node, mem_gb_per_node, peak_tflops,
+             sample_interval),
+        )
+        self._conn.commit()
+
+    def add_job(self, system: str, record: JobRecord, cores_per_node: int,
+                summary: JobSummary | None = None,
+                app_override: str | None = None) -> None:
+        """Insert one job fact (plus its metric summary if available)."""
+        req = record.request
+        self._conn.execute(
+            "INSERT INTO jobs VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+            (
+                system, req.jobid, req.user, req.account, req.science_field,
+                app_override or req.app, req.queue, req.submit_time,
+                record.start_time, record.end_time, req.nodes,
+                req.nodes * cores_per_node, record.exit_status.value,
+                record.node_hours,
+            ),
+        )
+        if summary is not None:
+            self.add_summary(system, summary)
+
+    def add_summary(self, system: str, summary: JobSummary) -> None:
+        self._conn.executemany(
+            "INSERT INTO job_metrics VALUES (?,?,?,?)",
+            [
+                (system, summary.jobid, m, v)
+                for m, v in summary.metrics.items()
+            ],
+        )
+
+    def add_series(self, system: str, metric: str, times: np.ndarray,
+                   values: np.ndarray) -> None:
+        t = np.asarray(times, dtype=float)
+        v = np.asarray(values, dtype=float)
+        if t.shape != v.shape:
+            raise ValueError("times/values shape mismatch")
+        self._conn.executemany(
+            "INSERT INTO system_series VALUES (?,?,?,?)",
+            [(system, metric, float(a), float(b)) for a, b in zip(t, v)],
+        )
+
+    def add_syslog_event(self, system: str, t: float, host: str,
+                         jobid: str | None, kind: str, severity: str) -> None:
+        self._conn.execute(
+            "INSERT INTO syslog_events VALUES (?,?,?,?,?,?)",
+            (system, t, host, jobid, kind, severity),
+        )
+
+    def commit(self) -> None:
+        self._conn.commit()
+
+    # -- reading ----------------------------------------------------------------
+
+    def systems(self) -> list[str]:
+        rows = self._conn.execute("SELECT name FROM systems ORDER BY name")
+        return [r[0] for r in rows]
+
+    def system_info(self, system: str) -> dict:
+        row = self._conn.execute(
+            "SELECT num_nodes, cores_per_node, mem_gb_per_node, peak_tflops,"
+            " sample_interval FROM systems WHERE name=?", (system,)
+        ).fetchone()
+        if row is None:
+            raise KeyError(f"unknown system {system!r}")
+        keys = ("num_nodes", "cores_per_node", "mem_gb_per_node",
+                "peak_tflops", "sample_interval")
+        return dict(zip(keys, row))
+
+    def job_count(self, system: str) -> int:
+        return self._conn.execute(
+            "SELECT COUNT(*) FROM jobs WHERE system=?", (system,)
+        ).fetchone()[0]
+
+    def job_table(self, system: str,
+                  metrics: tuple[str, ...] = SUMMARY_METRICS) -> dict[str, np.ndarray]:
+        """The joined job+metrics table as column arrays.
+
+        Jobs missing any requested metric are excluded (the paper's
+        analyses operate on fully summarized jobs); object columns come
+        back as numpy object arrays, numeric as float arrays.
+        """
+        cols = ["jobid", "user", "account", "science_field", "app", "queue",
+                "submit_time", "start_time", "end_time", "nodes", "cores",
+                "exit_status", "node_hours"]
+        metric_selects = ", ".join(
+            f"(SELECT value FROM job_metrics m WHERE m.system=j.system AND "
+            f"m.jobid=j.jobid AND m.metric='{m}') AS {m}"
+            for m in metrics
+        )
+        for m in metrics:
+            if m not in SUMMARY_METRICS:
+                raise ValueError(f"unknown metric {m!r}")
+        sql = (
+            f"SELECT {', '.join(cols)}"
+            + (f", {metric_selects}" if metrics else "")
+            + " FROM jobs j WHERE system=? ORDER BY jobid"
+        )
+        rows = self._conn.execute(sql, (system,)).fetchall()
+        all_cols = cols + list(metrics)
+        out: dict[str, np.ndarray] = {}
+        data = list(zip(*rows)) if rows else [[] for _ in all_cols]
+        for name, values in zip(all_cols, data):
+            if name in ("jobid", "user", "account", "science_field", "app",
+                        "queue", "exit_status"):
+                out[name] = np.array(values, dtype=object)
+            else:
+                out[name] = np.array(
+                    [np.nan if v is None else v for v in values], dtype=float
+                )
+        if metrics:
+            keep = np.ones(len(rows), dtype=bool)
+            for m in metrics:
+                keep &= ~np.isnan(out[m])
+            for name in all_cols:
+                out[name] = out[name][keep]
+        return out
+
+    def series(self, system: str, metric: str) -> tuple[np.ndarray, np.ndarray]:
+        rows = self._conn.execute(
+            "SELECT t, value FROM system_series WHERE system=? AND metric=?"
+            " ORDER BY t", (system, metric)
+        ).fetchall()
+        if not rows:
+            raise KeyError(f"no series {metric!r} for system {system!r}")
+        t, v = zip(*rows)
+        return np.asarray(t), np.asarray(v)
+
+    def series_metrics(self, system: str) -> list[str]:
+        rows = self._conn.execute(
+            "SELECT DISTINCT metric FROM system_series WHERE system=?"
+            " ORDER BY metric", (system,)
+        )
+        return [r[0] for r in rows]
+
+    def syslog_events(self, system: str, jobid: str | None = None) -> list[tuple]:
+        if jobid is None:
+            sql = ("SELECT t, host, jobid, kind, severity FROM syslog_events"
+                   " WHERE system=? ORDER BY t")
+            return self._conn.execute(sql, (system,)).fetchall()
+        sql = ("SELECT t, host, jobid, kind, severity FROM syslog_events"
+               " WHERE system=? AND jobid=? ORDER BY t")
+        return self._conn.execute(sql, (system, jobid)).fetchall()

@@ -1,0 +1,13 @@
+"""Lariat reproduction: per-job execution summaries.
+
+The real Lariat wraps ``ibrun``/job launch and records what actually ran:
+the executable, the shared libraries it linked, the MPI launch geometry,
+and the runtime environment.  SUPReMM uses it to attribute jobs to
+applications; our ingest pipeline does the same (and the tests corrupt
+the app tag to prove attribution falls back to Lariat data).
+"""
+
+from repro.lariat.records import LariatRecord, lariat_record_for
+from repro.lariat.logger import LariatLog, parse_lariat_log
+
+__all__ = ["LariatRecord", "lariat_record_for", "LariatLog", "parse_lariat_log"]

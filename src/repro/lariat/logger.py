@@ -1,0 +1,36 @@
+"""Lariat log: one JSON record per line, one file per system."""
+
+from __future__ import annotations
+
+import io
+from typing import Iterator, TextIO
+
+from repro.lariat.records import LariatRecord
+
+__all__ = ["LariatLog", "parse_lariat_log"]
+
+
+class LariatLog:
+    """Streams Lariat records to a text sink."""
+
+    def __init__(self, sink: TextIO):
+        self._sink = sink
+        self.records_written = 0
+
+    def write(self, record: LariatRecord) -> None:
+        self._sink.write(record.to_json())
+        self._sink.write("\n")
+        self.records_written += 1
+
+
+def parse_lariat_log(source: TextIO | str) -> Iterator[LariatRecord]:
+    """Parse a Lariat log; malformed lines raise ValueError with position."""
+    handle = io.StringIO(source) if isinstance(source, str) else source
+    for lineno, raw in enumerate(handle, 1):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            yield LariatRecord.from_json(line)
+        except (ValueError, KeyError, TypeError) as e:
+            raise ValueError(f"lariat log line {lineno}: {e}") from e

@@ -1,0 +1,98 @@
+"""Lariat job-summary records."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, asdict
+
+from repro.scheduler.job import JobRecord
+from repro.workload.applications import APP_CATALOG
+
+__all__ = ["LariatRecord", "lariat_record_for"]
+
+
+@dataclass(frozen=True)
+class LariatRecord:
+    """What Lariat learned about one job's execution.
+
+    Attributes
+    ----------
+    jobid, user:
+        Identity, joined against accounting at ingest.
+    executable:
+        Path of the binary that ran.
+    libraries:
+        Shared objects the binary linked (the application fingerprint).
+    num_ranks, ranks_per_node:
+        MPI launch geometry — an undersubscribed launch (1 rank on a
+        16-core node) is exactly the Figure 4/5 pathology, visible here
+        before any counter is read.
+    threads_per_rank:
+        OMP_NUM_THREADS at launch.
+    work_dir:
+        Job working directory (identifies the filesystem in use).
+    """
+
+    jobid: str
+    user: str
+    executable: str
+    libraries: tuple[str, ...]
+    num_ranks: int
+    ranks_per_node: int
+    threads_per_rank: int
+    work_dir: str
+
+    def __post_init__(self):
+        if self.num_ranks < 1 or self.ranks_per_node < 1:
+            raise ValueError(f"job {self.jobid}: bad launch geometry")
+
+    def to_json(self) -> str:
+        d = asdict(self)
+        d["libraries"] = list(self.libraries)
+        return json.dumps(d, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "LariatRecord":
+        d = json.loads(text)
+        d["libraries"] = tuple(d["libraries"])
+        return cls(**d)
+
+    def guess_app(self) -> str | None:
+        """Attribute the job to a catalog application.
+
+        Matches the executable basename first, then the library
+        fingerprint (most-specific app whose libraries are a subset).
+        """
+        exe = self.executable.rsplit("/", 1)[-1].lower()
+        for name in APP_CATALOG:
+            if name in exe:
+                return name
+        libs = set(self.libraries)
+        best: tuple[int, str] | None = None
+        for name, app in APP_CATALOG.items():
+            sig = set(app.libraries)
+            if sig and sig <= libs:
+                if best is None or len(sig) > best[0]:
+                    best = (len(sig), name)
+        return best[1] if best else None
+
+
+def lariat_record_for(record: JobRecord, cores_per_node: int) -> LariatRecord:
+    """Synthesize the Lariat record a real launch would have produced."""
+    req = record.request
+    app = APP_CATALOG.get(req.app)
+    libs = app.libraries if app else ()
+    if req.app in ("serial_farm", "matlab"):
+        ranks_per_node = 1
+    else:
+        ranks_per_node = cores_per_node
+    return LariatRecord(
+        jobid=req.jobid,
+        user=req.user,
+        executable=f"/home1/{req.user}/bin/{req.app}.x",
+        libraries=tuple(libs),
+        num_ranks=req.nodes * ranks_per_node,
+        ranks_per_node=ranks_per_node,
+        threads_per_rank=1,
+        work_dir=f"/scratch/{req.user}/{req.jobid}",
+    )

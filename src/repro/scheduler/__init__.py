@@ -1,0 +1,30 @@
+"""Batch scheduler substrate.
+
+A discrete-event scheduler (FCFS or EASY backfill) drives jobs through a
+:class:`repro.cluster.Cluster`, producing the two artifacts the paper's
+pipeline ingests: completed job records (→ SGE-style accounting log) and the
+node-occupancy intervals that the TACC_Stats daemons sample.
+"""
+
+from repro.scheduler.job import ExitStatus, JobRequest, JobRecord
+from repro.scheduler.queue import WaitQueue
+from repro.scheduler.policies import FCFSPolicy, EasyBackfillPolicy, SchedulingPolicy
+from repro.scheduler.engine import SchedulerEngine, SimulationResult
+from repro.scheduler.accounting import AccountingWriter, parse_accounting
+from repro.scheduler.events import SchedulerEventLog, parse_event_log
+
+__all__ = [
+    "ExitStatus",
+    "JobRequest",
+    "JobRecord",
+    "WaitQueue",
+    "SchedulingPolicy",
+    "FCFSPolicy",
+    "EasyBackfillPolicy",
+    "SchedulerEngine",
+    "SimulationResult",
+    "AccountingWriter",
+    "parse_accounting",
+    "SchedulerEventLog",
+    "parse_event_log",
+]

@@ -1,0 +1,164 @@
+"""Job request and completed-job record types.
+
+A :class:`JobRequest` is what the workload generator emits; a
+:class:`JobRecord` is what the scheduler produces when the job leaves the
+system and is the unit of everything downstream (accounting, stats matching,
+warehouse facts).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["ExitStatus", "JobRequest", "JobRecord"]
+
+
+class ExitStatus(enum.Enum):
+    """How a job left the system (accounting `failed`/`exit_status` fields)."""
+
+    COMPLETED = "completed"
+    FAILED = "failed"          # application error / nonzero exit
+    TIMEOUT = "timeout"        # hit requested walltime, killed by scheduler
+    CANCELLED = "cancelled"    # user/operator qdel (incl. end-of-horizon drain)
+    NODE_FAIL = "node_fail"    # lost a node to an outage
+
+    @property
+    def accounting_code(self) -> tuple[int, int]:
+        """(failed, exit_status) pair as GridEngine accounting encodes them."""
+        return {
+            ExitStatus.COMPLETED: (0, 0),
+            ExitStatus.FAILED: (0, 1),
+            ExitStatus.TIMEOUT: (100, 137),
+            ExitStatus.CANCELLED: (100, 143),
+            ExitStatus.NODE_FAIL: (26, 139),
+        }[self]
+
+    @classmethod
+    def from_accounting_code(cls, failed: int, exit_status: int) -> "ExitStatus":
+        for status in cls:
+            if status.accounting_code == (failed, exit_status):
+                return status
+        # Unknown combination: anything with failed != 0 is a failure class.
+        return cls.FAILED if failed or exit_status else cls.COMPLETED
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A job as submitted.
+
+    Attributes
+    ----------
+    jobid:
+        Unique id (stringified sequence number, SGE style).
+    user, account, science_field, app:
+        Identity used by the analytics group-bys.  ``app`` is the
+        application archetype name (what Lariat would identify from the
+        executable/libraries).
+    queue:
+        Submission queue (``"normal"``, ``"development"``, ...).
+    submit_time:
+        Facility epoch seconds.
+    nodes:
+        Requested node count (node-exclusive scheduling).
+    walltime_req:
+        Requested wall limit in seconds.
+    runtime:
+        Intrinsic runtime in seconds if neither the limit nor a failure
+        intervenes (not visible to the scheduler — only its outcome is).
+    fail_after:
+        If not None, the application aborts this many seconds in.
+    behavior_seed:
+        Seed for this job's metric behaviour (collectors and the fast
+        synthesis path must agree, so the seed travels with the job).
+    """
+
+    jobid: str
+    user: str
+    account: str
+    science_field: str
+    app: str
+    queue: str
+    submit_time: float
+    nodes: int
+    walltime_req: float
+    runtime: float
+    fail_after: float | None = None
+    behavior_seed: int = 0
+
+    def __post_init__(self):
+        if self.nodes <= 0:
+            raise ValueError(f"job {self.jobid}: nodes must be positive")
+        if self.walltime_req <= 0 or self.runtime <= 0:
+            raise ValueError(f"job {self.jobid}: times must be positive")
+        if self.fail_after is not None and self.fail_after <= 0:
+            raise ValueError(f"job {self.jobid}: fail_after must be positive")
+
+    @property
+    def effective_runtime(self) -> float:
+        """Seconds the job will actually occupy nodes (barring outages)."""
+        t = min(self.runtime, self.walltime_req)
+        if self.fail_after is not None:
+            t = min(t, self.fail_after)
+        return t
+
+    def natural_exit(self) -> ExitStatus:
+        """Exit status if no outage interrupts the job."""
+        if self.fail_after is not None and self.fail_after < min(
+            self.runtime, self.walltime_req
+        ):
+            return ExitStatus.FAILED
+        if self.runtime > self.walltime_req:
+            return ExitStatus.TIMEOUT
+        return ExitStatus.COMPLETED
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """A job as it left the system."""
+
+    request: JobRequest
+    start_time: float
+    end_time: float
+    node_indices: tuple[int, ...]
+    exit_status: ExitStatus
+
+    def __post_init__(self):
+        if self.end_time < self.start_time:
+            raise ValueError(f"job {self.jobid}: ends before it starts")
+        if len(self.node_indices) != self.request.nodes:
+            raise ValueError(
+                f"job {self.jobid}: {len(self.node_indices)} nodes granted, "
+                f"{self.request.nodes} requested"
+            )
+
+    # Delegate identity to the request for ergonomic access.
+    @property
+    def jobid(self) -> str:
+        return self.request.jobid
+
+    @property
+    def user(self) -> str:
+        return self.request.user
+
+    @property
+    def app(self) -> str:
+        return self.request.app
+
+    @property
+    def science_field(self) -> str:
+        return self.request.science_field
+
+    @property
+    def wait_time(self) -> float:
+        """Queue wait in seconds."""
+        return self.start_time - self.request.submit_time
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def node_hours(self) -> float:
+        """Node-hours consumed — the paper's universal weight."""
+        return self.request.nodes * self.wall_seconds / 3600.0

@@ -1,0 +1,69 @@
+"""Wait queue with stable FIFO-by-submit ordering.
+
+Both policies consume the queue in priority order; EASY backfill needs to
+scan past the head, so the queue exposes an ordered view plus O(1)-amortized
+removal by job id.
+"""
+
+from __future__ import annotations
+
+from repro.scheduler.job import JobRequest
+
+__all__ = ["WaitQueue"]
+
+
+class WaitQueue:
+    """FIFO queue of pending :class:`JobRequest` objects.
+
+    Ordering is (submit_time, jobid-sequence) which is how an SGE/SLURM
+    priority queue behaves with equal priorities.  Removal by id is lazy:
+    removed entries are tombstoned and skipped on iteration, keeping both
+    push and remove cheap at simulation scale.
+    """
+
+    def __init__(self):
+        self._items: list[JobRequest] = []
+        self._dead: set[str] = set()
+        self._live_count = 0
+
+    def push(self, request: JobRequest) -> None:
+        """Enqueue a request (must arrive in submit-time order)."""
+        if self._items and request.submit_time < self._items[-1].submit_time:
+            raise ValueError(
+                f"out-of-order submit: {request.jobid} at {request.submit_time} "
+                f"after {self._items[-1].jobid} at {self._items[-1].submit_time}"
+            )
+        self._items.append(request)
+        self._live_count += 1
+
+    def remove(self, jobid: str) -> None:
+        """Remove a pending request by id (e.g. when it starts)."""
+        if jobid in self._dead:
+            raise KeyError(f"job {jobid} already removed")
+        self._dead.add(jobid)
+        self._live_count -= 1
+        # Compact when tombstones dominate to bound memory.
+        if len(self._dead) > 64 and len(self._dead) > self._live_count:
+            self._items = [r for r in self._items if r.jobid not in self._dead]
+            self._dead.clear()
+
+    def __len__(self) -> int:
+        return self._live_count
+
+    def __bool__(self) -> bool:
+        return self._live_count > 0
+
+    def __iter__(self):
+        """Iterate live requests in priority order."""
+        for r in self._items:
+            if r.jobid not in self._dead:
+                yield r
+
+    def head(self) -> JobRequest | None:
+        """Highest-priority pending request, or None."""
+        for r in self:
+            return r
+        return None
+
+    def as_list(self) -> list[JobRequest]:
+        return list(self)

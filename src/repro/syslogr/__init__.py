@@ -1,0 +1,33 @@
+"""Rationalized syslog (paper §1.3, [27]).
+
+The stock Linux software stack emits "diverse message types ... in many
+different formats"; TACC's rationalized syslog maps them all into one
+uniform format and — the key addition — tags every message with the batch
+job id of the job running on the emitting node.  This package provides:
+
+* a catalog of the raw message shapes different subsystems emit
+  (kernel OOM killer, Lustre client timeouts, MCE, soft lockups, ...),
+* the rationalizer that parses those raw shapes into uniform records and
+  attaches job ids from node occupancy,
+* a failure-event generator driven by the simulated jobs' behaviour (jobs
+  near memory capacity OOM; I/O-saturating jobs trip Lustre timeouts),
+  which is what the ANCOR-style anomaly linkage consumes.
+"""
+
+from repro.syslogr.catalog import MessageKind, RawMessage, MESSAGE_CATALOG
+from repro.syslogr.rationalizer import (
+    RationalizedMessage,
+    Rationalizer,
+    parse_rationalized_log,
+)
+from repro.syslogr.generator import SyslogGenerator
+
+__all__ = [
+    "MessageKind",
+    "RawMessage",
+    "MESSAGE_CATALOG",
+    "RationalizedMessage",
+    "Rationalizer",
+    "parse_rationalized_log",
+    "SyslogGenerator",
+]

@@ -1,0 +1,177 @@
+"""Catalog of raw syslog message shapes.
+
+Each subsystem on a RHEL5-era HPC node logs in its own format; this module
+enumerates the shapes the rationalizer must understand, with templates to
+*render* a raw line (for the generator) and regexes to *recognize* one
+(for the rationalizer).  The catalog is intentionally the single source of
+truth — tests iterate it to prove render→recognize is lossless.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+__all__ = ["MessageKind", "RawMessage", "MESSAGE_CATALOG", "CatalogEntry"]
+
+
+class MessageKind(enum.Enum):
+    """Uniform categories after rationalization."""
+
+    OOM_KILL = "oom_kill"
+    LUSTRE_TIMEOUT = "lustre_timeout"
+    LUSTRE_EVICTION = "lustre_eviction"
+    SOFT_LOCKUP = "soft_lockup"
+    MCE = "mce"
+    IB_LINK_DOWN = "ib_link_down"
+    NFS_STALE = "nfs_stale"
+    SEGFAULT = "segfault"
+    JOB_PROLOG = "job_prolog"
+    JOB_EPILOG = "job_epilog"
+
+    @property
+    def severity(self) -> str:
+        return {
+            MessageKind.OOM_KILL: "err",
+            MessageKind.LUSTRE_TIMEOUT: "warn",
+            MessageKind.LUSTRE_EVICTION: "err",
+            MessageKind.SOFT_LOCKUP: "err",
+            MessageKind.MCE: "crit",
+            MessageKind.IB_LINK_DOWN: "err",
+            MessageKind.NFS_STALE: "warn",
+            MessageKind.SEGFAULT: "warn",
+            MessageKind.JOB_PROLOG: "info",
+            MessageKind.JOB_EPILOG: "info",
+        }[self]
+
+    @property
+    def is_failure(self) -> bool:
+        """Whether this category indicates a fault (ANCOR linkage target)."""
+        return self.severity in ("err", "crit")
+
+
+@dataclass(frozen=True)
+class RawMessage:
+    """One raw syslog line before rationalization."""
+
+    time: float
+    host: str
+    facility: str
+    text: str
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """Template/recognizer pair for one message kind."""
+
+    kind: MessageKind
+    facility: str
+    template: str  # .format(**params)
+    pattern: re.Pattern
+
+    def render(self, **params) -> str:
+        return self.template.format(**params)
+
+    def match(self, text: str) -> dict[str, str] | None:
+        m = self.pattern.match(text)
+        return m.groupdict() if m else None
+
+
+MESSAGE_CATALOG: dict[MessageKind, CatalogEntry] = {
+    e.kind: e
+    for e in [
+        CatalogEntry(
+            MessageKind.OOM_KILL,
+            "kernel",
+            "Out of memory: Killed process {pid} ({comm}) "
+            "total-vm:{vm_kb}kB, anon-rss:{rss_kb}kB",
+            re.compile(
+                r"Out of memory: Killed process (?P<pid>\d+) \((?P<comm>[^)]+)\) "
+                r"total-vm:(?P<vm_kb>\d+)kB, anon-rss:(?P<rss_kb>\d+)kB"
+            ),
+        ),
+        CatalogEntry(
+            MessageKind.LUSTRE_TIMEOUT,
+            "kernel",
+            "LustreError: {rpc}:{target}: Request sent has timed out "
+            "for slow reply: [sent {sent}] req@{addr}",
+            re.compile(
+                r"LustreError: (?P<rpc>\d+):(?P<target>[\w-]+): Request sent has "
+                r"timed out for slow reply: \[sent (?P<sent>\d+)\] req@(?P<addr>\w+)"
+            ),
+        ),
+        CatalogEntry(
+            MessageKind.LUSTRE_EVICTION,
+            "kernel",
+            "LustreError: {target}: This client was evicted by {server}; "
+            "in progress operations using this service will fail.",
+            re.compile(
+                r"LustreError: (?P<target>[\w-]+): This client was evicted by "
+                r"(?P<server>[\w-]+); in progress operations using this "
+                r"service will fail\."
+            ),
+        ),
+        CatalogEntry(
+            MessageKind.SOFT_LOCKUP,
+            "kernel",
+            "BUG: soft lockup - CPU#{cpu} stuck for {secs}s! [{comm}:{pid}]",
+            re.compile(
+                r"BUG: soft lockup - CPU#(?P<cpu>\d+) stuck for (?P<secs>\d+)s! "
+                r"\[(?P<comm>[^:]+):(?P<pid>\d+)\]"
+            ),
+        ),
+        CatalogEntry(
+            MessageKind.MCE,
+            "kernel",
+            "MCE: CPU {cpu}: Machine Check Exception: {bank} Bank {nbank}: "
+            "{status}",
+            re.compile(
+                r"MCE: CPU (?P<cpu>\d+): Machine Check Exception: "
+                r"(?P<bank>\w+) Bank (?P<nbank>\d+): (?P<status>\w+)"
+            ),
+        ),
+        CatalogEntry(
+            MessageKind.IB_LINK_DOWN,
+            "kernel",
+            "ib0: link down (port {port}, state {state})",
+            re.compile(
+                r"ib0: link down \(port (?P<port>\d+), state (?P<state>\w+)\)"
+            ),
+        ),
+        CatalogEntry(
+            MessageKind.NFS_STALE,
+            "kernel",
+            "NFS: Stale file handle on mount {mount} (dev {dev})",
+            re.compile(
+                r"NFS: Stale file handle on mount (?P<mount>[\w/]+) "
+                r"\(dev (?P<dev>[\w:]+)\)"
+            ),
+        ),
+        CatalogEntry(
+            MessageKind.SEGFAULT,
+            "kernel",
+            "{comm}[{pid}]: segfault at {addr} ip {ip} sp {sp} error {err}",
+            re.compile(
+                r"(?P<comm>[\w.]+)\[(?P<pid>\d+)\]: segfault at (?P<addr>\w+) "
+                r"ip (?P<ip>\w+) sp (?P<sp>\w+) error (?P<err>\d+)"
+            ),
+        ),
+        CatalogEntry(
+            MessageKind.JOB_PROLOG,
+            "sge",
+            "prolog: starting job {jobid} for user {user}",
+            re.compile(
+                r"prolog: starting job (?P<jobid>\d+) for user (?P<user>\w+)"
+            ),
+        ),
+        CatalogEntry(
+            MessageKind.JOB_EPILOG,
+            "sge",
+            "epilog: finished job {jobid} status {status}",
+            re.compile(
+                r"epilog: finished job (?P<jobid>\d+) status (?P<status>\w+)"
+            ),
+        ),
+    ]
+}

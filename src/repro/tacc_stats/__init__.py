@@ -1,0 +1,33 @@
+"""TACC_Stats reproduction: job-aware, per-node resource measurement.
+
+The collector suite mirrors the original tool (paper §3): one "binary"
+(:class:`TaccStatsDaemon`) runs on every node at job begin, every ten
+minutes, and at job end; it samples per-core CPU, per-socket memory and
+NUMA, VM activity, network/block devices, InfiniBand, Lustre (per mount),
+Lustre networking, process stats, SysV IPC, IRQs, ram-backed filesystems,
+dentry/file/inode caches, and architecture-specific hardware performance
+counters, and serializes everything in a unified, self-describing
+plain-text format tagged with batch job ids.
+"""
+
+from repro.tacc_stats.schema import SchemaEntry, TypeSchema
+from repro.tacc_stats.types import HostData, TimestampBlock, Mark
+from repro.tacc_stats.format import StatsWriter
+from repro.tacc_stats.parser import parse_host_text, ParseError
+from repro.tacc_stats.daemon import TaccStatsDaemon, SampleContext
+from repro.tacc_stats.archive import HostArchive, ArchiveStats
+
+__all__ = [
+    "SchemaEntry",
+    "TypeSchema",
+    "HostData",
+    "TimestampBlock",
+    "Mark",
+    "StatsWriter",
+    "parse_host_text",
+    "ParseError",
+    "TaccStatsDaemon",
+    "SampleContext",
+    "HostArchive",
+    "ArchiveStats",
+]

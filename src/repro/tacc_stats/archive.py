@@ -1,0 +1,157 @@
+"""On-disk archive of per-host stats files with daily rotation.
+
+Layout mirrors the production deployment::
+
+    <root>/<hostname>/<YYYY-MM-DD>        (current, plain text)
+    <root>/<hostname>/<YYYY-MM-DD>.gz     (rotated, compressed)
+
+The archive tracks raw and compressed byte counts so the paper's volume
+claims (0.5 MB/node/day raw, ~3x gzip) can be measured directly
+(``bench_data_volume``).
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.tacc_stats.format import StatsWriter
+from repro.tacc_stats.parser import parse_host_text
+from repro.tacc_stats.types import HostData
+from repro.util.timeutil import DAY, format_epoch
+
+__all__ = ["HostArchive", "ArchiveStats"]
+
+
+@dataclass
+class ArchiveStats:
+    """Volume accounting for one archive."""
+
+    raw_bytes: int = 0
+    compressed_bytes: int = 0
+    file_count: int = 0
+    host_days: int = 0
+
+    @property
+    def bytes_per_host_day(self) -> float:
+        """Raw bytes per node per day — the paper's 0.5 MB figure."""
+        if self.host_days == 0:
+            return 0.0
+        return self.raw_bytes / self.host_days
+
+    @property
+    def compression_ratio(self) -> float:
+        if self.compressed_bytes == 0:
+            return 0.0
+        return self.raw_bytes / self.compressed_bytes
+
+
+class _OpenFile:
+    def __init__(self, path: Path, writer: StatsWriter, buffer: io.StringIO):
+        self.path = path
+        self.writer = writer
+        self.buffer = buffer
+
+
+class HostArchive:
+    """Rotating per-host file store.
+
+    Parameters
+    ----------
+    root:
+        Directory to write under (created if missing).
+    compress:
+        gzip files at rotation/close time.
+    """
+
+    def __init__(self, root: str | Path, compress: bool = True):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.compress = compress
+        self._open: dict[str, tuple[int, _OpenFile]] = {}
+        self.stats = ArchiveStats()
+
+    # -- writing ---------------------------------------------------------------
+
+    def writer(self, hostname: str, t: float,
+               properties: dict[str, str] | None = None) -> StatsWriter:
+        """The current writer for *hostname*, rotating at day boundaries.
+
+        Note: rotation starts a fresh file with its own header, so the
+        caller (the daemon) must re-register schemas on each new writer —
+        exactly what the real tool does on its daily restart.
+        """
+        day = int(t // DAY)
+        current = self._open.get(hostname)
+        if current is not None and current[0] == day:
+            return current[1].writer
+        if current is not None:
+            self._close_file(hostname, current[1])
+        date = format_epoch(day * DAY).split("T")[0]
+        hostdir = self.root / hostname
+        hostdir.mkdir(parents=True, exist_ok=True)
+        path = hostdir / date
+        buffer = io.StringIO()
+        writer = StatsWriter(buffer, hostname, properties or {})
+        of = _OpenFile(path, writer, buffer)
+        self._open[hostname] = (day, of)
+        return writer
+
+    def _close_file(self, hostname: str, of: _OpenFile) -> None:
+        text = of.buffer.getvalue()
+        raw = text.encode("utf-8")
+        self.stats.raw_bytes += len(raw)
+        self.stats.file_count += 1
+        self.stats.host_days += 1
+        if self.compress:
+            path = of.path.with_suffix(of.path.suffix + ".gz")
+            data = gzip.compress(raw, compresslevel=6)
+            path.write_bytes(data)
+            self.stats.compressed_bytes += len(data)
+        else:
+            of.path.write_text(text)
+            self.stats.compressed_bytes += len(raw)
+
+    def close(self) -> ArchiveStats:
+        """Flush all open files; returns the final volume accounting."""
+        for hostname, (_, of) in sorted(self._open.items()):
+            self._close_file(hostname, of)
+        self._open.clear()
+        return self.stats
+
+    # -- reading ---------------------------------------------------------------
+
+    def host_files(self, hostname: str) -> list[Path]:
+        """All archived files for a host, in date order."""
+        hostdir = self.root / hostname
+        if not hostdir.is_dir():
+            return []
+        return sorted(hostdir.iterdir())
+
+    def hostnames(self) -> list[str]:
+        return sorted(p.name for p in self.root.iterdir() if p.is_dir())
+
+    @staticmethod
+    def read_file(path: Path) -> str:
+        if path.suffix == ".gz":
+            return gzip.decompress(path.read_bytes()).decode("utf-8")
+        return path.read_text()
+
+    def read_host(self, hostname: str,
+                  allow_truncated: bool = False) -> HostData:
+        """Parse and merge all of a host's files into one stream."""
+        files = self.host_files(hostname)
+        if not files:
+            raise FileNotFoundError(f"no archived files for {hostname}")
+        merged: HostData | None = None
+        for path in files:
+            data = parse_host_text(self.read_file(path),
+                                   allow_truncated=allow_truncated)
+            if merged is None:
+                merged = data
+            else:
+                merged.merge_from(data)
+        assert merged is not None
+        return merged

@@ -1,0 +1,161 @@
+"""Collector base class and shared accumulation machinery.
+
+A collector owns one record type.  It keeps cumulative per-device
+accumulators (floats internally, rendered as integers modulo the schema's
+counter width — exactly the rollover behaviour of the real registers) and
+converts the node's current *rates* into counter increments over ``dt``.
+
+When no job runs on the node, collectors see ``rates=None`` and account
+only background OS activity, so idle-node samples look like real idle
+nodes rather than flat zeros.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.node import Node
+from repro.tacc_stats.schema import TypeSchema
+from repro.workload.applications import RATE_INDEX
+
+__all__ = ["SampleContext", "Collector", "core_fractions"]
+
+
+@dataclass(frozen=True)
+class SampleContext:
+    """What a collector sees at one invocation.
+
+    Attributes
+    ----------
+    time:
+        Facility epoch seconds.
+    dt:
+        Seconds since the previous invocation on this node (0 at the
+        first sample after daemon start).
+    rates:
+        Node-level rate vector (``repro.workload.RATE_FIELDS`` order), or
+        None when the node is idle.
+    jobids:
+        Jobs currently on the node.
+    """
+
+    time: float
+    dt: float
+    rates: np.ndarray | None
+    jobids: tuple[str, ...] = ()
+
+    def rate(self, name: str, default: float = 0.0) -> float:
+        """Look up one named rate, with a default for idle nodes."""
+        if self.rates is None:
+            return default
+        return float(self.rates[RATE_INDEX[name]])
+
+
+class Collector(ABC):
+    """Base class: accumulate event counters, emit schema-conformant rows."""
+
+    #: Relative per-sample measurement jitter applied to rate-driven
+    #: increments (real counters are exact, but the *rates* we derive from
+    #: them never are; keeping this small lets the fast path agree with the
+    #: collected data within test tolerances).
+    NOISE_SIGMA = 0.015
+
+    def __init__(self, node: Node, rng: np.random.Generator):
+        self.node = node
+        self.rng = rng
+        self._schema = self.build_schema()
+        self._devices = self.build_devices()
+        if not self._devices:
+            raise ValueError(f"{self.type_name}: no devices")
+        # accumulators[device] -> float vector in schema order.
+        self._acc: dict[str, np.ndarray] = {
+            d: np.zeros(self._schema.n_values) for d in self._devices
+        }
+
+    # -- to be provided by subclasses ---------------------------------------
+
+    @property
+    @abstractmethod
+    def type_name(self) -> str:
+        """Record type name (schema line / data row prefix)."""
+
+    @abstractmethod
+    def build_schema(self) -> TypeSchema:
+        """Construct this collector's schema."""
+
+    @abstractmethod
+    def build_devices(self) -> tuple[str, ...]:
+        """Enumerate device names on this node."""
+
+    @abstractmethod
+    def advance(self, ctx: SampleContext) -> None:
+        """Update accumulators / gauge values for this invocation."""
+
+    # -- common machinery ----------------------------------------------------
+
+    @property
+    def schema(self) -> TypeSchema:
+        return self._schema
+
+    @property
+    def devices(self) -> tuple[str, ...]:
+        return self._devices
+
+    def on_job_begin(self, jobid: str, time: float) -> None:
+        """Hook at job start (PMC collectors reprogram counters here)."""
+
+    def on_job_end(self, jobid: str, time: float) -> None:
+        """Hook at job end."""
+
+    def sample(self, ctx: SampleContext):
+        """Advance state and yield ``(device, uint64 values)`` rows."""
+        if ctx.dt < 0:
+            raise ValueError("negative dt")
+        self.advance(ctx)
+        widths = [e.modulus for e in self._schema.entries]
+        for device in self._devices:
+            acc = self._acc[device]
+            out = np.empty(len(acc), dtype=np.uint64)
+            for i, (v, mod) in enumerate(zip(acc, widths)):
+                out[i] = int(v) % mod
+            yield device, out
+
+    def bump(self, device: str, key: str, amount: float) -> None:
+        """Add to an event accumulator (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(
+                f"{self.type_name}/{device}/{key}: negative increment"
+            )
+        self._acc[device][self._schema.index_of(key)] += amount
+
+    def set_gauge(self, device: str, key: str, value: float) -> None:
+        """Set a gauge value (clamped at zero)."""
+        self._acc[device][self._schema.index_of(key)] = max(value, 0.0)
+
+    def noisy(self, amount: float) -> float:
+        """Apply the per-sample measurement jitter to an increment."""
+        if amount <= 0:
+            return 0.0
+        return amount * float(self.rng.lognormal(0.0, self.NOISE_SIGMA))
+
+
+def core_fractions(node_fraction: float, n_cores: int) -> np.ndarray:
+    """Distribute a node-level busy fraction across cores, fill-first.
+
+    A job at 25 % node utilization on 16 cores shows up as 4 busy cores
+    and 12 idle ones — which is what ``/proc/stat`` actually looks like for
+    undersubscribed jobs, and what makes per-core resolution (the paper's
+    key advance over sar) informative.
+    """
+    if not 0.0 <= node_fraction <= 1.0:
+        node_fraction = float(np.clip(node_fraction, 0.0, 1.0))
+    total = node_fraction * n_cores
+    out = np.zeros(n_cores)
+    full = int(total)
+    out[:full] = 1.0
+    if full < n_cores:
+        out[full] = total - full
+    return out

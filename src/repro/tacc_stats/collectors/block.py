@@ -1,0 +1,48 @@
+"""``block`` collector: local block-device statistics per disk (as from
+``/proc/diskstats``), sector counts (512 B sectors)."""
+
+from __future__ import annotations
+
+from repro.tacc_stats.collectors.base import Collector, SampleContext
+from repro.tacc_stats.schema import SchemaEntry, TypeSchema
+
+__all__ = ["BlockCollector"]
+
+_SECTOR = 512.0
+_IO_BYTES = 64 * 1024.0
+
+
+class BlockCollector(Collector):
+    """rd_sectors / wr_sectors / rd_ios / wr_ios per local disk."""
+
+    @property
+    def type_name(self) -> str:
+        return "block"
+
+    def build_schema(self) -> TypeSchema:
+        return TypeSchema(
+            "block",
+            (
+                SchemaEntry("rd_sectors", is_event=True, unit="512B"),
+                SchemaEntry("wr_sectors", is_event=True, unit="512B"),
+                SchemaEntry("rd_ios", is_event=True),
+                SchemaEntry("wr_ios", is_event=True),
+            ),
+        )
+
+    def build_devices(self) -> tuple[str, ...]:
+        return self.node.hardware.block_devices
+
+    def advance(self, ctx: SampleContext) -> None:
+        dt = ctx.dt
+        if dt <= 0:
+            return
+        mb = ctx.rate("block_mb", 0.005)  # syslog etc. trickle when idle
+        per_dev = mb / len(self.devices)
+        for dev in self.devices:
+            wb = self.noisy(per_dev * 0.7 * 1e6 * dt)
+            rb = self.noisy(per_dev * 0.3 * 1e6 * dt)
+            self.bump(dev, "wr_sectors", wb / _SECTOR)
+            self.bump(dev, "rd_sectors", rb / _SECTOR)
+            self.bump(dev, "wr_ios", wb / _IO_BYTES)
+            self.bump(dev, "rd_ios", rb / _IO_BYTES)

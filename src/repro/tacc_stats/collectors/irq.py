@@ -1,0 +1,53 @@
+"""``irq`` collector: hardware/software interrupt counts (as from
+``/proc/interrupts`` aggregated per source)."""
+
+from __future__ import annotations
+
+from repro.tacc_stats.collectors.base import Collector, SampleContext
+from repro.tacc_stats.schema import SchemaEntry, TypeSchema
+from repro.workload.behavior import DerivedRates
+
+__all__ = ["IrqCollector"]
+
+_TIMER_HZ = 250.0  # CONFIG_HZ on the RHEL5-era kernels these systems ran
+_IB_MTU = 2048.0
+_ETH_MTU = 1500.0
+
+
+class IrqCollector(Collector):
+    """timer / eth / ib / block interrupt counters for the whole node."""
+
+    @property
+    def type_name(self) -> str:
+        return "irq"
+
+    def build_schema(self) -> TypeSchema:
+        return TypeSchema(
+            "irq",
+            tuple(
+                SchemaEntry(k, is_event=True)
+                for k in ("timer", "eth", "ib", "block")
+            ),
+        )
+
+    def build_devices(self) -> tuple[str, ...]:
+        return ("-",)
+
+    def advance(self, ctx: SampleContext) -> None:
+        dt = ctx.dt
+        if dt <= 0:
+            return
+        cores = self.node.hardware.cores
+        self.bump("-", "timer", _TIMER_HZ * cores * dt)
+        eth_mb = ctx.rate("net_eth_mb", 0.002)
+        self.bump("-", "eth", self.noisy(eth_mb * 1e6 / _ETH_MTU * dt))
+        if ctx.rates is None:
+            ib_mb = 0.01
+        else:
+            ib_mb = float(
+                DerivedRates.ib_tx_mb(ctx.rates) + DerivedRates.ib_rx_mb(ctx.rates)
+            )
+        # IB completions are coalesced ~8:1.
+        self.bump("-", "ib", self.noisy(ib_mb * 1e6 / _IB_MTU / 8.0 * dt))
+        block_mb = ctx.rate("block_mb", 0.005)
+        self.bump("-", "block", self.noisy(block_mb * 1e6 / (64 * 1024) * dt))

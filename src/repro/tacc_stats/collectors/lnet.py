@@ -1,0 +1,55 @@
+"""``lnet`` collector: Lustre networking counters (as from
+``/proc/sys/lnet/stats``).
+
+The ``net_lnet_tx`` key metric comes from here.  lnet traffic is the
+Lustre file traffic as seen on the wire (bulk RPCs plus protocol
+overhead); it rides the InfiniBand fabric on both of the paper's systems.
+"""
+
+from __future__ import annotations
+
+from repro.tacc_stats.collectors.base import Collector, SampleContext
+from repro.tacc_stats.schema import SchemaEntry, TypeSchema
+from repro.workload.behavior import DerivedRates
+
+__all__ = ["LnetCollector"]
+
+_MSG_BYTES = 1 << 20
+
+
+class LnetCollector(Collector):
+    """tx_bytes / rx_bytes / tx_msgs / rx_msgs for the node's lnet NI."""
+
+    @property
+    def type_name(self) -> str:
+        return "lnet"
+
+    def build_schema(self) -> TypeSchema:
+        return TypeSchema(
+            "lnet",
+            (
+                SchemaEntry("tx_bytes", is_event=True, unit="B"),
+                SchemaEntry("rx_bytes", is_event=True, unit="B"),
+                SchemaEntry("tx_msgs", is_event=True),
+                SchemaEntry("rx_msgs", is_event=True),
+            ),
+        )
+
+    def build_devices(self) -> tuple[str, ...]:
+        return ("-",)
+
+    def advance(self, ctx: SampleContext) -> None:
+        dt = ctx.dt
+        if dt <= 0:
+            return
+        if ctx.rates is None:
+            tx_mb = rx_mb = DerivedRates.LNET_FLOOR_MB
+        else:
+            tx_mb = float(DerivedRates.lnet_tx_mb(ctx.rates))
+            rx_mb = float(DerivedRates.lnet_rx_mb(ctx.rates))
+        tx_b = self.noisy(tx_mb * 1e6 * dt)
+        rx_b = self.noisy(rx_mb * 1e6 * dt)
+        self.bump("-", "tx_bytes", tx_b)
+        self.bump("-", "rx_bytes", rx_b)
+        self.bump("-", "tx_msgs", tx_b / _MSG_BYTES + 0.01 * dt)
+        self.bump("-", "rx_msgs", rx_b / _MSG_BYTES + 0.01 * dt)

@@ -1,0 +1,59 @@
+"""``net`` collector: per-interface byte/packet counters (as from
+``/sys/class/net/*/statistics``).
+
+Ethernet carries NFS and service traffic; ``ib0`` (IPoIB) carries a small
+slice of the MPI fabric traffic that goes through the IP stack.  Real
+``/sys`` byte counters on these kernels were 32-bit on some drivers — we
+keep eth0 at 32 bits so the rollover-correction path is exercised by real
+data, as it was in production.
+"""
+
+from __future__ import annotations
+
+from repro.tacc_stats.collectors.base import Collector, SampleContext
+from repro.tacc_stats.schema import SchemaEntry, TypeSchema
+
+__all__ = ["NetCollector"]
+
+_MTU = 1500.0
+_IPOIB_SHARE = 0.01  # share of MPI traffic that rides IPoIB
+
+
+class NetCollector(Collector):
+    """rx_bytes / tx_bytes / rx_packets / tx_packets per interface."""
+
+    @property
+    def type_name(self) -> str:
+        return "net"
+
+    def build_schema(self) -> TypeSchema:
+        return TypeSchema(
+            "net",
+            (
+                SchemaEntry("rx_bytes", is_event=True, unit="B", width=32),
+                SchemaEntry("tx_bytes", is_event=True, unit="B", width=32),
+                SchemaEntry("rx_packets", is_event=True),
+                SchemaEntry("tx_packets", is_event=True),
+            ),
+        )
+
+    def build_devices(self) -> tuple[str, ...]:
+        return self.node.hardware.net_devices
+
+    def advance(self, ctx: SampleContext) -> None:
+        dt = ctx.dt
+        if dt <= 0:
+            return
+        eth_mb = ctx.rate("net_eth_mb", 0.002)
+        mpi_mb = ctx.rate("net_mpi_mb")
+        for dev in self.devices:
+            if dev.startswith("ib"):
+                mb = mpi_mb * _IPOIB_SHARE
+            else:
+                mb = eth_mb
+            tx = self.noisy(mb * 1e6 * dt)
+            rx = self.noisy(mb * 1e6 * dt * 0.9)
+            self.bump(dev, "tx_bytes", tx)
+            self.bump(dev, "rx_bytes", rx)
+            self.bump(dev, "tx_packets", tx / _MTU)
+            self.bump(dev, "rx_packets", rx / _MTU)

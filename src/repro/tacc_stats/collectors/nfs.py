@@ -1,0 +1,63 @@
+"""``nfs`` collector: NFS client statistics per mount (as from
+``/proc/self/mountstats``).
+
+Lonestar4's home filesystem is NFS over Ethernet (paper §4.1); its
+traffic shows up here rather than in the Lustre (llite) collector.  The
+canonical rate vector's ``io_share_*`` fields drive whichever shared
+non-scratch/work mount a system has — Lustre ``share`` on Ranger, NFS
+``home`` on Lonestar4 — so the summarizer can fill the paper's
+``io_share`` metrics from either collector.
+"""
+
+from __future__ import annotations
+
+from repro.tacc_stats.collectors.base import Collector, SampleContext
+from repro.tacc_stats.schema import SchemaEntry, TypeSchema
+
+__all__ = ["NfsCollector"]
+
+_RPC_BYTES = 32 * 1024.0  # rsize/wsize of the era
+
+
+class NfsCollector(Collector):
+    """read_bytes / write_bytes / rpc_ops / retrans per NFS mount."""
+
+    def __init__(self, node, rng, mounts: tuple[str, ...] = ("home",)):
+        if not mounts:
+            raise ValueError("nfs needs at least one mount")
+        self._mounts = tuple(mounts)
+        super().__init__(node, rng)
+
+    @property
+    def type_name(self) -> str:
+        return "nfs"
+
+    def build_schema(self) -> TypeSchema:
+        return TypeSchema(
+            "nfs",
+            (
+                SchemaEntry("read_bytes", is_event=True, unit="B"),
+                SchemaEntry("write_bytes", is_event=True, unit="B"),
+                SchemaEntry("rpc_ops", is_event=True),
+                SchemaEntry("retrans", is_event=True),
+            ),
+        )
+
+    def build_devices(self) -> tuple[str, ...]:
+        return self._mounts
+
+    def advance(self, ctx: SampleContext) -> None:
+        dt = ctx.dt
+        if dt <= 0:
+            return
+        for mount in self.devices:
+            # NFS mounts carry the canonical "share" traffic.
+            w = ctx.rate("io_share_write_mb") if ctx.rates is not None else 0.0
+            r = ctx.rate("io_share_read_mb") if ctx.rates is not None else 0.0
+            wb = self.noisy(w * 1e6 * dt)
+            rb = self.noisy(r * 1e6 * dt)
+            ops = (wb + rb) / _RPC_BYTES + 0.01 * dt  # getattr chatter
+            self.bump(mount, "write_bytes", wb)
+            self.bump(mount, "read_bytes", rb)
+            self.bump(mount, "rpc_ops", ops)
+            self.bump(mount, "retrans", 1e-4 * ops)

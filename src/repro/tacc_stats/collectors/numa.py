@@ -1,0 +1,57 @@
+"""``numa`` collector: per-socket NUMA allocation statistics (as from
+``/sys/devices/system/node/node*/numastat``), cumulative page counts."""
+
+from __future__ import annotations
+
+from repro.tacc_stats.collectors.base import Collector, SampleContext
+from repro.tacc_stats.schema import SchemaEntry, TypeSchema
+
+__all__ = ["NumaCollector"]
+
+_PAGE_KB = 4.0
+#: Fraction of memory traffic that misses the local node for a typical
+#: first-touch-placed MPI code.
+_MISS_FRAC = 0.06
+
+
+class NumaCollector(Collector):
+    """numa_hit / numa_miss / numa_foreign / local_node / other_node."""
+
+    @property
+    def type_name(self) -> str:
+        return "numa"
+
+    def build_schema(self) -> TypeSchema:
+        return TypeSchema(
+            "numa",
+            tuple(
+                SchemaEntry(k, is_event=True)
+                for k in ("numa_hit", "numa_miss", "numa_foreign",
+                          "local_node", "other_node")
+            ),
+        )
+
+    def build_devices(self) -> tuple[str, ...]:
+        return tuple(str(i) for i in range(self.node.hardware.sockets))
+
+    def advance(self, ctx: SampleContext) -> None:
+        # Page allocation rate scales with memory churn: approximate from
+        # cache turnover + I/O (every I/O byte passes the page cache).
+        io_mb = (
+            ctx.rate("io_scratch_write_mb") + ctx.rate("io_scratch_read_mb")
+            + ctx.rate("io_work_write_mb") + ctx.rate("io_work_read_mb")
+            + ctx.rate("block_mb")
+        )
+        churn_mb = io_mb + 0.05 * ctx.rate("mem_used_gb") * 1024 / 600.0 + 0.01
+        pages_per_s = churn_mb * 1024.0 / _PAGE_KB
+        sockets = self.node.hardware.sockets
+        per_socket = self.noisy(pages_per_s * ctx.dt) / sockets
+        for s in range(sockets):
+            dev = str(s)
+            miss = per_socket * _MISS_FRAC
+            hit = per_socket - miss
+            self.bump(dev, "numa_hit", hit)
+            self.bump(dev, "numa_miss", miss)
+            self.bump(dev, "numa_foreign", miss)
+            self.bump(dev, "local_node", hit)
+            self.bump(dev, "other_node", miss)

@@ -1,0 +1,56 @@
+"""``ps`` collector: scheduler/process statistics (as from
+``/proc/loadavg`` and ``/proc/stat``): load averages (scaled ×100 to stay
+integral), runnable/thread counts, and the cumulative fork counter."""
+
+from __future__ import annotations
+
+from repro.tacc_stats.collectors.base import Collector, SampleContext
+from repro.tacc_stats.schema import SchemaEntry, TypeSchema
+
+__all__ = ["PsCollector"]
+
+
+class PsCollector(Collector):
+    """load_1/load_5/load_15 (x100), nr_running, nr_threads, processes."""
+
+    def __init__(self, node, rng):
+        super().__init__(node, rng)
+        self._load5 = 0.0
+        self._load15 = 0.0
+
+    @property
+    def type_name(self) -> str:
+        return "ps"
+
+    def build_schema(self) -> TypeSchema:
+        return TypeSchema(
+            "ps",
+            (
+                SchemaEntry("load_1", unit="x100"),
+                SchemaEntry("load_5", unit="x100"),
+                SchemaEntry("load_15", unit="x100"),
+                SchemaEntry("nr_running"),
+                SchemaEntry("nr_threads"),
+                SchemaEntry("processes", is_event=True),
+            ),
+        )
+
+    def build_devices(self) -> tuple[str, ...]:
+        return ("-",)
+
+    def advance(self, ctx: SampleContext) -> None:
+        cores = self.node.hardware.cores
+        busy = ctx.rate("cpu_user_frac") + ctx.rate("cpu_sys_frac", 0.002)
+        load1 = busy * cores * float(self.rng.lognormal(0.0, 0.05))
+        # Exponential smoothing stands in for the kernel's 5/15-min decay.
+        alpha5 = min(1.0, ctx.dt / 300.0) if ctx.dt > 0 else 1.0
+        alpha15 = min(1.0, ctx.dt / 900.0) if ctx.dt > 0 else 1.0
+        self._load5 += alpha5 * (load1 - self._load5)
+        self._load15 += alpha15 * (load1 - self._load15)
+        running = max(1.0, round(busy * cores))
+        self.set_gauge("-", "load_1", load1 * 100)
+        self.set_gauge("-", "load_5", self._load5 * 100)
+        self.set_gauge("-", "load_15", self._load15 * 100)
+        self.set_gauge("-", "nr_running", running)
+        self.set_gauge("-", "nr_threads", 120 + running * 2)
+        self.bump("-", "processes", 0.05 * max(ctx.dt, 0.0))

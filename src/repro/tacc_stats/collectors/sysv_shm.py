@@ -1,0 +1,47 @@
+"""``sysv_shm`` collector: System V shared-memory segment usage (as from
+``/proc/sysvipc/shm``).  MPI implementations of this era used SysV
+segments for intra-node communication, so segment count tracks the number
+of MPI ranks on the node."""
+
+from __future__ import annotations
+
+from repro.tacc_stats.collectors.base import Collector, SampleContext
+from repro.tacc_stats.schema import SchemaEntry, TypeSchema
+from repro.util.units import MB
+
+__all__ = ["SysvShmCollector"]
+
+_SEG_MB = 32.0  # typical per-rank shared segment
+
+
+class SysvShmCollector(Collector):
+    """used_count / used_bytes gauges for SysV shared memory."""
+
+    @property
+    def type_name(self) -> str:
+        return "sysv_shm"
+
+    def build_schema(self) -> TypeSchema:
+        return TypeSchema(
+            "sysv_shm",
+            (
+                SchemaEntry("used_count"),
+                SchemaEntry("used_bytes", unit="B"),
+            ),
+        )
+
+    def build_devices(self) -> tuple[str, ...]:
+        return ("-",)
+
+    def advance(self, ctx: SampleContext) -> None:
+        if ctx.rates is None:
+            self.set_gauge("-", "used_count", 0)
+            self.set_gauge("-", "used_bytes", 0)
+            return
+        cores = self.node.hardware.cores
+        # Ranks ~ busy cores; communication-heavy codes map more segments.
+        ranks = max(1, round(ctx.rate("cpu_user_frac") * cores))
+        net = ctx.rate("net_mpi_mb")
+        segs = ranks if net > 0.5 else 1
+        self.set_gauge("-", "used_count", segs)
+        self.set_gauge("-", "used_bytes", segs * _SEG_MB * MB)

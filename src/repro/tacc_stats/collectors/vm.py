@@ -1,0 +1,58 @@
+"""``vm`` collector: virtual-memory activity (as from ``/proc/vmstat``),
+cumulative event counts for the whole node."""
+
+from __future__ import annotations
+
+from repro.tacc_stats.collectors.base import Collector, SampleContext
+from repro.tacc_stats.schema import SchemaEntry, TypeSchema
+
+__all__ = ["VmCollector"]
+
+_PAGE_KB = 4.0
+
+
+class VmCollector(Collector):
+    """pgpgin/pgpgout (KB paged), pswpin/pswpout (pages swapped),
+    pgfault/pgmajfault."""
+
+    @property
+    def type_name(self) -> str:
+        return "vm"
+
+    def build_schema(self) -> TypeSchema:
+        return TypeSchema(
+            "vm",
+            (
+                SchemaEntry("pgpgin", is_event=True, unit="KB"),
+                SchemaEntry("pgpgout", is_event=True, unit="KB"),
+                SchemaEntry("pswpin", is_event=True),
+                SchemaEntry("pswpout", is_event=True),
+                SchemaEntry("pgfault", is_event=True),
+                SchemaEntry("pgmajfault", is_event=True),
+            ),
+        )
+
+    def build_devices(self) -> tuple[str, ...]:
+        return ("-",)
+
+    def advance(self, ctx: SampleContext) -> None:
+        dt = ctx.dt
+        if dt <= 0:
+            return
+        read_mb = (
+            ctx.rate("io_scratch_read_mb") + ctx.rate("io_work_read_mb")
+            + ctx.rate("io_share_read_mb") + ctx.rate("block_mb") * 0.5
+        )
+        write_mb = (
+            ctx.rate("io_scratch_write_mb") + ctx.rate("io_work_write_mb")
+            + ctx.rate("io_share_write_mb") + ctx.rate("block_mb") * 0.5
+        )
+        swap_mb = ctx.rate("swap_mb")
+        # Fault rate tracks memory churn; a floor keeps idle nodes alive.
+        fault_rate = 50.0 + 2000.0 * ctx.rate("cpu_user_frac", 0.0)
+        self.bump("-", "pgpgin", self.noisy(read_mb * 1024.0 * dt))
+        self.bump("-", "pgpgout", self.noisy(write_mb * 1024.0 * dt))
+        self.bump("-", "pswpin", self.noisy(swap_mb * 1024.0 / _PAGE_KB * dt * 0.4))
+        self.bump("-", "pswpout", self.noisy(swap_mb * 1024.0 / _PAGE_KB * dt * 0.6))
+        self.bump("-", "pgfault", self.noisy(fault_rate * dt))
+        self.bump("-", "pgmajfault", self.noisy(0.002 * fault_rate * dt))

@@ -1,0 +1,167 @@
+"""Parser for the TACC_Stats text format.
+
+Strict by design: production pipelines that silently skip malformed lines
+corrupt job summaries, so every violation raises :class:`ParseError` with
+the line number.  The only tolerated irregularities are the ones real
+deployments produce: empty files (node down all day), a trailing truncated
+line (node crashed mid-write, opt-in via ``allow_truncated``), and files
+that begin mid-stream after rotation (headers repeat per file, so this is
+detected and rejected instead of being misread).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tacc_stats.schema import TypeSchema
+from repro.tacc_stats.types import HostData, Mark, TimestampBlock
+
+__all__ = ["ParseError", "parse_host_text"]
+
+
+class ParseError(Exception):
+    """Malformed TACC_Stats input; message carries the line number."""
+
+
+def parse_host_text(text: str, allow_truncated: bool = False) -> HostData:
+    """Parse one host file's contents.
+
+    Parameters
+    ----------
+    text:
+        The full file contents.
+    allow_truncated:
+        If True, a final line without a newline terminator that fails to
+        parse is dropped (crash-consistent read); any *earlier* bad line
+        still raises.
+    """
+    lines = text.split("\n")
+    # Trailing '' from terminal newline is normal; a non-empty last element
+    # means the file was truncated mid-line.
+    truncated_tail = None
+    if lines and lines[-1] == "":
+        lines.pop()
+    elif lines:
+        truncated_tail = len(lines)  # index+1 of the suspect line
+
+    host = HostData(hostname="")
+    block: TimestampBlock | None = None
+    header_done = False
+
+    for lineno, line in enumerate(lines, 1):
+        try:
+            if not line:
+                raise ParseError(f"line {lineno}: blank line")
+            c = line[0]
+            if c == "$":
+                if header_done:
+                    raise ParseError(
+                        f"line {lineno}: property line after data began"
+                    )
+                sp = line.find(" ")
+                if sp <= 1:
+                    raise ParseError(f"line {lineno}: malformed property")
+                key, value = line[1:sp], line[sp + 1:]
+                host.properties[key] = value
+                if key == "hostname":
+                    host.hostname = value
+            elif c == "!":
+                if header_done:
+                    raise ParseError(
+                        f"line {lineno}: schema line after data began"
+                    )
+                try:
+                    schema = TypeSchema.parse_header_line(line)
+                except ValueError as e:
+                    raise ParseError(f"line {lineno}: {e}") from e
+                if schema.type_name in host.schemas:
+                    raise ParseError(
+                        f"line {lineno}: duplicate schema {schema.type_name}"
+                    )
+                host.schemas[schema.type_name] = schema
+            elif c == "%":
+                if block is None:
+                    raise ParseError(f"line {lineno}: mark before any block")
+                parts = line[1:].split()
+                if len(parts) != 2 or parts[0] not in ("begin", "end"):
+                    raise ParseError(f"line {lineno}: malformed mark {line!r}")
+                host.marks.append(Mark(time=block.time, kind=parts[0],
+                                       jobid=parts[1]))
+            elif c.isdigit():
+                parts = line.split()
+                if len(parts) != 2:
+                    raise ParseError(
+                        f"line {lineno}: timestamp line needs 2 tokens"
+                    )
+                if not host.hostname:
+                    raise ParseError(
+                        f"line {lineno}: data before $hostname header"
+                    )
+                header_done = True
+                try:
+                    t = float(parts[0])
+                except ValueError as e:
+                    raise ParseError(f"line {lineno}: bad timestamp") from e
+                if block is not None and t < block.time:
+                    raise ParseError(
+                        f"line {lineno}: non-monotonic timestamp {t}"
+                    )
+                jobids = () if parts[1] == "-" else tuple(parts[1].split(","))
+                block = TimestampBlock(time=t, jobids=jobids)
+                host.blocks.append(block)
+            else:
+                # Data row: "type device v1 v2 ...".
+                if block is None:
+                    raise ParseError(f"line {lineno}: data row before block")
+                parts = line.split()
+                if len(parts) < 3:
+                    raise ParseError(f"line {lineno}: short data row")
+                type_name, device = parts[0], parts[1]
+                schema = host.schemas.get(type_name)
+                if schema is None:
+                    raise ParseError(
+                        f"line {lineno}: row for undeclared type {type_name!r}"
+                    )
+                if len(parts) - 2 != schema.n_values:
+                    raise ParseError(
+                        f"line {lineno}: {type_name} row has "
+                        f"{len(parts) - 2} values, schema {schema.n_values}"
+                    )
+                try:
+                    values = np.array([int(v) for v in parts[2:]],
+                                      dtype=np.uint64)
+                except (ValueError, OverflowError) as e:
+                    raise ParseError(
+                        f"line {lineno}: non-integer value in row"
+                    ) from e
+                try:
+                    block.add_row(type_name, device, values)
+                except ValueError as e:
+                    raise ParseError(f"line {lineno}: {e}") from e
+        except ParseError:
+            if allow_truncated and truncated_tail == lineno:
+                break
+            raise
+
+    # A block whose tail was dropped is still usable; summaries handle
+    # missing rows per device.
+    if not host.hostname and (host.blocks or host.schemas):
+        raise ParseError("stream has data but no $hostname header")
+    return host
+
+
+def event_delta(first: int, last: int, width: int) -> int:
+    """Counter delta with single-rollover correction.
+
+    Counters are monotonic modulo ``2**width``; a smaller ``last`` means
+    the register wrapped exactly once between the two reads (the 10-minute
+    cadence makes multiple wraps of a >=32-bit counter impossible at
+    realistic rates, which the collectors' tests enforce).
+    """
+    first, last = int(first), int(last)
+    mod = 1 << width
+    if not (0 <= first < mod and 0 <= last < mod):
+        raise ValueError(f"counter value out of range for width {width}")
+    if last >= first:
+        return last - first
+    return last + mod - first

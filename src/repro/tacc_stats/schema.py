@@ -1,0 +1,125 @@
+"""Self-describing schemas for TACC_Stats record types.
+
+Each record type (``cpu``, ``mem``, ``ib``, ...) declares its keys once in
+the file header as a ``!type`` line, e.g.::
+
+    !cpu user,E,U=cs nice,E,U=cs system,E,U=cs idle,E,U=cs iowait,E,U=cs
+
+Flags follow the original tool's convention: ``E`` marks an *event*
+(cumulative counter that only increases, modulo register rollover), ``W=n``
+gives the counter width in bits (rollover modulus ``2**n``), and ``U=x``
+records the unit.  Keys without ``E`` are gauges.  The parser rebuilds the
+schema purely from these lines — the format is self-describing, so readers
+never hard-code layouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SchemaEntry", "TypeSchema"]
+
+
+@dataclass(frozen=True)
+class SchemaEntry:
+    """One column of a record type."""
+
+    key: str
+    is_event: bool = False
+    unit: str | None = None
+    width: int = 64
+
+    def __post_init__(self):
+        if not self.key or any(c in self.key for c in " ,!%$"):
+            raise ValueError(f"bad schema key {self.key!r}")
+        if not 1 <= self.width <= 64:
+            raise ValueError(f"bad counter width {self.width}")
+
+    @property
+    def modulus(self) -> int:
+        """Rollover modulus of the underlying register."""
+        return 1 << self.width
+
+    def spec(self) -> str:
+        """Render as a ``key[,E][,W=n][,U=x]`` token."""
+        parts = [self.key]
+        if self.is_event:
+            parts.append("E")
+        if self.width != 64:
+            parts.append(f"W={self.width}")
+        if self.unit:
+            parts.append(f"U={self.unit}")
+        return ",".join(parts)
+
+    @classmethod
+    def parse(cls, token: str) -> "SchemaEntry":
+        """Inverse of :meth:`spec`; raises ValueError on malformed tokens."""
+        parts = token.split(",")
+        if not parts or not parts[0]:
+            raise ValueError(f"empty schema token {token!r}")
+        key = parts[0]
+        is_event = False
+        unit: str | None = None
+        width = 64
+        for p in parts[1:]:
+            if p == "E":
+                is_event = True
+            elif p.startswith("W="):
+                width = int(p[2:])
+            elif p.startswith("U="):
+                unit = p[2:]
+            else:
+                raise ValueError(f"unknown schema flag {p!r} in {token!r}")
+        return cls(key=key, is_event=is_event, unit=unit, width=width)
+
+
+@dataclass(frozen=True)
+class TypeSchema:
+    """Schema of one record type: a name plus ordered entries."""
+
+    type_name: str
+    entries: tuple[SchemaEntry, ...]
+
+    def __post_init__(self):
+        if not self.type_name or not self.type_name.isidentifier():
+            raise ValueError(f"bad type name {self.type_name!r}")
+        if not self.entries:
+            raise ValueError(f"type {self.type_name}: no entries")
+        keys = [e.key for e in self.entries]
+        if len(set(keys)) != len(keys):
+            raise ValueError(f"type {self.type_name}: duplicate keys")
+
+    @property
+    def n_values(self) -> int:
+        return len(self.entries)
+
+    @property
+    def keys(self) -> tuple[str, ...]:
+        return tuple(e.key for e in self.entries)
+
+    def index_of(self, key: str) -> int:
+        for i, e in enumerate(self.entries):
+            if e.key == key:
+                return i
+        raise KeyError(f"type {self.type_name} has no key {key!r}")
+
+    def header_line(self) -> str:
+        """The ``!type spec spec ...`` header line."""
+        return f"!{self.type_name} " + " ".join(e.spec() for e in self.entries)
+
+    @classmethod
+    def parse_header_line(cls, line: str) -> "TypeSchema":
+        """Parse a ``!type ...`` line (leading ``!`` required)."""
+        if not line.startswith("!"):
+            raise ValueError(f"schema line must start with '!': {line!r}")
+        parts = line[1:].split()
+        if len(parts) < 2:
+            raise ValueError(f"schema line needs a type and >=1 key: {line!r}")
+        return cls(
+            type_name=parts[0],
+            entries=tuple(SchemaEntry.parse(t) for t in parts[1:]),
+        )
+
+    def event_mask(self) -> tuple[bool, ...]:
+        """Per-column booleans: True where the column is a counter."""
+        return tuple(e.is_event for e in self.entries)

@@ -1,0 +1,109 @@
+"""Parsed representations of TACC_Stats host data.
+
+A host file parses into one :class:`HostData`: header properties, the
+schema dictionary, an ordered list of :class:`TimestampBlock` (one per
+collector invocation) and the job begin/end :class:`Mark` lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.tacc_stats.schema import TypeSchema
+
+__all__ = ["Mark", "TimestampBlock", "HostData"]
+
+
+@dataclass(frozen=True)
+class Mark:
+    """A ``%begin jobid`` / ``%end jobid`` marker."""
+
+    time: float
+    kind: str  # "begin" | "end"
+    jobid: str
+
+    def __post_init__(self):
+        if self.kind not in ("begin", "end"):
+            raise ValueError(f"bad mark kind {self.kind!r}")
+
+
+@dataclass
+class TimestampBlock:
+    """All records emitted at one collector invocation on one host.
+
+    ``rows`` maps record type -> device -> integer value vector (in schema
+    column order).
+    """
+
+    time: float
+    jobids: tuple[str, ...]
+    rows: dict[str, dict[str, np.ndarray]] = field(default_factory=dict)
+
+    def add_row(self, type_name: str, device: str, values: np.ndarray) -> None:
+        by_dev = self.rows.setdefault(type_name, {})
+        if device in by_dev:
+            raise ValueError(
+                f"duplicate row {type_name}/{device} at t={self.time}"
+            )
+        by_dev[device] = values
+
+    def get(self, type_name: str, device: str) -> np.ndarray:
+        return self.rows[type_name][device]
+
+
+@dataclass
+class HostData:
+    """One host's parsed stats stream."""
+
+    hostname: str
+    properties: dict[str, str] = field(default_factory=dict)
+    schemas: dict[str, TypeSchema] = field(default_factory=dict)
+    blocks: list[TimestampBlock] = field(default_factory=list)
+    marks: list[Mark] = field(default_factory=list)
+
+    def blocks_for_job(self, jobid: str) -> list[TimestampBlock]:
+        """Blocks tagged with *jobid*, in time order."""
+        return [b for b in self.blocks if jobid in b.jobids]
+
+    def job_window(self, jobid: str) -> tuple[float, float] | None:
+        """(begin, end) times from the job marks, or None if unmatched."""
+        begin = end = None
+        for m in self.marks:
+            if m.jobid != jobid:
+                continue
+            if m.kind == "begin" and begin is None:
+                begin = m.time
+            elif m.kind == "end":
+                end = m.time
+        if begin is None or end is None:
+            return None
+        return (begin, end)
+
+    def series(self, type_name: str, device: str, key: str) -> tuple[np.ndarray, np.ndarray]:
+        """(times, values) of one column across all blocks that carry it."""
+        schema = self.schemas[type_name]
+        col = schema.index_of(key)
+        times, vals = [], []
+        for b in self.blocks:
+            dev = b.rows.get(type_name, {})
+            if device in dev:
+                times.append(b.time)
+                vals.append(dev[device][col])
+        return np.asarray(times, dtype=float), np.asarray(vals, dtype=np.uint64)
+
+    def merge_from(self, other: "HostData") -> None:
+        """Append another chunk of the same host (file rotation)."""
+        if other.hostname != self.hostname:
+            raise ValueError(
+                f"cannot merge {other.hostname} into {self.hostname}"
+            )
+        for name, schema in other.schemas.items():
+            if name in self.schemas and self.schemas[name] != schema:
+                raise ValueError(f"schema drift for type {name} on {self.hostname}")
+            self.schemas.setdefault(name, schema)
+        self.blocks.extend(other.blocks)
+        self.marks.extend(other.marks)
+        self.blocks.sort(key=lambda b: b.time)
+        self.marks.sort(key=lambda m: m.time)

@@ -1,0 +1,67 @@
+"""Shared low-level utilities: RNG streams, units, time, statistics, KDE,
+table/chart rendering.
+
+These modules are dependency-free (numpy/scipy only) and used by every other
+subpackage; nothing in here knows about clusters, jobs, or metrics.
+"""
+
+from repro.util.rng import RngFactory
+from repro.util.units import (
+    KB,
+    MB,
+    GB,
+    TB,
+    GIGA,
+    MEGA,
+    TERA,
+    format_bytes,
+    format_count,
+    parse_bytes,
+)
+from repro.util.timeutil import (
+    MINUTE,
+    HOUR,
+    DAY,
+    WEEK,
+    format_epoch,
+    diurnal_factor,
+)
+from repro.util.stats import (
+    LinearFit,
+    coefficient_of_variation,
+    fit_line,
+    pearson_matrix,
+    weighted_mean,
+    weighted_quantile,
+    weighted_std,
+)
+from repro.util.kde import GaussianKDE, scott_bandwidth
+
+__all__ = [
+    "RngFactory",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "GIGA",
+    "MEGA",
+    "TERA",
+    "format_bytes",
+    "format_count",
+    "parse_bytes",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "format_epoch",
+    "diurnal_factor",
+    "LinearFit",
+    "coefficient_of_variation",
+    "fit_line",
+    "pearson_matrix",
+    "weighted_mean",
+    "weighted_quantile",
+    "weighted_std",
+    "GaussianKDE",
+    "scott_bandwidth",
+]

@@ -1,0 +1,117 @@
+"""Gaussian kernel density estimation with Scott's rule.
+
+Figures 10 and 12 of the paper show kernel densities "produced by the R
+statistical software environment ... in order to avoid making binning
+choices", citing Scott (1992).  We implement the same estimator directly:
+a Gaussian kernel with Scott's bandwidth ``h = sigma * n^(-1/5)``, with
+optional observation weights (node-hours).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["scott_bandwidth", "GaussianKDE"]
+
+_SQRT_2PI = float(np.sqrt(2.0 * np.pi))
+
+
+def scott_bandwidth(values, weights=None) -> float:
+    """Scott's rule-of-thumb bandwidth for 1-D data.
+
+    ``h = sigma_hat * n_eff^(-1/5)`` where ``n_eff`` is Kish's effective
+    sample size when weights are given.
+    """
+    v = np.asarray(values, dtype=float)
+    if v.size < 2:
+        raise ValueError("need at least 2 observations")
+    if weights is None:
+        n_eff = float(v.size)
+        sigma = float(v.std(ddof=1))
+    else:
+        w = np.asarray(weights, dtype=float)
+        if w.shape != v.shape:
+            raise ValueError("weights shape mismatch")
+        if (w < 0).any() or w.sum() == 0:
+            raise ValueError("weights must be non-negative and not all zero")
+        n_eff = float(w.sum() ** 2 / np.sum(w**2))
+        mu = np.sum(w * v) / w.sum()
+        sigma = float(np.sqrt(np.sum(w * (v - mu) ** 2) / w.sum()))
+    if sigma == 0:
+        raise ValueError("data has zero variance; KDE bandwidth undefined")
+    return sigma * n_eff ** (-1.0 / 5.0)
+
+
+class GaussianKDE:
+    """Weighted 1-D Gaussian kernel density estimate.
+
+    Parameters
+    ----------
+    values:
+        Observations.
+    weights:
+        Optional non-negative weights (normalized internally).
+    bandwidth:
+        Kernel bandwidth; default is :func:`scott_bandwidth`.
+
+    Notes
+    -----
+    Evaluation is vectorized and chunked so that estimating a density from
+    hundreds of thousands of samples on a fine grid stays within a bounded
+    memory footprint (the naive outer product would allocate
+    ``n_points × n_samples`` doubles).
+    """
+
+    #: Max elements per evaluation chunk (~64 MB of float64).
+    _CHUNK_ELEMS = 8_000_000
+
+    def __init__(self, values, weights=None, bandwidth: float | None = None):
+        self.values = np.asarray(values, dtype=float).ravel()
+        if self.values.size < 2:
+            raise ValueError("need at least 2 observations")
+        if weights is None:
+            self.weights = np.full(self.values.size, 1.0 / self.values.size)
+        else:
+            w = np.asarray(weights, dtype=float).ravel()
+            if w.shape != self.values.shape:
+                raise ValueError("weights shape mismatch")
+            if (w < 0).any() or w.sum() == 0:
+                raise ValueError("weights must be non-negative and not all zero")
+            self.weights = w / w.sum()
+        self.bandwidth = (
+            float(bandwidth)
+            if bandwidth is not None
+            else scott_bandwidth(self.values, weights)
+        )
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def __call__(self, grid) -> np.ndarray:
+        """Evaluate the density at each point of *grid*."""
+        x = np.asarray(grid, dtype=float).ravel()
+        h = self.bandwidth
+        out = np.empty_like(x)
+        step = max(1, self._CHUNK_ELEMS // max(1, self.values.size))
+        for lo in range(0, x.size, step):
+            hi = min(lo + step, x.size)
+            z = (x[lo:hi, None] - self.values[None, :]) / h
+            k = np.exp(-0.5 * z * z)
+            out[lo:hi] = k @ self.weights
+        out /= h * _SQRT_2PI
+        return out.reshape(np.shape(grid))
+
+    def grid(self, n: int = 256, pad: float = 3.0) -> np.ndarray:
+        """A convenient evaluation grid spanning the data ± *pad* bandwidths."""
+        lo = float(self.values.min()) - pad * self.bandwidth
+        hi = float(self.values.max()) + pad * self.bandwidth
+        return np.linspace(lo, hi, n)
+
+    def integral(self, grid=None) -> float:
+        """Trapezoidal integral of the density (≈ 1; used by tests)."""
+        g = self.grid(1024) if grid is None else np.asarray(grid, dtype=float)
+        return float(np.trapezoid(self(g), g))
+
+    def mode(self, n: int = 1024) -> float:
+        """Location of the highest density on a fine default grid."""
+        g = self.grid(n)
+        return float(g[int(np.argmax(self(g)))])

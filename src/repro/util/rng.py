@@ -1,0 +1,82 @@
+"""Deterministic, named random-number streams.
+
+Every stochastic component of the simulator (arrivals, application behaviour,
+outages, per-node noise, ...) draws from its own named substream so that
+
+* the whole facility simulation is reproducible from a single integer seed,
+* adding draws to one component never perturbs another (no shared cursor),
+* parallel decomposition by job or node stays deterministic regardless of
+  evaluation order.
+
+Streams are derived with :class:`numpy.random.SeedSequence` spawned by a
+stable 128-bit hash of the stream name, so ``RngFactory(7).stream("x")`` is
+identical across processes and platforms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["RngFactory", "stable_hash64"]
+
+
+def stable_hash64(text: str) -> int:
+    """Return a stable (platform/process independent) 64-bit hash of *text*.
+
+    Python's builtin ``hash`` is salted per process; we need a value that is
+    identical across runs so that named RNG streams reproduce.
+    """
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class RngFactory:
+    """Factory of independent :class:`numpy.random.Generator` streams.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the whole simulation.
+
+    Examples
+    --------
+    >>> rf = RngFactory(42)
+    >>> a = rf.stream("arrivals").integers(0, 100, 3)
+    >>> b = RngFactory(42).stream("arrivals").integers(0, 100, 3)
+    >>> (a == b).all()
+    True
+    """
+
+    def __init__(self, seed: int = 0):
+        if not isinstance(seed, (int, np.integer)):
+            raise TypeError(f"seed must be an int, got {type(seed).__name__}")
+        self._seed = int(seed)
+
+    @property
+    def seed(self) -> int:
+        """The master seed this factory was built from."""
+        return self._seed
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return a fresh generator for the named stream.
+
+        Repeated calls with the same name return generators that produce the
+        same sequence (each call restarts the stream).
+        """
+        ss = np.random.SeedSequence([self._seed, stable_hash64(name)])
+        return np.random.default_rng(ss)
+
+    def child(self, name: str) -> "RngFactory":
+        """Derive a sub-factory, e.g. one per job or per node.
+
+        The child's streams are independent of the parent's and of any other
+        child's, but fully determined by ``(seed, name)``.
+        """
+        return RngFactory(
+            (self._seed * 0x9E3779B97F4A7C15 + stable_hash64(name)) % (1 << 63)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RngFactory(seed={self._seed})"

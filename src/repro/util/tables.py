@@ -1,0 +1,125 @@
+"""Plain-text table rendering for reports and benchmark output.
+
+Every stakeholder report and every benchmark prints its rows through
+:func:`render_table`, so the "regenerate the paper's table" harnesses all
+share one consistent, diffable output format.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = ["render_table", "render_kv", "Column"]
+
+
+class Column:
+    """Declarative table column.
+
+    Parameters
+    ----------
+    title:
+        Header text.
+    key:
+        Dict key / attribute name, or a callable ``row -> value``.
+    fmt:
+        ``format()`` spec applied to the value (e.g. ``'.3f'``), or a
+        callable ``value -> str``.
+    align:
+        ``'<'``, ``'>'`` or ``'^'``; numbers default to right alignment.
+    """
+
+    def __init__(
+        self,
+        title: str,
+        key: str | Callable[[Any], Any] | None = None,
+        fmt: str | Callable[[Any], str] = "",
+        align: str | None = None,
+    ):
+        self.title = title
+        self.key = key if key is not None else title
+        self.fmt = fmt
+        self.align = align
+
+    def value(self, row: Any) -> Any:
+        if callable(self.key):
+            return self.key(row)
+        if isinstance(row, dict):
+            return row[self.key]
+        return getattr(row, self.key)
+
+    def render(self, row: Any) -> str:
+        v = self.value(row)
+        if v is None:
+            return "-"
+        if callable(self.fmt):
+            return self.fmt(v)
+        return format(v, self.fmt)
+
+
+def _normalize_columns(columns: Sequence[Column | str]) -> list[Column]:
+    return [c if isinstance(c, Column) else Column(c) for c in columns]
+
+
+def render_table(
+    rows: Iterable[Any],
+    columns: Sequence[Column | str],
+    title: str | None = None,
+) -> str:
+    """Render rows (dicts or objects) as an aligned ASCII table."""
+    cols = _normalize_columns(columns)
+    rows = list(rows)
+    rendered = [[c.render(r) for c in cols] for r in rows]
+    widths = [
+        max(len(c.title), *(len(cells[i]) for cells in rendered))
+        if rendered
+        else len(c.title)
+        for i, c in enumerate(cols)
+    ]
+    aligns = []
+    for i, c in enumerate(cols):
+        if c.align:
+            aligns.append(c.align)
+        elif rendered and all(_looks_numeric(cells[i]) for cells in rendered):
+            aligns.append(">")
+        else:
+            aligns.append("<")
+
+    def fmt_row(cells: list[str]) -> str:
+        return "  ".join(
+            format(cell, f"{a}{w}") for cell, a, w in zip(cells, aligns, widths)
+        ).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), len(sep)))
+    lines.append(fmt_row([c.title for c in cols]))
+    lines.append(sep)
+    lines.extend(fmt_row(cells) for cells in rendered)
+    return "\n".join(lines)
+
+
+def _looks_numeric(text: str) -> bool:
+    t = text.replace(",", "").replace("%", "").strip()
+    if t in ("-", ""):
+        return True
+    try:
+        float(t)
+        return True
+    except ValueError:
+        return False
+
+
+def render_kv(pairs: dict[str, Any], title: str | None = None) -> str:
+    """Render a key/value block (used for report headers)."""
+    if not pairs:
+        raise ValueError("no pairs to render")
+    width = max(len(k) for k in pairs)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * max(len(title), width + 2))
+    for k, v in pairs.items():
+        lines.append(f"{k:<{width}}  {v}")
+    return "\n".join(lines)

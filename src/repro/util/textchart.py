@@ -1,0 +1,160 @@
+"""Terminal-friendly chart rendering.
+
+The paper's figures are radar charts, scatter plots, time series and kernel
+densities.  Examples and benchmarks render the *data* behind each figure as
+compact unicode charts so a user can eyeball the shape without matplotlib
+(which is not a dependency).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["sparkline", "bar_chart", "scatter_text", "radar_text", "series_text"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], lo: float | None = None, hi: float | None = None) -> str:
+    """Render values as a one-line unicode sparkline."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        raise ValueError("empty input")
+    lo = float(np.nanmin(v)) if lo is None else lo
+    hi = float(np.nanmax(v)) if hi is None else hi
+    if hi <= lo:
+        return _SPARK_LEVELS[0] * v.size
+    idx = np.clip(
+        ((v - lo) / (hi - lo) * (len(_SPARK_LEVELS) - 1)).round().astype(int),
+        0,
+        len(_SPARK_LEVELS) - 1,
+    )
+    return "".join(_SPARK_LEVELS[i] for i in idx)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    fmt: str = ".2f",
+) -> str:
+    """Horizontal bar chart; bars scale to the max value."""
+    if len(labels) != len(values):
+        raise ValueError("labels/values length mismatch")
+    if not labels:
+        raise ValueError("empty input")
+    v = np.asarray(values, dtype=float)
+    vmax = float(np.nanmax(np.abs(v))) or 1.0
+    lw = max(len(s) for s in labels)
+    lines = []
+    for label, val in zip(labels, v):
+        n = int(round(abs(val) / vmax * width))
+        lines.append(f"{label:<{lw}}  {'█' * n:<{width}}  {format(val, fmt)}")
+    return "\n".join(lines)
+
+
+def radar_text(metrics: dict[str, float], baseline: float = 1.0, width: int = 40) -> str:
+    """Text rendering of a normalized radar/usage profile.
+
+    Each axis shows the value as a bar with a ``|`` tick at *baseline*
+    (``1.0`` = facility-average usage in the paper's Figures 2/3/5).
+    """
+    if not metrics:
+        raise ValueError("empty profile")
+    vmax = max(max(metrics.values()), baseline) * 1.05
+    lw = max(len(k) for k in metrics)
+    tick = int(round(baseline / vmax * width))
+    lines = []
+    for name, val in metrics.items():
+        n = int(round(max(val, 0.0) / vmax * width))
+        bar = list(" " * width)
+        for i in range(min(n, width)):
+            bar[i] = "█"
+        if 0 <= tick < width:
+            bar[tick] = "|" if bar[tick] == " " else "╋"
+        lines.append(f"{name:<{lw}}  {''.join(bar)}  {val:5.2f}")
+    return "\n".join(lines)
+
+
+def scatter_text(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 64,
+    height: int = 20,
+    logx: bool = False,
+    logy: bool = False,
+    mark: str = "*",
+    overlay: dict[tuple[float, float], str] | None = None,
+) -> str:
+    """Character-grid scatter plot (Figure 4 style).
+
+    *overlay* maps data coordinates to characters drawn on top (used for the
+    "circled" outlier users).
+    """
+    xv = np.asarray(x, dtype=float)
+    yv = np.asarray(y, dtype=float)
+    if xv.size == 0 or xv.shape != yv.shape:
+        raise ValueError("x and y must be equal-length, non-empty")
+
+    def tx(v, log):
+        v = np.asarray(v, dtype=float)
+        if log:
+            v = np.where(v > 0, v, np.nan)
+            return np.log10(v)
+        return v
+
+    xs, ys = tx(xv, logx), tx(yv, logy)
+    ok = ~(np.isnan(xs) | np.isnan(ys))
+    xs, ys = xs[ok], ys[ok]
+    if xs.size == 0:
+        raise ValueError("no plottable points")
+    x0, x1 = float(xs.min()), float(xs.max())
+    y0, y1 = float(ys.min()), float(ys.max())
+    x1 = x1 if x1 > x0 else x0 + 1.0
+    y1 = y1 if y1 > y0 else y0 + 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def put(px, py, ch):
+        col = int((px - x0) / (x1 - x0) * (width - 1))
+        row = height - 1 - int((py - y0) / (y1 - y0) * (height - 1))
+        if 0 <= row < height and 0 <= col < width:
+            grid[row][col] = ch
+
+    for px, py in zip(xs, ys):
+        put(px, py, mark)
+    for (ox, oy), ch in (overlay or {}).items():
+        oxs = float(tx([ox], logx)[0])
+        oys = float(tx([oy], logy)[0])
+        put(oxs, oys, ch)
+    frame = ["+" + "-" * width + "+"]
+    frame += ["|" + "".join(row) + "|" for row in grid]
+    frame.append("+" + "-" * width + "+")
+    return "\n".join(frame)
+
+
+def series_text(
+    t: Sequence[float],
+    y: Sequence[float],
+    width: int = 72,
+    label: str = "",
+    fmt: str = ".1f",
+) -> str:
+    """Down-sampled sparkline of a time series with min/mean/max annotation."""
+    tv = np.asarray(t, dtype=float)
+    yv = np.asarray(y, dtype=float)
+    if tv.size == 0 or tv.shape != yv.shape:
+        raise ValueError("t and y must be equal-length, non-empty")
+    if tv.size > width:
+        edges = np.linspace(0, tv.size, width + 1).astype(int)
+        yd = np.array([yv[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a])
+    else:
+        yd = yv
+    body = sparkline(yd)
+    info = (
+        f"min={format(np.nanmin(yv), fmt)} mean={format(np.nanmean(yv), fmt)} "
+        f"max={format(np.nanmax(yv), fmt)}"
+    )
+    prefix = f"{label}: " if label else ""
+    return f"{prefix}{body}  [{info}]"

@@ -1,0 +1,95 @@
+"""Unit constants and human-readable formatting.
+
+TACC_Stats reports memory in KB, file systems in bytes, FLOPS as raw event
+counts; XDMoD reports TF and GB.  Keeping all conversions here prevents the
+classic off-by-1024 bug class.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "KILO",
+    "MEGA",
+    "GIGA",
+    "TERA",
+    "format_bytes",
+    "format_count",
+    "parse_bytes",
+]
+
+# Binary (memory / storage) units.
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+
+# Decimal (rates, FLOPS) units.
+KILO = 10**3
+MEGA = 10**6
+GIGA = 10**9
+TERA = 10**12
+
+_BINARY_SUFFIXES = [("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB), ("B", 1)]
+_DECIMAL_SUFFIXES = [("T", TERA), ("G", GIGA), ("M", MEGA), ("K", KILO), ("", 1)]
+
+_PARSE_RE = re.compile(
+    r"^\s*([0-9]*\.?[0-9]+)\s*(TB|GB|MB|KB|B|TIB|GIB|MIB|KIB)?\s*$",
+    re.IGNORECASE,
+)
+
+_PARSE_MULT = {
+    None: 1,
+    "B": 1,
+    "KB": KB,
+    "MB": MB,
+    "GB": GB,
+    "TB": TB,
+    "KIB": KB,
+    "MIB": MB,
+    "GIB": GB,
+    "TIB": TB,
+}
+
+
+def format_bytes(n: float, precision: int = 1) -> str:
+    """Render a byte count with a binary suffix: ``format_bytes(3*GB)`` → ``'3.0 GB'``."""
+    neg = n < 0
+    n = abs(float(n))
+    for suffix, mult in _BINARY_SUFFIXES:
+        if n >= mult or mult == 1:
+            value = n / mult
+            return f"{'-' if neg else ''}{value:.{precision}f} {suffix}"
+    raise AssertionError("unreachable")
+
+
+def format_count(n: float, precision: int = 1, unit: str = "") -> str:
+    """Render a decimal count: ``format_count(2.1e13, unit='F')`` → ``'21.0 TF'``."""
+    neg = n < 0
+    n = abs(float(n))
+    for suffix, mult in _DECIMAL_SUFFIXES:
+        if n >= mult or mult == 1:
+            value = n / mult
+            return f"{'-' if neg else ''}{value:.{precision}f} {suffix}{unit}"
+    raise AssertionError("unreachable")
+
+
+def parse_bytes(text: str) -> int:
+    """Parse ``'24 GB'`` / ``'512KB'`` / ``'42'`` into a byte count.
+
+    Raises
+    ------
+    ValueError
+        If the string is not a number with an optional binary suffix.
+    """
+    m = _PARSE_RE.match(text)
+    if not m:
+        raise ValueError(f"cannot parse byte quantity: {text!r}")
+    value = float(m.group(1))
+    suffix = m.group(2).upper() if m.group(2) else None
+    return int(round(value * _PARSE_MULT[suffix]))

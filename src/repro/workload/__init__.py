@@ -1,0 +1,40 @@
+"""Synthetic workload: who submits what, and how it behaves while running.
+
+This package replaces the paper's 20 months of production XSEDE jobs with a
+statistically calibrated synthetic population: science fields, application
+archetypes with per-metric resource signatures, a heavy-tailed user
+population (including the pathological high-idle users of Figures 4/5),
+Poisson-with-diurnal-cycle arrivals, and a within-job AR(1) phase model
+whose per-metric correlation times drive the persistence results of
+Table 1 / Figure 6.
+"""
+
+from repro.workload.fields import SCIENCE_FIELDS, field_weights
+from repro.workload.applications import (
+    APP_CATALOG,
+    AppSignature,
+    RATE_FIELDS,
+    RATE_INDEX,
+)
+from repro.workload.users import UserProfile, generate_users
+from repro.workload.arrivals import arrival_times
+from repro.workload.phases import PHASE_CALIBRATION, PhaseModel
+from repro.workload.behavior import JobBehavior, DerivedRates
+from repro.workload.generator import WorkloadGenerator
+
+__all__ = [
+    "SCIENCE_FIELDS",
+    "field_weights",
+    "APP_CATALOG",
+    "AppSignature",
+    "RATE_FIELDS",
+    "RATE_INDEX",
+    "UserProfile",
+    "generate_users",
+    "arrival_times",
+    "PHASE_CALIBRATION",
+    "PhaseModel",
+    "JobBehavior",
+    "DerivedRates",
+    "WorkloadGenerator",
+]

@@ -1,0 +1,519 @@
+"""Application archetypes and the canonical per-node rate vector.
+
+Every job's behaviour is summarized as a vector of per-node *rates* sampled
+on the TACC_Stats grid.  ``RATE_FIELDS`` is the canonical ordering used by
+the phase model, the collectors, and the fast synthesis path — change it in
+one place only.
+
+The catalog's numbers are calibrated to the paper's qualitative findings:
+
+* NAMD and GROMACS are efficient (low cpu_idle, high FLOPS); AMBER idles
+  more and produces fewer FLOPS (Figure 3), and AMBER/GROMACS differ across
+  the AMD/Intel systems while NAMD looks the same on both.
+* Whole-system FLOPS average out to a few percent of peak (Figures 9/10:
+  Ranger < 20 TF of 579 TF peak).
+* Memory per node averages well under half of capacity on Ranger and ~60 %
+  on Lonestar4 (Figures 11/12).
+* A tail of serial/undersubscribed and I/O-bound workloads generates the
+  high-idle outliers of Figures 4/5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RATE_FIELDS", "RATE_INDEX", "AppSignature", "APP_CATALOG", "get_app"]
+
+#: Canonical per-node rate fields (fractions, GF/s, GB gauges, MB/s rates).
+RATE_FIELDS: tuple[str, ...] = (
+    "cpu_user_frac",
+    "cpu_sys_frac",
+    "cpu_iowait_frac",
+    "flops_gf",
+    "mem_used_gb",
+    "mem_cache_gb",
+    "io_scratch_write_mb",
+    "io_scratch_read_mb",
+    "io_work_write_mb",
+    "io_work_read_mb",
+    "io_share_write_mb",
+    "io_share_read_mb",
+    "net_mpi_mb",
+    "net_eth_mb",
+    "swap_mb",
+    "block_mb",
+)
+
+RATE_INDEX: dict[str, int] = {name: i for i, name in enumerate(RATE_FIELDS)}
+
+
+@dataclass(frozen=True)
+class AppSignature:
+    """Resource-use archetype of one application.
+
+    Rates are *per node* for a typical run on Ranger-class hardware; the
+    behaviour model scales FLOPS by node peak and memory by node capacity.
+
+    Attributes
+    ----------
+    name, display:
+        Short tag (Lariat's app tag) and human name.
+    category:
+        Workload class (``"md"``, ``"materials"``, ``"climate"``, ...).
+    science_fields:
+        Parent sciences whose users run this code.
+    weight:
+        Relative share of submitted jobs.
+    nodes_log2_mean, nodes_log2_sigma, nodes_min, nodes_max:
+        Job size: ``2 ** Normal(mean, sigma)`` rounded, clipped.
+    runtime_mean_min, runtime_sigma:
+        Lognormal runtime in minutes (sigma in log space).
+    cpu_user, cpu_sys, cpu_iowait:
+        Mean core-time fractions while running (idle is the remainder).
+    flops_frac:
+        Achieved fraction of node peak FLOP/s.
+    mem_frac_mean, mem_frac_sigma:
+        Used memory as a fraction of node capacity (lognormal sigma).
+    cache_frac:
+        Portion of used memory that is page cache.
+    io rates:
+        MB/s per node to each Lustre mount (write/read).
+    net_mpi_mb:
+        MPI traffic per node, MB/s, over InfiniBand.
+    net_eth_mb, swap_mb, block_mb:
+        Ethernet/swap/local-disk rates (small on these systems).
+    fail_rate, timeout_rate:
+        Probability a job aborts / exceeds its requested walltime.
+    job_sigma:
+        Job-to-job lognormal spread applied to every rate group.
+    tuning:
+        How much of a user's CPU-inefficiency the application's tuned
+        launch machinery absorbs (0 = none: home-grown codes expose the
+        full persona; 0.75 = community packages whose ship-with scripts
+        pin processes and size runs sensibly).  Keeps the Figure 3
+        application comparison about applications, with waste
+        concentrating in custom/serial codes (Figures 4/5).
+    arch_flops, arch_util:
+        Per-architecture multipliers (``{"amd64": .., "intel": ..}``) on
+        FLOPS fraction and CPU utilization — how Figure 3's cross-machine
+        differences arise.
+    """
+
+    name: str
+    display: str
+    category: str
+    science_fields: tuple[str, ...]
+    weight: float
+    nodes_log2_mean: float
+    nodes_log2_sigma: float
+    nodes_min: int
+    nodes_max: int
+    runtime_mean_min: float
+    runtime_sigma: float
+    cpu_user: float
+    cpu_sys: float
+    cpu_iowait: float
+    flops_frac: float
+    mem_frac_mean: float
+    mem_frac_sigma: float
+    cache_frac: float
+    io_scratch_write_mb: float
+    io_scratch_read_mb: float
+    io_work_write_mb: float
+    io_work_read_mb: float
+    io_share_write_mb: float = 0.02
+    io_share_read_mb: float = 0.02
+    net_mpi_mb: float = 10.0
+    net_eth_mb: float = 0.05
+    swap_mb: float = 0.0
+    block_mb: float = 0.1
+    fail_rate: float = 0.04
+    timeout_rate: float = 0.03
+    job_sigma: float = 0.35
+    tuning: float = 0.0
+    arch_flops: dict = field(default_factory=dict)
+    arch_util: dict = field(default_factory=dict)
+    libraries: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if not 0 < self.cpu_user + self.cpu_sys + self.cpu_iowait <= 1.0:
+            raise ValueError(f"{self.name}: CPU fractions must sum to (0, 1]")
+        if not 0 <= self.flops_frac <= 1:
+            raise ValueError(f"{self.name}: flops_frac out of range")
+        if not 0 < self.mem_frac_mean < 1:
+            raise ValueError(f"{self.name}: mem_frac_mean out of range")
+        if self.nodes_min < 1 or self.nodes_max < self.nodes_min:
+            raise ValueError(f"{self.name}: bad node bounds")
+        if self.weight <= 0:
+            raise ValueError(f"{self.name}: weight must be positive")
+        if not 0 <= self.tuning <= 1:
+            raise ValueError(f"{self.name}: tuning out of [0, 1]")
+
+    @property
+    def cpu_idle(self) -> float:
+        """Mean idle fraction while running (before user persona scaling)."""
+        return 1.0 - self.cpu_user - self.cpu_sys - self.cpu_iowait
+
+    def flops_multiplier(self, arch: str) -> float:
+        return self.arch_flops.get(arch, 1.0)
+
+    def util_multiplier(self, arch: str) -> float:
+        return self.arch_util.get(arch, 1.0)
+
+    def sample_nodes(self, rng: np.random.Generator, scale: float,
+                     system_max: int) -> int:
+        """Draw a node count, compressed by *scale* for shrunken systems."""
+        raw = 2.0 ** rng.normal(self.nodes_log2_mean, self.nodes_log2_sigma)
+        raw *= max(scale, 1e-9)
+        hi = min(self.nodes_max, system_max)
+        return int(np.clip(round(raw), 1, max(1, hi)))
+
+    def sample_runtime(self, rng: np.random.Generator) -> float:
+        """Draw an intrinsic runtime in seconds (lognormal, mean-preserving)."""
+        mu = np.log(self.runtime_mean_min * 60.0) - 0.5 * self.runtime_sigma**2
+        return float(np.exp(rng.normal(mu, self.runtime_sigma)))
+
+    def base_rates(self, node_peak_gf: float, node_mem_gb: float,
+                   arch: str) -> np.ndarray:
+        """Mean per-node rate vector on the given hardware."""
+        r = np.zeros(len(RATE_FIELDS))
+        util_m = self.util_multiplier(arch)
+        r[RATE_INDEX["cpu_user_frac"]] = min(self.cpu_user * util_m, 0.97)
+        r[RATE_INDEX["cpu_sys_frac"]] = self.cpu_sys
+        r[RATE_INDEX["cpu_iowait_frac"]] = self.cpu_iowait
+        r[RATE_INDEX["flops_gf"]] = (
+            self.flops_frac * self.flops_multiplier(arch) * node_peak_gf
+        )
+        mem = self.mem_frac_mean * node_mem_gb
+        r[RATE_INDEX["mem_used_gb"]] = mem
+        r[RATE_INDEX["mem_cache_gb"]] = self.cache_frac * mem
+        r[RATE_INDEX["io_scratch_write_mb"]] = self.io_scratch_write_mb
+        r[RATE_INDEX["io_scratch_read_mb"]] = self.io_scratch_read_mb
+        r[RATE_INDEX["io_work_write_mb"]] = self.io_work_write_mb
+        r[RATE_INDEX["io_work_read_mb"]] = self.io_work_read_mb
+        r[RATE_INDEX["io_share_write_mb"]] = self.io_share_write_mb
+        r[RATE_INDEX["io_share_read_mb"]] = self.io_share_read_mb
+        r[RATE_INDEX["net_mpi_mb"]] = self.net_mpi_mb
+        r[RATE_INDEX["net_eth_mb"]] = self.net_eth_mb
+        r[RATE_INDEX["swap_mb"]] = self.swap_mb
+        r[RATE_INDEX["block_mb"]] = self.block_mb
+        return r
+
+
+def _app(**kw) -> AppSignature:
+    return AppSignature(**kw)
+
+
+#: The application catalog.  Weights are relative job shares; see module
+#: docstring for the calibration targets.
+APP_CATALOG: dict[str, AppSignature] = {
+    a.name: a
+    for a in [
+        _app(
+            name="namd", display="NAMD", category="md",
+            science_fields=("Molecular Biosciences",),
+            weight=0.10, nodes_log2_mean=4.0, nodes_log2_sigma=1.2,
+            tuning=0.75,
+            nodes_min=1, nodes_max=1024,
+            runtime_mean_min=320, runtime_sigma=0.9,
+            cpu_user=0.92, cpu_sys=0.03, cpu_iowait=0.01,
+            flops_frac=0.100, mem_frac_mean=0.16, mem_frac_sigma=0.30,
+            cache_frac=0.20,
+            io_scratch_write_mb=0.6, io_scratch_read_mb=0.3,
+            io_work_write_mb=0.06, io_work_read_mb=0.05,
+            net_mpi_mb=32.0, libraries=("libfftw3", "libcharm", "libmpi"),
+        ),
+        _app(
+            name="amber", display="AMBER", category="md",
+            science_fields=("Molecular Biosciences", "Chemistry"),
+            weight=0.07, nodes_log2_mean=2.6, nodes_log2_sigma=1.1,
+            tuning=0.7,
+            nodes_min=1, nodes_max=256,
+            runtime_mean_min=380, runtime_sigma=0.9,
+            cpu_user=0.74, cpu_sys=0.04, cpu_iowait=0.02,
+            flops_frac=0.045, mem_frac_mean=0.13, mem_frac_sigma=0.30,
+            cache_frac=0.25,
+            io_scratch_write_mb=0.9, io_scratch_read_mb=0.4,
+            io_work_write_mb=0.09, io_work_read_mb=0.05,
+            net_mpi_mb=18.0, fail_rate=0.05,
+            # AMBER vectorizes better on Westmere: big FLOPS gain, small
+            # utilization gain (it stays the least efficient MD code on
+            # both systems, as in Figure 3).
+            arch_flops={"intel": 1.55}, arch_util={"intel": 1.04},
+            libraries=("libnetcdf", "libmpi"),
+        ),
+        _app(
+            name="gromacs", display="GROMACS", category="md",
+            science_fields=("Molecular Biosciences",),
+            weight=0.07, nodes_log2_mean=2.0, nodes_log2_sigma=1.1,
+            tuning=0.75,
+            nodes_min=1, nodes_max=128,
+            runtime_mean_min=260, runtime_sigma=0.9,
+            cpu_user=0.93, cpu_sys=0.02, cpu_iowait=0.01,
+            flops_frac=0.110, mem_frac_mean=0.075, mem_frac_sigma=0.30,
+            cache_frac=0.15,
+            io_scratch_write_mb=0.4, io_scratch_read_mb=0.2,
+            io_work_write_mb=0.05, io_work_read_mb=0.03,
+            net_mpi_mb=12.0,
+            arch_flops={"intel": 0.80}, arch_util={"intel": 0.95},
+            libraries=("libfftw3", "libxml2", "libmpi"),
+        ),
+        _app(
+            name="charmm", display="CHARMM", category="md",
+            science_fields=("Molecular Biosciences", "Chemistry"),
+            weight=0.03, nodes_log2_mean=2.0, nodes_log2_sigma=1.0,
+            tuning=0.6,
+            nodes_min=1, nodes_max=64,
+            runtime_mean_min=290, runtime_sigma=0.9,
+            cpu_user=0.85, cpu_sys=0.03, cpu_iowait=0.01,
+            flops_frac=0.060, mem_frac_mean=0.10, mem_frac_sigma=0.30,
+            cache_frac=0.20,
+            io_scratch_write_mb=0.5, io_scratch_read_mb=0.2,
+            io_work_write_mb=0.05, io_work_read_mb=0.03,
+            net_mpi_mb=10.0, libraries=("libmpi",),
+        ),
+        _app(
+            name="lammps", display="LAMMPS", category="materials",
+            science_fields=("Materials Research", "Physics"),
+            weight=0.06, nodes_log2_mean=3.0, nodes_log2_sigma=1.2,
+            tuning=0.65,
+            nodes_min=1, nodes_max=512,
+            runtime_mean_min=330, runtime_sigma=0.9,
+            cpu_user=0.90, cpu_sys=0.03, cpu_iowait=0.01,
+            flops_frac=0.085, mem_frac_mean=0.11, mem_frac_sigma=0.30,
+            cache_frac=0.20,
+            io_scratch_write_mb=0.7, io_scratch_read_mb=0.3,
+            io_work_write_mb=0.06, io_work_read_mb=0.04,
+            net_mpi_mb=22.0, libraries=("libfftw3", "libmpi"),
+        ),
+        _app(
+            name="vasp", display="VASP", category="materials",
+            science_fields=("Materials Research", "Chemistry", "Physics"),
+            weight=0.09, nodes_log2_mean=2.4, nodes_log2_sigma=1.0,
+            tuning=0.65,
+            nodes_min=1, nodes_max=256,
+            runtime_mean_min=430, runtime_sigma=0.9,
+            cpu_user=0.88, cpu_sys=0.04, cpu_iowait=0.01,
+            flops_frac=0.120, mem_frac_mean=0.36, mem_frac_sigma=0.25,
+            cache_frac=0.12,
+            io_scratch_write_mb=1.3, io_scratch_read_mb=0.8,
+            io_work_write_mb=0.10, io_work_read_mb=0.06,
+            net_mpi_mb=36.0, fail_rate=0.05, timeout_rate=0.04,
+            libraries=("libscalapack", "libfftw3", "libmpi"),
+        ),
+        _app(
+            name="espresso", display="Quantum ESPRESSO", category="materials",
+            science_fields=("Materials Research", "Chemistry"),
+            weight=0.05, nodes_log2_mean=2.4, nodes_log2_sigma=1.0,
+            tuning=0.6,
+            nodes_min=1, nodes_max=256,
+            runtime_mean_min=390, runtime_sigma=0.9,
+            cpu_user=0.86, cpu_sys=0.04, cpu_iowait=0.01,
+            flops_frac=0.095, mem_frac_mean=0.38, mem_frac_sigma=0.25,
+            cache_frac=0.12,
+            io_scratch_write_mb=1.1, io_scratch_read_mb=0.7,
+            io_work_write_mb=0.08, io_work_read_mb=0.05,
+            net_mpi_mb=28.0, libraries=("libscalapack", "libfftw3", "libmpi"),
+        ),
+        _app(
+            name="wrf", display="WRF", category="climate",
+            science_fields=("Atmospheric Sciences", "Earth Sciences"),
+            weight=0.06, nodes_log2_mean=4.0, nodes_log2_sigma=1.0,
+            tuning=0.5,
+            nodes_min=2, nodes_max=512,
+            runtime_mean_min=410, runtime_sigma=0.8,
+            cpu_user=0.80, cpu_sys=0.05, cpu_iowait=0.05,
+            flops_frac=0.070, mem_frac_mean=0.30, mem_frac_sigma=0.25,
+            cache_frac=0.30,
+            io_scratch_write_mb=6.5, io_scratch_read_mb=2.0,
+            io_work_write_mb=0.30, io_work_read_mb=0.10,
+            net_mpi_mb=24.0, libraries=("libnetcdf", "libhdf5", "libmpi"),
+        ),
+        _app(
+            name="milc", display="MILC", category="lattice-qcd",
+            science_fields=("Physics",),
+            weight=0.04, nodes_log2_mean=5.0, nodes_log2_sigma=1.0,
+            tuning=0.7,
+            nodes_min=4, nodes_max=2048,
+            runtime_mean_min=620, runtime_sigma=0.8,
+            cpu_user=0.91, cpu_sys=0.03, cpu_iowait=0.01,
+            flops_frac=0.130, mem_frac_mean=0.20, mem_frac_sigma=0.25,
+            cache_frac=0.15,
+            io_scratch_write_mb=1.0, io_scratch_read_mb=0.4,
+            io_work_write_mb=0.05, io_work_read_mb=0.03,
+            net_mpi_mb=55.0, libraries=("libqmp", "libmpi"),
+        ),
+        _app(
+            name="cactus", display="Cactus", category="astro",
+            science_fields=("Physics", "Astronomical Sciences"),
+            weight=0.03, nodes_log2_mean=4.5, nodes_log2_sigma=0.9,
+            tuning=0.5,
+            nodes_min=2, nodes_max=1024,
+            runtime_mean_min=520, runtime_sigma=0.8,
+            cpu_user=0.87, cpu_sys=0.04, cpu_iowait=0.02,
+            flops_frac=0.090, mem_frac_mean=0.35, mem_frac_sigma=0.25,
+            cache_frac=0.20,
+            io_scratch_write_mb=2.5, io_scratch_read_mb=0.8,
+            io_work_write_mb=0.10, io_work_read_mb=0.05,
+            net_mpi_mb=40.0, libraries=("libhdf5", "libmpi"),
+        ),
+        _app(
+            name="enzo", display="Enzo", category="astro",
+            science_fields=("Astronomical Sciences",),
+            weight=0.03, nodes_log2_mean=4.0, nodes_log2_sigma=1.0,
+            tuning=0.5,
+            nodes_min=2, nodes_max=512,
+            runtime_mean_min=470, runtime_sigma=0.8,
+            cpu_user=0.84, cpu_sys=0.05, cpu_iowait=0.03,
+            flops_frac=0.080, mem_frac_mean=0.42, mem_frac_sigma=0.22,
+            cache_frac=0.18,
+            io_scratch_write_mb=4.0, io_scratch_read_mb=1.5,
+            io_work_write_mb=0.15, io_work_read_mb=0.08,
+            net_mpi_mb=30.0, libraries=("libhdf5", "libmpi"),
+        ),
+        _app(
+            name="gadget", display="GADGET", category="astro",
+            science_fields=("Astronomical Sciences", "Physics"),
+            weight=0.03, nodes_log2_mean=4.0, nodes_log2_sigma=1.0,
+            tuning=0.55,
+            nodes_min=2, nodes_max=512,
+            runtime_mean_min=510, runtime_sigma=0.8,
+            cpu_user=0.88, cpu_sys=0.03, cpu_iowait=0.02,
+            flops_frac=0.085, mem_frac_mean=0.26, mem_frac_sigma=0.25,
+            cache_frac=0.18,
+            io_scratch_write_mb=2.0, io_scratch_read_mb=0.7,
+            io_work_write_mb=0.08, io_work_read_mb=0.05,
+            net_mpi_mb=30.0, libraries=("libfftw3", "libgsl", "libmpi"),
+        ),
+        _app(
+            name="openfoam", display="OpenFOAM", category="cfd",
+            science_fields=("Engineering",),
+            weight=0.04, nodes_log2_mean=3.0, nodes_log2_sigma=1.0,
+            tuning=0.45,
+            nodes_min=1, nodes_max=256,
+            runtime_mean_min=360, runtime_sigma=0.9,
+            cpu_user=0.85, cpu_sys=0.05, cpu_iowait=0.02,
+            flops_frac=0.060, mem_frac_mean=0.25, mem_frac_sigma=0.28,
+            cache_frac=0.25,
+            io_scratch_write_mb=2.2, io_scratch_read_mb=0.6,
+            io_work_write_mb=0.10, io_work_read_mb=0.05,
+            net_mpi_mb=20.0, libraries=("libscotch", "libmpi"),
+        ),
+        _app(
+            name="abaqus", display="Abaqus", category="engineering",
+            science_fields=("Engineering",),
+            weight=0.02, nodes_log2_mean=0.8, nodes_log2_sigma=0.7,
+            tuning=0.5,
+            nodes_min=1, nodes_max=16,
+            runtime_mean_min=310, runtime_sigma=0.9,
+            cpu_user=0.80, cpu_sys=0.04, cpu_iowait=0.04,
+            flops_frac=0.050, mem_frac_mean=0.44, mem_frac_sigma=0.22,
+            cache_frac=0.15,
+            io_scratch_write_mb=1.5, io_scratch_read_mb=0.8,
+            io_work_write_mb=0.15, io_work_read_mb=0.10,
+            net_mpi_mb=4.0, libraries=("libmkl",),
+        ),
+        _app(
+            name="nwchem", display="NWChem", category="qchem",
+            science_fields=("Chemistry",),
+            weight=0.03, nodes_log2_mean=3.0, nodes_log2_sigma=1.0,
+            tuning=0.55,
+            nodes_min=1, nodes_max=256,
+            runtime_mean_min=410, runtime_sigma=0.9,
+            cpu_user=0.86, cpu_sys=0.05, cpu_iowait=0.01,
+            flops_frac=0.090, mem_frac_mean=0.40, mem_frac_sigma=0.22,
+            cache_frac=0.12,
+            io_scratch_write_mb=1.8, io_scratch_read_mb=1.0,
+            io_work_write_mb=0.12, io_work_read_mb=0.08,
+            net_mpi_mb=30.0, libraries=("libga", "libscalapack", "libmpi"),
+        ),
+        _app(
+            name="blast", display="BLAST pipelines", category="bioinformatics",
+            science_fields=("Biological Sciences", "Molecular Biosciences"),
+            weight=0.02, nodes_log2_mean=0.5, nodes_log2_sigma=0.5,
+            tuning=0.3,
+            nodes_min=1, nodes_max=8,
+            runtime_mean_min=220, runtime_sigma=1.0,
+            cpu_user=0.68, cpu_sys=0.05, cpu_iowait=0.10,
+            flops_frac=0.004, mem_frac_mean=0.48, mem_frac_sigma=0.20,
+            cache_frac=0.55,
+            io_scratch_write_mb=3.0, io_scratch_read_mb=9.0,
+            io_work_write_mb=0.30, io_work_read_mb=0.60,
+            net_mpi_mb=0.5, net_eth_mb=0.3, libraries=("libz", "libbz2"),
+        ),
+        _app(
+            name="custom_mpi", display="custom MPI codes", category="generic",
+            science_fields=(
+                "Physics", "Engineering", "Mathematical Sciences",
+                "Computer Science", "Earth Sciences",
+            ),
+            weight=0.13, nodes_log2_mean=2.0, nodes_log2_sigma=1.4,
+            nodes_min=1, nodes_max=512,
+            runtime_mean_min=300, runtime_sigma=1.1,
+            cpu_user=0.79, cpu_sys=0.04, cpu_iowait=0.02,
+            flops_frac=0.050, mem_frac_mean=0.20, mem_frac_sigma=0.45,
+            cache_frac=0.25,
+            io_scratch_write_mb=1.2, io_scratch_read_mb=0.5,
+            io_work_write_mb=0.10, io_work_read_mb=0.06,
+            net_mpi_mb=15.0, fail_rate=0.07, timeout_rate=0.05,
+            job_sigma=0.50, libraries=("libmpi",),
+        ),
+        _app(
+            name="serial_farm", display="serial task farms", category="serial",
+            science_fields=(
+                "Mathematical Sciences", "Computer Science",
+                "Social Sciences", "Biological Sciences",
+            ),
+            weight=0.05, nodes_log2_mean=0.0, nodes_log2_sigma=0.4,
+            nodes_min=1, nodes_max=4,
+            runtime_mean_min=420, runtime_sigma=1.0,
+            cpu_user=0.30, cpu_sys=0.02, cpu_iowait=0.02,
+            flops_frac=0.008, mem_frac_mean=0.09, mem_frac_sigma=0.40,
+            cache_frac=0.30,
+            io_scratch_write_mb=0.3, io_scratch_read_mb=0.2,
+            io_work_write_mb=0.05, io_work_read_mb=0.03,
+            net_mpi_mb=0.3, job_sigma=0.50, libraries=(),
+        ),
+        _app(
+            name="io_pipeline", display="data pipelines", category="io",
+            science_fields=("Earth Sciences", "Biological Sciences",
+                            "Atmospheric Sciences"),
+            weight=0.03, nodes_log2_mean=1.0, nodes_log2_sigma=0.8,
+            nodes_min=1, nodes_max=32,
+            runtime_mean_min=260, runtime_sigma=0.9,
+            cpu_user=0.33, cpu_sys=0.08, cpu_iowait=0.24,
+            flops_frac=0.006, mem_frac_mean=0.30, mem_frac_sigma=0.30,
+            cache_frac=0.60,
+            io_scratch_write_mb=22.0, io_scratch_read_mb=16.0,
+            io_work_write_mb=0.8, io_work_read_mb=0.4,
+            net_mpi_mb=2.0, net_eth_mb=0.5, block_mb=0.5,
+            fail_rate=0.06, libraries=("libhdf5", "libnetcdf"),
+        ),
+        _app(
+            name="matlab", display="MATLAB (single core)", category="serial",
+            science_fields=("Mathematical Sciences", "Social Sciences",
+                            "Engineering"),
+            weight=0.02, nodes_log2_mean=0.0, nodes_log2_sigma=0.2,
+            nodes_min=1, nodes_max=2,
+            runtime_mean_min=190, runtime_sigma=0.9,
+            cpu_user=0.11, cpu_sys=0.02, cpu_iowait=0.01,
+            flops_frac=0.004, mem_frac_mean=0.11, mem_frac_sigma=0.35,
+            cache_frac=0.25,
+            io_scratch_write_mb=0.15, io_scratch_read_mb=0.10,
+            io_work_write_mb=0.05, io_work_read_mb=0.03,
+            net_mpi_mb=0.05, net_eth_mb=0.2, libraries=("libmkl", "libjvm"),
+        ),
+    ]
+}
+
+
+def get_app(name: str) -> AppSignature:
+    """Look up an application archetype by tag."""
+    try:
+        return APP_CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; known: {sorted(APP_CATALOG)}"
+        ) from None

@@ -1,0 +1,35 @@
+"""Parent science field taxonomy.
+
+XSEDE accounting attributes every allocation to an NSF "parent science";
+Figure 7a breaks memory use down by these.  Weights approximate the Ranger
+job mix (molecular biosciences and physics dominate node-hours at TACC in
+this era).
+"""
+
+from __future__ import annotations
+
+__all__ = ["SCIENCE_FIELDS", "field_weights"]
+
+#: (field name, share of allocations).  Shares sum to 1.
+SCIENCE_FIELDS: tuple[tuple[str, float], ...] = (
+    ("Molecular Biosciences", 0.22),
+    ("Physics", 0.16),
+    ("Chemistry", 0.13),
+    ("Materials Research", 0.11),
+    ("Astronomical Sciences", 0.09),
+    ("Atmospheric Sciences", 0.08),
+    ("Earth Sciences", 0.06),
+    ("Engineering", 0.06),
+    ("Mathematical Sciences", 0.03),
+    ("Computer Science", 0.03),
+    ("Biological Sciences", 0.02),
+    ("Social Sciences", 0.01),
+)
+
+
+def field_weights() -> tuple[list[str], list[float]]:
+    """(names, normalized weights) for sampling."""
+    names = [f for f, _ in SCIENCE_FIELDS]
+    raw = [w for _, w in SCIENCE_FIELDS]
+    total = sum(raw)
+    return names, [w / total for w in raw]

@@ -1,0 +1,74 @@
+"""XDMoD-style analytics and reporting over the SUPReMM warehouse.
+
+Implements the paper's analysis surface: the eight key metrics and their
+normalized usage profiles (Figures 2/3/5), the wasted-node-hour efficiency
+analysis (Figure 4), the persistence/forecastability model (Table 1,
+Figure 6), system-level reports and time series (Figures 7-12), the
+correlation analysis that selected the key metrics (§4.2), and the
+per-stakeholder report generators (§4.3).
+"""
+
+from repro.xdmod.metrics import METRIC_INFO, MetricInfo, KEY_METRICS
+from repro.xdmod.query import JobQuery, GroupResult
+from repro.xdmod.correlation import correlation_matrix, select_independent
+from repro.xdmod.profiles import UsageProfiler
+from repro.xdmod.efficiency import EfficiencyAnalysis, UserEfficiency
+from repro.xdmod.persistence import PersistenceAnalysis, PERSISTENCE_METRICS
+from repro.xdmod.density import metric_density, series_density
+from repro.xdmod.timeseries import SystemTimeseries
+from repro.xdmod.realm import SupremmRealm
+from repro.xdmod.trends import TrendAnalysis, TrendResult
+from repro.xdmod.scheduling import SchedulingAnalysis
+from repro.xdmod.characterization import WorkloadCharacterization
+from repro.xdmod.bouquet import BouquetAnalysis
+from repro.xdmod.jobview import JobTimeline, job_timeline
+from repro.xdmod.appkernels import (
+    AppKernelMonitor,
+    AppKernelSpec,
+    DEFAULT_KERNELS,
+    PerfRegression,
+)
+from repro.xdmod.reports import (
+    UserReport,
+    DeveloperReport,
+    SupportStaffReport,
+    AdminReport,
+    ResourceManagerReport,
+    FundingAgencyReport,
+)
+
+__all__ = [
+    "METRIC_INFO",
+    "MetricInfo",
+    "KEY_METRICS",
+    "JobQuery",
+    "GroupResult",
+    "correlation_matrix",
+    "select_independent",
+    "UsageProfiler",
+    "EfficiencyAnalysis",
+    "UserEfficiency",
+    "PersistenceAnalysis",
+    "PERSISTENCE_METRICS",
+    "metric_density",
+    "series_density",
+    "SystemTimeseries",
+    "SupremmRealm",
+    "TrendAnalysis",
+    "TrendResult",
+    "SchedulingAnalysis",
+    "WorkloadCharacterization",
+    "BouquetAnalysis",
+    "JobTimeline",
+    "job_timeline",
+    "AppKernelMonitor",
+    "AppKernelSpec",
+    "DEFAULT_KERNELS",
+    "PerfRegression",
+    "UserReport",
+    "DeveloperReport",
+    "SupportStaffReport",
+    "AdminReport",
+    "ResourceManagerReport",
+    "FundingAgencyReport",
+]

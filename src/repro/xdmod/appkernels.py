@@ -1,0 +1,252 @@
+"""Application kernels: XDMoD's proactive performance auditing.
+
+The XDMoD framework the paper builds on (its reference [2], Furlani et
+al.) runs *application kernels* — small, fixed benchmark jobs submitted
+on a regular cadence under a dedicated account — and watches their
+metrics over time: a step change means the software stack, filesystem,
+or interconnect changed underneath the users.  The paper's §4.3.4 names
+"evaluating the efficiency and effectiveness of new versions of the
+system software stack" as an admin task this tool chain supports; app
+kernels are how XDMoD does it quantitatively.
+
+This module provides the kernel specs, the request injector (the cron
+job that submits them), and the control-chart monitor that detects
+regressions, plus :class:`PerfRegression` — the facility-side fault
+injector used to prove the monitor catches a degraded stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import FacilityConfig
+from repro.scheduler.job import JobRequest
+from repro.util.rng import stable_hash64
+from repro.workload.applications import get_app
+from repro.workload.users import UserProfile
+
+__all__ = [
+    "KERNEL_USER",
+    "AppKernelSpec",
+    "DEFAULT_KERNELS",
+    "PerfRegression",
+    "kernel_user_profile",
+    "kernel_requests",
+    "ControlChart",
+    "AppKernelMonitor",
+]
+
+#: The dedicated account the kernels run under (never a real user).
+KERNEL_USER = "appkernel"
+
+
+@dataclass(frozen=True)
+class AppKernelSpec:
+    """One benchmark kernel: a fixed configuration of a known code."""
+
+    name: str
+    app: str
+    nodes: int
+    runtime_minutes: float = 30.0
+    cadence_hours: float = 12.0
+
+    def __post_init__(self):
+        get_app(self.app)  # validate the tag early
+        if self.nodes < 1 or self.runtime_minutes <= 0:
+            raise ValueError(f"kernel {self.name}: bad geometry")
+        if self.cadence_hours <= 0:
+            raise ValueError(f"kernel {self.name}: bad cadence")
+
+    @property
+    def account(self) -> str:
+        return f"AK-{self.name}"
+
+
+#: The standard battery (mirrors XDMoD's NAMD/I-O/linear-algebra set).
+DEFAULT_KERNELS: tuple[AppKernelSpec, ...] = (
+    AppKernelSpec("namd8", "namd", nodes=8),
+    AppKernelSpec("md-small", "gromacs", nodes=2),
+    AppKernelSpec("io-bench", "io_pipeline", nodes=2,
+                  runtime_minutes=20.0),
+)
+
+
+@dataclass(frozen=True)
+class PerfRegression:
+    """A fault to inject: jobs of the given apps started after *start*
+    achieve only *flops_factor* of their FLOPS (a miscompiled library, a
+    bad BIOS setting after maintenance, ...).  ``apps=None`` hits every
+    application — a stack-wide regression."""
+
+    start: float
+    flops_factor: float
+    apps: tuple[str, ...] | None = None
+
+    def __post_init__(self):
+        if not 0 < self.flops_factor <= 1.5:
+            raise ValueError("flops_factor out of range")
+
+    def applies(self, app: str, start_time: float) -> bool:
+        if start_time < self.start:
+            return False
+        return self.apps is None or app in self.apps
+
+
+def kernel_user_profile() -> UserProfile:
+    """The benchmark account: perfectly efficient, deterministic."""
+    return UserProfile(
+        username=KERNEL_USER, uid=999, account="AK",
+        science_field="Computer Science",
+        apps=tuple(sorted({k.app for k in DEFAULT_KERNELS})),
+        activity=1e-6, persona="efficient", util_factor=1.0,
+        mem_factor=1.0, io_factor=1.0, net_factor=1.0,
+    )
+
+
+def kernel_requests(
+    specs: tuple[AppKernelSpec, ...],
+    config: FacilityConfig,
+    seed: int,
+    start_jobid: int = 9_000_000,
+) -> list[JobRequest]:
+    """The cron-submitted kernel jobs over the config's horizon."""
+    requests: list[JobRequest] = []
+    jobid = start_jobid
+    for spec in specs:
+        cadence = spec.cadence_hours * 3600.0
+        t = cadence * 0.5
+        while t < config.horizon:
+            runtime = spec.runtime_minutes * 60.0
+            requests.append(JobRequest(
+                jobid=str(jobid),
+                user=KERNEL_USER,
+                account=spec.account,
+                science_field="Computer Science",
+                app=spec.app,
+                queue="appkernel",
+                submit_time=t,
+                nodes=min(spec.nodes, max(1, config.num_nodes // 4)),
+                walltime_req=runtime * 2.0,
+                runtime=runtime,
+                behavior_seed=stable_hash64(
+                    f"{seed}/{config.stream_prefix}/appkernel/{jobid}"
+                ) % (1 << 62),
+            ))
+            jobid += 1
+            t += cadence
+    requests.sort(key=lambda r: r.submit_time)
+    return requests
+
+
+@dataclass(frozen=True)
+class ControlChart:
+    """One kernel×metric control chart."""
+
+    kernel: str
+    metric: str
+    times: np.ndarray
+    values: np.ndarray
+    baseline_mean: float
+    baseline_sigma: float
+    violations: np.ndarray  # boolean mask over values
+
+    @property
+    def violation_rate(self) -> float:
+        return float(self.violations.mean()) if self.values.size else 0.0
+
+    def first_violation_time(self) -> float | None:
+        idx = np.nonzero(self.violations)[0]
+        return float(self.times[idx[0]]) if idx.size else None
+
+
+class AppKernelMonitor:
+    """Control-chart monitoring of app-kernel runs.
+
+    Parameters
+    ----------
+    query:
+        The system's :class:`~repro.xdmod.query.JobQuery`.
+    baseline_runs:
+        Number of earliest runs that define each chart's center line.
+    sigma_threshold:
+        Deviations beyond this many baseline sigmas are violations.
+    min_sigma_frac:
+        Floor on the baseline sigma as a fraction of the mean, so a
+        freakishly quiet baseline cannot make noise look like a
+        regression.
+    """
+
+    #: Metrics watched per kernel run.
+    METRICS = ("cpu_flops", "cpu_idle", "io_scratch_write", "net_ib_tx")
+
+    def __init__(self, query, baseline_runs: int = 8,
+                 sigma_threshold: float = 3.0,
+                 min_sigma_frac: float = 0.02):
+        if baseline_runs < 3:
+            raise ValueError("need at least 3 baseline runs")
+        self.query = query.filter(user=KERNEL_USER)
+        self.baseline_runs = baseline_runs
+        self.sigma_threshold = sigma_threshold
+        self.min_sigma_frac = min_sigma_frac
+
+    def kernels(self) -> list[str]:
+        accounts = np.unique(self.query.column("account"))
+        return sorted(a[3:] for a in accounts if a.startswith("AK-"))
+
+    def chart(self, kernel: str, metric: str) -> ControlChart:
+        sub = self.query.filter(account=f"AK-{kernel}")
+        if len(sub) < self.baseline_runs + 2:
+            raise ValueError(
+                f"kernel {kernel}: only {len(sub)} runs, need "
+                f">= {self.baseline_runs + 2}"
+            )
+        order = np.argsort(sub.column("start_time"))
+        times = sub.column("start_time")[order]
+        values = sub.column(metric)[order]
+        base = values[: self.baseline_runs]
+        mean = float(base.mean())
+        sigma = max(float(base.std(ddof=1)),
+                    abs(mean) * self.min_sigma_frac, 1e-12)
+        violations = np.abs(values - mean) > self.sigma_threshold * sigma
+        violations[: self.baseline_runs] = False
+        return ControlChart(
+            kernel=kernel, metric=metric, times=times, values=values,
+            baseline_mean=mean, baseline_sigma=sigma,
+            violations=violations,
+        )
+
+    def detect_regressions(self, min_consecutive: int = 3) -> list[dict]:
+        """Sustained departures from baseline, most severe first.
+
+        A regression requires *min_consecutive* consecutive violations —
+        a single bad run is a rerun candidate, not a stack problem.
+        """
+        findings = []
+        for kernel in self.kernels():
+            for metric in self.METRICS:
+                try:
+                    chart = self.chart(kernel, metric)
+                except ValueError:
+                    continue
+                run = 0
+                onset_idx = None
+                for i, bad in enumerate(chart.violations):
+                    run = run + 1 if bad else 0
+                    if run >= min_consecutive:
+                        onset_idx = i - min_consecutive + 1
+                        break
+                if onset_idx is None:
+                    continue
+                after = chart.values[onset_idx:]
+                change = float(after.mean() / chart.baseline_mean - 1.0) \
+                    if chart.baseline_mean else float("nan")
+                findings.append({
+                    "kernel": kernel,
+                    "metric": metric,
+                    "onset_time": float(chart.times[onset_idx]),
+                    "relative_change": change,
+                })
+        findings.sort(key=lambda f: -abs(f["relative_change"]))
+        return findings

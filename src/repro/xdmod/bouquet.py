@@ -1,0 +1,128 @@
+"""The "bouquet of machines" analysis (paper §5).
+
+    "one could argue that given the very different demands placed on
+    machines by different applications and from users from different
+    fields of science, XSEDE should consider providing a 'bouquet' of
+    machines tuned to different user groups rather than the monolithic
+    general purpose machines of today."
+
+Given a warehouse holding several systems, this module scores every
+significant application on every system (efficiency, FLOPS yield, memory
+headroom), recommends a placement, and quantifies the prize: the
+node-hours that would stop being wasted if each application ran on its
+best-fit machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ingest.warehouse import Warehouse
+from repro.util.tables import render_kv, render_table
+from repro.xdmod.query import JobQuery
+
+__all__ = ["AppPlacement", "BouquetAnalysis"]
+
+
+@dataclass(frozen=True)
+class AppPlacement:
+    """One application's cross-system comparison."""
+
+    app: str
+    per_system: dict[str, dict[str, float]]  # system -> scores
+    best_system: str
+    current_wasted_node_hours: float
+    wasted_if_placed: float
+
+    @property
+    def savings_node_hours(self) -> float:
+        return self.current_wasted_node_hours - self.wasted_if_placed
+
+
+class BouquetAnalysis:
+    """Cross-system application placement from one shared warehouse."""
+
+    def __init__(self, warehouse: Warehouse, min_jobs_per_system: int = 15):
+        systems = warehouse.systems()
+        if len(systems) < 2:
+            raise ValueError(
+                "the bouquet analysis needs at least two systems in the "
+                f"warehouse; found {systems}"
+            )
+        self.systems = systems
+        self.min_jobs = min_jobs_per_system
+        self._queries = {s: JobQuery(warehouse, s) for s in systems}
+
+    def _scores(self, query: JobQuery, app: str) -> dict[str, float] | None:
+        sub = query.filter(app=app)
+        if len(sub) < self.min_jobs:
+            return None
+        idle = sub.weighted_mean("cpu_idle")
+        return {
+            "jobs": float(len(sub)),
+            "node_hours": sub.node_hours,
+            "efficiency": 1.0 - idle,
+            "flops_gf": sub.weighted_mean("cpu_flops"),
+            "wasted_node_hours": sub.node_hours * idle,
+        }
+
+    def placements(self) -> list[AppPlacement]:
+        """Per-app cross-system scores for every app with enough jobs on
+        at least two systems, biggest potential savings first."""
+        apps: set[str] = set()
+        for q in self._queries.values():
+            apps.update(str(a) for a in np.unique(q.column("app")))
+        out: list[AppPlacement] = []
+        for app in sorted(apps):
+            per_system = {}
+            for system, q in self._queries.items():
+                scores = self._scores(q, app)
+                if scores is not None:
+                    per_system[system] = scores
+            if len(per_system) < 2:
+                continue
+            best = max(per_system, key=lambda s: per_system[s]["efficiency"])
+            current_wasted = sum(
+                s["wasted_node_hours"] for s in per_system.values())
+            total_nh = sum(s["node_hours"] for s in per_system.values())
+            wasted_if = total_nh * (1.0 - per_system[best]["efficiency"])
+            out.append(AppPlacement(
+                app=app, per_system=per_system, best_system=best,
+                current_wasted_node_hours=current_wasted,
+                wasted_if_placed=wasted_if,
+            ))
+        out.sort(key=lambda p: -p.savings_node_hours)
+        return out
+
+    def total_savings(self) -> float:
+        """Node-hours recovered facility-wide by best-fit placement
+        (negative contributions clipped: nobody forces a move that makes
+        things worse)."""
+        return float(sum(max(p.savings_node_hours, 0.0)
+                         for p in self.placements()))
+
+    def render(self) -> str:
+        placements = self.placements()
+        rows = []
+        for p in placements:
+            row = {"application": p.app, "steer to": p.best_system,
+                   "saves (nh)": f"{max(p.savings_node_hours, 0):.0f}"}
+            for system in self.systems:
+                s = p.per_system.get(system)
+                row[system] = (f"{s['efficiency']:.1%}" if s else "-")
+            rows.append(row)
+        return "\n\n".join([
+            render_kv({
+                "systems": ", ".join(self.systems),
+                "apps compared": len(placements),
+                "recoverable node-hours": f"{self.total_savings():.0f}",
+            }, title="BOUQUET ANALYSIS (paper §5)"),
+            render_table(
+                rows,
+                ["application"] + list(self.systems)
+                + ["steer to", "saves (nh)"],
+                title="Per-application efficiency by system",
+            ),
+        ])

@@ -1,0 +1,142 @@
+"""Workload characterization — §4.3.4's "system level resource use
+patterns and workload characterization" and §4.3.5's "differences in job
+characteristics by discipline area".
+
+Distributional views of the job mix itself (as opposed to its resource
+use): job-size spectrum on power-of-two classes, runtime classes, the
+queue mix, and per-discipline comparisons of the structural job
+parameters — what a center feeds into procurement sizing ("HPC systems
+are purchased based on performance on a projected job mix", §1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.xdmod.query import JobQuery
+
+__all__ = ["SpectrumBin", "WorkloadCharacterization"]
+
+_RUNTIME_EDGES_H = (0.0, 0.5, 2.0, 8.0, 24.0, float("inf"))
+_RUNTIME_LABELS = ("<30m", "30m-2h", "2h-8h", "8h-24h", ">24h")
+
+
+@dataclass(frozen=True)
+class SpectrumBin:
+    """One class of the job-size or runtime spectrum."""
+
+    label: str
+    job_count: int
+    job_share: float
+    node_hours: float
+    node_hour_share: float
+
+
+class WorkloadCharacterization:
+    """Structural views of one system's job mix."""
+
+    def __init__(self, query: JobQuery):
+        if len(query) == 0:
+            raise ValueError("no jobs to characterize")
+        self.query = query
+        self._nodes = query.column("nodes")
+        self._hours = (query.column("end_time")
+                       - query.column("start_time")) / 3600.0
+        self._nh = query.column("node_hours")
+
+    def _spectrum(self, labels, masks) -> list[SpectrumBin]:
+        n = len(self.query)
+        total_nh = float(self._nh.sum())
+        out = []
+        for label, mask in zip(labels, masks):
+            count = int(mask.sum())
+            if count == 0:
+                continue
+            nh = float(self._nh[mask].sum())
+            out.append(SpectrumBin(
+                label=label, job_count=count, job_share=count / n,
+                node_hours=nh, node_hour_share=nh / total_nh,
+            ))
+        return out
+
+    def size_spectrum(self) -> list[SpectrumBin]:
+        """Job counts and node-hours on power-of-two size classes."""
+        max_pow = int(np.ceil(np.log2(max(self._nodes.max(), 1)))) + 1
+        labels, masks = [], []
+        for p in range(max_pow + 1):
+            lo = 1 if p == 0 else (1 << (p - 1)) + 1
+            hi = 1 << p
+            if lo > hi:
+                continue
+            labels.append(str(hi) if lo == hi else f"{lo}-{hi}")
+            masks.append((self._nodes >= lo) & (self._nodes <= hi))
+        return self._spectrum(labels, masks)
+
+    def runtime_spectrum(self) -> list[SpectrumBin]:
+        """Job counts and node-hours on runtime classes."""
+        labels, masks = [], []
+        for label, lo, hi in zip(_RUNTIME_LABELS, _RUNTIME_EDGES_H,
+                                 _RUNTIME_EDGES_H[1:]):
+            labels.append(label)
+            masks.append((self._hours >= lo) & (self._hours < hi))
+        return self._spectrum(labels, masks)
+
+    def queue_mix(self) -> list[SpectrumBin]:
+        queues = self.query.column("queue")
+        labels = [str(q) for q in np.unique(queues)]
+        masks = [queues == q for q in labels]
+        bins = self._spectrum(labels, masks)
+        bins.sort(key=lambda b: -b.node_hours)
+        return bins
+
+    def discipline_contrast(self, min_share: float = 0.02) -> list[dict]:
+        """Per-science-field structural parameters (the §4.3.5
+        "differences in job characteristics by discipline area" report):
+        weighted mean size, weighted mean runtime, serial fraction."""
+        out = []
+        fields = self.query.column("science_field")
+        total_nh = float(self._nh.sum())
+        for field in np.unique(fields):
+            sel = fields == field
+            nh = float(self._nh[sel].sum())
+            if nh < min_share * total_nh:
+                continue
+            w = self._nh[sel]
+            out.append({
+                "science_field": str(field),
+                "node_hour_share": nh / total_nh,
+                "mean_nodes": float(np.sum(self._nodes[sel] * w) / nh),
+                "mean_runtime_h": float(np.sum(self._hours[sel] * w) / nh),
+                "serial_job_fraction": float(
+                    (self._nodes[sel] == 1).mean()),
+            })
+        out.sort(key=lambda d: -d["node_hour_share"])
+        return out
+
+    def concentration(self) -> dict[str, float]:
+        """How concentrated is consumption (Figure 2's premise that a
+        handful of users dominate): top-1/5/10% user shares and the Gini
+        coefficient of per-user node-hours."""
+        groups = self.query.group_by("user", metrics=())
+        hours = np.sort(np.array([g.node_hours for g in groups]))[::-1]
+        total = hours.sum()
+        n = hours.size
+
+        def top_share(frac: float) -> float:
+            k = max(1, int(np.ceil(frac * n)))
+            return float(hours[:k].sum() / total)
+
+        asc = hours[::-1]
+        gini = float(
+            (2 * np.sum((np.arange(1, n + 1)) * asc) / (n * total))
+            - (n + 1) / n
+        ) if n > 1 else 0.0
+        return {
+            "users": float(n),
+            "top_1pct_share": top_share(0.01),
+            "top_5pct_share": top_share(0.05),
+            "top_10pct_share": top_share(0.10),
+            "gini": gini,
+        }

@@ -1,0 +1,112 @@
+"""Wasted node-hours and efficiency outliers — Figure 4 (and the circled
+users profiled in Figure 5).
+
+Definitions follow the paper exactly: *wasted node-hours* are node-hours
+spent with the CPU idle (``node_hours × cpu_idle``); *efficiency* is "the
+percentage of time not spent in CPU idle"; the red line on the scatter is
+the facility-average efficiency (90 % on Ranger, 85 % on Lonestar4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.xdmod.query import JobQuery
+
+__all__ = ["UserEfficiency", "EfficiencyAnalysis"]
+
+
+@dataclass(frozen=True)
+class UserEfficiency:
+    """One user's point on the Figure 4 scatter."""
+
+    user: str
+    node_hours: float
+    wasted_node_hours: float
+    job_count: int
+
+    @property
+    def idle_fraction(self) -> float:
+        return self.wasted_node_hours / self.node_hours
+
+    @property
+    def efficiency(self) -> float:
+        return 1.0 - self.idle_fraction
+
+
+class EfficiencyAnalysis:
+    """Figure 4's analysis over one system's jobs."""
+
+    def __init__(self, query: JobQuery):
+        self.query = query
+        self._users = self._compute()
+
+    def _compute(self) -> list[UserEfficiency]:
+        groups = self.query.group_by("user", metrics=("cpu_idle",))
+        out = []
+        for g in groups:
+            out.append(UserEfficiency(
+                user=g.key,
+                node_hours=g.node_hours,
+                wasted_node_hours=g.node_hours * g.mean("cpu_idle"),
+                job_count=g.job_count,
+            ))
+        return out
+
+    @property
+    def users(self) -> list[UserEfficiency]:
+        """All users, heaviest consumers first."""
+        return list(self._users)
+
+    @property
+    def facility_efficiency(self) -> float:
+        """1 − node-hour-weighted mean cpu_idle (the red line's level)."""
+        total = sum(u.node_hours for u in self._users)
+        wasted = sum(u.wasted_node_hours for u in self._users)
+        if total <= 0:
+            raise ValueError("no node-hours in query")
+        return 1.0 - wasted / total
+
+    def scatter(self) -> tuple[np.ndarray, np.ndarray, list[str]]:
+        """(total node-hours, wasted node-hours, user names) per user."""
+        x = np.array([u.node_hours for u in self._users])
+        y = np.array([u.wasted_node_hours for u in self._users])
+        names = [u.user for u in self._users]
+        return x, y, names
+
+    def users_above_line(self, efficiency_line: float | None = None) -> list[UserEfficiency]:
+        """Users whose idle fraction exceeds the efficiency line's
+        complement (points above the red line)."""
+        line = (
+            efficiency_line if efficiency_line is not None
+            else self.facility_efficiency
+        )
+        idle_line = 1.0 - line
+        return [u for u in self._users if u.idle_fraction > idle_line]
+
+    def worst_heavy_user(self, top_fraction: float = 0.25,
+                         min_jobs: int = 3) -> UserEfficiency:
+        """The "circled" user: among the heaviest consumers, the one
+        wasting the largest fraction of node-hours.
+
+        Parameters
+        ----------
+        top_fraction:
+            Consider users within the top fraction by node-hours (the
+            paper circles *large* users — a tiny user at 90 % idle is not
+            interesting to support staff).
+        min_jobs:
+            Ignore users with fewer jobs than this (one bad job is noise).
+        """
+        if not self._users:
+            raise ValueError("no users")
+        k = max(1, int(len(self._users) * top_fraction))
+        heavy = [u for u in self._users[:k] if u.job_count >= min_jobs]
+        if not heavy:
+            heavy = self._users[:k]
+        return max(heavy, key=lambda u: u.idle_fraction)
+
+    def wasted_total(self) -> float:
+        return float(sum(u.wasted_node_hours for u in self._users))

@@ -1,0 +1,140 @@
+"""Report/chart data exporters.
+
+XDMoD's web UI serves every chart's underlying data as CSV/JSON for
+download ("the option for stakeholders to define custom reports", §4.3);
+this module provides the same: any aggregate, profile, time series, or
+density from the analytics layer can be exported as CSV text or a
+JSON-serializable chart-data dict (labels + series, ready for any
+plotting front end).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.xdmod.density import DensityCurve
+from repro.xdmod.profiles import Profile
+from repro.xdmod.query import GroupResult
+from repro.xdmod.timeseries import SeriesSummary
+
+__all__ = [
+    "to_csv",
+    "groups_to_csv",
+    "profile_chart",
+    "series_chart",
+    "density_chart",
+    "groups_chart",
+    "dump_json",
+]
+
+
+def to_csv(rows: Sequence[dict[str, Any]],
+           columns: Sequence[str] | None = None) -> str:
+    """Serialize dict rows as CSV (header included)."""
+    if not rows:
+        raise ValueError("no rows to export")
+    cols = list(columns) if columns else list(rows[0])
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=cols, extrasaction="raise")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({c: row[c] for c in cols})
+    return buf.getvalue()
+
+
+def groups_to_csv(groups: Sequence[GroupResult],
+                  metrics: Sequence[str] = ()) -> str:
+    """Group-by results (one row per group) as CSV."""
+    rows = []
+    for g in groups:
+        row: dict[str, Any] = {
+            "group": g.key,
+            "job_count": g.job_count,
+            "node_hours": round(g.node_hours, 3),
+        }
+        for m in metrics:
+            row[m] = g.weighted_means[m]
+        rows.append(row)
+    return to_csv(rows)
+
+
+def _chart(kind: str, title: str, **payload: Any) -> dict[str, Any]:
+    return {"kind": kind, "title": title, **payload}
+
+
+def profile_chart(profile: Profile) -> dict[str, Any]:
+    """A normalized usage profile as radar-chart data (Figures 2/3/5)."""
+    return _chart(
+        "radar",
+        f"{profile.dimension}={profile.entity}",
+        axes=list(profile.values),
+        values=[float(v) for v in profile.values.values()],
+        baseline=1.0,
+        meta={
+            "node_hours": profile.node_hours,
+            "job_count": profile.job_count,
+            "raw": {k: float(v) for k, v in profile.raw.items()},
+        },
+    )
+
+
+def series_chart(series: SeriesSummary, max_points: int = 2000) -> dict[str, Any]:
+    """A system time series as line-chart data (Figures 7-9/11).
+
+    Long series are decimated by averaging into at most *max_points*
+    buckets so exports stay browser-sized.
+    """
+    t, v = series.times, series.values
+    if t.size > max_points:
+        edges = np.linspace(0, t.size, max_points + 1).astype(int)
+        t = np.array([t[a:b].mean() for a, b in zip(edges[:-1], edges[1:])
+                      if b > a])
+        v = np.array([series.values[a:b].mean()
+                      for a, b in zip(edges[:-1], edges[1:]) if b > a])
+    return _chart(
+        "line",
+        series.name,
+        t=[float(x) for x in t],
+        y=[float(x) for x in v],
+        meta={"mean": series.mean, "peak": series.peak,
+              "min": series.minimum},
+    )
+
+
+def density_chart(curve: DensityCurve) -> dict[str, Any]:
+    """A KDE as area-chart data (Figures 10/12)."""
+    return _chart(
+        "area",
+        curve.label,
+        x=[float(x) for x in curve.grid],
+        y=[float(y) for y in curve.density],
+        meta={"mean": curve.mean, "mode": curve.mode},
+    )
+
+
+def groups_chart(groups: Sequence[GroupResult], metric: str | None,
+                 title: str) -> dict[str, Any]:
+    """Group-by results as bar-chart data (Figure 7a style)."""
+    if not groups:
+        raise ValueError("no groups to export")
+    values = [
+        g.node_hours if metric is None else g.weighted_means[metric]
+        for g in groups
+    ]
+    return _chart(
+        "bar",
+        title,
+        labels=[g.key for g in groups],
+        values=[float(v) for v in values],
+        meta={"metric": metric or "node_hours"},
+    )
+
+
+def dump_json(chart: dict[str, Any]) -> str:
+    """Stable JSON text for a chart-data dict."""
+    return json.dumps(chart, sort_keys=True, indent=2)

@@ -1,0 +1,209 @@
+"""Per-job drill-down: the SUPReMM "job viewer".
+
+TACC_Stats' defining feature is that samples are "tagged with a batch job
+id to enable offline job-by-job profile analysis" (§3).  This module does
+that analysis for a single job from raw parsed host data: per-interval
+rate series for the key quantities, per-host comparison (is one node the
+straggler?), and a rendered text timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tacc_stats.collectors.intel_pmc import FP_OVERCOUNT
+from repro.tacc_stats.parser import event_delta
+from repro.tacc_stats.types import HostData
+from repro.util.tables import render_kv
+from repro.util.textchart import series_text
+from repro.util.units import GB, KB
+
+__all__ = ["JobTimeline", "job_timeline"]
+
+#: (label, extractor kind, args) for the quantities the viewer shows.
+_RATE_SPECS = {
+    "cpu_user_frac": ("cpu", "user", "frac"),
+    "cpu_idle_frac": ("cpu", "idle", "frac"),
+    "flops_gf": (None, None, "flops"),
+    "mem_used_gb": ("mem", "MemUsed", "gauge_gb"),
+    "scratch_write_mb": ("llite", "write_bytes", "mb_rate"),
+    "ib_tx_mb": ("ib", "port_xmit_data", "words_mb_rate"),
+}
+
+
+@dataclass
+class JobTimeline:
+    """Per-interval rate series of one job on one or more hosts.
+
+    ``series[name]`` is a (n_hosts, n_intervals) array; ``times`` holds
+    the interval midpoints.
+    """
+
+    jobid: str
+    hostnames: tuple[str, ...]
+    times: np.ndarray
+    series: dict[str, np.ndarray]
+
+    @property
+    def n_intervals(self) -> int:
+        return self.times.size
+
+    def host_mean(self, name: str) -> np.ndarray:
+        """Across-host mean series for one quantity."""
+        return self.series[name].mean(axis=0)
+
+    def straggler(self, name: str = "cpu_user_frac") -> tuple[str, float]:
+        """(hostname, relative deviation) of the most deviant host —
+        load-imbalance debugging, a classic job-viewer use."""
+        per_host = self.series[name].mean(axis=1)
+        overall = per_host.mean()
+        if overall == 0:
+            raise ValueError(f"no signal in {name}")
+        idx = int(np.argmax(np.abs(per_host - overall)))
+        return self.hostnames[idx], float(per_host[idx] / overall - 1.0)
+
+    def render(self) -> str:
+        """Text rendering: one sparkline per quantity (host means)."""
+        lines = [render_kv({
+            "job": self.jobid,
+            "hosts": len(self.hostnames),
+            "intervals": self.n_intervals,
+            "window": f"{self.times[0]:.0f} .. {self.times[-1]:.0f}",
+        }, title=f"Job timeline — {self.jobid}")]
+        width = max(len(n) for n in self.series)
+        for name, mat in self.series.items():
+            lines.append(series_text(self.times, mat.mean(axis=0),
+                                     label=f"{name:<{width}}", fmt=".2f"))
+        return "\n".join(lines)
+
+
+def _interval_deltas(host: HostData, blocks, type_name: str, key: str,
+                     sum_devices: bool = True) -> np.ndarray | None:
+    """Per-interval counter deltas summed across devices."""
+    schema = host.schemas.get(type_name)
+    if schema is None:
+        return None
+    col = schema.index_of(key)
+    width = schema.entries[col].width
+    out = np.zeros(len(blocks) - 1)
+    for i, (prev, cur) in enumerate(zip(blocks, blocks[1:])):
+        devs_prev = prev.rows.get(type_name)
+        devs_cur = cur.rows.get(type_name)
+        if not devs_prev or not devs_cur:
+            return None
+        total = 0
+        for dev, v_cur in devs_cur.items():
+            v_prev = devs_prev.get(dev)
+            if v_prev is None:
+                return None
+            total += event_delta(int(v_prev[col]), int(v_cur[col]), width)
+        out[i] = total
+    return out
+
+
+def _host_series(host: HostData, jobid: str) -> tuple[np.ndarray, dict]:
+    blocks = host.blocks_for_job(jobid)
+    if len(blocks) < 2:
+        raise ValueError(
+            f"{host.hostname}: job {jobid} has < 2 samples"
+        )
+    times = np.array([b.time for b in blocks])
+    dt = np.diff(times)
+    mids = 0.5 * (times[:-1] + times[1:])
+    cores = len(host.blocks[0].rows.get("cpu", {})) or 16
+
+    out: dict[str, np.ndarray] = {}
+    cpu_total = None
+    for name, (type_name, key, kind) in _RATE_SPECS.items():
+        if kind == "frac":
+            deltas = _interval_deltas(host, blocks, type_name, key)
+            if deltas is None:
+                continue
+            if cpu_total is None:
+                parts = [
+                    _interval_deltas(host, blocks, "cpu", k)
+                    for k in ("user", "nice", "system", "idle", "iowait",
+                              "irq", "softirq")
+                ]
+                if any(p is None for p in parts):
+                    continue
+                cpu_total = np.sum(parts, axis=0)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                out[name] = np.where(cpu_total > 0, deltas / cpu_total, 0.0)
+        elif kind == "flops":
+            if "amd64_pmc" in host.schemas:
+                deltas = _interval_deltas(host, blocks, "amd64_pmc", "ctr0")
+                scale = 1.0
+            elif "intel_pmc" in host.schemas:
+                deltas = _interval_deltas(host, blocks, "intel_pmc", "ctr0")
+                scale = 1.0 / FP_OVERCOUNT
+            else:
+                deltas = None
+                scale = 1.0
+            if deltas is None:
+                continue
+            out[name] = deltas * scale / dt / 1e9
+        elif kind == "gauge_gb":
+            schema = host.schemas.get(type_name)
+            if schema is None:
+                continue
+            col = schema.index_of(key)
+            vals = np.array([
+                sum(float(v[col]) for v in b.rows.get(type_name, {}).values())
+                for b in blocks
+            ])
+            out[name] = 0.5 * (vals[:-1] + vals[1:]) * KB / GB
+        elif kind == "mb_rate":
+            deltas = _interval_deltas(host, blocks, type_name, key)
+            if deltas is None:
+                continue
+            out[name] = deltas / dt / 1e6
+        elif kind == "words_mb_rate":
+            deltas = _interval_deltas(host, blocks, type_name, key)
+            if deltas is None:
+                continue
+            out[name] = deltas * 4.0 / dt / 1e6
+    return mids, out
+
+
+def job_timeline(jobid: str, hosts: list[HostData]) -> JobTimeline:
+    """Build the drill-down timeline of one job from its hosts' data.
+
+    Hosts whose streams lack a quantity (e.g. foreign PMCs) are skipped
+    for that quantity only; at least one host must provide each series.
+    """
+    if not hosts:
+        raise ValueError("no host data")
+    per_host: list[tuple[str, np.ndarray, dict]] = []
+    for h in hosts:
+        # Streams that never carried the job (or saw only its begin
+        # sample) are simply not part of this job's timeline.
+        if len(h.blocks_for_job(jobid)) < 2:
+            continue
+        mids, series = _host_series(h, jobid)
+        per_host.append((h.hostname, mids, series))
+    if not per_host:
+        raise ValueError(f"job {jobid}: no host stream with >= 2 samples")
+
+    # Align on the shortest common interval count (a crashed host may
+    # have fewer samples).
+    n = min(mids.size for _, mids, _ in per_host)
+    if n == 0:
+        raise ValueError(f"job {jobid}: no usable intervals")
+    times = per_host[0][1][:n]
+
+    series: dict[str, np.ndarray] = {}
+    for name in _RATE_SPECS:
+        rows = [s[name][:n] for _, _, s in per_host if name in s]
+        if rows:
+            series[name] = np.vstack(rows)
+    if not series:
+        raise ValueError(f"job {jobid}: no extractable series")
+    return JobTimeline(
+        jobid=jobid,
+        hostnames=tuple(h for h, _, _ in per_host),
+        times=times,
+        series=series,
+    )

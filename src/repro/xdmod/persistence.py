@@ -1,0 +1,148 @@
+"""Persistence (forecastability) analysis — Table 1 and Figure 6.
+
+Method (paper §4.3.4): for a system-level metric series x(t) sampled every
+10 minutes, introduce an offset τ and compute the standard deviation of
+the difference ``x(t+τ) − x(t)``, normalized by the standard deviation of
+the metric itself.  A ratio near 0 means the value τ minutes out is almost
+known; a ratio near 1 means no better than the ensemble statistics.
+
+Normalization note (documented in DESIGN.md): for an uncorrelated process
+``std(x(t+τ)−x(t)) = √2·σ``, yet the paper's table saturates at ≈1.0 — so
+their ratio must be the √2-pooled one, ``std(diff)/(√2·σ)``, which is what
+we compute.
+
+The per-metric ratios are fit against log10(offset) (Table 1's last row);
+all metrics pooled give the combined fit of Figure 6, whose slope the
+paper relates to the mean weighted job length (549 min Ranger / 446 min
+Lonestar4: shorter jobs → faster loss of memory → steeper slope).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ingest.warehouse import Warehouse
+from repro.util.stats import LinearFit, fit_line
+
+__all__ = [
+    "PERSISTENCE_METRICS",
+    "offset_std_ratio",
+    "MetricPersistence",
+    "PersistenceAnalysis",
+]
+
+#: Table 1's five metrics -> the warehouse series that carries each.
+PERSISTENCE_METRICS: dict[str, str] = {
+    "cpu_flops": "flops_tf",
+    "mem_used": "mem_used_gb_per_node",
+    "io_scratch_write": "io_scratch_write_mb",
+    "net_ib_tx": "net_ib_tx_mb",
+    "cpu_idle": "cpu_idle_frac",
+}
+
+#: Table 1's offsets, in minutes.
+DEFAULT_OFFSETS_MIN: tuple[int, ...] = (10, 30, 100, 500, 1000)
+
+
+def offset_std_ratio(values: np.ndarray, offset_steps: int) -> float:
+    """``std(x[k+τ] − x[k]) / (√2 · std(x))`` for one integer-step offset."""
+    x = np.asarray(values, dtype=float)
+    if offset_steps < 1:
+        raise ValueError("offset must be >= 1 step")
+    if x.size <= offset_steps + 1:
+        raise ValueError(
+            f"series too short ({x.size}) for offset {offset_steps}"
+        )
+    sigma = x.std()
+    if sigma == 0:
+        raise ValueError("series is constant; ratio undefined")
+    diff = x[offset_steps:] - x[:-offset_steps]
+    return float(diff.std() / (np.sqrt(2.0) * sigma))
+
+
+@dataclass(frozen=True)
+class MetricPersistence:
+    """One metric's row of Table 1."""
+
+    metric: str
+    offsets_min: tuple[int, ...]
+    ratios: tuple[float, ...]
+    fit: LinearFit  # ratio vs log10(offset_min)
+
+    @property
+    def fit_r_squared(self) -> float:
+        return self.fit.r_squared
+
+    def predictability_horizon_min(self) -> float:
+        """Offset at which the fitted ratio reaches 1 (no predictive
+        power left) — comparable to the mean job length per the paper."""
+        if self.fit.slope <= 0:
+            return float("inf")
+        return float(10.0 ** ((1.0 - self.fit.intercept) / self.fit.slope))
+
+
+class PersistenceAnalysis:
+    """Builds Table 1 and the Figure 6 combined fit for one system."""
+
+    def __init__(
+        self,
+        warehouse: Warehouse,
+        system: str,
+        offsets_min: tuple[int, ...] = DEFAULT_OFFSETS_MIN,
+        metrics: dict[str, str] | None = None,
+    ):
+        self.system = system
+        self.offsets_min = offsets_min
+        self._metrics = dict(metrics or PERSISTENCE_METRICS)
+        info = warehouse.system_info(system)
+        self.step_min = info["sample_interval"] / 60.0
+        self._series: dict[str, np.ndarray] = {}
+        for metric, series_name in self._metrics.items():
+            _, v = warehouse.series(system, series_name)
+            self._series[metric] = v
+
+    def table(self) -> list[MetricPersistence]:
+        """Table 1: one row per metric."""
+        out = []
+        for metric in self._metrics:
+            v = self._series[metric]
+            ratios = []
+            offs = []
+            for off_min in self.offsets_min:
+                steps = max(1, int(round(off_min / self.step_min)))
+                try:
+                    ratios.append(offset_std_ratio(v, steps))
+                    offs.append(off_min)
+                except ValueError:
+                    continue  # series too short for this offset
+            if len(ratios) < 3:
+                raise ValueError(
+                    f"series for {metric} too short for persistence table"
+                )
+            fit = fit_line(np.log10(offs), np.array(ratios))
+            out.append(MetricPersistence(
+                metric=metric,
+                offsets_min=tuple(offs),
+                ratios=tuple(ratios),
+                fit=fit,
+            ))
+        return out
+
+    def combined_fit(self) -> LinearFit:
+        """Figure 6: all metrics' (log10 offset, ratio) points in one OLS."""
+        xs: list[float] = []
+        ys: list[float] = []
+        for row in self.table():
+            xs.extend(np.log10(row.offsets_min))
+            ys.extend(row.ratios)
+        return fit_line(np.array(xs), np.array(ys))
+
+    def predictability_order(self) -> list[str]:
+        """Metrics from least to most predictable (paper:
+        io_scratch_write < net_ib_tx ~ cpu_idle < mem_used ~ cpu_flops),
+        ordered by the ratio at the shortest offset."""
+        rows = self.table()
+        rows.sort(key=lambda r: -r.ratios[0])
+        return [r.metric for r in rows]

@@ -1,0 +1,155 @@
+"""Job-level query engine: filter / group-by / weighted statistics.
+
+This is the analytical core under every report: load the joined
+job+metrics table once into column arrays, then answer group-by questions
+with vectorized numpy.  All metric averages are node-hour weighted, per
+the paper's §4.1 ("values were calculated by the job weighted by
+node*hour").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ingest.summarize import SUMMARY_METRICS
+from repro.ingest.warehouse import Warehouse
+
+__all__ = ["JobQuery", "GroupResult"]
+
+DIMENSIONS = ("user", "account", "science_field", "app", "queue",
+              "exit_status")
+
+
+@dataclass(frozen=True)
+class GroupResult:
+    """One group's aggregates from :meth:`JobQuery.group_by`."""
+
+    key: str
+    job_count: int
+    node_hours: float
+    weighted_means: dict[str, float]
+
+    def mean(self, metric: str) -> float:
+        return self.weighted_means[metric]
+
+
+class JobQuery:
+    """A filterable view over one system's jobs.
+
+    Filters return *new* queries (the underlying arrays are shared), so a
+    base query can branch cheaply into per-report variants.
+    """
+
+    def __init__(self, warehouse: Warehouse, system: str,
+                 metrics: tuple[str, ...] = SUMMARY_METRICS,
+                 _table: dict[str, np.ndarray] | None = None,
+                 _mask: np.ndarray | None = None):
+        self.system = system
+        self.metrics = metrics
+        self._table = (
+            _table if _table is not None
+            else warehouse.job_table(system, metrics)
+        )
+        n = len(self._table["jobid"])
+        self._mask = _mask if _mask is not None else np.ones(n, dtype=bool)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _derive(self, mask: np.ndarray) -> "JobQuery":
+        q = object.__new__(JobQuery)
+        q.system = self.system
+        q.metrics = self.metrics
+        q._table = self._table
+        q._mask = mask
+        return q
+
+    def column(self, name: str) -> np.ndarray:
+        """A column restricted to the current filter."""
+        return self._table[name][self._mask]
+
+    def __len__(self) -> int:
+        return int(self._mask.sum())
+
+    # -- filtering -------------------------------------------------------------
+
+    def filter(self, **dims: str | tuple[str, ...]) -> "JobQuery":
+        """Filter on dimension equality, e.g. ``filter(user="user0042")``
+        or ``filter(app=("namd", "amber"))``."""
+        mask = self._mask.copy()
+        for dim, value in dims.items():
+            if dim not in DIMENSIONS:
+                raise ValueError(f"unknown dimension {dim!r}")
+            col = self._table[dim]
+            if isinstance(value, tuple):
+                mask &= np.isin(col, value)
+            else:
+                mask &= col == value
+        return self._derive(mask)
+
+    def filter_range(self, column: str, lo: float | None = None,
+                     hi: float | None = None) -> "JobQuery":
+        """Filter on a numeric column range (inclusive bounds)."""
+        col = self._table[column]
+        mask = self._mask.copy()
+        if lo is not None:
+            mask &= col >= lo
+        if hi is not None:
+            mask &= col <= hi
+        return self._derive(mask)
+
+    # -- statistics --------------------------------------------------------------
+
+    @property
+    def node_hours(self) -> float:
+        return float(self.column("node_hours").sum())
+
+    def weighted_mean(self, metric: str) -> float:
+        """Node-hour-weighted mean of a metric over the filtered jobs."""
+        v = self.column(metric)
+        w = self.column("node_hours")
+        if v.size == 0:
+            raise ValueError(f"no jobs in filter for metric {metric!r}")
+        wsum = w.sum()
+        if wsum <= 0:
+            raise ValueError("zero node-hours in filter")
+        return float(np.sum(v * w) / wsum)
+
+    def weighted_means(self, metrics: tuple[str, ...] | None = None) -> dict[str, float]:
+        return {
+            m: self.weighted_mean(m) for m in (metrics or self.metrics)
+        }
+
+    def group_by(self, dimension: str,
+                 metrics: tuple[str, ...] | None = None) -> list[GroupResult]:
+        """Aggregate by a dimension, ordered by descending node-hours."""
+        if dimension not in DIMENSIONS:
+            raise ValueError(f"unknown dimension {dimension!r}")
+        metrics = metrics or self.metrics
+        keys = self.column(dimension)
+        w = self.column("node_hours")
+        vals = {m: self.column(m) for m in metrics}
+        out: list[GroupResult] = []
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        for gi, key in enumerate(uniq):
+            sel = inverse == gi
+            wsel = w[sel]
+            wsum = wsel.sum()
+            means = {
+                m: float(np.sum(vals[m][sel] * wsel) / wsum) if wsum > 0
+                else float("nan")
+                for m in metrics
+            }
+            out.append(GroupResult(
+                key=str(key),
+                job_count=int(sel.sum()),
+                node_hours=float(wsum),
+                weighted_means=means,
+            ))
+        out.sort(key=lambda g: -g.node_hours)
+        return out
+
+    def top(self, dimension: str, n: int) -> list[str]:
+        """The *n* heaviest values of a dimension by node-hours."""
+        return [g.key for g in self.group_by(dimension, metrics=())[:n]]

@@ -1,0 +1,117 @@
+"""Scheduling-effectiveness analytics (paper §4.3.4: "assessing the
+effectiveness with which the current scheduling and resource management
+policies and tactics are obtaining desired objectives").
+
+The standard queueing metrics a center tracks: wait times and bounded
+slowdown by queue and by job-size class, plus throughput.  These are the
+numbers an admin compares before/after a policy change (our scheduler
+ablation benches do exactly that comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.stats import weighted_quantile
+from repro.xdmod.query import JobQuery
+
+__all__ = ["ClassStats", "SchedulingAnalysis"]
+
+#: Bounded-slowdown floor (standard in the scheduling literature: avoid
+#: tiny jobs dominating the metric).
+_BSLD_FLOOR_S = 600.0
+
+#: Job-size classes (nodes).
+_SIZE_CLASSES = ((1, 1, "serial"), (2, 8, "small"), (9, 64, "medium"),
+                 (65, 10**9, "large"))
+
+
+@dataclass(frozen=True)
+class ClassStats:
+    """Queueing statistics of one job class."""
+
+    key: str
+    job_count: int
+    node_hours: float
+    median_wait_h: float
+    p90_wait_h: float
+    mean_bounded_slowdown: float
+
+    @staticmethod
+    def from_arrays(key: str, wait_s: np.ndarray, run_s: np.ndarray,
+                    node_hours: float) -> "ClassStats":
+        if wait_s.size == 0:
+            raise ValueError(f"class {key}: no jobs")
+        bsld = (wait_s + run_s) / np.maximum(run_s, _BSLD_FLOOR_S)
+        return ClassStats(
+            key=key,
+            job_count=int(wait_s.size),
+            node_hours=float(node_hours),
+            median_wait_h=float(np.median(wait_s)) / 3600.0,
+            p90_wait_h=float(np.percentile(wait_s, 90)) / 3600.0,
+            mean_bounded_slowdown=float(np.maximum(bsld, 1.0).mean()),
+        )
+
+
+class SchedulingAnalysis:
+    """Wait/slowdown breakdowns over one system's jobs."""
+
+    def __init__(self, query: JobQuery):
+        if len(query) == 0:
+            raise ValueError("no jobs to analyze")
+        self.query = query
+        self._wait = (query.column("start_time")
+                      - query.column("submit_time"))
+        self._run = np.maximum(
+            query.column("end_time") - query.column("start_time"), 1.0)
+        self._nodes = query.column("nodes")
+        self._nh = query.column("node_hours")
+
+    def overall(self) -> ClassStats:
+        return ClassStats.from_arrays("(all)", self._wait, self._run,
+                                      float(self._nh.sum()))
+
+    def by_queue(self) -> list[ClassStats]:
+        """Wait statistics per submission queue, busiest first."""
+        out = []
+        queues = self.query.column("queue")
+        for q in np.unique(queues):
+            sel = queues == q
+            out.append(ClassStats.from_arrays(
+                str(q), self._wait[sel], self._run[sel],
+                float(self._nh[sel].sum()),
+            ))
+        out.sort(key=lambda c: -c.node_hours)
+        return out
+
+    def by_size(self) -> list[ClassStats]:
+        """Wait statistics per job-size class (serial → large)."""
+        out = []
+        for lo, hi, label in _SIZE_CLASSES:
+            sel = (self._nodes >= lo) & (self._nodes <= hi)
+            if not sel.any():
+                continue
+            out.append(ClassStats.from_arrays(
+                label, self._wait[sel], self._run[sel],
+                float(self._nh[sel].sum()),
+            ))
+        return out
+
+    def weighted_wait_quantile(self, q: float) -> float:
+        """Node-hour-weighted wait quantile, hours — what the *machine's
+        capacity* experienced, not what the median small job did."""
+        return weighted_quantile(self._wait, q, weights=self._nh) / 3600.0
+
+    def large_job_penalty(self) -> float:
+        """Median wait of the largest class over the smallest — how much
+        extra queueing a big allocation pays (backfill's known cost)."""
+        classes = {c.key: c for c in self.by_size()}
+        small = classes.get("serial") or classes.get("small")
+        big = classes.get("large") or classes.get("medium")
+        if small is None or big is None:
+            raise ValueError("need both small and large job classes")
+        if small.median_wait_h == 0:
+            return float("inf") if big.median_wait_h > 0 else 1.0
+        return big.median_wait_h / small.median_wait_h

@@ -1,0 +1,100 @@
+"""System-level time series — Figures 7b/7c, 8, 9 and 11.
+
+Thin retrieval/summary layer over the warehouse's ``system_series`` table:
+each accessor returns the raw (t, v) pair plus the summary facts the paper
+quotes (mean vs peak, fraction of benchmarked peak, dips to zero).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ingest.warehouse import Warehouse
+
+__all__ = ["SeriesSummary", "SystemTimeseries"]
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """One series with its headline statistics."""
+
+    name: str
+    times: np.ndarray
+    values: np.ndarray
+
+    @property
+    def mean(self) -> float:
+        return float(self.values.mean())
+
+    @property
+    def peak(self) -> float:
+        return float(self.values.max())
+
+    @property
+    def minimum(self) -> float:
+        return float(self.values.min())
+
+    def fraction_of(self, reference: float) -> float:
+        """Mean as a fraction of a reference (e.g. 579 TF peak)."""
+        if reference <= 0:
+            raise ValueError("reference must be positive")
+        return self.mean / reference
+
+    def time_at_zero_fraction(self, eps: float = 1e-9) -> float:
+        """Fraction of samples at (essentially) zero — the outage dips."""
+        return float(np.mean(self.values <= eps))
+
+
+class SystemTimeseries:
+    """Accessors for one system's stored series."""
+
+    def __init__(self, warehouse: Warehouse, system: str):
+        self.warehouse = warehouse
+        self.system = system
+        self.info = warehouse.system_info(system)
+
+    def _get(self, name: str) -> SeriesSummary:
+        t, v = self.warehouse.series(self.system, name)
+        return SeriesSummary(name=name, times=t, values=v)
+
+    def active_nodes(self) -> SeriesSummary:
+        """Figure 8: nodes up over time."""
+        return self._get("active_nodes")
+
+    def flops(self) -> SeriesSummary:
+        """Figure 9: system FLOPS in TF."""
+        return self._get("flops_tf")
+
+    def memory_per_node(self) -> SeriesSummary:
+        """Figure 11: mean memory used per active node, GB."""
+        return self._get("mem_used_gb_per_node")
+
+    def cpu_hours_split(self) -> dict[str, SeriesSummary]:
+        """Figure 7b: user/system/idle CPU fractions over time."""
+        return {
+            name: self._get(f"cpu_{name}_frac")
+            for name in ("user", "sys", "idle")
+        }
+
+    def lustre_rates(self) -> dict[str, SeriesSummary]:
+        """Figure 7c: per-filesystem aggregate write rates (MB/s)."""
+        out = {}
+        for fs in ("scratch", "work", "share"):
+            name = f"io_{fs}_write_mb"
+            try:
+                out[fs] = self._get(name)
+            except KeyError:
+                continue  # LS4 has no share mount
+        if not out:
+            raise KeyError(f"no Lustre series for {self.system}")
+        return out
+
+    def flops_fraction_of_peak(self) -> float:
+        """Figure 9's headline: measured mean vs benchmarked peak."""
+        return self.flops().fraction_of(self.info["peak_tflops"])
+
+    def memory_fraction_of_capacity(self) -> float:
+        """Figure 11's headline: mean memory vs installed GB/node."""
+        return self.memory_per_node().mean / self.info["mem_gb_per_node"]

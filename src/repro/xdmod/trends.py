@@ -1,0 +1,135 @@
+"""Resource-use trends — §4.3.5's "job-level resource use trends" and
+"resource use trends and predictions" for resource managers and funding
+agencies.
+
+Aggregates job facts into fixed time buckets (default: weekly), fits a
+linear trend per group, and ranks growers/shrinkers — the "planning for
+future systems" view: which disciplines and applications are expanding
+their share of the machine, and what would the mix look like at the next
+procurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.stats import LinearFit, fit_line
+from repro.util.timeutil import WEEK
+from repro.xdmod.query import DIMENSIONS, JobQuery
+
+__all__ = ["TrendResult", "TrendAnalysis"]
+
+
+@dataclass(frozen=True)
+class TrendResult:
+    """One group's usage trajectory."""
+
+    key: str
+    bucket_times: np.ndarray     # bucket start, seconds
+    node_hours: np.ndarray       # per bucket
+    fit: LinearFit               # node-hours per bucket vs bucket index
+
+    @property
+    def slope_per_bucket(self) -> float:
+        """Node-hours gained (+) or lost (−) per bucket."""
+        return self.fit.slope
+
+    @property
+    def relative_growth(self) -> float:
+        """Slope relative to the mean bucket (fraction per bucket)."""
+        mean = float(self.node_hours.mean())
+        if mean == 0:
+            return 0.0
+        return self.fit.slope / mean
+
+    @property
+    def significant(self) -> bool:
+        return self.fit.slope_p < 0.05
+
+    def forecast(self, buckets_ahead: int) -> float:
+        """Extrapolated node-hours per bucket (floored at zero)."""
+        n = self.bucket_times.size
+        return max(0.0, float(self.fit.predict([n - 1 + buckets_ahead])[0]))
+
+
+class TrendAnalysis:
+    """Bucketed trend fits over one system's jobs.
+
+    Parameters
+    ----------
+    query:
+        The system's job query.
+    bucket_seconds:
+        Bucket width (default one week — XDMoD's default trend grain).
+    min_buckets:
+        Minimum buckets required to fit a trend.
+    """
+
+    def __init__(self, query: JobQuery, bucket_seconds: float = WEEK,
+                 min_buckets: int = 4):
+        if bucket_seconds <= 0:
+            raise ValueError("bucket_seconds must be positive")
+        if min_buckets < 3:
+            raise ValueError("need at least 3 buckets for a trend")
+        self.query = query
+        self.bucket_seconds = float(bucket_seconds)
+        self.min_buckets = min_buckets
+        start = query.column("start_time")
+        if start.size == 0:
+            raise ValueError("no jobs to analyze")
+        self._n_buckets = int(start.max() // self.bucket_seconds) + 1
+        if self._n_buckets < min_buckets:
+            raise ValueError(
+                f"horizon covers only {self._n_buckets} buckets; need "
+                f">= {min_buckets} (shrink bucket_seconds?)"
+            )
+
+    @property
+    def n_buckets(self) -> int:
+        return self._n_buckets
+
+    def _bucketize(self, sub: JobQuery) -> np.ndarray:
+        """Node-hours per bucket for a filtered query (jobs are assigned
+        to the bucket of their start time, as XDMoD does)."""
+        out = np.zeros(self._n_buckets)
+        idx = (sub.column("start_time") // self.bucket_seconds).astype(int)
+        np.add.at(out, np.clip(idx, 0, self._n_buckets - 1),
+                  sub.column("node_hours"))
+        return out
+
+    def trend(self, dimension: str, key: str) -> TrendResult:
+        """Trend of one group's node-hours."""
+        if dimension not in DIMENSIONS:
+            raise ValueError(f"unknown dimension {dimension!r}")
+        sub = self.query.filter(**{dimension: key})
+        if len(sub) == 0:
+            raise ValueError(f"no jobs for {dimension}={key!r}")
+        hours = self._bucketize(sub)
+        times = np.arange(self._n_buckets) * self.bucket_seconds
+        fit = fit_line(np.arange(self._n_buckets, dtype=float), hours)
+        return TrendResult(key=key, bucket_times=times, node_hours=hours,
+                           fit=fit)
+
+    def all_trends(self, dimension: str,
+                   min_node_hours: float = 0.0) -> list[TrendResult]:
+        """Trends for every group above a consumption floor, sorted by
+        relative growth (fastest growers first)."""
+        results = []
+        for g in self.query.group_by(dimension, metrics=()):
+            if g.node_hours < min_node_hours:
+                continue
+            results.append(self.trend(dimension, g.key))
+        results.sort(key=lambda t: -t.relative_growth)
+        return results
+
+    def total_trend(self) -> TrendResult:
+        """The whole system's delivered node-hours trajectory."""
+        hours = self._bucketize(self.query)
+        fit = fit_line(np.arange(self._n_buckets, dtype=float), hours)
+        return TrendResult(
+            key="(total)",
+            bucket_times=np.arange(self._n_buckets) * self.bucket_seconds,
+            node_hours=hours, fit=fit,
+        )

@@ -1,0 +1,83 @@
+"""Tests for the ANCOR-style diagnosis engine."""
+
+import pytest
+
+from repro.anomaly.ancor import AncorAnalysis
+
+
+@pytest.fixture(scope="module")
+def ancor(fast_run):
+    return AncorAnalysis(fast_run.warehouse, "ranger")
+
+
+def test_association_table_structure(ancor):
+    table = ancor.association_table(min_support=2)
+    assert table
+    lifts = [a.lift for a in table]
+    assert lifts == sorted(lifts, reverse=True)
+    for a in table:
+        assert a.support <= a.anomalous_jobs
+        assert 0 < a.base_rate <= 1
+        assert a.confidence <= 1.0
+
+
+def test_causal_generator_structure_recovered(ancor):
+    """The syslog generator ties OOM to memory pressure and Lustre
+    trouble to scratch writes; the mined lifts must reflect that — the
+    point of ANCOR."""
+    table = ancor.association_table(min_support=2)
+    io_lustre = [a for a in table
+                 if a.metric in ("io_scratch_write", "net_lnet_tx")
+                 and a.kind in ("lustre_timeout", "lustre_eviction")]
+    assert io_lustre, "I/O anomalies must associate with Lustre faults"
+    assert max(a.lift for a in io_lustre) > 2.0
+
+
+def test_diagnose_failed_jobs(ancor):
+    diagnoses = ancor.diagnose_failures()
+    assert diagnoses
+    for d in diagnoses[:10]:
+        assert d.exit_status != "completed"
+        assert d.failure_events or d.anomalies
+        if d.hypotheses:
+            scores = [s for _, s in d.hypotheses]
+            assert scores == sorted(scores, reverse=True)
+
+
+def test_diagnosis_explains_lustre_victims(ancor, fast_run):
+    """A job with Lustre failure events and a high-I/O anomaly should be
+    diagnosed as filesystem overload."""
+    hits = [
+        d for d in ancor.diagnose_failures()
+        if any(k.startswith("lustre") for k in d.failure_events)
+        and any(a.metric.startswith("io") and a.robust_z > 0
+                for a in d.anomalies)
+    ]
+    if not hits:
+        pytest.skip("no lustre-failed anomalous job in this seed")
+    assert any("filesystem overload" in (d.top_hypothesis or "")
+               for d in hits)
+
+
+def test_lead_time_positive(ancor):
+    lead = ancor.mean_lead_time()
+    assert lead is not None
+    # Prologs land at start, fault events mid-run: hours of warning.
+    assert lead > 0
+
+
+def test_diagnose_unknown_job(ancor):
+    with pytest.raises(KeyError):
+        ancor.diagnose("no-such-job")
+
+
+def test_diagnosis_without_anomaly_names_external_cause(ancor):
+    """Jobs with failure events but no anomaly get the external-cause
+    hypothesis rather than an empty diagnosis."""
+    candidates = [
+        d for d in ancor.diagnose_failures()
+        if d.failure_events and not d.anomalies
+    ]
+    for d in candidates[:5]:
+        assert d.hypotheses
+        assert "external/hardware" in d.hypotheses[0][0] or d.hypotheses

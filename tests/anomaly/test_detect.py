@@ -1,0 +1,64 @@
+"""Tests for per-metric job anomaly detection."""
+
+import numpy as np
+import pytest
+
+from repro.anomaly.detect import AnomalyDetector
+
+
+@pytest.fixture(scope="module")
+def detector(fast_query):
+    return AnomalyDetector(fast_query, z_threshold=4.0)
+
+
+def test_flags_are_extreme_for_their_app(detector, fast_query):
+    flags = detector.detect()
+    assert flags  # a heavy-tailed workload always has outliers
+    for a in flags[:20]:
+        sub = fast_query.filter(app=a.app)
+        v = sub.column(a.metric)
+        med = float(np.median(v))
+        assert a.baseline_median == pytest.approx(med)
+        # The flagged value really is in the tail of its app's values.
+        q = (v <= a.value).mean() if a.robust_z > 0 else (v >= a.value).mean()
+        # MAD-z >= 4 lands deep in the tail; small per-app samples make
+        # the empirical percentile fuzzy (a tight cluster of values gives
+        # a tiny MAD, so z >= 4 can sit at the ~85th percentile).
+        assert q > 0.8
+
+
+def test_flags_sorted_by_severity(detector):
+    flags = detector.detect()
+    zs = [abs(a.robust_z) for a in flags]
+    assert zs == sorted(zs, reverse=True)
+    assert all(abs(a.robust_z) >= 4.0 for a in flags)
+
+
+def test_direction_labels(detector):
+    flags = detector.detect()
+    for a in flags[:10]:
+        assert a.direction == ("high" if a.robust_z > 0 else "low")
+
+
+def test_by_job_groups_multi_metric(detector):
+    grouped = detector.by_job()
+    sizes = [len(v) for v in grouped.values()]
+    assert sizes == sorted(sizes, reverse=True)
+    total = sum(sizes)
+    assert total == len(detector.detect())
+
+
+def test_small_apps_skipped(fast_query):
+    det = AnomalyDetector(fast_query, min_app_jobs=10**9)
+    assert det.detect() == []
+
+
+def test_threshold_validation(fast_query):
+    with pytest.raises(ValueError):
+        AnomalyDetector(fast_query, z_threshold=0.0)
+
+
+def test_higher_threshold_fewer_flags(fast_query):
+    loose = AnomalyDetector(fast_query, z_threshold=3.0).detect()
+    strict = AnomalyDetector(fast_query, z_threshold=6.0).detect()
+    assert len(strict) <= len(loose)

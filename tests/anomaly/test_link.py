@@ -1,0 +1,39 @@
+"""Tests for anomaly↔failure linkage (the ANCOR direction)."""
+
+import pytest
+
+from repro.anomaly.detect import AnomalyDetector
+from repro.anomaly.link import link_anomalies_to_failures
+
+
+@pytest.fixture(scope="module")
+def link(fast_run, fast_query):
+    anomalies = AnomalyDetector(fast_query, z_threshold=3.5).detect()
+    return link_anomalies_to_failures(fast_run.warehouse, "ranger",
+                                      anomalies)
+
+
+def test_population_partition(link, fast_run):
+    total_jobs = fast_run.warehouse.job_count("ranger")
+    assert link.anomalous_total + link.normal_total == total_jobs
+    assert link.anomalous_with_failures <= link.anomalous_total
+    assert link.normal_with_failures <= link.normal_total
+
+
+def test_anomalies_enriched_for_failures(link):
+    """Paper §4.3.1: anomalous resource use patterns are commonly the
+    precursors of job failures — the generator builds this causality in,
+    and the linkage must recover it."""
+    assert link.anomalous_failure_rate > link.normal_failure_rate
+    assert link.enrichment > 1.3
+
+
+def test_linked_structure(link):
+    for jobid, (flags, failures) in link.linked.items():
+        assert flags
+        assert all(f.jobid == jobid for f in flags)
+
+
+def test_rates_in_bounds(link):
+    assert 0.0 <= link.anomalous_failure_rate <= 1.0
+    assert 0.0 <= link.normal_failure_rate <= 1.0

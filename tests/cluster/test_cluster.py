@@ -1,0 +1,109 @@
+"""Tests for cluster allocation bookkeeping and outage handling."""
+
+import pytest
+
+from repro.cluster.cluster import AllocationError, Cluster
+from repro.cluster.filesystem import ranger_filesystems
+from repro.cluster.hardware import ranger_node
+
+
+@pytest.fixture
+def cluster():
+    return Cluster("test", 8, ranger_node(), ranger_filesystems())
+
+
+def test_capacity_properties(cluster):
+    assert cluster.num_nodes == 8
+    assert cluster.free_count == 8
+    assert cluster.active_count == 8
+    assert cluster.busy_count == 0
+    assert cluster.total_cores == 8 * 16
+    assert cluster.peak_tflops == pytest.approx(8 * 147.2 / 1000)
+
+
+def test_allocate_and_release(cluster):
+    nodes = cluster.allocate("j1", 3)
+    assert len(nodes) == 3
+    assert cluster.free_count == 5
+    assert cluster.busy_count == 3
+    assert sorted(cluster.nodes_of("j1")) == sorted(nodes)
+    returned = cluster.release("j1")
+    assert sorted(returned) == sorted(nodes)
+    assert cluster.free_count == 8
+    cluster.check_invariants()
+
+
+def test_allocate_too_many_rejected(cluster):
+    with pytest.raises(AllocationError, match="only 8 free"):
+        cluster.allocate("j1", 9)
+
+
+def test_allocate_twice_rejected(cluster):
+    cluster.allocate("j1", 2)
+    with pytest.raises(AllocationError, match="already holds"):
+        cluster.allocate("j1", 1)
+
+
+def test_allocate_zero_rejected(cluster):
+    with pytest.raises(AllocationError):
+        cluster.allocate("j1", 0)
+
+
+def test_release_unknown_rejected(cluster):
+    with pytest.raises(AllocationError, match="holds no nodes"):
+        cluster.release("nope")
+
+
+def test_full_outage_kills_jobs_and_reduces_active(cluster):
+    cluster.allocate("j1", 4)
+    victims = cluster.begin_outage(None)
+    assert victims == {"j1"}
+    assert cluster.active_count == 0
+    assert cluster.free_count == 0
+    # Scheduler fails the job: release returns nothing (nodes are down).
+    assert cluster.release("j1") == []
+    cluster.end_outage(None, now=100.0)
+    assert cluster.active_count == 8
+    assert cluster.free_count == 8
+    cluster.check_invariants()
+
+
+def test_partial_outage_only_hits_targets(cluster):
+    nodes = cluster.allocate("j1", 2)
+    untouched = [i for i in range(8) if i not in nodes][:2]
+    victims = cluster.begin_outage(untouched)
+    assert victims == set()
+    assert cluster.active_count == 6
+    assert cluster.busy_count == 2
+    cluster.release("j1")
+    cluster.end_outage(untouched, now=50.0)
+    assert cluster.free_count == 8
+    cluster.check_invariants()
+
+
+def test_outage_idempotent_on_down_nodes(cluster):
+    cluster.begin_outage([0, 1])
+    cluster.begin_outage([0, 1])  # no crash, no double-remove
+    assert cluster.active_count == 6
+    restored = cluster.end_outage([0, 1], now=10.0)
+    assert restored == 2
+
+
+def test_partial_node_failure_mid_job(cluster):
+    nodes = cluster.allocate("j1", 3)
+    victims = cluster.begin_outage([nodes[1]])
+    assert victims == {"j1"}
+    # Releasing the job returns only its surviving nodes.
+    returned = cluster.release("j1")
+    assert len(returned) == 2
+    assert cluster.free_count == 7
+    cluster.check_invariants()
+
+
+def test_hostnames_unique(cluster):
+    names = {n.hostname for n in cluster.nodes}
+    assert len(names) == 8
+
+
+def test_filesystem_states_created(cluster):
+    assert set(cluster.filesystems) == {"scratch", "work", "share"}

@@ -1,0 +1,107 @@
+"""Tests for the Lustre/NFS filesystem policy model."""
+
+import pytest
+
+from repro.cluster.filesystem import (
+    FilesystemSpec,
+    FilesystemState,
+    QuotaExceeded,
+    lonestar4_filesystems,
+    ranger_filesystems,
+)
+from repro.util.units import GB, TB
+
+
+def test_paper_policy_split():
+    """§4.2: scratch is purged with a huge quota; work is non-purged, 200 GB."""
+    fs = {s.name: s for s in ranger_filesystems()}
+    assert fs["scratch"].purged
+    assert fs["scratch"].quota_bytes >= 100 * TB
+    assert not fs["work"].purged
+    assert fs["work"].quota_bytes == 200 * GB
+
+
+def test_lonestar4_has_nfs_home():
+    kinds = {s.name: s.kind for s in lonestar4_filesystems()}
+    assert kinds["home"] == "nfs"
+    assert kinds["scratch"] == "lustre"
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        FilesystemSpec("x", "fat32", "/x", quota_bytes=GB)
+    with pytest.raises(ValueError):
+        FilesystemSpec("x", "lustre", "/x", quota_bytes=0)
+
+
+@pytest.fixture
+def work():
+    return FilesystemState(FilesystemSpec("work", "lustre", "/work",
+                                          quota_bytes=10 * GB))
+
+
+@pytest.fixture
+def scratch():
+    return FilesystemState(FilesystemSpec(
+        "scratch", "lustre", "/scratch", quota_bytes=100 * TB,
+        purged=True, purge_age_days=10,
+    ))
+
+
+def test_charges_accumulate(work):
+    work.charge_write("u1", 4 * GB, now=0.0)
+    work.charge_read(GB)
+    assert work.bytes_written == 4 * GB
+    assert work.bytes_read == GB
+    assert work.usage("u1") == 4 * GB
+    assert work.total_resident == 4 * GB
+
+
+def test_quota_enforced(work):
+    work.charge_write("u1", 8 * GB, now=0.0)
+    with pytest.raises(QuotaExceeded):
+        work.charge_write("u1", 4 * GB, now=1.0)
+    # Another user has their own quota.
+    work.charge_write("u2", 8 * GB, now=1.0)
+
+
+def test_quota_can_be_waived(work):
+    work.charge_write("u1", 30 * GB, now=0.0, enforce_quota=False)
+    assert work.usage("u1") == 30 * GB
+
+
+def test_release_frees_oldest_first(work):
+    work.charge_write("u1", 2 * GB, now=0.0)
+    work.charge_write("u1", 3 * GB, now=10.0)
+    work.release("u1", 2 * GB)
+    assert work.usage("u1") == 3 * GB
+
+
+def test_release_partial_extent(work):
+    work.charge_write("u1", 4 * GB, now=0.0)
+    work.release("u1", GB)
+    assert work.usage("u1") == 3 * GB
+
+
+def test_purge_deletes_old_extents(scratch):
+    day = 86400.0
+    scratch.charge_write("u1", 5 * GB, now=0.0)
+    scratch.charge_write("u1", 2 * GB, now=8 * day)
+    freed = scratch.run_purge(now=12 * day)
+    assert freed == 5 * GB
+    assert scratch.usage("u1") == 2 * GB
+    # Throughput counters are never purged.
+    assert scratch.bytes_written == 7 * GB
+
+
+def test_purge_noop_on_unpurged(work):
+    work.charge_write("u1", GB, now=0.0)
+    assert work.run_purge(now=1e9) == 0.0
+    assert work.usage("u1") == GB
+
+
+def test_negative_charges_rejected(work):
+    with pytest.raises(ValueError):
+        work.charge_write("u1", -1.0, now=0.0)
+    with pytest.raises(ValueError):
+        work.charge_read(-1.0)

@@ -1,0 +1,62 @@
+"""Tests for processor/node hardware models against published specs."""
+
+import pytest
+
+from repro.cluster.hardware import (
+    NodeHardware,
+    OPTERON_BARCELONA,
+    ProcessorSpec,
+    XEON_5680,
+    lonestar4_node,
+    ranger_node,
+)
+from repro.util.units import GB
+
+
+def test_ranger_node_matches_paper():
+    node = ranger_node()
+    assert node.cores == 16
+    assert node.sockets == 4
+    assert node.memory_gb == pytest.approx(32.0)
+    assert node.memory_per_core_gb == pytest.approx(2.0)
+    assert node.processor.arch == "amd64"
+    # 2.3 GHz x 4 flops/cycle x 16 cores = 147.2 GF; x 3936 nodes ~ 579 TF.
+    assert node.peak_gflops == pytest.approx(147.2)
+    assert node.peak_gflops * 3936 / 1000 == pytest.approx(579.4, abs=0.5)
+
+
+def test_lonestar4_node_matches_paper():
+    node = lonestar4_node()
+    assert node.cores == 12
+    assert node.memory_gb == pytest.approx(24.0)
+    assert node.memory_per_core_gb == pytest.approx(2.0)
+    assert node.processor.arch == "intel"
+    assert node.processor.clock_ghz == pytest.approx(3.33)
+
+
+def test_pmc_event_sets_match_paper():
+    # Paper §3: Opteron events are FLOPS, memory accesses, data cache
+    # fills and SMP/NUMA traffic; Intel events are FLOPS, SMP/NUMA
+    # traffic and L1 data cache hits.
+    assert OPTERON_BARCELONA.pmc_events == (
+        "SSE_FLOPS", "DRAM_ACCESSES", "DCACHE_SYS_FILLS", "HT_LINK_TRAFFIC"
+    )
+    assert XEON_5680.pmc_events == ("FP_COMP_OPS", "QPI_TRAFFIC", "L1D_HITS")
+
+
+def test_processor_validation():
+    with pytest.raises(ValueError):
+        ProcessorSpec("x", "sparc", 2.0, 4, 4, ())
+    with pytest.raises(ValueError):
+        ProcessorSpec("x", "intel", 2.0, 0, 4, ())
+
+
+def test_node_validation():
+    with pytest.raises(ValueError):
+        NodeHardware(processor=XEON_5680, sockets=0, memory_bytes=GB)
+    with pytest.raises(ValueError):
+        NodeHardware(processor=XEON_5680, sockets=2, memory_bytes=0)
+
+
+def test_counter_width_default():
+    assert OPTERON_BARCELONA.counter_width == 48

@@ -1,0 +1,53 @@
+"""Tests for the InfiniBand fabric model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.interconnect import Fabric, InterconnectSpec
+
+
+def test_spec_rates():
+    sdr = InterconnectSpec(link_gbps=8.0)
+    assert sdr.link_mb_s == pytest.approx(1000.0)
+    with pytest.raises(ValueError):
+        InterconnectSpec(kind="tokenring")
+    with pytest.raises(ValueError):
+        InterconnectSpec(link_gbps=0.0)
+
+
+def test_fabric_leaf_mapping():
+    fabric = Fabric(InterconnectSpec(radix=4), num_nodes=10)
+    assert fabric.num_leaves == 3
+    assert fabric.leaf_of(0) == 0
+    assert fabric.leaf_of(3) == 0
+    assert fabric.leaf_of(4) == 1
+    assert fabric.leaf_of(9) == 2
+    assert list(fabric.nodes_on_leaf(1)) == [4, 5, 6, 7]
+
+
+def test_fabric_bounds():
+    fabric = Fabric(InterconnectSpec(radix=4), num_nodes=8)
+    with pytest.raises(IndexError):
+        fabric.leaf_of(8)
+    with pytest.raises(IndexError):
+        fabric.nodes_on_leaf(2)
+
+
+def test_leaf_aggregate_sums_members():
+    fabric = Fabric(InterconnectSpec(radix=2), num_nodes=4)
+    agg = fabric.leaf_aggregate(np.array([1.0, 2.0, 3.0, 4.0]))
+    np.testing.assert_allclose(agg, [3.0, 7.0])
+
+
+def test_leaf_aggregate_shape_checked():
+    fabric = Fabric(InterconnectSpec(radix=2), num_nodes=4)
+    with pytest.raises(ValueError):
+        fabric.leaf_aggregate(np.ones(3))
+
+
+def test_leaf_saturation():
+    spec = InterconnectSpec(link_gbps=8.0, radix=2)  # 1000 MB/s links
+    fabric = Fabric(spec, num_nodes=2)
+    sat = fabric.leaf_saturation(np.array([2000.0, 2000.0]),
+                                 uplinks_per_leaf=4)
+    assert sat[0] == pytest.approx(1.0)

@@ -1,0 +1,61 @@
+"""Tests for node state transitions."""
+
+import pytest
+
+from repro.cluster.hardware import ranger_node
+from repro.cluster.node import Node, NodeState
+
+
+@pytest.fixture
+def node():
+    return Node(index=3, hostname="c000-003.test", hardware=ranger_node())
+
+
+def test_allocate_release_cycle(node):
+    assert node.is_free
+    node.allocate("j1")
+    assert node.state is NodeState.ALLOCATED
+    assert node.jobid == "j1"
+    node.release()
+    assert node.is_free
+    assert node.jobid is None
+
+
+def test_double_allocate_rejected(node):
+    node.allocate("j1")
+    with pytest.raises(RuntimeError, match="cannot allocate"):
+        node.allocate("j2")
+
+
+def test_release_free_rejected(node):
+    with pytest.raises(RuntimeError, match="cannot release"):
+        node.release()
+
+
+def test_mark_down_returns_victim(node):
+    node.allocate("j1")
+    assert node.mark_down() == "j1"
+    assert node.state is NodeState.DOWN
+    assert node.jobid is None
+
+
+def test_mark_down_free_node_no_victim(node):
+    assert node.mark_down() is None
+
+
+def test_mark_up_resets_boot_time(node):
+    node.mark_down()
+    node.mark_up(now=1000.0)
+    assert node.is_free
+    assert node.boot_time == 1000.0
+
+
+def test_mark_up_requires_down(node):
+    with pytest.raises(RuntimeError):
+        node.mark_up(now=5.0)
+
+
+def test_allocate_down_node_rejected(node):
+    node.mark_down()
+    with pytest.raises(RuntimeError):
+        node.allocate("j1")

@@ -1,0 +1,70 @@
+"""Tests for the outage generator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.outages import Outage, OutageGenerator, OutageKind
+from repro.util.timeutil import DAY
+
+
+def _gen(**kw):
+    defaults = dict(num_nodes=100)
+    defaults.update(kw)
+    return OutageGenerator(**defaults)
+
+
+def test_outage_validation():
+    with pytest.raises(ValueError):
+        Outage(10.0, 10.0, OutageKind.SCHEDULED)
+    with pytest.raises(ValueError):
+        OutageGenerator(num_nodes=0)
+
+
+def test_outages_sorted_and_disjoint():
+    rng = np.random.default_rng(0)
+    outages = _gen(unscheduled_rate_per_month=20.0).generate(90 * DAY, rng)
+    for a, b in zip(outages, outages[1:]):
+        assert a.start <= b.start
+        assert a.end <= b.start  # disjoint
+
+
+def test_scheduled_cadence():
+    rng = np.random.default_rng(1)
+    outages = _gen(scheduled_interval_days=30,
+                   unscheduled_rate_per_month=0.0).generate(200 * DAY, rng)
+    scheduled = [o for o in outages if o.kind is OutageKind.SCHEDULED]
+    assert 4 <= len(scheduled) <= 9
+    assert all(o.is_full_system for o in scheduled)
+    assert all(o.duration == pytest.approx(12 * 3600) for o in scheduled)
+
+
+def test_unscheduled_rate_roughly_matches():
+    rng = np.random.default_rng(2)
+    outages = _gen(scheduled_interval_days=0,
+                   unscheduled_rate_per_month=4.0).generate(300 * DAY, rng)
+    # ~40 expected over 10 months; allow generous Poisson slack (some
+    # overlapping draws are merged away).
+    assert 20 <= len(outages) <= 60
+
+
+def test_partial_outages_have_valid_node_lists():
+    rng = np.random.default_rng(3)
+    outages = _gen(scheduled_interval_days=0, unscheduled_rate_per_month=10.0,
+                   full_system_prob=0.0).generate(300 * DAY, rng)
+    assert outages
+    for o in outages:
+        assert o.nodes is not None
+        assert len(set(o.nodes)) == len(o.nodes)
+        assert all(0 <= i < 100 for i in o.nodes)
+
+
+def test_horizon_respected():
+    rng = np.random.default_rng(4)
+    outages = _gen().generate(30 * DAY, rng)
+    assert all(o.start < 30 * DAY for o in outages)
+
+
+def test_reproducible():
+    a = _gen().generate(100 * DAY, np.random.default_rng(7))
+    b = _gen().generate(100 * DAY, np.random.default_rng(7))
+    assert a == b

@@ -1,0 +1,33 @@
+"""Shared fixtures.
+
+The expensive artifacts — a fast-path facility run big enough for the
+analytics to be meaningful, and a slow-path (text-format) run of the tiny
+test system — are built once per session and shared read-only across the
+suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Facility, RANGER, TEST_SYSTEM
+from repro.xdmod.query import JobQuery
+
+
+@pytest.fixture(scope="session")
+def fast_run():
+    """A 32-node, 20-day Ranger replica via the fast path."""
+    cfg = RANGER.scaled(num_nodes=32, horizon_days=20, n_users=50)
+    return Facility(cfg, seed=7).run()
+
+
+@pytest.fixture(scope="session")
+def fast_query(fast_run) -> JobQuery:
+    return fast_run.query()
+
+
+@pytest.fixture(scope="session")
+def file_run(tmp_path_factory):
+    """The tiny TEST_SYSTEM through the full text-format pipeline."""
+    archive_dir = tmp_path_factory.mktemp("tacc_stats_archive")
+    return Facility(TEST_SYSTEM, seed=11).run_with_files(str(archive_dir))

@@ -1,0 +1,86 @@
+"""Tests for accounting↔stats matching."""
+
+import io
+
+import pytest
+
+from repro.ingest.matcher import match_jobs
+from repro.scheduler.accounting import format_accounting_line, parse_accounting_line
+from repro.scheduler.job import ExitStatus, JobRecord
+from repro.tacc_stats.format import StatsWriter
+from repro.tacc_stats.parser import parse_host_text
+from repro.tacc_stats.schema import SchemaEntry, TypeSchema
+from tests.scheduler.test_job import make_request
+
+CPU = TypeSchema("cpu", (SchemaEntry("user", is_event=True),))
+
+
+def entry(jobid="1", nodes=2, start=600, end=4200, submit=0):
+    req = make_request(jobid=jobid, nodes=nodes, submit_time=float(submit))
+    rec = JobRecord(req, float(start), float(end), tuple(range(nodes)),
+                    ExitStatus.COMPLETED)
+    return parse_accounting_line(format_accounting_line(rec, 16, "t"))
+
+
+def host_with_job(hostname, jobid, begin, end, mark=True):
+    buf = io.StringIO()
+    w = StatsWriter(buf, hostname)
+    w.register_schema(CPU)
+    w.begin_block(begin, (jobid,))
+    if mark:
+        w.write_mark("begin", jobid)
+    w.write_row("cpu", "0", [1])
+    w.begin_block(end, (jobid,))
+    if mark:
+        w.write_mark("end", jobid)
+    w.write_row("cpu", "0", [100])
+    return parse_host_text(buf.getvalue())
+
+
+def test_clean_match():
+    hosts = [host_with_job(f"h{i}", "1", 600.0, 4200.0) for i in range(2)]
+    report = match_jobs([entry()], hosts)
+    assert len(report.matched) == 1
+    assert report.matched[0].complete
+    assert report.match_rate == 1.0
+
+
+def test_short_jobs_excluded():
+    """Paper §4.1: jobs shorter than the sampling interval are excluded."""
+    hosts = [host_with_job("h0", "1", 600.0, 899.0)]
+    report = match_jobs([entry(end=899)], hosts, min_seconds=600.0)
+    assert report.too_short == ["1"]
+    assert report.matched == []
+
+
+def test_no_stats_reported():
+    report = match_jobs([entry()], [])
+    assert report.no_stats == ["1"]
+    assert report.match_rate == 0.0
+
+
+def test_window_mismatch_rejected():
+    # Stats claim the job ran way outside the accounting window.
+    hosts = [host_with_job("h0", "1", 9000.0, 12000.0)]
+    report = match_jobs([entry()], hosts)
+    assert report.window_mismatch == ["1"]
+
+
+def test_clock_skew_tolerated():
+    hosts = [host_with_job("h0", "1", 600.0 - 30.0, 4200.0 + 30.0)]
+    report = match_jobs([entry()], hosts)
+    assert len(report.matched) == 1
+
+
+def test_partial_coverage_flagged():
+    hosts = [host_with_job("h0", "1", 600.0, 4200.0)]  # 1 of 2 nodes
+    report = match_jobs([entry(nodes=2)], hosts)
+    assert len(report.matched) == 1
+    assert not report.matched[0].complete
+    assert report.partial == ["1"]
+
+
+def test_lost_marks_recoverable_from_tagged_blocks():
+    hosts = [host_with_job("h0", "1", 600.0, 4200.0, mark=False)]
+    report = match_jobs([entry()], hosts)
+    assert len(report.matched) == 1

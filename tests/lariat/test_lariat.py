@@ -1,0 +1,85 @@
+"""Tests for Lariat job summaries."""
+
+import io
+
+import pytest
+
+from repro.lariat.logger import LariatLog, parse_lariat_log
+from repro.lariat.records import LariatRecord, lariat_record_for
+from repro.scheduler.job import ExitStatus, JobRecord
+from tests.scheduler.test_job import make_request
+
+
+def record_for(app="namd", nodes=4):
+    req = make_request(app=app, nodes=nodes)
+    rec = JobRecord(req, 0.0, 3600.0, tuple(range(nodes)),
+                    ExitStatus.COMPLETED)
+    return lariat_record_for(rec, cores_per_node=16)
+
+
+def test_record_synthesis():
+    lar = record_for("namd")
+    assert lar.jobid == "100"
+    assert "namd" in lar.executable
+    assert lar.ranks_per_node == 16
+    assert lar.num_ranks == 64
+    assert "libcharm" in lar.libraries
+
+
+def test_serial_apps_undersubscribe():
+    """The Figure 4/5 pathology is visible in the launch geometry."""
+    lar = record_for("serial_farm", nodes=1)
+    assert lar.ranks_per_node == 1
+    assert lar.num_ranks == 1
+
+
+def test_json_roundtrip():
+    lar = record_for()
+    assert LariatRecord.from_json(lar.to_json()) == lar
+
+
+def test_guess_app_from_executable():
+    lar = record_for("gromacs")
+    assert lar.guess_app() == "gromacs"
+
+
+def test_guess_app_from_libraries():
+    lar = LariatRecord(
+        jobid="1", user="u", executable="/home/u/bin/md_prod.x",
+        libraries=("libfftw3", "libcharm", "libmpi"),
+        num_ranks=16, ranks_per_node=16, threads_per_rank=1,
+        work_dir="/scratch/u/1",
+    )
+    assert lar.guess_app() == "namd"  # unique library fingerprint
+
+
+def test_guess_app_unknown_returns_none():
+    lar = LariatRecord(
+        jobid="1", user="u", executable="/home/u/a.out",
+        libraries=("libsecret",), num_ranks=1, ranks_per_node=1,
+        threads_per_rank=1, work_dir="/tmp",
+    )
+    assert lar.guess_app() is None
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        LariatRecord(jobid="1", user="u", executable="x", libraries=(),
+                     num_ranks=0, ranks_per_node=1, threads_per_rank=1,
+                     work_dir="/")
+
+
+def test_log_roundtrip():
+    buf = io.StringIO()
+    log = LariatLog(buf)
+    records = [record_for("namd"), record_for("vasp")]
+    for r in records:
+        log.write(r)
+    assert log.records_written == 2
+    parsed = list(parse_lariat_log(buf.getvalue()))
+    assert parsed == records
+
+
+def test_log_rejects_garbage():
+    with pytest.raises(ValueError, match="line 1"):
+        list(parse_lariat_log("not json\n"))

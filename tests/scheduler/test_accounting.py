@@ -1,0 +1,87 @@
+"""Tests for the SGE-style accounting log."""
+
+import io
+
+import pytest
+
+from repro.scheduler.accounting import (
+    AccountingWriter,
+    format_accounting_line,
+    parse_accounting,
+    parse_accounting_line,
+)
+from repro.scheduler.job import ExitStatus, JobRecord
+from tests.scheduler.test_job import make_request
+
+
+def record(**kw):
+    req = make_request(**kw)
+    return JobRecord(request=req, start_time=600.0, end_time=4200.0,
+                     node_indices=tuple(range(req.nodes)),
+                     exit_status=ExitStatus.COMPLETED)
+
+
+def test_roundtrip():
+    rec = record()
+    line = format_accounting_line(rec, cores_per_node=16,
+                                  system_name="ranger")
+    entry = parse_accounting_line(line)
+    assert entry.job_number == "100"
+    assert entry.owner == "u1"
+    assert entry.account == "TG-X"
+    assert entry.science_field == "Physics"
+    assert entry.app_tag == "namd"
+    assert entry.granted_nodes == 4
+    assert entry.slots == 64
+    assert entry.start_time == 600
+    assert entry.end_time == 4200
+    assert entry.wall_seconds == 3600
+    assert entry.wait_seconds == 600
+    assert entry.node_hours == pytest.approx(4.0)
+    assert entry.exit is ExitStatus.COMPLETED
+
+
+def test_exit_statuses_roundtrip():
+    for status in ExitStatus:
+        req = make_request()
+        rec = JobRecord(req, 0.0, 100.0, (0, 1, 2, 3), status)
+        line = format_accounting_line(rec, 16, "ranger")
+        assert parse_accounting_line(line).exit is status
+
+
+def test_separator_in_field_rejected():
+    rec = record(account="TG:evil")
+    with pytest.raises(ValueError, match="separator"):
+        format_accounting_line(rec, 16, "ranger")
+
+
+def test_parse_rejects_short_lines():
+    with pytest.raises(ValueError, match="fields"):
+        parse_accounting_line("a:b:c")
+
+
+def test_parse_rejects_non_numeric():
+    line = format_accounting_line(record(), 16, "r")
+    parts = line.split(":")
+    parts[9] = "noon"
+    with pytest.raises(ValueError, match="non-numeric"):
+        parse_accounting_line(":".join(parts))
+
+
+def test_parse_rejects_inconsistent_times():
+    line = format_accounting_line(record(), 16, "r")
+    parts = line.split(":")
+    parts[10] = "5"  # end before start
+    with pytest.raises(ValueError, match="inconsistent"):
+        parse_accounting_line(":".join(parts))
+
+
+def test_writer_and_file_parse():
+    buf = io.StringIO()
+    w = AccountingWriter(buf, cores_per_node=16, system_name="ranger")
+    recs = [record(jobid=str(i)) for i in range(5)]
+    w.write_all(recs)
+    assert w.lines_written == 5
+    text = "# comment\n\n" + buf.getvalue()
+    entries = list(parse_accounting(text))
+    assert [e.job_number for e in entries] == [str(i) for i in range(5)]

@@ -1,0 +1,63 @@
+"""Tests for the scheduler event log."""
+
+import io
+
+import pytest
+
+from repro.scheduler.events import SchedulerEventLog, parse_event_log
+from repro.scheduler.job import ExitStatus, JobRecord
+from tests.scheduler.test_job import make_request
+
+
+def test_write_run_roundtrip():
+    recs = []
+    for i in range(3):
+        req = make_request(jobid=str(i), submit_time=float(i))
+        recs.append(JobRecord(req, 100.0 + i, 200.0 + i,
+                              tuple(range(req.nodes)),
+                              ExitStatus.COMPLETED))
+    buf = io.StringIO()
+    log = SchedulerEventLog(buf)
+    log.write_run(recs)
+    events = list(parse_event_log(buf.getvalue()))
+    assert len(events) == 9
+    # Time-ordered.
+    assert all(a.time <= b.time for a, b in zip(events, events[1:]))
+    kinds = {e.event for e in events}
+    assert kinds == {"job_submit", "job_start", "job_finish"}
+    finish = [e for e in events if e.event == "job_finish"][0]
+    assert finish.attrs["status"] == "completed"
+
+
+def test_outage_events():
+    buf = io.StringIO()
+    log = SchedulerEventLog(buf)
+    log.outage(10.0, 20.0, kind="scheduled", nodes=100)
+    events = list(parse_event_log(buf.getvalue()))
+    assert [e.event for e in events] == ["outage_begin", "outage_end"]
+    assert events[0].attrs["nodes"] == "100"
+
+
+def test_attr_token_safety():
+    buf = io.StringIO()
+    log = SchedulerEventLog(buf)
+    with pytest.raises(ValueError, match="token-safe"):
+        log._emit(0.0, "job_submit", "1", note="has space")
+
+
+def test_parse_rejects_malformed():
+    with pytest.raises(ValueError, match="too few"):
+        list(parse_event_log("100 job_start"))
+    with pytest.raises(ValueError, match="bad timestamp"):
+        list(parse_event_log("noon job_start 1"))
+    with pytest.raises(ValueError, match="unknown event"):
+        list(parse_event_log("100 job_explode 1"))
+    with pytest.raises(ValueError, match="bad attribute"):
+        list(parse_event_log("100 job_start 1 garbage"))
+
+
+def test_parse_skips_comments_and_blanks():
+    text = "# header\n\n100 job_submit 1 user=u nodes=2 queue=normal\n"
+    events = list(parse_event_log(text))
+    assert len(events) == 1
+    assert events[0].attrs == {"user": "u", "nodes": "2", "queue": "normal"}

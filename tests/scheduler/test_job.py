@@ -1,0 +1,81 @@
+"""Tests for job request/record semantics."""
+
+import pytest
+
+from repro.scheduler.job import ExitStatus, JobRecord, JobRequest
+
+
+def make_request(**kw):
+    defaults = dict(
+        jobid="100", user="u1", account="TG-X", science_field="Physics",
+        app="namd", queue="normal", submit_time=0.0, nodes=4,
+        walltime_req=7200.0, runtime=3600.0,
+    )
+    defaults.update(kw)
+    return JobRequest(**defaults)
+
+
+def test_effective_runtime_natural():
+    req = make_request()
+    assert req.effective_runtime == 3600.0
+    assert req.natural_exit() is ExitStatus.COMPLETED
+
+
+def test_effective_runtime_timeout():
+    req = make_request(runtime=9000.0, walltime_req=7200.0)
+    assert req.effective_runtime == 7200.0
+    assert req.natural_exit() is ExitStatus.TIMEOUT
+
+
+def test_effective_runtime_failure():
+    req = make_request(fail_after=100.0)
+    assert req.effective_runtime == 100.0
+    assert req.natural_exit() is ExitStatus.FAILED
+
+
+def test_failure_after_walltime_is_timeout():
+    req = make_request(runtime=9000.0, walltime_req=7200.0, fail_after=8000.0)
+    assert req.effective_runtime == 7200.0
+    assert req.natural_exit() is ExitStatus.TIMEOUT
+
+
+def test_request_validation():
+    with pytest.raises(ValueError):
+        make_request(nodes=0)
+    with pytest.raises(ValueError):
+        make_request(runtime=0.0)
+    with pytest.raises(ValueError):
+        make_request(fail_after=0.0)
+
+
+def test_record_derived_quantities():
+    req = make_request()
+    rec = JobRecord(request=req, start_time=600.0, end_time=4200.0,
+                    node_indices=(0, 1, 2, 3),
+                    exit_status=ExitStatus.COMPLETED)
+    assert rec.wait_time == 600.0
+    assert rec.wall_seconds == 3600.0
+    assert rec.node_hours == pytest.approx(4.0)
+    assert rec.jobid == "100"
+    assert rec.user == "u1"
+    assert rec.app == "namd"
+    assert rec.science_field == "Physics"
+
+
+def test_record_validation():
+    req = make_request()
+    with pytest.raises(ValueError, match="ends before"):
+        JobRecord(req, 100.0, 50.0, (0, 1, 2, 3), ExitStatus.COMPLETED)
+    with pytest.raises(ValueError, match="nodes granted"):
+        JobRecord(req, 0.0, 10.0, (0, 1), ExitStatus.COMPLETED)
+
+
+def test_accounting_codes_roundtrip():
+    for status in ExitStatus:
+        failed, exit_code = status.accounting_code
+        assert ExitStatus.from_accounting_code(failed, exit_code) is status
+
+
+def test_unknown_accounting_code_classified():
+    assert ExitStatus.from_accounting_code(0, 0) is ExitStatus.COMPLETED
+    assert ExitStatus.from_accounting_code(37, 11) is ExitStatus.FAILED

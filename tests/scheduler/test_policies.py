@@ -1,0 +1,104 @@
+"""Tests for FCFS and EASY backfill."""
+
+import pytest
+
+from repro.scheduler.policies import (
+    EasyBackfillPolicy,
+    FCFSPolicy,
+    RunningJob,
+)
+from repro.scheduler.queue import WaitQueue
+from tests.scheduler.test_job import make_request
+
+
+def queue_of(*reqs):
+    q = WaitQueue()
+    for r in reqs:
+        q.push(r)
+    return q
+
+
+def job(jobid, t, nodes, walltime=3600.0):
+    return make_request(jobid=jobid, submit_time=t, nodes=nodes,
+                        walltime_req=walltime, runtime=walltime * 0.9)
+
+
+def test_fcfs_starts_prefix():
+    q = queue_of(job("a", 0, 2), job("b", 1, 3), job("c", 2, 1))
+    picked = FCFSPolicy().select(q, free_nodes=5, running=[], now=10.0)
+    assert [p.jobid for p in picked] == ["a", "b"]
+
+
+def test_fcfs_blocks_behind_big_head():
+    q = queue_of(job("big", 0, 10), job("small", 1, 1))
+    picked = FCFSPolicy().select(q, free_nodes=5, running=[], now=10.0)
+    assert picked == []
+
+
+def test_backfill_small_job_jumps_blocked_head():
+    # Head needs 10 nodes; 5 free; running job releases 6 at t=1000.
+    q = queue_of(job("big", 0, 10, walltime=3600),
+                 job("small", 1, 2, walltime=500))
+    running = [RunningJob("r", estimated_end=1000.0, nodes=6)]
+    picked = EasyBackfillPolicy().select(q, 5, running, now=0.0)
+    # small finishes (t=500) before the shadow time (1000): backfills.
+    assert [p.jobid for p in picked] == ["small"]
+
+
+def test_backfill_never_delays_head():
+    # Backfill candidate would run past the shadow time and uses nodes
+    # the head needs -> must NOT start.
+    q = queue_of(job("big", 0, 10, walltime=3600),
+                 job("long", 1, 2, walltime=5000))
+    running = [RunningJob("r", estimated_end=1000.0, nodes=6)]
+    picked = EasyBackfillPolicy().select(q, 5, running, now=0.0)
+    # shadow: at t=1000, 5+6=11 free, extra = 11-10 = 1 < 2 nodes.
+    assert picked == []
+
+
+def test_backfill_uses_extra_nodes_for_long_jobs():
+    # Same, but extra nodes at shadow time cover the candidate: allowed
+    # even though it outlives the shadow time.
+    q = queue_of(job("big", 0, 8, walltime=3600),
+                 job("long", 1, 2, walltime=50000))
+    running = [RunningJob("r", estimated_end=1000.0, nodes=6)]
+    picked = EasyBackfillPolicy().select(q, 5, running, now=0.0)
+    # at shadow: 11 free, extra = 3 >= 2.
+    assert [p.jobid for p in picked] == ["long"]
+
+
+def test_backfill_fcfs_prefix_first():
+    q = queue_of(job("a", 0, 2), job("big", 1, 10), job("s", 2, 1, 100))
+    running = [RunningJob("r", estimated_end=500.0, nodes=8)]
+    picked = EasyBackfillPolicy().select(q, 5, running, now=0.0)
+    assert [p.jobid for p in picked] == ["a", "s"]
+
+
+def test_backfill_depth_limit():
+    jobs = [job("big", 0, 10)] + [
+        job(f"s{i}", i + 1, 1, 100) for i in range(5)
+    ]
+    q = queue_of(*jobs)
+    running = [RunningJob("r", estimated_end=1e9, nodes=10)]
+    picked = EasyBackfillPolicy(max_backfill_depth=2).select(
+        q, 5, running, now=0.0
+    )
+    assert len(picked) == 2
+
+
+def test_backfill_head_larger_than_machine_degrades_gracefully():
+    q = queue_of(job("huge", 0, 100), job("s", 1, 2, 100))
+    picked = EasyBackfillPolicy().select(q, 5, [], now=0.0)
+    assert [p.jobid for p in picked] == ["s"]
+
+
+def test_policies_never_oversubscribe():
+    q = queue_of(*[job(str(i), i, 2, 100 + i) for i in range(20)])
+    for policy in (FCFSPolicy(), EasyBackfillPolicy()):
+        picked = policy.select(q, 7, [], now=0.0)
+        assert sum(p.nodes for p in picked) <= 7
+
+
+def test_depth_validation():
+    with pytest.raises(ValueError):
+        EasyBackfillPolicy(max_backfill_depth=-1)

@@ -1,0 +1,66 @@
+"""Tests for the wait queue."""
+
+import pytest
+
+from repro.scheduler.queue import WaitQueue
+from tests.scheduler.test_job import make_request
+
+
+def req(jobid, t):
+    return make_request(jobid=jobid, submit_time=t)
+
+
+def test_fifo_order():
+    q = WaitQueue()
+    for i in range(4):
+        q.push(req(str(i), float(i)))
+    assert [r.jobid for r in q] == ["0", "1", "2", "3"]
+    assert q.head().jobid == "0"
+    assert len(q) == 4
+
+
+def test_remove_skips_tombstones():
+    q = WaitQueue()
+    for i in range(4):
+        q.push(req(str(i), float(i)))
+    q.remove("1")
+    q.remove("0")
+    assert [r.jobid for r in q] == ["2", "3"]
+    assert q.head().jobid == "2"
+    assert len(q) == 2
+
+
+def test_double_remove_rejected():
+    q = WaitQueue()
+    q.push(req("a", 0.0))
+    q.remove("a")
+    with pytest.raises(KeyError):
+        q.remove("a")
+
+
+def test_out_of_order_push_rejected():
+    q = WaitQueue()
+    q.push(req("a", 100.0))
+    with pytest.raises(ValueError, match="out-of-order"):
+        q.push(req("b", 50.0))
+
+
+def test_empty_queue():
+    q = WaitQueue()
+    assert not q
+    assert q.head() is None
+    assert q.as_list() == []
+
+
+def test_compaction_preserves_contents():
+    q = WaitQueue()
+    for i in range(300):
+        q.push(req(str(i), float(i)))
+    for i in range(0, 300, 2):
+        q.remove(str(i))  # triggers internal compaction
+    assert len(q) == 150
+    assert [r.jobid for r in q] == [str(i) for i in range(1, 300, 2)]
+    # Still usable after compaction.
+    q.push(req("300", 300.0))
+    q.remove("1")
+    assert q.head().jobid == "3"

@@ -1,0 +1,55 @@
+"""Tests for the raw-message catalog: render→recognize must be lossless."""
+
+import pytest
+
+from repro.syslogr.catalog import MESSAGE_CATALOG, MessageKind
+
+SAMPLE_PARAMS = {
+    MessageKind.OOM_KILL: dict(pid=1234, comm="vasp.x", vm_kb=31000000,
+                               rss_kb=30000000),
+    MessageKind.LUSTRE_TIMEOUT: dict(rpc=5581, target="scratch-OST0007",
+                                     sent=1372088405, addr="ffff8101"),
+    MessageKind.LUSTRE_EVICTION: dict(target="scratch-MDT0000",
+                                      server="mds1"),
+    MessageKind.SOFT_LOCKUP: dict(cpu=7, secs=22, comm="namd2", pid=999),
+    MessageKind.MCE: dict(cpu=3, bank="K8", nbank=4, status="corrected"),
+    MessageKind.IB_LINK_DOWN: dict(port=1, state="INIT"),
+    MessageKind.NFS_STALE: dict(mount="/home", dev="0:21"),
+    MessageKind.SEGFAULT: dict(comm="a.out", pid=482, addr="deadbeef",
+                               ip="400123", sp="7fff1234", err=6),
+    MessageKind.JOB_PROLOG: dict(jobid="2683088", user="user0042"),
+    MessageKind.JOB_EPILOG: dict(jobid="2683088", status="completed"),
+}
+
+
+def test_catalog_covers_all_kinds():
+    assert set(MESSAGE_CATALOG) == set(MessageKind)
+    assert set(SAMPLE_PARAMS) == set(MessageKind)
+
+
+@pytest.mark.parametrize("kind", list(MessageKind))
+def test_render_recognize_roundtrip(kind):
+    entry = MESSAGE_CATALOG[kind]
+    text = entry.render(**SAMPLE_PARAMS[kind])
+    params = entry.match(text)
+    assert params is not None
+    for key, value in SAMPLE_PARAMS[kind].items():
+        assert params[key] == str(value)
+
+
+@pytest.mark.parametrize("kind", list(MessageKind))
+def test_no_cross_matching(kind):
+    """A rendered message matches only its own recognizer (prefix
+    ambiguity between Lustre variants is the one risk)."""
+    text = MESSAGE_CATALOG[kind].render(**SAMPLE_PARAMS[kind])
+    matches = [k for k, e in MESSAGE_CATALOG.items() if e.match(text)]
+    assert matches == [kind]
+
+
+def test_severity_classes():
+    assert MessageKind.MCE.severity == "crit"
+    assert MessageKind.JOB_PROLOG.severity == "info"
+    assert MessageKind.OOM_KILL.is_failure
+    assert not MessageKind.JOB_EPILOG.is_failure
+    failures = [k for k in MessageKind if k.is_failure]
+    assert len(failures) >= 5

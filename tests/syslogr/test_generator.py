@@ -1,0 +1,90 @@
+"""Tests for the behaviour-driven syslog generator."""
+
+import numpy as np
+import pytest
+
+from repro.scheduler.job import ExitStatus, JobRecord
+from repro.syslogr.catalog import MessageKind
+from repro.syslogr.generator import SyslogGenerator
+from repro.syslogr.rationalizer import Rationalizer
+from tests.scheduler.test_job import make_request
+
+
+def record(jobid="1", nodes=4, exit_status=ExitStatus.COMPLETED,
+           start=0.0, end=7200.0):
+    req = make_request(jobid=jobid, nodes=nodes)
+    return JobRecord(req, start, end, tuple(range(nodes)), exit_status)
+
+
+def gen(seed=0):
+    return SyslogGenerator(np.random.default_rng(seed), "test")
+
+
+def kinds_of(raws):
+    r = Rationalizer()
+    r.finalize()
+    msgs, unknown = r.rationalize_stream(raws)
+    assert unknown == 0  # the generator only emits catalog shapes
+    return [m.kind for m in msgs]
+
+
+def test_every_job_gets_prolog_epilog():
+    raws = gen().generate_for_job(record(), 0.3, 1.0, 0.05)
+    kinds = kinds_of(raws)
+    assert kinds[0] is MessageKind.JOB_PROLOG
+    assert kinds[-1] is MessageKind.JOB_EPILOG
+
+
+def test_near_capacity_memory_draws_oom():
+    hits = 0
+    for seed in range(20):
+        kinds = kinds_of(gen(seed).generate_for_job(record(), 0.97, 1.0, 0.05))
+        hits += MessageKind.OOM_KILL in kinds
+    assert hits >= 8  # p=0.6 per job
+
+
+def test_normal_memory_never_ooms():
+    for seed in range(10):
+        kinds = kinds_of(gen(seed).generate_for_job(record(), 0.5, 1.0, 0.05))
+        assert MessageKind.OOM_KILL not in kinds
+
+
+def test_heavy_scratch_writes_draw_lustre_trouble():
+    found = 0
+    for seed in range(10):
+        kinds = kinds_of(gen(seed).generate_for_job(record(), 0.3, 60.0, 0.05))
+        found += MessageKind.LUSTRE_TIMEOUT in kinds
+    assert found >= 7
+
+
+def test_failed_job_may_segfault():
+    found = 0
+    for seed in range(30):
+        raws = gen(seed).generate_for_job(
+            record(exit_status=ExitStatus.FAILED), 0.3, 1.0, 0.05)
+        found += MessageKind.SEGFAULT in kinds_of(raws)
+    assert 5 <= found <= 25  # p = 0.5
+
+
+def test_high_idle_long_job_may_soft_lockup():
+    found = 0
+    for seed in range(100):
+        raws = gen(seed).generate_for_job(record(), 0.3, 1.0, 0.95)
+        found += MessageKind.SOFT_LOCKUP in kinds_of(raws)
+    assert found >= 3  # p = 0.15
+
+
+def test_messages_within_job_window():
+    raws = gen(3).generate_for_job(record(start=1000.0, end=9000.0),
+                                   0.97, 60.0, 0.95)
+    for raw in raws:
+        assert 999.0 <= raw.time <= 9001.0
+
+
+def test_background_noise_rate():
+    rng_raws = gen(1).generate_background(1000, 30 * 86400.0,
+                                          rate_per_node_month=0.1)
+    # Expected 100 events, Poisson.
+    assert 60 <= len(rng_raws) <= 140
+    kinds = kinds_of(rng_raws)
+    assert set(kinds) <= {MessageKind.MCE, MessageKind.IB_LINK_DOWN}

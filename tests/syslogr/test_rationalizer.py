@@ -1,0 +1,104 @@
+"""Tests for job-id tagging and the uniform log format."""
+
+import io
+
+import pytest
+
+from repro.syslogr.catalog import MESSAGE_CATALOG, MessageKind, RawMessage
+from repro.syslogr.rationalizer import (
+    RationalizedMessage,
+    Rationalizer,
+    parse_rationalized_log,
+)
+from repro.syslogr.rationalizer import write_rationalized_log
+
+
+def oom(t, host):
+    return RawMessage(t, host, "kernel", MESSAGE_CATALOG[
+        MessageKind.OOM_KILL].render(pid=1, comm="x", vm_kb=2, rss_kb=1))
+
+
+def test_job_tagging_from_occupancy():
+    r = Rationalizer()
+    r.add_occupancy("h1", 100.0, 200.0, "42")
+    r.add_occupancy("h1", 300.0, 400.0, "43")
+    r.finalize()
+    assert r.job_at("h1", 150.0) == "42"
+    assert r.job_at("h1", 350.0) == "43"
+    assert r.job_at("h1", 250.0) is None
+    assert r.job_at("h2", 150.0) is None
+    msg = r.rationalize(oom(150.0, "h1"))
+    assert msg is not None
+    assert msg.jobid == "42"
+    assert msg.kind is MessageKind.OOM_KILL
+
+
+def test_explicit_jobid_in_message_wins():
+    r = Rationalizer()
+    r.add_occupancy("h1", 0.0, 1000.0, "42")
+    r.finalize()
+    raw = RawMessage(500.0, "h1", "sge", MESSAGE_CATALOG[
+        MessageKind.JOB_PROLOG].render(jobid="99", user="u"))
+    msg = r.rationalize(raw)
+    assert msg.jobid == "99"
+
+
+def test_unrecognized_counted_not_raised():
+    r = Rationalizer()
+    r.finalize()
+    msgs, unknown = r.rationalize_stream([
+        RawMessage(1.0, "h1", "kernel", "random chatter nobody knows"),
+        oom(2.0, "h1"),
+    ])
+    assert unknown == 1
+    assert len(msgs) == 1
+
+
+def test_stream_sorted_by_time():
+    r = Rationalizer()
+    r.finalize()
+    msgs, _ = r.rationalize_stream([oom(5.0, "h1"), oom(1.0, "h1")])
+    assert [m.time for m in msgs] == [1.0, 5.0]
+
+
+def test_lookup_before_finalize_rejected():
+    r = Rationalizer()
+    with pytest.raises(RuntimeError):
+        r.job_at("h1", 0.0)
+
+
+def test_occupancy_after_finalize_rejected():
+    r = Rationalizer()
+    r.finalize()
+    with pytest.raises(RuntimeError):
+        r.add_occupancy("h1", 0.0, 1.0, "42")
+
+
+def test_uniform_format_roundtrip():
+    msgs = [
+        RationalizedMessage(100.0, "h1", "42", MessageKind.OOM_KILL,
+                            "Out of memory: Killed process 1 (x)"),
+        RationalizedMessage(200.0, "h2", None, MessageKind.MCE,
+                            "MCE: CPU 3"),
+    ]
+    buf = io.StringIO()
+    write_rationalized_log(msgs, buf)
+    parsed = list(parse_rationalized_log(buf.getvalue()))
+    assert parsed == msgs
+
+
+def test_format_rejects_malformed():
+    with pytest.raises(ValueError, match="fields"):
+        list(parse_rationalized_log("100\th1\tonly three\n"))
+    with pytest.raises(ValueError, match="unknown kind"):
+        list(parse_rationalized_log(
+            "100\th1\t-\texplosion\terr\ttext\n"))
+    with pytest.raises(ValueError, match="severity"):
+        list(parse_rationalized_log(
+            "100\th1\t-\toom_kill\tinfo\ttext\n"))
+
+
+def test_render_rejects_separator_in_text():
+    msg = RationalizedMessage(1.0, "h", None, MessageKind.MCE, "tab\there")
+    with pytest.raises(ValueError):
+        msg.render()

@@ -1,0 +1,163 @@
+"""Tests for the strict stats parser."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.tacc_stats.format import StatsWriter
+from repro.tacc_stats.parser import ParseError, event_delta, parse_host_text
+from repro.tacc_stats.schema import SchemaEntry, TypeSchema
+
+CPU = TypeSchema("cpu", (SchemaEntry("user", is_event=True),
+                         SchemaEntry("idle", is_event=True)))
+MEM = TypeSchema("mem", (SchemaEntry("MemUsed", unit="KB"),))
+
+
+def sample_text():
+    buf = io.StringIO()
+    w = StatsWriter(buf, "h1.test", {"uname": "Linux x86_64"})
+    w.register_schema(CPU)
+    w.register_schema(MEM)
+    w.begin_block(100.0)
+    w.write_row("cpu", "0", [10, 90])
+    w.write_row("mem", "0", [500])
+    w.begin_block(700.0, ("42",))
+    w.write_mark("begin", "42")
+    w.write_row("cpu", "0", [20, 180])
+    w.write_row("mem", "0", [900])
+    w.begin_block(1300.0, ("42",))
+    w.write_mark("end", "42")
+    w.write_row("cpu", "0", [50, 250])
+    w.write_row("mem", "0", [1200])
+    return buf.getvalue()
+
+
+def test_roundtrip_structure():
+    host = parse_host_text(sample_text())
+    assert host.hostname == "h1.test"
+    assert host.properties["uname"] == "Linux x86_64"
+    assert set(host.schemas) == {"cpu", "mem"}
+    assert len(host.blocks) == 3
+    assert host.blocks[0].jobids == ()
+    assert host.blocks[1].jobids == ("42",)
+    assert [m.kind for m in host.marks] == ["begin", "end"]
+    assert host.job_window("42") == (700.0, 1300.0)
+    assert host.job_window("99") is None
+
+
+def test_series_extraction():
+    host = parse_host_text(sample_text())
+    t, v = host.series("cpu", "0", "user")
+    np.testing.assert_array_equal(t, [100.0, 700.0, 1300.0])
+    np.testing.assert_array_equal(v, [10, 20, 50])
+
+
+def test_blocks_for_job():
+    host = parse_host_text(sample_text())
+    blocks = host.blocks_for_job("42")
+    assert [b.time for b in blocks] == [700.0, 1300.0]
+
+
+def test_empty_file_ok():
+    host = parse_host_text("")
+    assert host.blocks == []
+
+
+@pytest.mark.parametrize(
+    "mutation,message",
+    [
+        (lambda t: t.replace("cpu 0 10 90", "cpu 0 10"), "values"),
+        (lambda t: t.replace("cpu 0 10 90", "cpu 0 ten 90"), "non-integer"),
+        (lambda t: t.replace("cpu 0 10 90", "gpu 0 10 90"), "undeclared"),
+        (lambda t: t.replace("1300 42", "99 42"), "non-monotonic"),
+        (lambda t: t.replace("%begin 42", "%pause 42"), "malformed mark"),
+        (lambda t: "cpu 0 1 2\n" + t, "before"),
+        (lambda t: t + "!cpu user,E\n", "after data"),
+        (lambda t: t.replace("100 -\n", "100 -\n\n"), "blank"),
+    ],
+)
+def test_malformed_inputs_raise(mutation, message):
+    with pytest.raises(ParseError, match=message):
+        parse_host_text(mutation(sample_text()))
+
+
+def test_missing_hostname_rejected():
+    text = "!cpu user,E idle,E\n100 -\ncpu 0 1 2\n"
+    with pytest.raises(ParseError, match="hostname"):
+        parse_host_text(text)
+
+
+def test_truncated_tail_tolerated_when_allowed():
+    text = sample_text() + "cpu 0 77"  # no newline, incomplete row
+    with pytest.raises(ParseError):
+        parse_host_text(text)
+    host = parse_host_text(text, allow_truncated=True)
+    assert len(host.blocks) == 3
+
+
+def test_truncated_mid_file_still_raises():
+    lines = sample_text().split("\n")
+    lines.insert(5, "cpu 0 13")  # early corrupt line
+    with pytest.raises(ParseError):
+        parse_host_text("\n".join(lines), allow_truncated=True)
+
+
+def test_duplicate_row_rejected():
+    text = sample_text().replace(
+        "cpu 0 10 90\n", "cpu 0 10 90\ncpu 0 11 91\n"
+    )
+    with pytest.raises(ParseError, match="duplicate"):
+        parse_host_text(text)
+
+
+def test_merge_from_rotated_files():
+    host_a = parse_host_text(sample_text())
+    buf = io.StringIO()
+    w = StatsWriter(buf, "h1.test")
+    w.register_schema(CPU)
+    w.begin_block(2000.0)
+    w.write_row("cpu", "0", [60, 300])
+    host_b = parse_host_text(buf.getvalue())
+    host_a.merge_from(host_b)
+    assert len(host_a.blocks) == 4
+    assert host_a.blocks[-1].time == 2000.0
+
+
+def test_merge_rejects_other_host_or_schema_drift():
+    host_a = parse_host_text(sample_text())
+    buf = io.StringIO()
+    w = StatsWriter(buf, "h2.test")
+    w.register_schema(CPU)
+    w.begin_block(2000.0)
+    w.write_row("cpu", "0", [1, 2])
+    host_b = parse_host_text(buf.getvalue())
+    with pytest.raises(ValueError, match="cannot merge"):
+        host_a.merge_from(host_b)
+
+    buf2 = io.StringIO()
+    w2 = StatsWriter(buf2, "h1.test")
+    w2.register_schema(TypeSchema("cpu", (SchemaEntry("user", is_event=True),)))
+    w2.begin_block(3000.0)
+    w2.write_row("cpu", "0", [1])
+    host_c = parse_host_text(buf2.getvalue())
+    with pytest.raises(ValueError, match="drift"):
+        host_a.merge_from(host_c)
+
+
+# -- event_delta -------------------------------------------------------------
+
+
+def test_event_delta_plain():
+    assert event_delta(100, 350, 64) == 250
+
+
+def test_event_delta_rollover_32bit():
+    assert event_delta(2**32 - 10, 5, 32) == 15
+
+
+def test_event_delta_out_of_range():
+    with pytest.raises(ValueError):
+        event_delta(2**32, 0, 32)
+    with pytest.raises(ValueError):
+        event_delta(-1, 0, 32)

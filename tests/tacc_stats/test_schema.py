@@ -1,0 +1,66 @@
+"""Tests for the self-describing schema grammar."""
+
+import pytest
+
+from repro.tacc_stats.schema import SchemaEntry, TypeSchema
+
+
+def test_entry_spec_roundtrip():
+    cases = [
+        SchemaEntry("user", is_event=True, unit="cs"),
+        SchemaEntry("MemUsed", unit="KB"),
+        SchemaEntry("port_xmit_data", is_event=True, unit="4B", width=32),
+        SchemaEntry("load_1"),
+    ]
+    for e in cases:
+        assert SchemaEntry.parse(e.spec()) == e
+
+
+def test_entry_parse_flags():
+    e = SchemaEntry.parse("ctr0,E,W=48")
+    assert e.is_event and e.width == 48 and e.unit is None
+    assert e.modulus == 1 << 48
+
+
+def test_entry_parse_rejects_garbage():
+    with pytest.raises(ValueError):
+        SchemaEntry.parse("")
+    with pytest.raises(ValueError):
+        SchemaEntry.parse("key,X=9")
+    with pytest.raises(ValueError):
+        SchemaEntry("bad key")
+    with pytest.raises(ValueError):
+        SchemaEntry("k", width=0)
+
+
+def test_type_schema_header_roundtrip():
+    schema = TypeSchema("cpu", (
+        SchemaEntry("user", is_event=True, unit="cs"),
+        SchemaEntry("idle", is_event=True, unit="cs"),
+    ))
+    line = schema.header_line()
+    assert line.startswith("!cpu ")
+    assert TypeSchema.parse_header_line(line) == schema
+
+
+def test_type_schema_lookups():
+    schema = TypeSchema("mem", (SchemaEntry("MemTotal"), SchemaEntry("MemUsed")))
+    assert schema.n_values == 2
+    assert schema.keys == ("MemTotal", "MemUsed")
+    assert schema.index_of("MemUsed") == 1
+    with pytest.raises(KeyError):
+        schema.index_of("Nope")
+    assert schema.event_mask() == (False, False)
+
+
+def test_type_schema_validation():
+    with pytest.raises(ValueError):
+        TypeSchema("bad name", (SchemaEntry("a"),))
+    with pytest.raises(ValueError):
+        TypeSchema("t", ())
+    with pytest.raises(ValueError):
+        TypeSchema("t", (SchemaEntry("a"), SchemaEntry("a")))
+    with pytest.raises(ValueError):
+        TypeSchema.parse_header_line("cpu user")  # missing '!'
+    with pytest.raises(ValueError):
+        TypeSchema.parse_header_line("!cpu")  # no keys

@@ -1,0 +1,272 @@
+"""Tests for the CLI entry points (invoked in-process via main(argv))."""
+
+import pytest
+
+from repro.cli.persistence import main as persistence_main
+from repro.cli.report import main as report_main
+from repro.cli.simulate import main as simulate_main
+from repro.cli.stats_cat import main as stats_cat_main
+
+
+@pytest.fixture(scope="module")
+def warehouse_file(tmp_path_factory, capfd_disabled=None):
+    """A warehouse built by the simulate CLI itself (fast path)."""
+    path = str(tmp_path_factory.mktemp("cli") / "wh.sqlite")
+    rc = simulate_main([
+        "--system", "ranger", "--nodes", "24", "--days", "12",
+        "--users", "50", "--seed", "9", "--warehouse", path, "--quiet",
+    ])
+    assert rc == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def archive_run(tmp_path_factory):
+    """A warehouse + archive built by the simulate CLI (slow path)."""
+    d = tmp_path_factory.mktemp("cli_arch")
+    wh = str(d / "wh.sqlite")
+    arch = str(d / "archive")
+    rc = simulate_main([
+        "--system", "ranger", "--nodes", "8", "--days", "1",
+        "--users", "10", "--seed", "3", "--warehouse", wh,
+        "--archive", arch, "--quiet",
+    ])
+    assert rc == 0
+    return wh, arch
+
+
+def test_simulate_refuses_duplicate_system(warehouse_file, capsys):
+    rc = simulate_main([
+        "--system", "ranger", "--warehouse", warehouse_file, "--quiet",
+    ])
+    assert rc != 0
+    assert "already present" in capsys.readouterr().err
+
+
+def test_report_support(warehouse_file, capsys):
+    rc = report_main(["--warehouse", warehouse_file, "--system", "ranger",
+                      "support"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "SUPPORT STAFF REPORT" in out
+    assert "circled user" in out
+
+
+def test_report_user_needs_target(warehouse_file, capsys):
+    rc = report_main(["--warehouse", warehouse_file, "--system", "ranger",
+                      "user"])
+    assert rc != 0
+    assert "needs" in capsys.readouterr().err
+
+
+def test_report_user_with_target(warehouse_file, capsys):
+    from repro.ingest.warehouse import Warehouse
+    from repro.xdmod.query import JobQuery
+    wh = Warehouse(warehouse_file)
+    user = JobQuery(wh, "ranger").top("user", 1)[0]
+    wh.close()
+    rc = report_main(["--warehouse", warehouse_file, "--system", "ranger",
+                      "user", user])
+    assert rc == 0
+    assert user in capsys.readouterr().out
+
+
+def test_report_unknown_system(warehouse_file, capsys):
+    rc = report_main(["--warehouse", warehouse_file, "--system", "nope",
+                      "support"])
+    assert rc != 0
+
+
+def test_report_unknown_user(warehouse_file, capsys):
+    rc = report_main(["--warehouse", warehouse_file, "--system", "ranger",
+                      "user", "nobody9999"])
+    assert rc != 0
+
+
+def test_persistence_cli(warehouse_file, capsys):
+    rc = persistence_main(["--warehouse", warehouse_file,
+                           "--system", "ranger"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "combined fit" in out
+    assert "io_scratch_write" in out
+
+
+def test_persistence_bad_offsets(warehouse_file, capsys):
+    rc = persistence_main(["--warehouse", warehouse_file,
+                           "--system", "ranger", "--offsets", "0,-5"])
+    assert rc != 0
+
+
+def test_stats_cat_header_and_jobs(archive_run, capsys):
+    _, arch = archive_run
+    from repro.tacc_stats.archive import HostArchive
+    archive = HostArchive(arch)
+    host = archive.hostnames()[0]
+    files = [str(p) for p in archive.host_files(host)]
+    rc = stats_cat_main(["--jobs"] + files)
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "TACC_Stats stream" in out
+    assert host in out
+
+
+def test_stats_cat_series(archive_run, capsys):
+    _, arch = archive_run
+    from repro.tacc_stats.archive import HostArchive
+    archive = HostArchive(arch)
+    host = archive.hostnames()[0]
+    files = [str(p) for p in archive.host_files(host)]
+    rc = stats_cat_main(["--series", "cpu:0:idle"] + files)
+    assert rc == 0
+    assert "cpu:0:idle" in capsys.readouterr().out
+
+
+def test_stats_cat_bad_series_spec(archive_run, capsys):
+    _, arch = archive_run
+    from repro.tacc_stats.archive import HostArchive
+    archive = HostArchive(arch)
+    files = [str(archive.host_files(archive.hostnames()[0])[0])]
+    rc = stats_cat_main(["--series", "nonsense"] + files)
+    assert rc != 0
+
+
+def test_stats_cat_missing_file(capsys):
+    rc = stats_cat_main(["/does/not/exist"])
+    assert rc != 0
+
+
+def test_stats_cat_rejects_garbage(tmp_path, capsys):
+    bad = tmp_path / "bad.txt"
+    bad.write_text("this is not a stats file\n")
+    rc = stats_cat_main([str(bad)])
+    assert rc == 1
+
+
+def test_diagnose_cli_all(warehouse_file, capsys):
+    from repro.cli.diagnose import main as diagnose_main
+    rc = diagnose_main(["--warehouse", warehouse_file, "--system",
+                        "ranger", "--limit", "3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Diagnosis" in out or "no diagnosable" in out
+
+
+def test_diagnose_cli_associations(warehouse_file, capsys):
+    from repro.cli.diagnose import main as diagnose_main
+    rc = diagnose_main(["--warehouse", warehouse_file, "--system",
+                        "ranger", "--associations"])
+    assert rc == 0
+
+
+def test_diagnose_cli_unknown_job(warehouse_file, capsys):
+    from repro.cli.diagnose import main as diagnose_main
+    rc = diagnose_main(["--warehouse", warehouse_file, "--system",
+                        "ranger", "--job", "bogus"])
+    assert rc != 0
+
+
+def test_export_cli_groups_csv(warehouse_file, capsys):
+    from repro.cli.export import main as export_main
+    rc = export_main(["--warehouse", warehouse_file, "--system", "ranger",
+                      "--format", "csv", "groups", "science_field",
+                      "--metric", "mem_used"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert out.startswith("group,")
+    assert "mem_used" in out
+
+
+def test_export_cli_profile_json(warehouse_file, capsys):
+    import json
+    from repro.cli.export import main as export_main
+    from repro.ingest.warehouse import Warehouse
+    from repro.xdmod.query import JobQuery
+    wh = Warehouse(warehouse_file)
+    user = JobQuery(wh, "ranger").top("user", 1)[0]
+    wh.close()
+    rc = export_main(["--warehouse", warehouse_file, "--system", "ranger",
+                      "profile", "user", user])
+    assert rc == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["kind"] == "radar"
+
+
+def test_export_cli_series_to_file(warehouse_file, tmp_path, capsys):
+    import json
+    from repro.cli.export import main as export_main
+    out_file = tmp_path / "series.json"
+    rc = export_main(["--warehouse", warehouse_file, "--system", "ranger",
+                      "-o", str(out_file), "series", "flops_tf"])
+    assert rc == 0
+    data = json.loads(out_file.read_text())
+    assert data["kind"] == "line"
+    assert len(data["t"]) == len(data["y"]) > 0
+
+
+def test_export_cli_density_csv(warehouse_file, capsys):
+    from repro.cli.export import main as export_main
+    rc = export_main(["--warehouse", warehouse_file, "--system", "ranger",
+                      "--format", "csv", "density", "mem_used"])
+    assert rc == 0
+    assert capsys.readouterr().out.startswith("x,density")
+
+
+def test_export_cli_bad_series(warehouse_file, capsys):
+    from repro.cli.export import main as export_main
+    rc = export_main(["--warehouse", warehouse_file, "--system", "ranger",
+                      "series", "nonexistent"])
+    assert rc != 0
+
+
+def test_stats_cat_timeline(archive_run, capsys):
+    """The job-viewer path: feed all hosts' files, ask for one job."""
+    wh, arch = archive_run
+    from repro.ingest.warehouse import Warehouse
+    from repro.tacc_stats.archive import HostArchive
+    from repro.xdmod.query import JobQuery
+    w = Warehouse(wh)
+    q = JobQuery(w, "ranger", metrics=())
+    # Pick a job with >= 2 samples (longer than the interval).
+    import numpy as np
+    durations = q.column("end_time") - q.column("start_time")
+    idx = int(np.argmax(durations))
+    jobid = str(q.column("jobid")[idx])
+    w.close()
+    archive = HostArchive(arch)
+    files = [str(p) for h in archive.hostnames()
+             for p in archive.host_files(h)]
+    rc = stats_cat_main(["--timeline", jobid] + files)
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert f"Job timeline — {jobid}" in out
+    assert "most deviant host" in out
+
+
+def test_stats_cat_multi_host_without_timeline_rejected(archive_run,
+                                                        capsys):
+    _, arch = archive_run
+    from repro.tacc_stats.archive import HostArchive
+    archive = HostArchive(arch)
+    hosts = archive.hostnames()[:2]
+    files = [str(archive.host_files(h)[0]) for h in hosts]
+    rc = stats_cat_main(files)
+    assert rc != 0
+    assert "multiple hosts" in capsys.readouterr().err
+
+
+def test_simulate_policy_and_kernels(tmp_path, capsys):
+    path = str(tmp_path / "aware.sqlite")
+    rc = simulate_main([
+        "--system", "ranger", "--nodes", "12", "--days", "4",
+        "--users", "15", "--seed", "2", "--warehouse", path,
+        "--policy", "aware", "--appkernels", "--no-syslog", "--quiet",
+    ])
+    assert rc == 0
+    from repro.ingest.warehouse import Warehouse
+    from repro.xdmod.query import JobQuery
+    wh = Warehouse(path)
+    q = JobQuery(wh, "ranger", metrics=())
+    import numpy as np
+    assert "appkernel" in np.unique(q.column("user"))
+    wh.close()

@@ -1,0 +1,70 @@
+"""Tests for the facility configurations."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import FacilityConfig, LONESTAR4, RANGER, TEST_SYSTEM
+
+
+def test_ranger_published_specs():
+    assert RANGER.num_nodes == 3936
+    assert RANGER.node.cores == 16
+    assert RANGER.node.memory_gb == pytest.approx(32.0)
+    assert RANGER.peak_tflops == pytest.approx(579.4, abs=1.0)
+    assert RANGER.sample_interval == 600.0
+    assert RANGER.avg_job_minutes == 549.0
+    assert RANGER.target_efficiency == 0.90
+    assert RANGER.n_users == 2000
+    assert {f.name for f in RANGER.filesystems} == {"scratch", "work",
+                                                    "share"}
+
+
+def test_lonestar4_published_specs():
+    assert LONESTAR4.num_nodes == 1888
+    assert LONESTAR4.node.cores == 12
+    assert LONESTAR4.node.memory_gb == pytest.approx(24.0)
+    assert LONESTAR4.avg_job_minutes == 446.0
+    assert LONESTAR4.target_efficiency == 0.85
+    kinds = {f.name: f.kind for f in LONESTAR4.filesystems}
+    assert kinds["home"] == "nfs"
+
+
+def test_scaled_preserves_per_node_invariants():
+    small = RANGER.scaled(num_nodes=64, horizon_days=10, n_users=50)
+    assert small.num_nodes == 64
+    assert small.node == RANGER.node
+    assert small.target_efficiency == RANGER.target_efficiency
+    assert small.avg_job_minutes == RANGER.avg_job_minutes
+    assert small.workload_scale == pytest.approx(64 / 3936)
+    assert small.horizon == 10 * 86400
+    assert small.n_users == 50
+    # Per-node peak unchanged -> system peak scales linearly.
+    assert small.peak_tflops == pytest.approx(RANGER.peak_tflops * 64 / 3936)
+
+
+def test_scaled_composes():
+    twice = RANGER.scaled(num_nodes=128).scaled(num_nodes=64)
+    assert twice.workload_scale == pytest.approx(64 / 3936)
+
+
+def test_stream_prefix_and_seed_label():
+    assert RANGER.stream_prefix == "ranger"
+    other = dataclasses.replace(RANGER, seed_label="replica-b")
+    assert other.stream_prefix == "replica-b"
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        dataclasses.replace(RANGER, num_nodes=0)
+    with pytest.raises(ValueError):
+        dataclasses.replace(RANGER, target_utilization=0.0)
+    with pytest.raises(ValueError):
+        dataclasses.replace(RANGER, target_efficiency=1.5)
+    with pytest.raises(ValueError):
+        dataclasses.replace(RANGER, sample_interval=0.0)
+
+
+def test_test_system_is_tiny():
+    assert TEST_SYSTEM.num_nodes <= 16
+    assert TEST_SYSTEM.horizon <= 3 * 86400

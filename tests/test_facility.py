@@ -1,0 +1,108 @@
+"""Tests for the facility facade (fast path)."""
+
+import numpy as np
+import pytest
+
+from repro import Facility, LONESTAR4, RANGER
+from repro.xdmod.metrics import SERIES_NAMES
+
+
+def test_fast_run_contents(fast_run):
+    assert fast_run.records
+    assert fast_run.warehouse.systems() == ["ranger"]
+    q = fast_run.query()
+    assert len(q) > 0
+    stored = set(fast_run.warehouse.series_metrics("ranger"))
+    assert stored == set(SERIES_NAMES)
+
+
+def test_series_lengths_consistent(fast_run):
+    wh = fast_run.warehouse
+    lengths = set()
+    for name in wh.series_metrics("ranger"):
+        t, v = wh.series("ranger", name)
+        lengths.add(len(t))
+        assert (np.diff(t) > 0).all()
+    assert len(lengths) == 1
+
+
+def test_flops_bounded_by_peak_and_active(fast_run):
+    wh = fast_run.warehouse
+    _, flops = wh.series("ranger", "flops_tf")
+    _, active = wh.series("ranger", "active_nodes")
+    per_node_peak = fast_run.config.node.peak_gflops / 1000.0
+    assert (flops <= active * per_node_peak + 1e-9).all()
+    assert (flops >= 0).all()
+
+
+def test_busy_never_exceeds_active(fast_run):
+    wh = fast_run.warehouse
+    _, busy = wh.series("ranger", "busy_nodes")
+    _, active = wh.series("ranger", "active_nodes")
+    # Bins where a node hands off between jobs count both jobs' samples,
+    # so busy can locally exceed active on a saturated machine; the
+    # overcount must stay small in aggregate and bounded per bin.
+    assert busy.max() <= 2 * fast_run.config.num_nodes
+    up = active > 0
+    assert busy[up].mean() <= active[up].mean() * 1.05
+    assert float(np.mean(busy[up] <= active[up] + 3)) > 0.9
+
+
+def test_idle_frac_in_bounds(fast_run):
+    _, idle = fast_run.warehouse.series("ranger", "cpu_idle_frac")
+    assert (idle >= 0).all()
+    assert (idle <= 1.0 + 1e-9).all()
+
+
+def test_efficiency_calibration_both_systems():
+    for base, tol in ((RANGER, 0.04), (LONESTAR4, 0.04)):
+        cfg = base.scaled(num_nodes=24, horizon_days=10, n_users=40)
+        run = Facility(cfg, seed=3).run(with_syslog=False)
+        idle = run.query().weighted_mean("cpu_idle")
+        target = 1.0 - cfg.target_efficiency
+        assert idle == pytest.approx(target, abs=tol), base.name
+
+
+def test_reproducible_runs():
+    cfg = RANGER.scaled(num_nodes=16, horizon_days=4, n_users=15)
+    a = Facility(cfg, seed=5).run(with_syslog=False)
+    b = Facility(cfg, seed=5).run(with_syslog=False)
+    ta = a.warehouse.job_table("ranger")
+    tb = b.warehouse.job_table("ranger")
+    np.testing.assert_array_equal(ta["jobid"], tb["jobid"])
+    np.testing.assert_allclose(ta["cpu_flops"], tb["cpu_flops"])
+    _, va = a.warehouse.series("ranger", "flops_tf")
+    _, vb = b.warehouse.series("ranger", "flops_tf")
+    np.testing.assert_allclose(va, vb)
+
+
+def test_different_seeds_differ():
+    cfg = RANGER.scaled(num_nodes=16, horizon_days=4, n_users=15)
+    a = Facility(cfg, seed=1).run(with_syslog=False)
+    b = Facility(cfg, seed=2).run(with_syslog=False)
+    assert len(a.records) != len(b.records) or not np.allclose(
+        a.warehouse.series("ranger", "flops_tf")[1],
+        b.warehouse.series("ranger", "flops_tf")[1],
+    )
+
+
+def test_syslog_flows_into_warehouse(fast_run):
+    events = fast_run.warehouse.syslog_events("ranger")
+    assert events
+    kinds = {e[3] for e in events}
+    assert "job_prolog" in kinds and "job_epilog" in kinds
+    # Prolog/epilog are job-tagged.
+    tagged = [e for e in events if e[2] is not None]
+    assert len(tagged) > 0.8 * len(events)
+
+
+def test_shared_warehouse_two_systems():
+    from repro.ingest.warehouse import Warehouse
+    wh = Warehouse()
+    Facility(RANGER.scaled(16, 3, 12), seed=1).run(
+        warehouse=wh, with_syslog=False)
+    Facility(LONESTAR4.scaled(16, 3, 12), seed=1).run(
+        warehouse=wh, with_syslog=False)
+    assert wh.systems() == ["lonestar4", "ranger"]
+    assert wh.job_count("ranger") > 0
+    assert wh.job_count("lonestar4") > 0

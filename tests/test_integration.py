@@ -1,0 +1,115 @@
+"""Cross-path integration tests: the text-format pipeline and the fast
+synthesizer must tell the same story about the same simulated facility."""
+
+import numpy as np
+import pytest
+
+from repro import Facility, TEST_SYSTEM
+from repro.ingest.summarize import summarize_job_from_rates
+from repro.workload.applications import APP_CATALOG
+
+
+@pytest.fixture(scope="module")
+def both_paths(tmp_path_factory):
+    """The same (config, seed) through both measurement paths."""
+    fac_files = Facility(TEST_SYSTEM, seed=11)
+    file_run = fac_files.run_with_files(
+        str(tmp_path_factory.mktemp("arch")))
+    fast_run = Facility(TEST_SYSTEM, seed=11).run()
+    return file_run, fast_run
+
+
+def test_same_schedule(both_paths):
+    file_run, fast_run = both_paths
+    a = [(r.jobid, r.start_time, r.end_time, r.node_indices)
+         for r in file_run.records]
+    b = [(r.jobid, r.start_time, r.end_time, r.node_indices)
+         for r in fast_run.records]
+    assert a == b
+
+
+def test_per_job_summaries_agree(both_paths):
+    """Collected-and-parsed summaries match direct synthesis within the
+    measurement noise the collectors inject."""
+    file_run, fast_run = both_paths
+    ta = file_run.warehouse.job_table("ranger")
+    tb = fast_run.warehouse.job_table("ranger")
+    common = sorted(set(ta["jobid"]) & set(tb["jobid"]))
+    assert len(common) >= 0.8 * len(tb["jobid"])
+    ia = {j: k for k, j in enumerate(ta["jobid"])}
+    ib = {j: k for k, j in enumerate(tb["jobid"])}
+    for metric, rel, abs_tol in [
+        ("cpu_idle", 0.35, 0.06),
+        ("cpu_flops", 0.2, 0.3),
+        ("mem_used", 0.25, 0.7),
+        ("io_scratch_write", 0.2, 0.25),
+        ("net_ib_tx", 0.2, 0.5),
+        ("net_lnet_tx", 0.2, 0.3),
+    ]:
+        va = np.array([ta[metric][ia[j]] for j in common])
+        vb = np.array([tb[metric][ib[j]] for j in common])
+        close = np.isclose(va, vb, rtol=rel, atol=abs_tol)
+        assert close.mean() > 0.9, (
+            f"{metric}: only {close.mean():.0%} of jobs agree "
+            f"(worst: {np.max(np.abs(va - vb)):.3f})"
+        )
+
+
+def test_node_hour_weighted_aggregates_agree(both_paths):
+    file_run, fast_run = both_paths
+    qa, qb = file_run.query(), fast_run.query()
+    assert qa.weighted_mean("cpu_idle") == pytest.approx(
+        qb.weighted_mean("cpu_idle"), abs=0.04)
+    assert qa.weighted_mean("cpu_flops") == pytest.approx(
+        qb.weighted_mean("cpu_flops"), rel=0.15)
+    assert qa.weighted_mean("mem_used") == pytest.approx(
+        qb.weighted_mean("mem_used"), rel=0.15)
+
+
+def test_app_attribution_falls_back_to_lariat(tmp_path):
+    """Corrupt the accounting app tags; Lariat's fingerprint recovers."""
+    import io
+    from repro.ingest.pipeline import IngestPipeline
+    from repro.ingest.warehouse import Warehouse
+    from repro.lariat.records import lariat_record_for
+    from repro.scheduler.accounting import AccountingWriter
+    from repro.tacc_stats.archive import HostArchive
+
+    fac = Facility(TEST_SYSTEM, seed=11)
+    run = fac.run_with_files(str(tmp_path / "arch"))
+    buf = io.StringIO()
+    AccountingWriter(buf, TEST_SYSTEM.node.cores, "ranger").write_all(
+        run.records)
+    # Blank out every app tag (field 17).
+    corrupted = "\n".join(
+        ":".join(line.split(":")[:17] + ["-"])
+        for line in buf.getvalue().strip().split("\n")
+    )
+    lariat = [lariat_record_for(r, TEST_SYSTEM.node.cores)
+              for r in run.records]
+    pipeline = IngestPipeline(Warehouse())
+    report = pipeline.ingest(
+        TEST_SYSTEM, accounting_text=corrupted,
+        archive=HostArchive(tmp_path / "arch"), lariat_records=lariat,
+    )
+    assert report.lariat_attributed == report.jobs_loaded
+    assert report.unattributed == []
+    table = pipeline.warehouse.job_table("ranger", metrics=())
+    assert set(table["app"]) <= set(APP_CATALOG)
+
+
+def test_full_chain_reports_render(both_paths):
+    """Every stakeholder report renders from file-path data."""
+    from repro.xdmod.reports import (
+        DeveloperReport, FundingAgencyReport, SupportStaffReport,
+        UserReport,
+    )
+    file_run, _ = both_paths
+    wh = file_run.warehouse
+    q = file_run.query()
+    user = q.top("user", 1)[0]
+    assert UserReport(wh, "ranger").render(user)
+    app = q.top("app", 1)[0]
+    assert DeveloperReport(wh, "ranger").render(app)
+    assert SupportStaffReport(wh, "ranger").render()
+    assert FundingAgencyReport(wh, "ranger").render()

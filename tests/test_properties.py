@@ -1,0 +1,268 @@
+"""Property-based tests (hypothesis) on the core data structures and
+invariants: format round-trips, counter rollover, weighted statistics,
+queue/cluster safety, and scheduler conservation laws."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.hardware import ranger_node
+from repro.scheduler.accounting import (
+    format_accounting_line,
+    parse_accounting_line,
+)
+from repro.scheduler.engine import SchedulerEngine
+from repro.scheduler.job import ExitStatus, JobRecord, JobRequest
+from repro.scheduler.policies import EasyBackfillPolicy, FCFSPolicy
+from repro.tacc_stats.format import StatsWriter
+from repro.tacc_stats.parser import event_delta, parse_host_text
+from repro.tacc_stats.schema import SchemaEntry, TypeSchema
+from repro.util.stats import weighted_mean, weighted_quantile, weighted_std
+
+# ---------------------------------------------------------------------------
+# Counter rollover.
+# ---------------------------------------------------------------------------
+
+
+@given(
+    start=st.integers(min_value=0, max_value=2**32 - 1),
+    increment=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_event_delta_inverts_modular_addition(start, increment):
+    """delta(first, (first+inc) % 2^w) == inc for any single-wrap inc."""
+    last = (start + increment) % (2**32)
+    assert event_delta(start, last, 32) == increment
+
+
+@given(
+    width=st.sampled_from([16, 32, 48, 64]),
+    start=st.integers(min_value=0),
+    increment=st.integers(min_value=0),
+)
+def test_event_delta_any_width(width, start, increment):
+    mod = 1 << width
+    start %= mod
+    increment %= mod
+    assert event_delta(start, (start + increment) % mod, width) == increment
+
+
+# ---------------------------------------------------------------------------
+# Stats format round-trip.
+# ---------------------------------------------------------------------------
+
+_key = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,10}", fullmatch=True)
+_device = st.from_regex(r"[A-Za-z0-9_.-]{1,8}", fullmatch=True)
+
+
+@st.composite
+def _schema(draw):
+    name = draw(st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True))
+    n = draw(st.integers(1, 6))
+    keys = draw(st.lists(_key, min_size=n, max_size=n, unique=True))
+    entries = tuple(
+        SchemaEntry(
+            k,
+            is_event=draw(st.booleans()),
+            unit=draw(st.sampled_from([None, "B", "KB", "cs"])),
+            width=draw(st.sampled_from([32, 48, 64])),
+        )
+        for k in keys
+    )
+    return TypeSchema(name, entries)
+
+
+@st.composite
+def _host_stream(draw):
+    schemas = draw(st.lists(_schema(), min_size=1, max_size=3,
+                            unique_by=lambda s: s.type_name))
+    n_blocks = draw(st.integers(1, 5))
+    times = sorted(draw(st.lists(
+        st.integers(0, 10**7), min_size=n_blocks, max_size=n_blocks,
+        unique=True,
+    )))
+    blocks = []
+    for t in times:
+        rows = []
+        for schema in schemas:
+            devices = draw(st.lists(_device, min_size=1, max_size=3,
+                                    unique=True))
+            for dev in devices:
+                values = draw(st.lists(
+                    st.integers(0, 2**31), min_size=schema.n_values,
+                    max_size=schema.n_values,
+                ))
+                rows.append((schema.type_name, dev, values))
+        jobids = tuple(draw(st.lists(
+            st.from_regex(r"[0-9]{1,7}", fullmatch=True), max_size=2,
+            unique=True,
+        )))
+        blocks.append((float(t), jobids, rows))
+    return schemas, blocks
+
+
+@given(_host_stream())
+@settings(max_examples=40, deadline=None)
+def test_format_parse_roundtrip(stream):
+    schemas, blocks = stream
+    buf = io.StringIO()
+    w = StatsWriter(buf, "host.prop")
+    for s in schemas:
+        w.register_schema(s)
+    for t, jobids, rows in blocks:
+        w.begin_block(t, jobids)
+        for type_name, dev, values in rows:
+            w.write_row(type_name, dev, values)
+    host = parse_host_text(buf.getvalue())
+    assert {s.type_name: s for s in schemas} == host.schemas
+    assert len(host.blocks) == len(blocks)
+    for parsed, (t, jobids, rows) in zip(host.blocks, blocks):
+        assert parsed.time == t
+        assert parsed.jobids == jobids
+        for type_name, dev, values in rows:
+            np.testing.assert_array_equal(
+                parsed.get(type_name, dev), np.array(values, dtype=np.uint64)
+            )
+
+
+# ---------------------------------------------------------------------------
+# Weighted statistics.
+# ---------------------------------------------------------------------------
+
+_values = st.lists(
+    st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=50
+)
+
+
+@given(_values)
+def test_weighted_mean_uniform_equals_numpy(v):
+    assert weighted_mean(v) == pytest.approx(np.mean(v), rel=1e-9, abs=1e-9)
+
+
+@given(_values, st.integers(1, 5))
+def test_weighted_mean_matches_repetition(v, k):
+    """Integer weights == literal repetition."""
+    weights = [(i % k) + 1 for i in range(len(v))]
+    repeated = [x for x, w in zip(v, weights) for _ in range(w)]
+    assert weighted_mean(v, weights) == pytest.approx(
+        np.mean(repeated), rel=1e-9, abs=1e-9
+    )
+    assert weighted_std(v, weights) == pytest.approx(
+        np.std(repeated), rel=1e-9, abs=1e-6
+    )
+
+
+@given(_values)
+def test_weighted_quantile_bounded_and_monotone(v):
+    q25 = weighted_quantile(v, 0.25)
+    q75 = weighted_quantile(v, 0.75)
+    assert min(v) <= q25 <= q75 <= max(v)
+
+
+# ---------------------------------------------------------------------------
+# Accounting round-trip.
+# ---------------------------------------------------------------------------
+
+_name = st.from_regex(r"[a-z][a-z0-9_]{0,11}", fullmatch=True)
+
+
+@given(
+    jobid=st.from_regex(r"[0-9]{1,7}", fullmatch=True),
+    user=_name,
+    nodes=st.integers(1, 4096),
+    submit=st.integers(0, 10**6),
+    wait=st.integers(0, 10**5),
+    wall=st.integers(1, 10**6),
+    status=st.sampled_from(list(ExitStatus)),
+)
+@settings(max_examples=60, deadline=None)
+def test_accounting_roundtrip_property(jobid, user, nodes, submit, wait,
+                                       wall, status):
+    req = JobRequest(
+        jobid=jobid, user=user, account="TG-ABC123", science_field="Physics",
+        app="namd", queue="normal", submit_time=float(submit), nodes=nodes,
+        walltime_req=float(wall) + 1, runtime=float(wall),
+    )
+    rec = JobRecord(req, float(submit + wait), float(submit + wait + wall),
+                    tuple(range(nodes)), status)
+    entry = parse_accounting_line(format_accounting_line(rec, 16, "sys"))
+    assert entry.job_number == jobid
+    assert entry.owner == user
+    assert entry.granted_nodes == nodes
+    assert entry.exit is status
+    assert entry.wall_seconds == wall
+    assert entry.wait_seconds == wait
+
+
+# ---------------------------------------------------------------------------
+# Scheduler safety and conservation.
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def _job_stream(draw):
+    n = draw(st.integers(1, 25))
+    jobs = []
+    t = 0.0
+    for i in range(n):
+        t += draw(st.floats(0.0, 5000.0))
+        runtime = draw(st.floats(60.0, 50000.0))
+        walltime = runtime * draw(st.floats(0.5, 2.0))
+        jobs.append(JobRequest(
+            jobid=str(i), user=f"u{i % 3}", account="a",
+            science_field="Physics", app="namd", queue="normal",
+            submit_time=t, nodes=draw(st.integers(1, 8)),
+            walltime_req=walltime, runtime=runtime,
+            fail_after=draw(st.one_of(st.none(), st.floats(1.0, 40000.0))),
+        ))
+    return jobs
+
+
+@given(_job_stream(), st.sampled_from(["fcfs", "easy"]))
+@settings(max_examples=30, deadline=None)
+def test_scheduler_conservation_properties(jobs, policy_name):
+    policy = FCFSPolicy() if policy_name == "fcfs" else EasyBackfillPolicy()
+    cluster = Cluster("p", 8, ranger_node())
+    result = SchedulerEngine(cluster, policy).run(list(jobs))
+    # Every job either ran or was dropped; nothing is lost or duplicated.
+    ran = {r.jobid for r in result.records}
+    dropped = {r.jobid for r in result.dropped}
+    assert ran | dropped == {j.jobid for j in jobs}
+    assert not ran & dropped
+    # No job starts before submission; durations match outcomes.
+    for rec in result.records:
+        assert rec.start_time >= rec.request.submit_time
+        assert rec.wall_seconds <= rec.request.walltime_req + 1e-6
+        if rec.exit_status is ExitStatus.COMPLETED:
+            assert rec.wall_seconds == pytest.approx(rec.request.runtime)
+    # No overlapping use of any node.
+    by_node: dict[int, list[tuple[float, float]]] = {}
+    for rec in result.records:
+        for node in rec.node_indices:
+            by_node.setdefault(node, []).append(
+                (rec.start_time, rec.end_time))
+    for intervals in by_node.values():
+        intervals.sort()
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2 + 1e-9
+    cluster.check_invariants()
+
+
+@given(st.lists(st.integers(1, 8), min_size=1, max_size=30))
+def test_cluster_allocate_release_property(sizes):
+    cluster = Cluster("p", 16, ranger_node())
+    held = {}
+    for i, n in enumerate(sizes):
+        jid = str(i)
+        if n <= cluster.free_count:
+            held[jid] = cluster.allocate(jid, n)
+        if len(held) > 2:
+            victim = next(iter(held))
+            cluster.release(victim)
+            del held[victim]
+        cluster.check_invariants()
+    assert cluster.free_count == 16 - sum(len(v) for v in held.values())

@@ -1,0 +1,93 @@
+"""Tests for the Gaussian KDE with Scott's rule."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.util.kde import GaussianKDE, scott_bandwidth
+
+
+def test_scott_bandwidth_formula():
+    rng = np.random.default_rng(0)
+    v = rng.normal(size=400)
+    assert scott_bandwidth(v) == pytest.approx(
+        v.std(ddof=1) * 400 ** (-0.2)
+    )
+
+
+def test_scott_bandwidth_validation():
+    with pytest.raises(ValueError):
+        scott_bandwidth([1.0])
+    with pytest.raises(ValueError):
+        scott_bandwidth([2.0, 2.0, 2.0])
+
+
+def test_kde_matches_scipy_gaussian_kde():
+    rng = np.random.default_rng(1)
+    v = rng.normal(3.0, 2.0, 300)
+    ours = GaussianKDE(v)
+    ref = sps.gaussian_kde(v, bw_method="scott")
+    grid = np.linspace(-4, 10, 50)
+    np.testing.assert_allclose(ours(grid), ref(grid), rtol=1e-6)
+
+
+def test_kde_integrates_to_one():
+    rng = np.random.default_rng(2)
+    kde = GaussianKDE(rng.exponential(2.0, 500))
+    assert kde.integral() == pytest.approx(1.0, abs=0.01)
+
+
+def test_kde_mode_of_bimodal():
+    rng = np.random.default_rng(3)
+    v = np.concatenate([rng.normal(0, 0.3, 200), rng.normal(5, 0.3, 800)])
+    assert GaussianKDE(v).mode() == pytest.approx(5.0, abs=0.3)
+
+
+def test_kde_weights_shift_density():
+    v = np.array([0.0] * 50 + [10.0] * 50)
+    w = np.array([1.0] * 50 + [9.0] * 50)
+    kde = GaussianKDE(v, weights=w)
+    assert kde([10.0])[0] > 5 * kde([0.0])[0]
+
+
+def test_kde_weighted_matches_direct_sum():
+    rng = np.random.default_rng(4)
+    v = rng.normal(size=200)
+    w = rng.uniform(0.1, 2.0, 200)
+    h = 0.5
+    ours = GaussianKDE(v, weights=w, bandwidth=h)
+    grid = np.linspace(-3, 3, 20)
+    wn = w / w.sum()
+    direct = np.array([
+        np.sum(wn * np.exp(-0.5 * ((x - v) / h) ** 2))
+        / (h * np.sqrt(2 * np.pi))
+        for x in grid
+    ])
+    np.testing.assert_allclose(ours(grid), direct, rtol=1e-10)
+
+
+def test_kde_chunked_evaluation_consistent():
+    rng = np.random.default_rng(5)
+    v = rng.normal(size=100)
+    kde = GaussianKDE(v)
+    kde._CHUNK_ELEMS = 128  # force many tiny chunks
+    grid = np.linspace(-3, 3, 77)
+    expected = GaussianKDE(v)(grid)
+    np.testing.assert_allclose(kde(grid), expected)
+
+
+def test_kde_validation():
+    with pytest.raises(ValueError):
+        GaussianKDE([1.0])
+    with pytest.raises(ValueError):
+        GaussianKDE([1.0, 2.0], weights=[1.0])
+    with pytest.raises(ValueError):
+        GaussianKDE([1.0, 2.0], bandwidth=0.0)
+    with pytest.raises(ValueError):
+        GaussianKDE([1.0, 2.0], weights=[0.0, 0.0])
+
+
+def test_kde_preserves_grid_shape():
+    kde = GaussianKDE([0.0, 1.0, 2.0])
+    out = kde(np.zeros((3, 4)))
+    assert out.shape == (3, 4)

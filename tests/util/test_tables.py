@@ -1,0 +1,75 @@
+"""Tests for ASCII table / key-value rendering."""
+
+import pytest
+
+from repro.util.tables import Column, render_kv, render_table
+
+
+ROWS = [
+    {"name": "namd", "jobs": 120, "idle": 0.0512},
+    {"name": "amber", "jobs": 45, "idle": 0.2534},
+]
+
+
+def test_render_table_dict_rows():
+    out = render_table(ROWS, ["name", "jobs"])
+    lines = out.split("\n")
+    assert lines[0].split() == ["name", "jobs"]
+    assert "namd" in lines[2]
+    assert "120" in lines[2]
+
+
+def test_render_table_column_formatting():
+    out = render_table(ROWS, [Column("name"), Column("idle", fmt=".1%")])
+    assert "5.1%" in out
+    assert "25.3%" in out
+
+
+def test_render_table_callable_key_and_fmt():
+    cols = [
+        Column("app", key=lambda r: r["name"].upper()),
+        Column("idle", fmt=lambda v: f"<{v:.2f}>"),
+    ]
+    out = render_table(ROWS, cols)
+    assert "NAMD" in out
+    assert "<0.05>" in out
+
+
+def test_render_table_numeric_right_aligned():
+    out = render_table(ROWS, ["name", "jobs"])
+    data_lines = out.split("\n")[2:]
+    # Numbers right-aligned: shorter number is padded on the left.
+    assert data_lines[1].rstrip().endswith("45")
+    assert data_lines[0].rstrip().endswith("120")
+
+
+def test_render_table_object_rows():
+    class R:
+        name = "x"
+        jobs = 3
+
+    out = render_table([R()], ["name", "jobs"])
+    assert "x" in out
+
+
+def test_render_table_none_renders_dash():
+    out = render_table([{"a": None}], ["a"])
+    assert "-" in out.split("\n")[-1]
+
+
+def test_render_table_title_and_empty():
+    out = render_table([], ["a", "b"], title="EMPTY")
+    assert out.startswith("EMPTY")
+    assert "a" in out
+
+
+def test_render_kv():
+    out = render_kv({"jobs": 10, "user": "alice"}, title="T")
+    lines = out.split("\n")
+    assert lines[0] == "T"
+    assert any("alice" in l for l in lines)
+
+
+def test_render_kv_empty_raises():
+    with pytest.raises(ValueError):
+        render_kv({})

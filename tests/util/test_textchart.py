@@ -1,0 +1,95 @@
+"""Tests for terminal chart rendering."""
+
+import numpy as np
+import pytest
+
+from repro.util.textchart import (
+    bar_chart,
+    radar_text,
+    scatter_text,
+    series_text,
+    sparkline,
+)
+
+
+def test_sparkline_monotone():
+    s = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+    assert len(s) == 8
+    assert s[0] == "▁"
+    assert s[-1] == "█"
+
+
+def test_sparkline_flat():
+    assert sparkline([5, 5, 5]) == "▁▁▁"
+
+
+def test_sparkline_empty_raises():
+    with pytest.raises(ValueError):
+        sparkline([])
+
+
+def test_bar_chart_scales_to_max():
+    out = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+    lines = out.split("\n")
+    assert lines[1].count("█") == 10
+    assert lines[0].count("█") == 5
+
+
+def test_bar_chart_validation():
+    with pytest.raises(ValueError):
+        bar_chart(["a"], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        bar_chart([], [])
+
+
+def test_radar_text_baseline_tick():
+    out = radar_text({"cpu_idle": 2.0, "mem_used": 0.5})
+    lines = out.split("\n")
+    assert len(lines) == 2
+    # The baseline marker appears (either | on empty or ╋ over a bar).
+    assert any(c in out for c in "|╋")
+    assert "2.00" in out
+    assert "0.50" in out
+
+
+def test_radar_text_empty_raises():
+    with pytest.raises(ValueError):
+        radar_text({})
+
+
+def test_scatter_text_shape_and_marks():
+    out = scatter_text([1, 10, 100], [1, 10, 100], width=20, height=5,
+                       logx=True, logy=True)
+    lines = out.split("\n")
+    assert len(lines) == 7  # frame + 5 rows
+    assert out.count("*") == 3
+
+
+def test_scatter_text_overlay():
+    out = scatter_text([1.0, 2.0], [1.0, 2.0],
+                       overlay={(2.0, 2.0): "O"})
+    assert "O" in out
+
+
+def test_scatter_text_log_drops_nonpositive():
+    out = scatter_text([0.0, 1.0, 10.0], [1.0, 1.0, 2.0], logx=True)
+    assert out.count("*") == 2
+
+
+def test_scatter_text_validation():
+    with pytest.raises(ValueError):
+        scatter_text([], [])
+    with pytest.raises(ValueError):
+        scatter_text([0.0], [1.0], logx=True)  # nothing plottable
+
+
+def test_series_text_downsamples():
+    t = np.arange(1000.0)
+    out = series_text(t, np.sin(t / 50), width=40, label="sig")
+    assert out.startswith("sig:")
+    assert "mean=" in out
+
+
+def test_series_text_validation():
+    with pytest.raises(ValueError):
+        series_text([1.0], [1.0, 2.0])

@@ -1,0 +1,69 @@
+"""Tests for unit constants and formatting."""
+
+import pytest
+
+from repro.util.units import (
+    GB,
+    KB,
+    MB,
+    TB,
+    GIGA,
+    MEGA,
+    TERA,
+    format_bytes,
+    format_count,
+    parse_bytes,
+)
+
+
+def test_binary_constants():
+    assert KB == 1024
+    assert MB == 1024**2
+    assert GB == 1024**3
+    assert TB == 1024**4
+
+
+def test_decimal_constants():
+    assert MEGA == 10**6
+    assert GIGA == 10**9
+    assert TERA == 10**12
+
+
+def test_format_bytes():
+    assert format_bytes(3 * GB) == "3.0 GB"
+    assert format_bytes(512) == "512.0 B"
+    assert format_bytes(1536, precision=2) == "1.50 KB"
+    assert format_bytes(0) == "0.0 B"
+    assert format_bytes(-2 * MB) == "-2.0 MB"
+
+
+def test_format_count():
+    assert format_count(2.1e13, unit="F") == "21.0 TF"
+    assert format_count(1500) == "1.5 K"
+    assert format_count(0.5) == "0.5 "
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("24 GB", 24 * GB),
+        ("512KB", 512 * KB),
+        ("42", 42),
+        ("1.5 MB", int(1.5 * MB)),
+        ("2 TiB", 2 * TB),
+        ("0 B", 0),
+    ],
+)
+def test_parse_bytes(text, expected):
+    assert parse_bytes(text) == expected
+
+
+@pytest.mark.parametrize("bad", ["", "GB", "1.2.3 MB", "twelve KB", "5 XB"])
+def test_parse_bytes_rejects_garbage(bad):
+    with pytest.raises(ValueError):
+        parse_bytes(bad)
+
+
+def test_roundtrip_parse_format():
+    for n in (0, 1, KB, 3 * GB, 17 * MB):
+        assert parse_bytes(format_bytes(n, precision=6)) == n

@@ -1,0 +1,96 @@
+"""Tests for the application catalog and rate-vector construction."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.hardware import lonestar4_node, ranger_node
+from repro.workload.applications import (
+    APP_CATALOG,
+    RATE_FIELDS,
+    RATE_INDEX,
+    get_app,
+)
+
+
+def test_rate_index_consistent():
+    assert len(RATE_FIELDS) == len(RATE_INDEX)
+    for name, i in RATE_INDEX.items():
+        assert RATE_FIELDS[i] == name
+
+
+def test_catalog_sanity():
+    assert len(APP_CATALOG) >= 15
+    for app in APP_CATALOG.values():
+        assert 0 < app.cpu_user + app.cpu_sys + app.cpu_iowait <= 1
+        assert app.nodes_min >= 1
+        assert app.weight > 0
+
+
+def test_get_app():
+    assert get_app("namd").display == "NAMD"
+    with pytest.raises(KeyError, match="unknown application"):
+        get_app("doom")
+
+
+def test_paper_figure3_orderings():
+    """NAMD and GROMACS are more efficient than AMBER; AMBER and GROMACS
+    differ across architectures while NAMD does not (paper §4.3.2)."""
+    namd, amber, gromacs = (get_app(n) for n in ("namd", "amber", "gromacs"))
+    assert namd.cpu_idle < amber.cpu_idle
+    assert gromacs.cpu_idle < amber.cpu_idle
+    assert namd.flops_frac > amber.flops_frac
+    assert namd.flops_multiplier("intel") == namd.flops_multiplier("amd64")
+    assert amber.flops_multiplier("intel") != amber.flops_multiplier("amd64")
+    assert gromacs.flops_multiplier("intel") != 1.0
+
+
+def test_high_idle_archetypes_exist():
+    """Figures 4/5 need workloads that waste most of the node."""
+    idle_heavy = [a for a in APP_CATALOG.values() if a.cpu_idle > 0.5]
+    assert len(idle_heavy) >= 2
+
+
+def test_base_rates_scale_with_hardware():
+    app = get_app("namd")
+    ranger = app.base_rates(147.2, 32.0, "amd64")
+    ls4 = app.base_rates(159.8, 24.0, "intel")
+    assert ranger[RATE_INDEX["flops_gf"]] == pytest.approx(0.10 * 147.2)
+    assert ranger[RATE_INDEX["mem_used_gb"]] == pytest.approx(0.16 * 32.0)
+    assert ls4[RATE_INDEX["mem_used_gb"]] == pytest.approx(0.16 * 24.0)
+
+
+def test_base_rates_achieved_flops_well_below_peak():
+    """Figure 9/10: the real job mix delivers a few percent of peak."""
+    node = ranger_node()
+    weights = np.array([a.weight for a in APP_CATALOG.values()])
+    fracs = np.array([
+        a.base_rates(node.peak_gflops, node.memory_gb, "amd64")[
+            RATE_INDEX["flops_gf"]
+        ] / node.peak_gflops
+        for a in APP_CATALOG.values()
+    ])
+    mix = float(np.sum(weights * fracs) / weights.sum())
+    assert 0.01 < mix < 0.12
+
+
+def test_sample_nodes_respects_bounds():
+    rng = np.random.default_rng(0)
+    app = get_app("milc")
+    for _ in range(200):
+        n = app.sample_nodes(rng, scale=0.2, system_max=64)
+        assert 1 <= n <= 64
+
+
+def test_sample_runtime_mean_preserved():
+    rng = np.random.default_rng(1)
+    app = get_app("namd")
+    draws = np.array([app.sample_runtime(rng) for _ in range(4000)])
+    assert draws.mean() / 60.0 == pytest.approx(app.runtime_mean_min,
+                                                rel=0.1)
+
+
+def test_memory_mix_stays_under_half_capacity():
+    """Figure 12 (Ranger): average memory usage well under 50 %."""
+    weights = np.array([a.weight for a in APP_CATALOG.values()])
+    mems = np.array([a.mem_frac_mean for a in APP_CATALOG.values()])
+    assert float(np.sum(weights * mems) / weights.sum()) < 0.5

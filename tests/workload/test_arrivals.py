@@ -1,0 +1,49 @@
+"""Tests for the arrival process."""
+
+import numpy as np
+import pytest
+
+from repro.util.timeutil import DAY, HOUR
+from repro.workload.arrivals import arrival_times
+
+
+def test_count_and_range():
+    rng = np.random.default_rng(0)
+    t = arrival_times(500, 10 * DAY, rng)
+    assert t.size == 500
+    assert (t >= 0).all() and (t < 10 * DAY).all()
+    assert (np.diff(t) >= 0).all()
+
+
+def test_zero_and_validation():
+    rng = np.random.default_rng(0)
+    assert arrival_times(0, DAY, rng).size == 0
+    with pytest.raises(ValueError):
+        arrival_times(-1, DAY, rng)
+    with pytest.raises(ValueError):
+        arrival_times(5, 0.0, rng)
+
+
+def test_diurnal_cycle_visible():
+    rng = np.random.default_rng(1)
+    t = arrival_times(30000, 30 * DAY, rng, day_amplitude=0.5,
+                      week_amplitude=0.0)
+    hours = (t % DAY) // HOUR
+    counts = np.bincount(hours.astype(int), minlength=24)
+    # Peak afternoon beats pre-dawn trough decisively.
+    assert counts[14:17].mean() > 1.5 * counts[2:5].mean()
+
+
+def test_flat_when_amplitudes_zero():
+    rng = np.random.default_rng(2)
+    t = arrival_times(50000, 10 * DAY, rng, day_amplitude=0.0,
+                      week_amplitude=0.0)
+    hours = (t % DAY) // HOUR
+    counts = np.bincount(hours.astype(int), minlength=24)
+    assert counts.std() / counts.mean() < 0.1
+
+
+def test_reproducible():
+    a = arrival_times(100, DAY, np.random.default_rng(3))
+    b = arrival_times(100, DAY, np.random.default_rng(3))
+    np.testing.assert_array_equal(a, b)

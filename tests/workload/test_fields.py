@@ -1,0 +1,24 @@
+"""Tests for the science-field taxonomy."""
+
+import pytest
+
+from repro.workload.fields import SCIENCE_FIELDS, field_weights
+
+
+def test_weights_sum_to_one():
+    names, weights = field_weights()
+    assert sum(weights) == pytest.approx(1.0)
+    assert len(names) == len(weights) == len(SCIENCE_FIELDS)
+
+
+def test_fields_unique_and_nonempty():
+    names = [f for f, _ in SCIENCE_FIELDS]
+    assert len(set(names)) == len(names)
+    assert all(names)
+    assert all(w > 0 for _, w in SCIENCE_FIELDS)
+
+
+def test_dominant_fields_match_tacc_era():
+    names, weights = field_weights()
+    top = names[int(max(range(len(weights)), key=lambda i: weights[i]))]
+    assert top == "Molecular Biosciences"

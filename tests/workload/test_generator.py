@@ -1,0 +1,101 @@
+"""Tests for the calibrated workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.config import RANGER
+from repro.util.rng import RngFactory
+from repro.util.timeutil import DAY
+from repro.workload.generator import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def workload():
+    cfg = RANGER.scaled(num_nodes=64, horizon_days=10, n_users=60)
+    return cfg, WorkloadGenerator(cfg, RngFactory(13)).generate()
+
+
+def test_requests_in_submit_order(workload):
+    _, wl = workload
+    subs = [r.submit_time for r in wl.requests]
+    assert subs == sorted(subs)
+    assert len({r.jobid for r in wl.requests}) == len(wl.requests)
+
+
+def test_node_second_target_hit(workload):
+    cfg, wl = workload
+    target = cfg.target_utilization * cfg.num_nodes * cfg.horizon
+    total = sum(r.nodes * r.runtime for r in wl.requests)
+    # The trailing corrective rescale (Phase 3) moves the total a little;
+    # the scheduler only needs demand ~= capacity, not an exact match.
+    assert total == pytest.approx(target, rel=0.10)
+
+
+def test_weighted_job_length_calibrated(workload):
+    cfg, wl = workload
+    n = np.array([r.nodes for r in wl.requests], dtype=float)
+    t = np.array([r.runtime for r in wl.requests])
+    w = n * t
+    weighted_mean_min = float(np.sum(w * t) / w.sum()) / 60.0
+    assert weighted_mean_min == pytest.approx(cfg.avg_job_minutes, rel=0.05)
+
+
+def test_job_size_mix_preserved_under_scaling(workload):
+    _, wl = workload
+    nodes = np.array([r.nodes for r in wl.requests])
+    assert nodes.min() == 1
+    assert nodes.max() >= 8  # multi-node jobs survive the shrink
+    assert (nodes == 1).mean() > 0.2  # serial tail still present
+
+
+def test_failure_and_timeout_populations(workload):
+    _, wl = workload
+    n = len(wl.requests)
+    failing = sum(1 for r in wl.requests if r.fail_after is not None)
+    timing_out = sum(1 for r in wl.requests if r.runtime > r.walltime_req)
+    assert 0.01 < failing / n < 0.15
+    assert 0.005 < timing_out / n < 0.12
+
+
+def test_queues_assigned(workload):
+    _, wl = workload
+    queues = {r.queue for r in wl.requests}
+    assert "normal" in queues
+    assert queues <= {"normal", "development", "large"}
+
+
+def test_users_and_fields_consistent(workload):
+    _, wl = workload
+    for r in wl.requests[:200]:
+        user = wl.users[r.user]
+        assert r.science_field == user.science_field
+        assert r.app in user.apps
+        assert r.account == user.account
+
+
+def test_behavior_seeds_unique(workload):
+    _, wl = workload
+    seeds = [r.behavior_seed for r in wl.requests]
+    assert len(set(seeds)) == len(seeds)
+
+
+def test_util_scale_in_plausible_band(workload):
+    _, wl = workload
+    assert 0.4 <= wl.util_scale <= 2.5
+
+
+def test_reproducible():
+    cfg = RANGER.scaled(num_nodes=32, horizon_days=3, n_users=20)
+    a = WorkloadGenerator(cfg, RngFactory(5)).generate()
+    b = WorkloadGenerator(cfg, RngFactory(5)).generate()
+    assert a.requests == b.requests
+    assert a.util_scale == b.util_scale
+
+
+def test_different_systems_draw_independently():
+    import dataclasses
+    cfg_a = RANGER.scaled(num_nodes=32, horizon_days=3, n_users=20)
+    cfg_b = dataclasses.replace(cfg_a, seed_label="other")
+    a = WorkloadGenerator(cfg_a, RngFactory(5)).generate()
+    b = WorkloadGenerator(cfg_b, RngFactory(5)).generate()
+    assert [r.nodes for r in a.requests] != [r.nodes for r in b.requests]

@@ -1,0 +1,115 @@
+"""Tests for the within-job phase model."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RngFactory
+from repro.workload.applications import RATE_FIELDS
+from repro.workload.phases import (
+    FIELD_GROUP,
+    GROUPS,
+    PHASE_CALIBRATION,
+    PhaseModel,
+)
+
+
+def model(seed=0, **kw):
+    return PhaseModel(RngFactory(seed).stream("phases"), **kw)
+
+
+def test_every_field_has_a_group():
+    assert set(FIELD_GROUP) == set(RATE_FIELDS)
+    assert set(FIELD_GROUP.values()) <= set(GROUPS)
+
+
+def test_series_mean_one():
+    m = model(1)
+    for g in GROUPS:
+        s = m.group_series(g, 60000)
+        assert s.mean() == pytest.approx(1.0, rel=0.12)
+        assert (s > 0).all()
+
+
+def test_builtin_ordering_io_fastest_mem_flops_slowest():
+    """The calibration must encode the paper's predictability ranking:
+    I/O decorrelates fastest, network next, FLOPS/memory slowest.  Use the
+    empirical lag-1 autocorrelation of the log-modulation (the
+    variance-weighted e-folding time is misleading for two-component
+    mixes, where a low-variance slow component can dominate the tail)."""
+    n = 60000
+
+    def lag1(group):
+        s = np.log(model(11).group_series(group, n))
+        return float(np.corrcoef(s[1:], s[:-1])[0, 1])
+
+    assert lag1("io") < lag1("net")
+    assert lag1("net") < lag1("flops")
+    assert lag1("net") < lag1("mem")
+    tau = {g: PhaseModel.correlation_time_steps(g) for g in GROUPS}
+    assert tau["io"] < tau["net"] < tau["mem"]
+
+
+def test_autocorrelation_reflects_rho():
+    m = model(2)
+    s_fast = np.log(m.group_series("io", 40000))
+    s_slow = np.log(model(2).group_series("mem", 40000))
+
+    def lag1(x):
+        return float(np.corrcoef(x[1:], x[:-1])[0, 1])
+
+    assert lag1(s_fast) < lag1(s_slow)
+    assert lag1(s_slow) > 0.95
+
+
+def test_field_matrix_groups_share_series():
+    m = model(3)
+    mat = m.field_matrix(100)
+    assert mat.shape == (100, len(RATE_FIELDS))
+    idx = {name: i for i, name in enumerate(RATE_FIELDS)}
+    # Same group, identical series.
+    np.testing.assert_array_equal(
+        mat[:, idx["io_scratch_write_mb"]], mat[:, idx["io_work_read_mb"]]
+    )
+    # Different groups differ.
+    assert not np.allclose(mat[:, idx["mem_used_gb"]],
+                           mat[:, idx["flops_gf"]])
+
+
+def test_step_scale_preserves_physical_correlation_time():
+    """Sampling twice as often must not change the process, only the grid.
+
+    Compare lag-2 autocorrelation at half-steps with lag-1 at full steps.
+    """
+    n = 60000
+    ref = np.log(model(4, step_scale=1.0).group_series("net", n))
+    half = np.log(model(4, step_scale=0.5).group_series("net", 2 * n))
+
+    def lag_corr(x, k):
+        return float(np.corrcoef(x[k:], x[:-k])[0, 1])
+
+    assert lag_corr(half, 2) == pytest.approx(lag_corr(ref, 1), abs=0.03)
+    # Stationary variance invariant under resampling.
+    assert half.std() == pytest.approx(ref.std(), rel=0.05)
+
+
+def test_calibration_override_single_tuple_accepted():
+    m = model(5, calibration={g: (0.5, 0.1) for g in GROUPS})
+    s = m.group_series("io", 1000)
+    assert s.shape == (1000,)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        model(0, calibration={"cpu": (1.5, 0.1)})
+    with pytest.raises(ValueError):
+        model(0, calibration={"cpu": (0.5, -0.1)})
+    with pytest.raises(ValueError):
+        model(0, step_scale=0.0)
+    with pytest.raises(ValueError):
+        model(0).group_series("cpu", 0)
+
+
+def test_reproducible():
+    a = model(9).field_matrix(50)
+    b = model(9).field_matrix(50)
+    np.testing.assert_array_equal(a, b)

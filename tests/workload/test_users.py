@@ -1,0 +1,87 @@
+"""Tests for the user population generator."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RngFactory
+from repro.workload.applications import APP_CATALOG
+from repro.workload.users import PERSONAS, UserProfile, generate_users
+
+
+@pytest.fixture(scope="module")
+def users():
+    return generate_users(400, RngFactory(5).stream("users"))
+
+
+def test_population_shape(users):
+    assert len(users) == 400
+    assert len({u.username for u in users}) == 400
+    assert len({u.uid for u in users}) == 400
+
+
+def test_apps_match_catalog(users):
+    for u in users:
+        assert u.apps
+        for app in u.apps:
+            assert app in APP_CATALOG
+
+
+def test_heavy_tailed_activity(users):
+    acts = np.sort([u.activity for u in users])[::-1]
+    top5_share = acts[:5].sum() / acts.sum()
+    assert top5_share > 0.15  # a few users dominate (Figure 2 regime)
+
+
+def test_pathological_user_planted(users):
+    order = sorted(users, key=lambda u: -u.activity)
+    heavy = order[:10]
+    assert any(u.persona == "pathological" for u in heavy)
+    pathological = [u for u in users if u.persona == "pathological"]
+    for u in pathological:
+        assert u.util_factor < 0.25  # >= 75 % idle on a busy code
+
+
+def test_planted_user_other_resources_light():
+    """Figure 5: the circled user shows normal-to-light usage elsewhere."""
+    users = generate_users(100, RngFactory(9).stream("u"),
+                           plant_pathological_rank=5)
+    order = sorted(users, key=lambda u: -u.activity)
+    planted = order[4]
+    assert planted.persona == "pathological"
+    assert planted.mem_factor <= 0.8
+    assert planted.io_factor <= 0.7
+
+
+def test_persona_distribution_dominated_by_efficient(users):
+    counts = {}
+    for u in users:
+        counts[u.persona] = counts.get(u.persona, 0) + 1
+    assert counts.get("efficient", 0) > counts.get("sloppy", 0)
+    assert counts.get("efficient", 0) > 0.4 * len(users)
+
+
+def test_personas_table_valid():
+    total_p = sum(p for _, p in PERSONAS.values())
+    assert total_p == pytest.approx(1.0)
+
+
+def test_pick_app_prefers_first():
+    users = generate_users(50, RngFactory(1).stream("u"))
+    multi = next(u for u in users if len(u.apps) >= 2)
+    rng = np.random.default_rng(0)
+    picks = [multi.pick_app(rng).name for _ in range(300)]
+    assert picks.count(multi.apps[0]) > picks.count(multi.apps[-1])
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        generate_users(0, np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        UserProfile("u", 1, "a", "Physics", (), 1.0, "efficient", 1.0,
+                    1.0, 1.0, 1.0)
+
+
+def test_reproducible():
+    a = generate_users(20, RngFactory(3).stream("users"))
+    b = generate_users(20, RngFactory(3).stream("users"))
+    assert a == b

@@ -1,0 +1,114 @@
+"""Tests for application kernels: injection, control charts, and the
+detection of an injected software-stack regression."""
+
+import numpy as np
+import pytest
+
+from repro import Facility, RANGER
+from repro.util.timeutil import DAY
+from repro.xdmod.appkernels import (
+    AppKernelSpec,
+    AppKernelMonitor,
+    DEFAULT_KERNELS,
+    KERNEL_USER,
+    PerfRegression,
+    kernel_requests,
+    kernel_user_profile,
+)
+
+CFG = RANGER.scaled(num_nodes=24, horizon_days=16, n_users=40)
+REGRESSION_DAY = 8.0
+
+
+@pytest.fixture(scope="module")
+def kernel_run():
+    """A run with the standard kernel battery and a NAMD FLOPS
+    regression injected half way through (a bad library after
+    maintenance)."""
+    regression = PerfRegression(start=REGRESSION_DAY * DAY,
+                                flops_factor=0.7,
+                                apps=("namd", "gromacs"))
+    return Facility(CFG, seed=17, appkernels=DEFAULT_KERNELS,
+                    regressions=(regression,)).run(with_syslog=False)
+
+
+def test_spec_validation():
+    with pytest.raises(KeyError):
+        AppKernelSpec("x", "not_an_app", nodes=2)
+    with pytest.raises(ValueError):
+        AppKernelSpec("x", "namd", nodes=0)
+    with pytest.raises(ValueError):
+        AppKernelSpec("x", "namd", nodes=2, cadence_hours=0)
+    with pytest.raises(ValueError):
+        PerfRegression(start=0.0, flops_factor=0.0)
+
+
+def test_kernel_requests_cadence():
+    reqs = kernel_requests(DEFAULT_KERNELS, CFG, seed=1)
+    assert all(r.user == KERNEL_USER for r in reqs)
+    assert all(r.queue == "appkernel" for r in reqs)
+    by_kernel = {}
+    for r in reqs:
+        by_kernel.setdefault(r.account, []).append(r.submit_time)
+    for spec in DEFAULT_KERNELS:
+        times = by_kernel[spec.account]
+        expected = int(CFG.horizon // (spec.cadence_hours * 3600.0))
+        assert abs(len(times) - expected) <= 1
+        gaps = np.diff(times)
+        assert np.allclose(gaps, spec.cadence_hours * 3600.0)
+
+
+def test_kernel_user_profile_valid():
+    u = kernel_user_profile()
+    assert u.util_factor == 1.0
+    assert "namd" in u.apps
+
+
+def test_kernels_appear_in_warehouse(kernel_run):
+    q = kernel_run.query().filter(user=KERNEL_USER)
+    assert len(q) > 20
+    monitor = AppKernelMonitor(kernel_run.query())
+    assert set(monitor.kernels()) == {k.name for k in DEFAULT_KERNELS}
+
+
+def test_control_chart_structure(kernel_run):
+    monitor = AppKernelMonitor(kernel_run.query())
+    chart = monitor.chart("io-bench", "cpu_flops")
+    assert chart.values.size >= 10
+    assert (np.diff(chart.times) > 0).all()
+    assert chart.baseline_sigma > 0
+    # io-bench is unaffected by the MD regression: quiet chart.
+    assert chart.violation_rate < 0.3
+
+
+def test_regression_detected_with_onset(kernel_run):
+    monitor = AppKernelMonitor(kernel_run.query())
+    findings = monitor.detect_regressions()
+    assert findings, "the injected FLOPS regression must be detected"
+    by_kernel = {f["kernel"]: f for f in findings
+                 if f["metric"] == "cpu_flops"}
+    assert "namd8" in by_kernel or "md-small" in by_kernel
+    hit = by_kernel.get("namd8") or by_kernel["md-small"]
+    # Direction and magnitude: ~-30 % FLOPS.
+    assert hit["relative_change"] < -0.15
+    # Onset localized near the injection time (within 2 days).
+    assert abs(hit["onset_time"] - REGRESSION_DAY * DAY) < 2 * DAY
+    # The unaffected kernel does not fire on cpu_flops.
+    assert "io-bench" not in by_kernel
+
+
+def test_no_false_positives_without_regression():
+    run = Facility(CFG, seed=17, appkernels=DEFAULT_KERNELS).run(
+        with_syslog=False)
+    monitor = AppKernelMonitor(run.query())
+    flops_findings = [f for f in monitor.detect_regressions()
+                      if f["metric"] == "cpu_flops"]
+    assert flops_findings == []
+
+
+def test_monitor_validation(kernel_run):
+    with pytest.raises(ValueError):
+        AppKernelMonitor(kernel_run.query(), baseline_runs=1)
+    monitor = AppKernelMonitor(kernel_run.query(), baseline_runs=10**6)
+    with pytest.raises(ValueError, match="runs"):
+        monitor.chart("namd8", "cpu_flops")

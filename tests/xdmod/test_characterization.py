@@ -1,0 +1,69 @@
+"""Tests for workload characterization."""
+
+import numpy as np
+import pytest
+
+from repro.xdmod.characterization import WorkloadCharacterization
+
+
+@pytest.fixture(scope="module")
+def wc(fast_query):
+    return WorkloadCharacterization(fast_query)
+
+
+def test_size_spectrum_partitions(wc, fast_query):
+    bins = wc.size_spectrum()
+    assert sum(b.job_count for b in bins) == len(fast_query)
+    assert sum(b.node_hours for b in bins) == pytest.approx(
+        fast_query.node_hours)
+    assert sum(b.job_share for b in bins) == pytest.approx(1.0)
+    # Serial jobs exist and are a meaningful share of counts.
+    assert bins[0].label == "1"
+    assert bins[0].job_share > 0.1
+
+
+def test_runtime_spectrum_partitions(wc, fast_query):
+    bins = wc.runtime_spectrum()
+    assert sum(b.job_count for b in bins) == len(fast_query)
+    labels = [b.label for b in bins]
+    assert "2h-8h" in labels
+
+
+def test_node_hours_skew_to_bigger_jobs(wc):
+    """Classic HPC shape: most jobs are small, most node-hours are not."""
+    bins = wc.size_spectrum()
+    serial = bins[0]
+    assert serial.node_hour_share < serial.job_share
+
+
+def test_queue_mix(wc, fast_query):
+    bins = wc.queue_mix()
+    assert sum(b.job_count for b in bins) == len(fast_query)
+    hours = [b.node_hours for b in bins]
+    assert hours == sorted(hours, reverse=True)
+    assert any(b.label == "normal" for b in bins)
+
+
+def test_discipline_contrast(wc):
+    rows = wc.discipline_contrast()
+    assert rows
+    shares = [r["node_hour_share"] for r in rows]
+    assert shares == sorted(shares, reverse=True)
+    for r in rows:
+        assert r["mean_nodes"] >= 1.0
+        assert 0.0 <= r["serial_job_fraction"] <= 1.0
+        assert r["mean_runtime_h"] > 0
+
+
+def test_concentration(wc):
+    c = wc.concentration()
+    assert 0 < c["top_1pct_share"] <= c["top_5pct_share"] \
+        <= c["top_10pct_share"] <= 1.0
+    assert 0.0 <= c["gini"] <= 1.0
+    # The heavy-tailed population: top 10 % of users hold a large share.
+    assert c["top_10pct_share"] > 0.3
+
+
+def test_empty_rejected(fast_query):
+    with pytest.raises(ValueError):
+        WorkloadCharacterization(fast_query.filter(user="nobody"))

@@ -1,0 +1,78 @@
+"""Tests for metric correlation and independent-set selection (§4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.ingest.summarize import KEY_METRICS
+from repro.xdmod.correlation import (
+    correlation_matrix,
+    select_independent,
+    strong_pairs,
+)
+
+
+@pytest.fixture(scope="module")
+def corr(fast_query):
+    return correlation_matrix(fast_query)
+
+
+def test_matrix_well_formed(corr):
+    names, r = corr
+    assert r.shape == (len(names), len(names))
+    np.testing.assert_allclose(np.diag(r), 1.0)
+    np.testing.assert_allclose(r, r.T)
+
+
+def test_papers_redundant_pairs_found(corr):
+    """§4.2: cpu_user anti-correlates with cpu_idle; net_ib_rx correlates
+    with net_ib_tx."""
+    names, r = corr
+    i = {n: k for k, n in enumerate(names)}
+    assert r[i["cpu_user"], i["cpu_idle"]] < -0.8
+    assert r[i["net_ib_rx"], i["net_ib_tx"]] > 0.8
+    assert r[i["net_lnet_rx"], i["net_lnet_tx"]] > 0.5
+
+
+def test_strong_pairs_sorted(corr):
+    names, r = corr
+    pairs = strong_pairs(names, r, threshold=0.8)
+    assert pairs
+    mags = [abs(c) for _, _, c in pairs]
+    assert mags == sorted(mags, reverse=True)
+    flat = {p for a, b, _ in pairs for p in (a, b)}
+    assert "cpu_user" in flat or "cpu_idle" in flat
+
+
+def test_select_independent_drops_redundant(corr):
+    names, r = corr
+    kept = select_independent(names, r, threshold=0.8,
+                              priority=KEY_METRICS)
+    # The paper's key metrics survive as the independent core...
+    for m in ("cpu_idle", "mem_used", "cpu_flops", "io_scratch_write",
+              "net_ib_tx"):
+        assert m in kept
+    # ...and their mirrors are dropped.
+    assert "cpu_user" not in kept
+    assert "net_ib_rx" not in kept
+
+
+def test_select_independent_pairwise_property(corr):
+    names, r = corr
+    kept = select_independent(names, r, threshold=0.8)
+    idx = {n: k for k, n in enumerate(names)}
+    for a in kept:
+        for b in kept:
+            if a != b:
+                assert abs(r[idx[a], idx[b]]) < 0.8
+
+
+def test_select_independent_validation():
+    with pytest.raises(ValueError):
+        select_independent(["a"], np.ones((2, 2)))
+
+
+def test_constant_metric_excluded(fast_query):
+    # Simulate by asking for a tiny metric set; none constant here, but
+    # the API must reject a single-column request.
+    with pytest.raises(ValueError):
+        correlation_matrix(fast_query, metrics=("cpu_idle",))

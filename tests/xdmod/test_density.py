@@ -1,0 +1,50 @@
+"""Tests for the KDE distribution analyses (Figures 10/12 data)."""
+
+import numpy as np
+import pytest
+
+from repro.xdmod.density import metric_density, series_density
+
+
+def test_flops_distribution_shape(fast_run):
+    """Figure 10: the bulk of the FLOPS density sits far below peak."""
+    curve = series_density(fast_run.warehouse, "ranger", "flops_tf")
+    peak = fast_run.config.peak_tflops
+    assert curve.mean < 0.2 * peak
+    assert (curve.grid >= 0).all()
+    # Density normalizes (over the clipped grid most mass remains).
+    total = float(np.trapezoid(curve.density, curve.grid))
+    assert total == pytest.approx(1.0, abs=0.1)
+
+
+def test_memory_distribution_mean_vs_max(fast_run):
+    """Figure 12: the mem_used_max curve sits right of mem_used; on
+    Ranger even the max stays well under capacity."""
+    q = fast_run.query()
+    mean_curve = metric_density(q, "mem_used")
+    max_curve = metric_density(q, "mem_used_max")
+    assert max_curve.mean > mean_curve.mean
+    capacity = fast_run.config.node.memory_gb
+    assert mean_curve.mean < 0.5 * capacity
+    assert max_curve.fraction_above(capacity) < 0.05
+
+
+def test_node_hour_weighting_changes_curve(fast_run):
+    q = fast_run.query()
+    weighted = metric_density(q, "cpu_idle", weight_by_node_hours=True)
+    unweighted = metric_density(q, "cpu_idle", weight_by_node_hours=False)
+    assert weighted.mean != pytest.approx(unweighted.mean, rel=1e-6)
+
+
+def test_label_defaults(fast_run):
+    curve = metric_density(fast_run.query(), "cpu_idle")
+    assert curve.label == "cpu_idle"
+    curve2 = series_density(fast_run.warehouse, "ranger", "flops_tf",
+                            label="Ranger FLOPS")
+    assert curve2.label == "Ranger FLOPS"
+
+
+def test_fraction_above_bounds(fast_run):
+    curve = metric_density(fast_run.query(), "mem_used")
+    assert curve.fraction_above(curve.grid[-1] + 1) == 0.0
+    assert curve.fraction_above(0.0) == pytest.approx(1.0, abs=0.1)

@@ -1,0 +1,60 @@
+"""Tests for the wasted-node-hours analysis (Figure 4/5 data)."""
+
+import numpy as np
+import pytest
+
+from repro.xdmod.efficiency import EfficiencyAnalysis
+
+
+@pytest.fixture(scope="module")
+def eff(fast_query):
+    return EfficiencyAnalysis(fast_query)
+
+
+def test_users_cover_all_node_hours(eff, fast_query):
+    total = sum(u.node_hours for u in eff.users)
+    assert total == pytest.approx(fast_query.node_hours)
+    assert all(0 <= u.idle_fraction <= 1 for u in eff.users)
+    assert all(u.wasted_node_hours <= u.node_hours + 1e-9 for u in eff.users)
+
+
+def test_facility_efficiency_near_config_target(eff):
+    """Figure 4 (Ranger): average efficiency ≈ 90 %."""
+    assert eff.facility_efficiency == pytest.approx(0.90, abs=0.04)
+
+
+def test_facility_efficiency_is_weighted_idle_complement(eff, fast_query):
+    assert eff.facility_efficiency == pytest.approx(
+        1.0 - fast_query.weighted_mean("cpu_idle")
+    )
+
+
+def test_scatter_shapes(eff):
+    x, y, names = eff.scatter()
+    assert x.shape == y.shape == (len(names),)
+    assert (y <= x + 1e-9).all()  # wasted <= total
+
+
+def test_users_above_line(eff):
+    above = eff.users_above_line()
+    line_idle = 1.0 - eff.facility_efficiency
+    assert all(u.idle_fraction > line_idle for u in above)
+    assert 0 < len(above) < len(eff.users)
+
+
+def test_worst_heavy_user_is_the_planted_pathology(eff):
+    """The circled user of Figures 4/5: a heavy consumer wasting most of
+    their node-hours (paper: 87-89 % idle)."""
+    worst = eff.worst_heavy_user()
+    assert worst.idle_fraction > 0.5
+    # Genuinely heavy: inside the top quarter by node-hours.
+    ranked = [u.user for u in eff.users]
+    assert ranked.index(worst.user) < max(1, len(ranked) // 4)
+    assert worst.job_count >= 3
+
+
+def test_wasted_total_consistent(eff, fast_query):
+    assert eff.wasted_total() == pytest.approx(
+        fast_query.node_hours * fast_query.weighted_mean("cpu_idle"),
+        rel=1e-6,
+    )

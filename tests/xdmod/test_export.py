@@ -1,0 +1,84 @@
+"""Tests for the CSV/JSON exporters."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.xdmod.density import metric_density
+from repro.xdmod.export import (
+    density_chart,
+    dump_json,
+    groups_chart,
+    groups_to_csv,
+    profile_chart,
+    series_chart,
+    to_csv,
+)
+from repro.xdmod.profiles import UsageProfiler
+from repro.xdmod.timeseries import SystemTimeseries
+
+
+def test_to_csv_roundtrip():
+    rows = [{"a": 1, "b": "x,y"}, {"a": 2, "b": "plain"}]
+    text = to_csv(rows)
+    parsed = list(csv.DictReader(io.StringIO(text)))
+    assert parsed[0]["b"] == "x,y"
+    assert [r["a"] for r in parsed] == ["1", "2"]
+
+
+def test_to_csv_column_selection_and_validation():
+    with pytest.raises(ValueError):
+        to_csv([])
+    text = to_csv([{"a": 1, "b": 2}], columns=["b"])
+    assert text.splitlines()[0] == "b"
+
+
+def test_groups_to_csv(fast_query):
+    groups = fast_query.group_by("science_field", metrics=("cpu_idle",))
+    text = groups_to_csv(groups, metrics=("cpu_idle",))
+    parsed = list(csv.DictReader(io.StringIO(text)))
+    assert len(parsed) == len(groups)
+    assert float(parsed[0]["node_hours"]) >= float(parsed[-1]["node_hours"])
+
+
+def test_profile_chart_json(fast_query):
+    profiler = UsageProfiler(fast_query)
+    user = fast_query.top("user", 1)[0]
+    chart = profile_chart(profiler.profile("user", user))
+    data = json.loads(dump_json(chart))
+    assert data["kind"] == "radar"
+    assert len(data["axes"]) == len(data["values"]) == 8
+    assert data["baseline"] == 1.0
+    assert data["meta"]["job_count"] > 0
+
+
+def test_series_chart_decimation(fast_run):
+    ts = SystemTimeseries(fast_run.warehouse, "ranger")
+    active = ts.active_nodes()
+    chart = series_chart(active, max_points=100)
+    assert len(chart["t"]) <= 100
+    assert len(chart["t"]) == len(chart["y"])
+    assert chart["meta"]["peak"] == active.peak
+    # Decimation preserves the mean closely.
+    import numpy as np
+    assert np.mean(chart["y"]) == pytest.approx(active.mean, rel=0.02)
+
+
+def test_density_chart(fast_run):
+    curve = metric_density(fast_run.query(), "mem_used")
+    chart = density_chart(curve)
+    assert chart["kind"] == "area"
+    assert len(chart["x"]) == len(chart["y"])
+    assert json.loads(dump_json(chart))["meta"]["mode"] == curve.mode
+
+
+def test_groups_chart(fast_query):
+    groups = fast_query.group_by("app", metrics=("mem_used",))
+    chart = groups_chart(groups[:5], "mem_used", "memory by app")
+    assert len(chart["labels"]) == 5
+    chart_nh = groups_chart(groups[:5], None, "hours by app")
+    assert chart_nh["meta"]["metric"] == "node_hours"
+    with pytest.raises(ValueError):
+        groups_chart([], None, "empty")

@@ -1,0 +1,36 @@
+"""Tests for the metric metadata registry."""
+
+from repro.ingest.summarize import KEY_METRICS, SUMMARY_METRICS
+from repro.xdmod.metrics import METRIC_INFO, SERIES_NAMES
+from repro.xdmod.persistence import PERSISTENCE_METRICS
+
+
+def test_every_summary_metric_has_info():
+    assert set(METRIC_INFO) == set(SUMMARY_METRICS)
+    for info in METRIC_INFO.values():
+        assert info.label
+        assert info.unit
+        assert info.description.endswith(".")
+
+
+def test_key_metrics_order_matches_paper_radar():
+    """§4.2 names them in this order; the radar charts rely on it."""
+    assert KEY_METRICS == (
+        "cpu_idle", "mem_used", "mem_used_max", "cpu_flops",
+        "io_scratch_write", "io_work_write", "net_ib_tx", "net_lnet_tx",
+    )
+
+
+def test_only_idle_is_lower_better():
+    lower = [m for m, i in METRIC_INFO.items() if i.lower_is_better]
+    assert lower == ["cpu_idle"]
+
+
+def test_persistence_series_are_registered():
+    for series_name in PERSISTENCE_METRICS.values():
+        assert series_name in SERIES_NAMES
+
+
+def test_series_names_documented():
+    for name, doc in SERIES_NAMES.items():
+        assert doc, name

@@ -1,0 +1,62 @@
+"""Tests for normalized usage profiles (Figures 2/3/5 data)."""
+
+import numpy as np
+import pytest
+
+from repro.ingest.summarize import KEY_METRICS
+from repro.xdmod.profiles import UsageProfiler
+
+
+@pytest.fixture(scope="module")
+def profiler(fast_query):
+    return UsageProfiler(fast_query)
+
+
+def test_average_entity_is_unit_octagon(profiler, fast_query):
+    """The node-hour-weighted average of profiles over all jobs is 1 per
+    metric by construction: check on the whole-facility 'profile'."""
+    # Facility-wide profile == all ratios 1.
+    for m in KEY_METRICS:
+        assert profiler.facility_means[m] > 0
+
+
+def test_user_profile_shape(profiler, fast_query):
+    user = fast_query.top("user", 1)[0]
+    p = profiler.profile("user", user)
+    assert set(p.values) == set(KEY_METRICS)
+    assert p.node_hours > 0
+    assert p.job_count > 0
+    for m, ratio in p.values.items():
+        assert ratio == pytest.approx(
+            p.raw[m] / profiler.facility_means[m]
+        )
+
+
+def test_top_profiles_variability(profiler):
+    """Figure 2's headline: heavy users have *different* profiles."""
+    profiles = profiler.top_profiles("user", 5)
+    assert len(profiles) == 5
+    idles = [p.values["cpu_idle"] for p in profiles]
+    assert max(idles) > 2 * min(idles)
+
+
+def test_md_codes_comparison(profiler):
+    """Figure 3: NAMD and GROMACS idle below AMBER."""
+    compare = profiler.compare("app", ("namd", "amber", "gromacs"))
+    assert compare["namd"].values["cpu_idle"] < compare["amber"].values["cpu_idle"]
+    assert compare["gromacs"].values["cpu_idle"] < compare["amber"].values["cpu_idle"]
+    assert compare["namd"].values["cpu_flops"] > compare["amber"].values["cpu_flops"]
+
+
+def test_unknown_entity_raises(profiler):
+    with pytest.raises(ValueError, match="no jobs"):
+        profiler.profile("user", "nobody")
+
+
+def test_dominant_and_anomalous(profiler, fast_query):
+    # The pathological heavy user's dominant metric is cpu_idle.
+    from repro.xdmod.efficiency import EfficiencyAnalysis
+    worst = EfficiencyAnalysis(fast_query).worst_heavy_user()
+    p = profiler.profile("user", worst.user)
+    assert p.dominant_metric() == "cpu_idle"
+    assert "cpu_idle" in p.anomalous(threshold=2.0)

@@ -1,0 +1,89 @@
+"""Tests for the job query engine (on the shared fast run)."""
+
+import numpy as np
+import pytest
+
+from repro.xdmod.query import JobQuery
+
+
+def test_columns_and_len(fast_query):
+    assert len(fast_query) > 100
+    assert fast_query.column("jobid").shape == (len(fast_query),)
+    assert fast_query.node_hours > 0
+
+
+def test_filter_by_user(fast_query):
+    user = fast_query.column("user")[0]
+    sub = fast_query.filter(user=user)
+    assert 0 < len(sub) < len(fast_query)
+    assert (sub.column("user") == user).all()
+    # Base query untouched (filters derive new views).
+    assert len(fast_query) > len(sub)
+
+
+def test_filter_tuple_and_chain(fast_query):
+    sub = fast_query.filter(app=("namd", "amber"))
+    assert set(np.unique(sub.column("app"))) <= {"namd", "amber"}
+    sub2 = sub.filter(exit_status="completed")
+    assert (sub2.column("exit_status") == "completed").all()
+    assert len(sub2) <= len(sub)
+
+
+def test_filter_unknown_dimension_rejected(fast_query):
+    with pytest.raises(ValueError, match="unknown dimension"):
+        fast_query.filter(color="red")
+
+
+def test_filter_range(fast_query):
+    big = fast_query.filter_range("nodes", lo=4)
+    assert (big.column("nodes") >= 4).all()
+    window = fast_query.filter_range("start_time", lo=0.0, hi=86400.0)
+    assert (window.column("start_time") <= 86400.0).all()
+
+
+def test_weighted_mean_matches_manual(fast_query):
+    v = fast_query.column("cpu_idle")
+    w = fast_query.column("node_hours")
+    expected = float(np.sum(v * w) / w.sum())
+    assert fast_query.weighted_mean("cpu_idle") == pytest.approx(expected)
+
+
+def test_weighted_mean_empty_filter_raises(fast_query):
+    empty = fast_query.filter(user="nobody-here")
+    with pytest.raises(ValueError):
+        empty.weighted_mean("cpu_idle")
+
+
+def test_group_by_partitions_node_hours(fast_query):
+    groups = fast_query.group_by("science_field", metrics=("cpu_idle",))
+    assert sum(g.node_hours for g in groups) == pytest.approx(
+        fast_query.node_hours
+    )
+    assert sum(g.job_count for g in groups) == len(fast_query)
+    # Ordered by node-hours descending.
+    hours = [g.node_hours for g in groups]
+    assert hours == sorted(hours, reverse=True)
+    for g in groups:
+        assert 0.0 <= g.mean("cpu_idle") <= 1.0
+
+
+def test_group_by_matches_filter(fast_query):
+    groups = fast_query.group_by("app", metrics=("mem_used",))
+    g0 = groups[0]
+    sub = fast_query.filter(app=g0.key)
+    assert g0.job_count == len(sub)
+    assert g0.mean("mem_used") == pytest.approx(
+        sub.weighted_mean("mem_used")
+    )
+
+
+def test_top(fast_query):
+    top3 = fast_query.top("user", 3)
+    assert len(top3) == 3
+    groups = fast_query.group_by("user", metrics=())
+    assert top3 == [g.key for g in groups[:3]]
+
+
+def test_group_by_unknown_dimension(fast_query):
+    with pytest.raises(ValueError):
+        fast_query.group_by("favourite_color")

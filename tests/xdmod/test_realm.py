@@ -1,0 +1,67 @@
+"""Tests for the SUPReMM realm's dimension × statistic interface."""
+
+import pytest
+
+from repro.xdmod.realm import Statistic, SupremmRealm
+
+
+@pytest.fixture(scope="module")
+def realm(fast_query):
+    return SupremmRealm(fast_query)
+
+
+def test_catalog_contents(realm):
+    assert "user" in realm.dimensions
+    assert "science_field" in realm.dimensions
+    for stat in ("job_count", "node_hours", "avg_cpu_idle",
+                 "wasted_node_hours", "failure_rate", "avg_wait_hours"):
+        assert stat in realm.statistics
+
+
+def test_aggregate_by_field(realm, fast_query):
+    rows = realm.aggregate("science_field", "node_hours")
+    assert sum(v for _, v in rows) == pytest.approx(fast_query.node_hours)
+    # Ordered heaviest-first.
+    values = [v for _, v in rows]
+    assert values == sorted(values, reverse=True)
+
+
+def test_aggregate_job_count_total(realm, fast_query):
+    rows = realm.aggregate("exit_status", "job_count")
+    assert sum(v for _, v in rows) == len(fast_query)
+
+
+def test_aggregate_with_filters_and_limit(realm):
+    rows = realm.aggregate("user", "avg_cpu_idle",
+                           filters={"app": "namd"}, limit=3)
+    assert len(rows) <= 3
+    for _, v in rows:
+        assert 0.0 <= v <= 1.0
+
+
+def test_value_single_aggregate(realm, fast_query):
+    assert realm.value("job_count") == len(fast_query)
+    assert realm.value("avg_cpu_idle") == pytest.approx(
+        fast_query.weighted_mean("cpu_idle")
+    )
+
+
+def test_custom_statistic(realm):
+    realm2 = SupremmRealm(realm.query)
+    realm2.register_statistic(Statistic(
+        "median_nodes", "Median job size", "nodes",
+        lambda q: float(__import__("numpy").median(q.column("nodes"))),
+    ))
+    assert realm2.value("median_nodes") >= 1.0
+    with pytest.raises(ValueError, match="already registered"):
+        realm2.register_statistic(Statistic("median_nodes", "", "",
+                                            lambda q: 0.0))
+
+
+def test_unknown_names_rejected(realm):
+    with pytest.raises(ValueError, match="unknown dimension"):
+        realm.aggregate("shoe_size", "job_count")
+    with pytest.raises(ValueError, match="unknown statistic"):
+        realm.aggregate("user", "vibes")
+    with pytest.raises(ValueError, match="unknown statistic"):
+        realm.value("vibes")

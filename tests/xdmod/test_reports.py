@@ -1,0 +1,74 @@
+"""Tests for the six stakeholder reports (§4.3)."""
+
+import pytest
+
+from repro.xdmod.reports import (
+    AdminReport,
+    DeveloperReport,
+    FundingAgencyReport,
+    ResourceManagerReport,
+    SupportStaffReport,
+    UserReport,
+)
+
+
+def test_user_report(fast_run, fast_query):
+    user = fast_query.top("user", 1)[0]
+    report = UserReport(fast_run.warehouse, "ranger")
+    data = report.generate(user)
+    assert data["job_count"] > 0
+    assert 0.0 <= data["completion_rate"] <= 1.0
+    text = report.render(user)
+    assert user in text
+    assert "usage vs facility average" in text
+
+
+def test_developer_report(fast_run):
+    report = DeveloperReport(fast_run.warehouse, "ranger")
+    data = report.generate("namd")
+    assert data["users"] >= 1
+    assert 0.0 <= data["abnormal_rate"] <= 1.0
+    text = report.render("namd")
+    assert "DEVELOPER REPORT" in text
+    assert "namd" in text
+
+
+def test_support_staff_report_finds_circled_user(fast_run):
+    report = SupportStaffReport(fast_run.warehouse, "ranger")
+    data = report.generate()
+    assert data["worst_user"].idle_fraction > 0.5
+    assert data["worst_profile"].values["cpu_idle"] > 2.0
+    text = report.render()
+    assert "circled user" in text
+    assert "O" in text  # overlay mark on the scatter
+
+
+def test_admin_report_has_persistence_table(fast_run):
+    report = AdminReport(fast_run.warehouse, "ranger")
+    data = report.generate()
+    assert len(data["persistence_table"]) == 5
+    text = report.render()
+    assert "Persistence (Table 1)" in text
+    assert "10min" in text
+    assert "R^2" in text
+
+
+def test_resource_manager_report(fast_run):
+    report = ResourceManagerReport(fast_run.warehouse, "ranger")
+    data = report.generate()
+    assert 0 < data["flops_fraction_of_peak"] < 0.2
+    assert data["mem_per_core_by_field"]
+    text = report.render()
+    assert "Memory per core by parent science" in text
+    assert "active nodes" in text
+
+
+def test_funding_agency_report(fast_run, fast_query):
+    report = FundingAgencyReport(fast_run.warehouse, "ranger")
+    data = report.generate()
+    assert data["total_node_hours"] == pytest.approx(fast_query.node_hours)
+    assert 0.5 < data["effective_fraction"] <= 1.0
+    text = report.render()
+    assert "Resource use by discipline" in text
+    shares = [g.node_hours for g in data["by_field"]]
+    assert sum(shares) == pytest.approx(data["total_node_hours"])

@@ -1,0 +1,63 @@
+"""Tests for the scheduling-effectiveness analytics."""
+
+import numpy as np
+import pytest
+
+from repro.xdmod.scheduling import SchedulingAnalysis
+
+
+@pytest.fixture(scope="module")
+def sched(fast_query):
+    return SchedulingAnalysis(fast_query)
+
+
+def test_overall_stats(sched, fast_query):
+    stats = sched.overall()
+    assert stats.job_count == len(fast_query)
+    assert stats.node_hours == pytest.approx(fast_query.node_hours)
+    assert 0 <= stats.median_wait_h <= stats.p90_wait_h
+    assert stats.mean_bounded_slowdown >= 1.0
+
+
+def test_by_queue_partitions(sched, fast_query):
+    classes = sched.by_queue()
+    assert sum(c.job_count for c in classes) == len(fast_query)
+    hours = [c.node_hours for c in classes]
+    assert hours == sorted(hours, reverse=True)
+    names = {c.key for c in classes}
+    assert "normal" in names
+
+
+def test_by_size_partitions(sched, fast_query):
+    classes = sched.by_size()
+    assert sum(c.job_count for c in classes) == len(fast_query)
+    assert {c.key for c in classes} <= {"serial", "small", "medium",
+                                        "large"}
+
+
+def test_large_jobs_wait_longer(sched):
+    """Backfill's known cost: big allocations queue longer than serial
+    fill-in work on a saturated machine."""
+    assert sched.large_job_penalty() >= 1.0
+
+
+def test_weighted_quantile_ordering(sched):
+    q50 = sched.weighted_wait_quantile(0.5)
+    q90 = sched.weighted_wait_quantile(0.9)
+    assert 0 <= q50 <= q90
+
+
+def test_bounded_slowdown_floor():
+    """Tiny jobs must not explode the slowdown metric."""
+    from repro.xdmod.scheduling import ClassStats
+    wait = np.array([3600.0])
+    run = np.array([1.0])  # a 1-second job that waited an hour
+    stats = ClassStats.from_arrays("t", wait, run, 1.0)
+    # With the 600 s floor: (3600+1)/600 ~ 6, not 3601.
+    assert stats.mean_bounded_slowdown < 10
+
+
+def test_empty_rejected(fast_query):
+    empty = fast_query.filter(user="nobody")
+    with pytest.raises(ValueError):
+        SchedulingAnalysis(empty)

@@ -1,0 +1,72 @@
+"""Tests for system-level time series (Figures 7b/7c, 8, 9, 11)."""
+
+import numpy as np
+import pytest
+
+from repro.xdmod.timeseries import SystemTimeseries
+
+
+@pytest.fixture(scope="module")
+def ts(fast_run):
+    return SystemTimeseries(fast_run.warehouse, "ranger")
+
+
+def test_active_nodes_figure8(ts, fast_run):
+    active = ts.active_nodes()
+    n = fast_run.config.num_nodes
+    assert active.peak == n
+    assert active.mean > 0.8 * n  # mostly up
+    assert active.minimum >= 0
+
+
+def test_flops_figure9(ts, fast_run):
+    """Mean system FLOPS is a small fraction of benchmarked peak
+    (paper: <20 TF of 579 TF ≈ 3.5 %; we accept 1-15 %)."""
+    frac = ts.flops_fraction_of_peak()
+    assert 0.01 < frac < 0.15
+    flops = ts.flops()
+    assert flops.peak < 0.5 * fast_run.config.peak_tflops
+
+
+def test_memory_figure11(ts, fast_run):
+    """Ranger: average memory per node well under capacity; peaks below
+    half of the installed 32 GB."""
+    frac = ts.memory_fraction_of_capacity()
+    assert 0.05 < frac < 0.5
+    mem = ts.memory_per_node()
+    assert mem.peak < fast_run.config.node.memory_gb
+
+
+def test_cpu_hours_split_figure7b(ts):
+    split = ts.cpu_hours_split()
+    assert set(split) == {"user", "sys", "idle"}
+    user = split["user"].values
+    sys_ = split["sys"].values
+    idle = split["idle"].values
+    total = user + sys_ + idle
+    # iowait/irq are folded into busy time we don't series-ize; the three
+    # series must still be a near-partition of CPU time.
+    ok = total[(user + idle) > 0]
+    assert np.percentile(np.abs(ok - 1.0), 90) < 0.15
+    assert user.mean() > idle[idle < 1.0].mean()
+
+
+def test_lustre_rates_figure7c(ts):
+    rates = ts.lustre_rates()
+    assert set(rates) == {"scratch", "work", "share"}
+    # Scratch dominates (purged, large-quota -> where jobs write).
+    assert rates["scratch"].mean > 5 * rates["work"].mean
+    assert rates["work"].mean > rates["share"].mean
+
+
+def test_series_summary_helpers(ts):
+    active = ts.active_nodes()
+    assert active.time_at_zero_fraction() < 0.1
+    with pytest.raises(ValueError):
+        active.fraction_of(0.0)
+
+
+def test_unknown_series_raises(fast_run):
+    ts = SystemTimeseries(fast_run.warehouse, "ranger")
+    with pytest.raises(KeyError):
+        ts._get("nonexistent")

@@ -1,0 +1,114 @@
+"""Tests for the trend analysis (§4.3.5)."""
+
+import numpy as np
+import pytest
+
+from repro.util.timeutil import DAY
+from repro.xdmod.trends import TrendAnalysis
+
+
+@pytest.fixture(scope="module")
+def trends(fast_query):
+    # The 20-day fixture: use 2-day buckets to get enough points.
+    return TrendAnalysis(fast_query, bucket_seconds=2 * DAY)
+
+
+def test_buckets_partition_node_hours(trends, fast_query):
+    total = trends.total_trend()
+    assert total.node_hours.sum() == pytest.approx(fast_query.node_hours)
+    assert total.bucket_times.size == trends.n_buckets
+
+
+def test_group_trends_sum_to_total(trends, fast_query):
+    per_field = trends.all_trends("science_field")
+    stacked = np.sum([t.node_hours for t in per_field], axis=0)
+    np.testing.assert_allclose(stacked, trends.total_trend().node_hours,
+                               rtol=1e-9)
+
+
+def test_trend_matches_filtered_query(trends, fast_query):
+    field = fast_query.top("science_field", 1)[0]
+    t = trends.trend("science_field", field)
+    sub = fast_query.filter(science_field=field)
+    assert t.node_hours.sum() == pytest.approx(sub.node_hours)
+
+
+def test_steady_state_total_is_trendless(trends):
+    """A calibrated steady workload has no significant total trend."""
+    total = trends.total_trend()
+    assert abs(total.relative_growth) < 0.1
+
+
+def test_forecast_extrapolates_fit(trends):
+    total = trends.total_trend()
+    n = trends.n_buckets
+    expected = float(total.fit.predict([n + 1])[0])
+    assert total.forecast(2) == pytest.approx(max(0.0, expected))
+
+
+def test_min_node_hours_floor(trends, fast_query):
+    all_groups = trends.all_trends("user")
+    heavy_only = trends.all_trends(
+        "user", min_node_hours=0.02 * fast_query.node_hours)
+    assert 0 < len(heavy_only) < len(all_groups)
+
+
+def test_sorted_by_relative_growth(trends):
+    results = trends.all_trends("app")
+    growth = [t.relative_growth for t in results]
+    assert growth == sorted(growth, reverse=True)
+
+
+def test_validation(fast_query):
+    with pytest.raises(ValueError):
+        TrendAnalysis(fast_query, bucket_seconds=0)
+    with pytest.raises(ValueError):
+        TrendAnalysis(fast_query, min_buckets=2)
+    with pytest.raises(ValueError, match="buckets"):
+        TrendAnalysis(fast_query, bucket_seconds=365 * DAY)
+    trends = TrendAnalysis(fast_query, bucket_seconds=2 * DAY)
+    with pytest.raises(ValueError, match="unknown dimension"):
+        trends.trend("shoe_size", "42")
+    with pytest.raises(ValueError, match="no jobs"):
+        trends.trend("user", "nobody")
+
+
+def test_synthetic_growth_detected():
+    """A user whose usage grows linearly across every bucket must rank
+    as the fastest grower with a significant slope (built in a private
+    warehouse so the shared fixture stays immutable)."""
+    from repro.ingest.warehouse import Warehouse
+    from repro.xdmod.query import JobQuery
+
+    wh = Warehouse()
+    wh.add_system("t", 16, 16, 32.0, 2.3, 600.0)
+    conn = wh.connection
+    n_buckets = 8
+    for bucket in range(n_buckets):
+        t0 = bucket * 2 * DAY
+        # "grower": 1, 2, 3, ... jobs per bucket; "steady": always 3.
+        for j in range(1 + bucket):
+            conn.execute(
+                "INSERT INTO jobs VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                ("t", f"g-{bucket}-{j}", "grower", "TG-GROW",
+                 "Physics", "custom_mpi", "normal", t0, t0 + 60,
+                 t0 + 3660, 4, 64, "completed", 4.0),
+            )
+        for j in range(3):
+            conn.execute(
+                "INSERT INTO jobs VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                ("t", f"s-{bucket}-{j}", "steady", "TG-STDY",
+                 "Physics", "custom_mpi", "normal", t0, t0 + 60,
+                 t0 + 3660, 4, 64, "completed", 4.0),
+            )
+    conn.commit()
+    trends = TrendAnalysis(JobQuery(wh, "t", metrics=()),
+                           bucket_seconds=2 * DAY)
+    grower = trends.trend("user", "grower")
+    steady = trends.trend("user", "steady")
+    assert grower.fit.slope == pytest.approx(4.0)  # +1 job x 4 nh / bucket
+    assert grower.significant
+    assert not steady.significant
+    ranked = trends.all_trends("user")
+    assert ranked[0].key == "grower"
+    assert grower.forecast(2) > grower.node_hours[-1]
