@@ -3,17 +3,45 @@
 The paper flags "the sheer volume of the data" as a core challenge
 (§1.2) and ingests 20 months × 3936 nodes into Netezza/MySQL.  This
 bench measures our pipeline's sustained rate in host-days of raw text
-per second and in jobs per second, end to end from the archive.
+per second and in jobs per second, end to end from the archive — serial
+and with the parallel scan engine at several worker counts — plus the
+peak RSS of the process tree, and writes the comparison to
+``benchmarks/out/ingest_throughput.txt``.
+
+Set ``REPRO_BENCH_QUICK=1`` to run each configuration once (CI smoke)
+instead of pytest-benchmark's calibrated rounds.
 """
+
+import os
+import resource
+import time
 
 import pytest
 
 from repro import Facility, TEST_SYSTEM
+from repro.ingest.parallel import effective_workers
 from repro.ingest.pipeline import IngestPipeline
 from repro.ingest.warehouse import Warehouse
 from repro.lariat.records import lariat_record_for
 from repro.scheduler.accounting import AccountingWriter
 from repro.tacc_stats.archive import HostArchive
+
+
+def _quick() -> bool:
+    """True when the CI smoke mode is requested via the environment."""
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def _peak_rss_mb() -> float:
+    """Peak RSS of this process plus reaped children, in MB.
+
+    ``ru_maxrss`` is a high-water mark over the whole process lifetime
+    (kilobytes on Linux), so this is an upper bound covering every
+    configuration run so far, not a per-run figure.
+    """
+    self_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    child_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return (self_kb + child_kb) / 1024.0
 
 
 @pytest.fixture(scope="module")
@@ -31,29 +59,62 @@ def prepared(tmp_path_factory):
     return archive_dir, buf.getvalue(), lariat, run
 
 
-def test_ingest_throughput(benchmark, prepared, save_artifact):
-    archive_dir, accounting, lariat, run = prepared
+def _make_ingest(prepared, workers: int):
+    """A no-arg callable running one full ingest pass at *workers*."""
+    archive_dir, accounting, lariat, _run = prepared
 
     def ingest():
         pipeline = IngestPipeline(Warehouse())
         return pipeline.ingest(
             TEST_SYSTEM, accounting_text=accounting,
             archive=HostArchive(archive_dir), lariat_records=lariat,
+            workers=workers,
         )
 
-    report = benchmark(ingest)
+    return ingest
+
+
+def test_ingest_throughput(benchmark, prepared, save_artifact):
+    """Serial throughput plus a worker-count scaling sweep."""
+    run = prepared[3]
+    ingest = _make_ingest(prepared, workers=1)
+
+    if _quick():
+        report = benchmark.pedantic(ingest, rounds=1, iterations=1)
+    else:
+        report = benchmark(ingest)
     assert report.jobs_loaded > 0
     mean_s = benchmark.stats.stats.mean
     host_days = run.archive_stats.host_days
     raw_mb = run.archive_stats.raw_bytes / 1e6
-    text = (
-        "Ingest throughput (archive -> warehouse, end to end)\n\n"
+
+    lines = [
+        "Ingest throughput (archive -> warehouse, end to end)",
+        "",
         f"corpus: {host_days} host-days, {raw_mb:.1f} MB raw, "
-        f"{report.jobs_loaded} jobs\n"
-        f"one pass: {mean_s:.2f} s  "
+        f"{report.jobs_loaded} jobs",
+        f"serial pass: {mean_s:.2f} s  "
         f"({host_days / mean_s:.1f} host-days/s, "
         f"{raw_mb / mean_s:.1f} MB/s, "
-        f"{report.jobs_loaded / mean_s:.1f} jobs/s)"
-    )
+        f"{report.jobs_loaded / mean_s:.1f} jobs/s)",
+        "",
+        "scaling (one pass per worker count; requested counts are "
+        f"clamped to the {os.cpu_count()} visible CPU(s), so pool "
+        "speedup needs multicore hardware):",
+    ]
+    n_hosts = len(HostArchive(prepared[0]).hostnames())
+    for workers in (1, 2, 4):
+        eff = effective_workers(workers, n_hosts)
+        t0 = time.perf_counter()
+        r = _make_ingest(prepared, workers)()
+        elapsed = time.perf_counter() - t0
+        assert r.jobs_loaded == report.jobs_loaded
+        lines.append(
+            f"  workers={workers} (effective {eff}): {elapsed:.2f} s  "
+            f"({raw_mb / elapsed:.1f} MB/s)"
+        )
+    lines.append(f"peak RSS (process tree high-water mark): "
+                 f"{_peak_rss_mb():.0f} MB")
+    text = "\n".join(lines)
     save_artifact("ingest_throughput", text)
     print("\n" + text)

@@ -40,6 +40,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int, default=1,
                         help="process-parallel node replay for --archive "
                              "runs (output is byte-identical)")
+    parser.add_argument("--ingest-workers", type=int, default=1,
+                        help="process-parallel host parsing when reading "
+                             "the archive back (warehouse is "
+                             "byte-identical for any worker count)")
+    parser.add_argument("--batch-size", type=int, default=256,
+                        help="jobs per warehouse transaction during "
+                             "ingest")
     parser.add_argument("--no-syslog", action="store_true",
                         help="skip syslog generation (fast path only)")
     parser.add_argument("--policy", choices=("easy", "fcfs", "aware"),
@@ -70,6 +77,10 @@ def _policy(name: str):
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit status."""
     args = build_parser().parse_args(argv)
+    if args.workers < 1 or args.ingest_workers < 1:
+        return die("--workers and --ingest-workers must be >= 1")
+    if args.batch_size < 1:
+        return die("--batch-size must be >= 1")
     cfg = config_from_args(args)
     warehouse = Warehouse(args.warehouse)
     if cfg.name in warehouse.systems():
@@ -85,7 +96,9 @@ def main(argv: list[str] | None = None) -> int:
     t0 = time.time()
     if args.archive:
         run = facility.run_with_files(args.archive, warehouse=warehouse,
-                                      workers=args.workers)
+                                      workers=args.workers,
+                                      ingest_workers=args.ingest_workers,
+                                      batch_size=args.batch_size)
     else:
         run = facility.run(warehouse=warehouse,
                            with_syslog=not args.no_syslog)

@@ -395,6 +395,8 @@ class Facility:
         warehouse: Warehouse | None = None,
         compress: bool = True,
         workers: int = 1,
+        ingest_workers: int = 1,
+        batch_size: int = 256,
     ) -> FacilityRun:
         """Slow path: daemons write the text format; ingest parses it back.
 
@@ -402,7 +404,10 @@ class Facility:
         O(nodes × samples × collectors).  The per-node replay is
         embarrassingly parallel — every node owns its own files and RNG
         stream — so ``workers > 1`` fans it out over a process pool with
-        byte-identical output (asserted by tests).
+        byte-identical output (asserted by tests).  ``ingest_workers``
+        and ``batch_size`` are forwarded to
+        :meth:`~repro.ingest.pipeline.IngestPipeline.ingest`, which makes
+        the same determinism promise for the read-back side.
         """
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -473,6 +478,8 @@ class Facility:
             archive=archive,
             lariat_records=lariat_records,
             syslog=messages,
+            workers=ingest_workers,
+            batch_size=batch_size,
         )
         return FacilityRun(
             config=cfg, warehouse=warehouse, workload=workload, sim=sim,

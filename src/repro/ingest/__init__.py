@@ -10,23 +10,51 @@ appliance plus MySQL; we substitute SQLite (see DESIGN.md).
 """
 
 from repro.ingest.summarize import (
+    HostJobPartial,
     JobSummary,
     SUMMARY_METRICS,
+    host_job_partials,
+    merge_job_partials,
     summarize_job_from_hosts,
     summarize_job_from_rates,
 )
-from repro.ingest.matcher import MatchedJob, MatchReport, match_jobs
+from repro.ingest.matcher import (
+    HostJobView,
+    MatchedJob,
+    MatchReport,
+    ViewMatchedJob,
+    host_job_views,
+    match_job_views,
+    match_jobs,
+)
+from repro.ingest.parallel import (
+    HostScan,
+    effective_workers,
+    scan_archive,
+    scan_host_data,
+)
 from repro.ingest.warehouse import Warehouse
 from repro.ingest.pipeline import IngestPipeline, IngestReport
 
 __all__ = [
+    "HostJobPartial",
     "JobSummary",
     "SUMMARY_METRICS",
+    "host_job_partials",
+    "merge_job_partials",
     "summarize_job_from_hosts",
     "summarize_job_from_rates",
+    "HostJobView",
     "MatchedJob",
     "MatchReport",
+    "ViewMatchedJob",
+    "host_job_views",
+    "match_job_views",
     "match_jobs",
+    "HostScan",
+    "effective_workers",
+    "scan_archive",
+    "scan_host_data",
     "Warehouse",
     "IngestPipeline",
     "IngestReport",

@@ -7,6 +7,16 @@ Application attribution prefers the accounting app tag and falls back to
 Lariat's executable/library fingerprint (production accounting tags are
 frequently missing or wrong — job names like ``run.sh`` — which is exactly
 why Lariat exists).
+
+The engine streams: hosts are scanned one at a time (per worker), each
+scan reduced immediately to its per-job views and metric partials, and
+the parsed host data dropped before the next host is read.  Matching and
+warehouse loading then operate on those small reductions, with one
+transaction per ``batch_size`` jobs.  Peak memory is therefore bounded
+by the largest single host file plus the per-job partials — not by the
+archive size — and ``workers>1`` fans the host scans over a process pool
+(see :mod:`repro.ingest.parallel`) while keeping the warehouse contents
+byte-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -14,8 +24,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.config import FacilityConfig
-from repro.ingest.matcher import MatchReport, match_jobs
-from repro.ingest.summarize import JobSummary, summarize_job_from_hosts
+from repro.ingest.matcher import HostJobView, MatchReport, match_job_views
+from repro.ingest.parallel import scan_archive, scan_host_data
+from repro.ingest.summarize import HostJobPartial, merge_job_partials
 from repro.ingest.warehouse import Warehouse
 from repro.lariat.records import LariatRecord
 from repro.scheduler.accounting import AccountingEntry, parse_accounting
@@ -95,19 +106,33 @@ class IngestPipeline:
         lariat_records: list[LariatRecord] | None = None,
         syslog: list[RationalizedMessage] | None = None,
         min_seconds: float | None = None,
+        workers: int = 1,
+        batch_size: int = 256,
+        oversubscribe: bool = False,
     ) -> IngestReport:
         """Run the pipeline.
 
         Provide either parsed *hosts* or an *archive* to read them from.
+        *workers* fans per-host parsing and summarization over a process
+        pool (archive path only — already-parsed *hosts* are reduced
+        in-process; the count is clamped to the visible CPUs unless
+        *oversubscribe*, see
+        :func:`~repro.ingest.parallel.effective_workers`); any worker
+        count produces a byte-identical warehouse.  *batch_size* caps
+        the jobs per warehouse transaction.
         """
         if (hosts is None) == (archive is None):
             raise ValueError("provide exactly one of hosts= or archive=")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if hosts is None:
             assert archive is not None
-            hosts = [
-                archive.read_host(h, allow_truncated=True)
-                for h in archive.hostnames()
-            ]
+            scans = scan_archive(archive, workers=workers,
+                                 allow_truncated=True,
+                                 oversubscribe=oversubscribe)
+        else:
+            scans = (scan_host_data(h) for h in hosts)
+
         report = IngestReport(system=config.name)
 
         if config.name not in self.warehouse.systems():
@@ -120,9 +145,17 @@ class IngestPipeline:
                 sample_interval=config.sample_interval,
             )
 
+        # Drain the scan stream: per-host parsed data dies inside the
+        # generator; only views and partials accumulate here.
+        views: list[HostJobView] = []
+        partials_by_host: dict[str, dict[str, HostJobPartial]] = {}
+        for scan in scans:
+            views.extend(scan.views)
+            partials_by_host[scan.hostname] = scan.partials
+
         entries = list(parse_accounting(accounting_text))
-        match = match_jobs(
-            entries, hosts,
+        matched, match = match_job_views(
+            entries, views,
             min_seconds=min_seconds if min_seconds is not None
             else config.sample_interval,
         )
@@ -130,7 +163,8 @@ class IngestPipeline:
 
         lariat_by_job = {r.jobid: r for r in (lariat_records or [])}
 
-        for mj in match.matched:
+        in_batch = 0
+        for mj in matched:
             entry = mj.entry
             app = entry.app_tag
             if not app or app == "-":
@@ -142,9 +176,15 @@ class IngestPipeline:
                 else:
                     app = "unknown"
                     report.unattributed.append(entry.job_number)
+            job_partials = [
+                p for p in (
+                    partials_by_host.get(n, {}).get(entry.job_number)
+                    for n in mj.hostnames
+                ) if p is not None
+            ]
             try:
-                summary = summarize_job_from_hosts(
-                    entry.job_number, list(mj.hosts),
+                summary = merge_job_partials(
+                    entry.job_number, job_partials,
                     wall_seconds=float(entry.wall_seconds),
                 )
             except ValueError:
@@ -157,6 +197,10 @@ class IngestPipeline:
                 summary=summary,
             )
             report.jobs_loaded += 1
+            in_batch += 1
+            if in_batch >= batch_size:
+                self.warehouse.commit()
+                in_batch = 0
 
         for msg in syslog or []:
             self.warehouse.add_syslog_event(

@@ -18,6 +18,22 @@ Two constructors produce identical summaries:
   large-scale benchmarks, consuming the behaviour model's rate matrix
   directly.
 
+The production path is split into a per-host map step and a per-job
+reduce step so the ingest engine can compute :class:`HostJobPartial`
+values for each host independently (including in worker processes —
+partials are small and picklable, unlike parsed host data) and merge
+them deterministically with :func:`merge_job_partials`:
+
+    host file ──parse──> HostData ──host_job_partials──> {job: partial}
+    {job: [partials across hosts]} ──merge_job_partials──> JobSummary
+
+A metric is ``missing`` from the merged summary only when *no* host
+produced it; a single degraded node (truncated file, absent collector)
+no longer discards the values every other node supplied.  The one
+exception is a *poisoned* metric — user-reprogrammed performance
+counters make ``cpu_flops`` untrustworthy for the whole job, because
+the same batch script reprogrammed every node it touched.
+
 Units: fractions for cpu_*, GF/s/node for cpu_flops, GB/node for memory,
 MB/s/node for I/O and network.  All "mean" metrics are time-weighted over
 the job's samples and node-averaged, matching the paper's node-hour
@@ -41,7 +57,10 @@ from repro.workload.behavior import DerivedRates
 
 __all__ = [
     "SUMMARY_METRICS",
+    "HostJobPartial",
     "JobSummary",
+    "host_job_partials",
+    "merge_job_partials",
     "summarize_job_from_hosts",
     "summarize_job_from_rates",
 ]
@@ -113,15 +132,27 @@ class JobSummary:
 
 
 # ---------------------------------------------------------------------------
-# Slow path: from parsed host data.
+# Production path: from parsed host data, via per-host partials.
 # ---------------------------------------------------------------------------
 
 
-def _job_blocks(host: HostData, jobid: str):
-    blocks = host.blocks_for_job(jobid)
-    if len(blocks) < 2:
-        return None
-    return blocks
+@dataclass(frozen=True)
+class HostJobPartial:
+    """One host's contribution to one job's summary.
+
+    ``metrics`` holds the metrics this host could compute; ``poisoned``
+    names metrics this host invalidates for the *whole job* (currently
+    only ``cpu_flops`` under user-reprogrammed PMCs).  Partials are tiny
+    and picklable, so worker processes can ship them back to the merge
+    step without ever serializing parsed host data.
+    """
+
+    hostname: str
+    jobid: str
+    metrics: dict[str, float]
+    poisoned: tuple[str, ...]
+    n_blocks: int
+    seconds: float
 
 
 def _delta_rate(host: HostData, blocks, type_name: str, key: str,
@@ -130,8 +161,12 @@ def _delta_rate(host: HostData, blocks, type_name: str, key: str,
     schema = host.schemas.get(type_name)
     if schema is None:
         return None
-    col = schema.index_of(key)
-    width = schema.entries[col].width
+    try:
+        col, width = schema.column(key)
+    except KeyError:
+        # Degraded or older collector build: the type exists but this
+        # column does not — the metric is simply absent on this host.
+        return None
     first, last = blocks[0], blocks[-1]
     devs_first = first.rows.get(type_name)
     devs_last = last.rows.get(type_name)
@@ -155,7 +190,10 @@ def _gauge_stats(host: HostData, blocks, type_name: str, key: str,
     schema = host.schemas.get(type_name)
     if schema is None:
         return None
-    col = schema.index_of(key)
+    try:
+        col = schema.index_of(key)
+    except KeyError:
+        return None
     vals = []
     for b in blocks:
         devs = b.rows.get(type_name)
@@ -203,10 +241,161 @@ def _pmc_is_foreign(host: HostData, blocks) -> bool:
         ctl_cols = [i for i, e in enumerate(schema.entries)
                     if e.key.startswith("ctl")]
         for b in blocks:
-            for v in b.rows.get(type_name, {}).values():
-                if any(int(v[c]) not in codes for c in ctl_cols):
-                    return True
+            devs = b.rows.get(type_name)
+            if not devs:
+                continue
+            for v in devs.values():
+                for c in ctl_cols:
+                    # uint64 scalars hash/compare like ints; no int()
+                    # conversion needed in this triple loop.
+                    if v[c] not in codes:
+                        return True
     return False
+
+
+def _host_partial(host: HostData, jobid: str,
+                  blocks: list) -> HostJobPartial | None:
+    """One host's metric contributions for one job, or None if unusable."""
+    if len(blocks) < 2:
+        return None
+    seconds = blocks[-1].time - blocks[0].time
+    if seconds <= 0:
+        return None
+    h: dict[str, float] = {}
+    poisoned: tuple[str, ...] = ()
+
+    # CPU fractions from per-core centisecond counters.
+    parts = {}
+    for key in ("user", "system", "idle", "iowait", "irq", "softirq",
+                "nice"):
+        r = _delta_rate(host, blocks, "cpu", key, 1.0, seconds)
+        if r is None:
+            parts = None
+            break
+        parts[key] = r
+    if parts is not None:
+        total = sum(parts.values())
+        if total > 0:
+            h["cpu_idle"] = parts["idle"] / total
+            h["cpu_user"] = (parts["user"] + parts["nice"]) / total
+            h["cpu_sys"] = (
+                parts["system"] + parts["irq"] + parts["softirq"]
+            ) / total
+
+    # FLOPS.  A user-reprogrammed PMC invalidates the metric for the
+    # whole job (the same batch script touched every node), so it is
+    # poisoned rather than merely absent on this host.
+    if _pmc_is_foreign(host, blocks):
+        poisoned = ("cpu_flops",)
+    else:
+        flops = _flops_rate(host, blocks, seconds)
+        if flops is not None:
+            h["cpu_flops"] = flops
+
+    # Memory gauges (KB per socket; summed across sockets = node).
+    mem = _gauge_stats(host, blocks, "mem", "MemUsed", "sum")
+    if mem is not None:
+        h["mem_used"] = mem[0] * KB / GB
+        h["mem_used_max"] = mem[1] * KB / GB
+
+    # Shared-filesystem per-mount traffic.  scratch/work are always
+    # Lustre; the "share" slot is the Lustre share mount on Ranger but
+    # the NFS home on Lonestar4, so fall back to the nfs collector
+    # (summing its mounts) when llite has no such device.
+    for mount in ("scratch", "work", "share"):
+        for op, key in (("write", "write_bytes"), ("read", "read_bytes")):
+            rate = _mount_delta_rate(host, blocks, "llite", mount, key,
+                                     seconds)
+            if rate is None and mount == "share":
+                rate = _delta_rate(host, blocks, "nfs", key, 1.0, seconds)
+            if rate is not None:
+                h[f"io_{mount}_{op}"] = rate / 1e6
+
+    # InfiniBand port counters (32-bit words; rollover handled by
+    # per-interval accumulation: delta across *consecutive* blocks).
+    for direction, key in (("tx", "port_xmit_data"), ("rx", "port_rcv_data")):
+        rate = _chained_delta_rate(host, blocks, "ib", key, 4.0, seconds)
+        if rate is not None:
+            h[f"net_ib_{direction}"] = rate / 1e6
+
+    # lnet.
+    for direction, key in (("tx", "tx_bytes"), ("rx", "rx_bytes")):
+        rate = _delta_rate(host, blocks, "lnet", key, 1.0, seconds)
+        if rate is not None:
+            h[f"net_lnet_{direction}"] = rate / 1e6
+
+    return HostJobPartial(
+        hostname=host.hostname,
+        jobid=jobid,
+        metrics=h,
+        poisoned=poisoned,
+        n_blocks=len(blocks),
+        seconds=seconds,
+    )
+
+
+def host_job_partials(
+    host: HostData,
+    jobids: tuple[str, ...] | None = None,
+) -> dict[str, HostJobPartial]:
+    """Per-job partial summaries for every job this host's stream tagged.
+
+    The map step of the ingest engine: one pass groups the host's blocks
+    by job, then each job's window is reduced independently.  Restrict to
+    *jobids* to skip jobs the caller already knows it does not need.
+    """
+    by_job: dict[str, list] = {}
+    wanted = set(jobids) if jobids is not None else None
+    for b in host.blocks:
+        for jid in b.jobids:
+            if wanted is None or jid in wanted:
+                by_job.setdefault(jid, []).append(b)
+    out: dict[str, HostJobPartial] = {}
+    for jid, blocks in by_job.items():
+        partial = _host_partial(host, jid, blocks)
+        if partial is not None:
+            out[jid] = partial
+    return out
+
+
+def merge_job_partials(
+    jobid: str,
+    partials: list[HostJobPartial],
+    wall_seconds: float | None = None,
+) -> JobSummary:
+    """Reduce per-host partials to the job's summary (deterministic).
+
+    Pass partials in a stable host order — metric means are accumulated
+    in list order, so the same partials in the same order produce
+    bit-identical floats regardless of which process computed them.
+    """
+    if not partials:
+        raise ValueError(f"job {jobid}: no usable host windows")
+    poisoned: set[str] = set()
+    for p in partials:
+        poisoned.update(p.poisoned)
+    metrics: dict[str, float] = {}
+    missing = set(poisoned)
+    for m in SUMMARY_METRICS:
+        if m in poisoned:
+            continue
+        vals = [p.metrics[m] for p in partials if m in p.metrics]
+        if not vals:
+            missing.add(m)
+            continue
+        if m == "mem_used_max":
+            metrics[m] = float(np.max(vals))
+        else:
+            metrics[m] = float(np.mean(vals))
+    return JobSummary(
+        jobid=jobid,
+        metrics=metrics,
+        n_nodes=len(partials),
+        wall_seconds=wall_seconds if wall_seconds is not None
+        else float(np.median([p.seconds for p in partials])),
+        n_samples=sum(p.n_blocks for p in partials),
+        missing=tuple(sorted(missing)),
+    )
 
 
 def summarize_job_from_hosts(
@@ -214,125 +403,22 @@ def summarize_job_from_hosts(
     hosts: list[HostData],
     wall_seconds: float | None = None,
 ) -> JobSummary:
-    """Reduce the parsed stats of all of a job's nodes to one summary."""
+    """Reduce the parsed stats of all of a job's nodes to one summary.
+
+    Equivalent to mapping :func:`host_job_partials` over *hosts* (in
+    order) and reducing with :func:`merge_job_partials`; the ingest
+    engine uses those pieces directly so the map step can run in worker
+    processes.
+    """
     if not hosts:
         raise ValueError(f"job {jobid}: no host data")
-    per_host: list[dict[str, float]] = []
-    missing: set[str] = set()
-    n_samples = 0
-    windows: list[float] = []
-
+    wanted = (jobid,)
+    partials = []
     for host in hosts:
-        blocks = _job_blocks(host, jobid)
-        if blocks is None:
-            continue
-        seconds = blocks[-1].time - blocks[0].time
-        if seconds <= 0:
-            continue
-        windows.append(seconds)
-        n_samples += len(blocks)
-        h: dict[str, float] = {}
-
-        # CPU fractions from per-core centisecond counters.
-        parts = {}
-        for key in ("user", "system", "idle", "iowait", "irq", "softirq",
-                    "nice"):
-            r = _delta_rate(host, blocks, "cpu", key, 1.0, seconds)
-            if r is None:
-                parts = None
-                break
-            parts[key] = r
-        if parts is None:
-            missing.update(("cpu_idle", "cpu_user", "cpu_sys"))
-        else:
-            total = sum(parts.values())
-            if total > 0:
-                h["cpu_idle"] = parts["idle"] / total
-                h["cpu_user"] = (parts["user"] + parts["nice"]) / total
-                h["cpu_sys"] = (
-                    parts["system"] + parts["irq"] + parts["softirq"]
-                ) / total
-
-        # FLOPS (skipped when the user reprogrammed the counters).
-        if _pmc_is_foreign(host, blocks):
-            missing.add("cpu_flops")
-        else:
-            flops = _flops_rate(host, blocks, seconds)
-            if flops is None:
-                missing.add("cpu_flops")
-            else:
-                h["cpu_flops"] = flops
-
-        # Memory gauges (KB per socket; summed across sockets = node).
-        mem = _gauge_stats(host, blocks, "mem", "MemUsed", "sum")
-        if mem is None:
-            missing.update(("mem_used", "mem_used_max"))
-        else:
-            h["mem_used"] = mem[0] * KB / GB
-            h["mem_used_max"] = mem[1] * KB / GB
-
-        # Shared-filesystem per-mount traffic.  scratch/work are always
-        # Lustre; the "share" slot is the Lustre share mount on Ranger but
-        # the NFS home on Lonestar4, so fall back to the nfs collector
-        # (summing its mounts) when llite has no such device.
-        for mount in ("scratch", "work", "share"):
-            for op, key in (("write", "write_bytes"), ("read", "read_bytes")):
-                name = f"io_{mount}_{op}"
-                rate = _mount_delta_rate(host, blocks, "llite", mount, key,
-                                         seconds)
-                if rate is None and mount == "share":
-                    rate = _delta_rate(host, blocks, "nfs", key, 1.0,
-                                       seconds)
-                if rate is None:
-                    missing.add(name)
-                else:
-                    h[name] = rate / 1e6
-
-        # InfiniBand port counters (32-bit words; rollover handled by
-        # per-interval accumulation: delta across *consecutive* blocks).
-        for direction, key in (("tx", "port_xmit_data"), ("rx", "port_rcv_data")):
-            name = f"net_ib_{direction}"
-            rate = _chained_delta_rate(host, blocks, "ib", key, 4.0, seconds)
-            if rate is None:
-                missing.add(name)
-            else:
-                h[name] = rate / 1e6
-
-        # lnet.
-        for direction, key in (("tx", "tx_bytes"), ("rx", "rx_bytes")):
-            name = f"net_lnet_{direction}"
-            rate = _delta_rate(host, blocks, "lnet", key, 1.0, seconds)
-            if rate is None:
-                missing.add(name)
-            else:
-                h[name] = rate / 1e6
-
-        per_host.append(h)
-
-    if not per_host:
-        raise ValueError(f"job {jobid}: no usable host windows")
-
-    metrics: dict[str, float] = {}
-    for m in SUMMARY_METRICS:
-        vals = [h[m] for h in per_host if m in h]
-        if not vals or m in missing:
-            missing.add(m)
-            continue
-        if m == "mem_used_max":
-            metrics[m] = float(np.max(vals))
-        else:
-            metrics[m] = float(np.mean(vals))
-    missing -= set(metrics)
-
-    return JobSummary(
-        jobid=jobid,
-        metrics=metrics,
-        n_nodes=len(per_host),
-        wall_seconds=wall_seconds if wall_seconds is not None
-        else float(np.median(windows)),
-        n_samples=n_samples,
-        missing=tuple(sorted(missing)),
-    )
+        partial = host_job_partials(host, wanted).get(jobid)
+        if partial is not None:
+            partials.append(partial)
+    return merge_job_partials(jobid, partials, wall_seconds)
 
 
 def _mount_delta_rate(host: HostData, blocks, type_name: str, device: str,
@@ -341,8 +427,12 @@ def _mount_delta_rate(host: HostData, blocks, type_name: str, device: str,
     schema = host.schemas.get(type_name)
     if schema is None:
         return None
-    col = schema.index_of(key)
-    width = schema.entries[col].width
+    try:
+        col, width = schema.column(key)
+    except KeyError:
+        # Degraded or older collector build: the type exists but this
+        # column does not — the metric is simply absent on this host.
+        return None
     dev_first = blocks[0].rows.get(type_name, {}).get(device)
     dev_last = blocks[-1].rows.get(type_name, {}).get(device)
     if dev_first is None or dev_last is None:
@@ -364,8 +454,12 @@ def _chained_delta_rate(host: HostData, blocks, type_name: str, key: str,
     schema = host.schemas.get(type_name)
     if schema is None:
         return None
-    col = schema.index_of(key)
-    width = schema.entries[col].width
+    try:
+        col, width = schema.column(key)
+    except KeyError:
+        # Degraded or older collector build: the type exists but this
+        # column does not — the metric is simply absent on this host.
+        return None
     total = 0
     for prev, cur in zip(blocks, blocks[1:]):
         devs_prev = prev.rows.get(type_name)

@@ -131,17 +131,24 @@ class HostArchive:
         return sorted(hostdir.iterdir())
 
     def hostnames(self) -> list[str]:
+        """All hosts present in the archive, sorted."""
         return sorted(p.name for p in self.root.iterdir() if p.is_dir())
 
     @staticmethod
     def read_file(path: Path) -> str:
+        """Decompressed text of one archived file (gz-aware)."""
         if path.suffix == ".gz":
             return gzip.decompress(path.read_bytes()).decode("utf-8")
         return path.read_text()
 
     def read_host(self, hostname: str,
                   allow_truncated: bool = False) -> HostData:
-        """Parse and merge all of a host's files into one stream."""
+        """Parse and merge all of a host's files into one stream.
+
+        Empty files (the node was down for the whole day) are skipped;
+        if *every* file is empty the result is an empty stream carrying
+        the directory's hostname.
+        """
         files = self.host_files(hostname)
         if not files:
             raise FileNotFoundError(f"no archived files for {hostname}")
@@ -149,9 +156,24 @@ class HostArchive:
         for path in files:
             data = parse_host_text(self.read_file(path),
                                    allow_truncated=allow_truncated)
+            if not data.hostname:
+                # parse_host_text only leaves the hostname unset for a
+                # fully empty file; a non-empty headerless file raises.
+                continue
             if merged is None:
                 merged = data
             else:
                 merged.merge_from(data)
-        assert merged is not None
-        return merged
+        return merged if merged is not None else HostData(hostname=hostname)
+
+    def iter_hosts(self, allow_truncated: bool = False):
+        """Yield each host's merged :class:`HostData`, lazily, in sorted
+        hostname order.
+
+        This is the streaming counterpart of calling :meth:`read_host`
+        for every hostname: only one host's parsed data is alive at a
+        time, so ingest memory stays bounded by the largest host rather
+        than the whole archive.
+        """
+        for hostname in self.hostnames():
+            yield self.read_host(hostname, allow_truncated=allow_truncated)

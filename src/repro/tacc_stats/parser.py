@@ -7,6 +7,16 @@ deployments produce: empty files (node down all day), a trailing truncated
 line (node crashed mid-write, opt-in via ``allow_truncated``), and files
 that begin mid-stream after rotation (headers repeat per file, so this is
 detected and rejected instead of being misread).
+
+Performance: data rows are >95 % of every file, so they take a fast path —
+the line is split only around type and device, arity is checked with one
+C-level ``str.count``, and the integer conversion plus value validation is
+batched per record type into a single numpy ``str -> uint64`` cast at end
+of file (~5x fewer Python-level operations per row than converting each
+row eagerly).  Structural errors (unknown type, wrong arity, duplicate
+device) are still detected inline at their line; a malformed *value* is
+attributed to its line during the batch cast, which runs before the parse
+returns, so nothing malformed ever escapes.
 """
 
 from __future__ import annotations
@@ -21,6 +31,61 @@ __all__ = ["ParseError", "parse_host_text"]
 
 class ParseError(Exception):
     """Malformed TACC_Stats input; message carries the line number."""
+
+
+class _PendingRows:
+    """Per-type accumulator for the batched value conversion.
+
+    Each data row contributes its raw value substring plus enough context
+    (its device slot in the block and its line number) to place the
+    converted vector and to attribute conversion failures to their line.
+    """
+
+    def __init__(self, type_name: str, n_values: int):
+        self.type_name = type_name
+        self.n_values = n_values
+        self.rests: list[str] = []
+        self.targets: list[tuple[dict, str, int]] = []
+
+    def flush(self) -> None:
+        """Convert all accumulated rows and install them in their blocks."""
+        if not self.rests:
+            return
+        flat = " ".join(self.rests).split(" ")
+        try:
+            arr = np.array(flat, dtype=np.uint64)
+        except (ValueError, OverflowError):
+            self._raise_offender()
+        matrix = arr.reshape(len(self.rests), self.n_values)
+        for (by_dev, device, _lineno), row in zip(self.targets, matrix):
+            by_dev[device] = row
+        self.rests.clear()
+        self.targets.clear()
+
+    def _raise_offender(self) -> None:
+        """Batch cast failed: rescan row by row for the exact line."""
+        for rest, (_by_dev, _device, lineno) in zip(self.rests, self.targets):
+            try:
+                np.array(rest.split(" "), dtype=np.uint64)
+            except (ValueError, OverflowError):
+                raise ParseError(
+                    f"line {lineno}: non-integer value in row"
+                ) from None
+        raise ParseError(  # pragma: no cover - flush only fails per-row
+            f"non-integer value in a {self.type_name} row"
+        )
+
+
+def _bad_row_error(lineno: int, type_name: str, rest: str,
+                   n_values: int) -> ParseError:
+    """Diagnose a data row whose value region failed the arity check."""
+    tokens = rest.split()
+    if len(tokens) != n_values:
+        return ParseError(
+            f"line {lineno}: {type_name} row has "
+            f"{len(tokens)} values, schema {n_values}"
+        )
+    return ParseError(f"line {lineno}: malformed spacing in row")
 
 
 def parse_host_text(text: str, allow_truncated: bool = False) -> HostData:
@@ -47,13 +112,39 @@ def parse_host_text(text: str, allow_truncated: bool = False) -> HostData:
     host = HostData(hostname="")
     block: TimestampBlock | None = None
     header_done = False
+    pending: dict[str, _PendingRows] = {}
+    #: type -> (n_values, rests.append, targets.append): the per-row fast
+    #: path touches only bound methods, no attribute lookups.
+    row_sinks: dict[str, tuple[int, object, object]] = {}
 
-    for lineno, line in enumerate(lines, 1):
-        try:
+    try:
+        for lineno, line in enumerate(lines, 1):
             if not line:
                 raise ParseError(f"line {lineno}: blank line")
             c = line[0]
-            if c == "$":
+            if c.isdigit():
+                parts = line.split()
+                if len(parts) != 2:
+                    raise ParseError(
+                        f"line {lineno}: timestamp line needs 2 tokens"
+                    )
+                if not host.hostname:
+                    raise ParseError(
+                        f"line {lineno}: data before $hostname header"
+                    )
+                header_done = True
+                try:
+                    t = float(parts[0])
+                except ValueError as e:
+                    raise ParseError(f"line {lineno}: bad timestamp") from e
+                if block is not None and t < block.time:
+                    raise ParseError(
+                        f"line {lineno}: non-monotonic timestamp {t}"
+                    )
+                jobids = () if parts[1] == "-" else tuple(parts[1].split(","))
+                block = TimestampBlock(time=t, jobids=jobids)
+                host.blocks.append(block)
+            elif c == "$":
                 if header_done:
                     raise ParseError(
                         f"line {lineno}: property line after data began"
@@ -79,6 +170,11 @@ def parse_host_text(text: str, allow_truncated: bool = False) -> HostData:
                         f"line {lineno}: duplicate schema {schema.type_name}"
                     )
                 host.schemas[schema.type_name] = schema
+                rows = _PendingRows(schema.type_name, schema.n_values)
+                pending[schema.type_name] = rows
+                row_sinks[schema.type_name] = (
+                    schema.n_values, rows.rests.append, rows.targets.append
+                )
             elif c == "%":
                 if block is None:
                     raise ParseError(f"line {lineno}: mark before any block")
@@ -87,61 +183,51 @@ def parse_host_text(text: str, allow_truncated: bool = False) -> HostData:
                     raise ParseError(f"line {lineno}: malformed mark {line!r}")
                 host.marks.append(Mark(time=block.time, kind=parts[0],
                                        jobid=parts[1]))
-            elif c.isdigit():
-                parts = line.split()
-                if len(parts) != 2:
-                    raise ParseError(
-                        f"line {lineno}: timestamp line needs 2 tokens"
-                    )
-                if not host.hostname:
-                    raise ParseError(
-                        f"line {lineno}: data before $hostname header"
-                    )
-                header_done = True
-                try:
-                    t = float(parts[0])
-                except ValueError as e:
-                    raise ParseError(f"line {lineno}: bad timestamp") from e
-                if block is not None and t < block.time:
-                    raise ParseError(
-                        f"line {lineno}: non-monotonic timestamp {t}"
-                    )
-                jobids = () if parts[1] == "-" else tuple(parts[1].split(","))
-                block = TimestampBlock(time=t, jobids=jobids)
-                host.blocks.append(block)
             else:
-                # Data row: "type device v1 v2 ...".
+                # Data row: "type device v1 v2 ..." — the fast path.
                 if block is None:
                     raise ParseError(f"line {lineno}: data row before block")
-                parts = line.split()
-                if len(parts) < 3:
+                head = line.split(" ", 2)
+                if len(head) != 3 or not head[2]:
                     raise ParseError(f"line {lineno}: short data row")
-                type_name, device = parts[0], parts[1]
-                schema = host.schemas.get(type_name)
-                if schema is None:
+                type_name, device, rest = head
+                sink = row_sinks.get(type_name)
+                if sink is None:
                     raise ParseError(
                         f"line {lineno}: row for undeclared type {type_name!r}"
                     )
-                if len(parts) - 2 != schema.n_values:
+                n_values, append_rest, append_target = sink
+                if rest.count(" ") + 1 != n_values:
+                    raise _bad_row_error(lineno, type_name, rest, n_values)
+                by_dev = block.rows.get(type_name)
+                if by_dev is None:
+                    by_dev = block.rows[type_name] = {}
+                elif device in by_dev:
                     raise ParseError(
-                        f"line {lineno}: {type_name} row has "
-                        f"{len(parts) - 2} values, schema {schema.n_values}"
+                        f"line {lineno}: duplicate row {type_name}/{device} "
+                        f"at t={block.time}"
                     )
-                try:
-                    values = np.array([int(v) for v in parts[2:]],
-                                      dtype=np.uint64)
-                except (ValueError, OverflowError) as e:
-                    raise ParseError(
-                        f"line {lineno}: non-integer value in row"
-                    ) from e
-                try:
-                    block.add_row(type_name, device, values)
-                except ValueError as e:
-                    raise ParseError(f"line {lineno}: {e}") from e
-        except ParseError:
-            if allow_truncated and truncated_tail == lineno:
-                break
+                if lineno != truncated_tail:
+                    by_dev[device] = None  # placeholder until the batch cast
+                    append_rest(rest)
+                    append_target((by_dev, device, lineno))
+                else:
+                    # The unterminated final line cannot join the batch
+                    # cast: its conversion failure must be attributable
+                    # here so allow_truncated can drop exactly this line.
+                    try:
+                        by_dev[device] = np.array(rest.split(" "),
+                                                  dtype=np.uint64)
+                    except (ValueError, OverflowError):
+                        raise ParseError(
+                            f"line {lineno}: non-integer value in row"
+                        ) from None
+    except ParseError:
+        if not (allow_truncated and truncated_tail == lineno):
             raise
+
+    for rows in pending.values():
+        rows.flush()
 
     # A block whose tail was dropped is still usable; summaries handle
     # missing rows per device.

@@ -75,7 +75,13 @@ class SchemaEntry:
 
 @dataclass(frozen=True)
 class TypeSchema:
-    """Schema of one record type: a name plus ordered entries."""
+    """Schema of one record type: a name plus ordered entries.
+
+    Column lookups (:meth:`index_of`, :meth:`column`) are O(1): the key
+    index is built once at construction.  The memo is deliberately not a
+    dataclass field so equality/hashing still compare only the declared
+    schema (``type_name`` + ``entries``).
+    """
 
     type_name: str
     entries: tuple[SchemaEntry, ...]
@@ -88,6 +94,9 @@ class TypeSchema:
         keys = [e.key for e in self.entries]
         if len(set(keys)) != len(keys):
             raise ValueError(f"type {self.type_name}: duplicate keys")
+        object.__setattr__(
+            self, "_index", {e.key: i for i, e in enumerate(self.entries)}
+        )
 
     @property
     def n_values(self) -> int:
@@ -98,10 +107,18 @@ class TypeSchema:
         return tuple(e.key for e in self.entries)
 
     def index_of(self, key: str) -> int:
-        for i, e in enumerate(self.entries):
-            if e.key == key:
-                return i
-        raise KeyError(f"type {self.type_name} has no key {key!r}")
+        """Column position of *key*; raises KeyError for unknown keys."""
+        try:
+            return self._index[key]
+        except KeyError:
+            raise KeyError(
+                f"type {self.type_name} has no key {key!r}"
+            ) from None
+
+    def column(self, key: str) -> tuple[int, int]:
+        """(column position, counter width) of *key* in one lookup."""
+        col = self.index_of(key)
+        return col, self.entries[col].width
 
     def header_line(self) -> str:
         """The ``!type spec spec ...`` header line."""

@@ -107,6 +107,34 @@ def test_missing_pmc_reported(collected):
     assert "cpu_idle" in summary.metrics
 
 
+def test_degraded_host_does_not_poison_job(collected):
+    """One node with dead collectors must not blank the whole job.
+
+    Regression: the summarizer used to pool missing-metric flags across
+    hosts, so a single degraded node out of four discarded the values
+    the three healthy nodes supplied.
+    """
+    import copy
+    _, hosts = collected
+    four = [copy.deepcopy(hosts[i % 2]) for i in range(4)]
+    for i, h in enumerate(four):
+        h.hostname = f"c{i:03d}-000.t"
+    for b in four[0].blocks:  # llite and mem collectors died on one node
+        b.rows.pop("llite", None)
+        b.rows.pop("mem", None)
+    summary = summarize_job_from_hosts("55", four)
+    assert summary.n_nodes == 4
+    for metric in ("io_scratch_write", "io_work_write",
+                   "mem_used", "mem_used_max"):
+        assert metric in summary.metrics, metric
+        assert metric not in summary.missing
+    # The surviving value is the reduction over the three intact hosts.
+    intact = summarize_job_from_hosts("55", four[1:])
+    assert summary.metrics["io_scratch_write"] == pytest.approx(
+        intact.metrics["io_scratch_write"])
+    assert summary.metrics["mem_used_max"] == intact.metrics["mem_used_max"]
+
+
 def test_user_programmed_pmc_skipped(collected):
     _, hosts = collected
     import copy
