@@ -5,6 +5,10 @@ Examples::
     repro-report --warehouse ranger.sqlite --system ranger support
     repro-report --warehouse ranger.sqlite --system ranger user user0042
     repro-report --warehouse ranger.sqlite --system ranger developer namd
+
+Reports share one columnar warehouse snapshot and memoize rendered
+output on it; ``--no-report-cache`` disables the memoization (the
+snapshot is still shared) for debugging or timing the cold path.
 """
 
 from __future__ import annotations
@@ -14,6 +18,7 @@ import sys
 
 from repro.cli.common import die
 from repro.ingest.warehouse import Warehouse
+from repro.xdmod.snapshot import set_cache_enabled
 from repro.xdmod.reports import (
     AdminReport,
     DeveloperReport,
@@ -44,6 +49,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--warehouse", required=True)
     parser.add_argument("--system", required=True)
+    parser.add_argument("--report-cache", dest="report_cache",
+                        action=argparse.BooleanOptionalAction, default=True,
+                        help="memoize query/report results on the shared "
+                             "warehouse snapshot (default: enabled)")
     parser.add_argument("kind", choices=sorted(_REPORTS),
                         help="which stakeholder's report")
     parser.add_argument("target", nargs="?", default=None,
@@ -54,6 +63,9 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit status."""
     args = build_parser().parse_args(argv)
+    # Resolve knobs before touching the warehouse, mirroring the
+    # --ingest-workers up-front validation in repro-simulate.
+    set_cache_enabled(args.report_cache)
     warehouse = Warehouse(args.warehouse)
     try:
         if args.system not in warehouse.systems():

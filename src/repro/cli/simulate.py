@@ -47,6 +47,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--batch-size", type=int, default=256,
                         help="jobs per warehouse transaction during "
                              "ingest")
+    parser.add_argument("--fast-writes", action="store_true",
+                        help="open the warehouse with WAL journaling and "
+                             "synchronous=NORMAL (faster ingest; query "
+                             "results are identical)")
     parser.add_argument("--no-syslog", action="store_true",
                         help="skip syslog generation (fast path only)")
     parser.add_argument("--policy", choices=("easy", "fcfs", "aware"),
@@ -82,7 +86,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.batch_size < 1:
         return die("--batch-size must be >= 1")
     cfg = config_from_args(args)
-    warehouse = Warehouse(args.warehouse)
+    warehouse = Warehouse(args.warehouse, fast_writes=args.fast_writes)
     if cfg.name in warehouse.systems():
         return die(f"system {cfg.name!r} already present in "
                    f"{args.warehouse}; use a fresh file or another system")

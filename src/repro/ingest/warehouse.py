@@ -12,8 +12,23 @@ Star-ish schema:
   and the persistence analysis;
 * ``syslog_events`` — rationalized failure events for the ANCOR linkage.
 
-The query layer (:mod:`repro.xdmod.query`) builds on this; everything here
-is plain, parameterized SQL.
+The query layer (:mod:`repro.xdmod.query` on top of
+:mod:`repro.xdmod.snapshot`) builds on this; everything here is plain,
+parameterized SQL.
+
+Write path: all ``add_*`` calls buffer their rows and are flushed to
+SQLite with one ``executemany`` per table (jobs before job_metrics, so
+foreign keys hold) — either when a buffer reaches ``_WRITE_BATCH`` rows,
+before any read, or on :meth:`Warehouse.commit`.  Pass
+``fast_writes=True`` to additionally enable WAL journaling with
+``synchronous=NORMAL`` — a large speedup for file-backed ingest at the
+cost of strict durability on power loss (never data corruption).
+
+Generation stamp: the ``meta`` table carries a ``generation`` counter
+that :meth:`commit` bumps whenever the commit actually wrote something.
+:attr:`data_version` combines it with an in-process mutation counter;
+the analytics snapshot layer uses it to invalidate its caches exactly
+when the warehouse contents change.
 """
 
 from __future__ import annotations
@@ -31,6 +46,9 @@ __all__ = ["Warehouse", "JobRow"]
 #: Bump when the SQL layout changes incompatibly; opening a file written
 #: by a different layout fails loudly instead of misreading it.
 SCHEMA_VERSION = 1
+
+#: Buffered rows per table before an automatic executemany flush.
+_WRITE_BATCH = 512
 
 _SCHEMA = """
 CREATE TABLE meta (
@@ -89,6 +107,7 @@ CREATE INDEX idx_jobs_user ON jobs(system, user);
 CREATE INDEX idx_jobs_app ON jobs(system, app);
 CREATE INDEX idx_jobs_field ON jobs(system, science_field);
 CREATE INDEX idx_metrics_metric ON job_metrics(system, metric);
+CREATE INDEX idx_metrics_covering ON job_metrics(system, metric, jobid, value);
 CREATE INDEX idx_syslog_job ON syslog_events(system, jobid);
 """
 
@@ -116,9 +135,16 @@ class JobRow:
 class Warehouse:
     """A warehouse instance (in-memory by default, or a file path)."""
 
-    def __init__(self, path: str = ":memory:"):
+    def __init__(self, path: str = ":memory:", fast_writes: bool = False):
         self._conn = sqlite3.connect(path)
         self._conn.execute("PRAGMA foreign_keys = ON")
+        self.fast_writes = fast_writes
+        if fast_writes:
+            # WAL keeps readers unblocked during ingest and groups page
+            # writes; synchronous=NORMAL skips the per-commit fsync (safe
+            # against crashes, trades the last commit on power loss).
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
         have = self._conn.execute(
             "SELECT name FROM sqlite_master WHERE type='table' AND name='jobs'"
         ).fetchone()
@@ -128,6 +154,7 @@ class Warehouse:
                 "INSERT INTO meta VALUES ('schema_version', ?)",
                 (str(SCHEMA_VERSION),),
             )
+            self._conn.execute("INSERT INTO meta VALUES ('generation', '0')")
             self._conn.commit()
         else:
             row = self._conn.execute(
@@ -141,6 +168,28 @@ class Warehouse:
                     f"code expects {SCHEMA_VERSION}; re-run repro-simulate "
                     f"into a fresh file"
                 )
+            try:
+                # Files written before the covering index existed get it
+                # on open; harmless no-op everywhere else.
+                self._conn.execute(
+                    "CREATE INDEX IF NOT EXISTS idx_metrics_covering "
+                    "ON job_metrics(system, metric, jobid, value)"
+                )
+            except sqlite3.OperationalError:
+                pass  # read-only file: queries still work, just slower
+
+        # Write buffers (flushed by executemany) and the change stamp.
+        self._pending_jobs: list[tuple] = []
+        self._pending_metrics: list[tuple] = []
+        self._pending_series: list[tuple] = []
+        self._pending_syslog: list[tuple] = []
+        self._seen_job_keys: set[tuple[str, str]] = set()
+        self._mutations = 0
+        self._dirty = False
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key='generation'"
+        ).fetchone()
+        self._generation = int(row[0]) if row else 0
 
     def _has_table(self, name: str) -> bool:
         return self._conn.execute(
@@ -154,7 +203,55 @@ class Warehouse:
     @property
     def connection(self) -> sqlite3.Connection:
         """Escape hatch for custom reports (read-only use expected)."""
+        self._flush()
         return self._conn
+
+    # -- change tracking ---------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Persistent commit counter: bumped by every commit that wrote."""
+        return self._generation
+
+    @property
+    def data_version(self) -> tuple[int, int]:
+        """Changes exactly when the warehouse contents change (through
+        this instance): ``(generation, uncommitted mutation count)``.
+        The snapshot layer keys its caches on this."""
+        return (self._generation, self._mutations)
+
+    def _mutated(self) -> None:
+        self._mutations += 1
+        self._dirty = True
+
+    # -- write buffering ---------------------------------------------------------
+
+    def _flush(self) -> None:
+        """Drain the write buffers with one executemany per table.
+
+        Jobs land before their metric rows so the job_metrics foreign
+        key holds within a single flush.
+        """
+        if self._pending_jobs:
+            rows, self._pending_jobs = self._pending_jobs, []
+            self._conn.executemany(
+                "INSERT INTO jobs VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?)", rows
+            )
+        if self._pending_metrics:
+            rows, self._pending_metrics = self._pending_metrics, []
+            self._conn.executemany(
+                "INSERT INTO job_metrics VALUES (?,?,?,?)", rows
+            )
+        if self._pending_series:
+            rows, self._pending_series = self._pending_series, []
+            self._conn.executemany(
+                "INSERT INTO system_series VALUES (?,?,?,?)", rows
+            )
+        if self._pending_syslog:
+            rows, self._pending_syslog = self._pending_syslog, []
+            self._conn.executemany(
+                "INSERT INTO syslog_events VALUES (?,?,?,?,?,?)", rows
+            )
 
     # -- loading ---------------------------------------------------------------
 
@@ -166,34 +263,47 @@ class Warehouse:
             (name, num_nodes, cores_per_node, mem_gb_per_node, peak_tflops,
              sample_interval),
         )
-        self._conn.commit()
+        self._mutated()
+        self.commit()
 
     def add_job(self, system: str, record: JobRecord, cores_per_node: int,
                 summary: JobSummary | None = None,
                 app_override: str | None = None) -> None:
         """Insert one job fact (plus its metric summary if available)."""
         req = record.request
-        self._conn.execute(
-            "INSERT INTO jobs VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+        key = (system, req.jobid)
+        if key in self._seen_job_keys:
+            # Same-session duplicates fail here, eagerly, exactly as the
+            # unbuffered path did; cross-session duplicates still hit the
+            # primary key at flush time.
+            raise sqlite3.IntegrityError(
+                f"UNIQUE constraint failed: jobs.system, jobs.jobid "
+                f"({system!r}, {req.jobid!r})"
+            )
+        self._seen_job_keys.add(key)
+        self._pending_jobs.append(
             (
                 system, req.jobid, req.user, req.account, req.science_field,
                 app_override or req.app, req.queue, req.submit_time,
                 record.start_time, record.end_time, req.nodes,
                 req.nodes * cores_per_node, record.exit_status.value,
                 record.node_hours,
-            ),
+            )
         )
+        self._mutated()
         if summary is not None:
             self.add_summary(system, summary)
+        elif len(self._pending_jobs) >= _WRITE_BATCH:
+            self._flush()
 
     def add_summary(self, system: str, summary: JobSummary) -> None:
-        self._conn.executemany(
-            "INSERT INTO job_metrics VALUES (?,?,?,?)",
-            [
-                (system, summary.jobid, m, v)
-                for m, v in summary.metrics.items()
-            ],
+        self._pending_metrics.extend(
+            (system, summary.jobid, m, v) for m, v in summary.metrics.items()
         )
+        self._mutated()
+        if (len(self._pending_metrics) >= _WRITE_BATCH
+                or len(self._pending_jobs) >= _WRITE_BATCH):
+            self._flush()
 
     def add_series(self, system: str, metric: str, times: np.ndarray,
                    values: np.ndarray) -> None:
@@ -201,28 +311,40 @@ class Warehouse:
         v = np.asarray(values, dtype=float)
         if t.shape != v.shape:
             raise ValueError("times/values shape mismatch")
-        self._conn.executemany(
-            "INSERT INTO system_series VALUES (?,?,?,?)",
-            [(system, metric, float(a), float(b)) for a, b in zip(t, v)],
+        self._pending_series.extend(
+            (system, metric, float(a), float(b)) for a, b in zip(t, v)
         )
+        self._mutated()
+        if len(self._pending_series) >= _WRITE_BATCH:
+            self._flush()
 
     def add_syslog_event(self, system: str, t: float, host: str,
                          jobid: str | None, kind: str, severity: str) -> None:
-        self._conn.execute(
-            "INSERT INTO syslog_events VALUES (?,?,?,?,?,?)",
-            (system, t, host, jobid, kind, severity),
-        )
+        self._pending_syslog.append((system, t, host, jobid, kind, severity))
+        self._mutated()
+        if len(self._pending_syslog) >= _WRITE_BATCH:
+            self._flush()
 
     def commit(self) -> None:
+        self._flush()
+        if self._dirty:
+            self._generation += 1
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta VALUES ('generation', ?)",
+                (str(self._generation),),
+            )
+            self._dirty = False
         self._conn.commit()
 
     # -- reading ----------------------------------------------------------------
 
     def systems(self) -> list[str]:
+        self._flush()
         rows = self._conn.execute("SELECT name FROM systems ORDER BY name")
         return [r[0] for r in rows]
 
     def system_info(self, system: str) -> dict:
+        self._flush()
         row = self._conn.execute(
             "SELECT num_nodes, cores_per_node, mem_gb_per_node, peak_tflops,"
             " sample_interval FROM systems WHERE name=?", (system,)
@@ -234,6 +356,7 @@ class Warehouse:
         return dict(zip(keys, row))
 
     def job_count(self, system: str) -> int:
+        self._flush()
         return self._conn.execute(
             "SELECT COUNT(*) FROM jobs WHERE system=?", (system,)
         ).fetchone()[0]
@@ -245,7 +368,12 @@ class Warehouse:
         Jobs missing any requested metric are excluded (the paper's
         analyses operate on fully summarized jobs); object columns come
         back as numpy object arrays, numeric as float arrays.
+
+        This is the compatibility/per-call path; interactive analytics
+        go through :class:`repro.xdmod.snapshot.WarehouseSnapshot`, which
+        loads each system once per warehouse generation.
         """
+        self._flush()
         cols = ["jobid", "user", "account", "science_field", "app", "queue",
                 "submit_time", "start_time", "end_time", "nodes", "cores",
                 "exit_status", "node_hours"]
@@ -283,6 +411,7 @@ class Warehouse:
         return out
 
     def series(self, system: str, metric: str) -> tuple[np.ndarray, np.ndarray]:
+        self._flush()
         rows = self._conn.execute(
             "SELECT t, value FROM system_series WHERE system=? AND metric=?"
             " ORDER BY t", (system, metric)
@@ -293,6 +422,7 @@ class Warehouse:
         return np.asarray(t), np.asarray(v)
 
     def series_metrics(self, system: str) -> list[str]:
+        self._flush()
         rows = self._conn.execute(
             "SELECT DISTINCT metric FROM system_series WHERE system=?"
             " ORDER BY metric", (system,)
@@ -300,6 +430,7 @@ class Warehouse:
         return [r[0] for r in rows]
 
     def syslog_events(self, system: str, jobid: str | None = None) -> list[tuple]:
+        self._flush()
         if jobid is None:
             sql = ("SELECT t, host, jobid, kind, severity FROM syslog_events"
                    " WHERE system=? ORDER BY t")

@@ -9,6 +9,11 @@ per-stakeholder report generators (§4.3).
 """
 
 from repro.xdmod.metrics import METRIC_INFO, MetricInfo, KEY_METRICS
+from repro.xdmod.snapshot import (
+    WarehouseSnapshot,
+    cache_enabled,
+    set_cache_enabled,
+)
 from repro.xdmod.query import JobQuery, GroupResult
 from repro.xdmod.correlation import correlation_matrix, select_independent
 from repro.xdmod.profiles import UsageProfiler
@@ -41,6 +46,9 @@ __all__ = [
     "METRIC_INFO",
     "MetricInfo",
     "KEY_METRICS",
+    "WarehouseSnapshot",
+    "cache_enabled",
+    "set_cache_enabled",
     "JobQuery",
     "GroupResult",
     "correlation_matrix",

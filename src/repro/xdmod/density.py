@@ -61,7 +61,9 @@ def _curve(label: str, values: np.ndarray, weights=None,
 def series_density(warehouse: Warehouse, system: str, series_name: str,
                    label: str | None = None) -> DensityCurve:
     """Density of a system-level series (Figure 10: flops_tf)."""
-    _, values = warehouse.series(system, series_name)
+    from repro.xdmod.snapshot import WarehouseSnapshot
+    _, values = WarehouseSnapshot.for_warehouse(warehouse).series(
+        system, series_name)
     return _curve(label or series_name, values)
 
 

@@ -5,6 +5,12 @@ Definitions follow the paper exactly: *wasted node-hours* are node-hours
 spent with the CPU idle (``node_hours × cpu_idle``); *efficiency* is "the
 percentage of time not spent in CPU idle"; the red line on the scatter is
 the facility-average efficiency (90 % on Ranger, 85 % on Lonestar4).
+
+The per-user aggregation is a single memoized
+:meth:`~repro.xdmod.query.JobQuery.group_by` over the snapshot's code
+arrays, so constructing this analysis repeatedly (e.g. from both the
+support-staff report and a benchmark sweep) pays for one kernel pass per
+warehouse generation.
 """
 
 from __future__ import annotations

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.ingest.warehouse import Warehouse
 from repro.util.stats import LinearFit, fit_line
+from repro.xdmod.snapshot import WarehouseSnapshot
 
 __all__ = [
     "PERSISTENCE_METRICS",
@@ -96,15 +97,22 @@ class PersistenceAnalysis:
         self.system = system
         self.offsets_min = offsets_min
         self._metrics = dict(metrics or PERSISTENCE_METRICS)
-        info = warehouse.system_info(system)
+        self._snapshot = WarehouseSnapshot.for_warehouse(warehouse)
+        info = self._snapshot.system_info(system)
         self.step_min = info["sample_interval"] / 60.0
         self._series: dict[str, np.ndarray] = {}
         for metric, series_name in self._metrics.items():
-            _, v = warehouse.series(system, series_name)
+            _, v = self._snapshot.series(system, series_name)
             self._series[metric] = v
 
     def table(self) -> list[MetricPersistence]:
-        """Table 1: one row per metric."""
+        """Table 1: one row per metric (memoized on the snapshot — the
+        combined fit and predictability ordering reuse it for free)."""
+        key = ("persistence_table", self.system, self.offsets_min,
+               tuple(sorted(self._metrics.items())))
+        return list(self._snapshot.cached(key, self._compute_table))
+
+    def _compute_table(self) -> list[MetricPersistence]:
         out = []
         for metric in self._metrics:
             v = self._series[metric]

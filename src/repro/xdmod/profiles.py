@@ -4,6 +4,11 @@ A profile divides an entity's node-hour-weighted mean of each key metric
 by the facility-wide weighted mean, so "the typical user/application is a
 perfect octagon at 1.0": values above one indicate heavier-than-average
 use of that resource.
+
+The weighted means behind each profile come from :class:`JobQuery` and
+are memoized on the shared warehouse snapshot, so building many profiles
+(or the same profile from several reports) computes each facility and
+per-entity mean once per warehouse generation.
 """
 
 from __future__ import annotations

@@ -15,6 +15,12 @@ rendered plain-text report built from the shared analytics:
   (§4.3.5, Figures 7-12);
 * :class:`FundingAgencyReport` — by-science-field accountability rollups
   (§4.3.6).
+
+All reports on one warehouse share the columnar
+:class:`~repro.xdmod.snapshot.WarehouseSnapshot` (one warehouse scan
+for the whole bouquet) and memoize their rendered text on it, keyed by
+``(report kind, system, target)``; an ingest commit moves the
+warehouse's generation stamp and retires every cached report at once.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from repro.xdmod.efficiency import EfficiencyAnalysis
 from repro.xdmod.persistence import PersistenceAnalysis
 from repro.xdmod.profiles import Profile, UsageProfiler
 from repro.xdmod.query import JobQuery
+from repro.xdmod.snapshot import WarehouseSnapshot
 from repro.xdmod.timeseries import SystemTimeseries
 
 __all__ = [
@@ -51,8 +58,15 @@ class _BaseReport:
     def __init__(self, warehouse: Warehouse, system: str):
         self.warehouse = warehouse
         self.system = system
+        self._snapshot = WarehouseSnapshot.for_warehouse(warehouse)
         self.query = JobQuery(warehouse, system)
         self.profiler = UsageProfiler(self.query)
+
+    def render(self, *target: str) -> str:
+        """The rendered report, memoized per (kind, system, target) on
+        the warehouse snapshot."""
+        key = ("report", type(self).__name__, self.system, target)
+        return self._snapshot.cached(key, lambda: self._render(*target))
 
 
 class UserReport(_BaseReport):
@@ -75,7 +89,7 @@ class UserReport(_BaseReport):
             "completion_rate": completed / total if total else float("nan"),
         }
 
-    def render(self, user: str) -> str:
+    def _render(self, user: str) -> str:
         d = self.generate(user)
         parts = [
             render_kv(
@@ -121,7 +135,7 @@ class DeveloperReport(_BaseReport):
             ),
         }
 
-    def render(self, app: str) -> str:
+    def _render(self, app: str) -> str:
         d = self.generate(app)
         return "\n\n".join([
             render_kv(
@@ -163,7 +177,7 @@ class SupportStaffReport(_BaseReport):
             "users_above_line": eff.users_above_line(),
         }
 
-    def render(self) -> str:
+    def _render(self) -> str:
         d = self.generate()
         eff: EfficiencyAnalysis = d["efficiency"]
         x, y, _ = eff.scatter()
@@ -212,7 +226,7 @@ class AdminReport(_BaseReport):
             "scheduling": SchedulingAnalysis(self.query).by_size(),
         }
 
-    def render(self) -> str:
+    def _render(self) -> str:
         d = self.generate()
         rows = []
         for row in d["persistence_table"]:
@@ -281,7 +295,7 @@ class ResourceManagerReport(_BaseReport):
             "memory_fraction": ts.memory_fraction_of_capacity(),
         }
 
-    def render(self) -> str:
+    def _render(self) -> str:
         d = self.generate()
         ts: SystemTimeseries = d["timeseries"]
         active = ts.active_nodes()
@@ -332,7 +346,7 @@ class FundingAgencyReport(_BaseReport):
             "effective_fraction": effective / total_nh if total_nh else 0.0,
         }
 
-    def render(self) -> str:
+    def _render(self) -> str:
         d = self.generate()
         field_rows = [
             {"science field": g.key,

@@ -1,0 +1,260 @@
+"""Columnar analytics engine: one shared, immutable warehouse snapshot.
+
+Every report and figure bench used to re-open the SQLite warehouse and
+re-pivot the long-form ``job_metrics`` table independently.  The
+job-specific monitoring literature (MPCDF, LIKWID Monitoring Stack) is
+blunt that the *reporting* tier, not collection, is what must scale to
+interactive many-user traffic — so this module makes the whole analytics
+surface share one columnar image of the warehouse:
+
+* :class:`SystemFrame` — one system's joined job+metrics table as column
+  arrays, loaded with two bulk ``SELECT``\\ s (jobs, then one pass over
+  ``job_metrics`` served by the covering index) instead of a correlated
+  subquery per metric per job.  Dimension columns are
+  dictionary-encoded: an ``int32`` code array plus the sorted unique
+  values, so equality filters and group-bys run on integer arrays.
+* :class:`WarehouseSnapshot` — the per-warehouse container: frames and
+  series are loaded lazily, once, and memoized together with query and
+  report results.  A snapshot is pinned to the warehouse's
+  ``data_version`` (generation stamp + in-process mutation counter);
+  any ingest commit bumps the stamp, and the next analytics access
+  rebuilds from scratch.  Until then, every :class:`~repro.xdmod.query.
+  JobQuery`, report, and figure bench on the same warehouse shares one
+  scan.
+
+The memo cache is keyed by ``(system, filter spec, group spec,
+metrics)`` tuples supplied by the query layer; keys never embed array
+data.  ``set_cache_enabled(False)`` turns memoization off globally
+(the ``repro-report --no-report-cache`` escape hatch) without touching
+the shared frames.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.ingest.summarize import SUMMARY_METRICS
+from repro.ingest.warehouse import Warehouse
+
+__all__ = [
+    "DIMENSIONS",
+    "FACT_COLUMNS",
+    "SystemFrame",
+    "WarehouseSnapshot",
+    "set_cache_enabled",
+    "cache_enabled",
+]
+
+#: The categorical job dimensions, dictionary-encoded in every frame.
+DIMENSIONS = ("user", "account", "science_field", "app", "queue",
+              "exit_status")
+
+#: Numeric per-job facts carried by the ``jobs`` table itself.
+FACT_COLUMNS = ("submit_time", "start_time", "end_time", "nodes", "cores",
+                "node_hours")
+
+_CACHE_ENABLED = True
+
+
+def set_cache_enabled(enabled: bool) -> None:
+    """Globally enable/disable query+report memoization (frames stay
+    shared either way)."""
+    global _CACHE_ENABLED
+    _CACHE_ENABLED = bool(enabled)
+
+
+def cache_enabled() -> bool:
+    """Whether query/report memoization is currently on."""
+    return _CACHE_ENABLED
+
+
+def _freeze(a: np.ndarray) -> np.ndarray:
+    """Snapshot arrays are shared across every consumer: make writes
+    fail loudly instead of corrupting a neighbour's report."""
+    a.flags.writeable = False
+    return a
+
+
+class SystemFrame:
+    """One system's jobs as immutable column arrays.
+
+    Rows are ordered by ``jobid`` (string sort), matching
+    :meth:`Warehouse.job_table`.  All :data:`SUMMARY_METRICS` are loaded
+    (NaN where a job has no stored value); the query layer selects the
+    completeness subset it needs via :meth:`complete_mask`.
+    """
+
+    __slots__ = ("system", "n_rows", "jobid", "numeric", "codes", "uniques",
+                 "_code_of", "_decoded", "_complete")
+
+    def __init__(self, warehouse: Warehouse, system: str):
+        self.system = system
+        conn = warehouse.connection
+        dim_cols = ", ".join(DIMENSIONS)
+        fact_cols = ", ".join(FACT_COLUMNS)
+        rows = conn.execute(
+            f"SELECT jobid, {dim_cols}, {fact_cols} FROM jobs"
+            f" WHERE system=? ORDER BY jobid", (system,)
+        ).fetchall()
+        n = self.n_rows = len(rows)
+        cols = list(zip(*rows)) if rows else [
+            [] for _ in range(1 + len(DIMENSIONS) + len(FACT_COLUMNS))
+        ]
+        self.jobid = _freeze(np.array(cols[0], dtype=object))
+
+        self.codes: dict[str, np.ndarray] = {}
+        self.uniques: dict[str, np.ndarray] = {}
+        self._code_of: dict[str, dict[str, int]] = {}
+        for i, dim in enumerate(DIMENSIONS, start=1):
+            uniq, inverse = np.unique(np.array(cols[i], dtype=object),
+                                      return_inverse=True)
+            self.uniques[dim] = _freeze(uniq)
+            self.codes[dim] = _freeze(inverse.astype(np.int32))
+            self._code_of[dim] = {v: c for c, v in enumerate(uniq)}
+
+        self.numeric: dict[str, np.ndarray] = {}
+        for i, name in enumerate(FACT_COLUMNS, start=1 + len(DIMENSIONS)):
+            self.numeric[name] = _freeze(np.array(cols[i], dtype=float))
+
+        # One pass over the long-form metrics table (covering index
+        # idx_metrics_covering serves this without touching the heap),
+        # pivoted in numpy instead of a correlated subquery per metric.
+        pos = {jobid: i for i, jobid in enumerate(self.jobid)}
+        metric_cols = {m: np.full(n, np.nan) for m in SUMMARY_METRICS}
+        for jobid, metric, value in conn.execute(
+            "SELECT jobid, metric, value FROM job_metrics WHERE system=?",
+            (system,),
+        ):
+            col = metric_cols.get(metric)
+            if col is not None:
+                col[pos[jobid]] = value
+        for m, col in metric_cols.items():
+            self.numeric[m] = _freeze(col)
+
+        self._decoded: dict[str, np.ndarray] = {}
+        self._complete: dict[tuple[str, ...], np.ndarray] = {}
+
+    # -- access ------------------------------------------------------------
+
+    def decode(self, dim: str) -> np.ndarray:
+        """The dimension as an object array (materialized once)."""
+        out = self._decoded.get(dim)
+        if out is None:
+            out = self._decoded[dim] = _freeze(
+                self.uniques[dim][self.codes[dim]]
+            )
+        return out
+
+    def code_of(self, dim: str, value: str) -> int:
+        """The integer code of one dimension value, or -1 if the value
+        never occurs on this system."""
+        return self._code_of[dim].get(value, -1)
+
+    def complete_mask(self, metrics: tuple[str, ...]) -> np.ndarray:
+        """Rows carrying every requested metric (the paper's analyses
+        operate on fully summarized jobs)."""
+        key = tuple(metrics)
+        mask = self._complete.get(key)
+        if mask is None:
+            mask = np.ones(self.n_rows, dtype=bool)
+            for m in key:
+                mask &= ~np.isnan(self.numeric[m])
+            self._complete[key] = _freeze(mask)
+        return mask
+
+
+#: warehouse -> its live snapshot (dropped automatically when the
+#: warehouse object dies; superseded when its data_version moves).
+_SNAPSHOTS: "weakref.WeakKeyDictionary[Warehouse, WarehouseSnapshot]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+class WarehouseSnapshot:
+    """The shared columnar image of one warehouse at one data version."""
+
+    def __init__(self, warehouse: Warehouse):
+        self._warehouse = warehouse
+        self.stamp = warehouse.data_version
+        self.generation = warehouse.generation
+        self._frames: dict[str, SystemFrame] = {}
+        self._series: dict[tuple[str, str], tuple[np.ndarray, np.ndarray]] = {}
+        self._info: dict[str, dict] = {}
+        self._memo: dict[tuple, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def for_warehouse(cls, warehouse: Warehouse) -> "WarehouseSnapshot":
+        """The memoized snapshot for *warehouse*, rebuilt iff its
+        ``data_version`` moved since the last call (i.e. on ingest
+        commit or any buffered write)."""
+        snap = _SNAPSHOTS.get(warehouse)
+        if snap is None or snap.stamp != warehouse.data_version:
+            snap = cls(warehouse)
+            _SNAPSHOTS[warehouse] = snap
+        return snap
+
+    @classmethod
+    def invalidate(cls, warehouse: Warehouse) -> None:
+        """Explicitly drop the cached snapshot (benchmarks use this to
+        measure the cold path; ingest does not need it — commits move
+        the data version, which invalidates implicitly)."""
+        _SNAPSHOTS.pop(warehouse, None)
+
+    # -- data --------------------------------------------------------------
+
+    def frame(self, system: str) -> SystemFrame:
+        frame = self._frames.get(system)
+        if frame is None:
+            frame = self._frames[system] = SystemFrame(
+                self._warehouse, system)
+        return frame
+
+    def system_info(self, system: str) -> dict:
+        info = self._info.get(system)
+        if info is None:
+            info = self._info[system] = self._warehouse.system_info(system)
+        return info
+
+    def series(self, system: str,
+               metric: str) -> tuple[np.ndarray, np.ndarray]:
+        """One stored system series, loaded once and shared read-only."""
+        key = (system, metric)
+        pair = self._series.get(key)
+        if pair is None:
+            t, v = self._warehouse.series(system, metric)
+            pair = self._series[key] = (_freeze(t), _freeze(v))
+        return pair
+
+    # -- memoization -------------------------------------------------------
+
+    def cached(self, key: tuple, compute: Callable[[], Any]) -> Any:
+        """Memoize *compute* under *key* for this snapshot's lifetime.
+
+        Keys are built by callers as flat tuples of hashables — e.g.
+        ``("group_by", system, base metrics, filter spec, group dims,
+        metrics)``.  The warehouse generation is implicit: a new
+        generation means a new snapshot, so stale entries can never be
+        served.  With the cache disabled, *compute* runs every time.
+        """
+        if not _CACHE_ENABLED:
+            return compute()
+        try:
+            value = self._memo[key]
+        except KeyError:
+            self.misses += 1
+            value = self._memo[key] = compute()
+            return value
+        self.hits += 1
+        return value
+
+    @property
+    def cache_stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._memo)}

@@ -3,6 +3,11 @@
 Thin retrieval/summary layer over the warehouse's ``system_series`` table:
 each accessor returns the raw (t, v) pair plus the summary facts the paper
 quotes (mean vs peak, fraction of benchmarked peak, dips to zero).
+
+Series are read through the shared
+:class:`~repro.xdmod.snapshot.WarehouseSnapshot`, so every report on the
+same warehouse generation touches SQLite once per series, total; the
+returned arrays are shared read-only views.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.ingest.warehouse import Warehouse
+from repro.xdmod.snapshot import WarehouseSnapshot
 
 __all__ = ["SeriesSummary", "SystemTimeseries"]
 
@@ -53,10 +59,11 @@ class SystemTimeseries:
     def __init__(self, warehouse: Warehouse, system: str):
         self.warehouse = warehouse
         self.system = system
-        self.info = warehouse.system_info(system)
+        self._snapshot = WarehouseSnapshot.for_warehouse(warehouse)
+        self.info = self._snapshot.system_info(system)
 
     def _get(self, name: str) -> SeriesSummary:
-        t, v = self.warehouse.series(self.system, name)
+        t, v = self._snapshot.series(self.system, name)
         return SeriesSummary(name=name, times=t, values=v)
 
     def active_nodes(self) -> SeriesSummary:

@@ -140,6 +140,97 @@ def test_schema_version_mismatch_rejected(tmp_path):
         Warehouse(path)
 
 
+def _fill(w, n=12):
+    w.add_system("t", num_nodes=16, cores_per_node=16, mem_gb_per_node=32.0,
+                 peak_tflops=2.3, sample_interval=600.0)
+    for i in range(n):
+        add_job(w, str(i), user=f"u{i % 3}", idle=0.05 * (i % 5),
+                app=("namd", "amber")[i % 2])
+    w.add_series("t", "flops_tf", np.arange(4) * 600.0,
+                 np.array([1.0, 2.0, 2.0, 1.0]))
+    w.add_syslog_event("t", 100.0, "h1", "3", "oom_kill", "err")
+    w.commit()
+
+
+def _dump(w):
+    """Logical row dump of every data table, in a deterministic order."""
+    out = {}
+    for table, order in (
+        ("jobs", "system, jobid"),
+        ("job_metrics", "system, jobid, metric"),
+        ("system_series", "system, metric, t"),
+        ("syslog_events", "system, t, host"),
+    ):
+        out[table] = w.connection.execute(
+            f"SELECT * FROM {table} ORDER BY {order}").fetchall()
+    return out
+
+
+def test_fast_writes_identical_results(tmp_path):
+    """WAL + synchronous=NORMAL is a pure speed knob: every stored row
+    and every query result is identical to the default journal mode."""
+    plain = Warehouse(str(tmp_path / "plain.sqlite"))
+    fast = Warehouse(str(tmp_path / "fast.sqlite"), fast_writes=True)
+    _fill(plain)
+    _fill(fast)
+    assert _dump(plain) == _dump(fast)
+    tp = plain.job_table("t")
+    tf = fast.job_table("t")
+    assert list(tp) == list(tf)
+    for col in tp:
+        np.testing.assert_array_equal(tp[col], tf[col])
+    assert fast.connection.execute(
+        "PRAGMA journal_mode").fetchone()[0] == "wal"
+    plain.close()
+    fast.close()
+
+
+def test_generation_bumps_only_on_dirty_commit(wh):
+    g0 = wh.generation
+    wh.commit()  # nothing pending: a no-op commit
+    assert wh.generation == g0
+    add_job(wh, "1")
+    assert wh.generation == g0  # not yet committed
+    wh.commit()
+    assert wh.generation == g0 + 1
+    wh.commit()
+    assert wh.generation == g0 + 1
+
+
+def test_generation_persists_across_reopen(tmp_path):
+    path = str(tmp_path / "gen.sqlite")
+    w = Warehouse(path)
+    w.add_system("t", 4, 16, 32.0, 0.5, 600.0)
+    w.commit()
+    g = w.generation
+    assert g >= 1
+    w.close()
+    w2 = Warehouse(path)
+    assert w2.generation == g
+    w2.close()
+
+
+def test_buffered_rows_visible_before_commit(wh):
+    """Reads flush the write buffers, so a query placed between add_job
+    and commit sees every row already added."""
+    add_job(wh, "1")
+    add_job(wh, "2", user="u2")
+    assert wh.job_count("t") == 2  # no commit yet
+    table = wh.job_table("t")
+    assert list(table["jobid"]) == ["1", "2"]
+    assert wh.data_version[1] > 0  # uncommitted writes move the version
+
+
+def test_duplicate_detected_across_flushes(wh):
+    """The eager same-session duplicate check holds even after the
+    first copy was flushed to SQLite by an intervening read."""
+    import sqlite3
+    add_job(wh, "1")
+    wh.job_count("t")  # forces a flush
+    with pytest.raises(sqlite3.IntegrityError):
+        add_job(wh, "1")
+
+
 def test_pre_versioning_file_rejected(tmp_path):
     import sqlite3
     path = str(tmp_path / "legacy.sqlite")

@@ -87,3 +87,43 @@ def test_top(fast_query):
 def test_group_by_unknown_dimension(fast_query):
     with pytest.raises(ValueError):
         fast_query.group_by("favourite_color")
+
+
+def test_group_by_over_empty_selection(fast_query):
+    """Regression: group-by on an all-False mask must return no groups,
+    not crash in the kernel."""
+    empty = fast_query.filter(user="nobody-here")
+    assert len(empty) == 0
+    assert empty.group_by("app", metrics=("cpu_idle",)) == []
+    assert empty.group_by(("app", "exit_status"), metrics=()) == []
+    assert empty.node_hours == 0.0
+
+
+def test_filter_short_circuits_when_already_empty(fast_query):
+    """Once a view is empty, further filters reuse the mask as-is
+    instead of re-materializing code comparisons."""
+    empty = fast_query.filter(user="nobody-here")
+    chained = empty.filter(app="namd").filter(exit_status="completed")
+    assert chained._mask is empty._mask
+    assert len(chained) == 0
+
+
+def test_multi_dimension_group_by_matches_nested_filters(fast_query):
+    groups = fast_query.group_by(("app", "exit_status"),
+                                 metrics=("cpu_idle",))
+    assert sum(g.job_count for g in groups) == len(fast_query)
+    hours = [g.node_hours for g in groups]
+    assert hours == sorted(hours, reverse=True)
+    for g in groups[:5]:
+        app, status = g.keys
+        assert g.key == f"{app}|{status}"
+        sub = fast_query.filter(app=app, exit_status=status)
+        assert g.job_count == len(sub)
+        assert g.node_hours == pytest.approx(sub.node_hours)
+        assert g.mean("cpu_idle") == pytest.approx(
+            sub.weighted_mean("cpu_idle"))
+
+
+def test_single_dim_group_by_keys_tuple(fast_query):
+    g = fast_query.group_by("app", metrics=())[0]
+    assert g.keys == (g.key,)
