@@ -7,7 +7,6 @@ periods.  The density is a Gaussian KDE with Scott's rule, as in the
 paper (R's density()).
 """
 
-import numpy as np
 
 from repro.util.textchart import sparkline
 from repro.xdmod.density import series_density

@@ -9,7 +9,7 @@ and filesystem traffic, ...).
 import numpy as np
 
 from repro.ingest.summarize import KEY_METRICS
-from repro.util.tables import Column, render_table
+from repro.util.tables import render_table
 from repro.util.textchart import radar_text
 from repro.xdmod.profiles import UsageProfiler
 

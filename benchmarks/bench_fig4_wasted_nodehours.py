@@ -8,7 +8,6 @@ spend 50 %+ of their node-hours idle; the circled user wastes the great
 majority of a large consumption (paper: 87 % and 89 %).
 """
 
-from repro.util.tables import render_table
 from repro.util.textchart import scatter_text
 from repro.xdmod.efficiency import EfficiencyAnalysis
 

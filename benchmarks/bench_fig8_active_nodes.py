@@ -5,7 +5,6 @@ period; the count drops (to zero for full-system events) during
 "relatively infrequent" planned and unplanned shutdowns.
 """
 
-import numpy as np
 
 from repro.util.textchart import series_text
 from repro.xdmod.timeseries import SystemTimeseries

@@ -1,0 +1,168 @@
+"""Bench-smoke regression gate.
+
+Parses the human-readable artifacts the bench smoke leaves under
+``benchmarks/out/`` and compares the headline numbers against the
+committed ``benchmarks/baseline.json``.  A metric that regresses by
+more than the slack factor (default 30%, ``--slack`` / the
+``REPRO_BENCH_SLACK`` env var) fails the gate with exit code 1, so a
+perf regression turns the CI job red instead of scrolling past in a
+log nobody reads.
+
+Gated metrics::
+
+    ingest_serial_mb_per_s   serial ingest throughput   (higher is better)
+    report_cold_ms           cold report-suite latency  (lower is better)
+    report_warm_ms           warm (memoized) latency    (lower is better)
+
+Latency metrics carry an absolute *floor*: anything at or under the
+floor passes outright, because below it the measurement is timer and
+scheduler noise (the warm path is memoized-dict territory — sub-
+millisecond on every machine — and a 0.1 ms -> 0.2 ms "100%
+regression" means nothing).
+
+Refresh the baseline after an intentional perf change with::
+
+    python benchmarks/check_regression.py --update
+
+run on the same machine class as CI (the committed numbers come from a
+quick-mode run, ``REPRO_BENCH_QUICK=1``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+
+#: metric -> (artifact file, extraction regex, higher|lower, noise floor)
+METRICS = {
+    "ingest_serial_mb_per_s": (
+        "ingest_throughput.txt",
+        re.compile(r"^serial pass:.*?([\d.]+) MB/s", re.MULTILINE),
+        "higher",
+        0.0,
+    ),
+    "report_cold_ms": (
+        "report_latency.txt",
+        re.compile(r"^cold\s+\(one shared scan\):\s+([\d.]+) ms",
+                   re.MULTILINE),
+        "lower",
+        100.0,
+    ),
+    "report_warm_ms": (
+        "report_latency.txt",
+        re.compile(r"^warm\s+\(memoized\):\s+([\d.]+) ms", re.MULTILINE),
+        "lower",
+        50.0,
+    ),
+}
+
+
+def read_metrics(out_dir: Path) -> dict[str, float]:
+    """Extract every gated metric from the artifacts in *out_dir*.
+
+    Raises ``SystemExit`` with a readable message when an artifact is
+    missing or its format has drifted away from the regexes above —
+    a gate that silently matches nothing is worse than no gate.
+    """
+    values = {}
+    for name, (artifact, pattern, _, _) in METRICS.items():
+        path = out_dir / artifact
+        if not path.exists():
+            sys.exit(f"error: {path} not found — run the bench smoke "
+                     f"(REPRO_BENCH_QUICK=1 python -m pytest "
+                     f"benchmarks/bench_*.py -q -s) first")
+        match = pattern.search(path.read_text())
+        if match is None:
+            sys.exit(f"error: could not find {name} in {path}; the "
+                     f"artifact format drifted — update METRICS in "
+                     f"{__file__}")
+        values[name] = float(match.group(1))
+    return values
+
+
+def check(current: dict[str, float], baseline: dict[str, float],
+          slack: float) -> list[str]:
+    """Return a list of human-readable regression messages (empty = pass)."""
+    failures = []
+    for name, value in current.items():
+        _, _, direction, floor = METRICS[name]
+        base = baseline.get(name)
+        if base is None:
+            failures.append(f"{name}: no baseline entry — run with "
+                            f"--update to record one")
+            continue
+        if direction == "higher":
+            limit = base * (1.0 - slack)
+            ok = value >= limit
+            verdict = f">= {limit:.1f} required"
+        else:
+            if value <= floor:
+                ok, verdict = True, f"under {floor:.0f} ms noise floor"
+            else:
+                limit = max(base, floor) * (1.0 + slack)
+                ok = value <= limit
+                verdict = f"<= {limit:.1f} required"
+        status = "ok" if ok else "REGRESSION"
+        print(f"  {name:<24} {value:>10.1f}  (baseline {base:.1f}, "
+              f"{verdict}) {status}")
+        if not ok:
+            failures.append(f"{name}: {value:.1f} vs baseline {base:.1f} "
+                            f"(> {slack:.0%} worse)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        description="fail CI when bench-smoke numbers regress >slack "
+                    "vs the committed baseline")
+    parser.add_argument("--out-dir", default=str(BENCH_DIR / "out"),
+                        help="directory holding the bench artifacts")
+    parser.add_argument("--baseline",
+                        default=str(BENCH_DIR / "baseline.json"),
+                        help="committed baseline file")
+    parser.add_argument("--slack", type=float,
+                        default=float(os.environ.get("REPRO_BENCH_SLACK",
+                                                     "0.30")),
+                        help="allowed fractional regression "
+                             "(default 0.30 = 30%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the current "
+                             "artifacts instead of checking")
+    args = parser.parse_args(argv)
+
+    current = read_metrics(Path(args.out_dir))
+    baseline_path = Path(args.baseline)
+
+    if args.update:
+        baseline_path.write_text(
+            json.dumps(current, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated: {baseline_path}")
+        for name, value in sorted(current.items()):
+            print(f"  {name:<24} {value:>10.1f}")
+        return 0
+
+    if not baseline_path.exists():
+        sys.exit(f"error: {baseline_path} not found — run with --update "
+                 f"to record one")
+    baseline = json.loads(baseline_path.read_text())
+
+    print(f"bench regression gate (slack {args.slack:.0%}):")
+    failures = check(current, baseline, args.slack)
+    if failures:
+        print("\nFAIL:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("all bench metrics within slack")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

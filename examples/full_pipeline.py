@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import argparse
 import tempfile
-from pathlib import Path
 
 from repro import Facility, TEST_SYSTEM
 from repro.tacc_stats.archive import HostArchive

@@ -15,7 +15,7 @@ import argparse
 
 from repro import Facility, RANGER
 from repro.ingest.summarize import KEY_METRICS
-from repro.util.tables import Column, render_kv, render_table
+from repro.util.tables import render_kv, render_table
 from repro.util.textchart import radar_text, series_text
 from repro.xdmod.efficiency import EfficiencyAnalysis
 from repro.xdmod.profiles import UsageProfiler

@@ -5,6 +5,7 @@ Examples::
     repro-diagnose --warehouse ranger.sqlite --system ranger
     repro-diagnose --warehouse ranger.sqlite --system ranger --job 2000123
     repro-diagnose --warehouse ranger.sqlite --system ranger --associations
+    repro-diagnose --warehouse ranger.sqlite --system ranger --ingest-health
 """
 
 from __future__ import annotations
@@ -33,7 +34,32 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the mined anomaly->failure table")
     parser.add_argument("--limit", type=int, default=10,
                         help="max failures to print (default 10)")
+    parser.add_argument("--ingest-health", action="store_true",
+                        help="print the stored ingest-health accounting "
+                             "(hosts ok/degraded/dropped, quarantined "
+                             "records, retries) for the system")
     return parser
+
+
+def _print_ingest_health(payload: dict, system: str) -> None:
+    """Render the warehouse's stored ingest-health accounting."""
+    from repro.errors import IngestHealth
+
+    health = IngestHealth.from_dict(payload)
+    print(render_kv({
+        "policy": health.policy,
+        "hosts ok": len(health.hosts_ok),
+        "hosts degraded": len(health.hosts_degraded) or "(none)",
+        "hosts dropped": ", ".join(health.hosts_dropped) or "(none)",
+        "records quarantined": health.records_quarantined,
+        "retries": health.total_retries,
+    }, title=f"Ingest health — {system}"))
+    for rec in health.quarantined[:20]:
+        where = rec.path if rec.lineno is None else f"{rec.path}:{rec.lineno}"
+        print(f"  {rec.hostname}: [{rec.kind}] {where} — {rec.error}")
+    if health.records_quarantined > 20:
+        print(f"  ... and {health.records_quarantined - 20} more "
+              f"(see the archive's quarantine/ sidecar)")
 
 
 def _print_diagnosis(d) -> None:
@@ -61,6 +87,16 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.system not in warehouse.systems():
             return die(f"system {args.system!r} not in {args.warehouse}")
+
+        if args.ingest_health:
+            payload = warehouse.ingest_health(args.system)
+            if payload is None:
+                print(f"no ingest-health record for {args.system!r} "
+                      f"(the ingest ran with the strict policy)")
+                return 0
+            _print_ingest_health(payload, args.system)
+            return 0
+
         ancor = AncorAnalysis(warehouse, args.system)
 
         if args.associations:

@@ -47,6 +47,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--batch-size", type=int, default=256,
                         help="jobs per warehouse transaction during "
                              "ingest")
+    parser.add_argument("--error-policy",
+                        choices=("strict", "quarantine", "repair"),
+                        default="strict",
+                        help="what malformed archive data does during "
+                             "ingest: strict fails loudly (default), "
+                             "quarantine drops affected hosts with full "
+                             "provenance, repair salvages parseable "
+                             "lines (see docs/ROBUSTNESS.md)")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        help="retries per host for transient worker "
+                             "failures during parallel ingest")
     parser.add_argument("--fast-writes", action="store_true",
                         help="open the warehouse with WAL journaling and "
                              "synchronous=NORMAL (faster ingest; query "
@@ -85,6 +96,8 @@ def main(argv: list[str] | None = None) -> int:
         return die("--workers and --ingest-workers must be >= 1")
     if args.batch_size < 1:
         return die("--batch-size must be >= 1")
+    if args.max_retries < 0:
+        return die("--max-retries must be >= 0")
     cfg = config_from_args(args)
     warehouse = Warehouse(args.warehouse, fast_writes=args.fast_writes)
     if cfg.name in warehouse.systems():
@@ -102,7 +115,9 @@ def main(argv: list[str] | None = None) -> int:
         run = facility.run_with_files(args.archive, warehouse=warehouse,
                                       workers=args.workers,
                                       ingest_workers=args.ingest_workers,
-                                      batch_size=args.batch_size)
+                                      batch_size=args.batch_size,
+                                      error_policy=args.error_policy,
+                                      max_retries=args.max_retries)
     else:
         run = facility.run(warehouse=warehouse,
                            with_syslog=not args.no_syslog)
@@ -120,6 +135,9 @@ def main(argv: list[str] | None = None) -> int:
             print(f"archive: {s.file_count} files, "
                   f"{s.raw_bytes / 1e6:.1f} MB raw, "
                   f"{s.compression_ratio:.1f}x gzip")
+        report = run.ingest_report
+        if report is not None and report.health is not None:
+            print(f"ingest health: {report.health}")
         print(f"warehouse: {args.warehouse}")
     warehouse.close()
     return 0

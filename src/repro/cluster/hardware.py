@@ -13,7 +13,7 @@ The paper's two systems differ in exactly the ways TACC_Stats cares about:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.util.units import GB
 

@@ -8,7 +8,7 @@ the identity rendered into TACC_Stats headers and syslog lines.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cluster.hardware import NodeHardware
 

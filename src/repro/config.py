@@ -13,7 +13,7 @@ analyses are per-job or node-hour-weighted, so their *shape* is scale free
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cluster.filesystem import (
     FilesystemSpec,

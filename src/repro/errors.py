@@ -1,0 +1,241 @@
+"""Error policies, quarantine provenance, and ingest health accounting.
+
+Facility-scale ingest runs unattended against thousands of nodes, where
+truncated archives, bit-flipped values, and OOM-killed workers are
+routine.  This module is the single vocabulary the whole ingest path
+(parser → archive → parallel scan → pipeline → warehouse) uses to decide
+what happens when input is malformed:
+
+* :class:`ErrorPolicy` — ``strict`` fails loudly on the first malformed
+  record (the pre-existing behaviour, still the default); ``quarantine``
+  excludes every host with any malformed record from the warehouse so
+  the loaded data is byte-identical to ingesting only the clean hosts;
+  ``repair`` salvages each corrupt host's parseable lines and loads the
+  host as *degraded*.  All three record full provenance for every
+  malformed record.
+* :class:`QuarantinedRecord` — one malformed record's provenance:
+  host, file, line number, exception, and an excerpt of the offending
+  text.
+* :class:`IngestHealth` — the per-ingest accounting (hosts ok /
+  degraded / dropped, quarantined records, per-host retry counts) that
+  :class:`~repro.ingest.pipeline.IngestReport` carries and the CLIs
+  surface.  It serializes to a sidecar ``quarantine/`` directory
+  (``records.jsonl`` + ``summary.json``) and to a JSON blob the
+  warehouse stores per system.
+
+This module is a dependency leaf (stdlib only) so both
+``repro.tacc_stats`` and ``repro.ingest`` can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from enum import Enum
+from pathlib import Path
+
+__all__ = [
+    "ErrorPolicy",
+    "HostScanError",
+    "IngestHealth",
+    "QuarantinedRecord",
+    "QUARANTINE_DIRNAME",
+]
+
+#: Reserved directory name for the sidecar quarantine report.  It lives
+#: inside the archive root by default, so :meth:`HostArchive.hostnames`
+#: must never treat it as a host directory.
+QUARANTINE_DIRNAME = "quarantine"
+
+
+class ErrorPolicy(str, Enum):
+    """What the ingest path does with malformed input.
+
+    Subclasses :class:`str` so call sites can pass the plain strings
+    ``"strict"`` / ``"quarantine"`` / ``"repair"`` (e.g. straight from a
+    CLI flag) and leaf modules can compare without importing this enum.
+    """
+
+    STRICT = "strict"
+    QUARANTINE = "quarantine"
+    REPAIR = "repair"
+
+
+class HostScanError(RuntimeError):
+    """A host's scan kept failing after every retry (worker death or
+    timeout); raised only under the ``strict`` policy."""
+
+    def __init__(self, hostname: str, attempts: int, reason: str):
+        super().__init__(
+            f"host {hostname!r} failed after {attempts} attempt(s): {reason}"
+        )
+        self.hostname = hostname
+        self.attempts = attempts
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class QuarantinedRecord:
+    """Provenance for one malformed record (or one unreadable file).
+
+    ``lineno`` is ``None`` when the whole file was quarantined (e.g. a
+    corrupt gzip stream or a worker that died scanning it) rather than a
+    single line.  ``text`` is a bounded excerpt of the offending input.
+    """
+
+    hostname: str
+    path: str
+    lineno: int | None
+    kind: str
+    error: str
+    text: str = ""
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON serialization."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "QuarantinedRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(**d)
+
+
+@dataclass
+class IngestHealth:
+    """Accounting for one ingest pass under any error policy.
+
+    A host is *ok* when it parsed clean (possibly after transient worker
+    retries), *degraded* when the ``repair`` policy salvaged it with
+    some records quarantined, and *dropped* when it was excluded from
+    the warehouse entirely (``quarantine`` policy, an unsalvageable
+    stream, or retries exhausted).
+    """
+
+    policy: str = ErrorPolicy.STRICT.value
+    hosts_ok: list[str] = field(default_factory=list)
+    hosts_degraded: list[str] = field(default_factory=list)
+    hosts_dropped: list[str] = field(default_factory=list)
+    quarantined: list[QuarantinedRecord] = field(default_factory=list)
+    retries: dict[str, int] = field(default_factory=dict)
+
+    # -- recording ----------------------------------------------------------
+
+    def record_ok(self, hostname: str) -> None:
+        """Mark *hostname* as fully ingested."""
+        self.hosts_ok.append(hostname)
+
+    def record_degraded(self, hostname: str,
+                        records: tuple[QuarantinedRecord, ...]) -> None:
+        """Mark *hostname* as salvaged with *records* quarantined."""
+        self.hosts_degraded.append(hostname)
+        self.quarantined.extend(records)
+
+    def record_dropped(self, hostname: str,
+                       records: tuple[QuarantinedRecord, ...]) -> None:
+        """Mark *hostname* as excluded, quarantining *records*."""
+        self.hosts_dropped.append(hostname)
+        self.quarantined.extend(records)
+
+    def record_retry(self, hostname: str) -> None:
+        """Count one transient-failure retry charged to *hostname*."""
+        self.retries[hostname] = self.retries.get(hostname, 0) + 1
+
+    # -- reading ------------------------------------------------------------
+
+    @property
+    def records_quarantined(self) -> int:
+        """Total quarantined records across all hosts."""
+        return len(self.quarantined)
+
+    @property
+    def total_retries(self) -> int:
+        """Total transient-failure retries across all hosts."""
+        return sum(self.retries.values())
+
+    def summary(self) -> dict:
+        """The counts-only view (what ``summary.json`` stores)."""
+        return {
+            "policy": self.policy,
+            "hosts_ok": len(self.hosts_ok),
+            "hosts_degraded": len(self.hosts_degraded),
+            "hosts_dropped": len(self.hosts_dropped),
+            "records_quarantined": self.records_quarantined,
+            "retries": self.total_retries,
+        }
+
+    def __str__(self) -> str:
+        s = self.summary()
+        return (
+            f"policy={s['policy']} ok={s['hosts_ok']} "
+            f"degraded={s['hosts_degraded']} dropped={s['hosts_dropped']} "
+            f"quarantined={s['records_quarantined']} retries={s['retries']}"
+        )
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Full JSON-ready form (stored in the warehouse ``meta`` table)."""
+        return {
+            "policy": self.policy,
+            "hosts_ok": list(self.hosts_ok),
+            "hosts_degraded": list(self.hosts_degraded),
+            "hosts_dropped": list(self.hosts_dropped),
+            "quarantined": [r.to_dict() for r in self.quarantined],
+            "retries": dict(self.retries),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "IngestHealth":
+        """Rebuild health from :meth:`to_dict` output."""
+        return cls(
+            policy=d.get("policy", ErrorPolicy.STRICT.value),
+            hosts_ok=list(d.get("hosts_ok", [])),
+            hosts_degraded=list(d.get("hosts_degraded", [])),
+            hosts_dropped=list(d.get("hosts_dropped", [])),
+            quarantined=[
+                QuarantinedRecord.from_dict(r)
+                for r in d.get("quarantined", [])
+            ],
+            retries=dict(d.get("retries", {})),
+        )
+
+    def write_sidecar(self, directory: str | Path) -> Path:
+        """Write the sidecar quarantine report and return its directory.
+
+        Layout::
+
+            <directory>/records.jsonl   one JSON object per quarantined
+                                        record, in quarantine order
+            <directory>/summary.json    counts + per-host status lists
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        with open(directory / "records.jsonl", "w") as fh:
+            for rec in self.quarantined:
+                fh.write(json.dumps(rec.to_dict()) + "\n")
+        payload = self.to_dict()
+        payload.pop("quarantined")
+        payload["summary"] = self.summary()
+        with open(directory / "summary.json", "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return directory
+
+    @classmethod
+    def read_sidecar(cls, directory: str | Path) -> "IngestHealth":
+        """Load a sidecar report written by :meth:`write_sidecar`."""
+        directory = Path(directory)
+        with open(directory / "summary.json") as fh:
+            payload = json.load(fh)
+        records = []
+        records_path = directory / "records.jsonl"
+        if records_path.exists():
+            with open(records_path) as fh:
+                for line in fh:
+                    if line.strip():
+                        records.append(
+                            QuarantinedRecord.from_dict(json.loads(line))
+                        )
+        payload.pop("summary", None)
+        payload["quarantined"] = [r.to_dict() for r in records]
+        return cls.from_dict(payload)

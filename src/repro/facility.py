@@ -20,7 +20,7 @@ tests).
 from __future__ import annotations
 
 import io
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -30,14 +30,13 @@ from repro.config import FacilityConfig
 from repro.ingest.pipeline import IngestPipeline, IngestReport
 from repro.ingest.summarize import JobSummary, summarize_job_from_rates
 from repro.ingest.warehouse import Warehouse
-from repro.lariat.logger import LariatLog
 from repro.lariat.records import lariat_record_for
 from repro.scheduler.accounting import AccountingWriter
 from repro.scheduler.engine import SchedulerEngine, SimulationResult
 from repro.scheduler.job import JobRecord
 from repro.scheduler.policies import EasyBackfillPolicy, SchedulingPolicy
 from repro.syslogr.generator import SyslogGenerator
-from repro.syslogr.rationalizer import RationalizedMessage, Rationalizer
+from repro.syslogr.rationalizer import Rationalizer
 from repro.tacc_stats.archive import ArchiveStats, HostArchive
 from repro.tacc_stats.daemon import TaccStatsDaemon
 from repro.util.rng import RngFactory
@@ -397,6 +396,8 @@ class Facility:
         workers: int = 1,
         ingest_workers: int = 1,
         batch_size: int = 256,
+        error_policy: str = "strict",
+        max_retries: int = 2,
     ) -> FacilityRun:
         """Slow path: daemons write the text format; ingest parses it back.
 
@@ -408,6 +409,10 @@ class Facility:
         and ``batch_size`` are forwarded to
         :meth:`~repro.ingest.pipeline.IngestPipeline.ingest`, which makes
         the same determinism promise for the read-back side.
+        *error_policy* and *max_retries* select the ingest's
+        fault-tolerance behaviour (see :class:`repro.errors.ErrorPolicy`
+        and ``docs/ROBUSTNESS.md``); the default is strict, exactly as
+        before.
         """
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -480,6 +485,8 @@ class Facility:
             syslog=messages,
             workers=ingest_workers,
             batch_size=batch_size,
+            error_policy=error_policy,
+            max_retries=max_retries,
         )
         return FacilityRun(
             config=cfg, warehouse=warehouse, workload=workload, sim=sim,

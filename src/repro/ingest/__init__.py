@@ -9,9 +9,16 @@ everything into a relational star schema.  The paper used an IBM Netezza
 appliance plus MySQL; we substitute SQLite (see DESIGN.md).
 """
 
+from repro.errors import (
+    ErrorPolicy,
+    HostScanError,
+    IngestHealth,
+    QuarantinedRecord,
+)
 from repro.ingest.summarize import (
     HostJobPartial,
     JobSummary,
+    SummaryError,
     SUMMARY_METRICS,
     host_job_partials,
     merge_job_partials,
@@ -29,6 +36,7 @@ from repro.ingest.matcher import (
 )
 from repro.ingest.parallel import (
     HostScan,
+    HostScanResult,
     effective_workers,
     scan_archive,
     scan_host_data,
@@ -37,8 +45,13 @@ from repro.ingest.warehouse import Warehouse
 from repro.ingest.pipeline import IngestPipeline, IngestReport
 
 __all__ = [
+    "ErrorPolicy",
+    "HostScanError",
+    "IngestHealth",
+    "QuarantinedRecord",
     "HostJobPartial",
     "JobSummary",
+    "SummaryError",
     "SUMMARY_METRICS",
     "host_job_partials",
     "merge_job_partials",
@@ -52,6 +65,7 @@ __all__ = [
     "match_job_views",
     "match_jobs",
     "HostScan",
+    "HostScanResult",
     "effective_workers",
     "scan_archive",
     "scan_host_data",

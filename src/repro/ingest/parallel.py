@@ -9,27 +9,48 @@ host's per-job matcher views plus per-job metric partials.  Scans are a
 few KB regardless of file size, so the expensive parsed
 :class:`~repro.tacc_stats.types.HostData` never gets pickled.
 
-Determinism: hosts are scanned in sorted hostname order and
-``ProcessPoolExecutor.map`` yields results in submission order, so the
-coordinator observes the exact sequence the serial path produces — the
-warehouse contents are byte-identical for any worker count.
+Determinism: hosts are scanned in sorted hostname order; the parallel
+path buffers its per-host results and replays them in that same order,
+so the coordinator observes the exact sequence the serial path produces
+— the warehouse contents are byte-identical for any worker count.
+
+Fault tolerance: the fan-out survives the failure modes a facility-scale
+ingest actually hits.  Malformed host data is handled by the
+:class:`~repro.errors.ErrorPolicy` threaded into each worker (see
+:meth:`HostArchive.read_host_checked`), while *transient* worker death
+(an OOM-killed child takes the whole pool down as
+``BrokenProcessPool``) and per-round timeouts are retried with
+exponential backoff.  Because a broken pool cannot name the culprit,
+failed hosts are charged an attempt collectively; a host that exhausts
+its retries gets one final *isolation probe* in a fresh single-worker
+pool, so an innocent host that kept sharing rounds with a crasher is
+never falsely dropped.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from itertools import repeat
-from typing import Iterator
+from typing import Callable, Iterator
 
+from repro.errors import (
+    ErrorPolicy,
+    HostScanError,
+    IngestHealth,
+    QuarantinedRecord,
+)
 from repro.ingest.matcher import HostJobView, host_job_views
 from repro.ingest.summarize import HostJobPartial, host_job_partials
 from repro.tacc_stats.archive import HostArchive
 from repro.tacc_stats.types import HostData
 
-__all__ = ["HostScan", "effective_workers", "scan_archive",
-           "scan_host_data"]
+__all__ = ["HostScan", "HostScanResult", "effective_workers",
+           "scan_archive", "scan_host_data"]
+
+#: Longest backoff between retry rounds, whatever the exponent says.
+_MAX_BACKOFF = 2.0
 
 
 @dataclass(frozen=True)
@@ -45,6 +66,22 @@ class HostScan:
     partials: dict[str, HostJobPartial]
 
 
+@dataclass(frozen=True)
+class HostScanResult:
+    """One worker's structured outcome for one host.
+
+    ``scan`` is ``None`` when the host was dropped (quarantine policy or
+    unsalvageable data); ``records`` carries the quarantine provenance
+    and ``status`` is ``"ok"`` / ``"degraded"`` / ``"dropped"`` as in
+    :class:`~repro.tacc_stats.archive.HostReadResult`.
+    """
+
+    hostname: str
+    scan: HostScan | None
+    records: tuple[QuarantinedRecord, ...]
+    status: str
+
+
 def scan_host_data(host: HostData) -> HostScan:
     """The map step for one already-parsed host."""
     return HostScan(
@@ -54,15 +91,23 @@ def scan_host_data(host: HostData) -> HostScan:
     )
 
 
-def _scan_one(root: str, hostname: str, allow_truncated: bool) -> HostScan:
+def _scan_one(root: str, hostname: str, allow_truncated: bool,
+              policy: str = ErrorPolicy.STRICT) -> HostScanResult:
     """Worker entry point: read, parse and scan one host by name.
 
     Module-level (not a closure) so it pickles under the ``spawn`` start
-    method as well as ``fork``.
+    method as well as ``fork``.  Under the ``strict`` policy a malformed
+    host raises (the error crosses back through the future); otherwise
+    malformed data is quarantined per the policy and reported in the
+    result.
     """
     archive = HostArchive(root)
-    host = archive.read_host(hostname, allow_truncated=allow_truncated)
-    return scan_host_data(host)
+    result = archive.read_host_checked(hostname,
+                                       allow_truncated=allow_truncated,
+                                       policy=policy)
+    scan = scan_host_data(result.data) if result.data is not None else None
+    return HostScanResult(hostname=hostname, scan=scan,
+                          records=result.records, status=result.status)
 
 
 def effective_workers(workers: int, n_hosts: int,
@@ -84,32 +129,173 @@ def effective_workers(workers: int, n_hosts: int,
     return min(limit, os.cpu_count() or 1)
 
 
+def _record_outcome(health: IngestHealth | None, result: HostScanResult
+                    ) -> None:
+    """Fold one host's outcome into the ingest health accounting."""
+    if health is None:
+        return
+    if result.status == "ok":
+        health.record_ok(result.hostname)
+    elif result.status == "degraded":
+        health.record_degraded(result.hostname, result.records)
+    else:
+        health.record_dropped(result.hostname, result.records)
+
+
+def _run_round(scan_fn: Callable, root: str, hosts: list[str], workers: int,
+               allow_truncated: bool, policy: str, timeout: float | None,
+               results: dict[str, HostScanResult]) -> dict[str, str]:
+    """Submit one retry round to a fresh pool; return transient failures.
+
+    Successful scans land in *results*.  Hosts whose future raised
+    :class:`BrokenExecutor` (worker death poisons every unfinished
+    future, so the culprit is unknowable) or missed the round *timeout*
+    come back as ``{hostname: reason}``.  A deterministic exception from
+    the scan itself (e.g. :class:`ParseError` under ``strict``) is
+    re-raised — retrying cannot fix bad bytes.
+    """
+    failures: dict[str, str] = {}
+    with ProcessPoolExecutor(max_workers=min(workers, len(hosts))) as ex:
+        futures = {
+            ex.submit(scan_fn, root, h, allow_truncated, policy): h
+            for h in hosts
+        }
+        _done, not_done = wait(futures, timeout=timeout)
+        if not_done:
+            # Deadline missed (or the pool broke): kill the stragglers
+            # so shutdown cannot hang on a wedged worker.
+            for fut in not_done:
+                fut.cancel()
+            for proc in list(getattr(ex, "_processes", {}).values()):
+                proc.terminate()
+        for fut, hostname in futures.items():
+            if fut in not_done:
+                failures[hostname] = (
+                    f"timeout: scan exceeded {timeout}s round deadline"
+                )
+                continue
+            try:
+                # A deterministic scan exception (e.g. ParseError under
+                # strict) propagates from .result() — not retryable.
+                results[hostname] = fut.result()
+            except BrokenExecutor as e:
+                failures[hostname] = (
+                    f"worker died: {e or type(e).__name__}"
+                )
+    return failures
+
+
+def _scan_parallel(scan_fn: Callable, root: str, hostnames: list[str],
+                   workers: int, allow_truncated: bool, policy: str,
+                   health: IngestHealth | None, max_retries: int,
+                   retry_backoff: float, timeout: float | None,
+                   ) -> dict[str, HostScanResult]:
+    """The retrying fan-out: scan every host, tolerating worker death.
+
+    Runs rounds until every host has either a result or a definitive
+    verdict.  A transient failure charges one attempt to every host that
+    failed in the round (the pool cannot attribute the crash); a host
+    over *max_retries* attempts gets a last isolation probe before the
+    verdict, so crashers cannot take innocent hosts down with them.
+    """
+    results: dict[str, HostScanResult] = {}
+    attempts = dict.fromkeys(hostnames, 0)
+    pending = list(hostnames)
+    round_no = 0
+    while pending:
+        failures = _run_round(scan_fn, root, pending, workers,
+                              allow_truncated, policy, timeout, results)
+        if not failures:
+            break
+        retry: list[str] = []
+        for hostname, reason in failures.items():
+            attempts[hostname] += 1
+            if health is not None:
+                health.record_retry(hostname)
+            if attempts[hostname] <= max_retries:
+                retry.append(hostname)
+                continue
+            # Retries exhausted — but this host may only ever have
+            # failed in company.  Give it one isolated round for a
+            # definitive verdict.
+            attempts[hostname] += 1
+            if health is not None:
+                health.record_retry(hostname)
+            probe_failure = _run_round(
+                scan_fn, root, [hostname], 1, allow_truncated, policy,
+                timeout, results).get(hostname)
+            if probe_failure is None:
+                continue  # innocent: the probe produced its result
+            if ErrorPolicy(policy) is ErrorPolicy.STRICT:
+                raise HostScanError(hostname, attempts[hostname],
+                                    probe_failure)
+            drop = HostScanResult(
+                hostname=hostname, scan=None, status="dropped",
+                records=(QuarantinedRecord(
+                    hostname=hostname, path=f"{root}/{hostname}",
+                    lineno=None, kind="scan_failure", error=probe_failure,
+                ),),
+            )
+            results[hostname] = drop
+        pending = retry
+        if pending:
+            time.sleep(min(retry_backoff * (2 ** round_no), _MAX_BACKOFF))
+            round_no += 1
+    return results
+
+
 def scan_archive(
     archive: HostArchive,
     workers: int = 1,
     allow_truncated: bool = False,
     oversubscribe: bool = False,
+    policy: str = ErrorPolicy.STRICT,
+    health: IngestHealth | None = None,
+    max_retries: int = 2,
+    retry_backoff: float = 0.1,
+    timeout: float | None = None,
+    scan_fn: Callable | None = None,
 ) -> Iterator[HostScan]:
-    """Yield one :class:`HostScan` per archived host, in sorted order.
+    """Yield one :class:`HostScan` per surviving host, in sorted order.
 
     An effective worker count of 1 (see :func:`effective_workers`) runs
-    in-process (no executor, no pickling); more fans the per-host work
-    over a process pool while preserving the serial output order.
-    Either way the scans stream: at most one host's parsed data is
-    alive per worker.
+    in-process (no executor, no pickling, nothing transient to retry);
+    more fans the per-host work over a process pool with per-host retry
+    (*max_retries* attempts beyond the first, exponential
+    *retry_backoff*, optional per-round *timeout* seconds) while
+    preserving the serial output order.
+
+    *policy* decides what malformed host data does (see
+    :class:`~repro.errors.ErrorPolicy`); dropped hosts yield nothing.
+    Every outcome — ok, degraded, dropped, and retry counts — is folded
+    into *health* when one is supplied.  *scan_fn* swaps the worker
+    entry point (same signature as the default) and exists for the
+    fault-injection harness to simulate crashing workers.
     """
     hostnames = archive.hostnames()
     workers = effective_workers(workers, len(hostnames), oversubscribe)
-    if workers == 1:
-        for host in archive.iter_hosts(allow_truncated=allow_truncated):
-            yield scan_host_data(host)
+    if workers == 1 and scan_fn is None and timeout is None:
+        for hostname in hostnames:
+            result = archive.read_host_checked(
+                hostname, allow_truncated=allow_truncated, policy=policy)
+            scan = (scan_host_data(result.data)
+                    if result.data is not None else None)
+            outcome = HostScanResult(hostname=hostname, scan=scan,
+                                     records=result.records,
+                                     status=result.status)
+            _record_outcome(health, outcome)
+            if scan is not None:
+                yield scan
         return
-    chunksize = max(1, len(hostnames) // (workers * 4))
-    with ProcessPoolExecutor(max_workers=workers) as ex:
-        yield from ex.map(
-            _scan_one,
-            repeat(str(archive.root)),
-            hostnames,
-            repeat(allow_truncated),
-            chunksize=chunksize,
-        )
+
+    results = _scan_parallel(
+        scan_fn or _scan_one, str(archive.root), hostnames, workers,
+        allow_truncated, policy, health, max_retries, retry_backoff,
+        timeout)
+    for hostname in hostnames:
+        outcome = results.get(hostname)
+        if outcome is None:  # pragma: no cover - every host gets a verdict
+            continue
+        _record_outcome(health, outcome)
+        if outcome.scan is not None:
+            yield outcome.scan

@@ -22,15 +22,21 @@ byte-identical to a serial run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.config import FacilityConfig
+from repro.errors import QUARANTINE_DIRNAME, ErrorPolicy, IngestHealth
 from repro.ingest.matcher import HostJobView, MatchReport, match_job_views
 from repro.ingest.parallel import scan_archive, scan_host_data
-from repro.ingest.summarize import HostJobPartial, merge_job_partials
+from repro.ingest.summarize import (
+    HostJobPartial,
+    SummaryError,
+    merge_job_partials,
+)
 from repro.ingest.warehouse import Warehouse
 from repro.lariat.records import LariatRecord
 from repro.scheduler.accounting import AccountingEntry, parse_accounting
-from repro.scheduler.job import ExitStatus, JobRecord, JobRequest
+from repro.scheduler.job import JobRecord, JobRequest
 from repro.syslogr.rationalizer import RationalizedMessage
 from repro.tacc_stats.archive import HostArchive
 from repro.tacc_stats.types import HostData
@@ -40,19 +46,27 @@ __all__ = ["IngestPipeline", "IngestReport"]
 
 @dataclass
 class IngestReport:
-    """What one ingest pass accomplished."""
+    """What one ingest pass accomplished.
+
+    ``health`` carries the fault-tolerance accounting (hosts ok /
+    degraded / dropped, quarantined records, retry counts) when the
+    ingest read from an archive; ``summary_errors`` maps each failed
+    job to the reason its summary could not be built.
+    """
 
     system: str
     jobs_loaded: int = 0
     summaries_failed: list[str] = field(default_factory=list)
+    summary_errors: dict[str, str] = field(default_factory=dict)
     lariat_attributed: int = 0
     unattributed: list[str] = field(default_factory=list)
     syslog_events_loaded: int = 0
     match: MatchReport | None = None
+    health: IngestHealth | None = None
 
     def __str__(self) -> str:
         m = self.match
-        return (
+        text = (
             f"[{self.system}] loaded={self.jobs_loaded} "
             f"matched={len(m.matched) if m else 0} "
             f"too_short={len(m.too_short) if m else 0} "
@@ -61,6 +75,9 @@ class IngestReport:
             f"lariat_attributed={self.lariat_attributed} "
             f"syslog={self.syslog_events_loaded}"
         )
+        if self.health is not None:
+            text += f" | {self.health}"
+        return text
 
 
 def _record_from_entry(entry: AccountingEntry, app: str) -> JobRecord:
@@ -109,6 +126,11 @@ class IngestPipeline:
         workers: int = 1,
         batch_size: int = 256,
         oversubscribe: bool = False,
+        error_policy: str = ErrorPolicy.STRICT,
+        max_retries: int = 2,
+        retry_backoff: float = 0.1,
+        scan_timeout: float | None = None,
+        quarantine_dir: str | Path | None = None,
     ) -> IngestReport:
         """Run the pipeline.
 
@@ -120,20 +142,38 @@ class IngestPipeline:
         :func:`~repro.ingest.parallel.effective_workers`); any worker
         count produces a byte-identical warehouse.  *batch_size* caps
         the jobs per warehouse transaction.
+
+        *error_policy* decides what malformed archive data does (see
+        :class:`~repro.errors.ErrorPolicy`; already-parsed *hosts* have
+        no files to quarantine, so it only applies to the archive path).
+        Under a non-strict policy the report carries an
+        :class:`~repro.errors.IngestHealth`, a sidecar quarantine report
+        is written to *quarantine_dir* (default
+        ``<archive root>/quarantine/``), and the same accounting is
+        stored in the warehouse for ``repro-diagnose``.  *max_retries*,
+        *retry_backoff* and *scan_timeout* tune the transient-failure
+        retry in the process-pool fan-out.
         """
         if (hosts is None) == (archive is None):
             raise ValueError("provide exactly one of hosts= or archive=")
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        policy = ErrorPolicy(error_policy)
+        health: IngestHealth | None = None
         if hosts is None:
             assert archive is not None
+            health = IngestHealth(policy=policy.value)
             scans = scan_archive(archive, workers=workers,
                                  allow_truncated=True,
-                                 oversubscribe=oversubscribe)
+                                 oversubscribe=oversubscribe,
+                                 policy=policy, health=health,
+                                 max_retries=max_retries,
+                                 retry_backoff=retry_backoff,
+                                 timeout=scan_timeout)
         else:
             scans = (scan_host_data(h) for h in hosts)
 
-        report = IngestReport(system=config.name)
+        report = IngestReport(system=config.name, health=health)
 
         if config.name not in self.warehouse.systems():
             self.warehouse.add_system(
@@ -152,6 +192,16 @@ class IngestPipeline:
         for scan in scans:
             views.extend(scan.views)
             partials_by_host[scan.hostname] = scan.partials
+
+        if health is not None and policy is not ErrorPolicy.STRICT:
+            # The scan stream is fully drained, so the health accounting
+            # is complete: persist it where operators will look — the
+            # sidecar next to the archive and the warehouse meta table.
+            assert archive is not None
+            sidecar = (Path(quarantine_dir) if quarantine_dir is not None
+                       else archive.root / QUARANTINE_DIRNAME)
+            health.write_sidecar(sidecar)
+            self.warehouse.set_ingest_health(config.name, health)
 
         entries = list(parse_accounting(accounting_text))
         matched, match = match_job_views(
@@ -187,8 +237,13 @@ class IngestPipeline:
                     entry.job_number, job_partials,
                     wall_seconds=float(entry.wall_seconds),
                 )
-            except ValueError:
+            except SummaryError as e:
+                # Narrow by design: SummaryError means the job had no
+                # usable stats (expected for short/degraded jobs) and is
+                # recorded with its reason.  Any other ValueError from
+                # the summarize layer is a real bug and propagates.
                 report.summaries_failed.append(entry.job_number)
+                report.summary_errors[entry.job_number] = str(e)
                 summary = None
             self.warehouse.add_job(
                 config.name,

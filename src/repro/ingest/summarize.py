@@ -43,7 +43,7 @@ same wall window).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -59,6 +59,7 @@ __all__ = [
     "SUMMARY_METRICS",
     "HostJobPartial",
     "JobSummary",
+    "SummaryError",
     "host_job_partials",
     "merge_job_partials",
     "summarize_job_from_hosts",
@@ -95,6 +96,17 @@ KEY_METRICS: tuple[str, ...] = (
     "net_ib_tx",
     "net_lnet_tx",
 )
+
+
+class SummaryError(ValueError):
+    """A job has no usable stats to summarize (every node's window was
+    empty, truncated away, or quarantined).
+
+    Subclasses :class:`ValueError` for backward compatibility, but the
+    pipeline catches *this* type only — a plain ``ValueError`` out of
+    the summarize layer (unknown metric keys, present-and-missing
+    overlap) is a real bug and must propagate.
+    """
 
 
 @dataclass(frozen=True)
@@ -370,7 +382,7 @@ def merge_job_partials(
     bit-identical floats regardless of which process computed them.
     """
     if not partials:
-        raise ValueError(f"job {jobid}: no usable host windows")
+        raise SummaryError(f"job {jobid}: no usable host windows")
     poisoned: set[str] = set()
     for p in partials:
         poisoned.update(p.poisoned)
@@ -411,7 +423,7 @@ def summarize_job_from_hosts(
     processes.
     """
     if not hosts:
-        raise ValueError(f"job {jobid}: no host data")
+        raise SummaryError(f"job {jobid}: no host data")
     wanted = (jobid,)
     partials = []
     for host in hosts:

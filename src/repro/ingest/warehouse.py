@@ -33,6 +33,7 @@ when the warehouse contents change.
 
 from __future__ import annotations
 
+import json
 import sqlite3
 from dataclasses import dataclass
 
@@ -324,6 +325,30 @@ class Warehouse:
         self._mutated()
         if len(self._pending_syslog) >= _WRITE_BATCH:
             self._flush()
+
+    def set_ingest_health(self, system: str, health) -> None:
+        """Store a system's ingest-health accounting in the meta table.
+
+        *health* is an :class:`~repro.errors.IngestHealth` (or anything
+        with a ``to_dict()``); ``repro-diagnose --ingest-health`` reads
+        it back with :meth:`ingest_health`, so operators can audit a
+        degraded ingest from the warehouse alone, without the archive's
+        sidecar report.
+        """
+        payload = json.dumps(health.to_dict(), sort_keys=True)
+        self._conn.execute(
+            "INSERT OR REPLACE INTO meta VALUES (?, ?)",
+            (f"ingest_health:{system}", payload),
+        )
+        self._mutated()
+
+    def ingest_health(self, system: str) -> dict | None:
+        """The stored ingest-health dict for *system*, or ``None``."""
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?",
+            (f"ingest_health:{system}",),
+        ).fetchone()
+        return json.loads(row[0]) if row else None
 
     def commit(self) -> None:
         self._flush()

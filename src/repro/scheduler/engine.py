@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.outages import Outage

@@ -9,7 +9,7 @@ warehouse facts).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["ExitStatus", "JobRequest", "JobRecord"]
 

@@ -14,15 +14,36 @@ from __future__ import annotations
 
 import gzip
 import io
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
+from repro.errors import (
+    ErrorPolicy,
+    QUARANTINE_DIRNAME,
+    QuarantinedRecord,
+)
 from repro.tacc_stats.format import StatsWriter
-from repro.tacc_stats.parser import parse_host_text
+from repro.tacc_stats.parser import ParseError, ParseFault, parse_host_text
 from repro.tacc_stats.types import HostData
 from repro.util.timeutil import DAY, format_epoch
 
-__all__ = ["HostArchive", "ArchiveStats"]
+__all__ = ["HostArchive", "ArchiveStats", "HostReadResult"]
+
+
+@dataclass(frozen=True)
+class HostReadResult:
+    """Outcome of a policy-aware host read.
+
+    ``status`` is ``"ok"`` (parsed clean), ``"degraded"`` (repair policy
+    salvaged the host with some records quarantined), or ``"dropped"``
+    (the host is excluded; ``data`` is ``None``).  ``records`` carries
+    full provenance for everything quarantined.
+    """
+
+    hostname: str
+    data: HostData | None
+    records: tuple[QuarantinedRecord, ...]
+    status: str
 
 
 @dataclass
@@ -131,8 +152,13 @@ class HostArchive:
         return sorted(hostdir.iterdir())
 
     def hostnames(self) -> list[str]:
-        """All hosts present in the archive, sorted."""
-        return sorted(p.name for p in self.root.iterdir() if p.is_dir())
+        """All hosts present in the archive, sorted.
+
+        The reserved ``quarantine/`` sidecar directory (where a
+        fault-tolerant ingest writes its report) is never a host.
+        """
+        return sorted(p.name for p in self.root.iterdir()
+                      if p.is_dir() and p.name != QUARANTINE_DIRNAME)
 
     @staticmethod
     def read_file(path: Path) -> str:
@@ -166,14 +192,105 @@ class HostArchive:
                 merged.merge_from(data)
         return merged if merged is not None else HostData(hostname=hostname)
 
-    def iter_hosts(self, allow_truncated: bool = False):
+    def read_host_checked(self, hostname: str,
+                          allow_truncated: bool = False,
+                          policy: str = ErrorPolicy.STRICT,
+                          ) -> HostReadResult:
+        """Policy-aware :meth:`read_host`: never raises for malformed
+        data except under the ``strict`` policy.
+
+        * ``strict`` — identical to :meth:`read_host` (the first
+          malformed record raises :class:`ParseError`).
+        * ``quarantine`` — every fault in any of the host's files drops
+          the *whole host* (``data=None``), so an ingest of the archive
+          is byte-identical to ingesting only the clean hosts.  All
+          faults are enumerated first so the quarantine report carries
+          complete provenance, not just the first offender.
+        * ``repair`` — parseable lines are salvaged per file; the host
+          loads as ``degraded`` with each skipped record quarantined.
+          A file that is unreadable end-to-end (corrupt gzip stream,
+          undecodable bytes, or no ``$hostname`` header) is quarantined
+          whole (``lineno=None``) and the remaining files still load.
+        """
+        policy = ErrorPolicy(policy)
+        if policy is ErrorPolicy.STRICT:
+            data = self.read_host(hostname, allow_truncated=allow_truncated)
+            return HostReadResult(hostname, data, (), "ok")
+
+        files = self.host_files(hostname)
+        if not files:
+            raise FileNotFoundError(f"no archived files for {hostname}")
+        records: list[QuarantinedRecord] = []
+        merged: HostData | None = None
+        for path in files:
+            faults: list[ParseFault] = []
+            try:
+                text = self.read_file(path)
+                data = parse_host_text(text, allow_truncated=allow_truncated,
+                                       faults=faults)
+            except (ParseError, OSError, UnicodeDecodeError) as e:
+                records.append(QuarantinedRecord(
+                    hostname=hostname, path=str(path), lineno=None,
+                    kind="unreadable_file", error=f"{type(e).__name__}: {e}",
+                ))
+                continue
+            records.extend(
+                QuarantinedRecord(hostname=hostname, path=str(path),
+                                  lineno=f.lineno, kind="malformed_record",
+                                  error=f.error, text=f.text)
+                for f in faults
+            )
+            if not data.hostname:
+                continue  # fully empty file (node down all day)
+            if data.hostname != hostname:
+                # The directory name is authoritative; a file claiming a
+                # different host has a corrupted header (and must not
+                # become the merge base for the real host's data).
+                records.append(QuarantinedRecord(
+                    hostname=hostname, path=str(path), lineno=None,
+                    kind="hostname_mismatch",
+                    error=f"file claims hostname {data.hostname!r}",
+                ))
+                continue
+            if merged is None:
+                merged = data
+            else:
+                try:
+                    merged.merge_from(data)
+                except ValueError as e:
+                    # Hostname mismatch / schema drift: a corrupted
+                    # header survived the line-level repair, so the
+                    # whole file is quarantined instead.
+                    records.append(QuarantinedRecord(
+                        hostname=hostname, path=str(path), lineno=None,
+                        kind="unmergeable_file", error=str(e),
+                    ))
+        if merged is None:
+            merged = HostData(hostname=hostname)
+
+        if policy is ErrorPolicy.QUARANTINE and records:
+            return HostReadResult(hostname, None, tuple(records), "dropped")
+        status = "degraded" if records else "ok"
+        return HostReadResult(hostname, merged, tuple(records), status)
+
+    def iter_hosts(self, allow_truncated: bool = False,
+                   policy: str = ErrorPolicy.STRICT):
         """Yield each host's merged :class:`HostData`, lazily, in sorted
         hostname order.
 
         This is the streaming counterpart of calling :meth:`read_host`
         for every hostname: only one host's parsed data is alive at a
         time, so ingest memory stays bounded by the largest host rather
-        than the whole archive.
+        than the whole archive.  Under a non-strict *policy* the yield
+        is a :class:`HostReadResult` per host (dropped hosts included,
+        with ``data=None``); under ``strict`` it stays plain
+        :class:`HostData` for backward compatibility.
         """
+        policy = ErrorPolicy(policy)
         for hostname in self.hostnames():
-            yield self.read_host(hostname, allow_truncated=allow_truncated)
+            if policy is ErrorPolicy.STRICT:
+                yield self.read_host(hostname,
+                                     allow_truncated=allow_truncated)
+            else:
+                yield self.read_host_checked(
+                    hostname, allow_truncated=allow_truncated, policy=policy)

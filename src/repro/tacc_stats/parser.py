@@ -21,16 +21,49 @@ returns, so nothing malformed ever escapes.
 
 from __future__ import annotations
 
+import re
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.tacc_stats.schema import TypeSchema
 from repro.tacc_stats.types import HostData, Mark, TimestampBlock
 
-__all__ = ["ParseError", "parse_host_text"]
+__all__ = ["ParseError", "ParseFault", "parse_host_text"]
+
+#: Longest offending-line excerpt kept in a :class:`ParseFault`.
+_FAULT_EXCERPT = 200
+
+_LINENO_RE = re.compile(r"line (\d+):")
 
 
 class ParseError(Exception):
     """Malformed TACC_Stats input; message carries the line number."""
+
+    @property
+    def lineno(self) -> int | None:
+        """The 1-based line number from the message, if it carries one."""
+        m = _LINENO_RE.match(str(self))
+        return int(m.group(1)) if m else None
+
+
+@dataclass(frozen=True)
+class ParseFault:
+    """One malformed line skipped by a repair-mode parse.
+
+    The parser knows nothing about hosts or files; callers attach that
+    provenance when they promote faults to quarantine records.
+    """
+
+    lineno: int
+    error: str
+    text: str
+
+    @classmethod
+    def from_error(cls, lineno: int, exc: Exception, line: str) -> "ParseFault":
+        """Build a fault from the exception raised at *line*."""
+        return cls(lineno=lineno, error=str(exc),
+                   text=line[:_FAULT_EXCERPT])
 
 
 class _PendingRows:
@@ -47,18 +80,41 @@ class _PendingRows:
         self.rests: list[str] = []
         self.targets: list[tuple[dict, str, int]] = []
 
-    def flush(self) -> None:
-        """Convert all accumulated rows and install them in their blocks."""
+    def flush(self, faults: list[ParseFault] | None = None) -> None:
+        """Convert all accumulated rows and install them in their blocks.
+
+        With a *faults* sink (repair mode), a failed batch cast falls
+        back to row-by-row conversion: bad rows are recorded and their
+        placeholders removed instead of raising.
+        """
         if not self.rests:
             return
         flat = " ".join(self.rests).split(" ")
         try:
             arr = np.array(flat, dtype=np.uint64)
         except (ValueError, OverflowError):
-            self._raise_offender()
+            if faults is None:
+                self._raise_offender()
+            self._flush_rowwise(faults)
+            return
         matrix = arr.reshape(len(self.rests), self.n_values)
         for (by_dev, device, _lineno), row in zip(self.targets, matrix):
             by_dev[device] = row
+        self.rests.clear()
+        self.targets.clear()
+
+    def _flush_rowwise(self, faults: list[ParseFault]) -> None:
+        """Repair-mode fallback: convert each row, quarantining bad ones."""
+        for rest, (by_dev, device, lineno) in zip(self.rests, self.targets):
+            try:
+                by_dev[device] = np.array(rest.split(" "), dtype=np.uint64)
+            except (ValueError, OverflowError):
+                del by_dev[device]  # remove the placeholder
+                faults.append(ParseFault(
+                    lineno=lineno,
+                    error=f"line {lineno}: non-integer value in row",
+                    text=f"{self.type_name} ... {rest[:_FAULT_EXCERPT]}",
+                ))
         self.rests.clear()
         self.targets.clear()
 
@@ -88,7 +144,8 @@ def _bad_row_error(lineno: int, type_name: str, rest: str,
     return ParseError(f"line {lineno}: malformed spacing in row")
 
 
-def parse_host_text(text: str, allow_truncated: bool = False) -> HostData:
+def parse_host_text(text: str, allow_truncated: bool = False,
+                    faults: list[ParseFault] | None = None) -> HostData:
     """Parse one host file's contents.
 
     Parameters
@@ -99,6 +156,13 @@ def parse_host_text(text: str, allow_truncated: bool = False) -> HostData:
         If True, a final line without a newline terminator that fails to
         parse is dropped (crash-consistent read); any *earlier* bad line
         still raises.
+    faults:
+        When a list is supplied, the parser runs in *repair* mode: each
+        malformed line is skipped and recorded as a :class:`ParseFault`
+        instead of raising.  A skipped timestamp line poisons its block —
+        the rows that belonged to it are quarantined rather than being
+        misattributed to the previous timestamp.  Streams that cannot be
+        salvaged at all (no ``$hostname`` header) still raise.
     """
     lines = text.split("\n")
     # Trailing '' from terminal newline is normal; a non-empty last element
@@ -117,8 +181,8 @@ def parse_host_text(text: str, allow_truncated: bool = False) -> HostData:
     #: path touches only bound methods, no attribute lookups.
     row_sinks: dict[str, tuple[int, object, object]] = {}
 
-    try:
-        for lineno, line in enumerate(lines, 1):
+    for lineno, line in enumerate(lines, 1):
+        try:
             if not line:
                 raise ParseError(f"line {lineno}: blank line")
             c = line[0]
@@ -222,12 +286,23 @@ def parse_host_text(text: str, allow_truncated: bool = False) -> HostData:
                         raise ParseError(
                             f"line {lineno}: non-integer value in row"
                         ) from None
-    except ParseError:
-        if not (allow_truncated and truncated_tail == lineno):
-            raise
+        except ParseError as exc:
+            if allow_truncated and truncated_tail == lineno:
+                # Crash-consistent read: drop exactly the unterminated
+                # final line, in every mode.
+                break
+            if faults is None:
+                raise
+            faults.append(ParseFault.from_error(lineno, exc, line))
+            if line[:1].isdigit() or line.count(" ") < 2:
+                # The faulted line may be a mangled timestamp line
+                # (digit-leading, or two-token like every timestamp
+                # line): poison the block so its rows fault instead of
+                # silently attaching to the previous timestamp.
+                block = None
 
     for rows in pending.values():
-        rows.flush()
+        rows.flush(faults)
 
     # A block whose tail was dropped is still usable; summaries handle
     # missing rows per device.

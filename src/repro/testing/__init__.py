@@ -1,0 +1,29 @@
+"""Deterministic test instrumentation for the repro tool chain.
+
+Currently home to :mod:`repro.testing.faults`, the seeded
+fault-injection harness the fault-matrix suite uses to corrupt archives
+and crash scan workers reproducibly.  Importable from production code
+reviews but never imported *by* production code.
+"""
+
+from repro.testing.faults import (
+    BENIGN_KINDS,
+    FATAL_KINDS,
+    FAULT_KINDS,
+    InjectedFault,
+    corrupt_archive,
+    crashy_scan,
+    inject_fault,
+    sleepy_scan,
+)
+
+__all__ = [
+    "BENIGN_KINDS",
+    "FATAL_KINDS",
+    "FAULT_KINDS",
+    "InjectedFault",
+    "corrupt_archive",
+    "crashy_scan",
+    "inject_fault",
+    "sleepy_scan",
+]

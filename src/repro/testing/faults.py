@@ -1,0 +1,261 @@
+"""Seeded fault injection for TACC_Stats archives and scan workers.
+
+Every injector is a pure function of ``(file contents, seed)``, so a
+fault matrix run is exactly reproducible: the same seed corrupts the
+same byte of the same line every time.  The catalogue covers the
+failure modes a facility actually produces:
+
+====================  =====================================================
+kind                  what happens to the file
+====================  =====================================================
+``truncated_tail``    the final line is cut mid-record (node crashed
+                      mid-write); *benign* — ``allow_truncated`` drops
+                      exactly that line
+``bit_flip``          one digit inside a data row's value region is
+                      XOR 0x40-flipped into a letter (bad DIMM, bit rot);
+                      *fatal* — the row can never cast to uint64
+``missing_schema``    one ``!`` schema line is deleted (lost first block
+                      of a rotated file); *fatal* — that type's rows are
+                      undeclared
+``garbage_lines``     foreign text is interleaved into the stream (log
+                      corruption, concurrent writer); *fatal*
+``zero_byte``         the file is emptied (disk-full creat+crash);
+                      *benign* — an empty file means "node down all day"
+``duplicate_timestamp``  a timestamp line is emitted twice (daemon retry
+                      after a partial flush); *benign* — an empty
+                      same-time block is legal
+====================  =====================================================
+
+*Fatal* kinds make the host fail a ``strict`` parse and get the host
+dropped under ``quarantine``; *benign* kinds parse clean everywhere.
+
+The module also ships picklable worker shims (:func:`crashy_scan`,
+:func:`sleepy_scan`) that wrap the real scan entry point to simulate
+transient worker death and wedged workers for the retry engine — bind
+their leading configuration arguments with :func:`functools.partial`
+and pass the result as ``scan_fn`` to
+:func:`repro.ingest.parallel.scan_archive`.
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+import random
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.ingest.parallel import _scan_one
+
+__all__ = [
+    "BENIGN_KINDS",
+    "FATAL_KINDS",
+    "FAULT_KINDS",
+    "InjectedFault",
+    "corrupt_archive",
+    "crashy_scan",
+    "inject_fault",
+    "sleepy_scan",
+]
+
+#: Kinds that make the file unparseable under ``strict``.
+FATAL_KINDS = ("bit_flip", "missing_schema", "garbage_lines")
+#: Kinds every policy tolerates without quarantining anything.
+BENIGN_KINDS = ("truncated_tail", "zero_byte", "duplicate_timestamp")
+#: The full catalogue.
+FAULT_KINDS = FATAL_KINDS + BENIGN_KINDS
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """Provenance of one injected corruption (for test assertions)."""
+
+    path: str
+    kind: str
+    lineno: int | None
+    detail: str
+
+
+def _read(path: Path) -> str:
+    """Decompressed text of an archive file (gz-aware)."""
+    if path.suffix == ".gz":
+        return gzip.decompress(path.read_bytes()).decode("utf-8")
+    return path.read_text()
+
+
+def _write(path: Path, text: str) -> None:
+    """Write *text* back in the file's own encoding (gz-aware)."""
+    if path.suffix == ".gz":
+        path.write_bytes(gzip.compress(text.encode("utf-8")))
+    else:
+        path.write_text(text)
+
+
+def _data_row_indices(lines: list[str]) -> list[int]:
+    """Indices of data-row lines (lowercase-leading, >= 3 tokens)."""
+    return [
+        i for i, line in enumerate(lines)
+        if line[:1].islower() and line.count(" ") >= 2
+    ]
+
+
+def _truncated_tail(lines: list[str], rng: random.Random
+                    ) -> tuple[list[str], int, str]:
+    """Cut the final line right after one of its spaces.
+
+    Cutting *after* a space leaves a trailing empty token, which can
+    never cast to uint64 — so the truncation is always detectable and
+    ``allow_truncated`` drops exactly this line, never a reinterpreted
+    prefix of it.
+    """
+    last = len(lines) - 1
+    spaces = [i for i, ch in enumerate(lines[last]) if ch == " "]
+    cut = rng.choice(spaces) + 1
+    lines[last] = lines[last][:cut]
+    return lines, last + 1, f"cut at column {cut}, no trailing newline"
+
+
+def _bit_flip(lines: list[str], rng: random.Random
+              ) -> tuple[list[str], int, str]:
+    """XOR 0x40 one digit in a data row's value region.
+
+    A flipped digit becomes a letter (``0x30-0x39 -> 0x70-0x79``), so
+    the row is guaranteed non-numeric — the corruption can never pass
+    as a different valid value.
+    """
+    idx = rng.choice(_data_row_indices(lines))
+    type_name, device, rest = lines[idx].split(" ", 2)
+    digit_cols = [i for i, ch in enumerate(rest) if ch.isdigit()]
+    col = rng.choice(digit_cols)
+    flipped = chr(ord(rest[col]) ^ 0x40)
+    rest = rest[:col] + flipped + rest[col + 1:]
+    lines[idx] = f"{type_name} {device} {rest}"
+    return lines, idx + 1, f"value digit -> {flipped!r}"
+
+
+def _missing_schema(lines: list[str], rng: random.Random
+                    ) -> tuple[list[str], int, str]:
+    """Delete one ``!`` schema line."""
+    schema_rows = [i for i, line in enumerate(lines)
+                   if line.startswith("!")]
+    idx = rng.choice(schema_rows)
+    removed = lines.pop(idx)
+    return lines, idx + 1, f"deleted {removed.split(' ', 1)[0]}"
+
+
+def _garbage_lines(lines: list[str], rng: random.Random
+                   ) -> tuple[list[str], int, str]:
+    """Interleave three lines of foreign text into the stream."""
+    first = min(len(lines), 1)
+    pos = sorted(rng.randrange(first, len(lines)) for _ in range(3))
+    for offset, idx in enumerate(pos):
+        lines.insert(idx + offset,
+                     f"GARBAGE interleaved line {rng.randrange(10**6)}")
+    return lines, pos[0] + 1, f"3 garbage lines from line {pos[0] + 1}"
+
+
+def _zero_byte(lines: list[str], rng: random.Random
+               ) -> tuple[list[str], int | None, str]:
+    """Empty the file completely."""
+    del rng
+    return [], None, "file emptied"
+
+
+def _duplicate_timestamp(lines: list[str], rng: random.Random
+                         ) -> tuple[list[str], int, str]:
+    """Emit one timestamp line twice in a row."""
+    ts_rows = [i for i, line in enumerate(lines) if line[:1].isdigit()]
+    idx = rng.choice(ts_rows)
+    lines.insert(idx + 1, lines[idx])
+    return lines, idx + 2, f"duplicated {lines[idx].split(' ')[0]}"
+
+
+_INJECTORS = {
+    "truncated_tail": _truncated_tail,
+    "bit_flip": _bit_flip,
+    "missing_schema": _missing_schema,
+    "garbage_lines": _garbage_lines,
+    "zero_byte": _zero_byte,
+    "duplicate_timestamp": _duplicate_timestamp,
+}
+
+
+def inject_fault(path: str | Path, kind: str, seed: int) -> InjectedFault:
+    """Corrupt one archive file in place, deterministically.
+
+    The same ``(file contents, kind, seed)`` always produces the same
+    corruption.  Raises ``ValueError`` for unknown kinds or a file too
+    small to host the requested corruption.
+    """
+    if kind not in _INJECTORS:
+        raise ValueError(f"unknown fault kind {kind!r}; "
+                         f"choose from {FAULT_KINDS}")
+    path = Path(path)
+    text = _read(path)
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines and kind != "zero_byte":
+        raise ValueError(f"{path} is empty; cannot inject {kind!r}")
+    rng = random.Random(seed)
+    lines, lineno, detail = _INJECTORS[kind](lines, rng)
+    out = "\n".join(lines)
+    if out and kind != "truncated_tail":
+        out += "\n"  # truncated_tail alone loses its terminator
+    _write(path, out)
+    return InjectedFault(path=str(path), kind=kind, lineno=lineno,
+                         detail=detail)
+
+
+def corrupt_archive(root: str | Path, hosts: dict[str, str],
+                    seed: int) -> list[InjectedFault]:
+    """Corrupt one file per host: ``{hostname: fault kind}``.
+
+    Each host's *first* archived file is corrupted (deterministic
+    choice), with a per-host sub-seed so adding or removing a victim
+    never changes what happens to the others.  Returns the injected
+    faults in sorted hostname order.
+    """
+    root = Path(root)
+    injected = []
+    for i, (hostname, kind) in enumerate(sorted(hosts.items())):
+        files = sorted((root / hostname).iterdir())
+        if not files:
+            raise ValueError(f"no archived files for {hostname}")
+        injected.append(inject_fault(files[0], kind, seed=seed * 1000 + i))
+    return injected
+
+
+def crashy_scan(state_dir: str, crash_hosts: tuple[str, ...],
+                n_crashes: int, root: str, hostname: str,
+                allow_truncated: bool, policy: str):
+    """Scan worker that dies (``os._exit``) for chosen hosts.
+
+    Bind the first three arguments with ``functools.partial`` and pass
+    the result as ``scan_fn``.  Each host in *crash_hosts* kills its
+    worker process outright on its first *n_crashes* attempts (tracked
+    in a counter file under *state_dir*, which must be shared across
+    worker processes); pass a negative *n_crashes* to crash forever.
+    Everything else falls through to the real scan.
+    """
+    if hostname in crash_hosts:
+        marker = Path(state_dir) / f"{hostname}.attempts"
+        attempts = int(marker.read_text()) if marker.exists() else 0
+        marker.write_text(str(attempts + 1))
+        if n_crashes < 0 or attempts < n_crashes:
+            os._exit(1)
+    return _scan_one(root, hostname, allow_truncated, policy)
+
+
+def sleepy_scan(sleep_hosts: tuple[str, ...], sleep_seconds: float,
+                root: str, hostname: str, allow_truncated: bool,
+                policy: str):
+    """Scan worker that wedges (sleeps) for chosen hosts.
+
+    Bind the first two arguments with ``functools.partial``; used to
+    exercise the per-round ``timeout`` in the fan-out.
+    """
+    if hostname in sleep_hosts:
+        time.sleep(sleep_seconds)
+    return _scan_one(root, hostname, allow_truncated, policy)

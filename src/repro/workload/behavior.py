@@ -29,7 +29,6 @@ from repro.cluster.hardware import NodeHardware
 from repro.util.rng import RngFactory
 from repro.workload.applications import (
     AppSignature,
-    RATE_FIELDS,
     RATE_INDEX,
 )
 from repro.workload.phases import FIELD_GROUP, GROUPS, PhaseModel

@@ -22,7 +22,7 @@ from repro.config import FacilityConfig
 from repro.scheduler.job import JobRequest
 from repro.util.rng import RngFactory, stable_hash64
 from repro.util.timeutil import HOUR
-from repro.workload.applications import APP_CATALOG, AppSignature
+from repro.workload.applications import AppSignature
 from repro.workload.arrivals import arrival_times
 from repro.workload.users import UserProfile, generate_users
 
@@ -136,7 +136,6 @@ class WorkloadGenerator:
         # Phase 5: arrivals, walltimes, failures -> JobRequests.
         submits = arrival_times(n_jobs, cfg.horizon, self._stream("arrivals"))
         requests: list[JobRequest] = []
-        arch = cfg.node.processor.arch
         for i, ((user, app, nodes, _), runtime, submit) in enumerate(
             zip(drawn, runtime_arr, submits)
         ):

@@ -112,7 +112,6 @@ def _host_series(host: HostData, jobid: str) -> tuple[np.ndarray, dict]:
     times = np.array([b.time for b in blocks])
     dt = np.diff(times)
     mids = 0.5 * (times[:-1] + times[1:])
-    cores = len(host.blocks[0].rows.get("cpu", {})) or 16
 
     out: dict[str, np.ndarray] = {}
     cpu_total = None

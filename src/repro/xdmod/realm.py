@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.ingest.summarize import SUMMARY_METRICS
-from repro.xdmod.query import DIMENSIONS, GroupResult, JobQuery
+from repro.xdmod.query import DIMENSIONS, JobQuery
 
 __all__ = ["Statistic", "SupremmRealm"]
 

@@ -25,13 +25,11 @@ warehouse's generation stamp and retires every cached report at once.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.ingest.summarize import KEY_METRICS
 from repro.ingest.warehouse import Warehouse
-from repro.util.tables import Column, render_kv, render_table
+from repro.util.tables import render_kv, render_table
 from repro.util.textchart import radar_text, scatter_text, series_text
 from repro.xdmod.efficiency import EfficiencyAnalysis
 from repro.xdmod.persistence import PersistenceAnalysis

@@ -1,0 +1,292 @@
+"""The fault matrix: every injected corruption × every error policy.
+
+The headline guarantees proved here:
+
+* ``strict`` still fails loudly on every fatal fault kind.
+* ``quarantine`` produces a warehouse byte-identical to ingesting only
+  the clean hosts, with an :class:`IngestHealth` accounting for every
+  quarantined record.
+* ``repair`` salvages corrupt hosts as *degraded* instead of dropping
+  them.
+* Transient worker death and wedged workers are retried with backoff;
+  hosts that keep failing get a definitive verdict without taking
+  innocent hosts down with them.
+* Snapshot/report caches built over a degraded warehouse stay correct.
+"""
+
+import functools
+import io
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.config import TEST_SYSTEM
+from repro.errors import ErrorPolicy, HostScanError, IngestHealth
+from repro.facility import Facility
+from repro.ingest.parallel import scan_archive
+from repro.ingest.pipeline import IngestPipeline
+from repro.ingest.warehouse import Warehouse
+from repro.lariat.records import lariat_record_for
+from repro.scheduler.accounting import AccountingWriter
+from repro.tacc_stats.archive import HostArchive
+from repro.tacc_stats.parser import ParseError
+from repro.testing.faults import (
+    BENIGN_KINDS,
+    FATAL_KINDS,
+    corrupt_archive,
+    crashy_scan,
+    sleepy_scan,
+)
+from repro.xdmod.query import JobQuery
+from repro.xdmod.snapshot import WarehouseSnapshot
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    """A small finished archive plus its accounting and Lariat logs."""
+    cfg = TEST_SYSTEM.scaled(num_nodes=6, horizon_days=1, n_users=8)
+    archive_dir = str(tmp_path_factory.mktemp("fault_corpus"))
+    run = Facility(cfg, seed=33).run_with_files(archive_dir)
+    buf = io.StringIO()
+    AccountingWriter(buf, cfg.node.cores, cfg.name).write_all(run.records)
+    lariat = [lariat_record_for(r, cfg.node.cores) for r in run.records]
+    return cfg, archive_dir, buf.getvalue(), lariat
+
+
+def _corrupted_copy(corpus, tmp_path, hosts):
+    """A private copy of the corpus archive with ``{host: kind}`` faults."""
+    _cfg, archive_dir, _acct, _lar = corpus
+    dst = tmp_path / "archive"
+    shutil.copytree(archive_dir, dst)
+    injected = corrupt_archive(dst, hosts, seed=77)
+    return dst, injected
+
+
+def _ingest(corpus, archive_root, **kw):
+    """Run the pipeline over *archive_root*; return (warehouse, report)."""
+    cfg, _dir, accounting, lariat = corpus
+    w = Warehouse()
+    report = IngestPipeline(w).ingest(
+        cfg, accounting_text=accounting, archive=HostArchive(archive_root),
+        lariat_records=lariat, **kw)
+    return w, report
+
+
+def _rows(w):
+    """The byte-comparison view: all job and metric rows, ordered."""
+    jobs = w._conn.execute(
+        "SELECT * FROM jobs ORDER BY jobid").fetchall()
+    metrics = w._conn.execute(
+        "SELECT * FROM job_metrics ORDER BY jobid, metric").fetchall()
+    return jobs, metrics
+
+
+# -- malformed data x policy -------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", FATAL_KINDS)
+def test_strict_still_fails_loudly(corpus, tmp_path, kind):
+    """Every fatal fault kind aborts a strict ingest with ParseError."""
+    victim = HostArchive(corpus[1]).hostnames()[1]
+    root, _ = _corrupted_copy(corpus, tmp_path, {victim: kind})
+    with pytest.raises(ParseError):
+        _ingest(corpus, root)  # error_policy defaults to strict
+
+
+@pytest.mark.parametrize("kind", BENIGN_KINDS)
+def test_benign_kinds_parse_clean_under_every_policy(corpus, tmp_path, kind):
+    """Crash-consistent truncation, empty files and duplicate timestamps
+    are tolerated by design — no policy quarantines anything for them."""
+    victim = HostArchive(corpus[1]).hostnames()[0]
+    root, _ = _corrupted_copy(corpus, tmp_path, {victim: kind})
+    for policy in ErrorPolicy:
+        w, report = _ingest(corpus, root, error_policy=policy.value)
+        assert report.jobs_loaded > 0
+        if report.health is not None and policy is not ErrorPolicy.STRICT:
+            assert report.health.hosts_dropped == []
+            assert report.health.records_quarantined == 0
+
+
+def test_quarantine_warehouse_byte_identical_to_clean_hosts(
+        corpus, tmp_path):
+    """THE acceptance guarantee: with k corrupted hosts, the quarantine
+    warehouse equals the warehouse from ingesting only the n-k clean
+    hosts — byte for byte — and the health accounts for every record."""
+    hostnames = HostArchive(corpus[1]).hostnames()
+    victims = {hostnames[1]: "bit_flip", hostnames[3]: "missing_schema",
+               hostnames[4]: "garbage_lines"}
+    root, injected = _corrupted_copy(corpus, tmp_path, victims)
+
+    w_q, report = _ingest(corpus, root, error_policy="quarantine")
+
+    clean_root = tmp_path / "clean"
+    shutil.copytree(corpus[1], clean_root)
+    for victim in victims:
+        shutil.rmtree(clean_root / victim)
+    w_c, _ = _ingest(corpus, clean_root)
+
+    assert _rows(w_q) == _rows(w_c)
+
+    health = report.health
+    assert sorted(health.hosts_dropped) == sorted(victims)
+    assert sorted(health.hosts_ok) == sorted(
+        set(hostnames) - set(victims))
+    assert health.hosts_degraded == []
+    # Every quarantined record carries provenance into a victim's files.
+    assert health.records_quarantined >= len(victims)
+    for rec in health.quarantined:
+        assert rec.hostname in victims
+        assert rec.hostname in rec.path
+        assert rec.error
+    quarantined_hosts = {r.hostname for r in health.quarantined}
+    assert quarantined_hosts == set(victims)
+
+
+def test_quarantine_writes_sidecar_and_warehouse_meta(corpus, tmp_path):
+    """The quarantine report is persisted twice: a sidecar next to the
+    archive and a JSON blob in the warehouse meta table."""
+    victim = HostArchive(corpus[1]).hostnames()[2]
+    root, _ = _corrupted_copy(corpus, tmp_path, {victim: "bit_flip"})
+    w, report = _ingest(corpus, root, error_policy="quarantine")
+
+    sidecar = IngestHealth.read_sidecar(Path(root) / "quarantine")
+    assert sidecar.hosts_dropped == [victim]
+    assert [r.to_dict() for r in sidecar.quarantined] == \
+        [r.to_dict() for r in report.health.quarantined]
+    # The sidecar directory is reserved — never mistaken for a host.
+    assert "quarantine" not in HostArchive(root).hostnames()
+
+    stored = w.ingest_health(corpus[0].name)
+    assert stored == report.health.to_dict()
+    assert IngestHealth.from_dict(stored).hosts_dropped == [victim]
+
+
+def test_repair_salvages_degraded_host(corpus, tmp_path):
+    """bit_flip under repair: the host loads minus exactly the bad row,
+    with the skipped record quarantined at its line."""
+    victim = HostArchive(corpus[1]).hostnames()[1]
+    root, injected = _corrupted_copy(corpus, tmp_path, {victim: "bit_flip"})
+    w, report = _ingest(corpus, root, error_policy="repair")
+
+    health = report.health
+    assert health.hosts_degraded == [victim]
+    assert health.hosts_dropped == []
+    assert health.records_quarantined == 1
+    rec = health.quarantined[0]
+    assert rec.hostname == victim
+    assert rec.lineno == injected[0].lineno
+    assert rec.kind == "malformed_record"
+    # Repair keeps the host's jobs in the warehouse (strict on the clean
+    # corpus loads the same job set).
+    w_clean, _ = _ingest(corpus, corpus[1])
+    assert {r[0] for r in _rows(w)[0]} == {r[0] for r in _rows(w_clean)[0]}
+
+
+def test_repair_report_str_mentions_health(corpus, tmp_path):
+    victim = HostArchive(corpus[1]).hostnames()[1]
+    root, _ = _corrupted_copy(corpus, tmp_path, {victim: "bit_flip"})
+    _, report = _ingest(corpus, root, error_policy="repair")
+    assert "degraded=1" in str(report)
+
+
+# -- transient worker failure x retry ----------------------------------------
+
+
+def test_transient_worker_death_is_retried(corpus, tmp_path):
+    """A worker OOM-killed once recovers on retry: every host scans ok,
+    the retries are accounted, and nothing is quarantined."""
+    archive = HostArchive(corpus[1])
+    victim = archive.hostnames()[2]
+    scan_fn = functools.partial(
+        crashy_scan, str(tmp_path), (victim,), 1)
+    health = IngestHealth(policy="quarantine")
+    scans = list(scan_archive(
+        archive, workers=2, allow_truncated=True, oversubscribe=True,
+        policy="quarantine", health=health, max_retries=2,
+        retry_backoff=0.01, scan_fn=scan_fn))
+    assert [s.hostname for s in scans] == archive.hostnames()
+    assert sorted(health.hosts_ok) == archive.hostnames()
+    assert health.hosts_dropped == []
+    assert health.retries.get(victim, 0) >= 1
+
+
+def test_permanent_crasher_dropped_without_collateral(corpus, tmp_path):
+    """A host whose scan always dies is dropped after its retries — and
+    only that host: innocents sharing its rounds survive via the
+    isolation probe."""
+    archive = HostArchive(corpus[1])
+    victim = archive.hostnames()[0]
+    scan_fn = functools.partial(
+        crashy_scan, str(tmp_path), (victim,), -1)
+    health = IngestHealth(policy="quarantine")
+    scans = list(scan_archive(
+        archive, workers=2, allow_truncated=True, oversubscribe=True,
+        policy="quarantine", health=health, max_retries=1,
+        retry_backoff=0.01, scan_fn=scan_fn))
+    survivors = [h for h in archive.hostnames() if h != victim]
+    assert [s.hostname for s in scans] == survivors
+    assert health.hosts_dropped == [victim]
+    assert sorted(health.hosts_ok) == survivors
+    rec = health.quarantined[0]
+    assert rec.kind == "scan_failure"
+    assert "worker died" in rec.error
+
+
+def test_permanent_crasher_raises_under_strict(corpus, tmp_path):
+    archive = HostArchive(corpus[1])
+    victim = archive.hostnames()[0]
+    scan_fn = functools.partial(
+        crashy_scan, str(tmp_path), (victim,), -1)
+    with pytest.raises(HostScanError, match=victim):
+        list(scan_archive(
+            archive, workers=2, allow_truncated=True, oversubscribe=True,
+            max_retries=1, retry_backoff=0.01, scan_fn=scan_fn))
+
+
+def test_wedged_worker_times_out_and_is_dropped(corpus, tmp_path):
+    """A worker that hangs past the round deadline is terminated and its
+    host dropped (quarantine policy) instead of wedging the ingest."""
+    archive = HostArchive(corpus[1])
+    victim = archive.hostnames()[1]
+    scan_fn = functools.partial(sleepy_scan, (victim,), 60.0)
+    health = IngestHealth(policy="quarantine")
+    scans = list(scan_archive(
+        archive, workers=2, allow_truncated=True, oversubscribe=True,
+        policy="quarantine", health=health, max_retries=0,
+        retry_backoff=0.01, timeout=2.0, scan_fn=scan_fn))
+    assert victim not in [s.hostname for s in scans]
+    assert health.hosts_dropped == [victim]
+    assert "timeout" in health.quarantined[0].error
+
+
+# -- analytics over a degraded warehouse -------------------------------------
+
+
+def test_snapshot_and_report_cache_over_degraded_warehouse(
+        corpus, tmp_path):
+    """The PR2 analytics layer is oblivious to how the warehouse got its
+    rows: snapshots and memoized queries over a quarantine-degraded
+    warehouse equal fresh computations, and re-ingest invalidates."""
+    victim = HostArchive(corpus[1]).hostnames()[1]
+    root, _ = _corrupted_copy(corpus, tmp_path, {victim: "bit_flip"})
+    w, report = _ingest(corpus, root, error_policy="quarantine")
+
+    q = JobQuery(w, corpus[0].name)
+    cold_groups = q.group_by("user", metrics=("cpu_idle",))
+    cold_hours = q.node_hours
+    snap = WarehouseSnapshot.for_warehouse(w)
+    misses = snap.cache_stats["misses"]
+
+    q2 = JobQuery(w, corpus[0].name)
+    assert q2.group_by("user", metrics=("cpu_idle",)) == cold_groups
+    assert q2.node_hours == cold_hours
+    assert snap.cache_stats["misses"] == misses  # pure memo hits
+
+    # Mutating the warehouse (storing new health) retires the snapshot.
+    w.set_ingest_health(corpus[0].name, report.health)
+    w.commit()
+    snap2 = WarehouseSnapshot.for_warehouse(w)
+    assert snap2 is not snap
+    q3 = JobQuery(w, corpus[0].name)
+    assert q3.group_by("user", metrics=("cpu_idle",)) == cold_groups

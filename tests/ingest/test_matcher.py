@@ -2,7 +2,6 @@
 
 import io
 
-import pytest
 
 from repro.ingest.matcher import match_jobs
 from repro.scheduler.accounting import format_accounting_line, parse_accounting_line

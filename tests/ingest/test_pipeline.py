@@ -1,10 +1,8 @@
 """Tests for the end-to-end ingest pipeline (on the file_run fixture)."""
 
-import numpy as np
 import pytest
 
 from repro.config import TEST_SYSTEM
-from repro.ingest.summarize import SUMMARY_METRICS
 
 
 def test_ingest_report_counts(file_run):

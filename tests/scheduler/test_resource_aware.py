@@ -1,7 +1,5 @@
 """Tests for the complement-aware backfill policy (paper §5)."""
 
-import numpy as np
-import pytest
 
 from repro.scheduler.policies import RunningJob
 from repro.scheduler.queue import WaitQueue
@@ -62,8 +60,6 @@ def test_head_fairness_preserved():
     """Reordering must never delay the blocked head: a long candidate
     that would eat the head's reservation still cannot start."""
     policy = ResourceAwareBackfillPolicy()
-    running = [RunningJob("r", estimated_end=1000.0, nodes=6,
-                          app="io_pipeline")]
     q = queue_of(
         job("head", 0.0, 10, "namd", walltime=3600.0),
         job("long_cpu", 1.0, 2, "milc", walltime=50000.0),

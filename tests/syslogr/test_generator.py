@@ -1,7 +1,6 @@
 """Tests for the behaviour-driven syslog generator."""
 
 import numpy as np
-import pytest
 
 from repro.scheduler.job import ExitStatus, JobRecord
 from repro.syslogr.catalog import MessageKind

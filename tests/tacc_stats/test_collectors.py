@@ -215,7 +215,6 @@ def test_pmc_user_programmed_uses_foreign_codes():
     node = make_node()
     col = Amd64PmcCollector(node, np.random.default_rng(10))
     col._user_programmed = True  # force the rare path
-    codes_before = None
     col.on_job_begin("1", 0.0)
     # on_job_begin redraws; force again and reprogram manually.
     col._user_programmed = True

@@ -4,7 +4,7 @@ import dataclasses
 
 import pytest
 
-from repro.config import FacilityConfig, LONESTAR4, RANGER, TEST_SYSTEM
+from repro.config import LONESTAR4, RANGER, TEST_SYSTEM
 
 
 def test_ranger_published_specs():

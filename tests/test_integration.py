@@ -5,7 +5,6 @@ import numpy as np
 import pytest
 
 from repro import Facility, TEST_SYSTEM
-from repro.ingest.summarize import summarize_job_from_rates
 from repro.workload.applications import APP_CATALOG
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cluster.hardware import lonestar4_node, ranger_node
+from repro.cluster.hardware import ranger_node
 from repro.workload.applications import (
     APP_CATALOG,
     RATE_FIELDS,

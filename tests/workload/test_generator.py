@@ -5,7 +5,6 @@ import pytest
 
 from repro.config import RANGER
 from repro.util.rng import RngFactory
-from repro.util.timeutil import DAY
 from repro.workload.generator import WorkloadGenerator
 
 

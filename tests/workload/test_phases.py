@@ -8,7 +8,6 @@ from repro.workload.applications import RATE_FIELDS
 from repro.workload.phases import (
     FIELD_GROUP,
     GROUPS,
-    PHASE_CALIBRATION,
     PhaseModel,
 )
 

@@ -1,6 +1,5 @@
 """Tests for workload characterization."""
 
-import numpy as np
 import pytest
 
 from repro.xdmod.characterization import WorkloadCharacterization

@@ -1,6 +1,5 @@
 """Tests for the wasted-node-hours analysis (Figure 4/5 data)."""
 
-import numpy as np
 import pytest
 
 from repro.xdmod.efficiency import EfficiencyAnalysis

@@ -1,6 +1,5 @@
 """Tests for normalized usage profiles (Figures 2/3/5 data)."""
 
-import numpy as np
 import pytest
 
 from repro.ingest.summarize import KEY_METRICS

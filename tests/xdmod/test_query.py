@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.xdmod.query import JobQuery
 
 
 def test_columns_and_len(fast_query):
