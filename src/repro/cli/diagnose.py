@@ -6,6 +6,11 @@ Examples::
     repro-diagnose --warehouse ranger.sqlite --system ranger --job 2000123
     repro-diagnose --warehouse ranger.sqlite --system ranger --associations
     repro-diagnose --warehouse ranger.sqlite --system ranger --ingest-health
+    repro-diagnose --telemetry manifest.json
+
+``--telemetry`` inspects a run manifest written by ``repro-simulate
+--telemetry-out`` (stage span tree, slowest hosts, counter totals) and
+needs no warehouse.
 """
 
 from __future__ import annotations
@@ -16,6 +21,8 @@ import sys
 from repro.anomaly.ancor import AncorAnalysis
 from repro.cli.common import die
 from repro.ingest.warehouse import Warehouse
+from repro.telemetry.manifest import RunManifest
+from repro.telemetry.trace import render_span_tree
 from repro.util.tables import render_kv, render_table
 
 
@@ -26,8 +33,12 @@ def build_parser() -> argparse.ArgumentParser:
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    parser.add_argument("--warehouse", required=True)
-    parser.add_argument("--system", required=True)
+    parser.add_argument("--warehouse", default=None,
+                        help="SQLite warehouse to diagnose from (required "
+                             "for everything except --telemetry)")
+    parser.add_argument("--system", default=None,
+                        help="system name inside the warehouse (required "
+                             "for everything except --telemetry)")
     parser.add_argument("--job", default=None,
                         help="diagnose one job id (default: all failures)")
     parser.add_argument("--associations", action="store_true",
@@ -38,7 +49,38 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the stored ingest-health accounting "
                              "(hosts ok/degraded/dropped, quarantined "
                              "records, retries) for the system")
+    parser.add_argument("--telemetry", default=None, metavar="MANIFEST",
+                        help="inspect a telemetry manifest JSON (from "
+                             "repro-simulate --telemetry-out): span tree, "
+                             "slowest hosts, counter totals")
+    parser.add_argument("--min-ms", type=float, default=0.0,
+                        help="with --telemetry, hide spans faster than "
+                             "this many milliseconds")
     return parser
+
+
+def _print_telemetry(manifest: RunManifest, min_ms: float) -> None:
+    """Render one run manifest: spans, slowest hosts, counters, health."""
+    print(render_kv({
+        "run": manifest.run_id,
+        "systems": ", ".join(manifest.systems) or "(none)",
+        "effective ingest workers": manifest.effective_workers,
+    }, title="Run telemetry"))
+    if manifest.stages:
+        print("\nstage timings:")
+        print(render_span_tree(manifest.stages, min_ms=min_ms))
+    if manifest.slowest_hosts:
+        print("\nslowest hosts (scan wall time):")
+        for host, seconds in manifest.slowest_hosts:
+            print(f"  {host:<32} {seconds * 1000.0:>10.1f} ms")
+    counters = manifest.metrics.counters
+    if counters:
+        print("\ncounters:")
+        for name in sorted(counters):
+            print(f"  {name:<36} {counters[name]:>14,.0f}")
+    if manifest.ingest_health is not None:
+        _print_ingest_health(manifest.ingest_health,
+                             ", ".join(manifest.systems) or "run")
 
 
 def _print_ingest_health(payload: dict, system: str) -> None:
@@ -83,6 +125,18 @@ def _print_diagnosis(d) -> None:
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit status."""
     args = build_parser().parse_args(argv)
+
+    if args.telemetry:
+        try:
+            manifest = RunManifest.read(args.telemetry)
+        except (OSError, ValueError) as e:
+            return die(f"cannot read telemetry manifest: {e}")
+        _print_telemetry(manifest, args.min_ms)
+        return 0
+
+    if not args.warehouse or not args.system:
+        return die("--warehouse and --system are required "
+                   "(unless using --telemetry)")
     warehouse = Warehouse(args.warehouse)
     try:
         if args.system not in warehouse.systems():

@@ -18,7 +18,8 @@ import sys
 
 from repro.cli.common import die
 from repro.ingest.warehouse import Warehouse
-from repro.xdmod.snapshot import set_cache_enabled
+from repro.telemetry.metrics import get_registry
+from repro.xdmod.snapshot import WarehouseSnapshot, set_cache_enabled
 from repro.xdmod.reports import (
     AdminReport,
     DeveloperReport,
@@ -53,6 +54,10 @@ def build_parser() -> argparse.ArgumentParser:
                         action=argparse.BooleanOptionalAction, default=True,
                         help="memoize query/report results on the shared "
                              "warehouse snapshot (default: enabled)")
+    parser.add_argument("--cache-stats", action="store_true",
+                        help="after rendering, print the snapshot's "
+                             "memo-cache hit/miss counts and the "
+                             "process-wide cache counters")
     parser.add_argument("kind", choices=sorted(_REPORTS),
                         help="which stakeholder's report")
     parser.add_argument("target", nargs="?", default=None,
@@ -84,6 +89,16 @@ def main(argv: list[str] | None = None) -> int:
             if args.target:
                 return die(f"report {args.kind!r} takes no target")
             print(report.render())
+        if args.cache_stats:
+            snap = WarehouseSnapshot.for_warehouse(warehouse)
+            registry = get_registry()
+            print(f"\ncache: {snap.cache_stats['hits']} hits, "
+                  f"{snap.cache_stats['misses']} misses, "
+                  f"{snap.cache_stats['entries']} entries "
+                  f"(process counters: "
+                  f"hits={registry.counter('analytics.cache_hits').value:.0f} "
+                  f"misses="
+                  f"{registry.counter('analytics.cache_misses').value:.0f})")
         return 0
     finally:
         warehouse.close()

@@ -39,6 +39,13 @@ from repro.syslogr.generator import SyslogGenerator
 from repro.syslogr.rationalizer import Rationalizer
 from repro.tacc_stats.archive import ArchiveStats, HostArchive
 from repro.tacc_stats.daemon import TaccStatsDaemon
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    get_registry,
+    use_registry,
+)
+from repro.telemetry.trace import span
 from repro.util.rng import RngFactory
 from repro.util.timeutil import aligned_samples
 from repro.workload.applications import APP_CATALOG, RATE_INDEX
@@ -96,14 +103,38 @@ def _replay_nodes(
     node_indices: list[int],
     archive_dir: str,
     compress: bool,
-) -> ArchiveStats:
+) -> tuple[ArchiveStats, MetricsSnapshot]:
     """Replay a set of nodes' daemons into the shared archive directory.
 
     Each node's files are written only by the worker owning that node, so
     concurrent workers never touch the same path; per-node RNG streams
     make the output byte-identical regardless of how nodes are split
-    across workers (asserted by tests).
+    across workers (asserted by tests).  Returns the volume accounting
+    plus the replay's telemetry snapshot — collected in a private
+    registry so write-side counters merge to the same totals whether the
+    replay ran in-process or in a pool worker.
     """
+    local = MetricsRegistry()
+    with use_registry(local):
+        stats = _replay_nodes_body(
+            cfg, seed, users, util_scale, phase_calibration, regressions,
+            records, node_indices, archive_dir, compress)
+    return stats, local.snapshot()
+
+
+def _replay_nodes_body(
+    cfg: FacilityConfig,
+    seed: int,
+    users: dict,
+    util_scale: float,
+    phase_calibration: dict | None,
+    regressions: tuple,
+    records: list[JobRecord],
+    node_indices: list[int],
+    archive_dir: str,
+    compress: bool,
+) -> ArchiveStats:
+    """The actual daemon replay; see :func:`_replay_nodes`."""
     from repro.cluster.node import Node
 
     rng_factory = RngFactory(seed)
@@ -164,7 +195,7 @@ def _replay_nodes(
     return archive.close()
 
 
-def _replay_nodes_star(args: tuple) -> ArchiveStats:
+def _replay_nodes_star(args: tuple) -> tuple[ArchiveStats, MetricsSnapshot]:
     return _replay_nodes(*args)
 
 
@@ -216,6 +247,13 @@ class Facility:
     def _simulate(self) -> tuple[GeneratedWorkload, SimulationResult,
                                  list[Outage], Cluster]:
         cfg = self.config
+        with span("facility.simulate", system=cfg.name):
+            return self._simulate_body(cfg)
+
+    def _simulate_body(self, cfg: FacilityConfig
+                       ) -> tuple[GeneratedWorkload, SimulationResult,
+                                  list[Outage], Cluster]:
+        """Workload generation + scheduling, timed by :meth:`_simulate`."""
         workload = WorkloadGenerator(cfg, self.rng_factory).generate()
         if self.appkernels:
             from repro.xdmod.appkernels import (
@@ -279,47 +317,48 @@ class Facility:
         syslog_gen = SyslogGenerator(self._stream("syslog"), cfg.name)
         raw_messages = []
 
-        for record in sim.records:
-            behavior = self._behavior_for(record, workload)
-            m = max(1, int(np.ceil(record.wall_seconds / interval)))
-            rates = behavior.rates_matrix(m)
-            summary = summarize_job_from_rates(
-                record, rates, mem_capacity_gb=cfg.node.memory_gb
-            )
-            summaries.append(summary)
-            warehouse.add_job(cfg.name, record, cfg.node.cores,
-                              summary=summary)
+        with span("facility.summarize", system=cfg.name):
+            for record in sim.records:
+                behavior = self._behavior_for(record, workload)
+                m = max(1, int(np.ceil(record.wall_seconds / interval)))
+                rates = behavior.rates_matrix(m)
+                summary = summarize_job_from_rates(
+                    record, rates, mem_capacity_gb=cfg.node.memory_gb
+                )
+                summaries.append(summary)
+                warehouse.add_job(cfg.name, record, cfg.node.cores,
+                                  summary=summary)
 
-            nodes = record.request.nodes
-            bin0 = int(record.start_time // interval)
-            bins = bin0 + np.arange(rates.shape[0])
-            ok = bins < n_bins
-            bins, r = bins[ok], rates[ok]
-            if bins.size == 0:
-                continue
-            idle = DerivedRates.cpu_idle(r)
-            np.add.at(acc["flops_gf"], bins, r[:, _I_FLOPS] * nodes)
-            np.add.at(acc["mem_gb"], bins, r[:, _I_MEM] * nodes)
-            np.add.at(acc["idle_nodes_equiv"], bins, idle * nodes)
-            np.add.at(acc["user_nodes_equiv"], bins,
-                      r[:, RATE_INDEX["cpu_user_frac"]] * nodes)
-            np.add.at(acc["sys_nodes_equiv"], bins,
-                      r[:, RATE_INDEX["cpu_sys_frac"]] * nodes)
-            for fs in ("scratch", "work", "share"):
-                np.add.at(acc[f"io_{fs}_write_mb"], bins,
-                          r[:, RATE_INDEX[f"io_{fs}_write_mb"]] * nodes)
-            np.add.at(acc["ib_tx_mb"], bins,
-                      DerivedRates.ib_tx_mb(r) * nodes)
-            np.add.at(acc["busy_nodes"], bins, float(nodes))
+                nodes = record.request.nodes
+                bin0 = int(record.start_time // interval)
+                bins = bin0 + np.arange(rates.shape[0])
+                ok = bins < n_bins
+                bins, r = bins[ok], rates[ok]
+                if bins.size == 0:
+                    continue
+                idle = DerivedRates.cpu_idle(r)
+                np.add.at(acc["flops_gf"], bins, r[:, _I_FLOPS] * nodes)
+                np.add.at(acc["mem_gb"], bins, r[:, _I_MEM] * nodes)
+                np.add.at(acc["idle_nodes_equiv"], bins, idle * nodes)
+                np.add.at(acc["user_nodes_equiv"], bins,
+                          r[:, RATE_INDEX["cpu_user_frac"]] * nodes)
+                np.add.at(acc["sys_nodes_equiv"], bins,
+                          r[:, RATE_INDEX["cpu_sys_frac"]] * nodes)
+                for fs in ("scratch", "work", "share"):
+                    np.add.at(acc[f"io_{fs}_write_mb"], bins,
+                              r[:, RATE_INDEX[f"io_{fs}_write_mb"]] * nodes)
+                np.add.at(acc["ib_tx_mb"], bins,
+                          DerivedRates.ib_tx_mb(r) * nodes)
+                np.add.at(acc["busy_nodes"], bins, float(nodes))
 
-            if with_syslog:
-                raw_messages.extend(syslog_gen.generate_for_job(
-                    record,
-                    mem_frac_max=summary.get("mem_used_max")
-                    / cfg.node.memory_gb,
-                    scratch_write_mb=summary.get("io_scratch_write"),
-                    cpu_idle_frac=summary.get("cpu_idle"),
-                ))
+                if with_syslog:
+                    raw_messages.extend(syslog_gen.generate_for_job(
+                        record,
+                        mem_frac_max=summary.get("mem_used_max")
+                        / cfg.node.memory_gb,
+                        scratch_write_mb=summary.get("io_scratch_write"),
+                        cpu_idle_frac=summary.get("cpu_idle"),
+                    ))
 
         # Active-node step function sampled on the bin grid.
         tl_t = np.array([t for t, _ in sim.active_node_timeline])
@@ -357,8 +396,9 @@ class Facility:
             "io_share_write_mb": acc["io_share_write_mb"],
             "net_ib_tx_mb": ib_per_node,
         }
-        for name, values in series.items():
-            warehouse.add_series(cfg.name, name, bin_times, values)
+        with span("facility.series", system=cfg.name):
+            for name, values in series.items():
+                warehouse.add_series(cfg.name, name, bin_times, values)
 
         if with_syslog and raw_messages:
             raw_messages.extend(syslog_gen.generate_background(
@@ -424,24 +464,27 @@ class Facility:
             self.phase_calibration, self.regressions, sim.records,
         )
         all_nodes = list(range(cfg.num_nodes))
-        if workers == 1:
-            archive_stats = _replay_nodes(
-                *replay_args, all_nodes, archive_dir, compress)
-        else:
-            import multiprocessing
+        with span("facility.replay", system=cfg.name, workers=workers):
+            if workers == 1:
+                archive_stats, replay_metrics = _replay_nodes(
+                    *replay_args, all_nodes, archive_dir, compress)
+                get_registry().merge_snapshot(replay_metrics)
+            else:
+                import multiprocessing
 
-            chunks = [all_nodes[i::workers] for i in range(workers)]
-            with multiprocessing.Pool(workers) as pool:
-                partials = pool.map(_replay_nodes_star, [
-                    (*replay_args, chunk, archive_dir, compress)
-                    for chunk in chunks if chunk
-                ])
-            archive_stats = ArchiveStats()
-            for p in partials:
-                archive_stats.raw_bytes += p.raw_bytes
-                archive_stats.compressed_bytes += p.compressed_bytes
-                archive_stats.file_count += p.file_count
-                archive_stats.host_days += p.host_days
+                chunks = [all_nodes[i::workers] for i in range(workers)]
+                with multiprocessing.Pool(workers) as pool:
+                    partials = pool.map(_replay_nodes_star, [
+                        (*replay_args, chunk, archive_dir, compress)
+                        for chunk in chunks if chunk
+                    ])
+                archive_stats = ArchiveStats()
+                for p, snap in partials:
+                    archive_stats.raw_bytes += p.raw_bytes
+                    archive_stats.compressed_bytes += p.compressed_bytes
+                    archive_stats.file_count += p.file_count
+                    archive_stats.host_days += p.host_days
+                    get_registry().merge_snapshot(snap)
         archive = HostArchive(archive_dir, compress=compress)
 
         # Side logs.

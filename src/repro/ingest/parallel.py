@@ -45,12 +45,22 @@ from repro.ingest.matcher import HostJobView, host_job_views
 from repro.ingest.summarize import HostJobPartial, host_job_partials
 from repro.tacc_stats.archive import HostArchive
 from repro.tacc_stats.types import HostData
+from repro.telemetry.log import get_logger
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    get_registry,
+    use_registry,
+)
+from repro.telemetry.trace import Tracer, use_tracer
 
 __all__ = ["HostScan", "HostScanResult", "effective_workers",
            "scan_archive", "scan_host_data"]
 
 #: Longest backoff between retry rounds, whatever the exponent says.
 _MAX_BACKOFF = 2.0
+
+_log = get_logger("ingest.parallel")
 
 
 @dataclass(frozen=True)
@@ -73,13 +83,17 @@ class HostScanResult:
     ``scan`` is ``None`` when the host was dropped (quarantine policy or
     unsalvageable data); ``records`` carries the quarantine provenance
     and ``status`` is ``"ok"`` / ``"degraded"`` / ``"dropped"`` as in
-    :class:`~repro.tacc_stats.archive.HostReadResult`.
+    :class:`~repro.tacc_stats.archive.HostReadResult`.  ``metrics`` is
+    the worker-local telemetry snapshot for this host's scan (parse
+    counters, scan timing); the coordinator folds it into the ambient
+    registry so fan-out runs report the same totals as serial ones.
     """
 
     hostname: str
     scan: HostScan | None
     records: tuple[QuarantinedRecord, ...]
     status: str
+    metrics: MetricsSnapshot | None = None
 
 
 def scan_host_data(host: HostData) -> HostScan:
@@ -89,6 +103,36 @@ def scan_host_data(host: HostData) -> HostScan:
         views=tuple(host_job_views(host).values()),
         partials=host_job_partials(host),
     )
+
+
+def _scan_host_checked(archive: HostArchive, hostname: str,
+                       allow_truncated: bool, policy: str) -> HostScanResult:
+    """Read + scan one host inside a private metrics registry.
+
+    Both the serial fast path and the pool worker route through this
+    helper, so each host's parse counters and scan timing accumulate in
+    a fresh local registry whose snapshot rides the result back to the
+    coordinator.  That shared construction is what makes serial and
+    parallel runs merge to identical metric totals.
+    """
+    local = MetricsRegistry()
+    # Fresh tracer too: pool workers are reused across hosts, so spans
+    # opened here must not pile up in a long-lived ambient tree — and
+    # keeping the serial path identical means serial and parallel runs
+    # produce the same trace shape (per-host timing travels as metrics).
+    with use_registry(local), use_tracer(Tracer()):
+        t0 = time.perf_counter()
+        result = archive.read_host_checked(hostname,
+                                           allow_truncated=allow_truncated,
+                                           policy=policy)
+        scan = (scan_host_data(result.data)
+                if result.data is not None else None)
+        elapsed = time.perf_counter() - t0
+        local.histogram("ingest.host_scan.seconds").observe(elapsed)
+        local.gauge(f"ingest.host_scan.{hostname}.seconds").set(elapsed)
+    return HostScanResult(hostname=hostname, scan=scan,
+                          records=result.records, status=result.status,
+                          metrics=local.snapshot())
 
 
 def _scan_one(root: str, hostname: str, allow_truncated: bool,
@@ -101,13 +145,8 @@ def _scan_one(root: str, hostname: str, allow_truncated: bool,
     malformed data is quarantined per the policy and reported in the
     result.
     """
-    archive = HostArchive(root)
-    result = archive.read_host_checked(hostname,
-                                       allow_truncated=allow_truncated,
-                                       policy=policy)
-    scan = scan_host_data(result.data) if result.data is not None else None
-    return HostScanResult(hostname=hostname, scan=scan,
-                          records=result.records, status=result.status)
+    return _scan_host_checked(HostArchive(root), hostname,
+                              allow_truncated, policy)
 
 
 def effective_workers(workers: int, n_hosts: int,
@@ -131,7 +170,22 @@ def effective_workers(workers: int, n_hosts: int,
 
 def _record_outcome(health: IngestHealth | None, result: HostScanResult
                     ) -> None:
-    """Fold one host's outcome into the ingest health accounting."""
+    """Fold one host's outcome into health and telemetry accounting.
+
+    Runs on the coordinator in sorted-hostname order for serial and
+    parallel paths alike, so even last-write-wins gauges merge
+    deterministically.
+    """
+    registry = get_registry()
+    if result.metrics is not None:
+        registry.merge_snapshot(result.metrics)
+    registry.counter(f"ingest.hosts_{result.status}").inc()
+    if result.records:
+        registry.counter("ingest.records_quarantined").inc(
+            len(result.records))
+    if result.status == "dropped":
+        _log.warning("host_dropped", host=result.hostname,
+                     records=len(result.records))
     if health is None:
         return
     if result.status == "ok":
@@ -210,8 +264,11 @@ def _scan_parallel(scan_fn: Callable, root: str, hostnames: list[str],
         retry: list[str] = []
         for hostname, reason in failures.items():
             attempts[hostname] += 1
+            get_registry().counter("ingest.retries").inc()
             if health is not None:
                 health.record_retry(hostname)
+            _log.warning("host_retry", host=hostname,
+                         attempt=attempts[hostname], reason=reason)
             if attempts[hostname] <= max_retries:
                 retry.append(hostname)
                 continue
@@ -219,6 +276,7 @@ def _scan_parallel(scan_fn: Callable, root: str, hostnames: list[str],
             # failed in company.  Give it one isolated round for a
             # definitive verdict.
             attempts[hostname] += 1
+            get_registry().counter("ingest.retries").inc()
             if health is not None:
                 health.record_retry(hostname)
             probe_failure = _run_round(
@@ -276,16 +334,11 @@ def scan_archive(
     workers = effective_workers(workers, len(hostnames), oversubscribe)
     if workers == 1 and scan_fn is None and timeout is None:
         for hostname in hostnames:
-            result = archive.read_host_checked(
-                hostname, allow_truncated=allow_truncated, policy=policy)
-            scan = (scan_host_data(result.data)
-                    if result.data is not None else None)
-            outcome = HostScanResult(hostname=hostname, scan=scan,
-                                     records=result.records,
-                                     status=result.status)
+            outcome = _scan_host_checked(archive, hostname,
+                                         allow_truncated, policy)
             _record_outcome(health, outcome)
-            if scan is not None:
-                yield scan
+            if outcome.scan is not None:
+                yield outcome.scan
         return
 
     results = _scan_parallel(

@@ -21,13 +21,18 @@ byte-identical to a serial run.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.config import FacilityConfig
 from repro.errors import QUARANTINE_DIRNAME, ErrorPolicy, IngestHealth
 from repro.ingest.matcher import HostJobView, MatchReport, match_job_views
-from repro.ingest.parallel import scan_archive, scan_host_data
+from repro.ingest.parallel import (
+    effective_workers,
+    scan_archive,
+    scan_host_data,
+)
 from repro.ingest.summarize import (
     HostJobPartial,
     SummaryError,
@@ -40,6 +45,11 @@ from repro.scheduler.job import JobRecord, JobRequest
 from repro.syslogr.rationalizer import RationalizedMessage
 from repro.tacc_stats.archive import HostArchive
 from repro.tacc_stats.types import HostData
+from repro.telemetry.log import current_run_id, get_logger, run_scope
+from repro.telemetry.metrics import get_registry
+from repro.telemetry.trace import span
+
+_log = get_logger("ingest.pipeline")
 
 __all__ = ["IngestPipeline", "IngestReport"]
 
@@ -63,6 +73,8 @@ class IngestReport:
     syslog_events_loaded: int = 0
     match: MatchReport | None = None
     health: IngestHealth | None = None
+    effective_workers: int = 1
+    run_id: str | None = None
 
     def __str__(self) -> str:
         m = self.match
@@ -158,11 +170,51 @@ class IngestPipeline:
             raise ValueError("provide exactly one of hosts= or archive=")
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        # Reuse the CLI's run id when one is ambient; otherwise this
+        # ingest is its own run and mints one.
+        scope = (nullcontext(current_run_id()) if current_run_id()
+                 else run_scope())
+        with scope as run_id, span("ingest", system=config.name):
+            report = self._ingest(
+                config, accounting_text, hosts, archive, lariat_records,
+                syslog, min_seconds, workers, batch_size, oversubscribe,
+                error_policy, max_retries, retry_backoff, scan_timeout,
+                quarantine_dir,
+            )
+            report.run_id = run_id
+            _log.info("ingest_done", system=config.name,
+                      jobs=report.jobs_loaded,
+                      workers=report.effective_workers)
+            return report
+
+    def _ingest(
+        self,
+        config: FacilityConfig,
+        accounting_text: str,
+        hosts: list[HostData] | None,
+        archive: HostArchive | None,
+        lariat_records: list[LariatRecord] | None,
+        syslog: list[RationalizedMessage] | None,
+        min_seconds: float | None,
+        workers: int,
+        batch_size: int,
+        oversubscribe: bool,
+        error_policy: str,
+        max_retries: int,
+        retry_backoff: float,
+        scan_timeout: float | None,
+        quarantine_dir: str | Path | None,
+    ) -> IngestReport:
+        """The validated ingest body, run inside the run scope and the
+        root ``ingest`` span (see :meth:`ingest` for parameter docs)."""
         policy = ErrorPolicy(error_policy)
         health: IngestHealth | None = None
+        n_workers = 1
         if hosts is None:
             assert archive is not None
             health = IngestHealth(policy=policy.value)
+            n_workers = effective_workers(
+                workers, len(archive.hostnames()), oversubscribe)
             scans = scan_archive(archive, workers=workers,
                                  allow_truncated=True,
                                  oversubscribe=oversubscribe,
@@ -173,7 +225,8 @@ class IngestPipeline:
         else:
             scans = (scan_host_data(h) for h in hosts)
 
-        report = IngestReport(system=config.name, health=health)
+        report = IngestReport(system=config.name, health=health,
+                              effective_workers=n_workers)
 
         if config.name not in self.warehouse.systems():
             self.warehouse.add_system(
@@ -189,9 +242,10 @@ class IngestPipeline:
         # generator; only views and partials accumulate here.
         views: list[HostJobView] = []
         partials_by_host: dict[str, dict[str, HostJobPartial]] = {}
-        for scan in scans:
-            views.extend(scan.views)
-            partials_by_host[scan.hostname] = scan.partials
+        with span("ingest.scan", workers=n_workers):
+            for scan in scans:
+                views.extend(scan.views)
+                partials_by_host[scan.hostname] = scan.partials
 
         if health is not None and policy is not ErrorPolicy.STRICT:
             # The scan stream is fully drained, so the health accounting
@@ -203,66 +257,78 @@ class IngestPipeline:
             health.write_sidecar(sidecar)
             self.warehouse.set_ingest_health(config.name, health)
 
-        entries = list(parse_accounting(accounting_text))
-        matched, match = match_job_views(
-            entries, views,
-            min_seconds=min_seconds if min_seconds is not None
-            else config.sample_interval,
-        )
+        with span("ingest.match"):
+            entries = list(parse_accounting(accounting_text))
+            matched, match = match_job_views(
+                entries, views,
+                min_seconds=min_seconds if min_seconds is not None
+                else config.sample_interval,
+            )
         report.match = match
 
         lariat_by_job = {r.jobid: r for r in (lariat_records or [])}
 
         in_batch = 0
-        for mj in matched:
-            entry = mj.entry
-            app = entry.app_tag
-            if not app or app == "-":
-                lar = lariat_by_job.get(entry.job_number)
-                guess = lar.guess_app() if lar else None
-                if guess:
-                    app = guess
-                    report.lariat_attributed += 1
-                else:
-                    app = "unknown"
-                    report.unattributed.append(entry.job_number)
-            job_partials = [
-                p for p in (
-                    partials_by_host.get(n, {}).get(entry.job_number)
-                    for n in mj.hostnames
-                ) if p is not None
-            ]
-            try:
-                summary = merge_job_partials(
-                    entry.job_number, job_partials,
-                    wall_seconds=float(entry.wall_seconds),
+        with span("ingest.load"):
+            for mj in matched:
+                entry = mj.entry
+                app = entry.app_tag
+                if not app or app == "-":
+                    lar = lariat_by_job.get(entry.job_number)
+                    guess = lar.guess_app() if lar else None
+                    if guess:
+                        app = guess
+                        report.lariat_attributed += 1
+                    else:
+                        app = "unknown"
+                        report.unattributed.append(entry.job_number)
+                job_partials = [
+                    p for p in (
+                        partials_by_host.get(n, {}).get(entry.job_number)
+                        for n in mj.hostnames
+                    ) if p is not None
+                ]
+                try:
+                    summary = merge_job_partials(
+                        entry.job_number, job_partials,
+                        wall_seconds=float(entry.wall_seconds),
+                    )
+                except SummaryError as e:
+                    # Narrow by design: SummaryError means the job had no
+                    # usable stats (expected for short/degraded jobs) and
+                    # is recorded with its reason.  Any other ValueError
+                    # from the summarize layer is a real bug and
+                    # propagates.
+                    report.summaries_failed.append(entry.job_number)
+                    report.summary_errors[entry.job_number] = str(e)
+                    summary = None
+                self.warehouse.add_job(
+                    config.name,
+                    _record_from_entry(entry, app),
+                    cores_per_node=config.node.cores,
+                    summary=summary,
                 )
-            except SummaryError as e:
-                # Narrow by design: SummaryError means the job had no
-                # usable stats (expected for short/degraded jobs) and is
-                # recorded with its reason.  Any other ValueError from
-                # the summarize layer is a real bug and propagates.
-                report.summaries_failed.append(entry.job_number)
-                report.summary_errors[entry.job_number] = str(e)
-                summary = None
-            self.warehouse.add_job(
-                config.name,
-                _record_from_entry(entry, app),
-                cores_per_node=config.node.cores,
-                summary=summary,
-            )
-            report.jobs_loaded += 1
-            in_batch += 1
-            if in_batch >= batch_size:
-                self.warehouse.commit()
-                in_batch = 0
+                report.jobs_loaded += 1
+                in_batch += 1
+                if in_batch >= batch_size:
+                    self.warehouse.commit()
+                    in_batch = 0
 
-        for msg in syslog or []:
-            self.warehouse.add_syslog_event(
-                config.name, msg.time, msg.host, msg.jobid,
-                msg.kind.value, msg.severity,
-            )
-            report.syslog_events_loaded += 1
+        with span("ingest.syslog"):
+            for msg in syslog or []:
+                self.warehouse.add_syslog_event(
+                    config.name, msg.time, msg.host, msg.jobid,
+                    msg.kind.value, msg.severity,
+                )
+                report.syslog_events_loaded += 1
 
         self.warehouse.commit()
+        registry = get_registry()
+        registry.counter("ingest.jobs_loaded").inc(report.jobs_loaded)
+        registry.counter("ingest.summaries_failed").inc(
+            len(report.summaries_failed))
+        registry.counter("ingest.lariat_attributed").inc(
+            report.lariat_attributed)
+        registry.counter("ingest.syslog_events").inc(
+            report.syslog_events_loaded)
         return report

@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.ingest.summarize import SUMMARY_METRICS, JobSummary
 from repro.scheduler.job import JobRecord
+from repro.telemetry.metrics import get_registry
 
 __all__ = ["Warehouse", "JobRow"]
 
@@ -233,26 +234,38 @@ class Warehouse:
         Jobs land before their metric rows so the job_metrics foreign
         key holds within a single flush.
         """
+        registry = get_registry()
+        flushed = False
         if self._pending_jobs:
             rows, self._pending_jobs = self._pending_jobs, []
             self._conn.executemany(
                 "INSERT INTO jobs VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?)", rows
             )
+            registry.counter("warehouse.rows.jobs").inc(len(rows))
+            flushed = True
         if self._pending_metrics:
             rows, self._pending_metrics = self._pending_metrics, []
             self._conn.executemany(
                 "INSERT INTO job_metrics VALUES (?,?,?,?)", rows
             )
+            registry.counter("warehouse.rows.job_metrics").inc(len(rows))
+            flushed = True
         if self._pending_series:
             rows, self._pending_series = self._pending_series, []
             self._conn.executemany(
                 "INSERT INTO system_series VALUES (?,?,?,?)", rows
             )
+            registry.counter("warehouse.rows.system_series").inc(len(rows))
+            flushed = True
         if self._pending_syslog:
             rows, self._pending_syslog = self._pending_syslog, []
             self._conn.executemany(
                 "INSERT INTO syslog_events VALUES (?,?,?,?,?,?)", rows
             )
+            registry.counter("warehouse.rows.syslog_events").inc(len(rows))
+            flushed = True
+        if flushed:
+            registry.counter("warehouse.flushes").inc()
 
     # -- loading ---------------------------------------------------------------
 
@@ -360,6 +373,7 @@ class Warehouse:
             )
             self._dirty = False
         self._conn.commit()
+        get_registry().counter("warehouse.commits").inc()
 
     # -- reading ----------------------------------------------------------------
 

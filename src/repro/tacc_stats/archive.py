@@ -25,6 +25,8 @@ from repro.errors import (
 from repro.tacc_stats.format import StatsWriter
 from repro.tacc_stats.parser import ParseError, ParseFault, parse_host_text
 from repro.tacc_stats.types import HostData
+from repro.telemetry.metrics import get_registry
+from repro.telemetry.trace import span
 from repro.util.timeutil import DAY, format_epoch
 
 __all__ = ["HostArchive", "ArchiveStats", "HostReadResult"]
@@ -130,10 +132,15 @@ class HostArchive:
             path = of.path.with_suffix(of.path.suffix + ".gz")
             data = gzip.compress(raw, compresslevel=6)
             path.write_bytes(data)
-            self.stats.compressed_bytes += len(data)
+            stored = len(data)
         else:
             of.path.write_text(text)
-            self.stats.compressed_bytes += len(raw)
+            stored = len(raw)
+        self.stats.compressed_bytes += stored
+        registry = get_registry()
+        registry.counter("archive.files_written").inc()
+        registry.counter("archive.bytes_raw").inc(len(raw))
+        registry.counter("archive.bytes_compressed").inc(stored)
 
     def close(self) -> ArchiveStats:
         """Flush all open files; returns the final volume accounting."""
@@ -179,17 +186,19 @@ class HostArchive:
         if not files:
             raise FileNotFoundError(f"no archived files for {hostname}")
         merged: HostData | None = None
-        for path in files:
-            data = parse_host_text(self.read_file(path),
-                                   allow_truncated=allow_truncated)
-            if not data.hostname:
-                # parse_host_text only leaves the hostname unset for a
-                # fully empty file; a non-empty headerless file raises.
-                continue
-            if merged is None:
-                merged = data
-            else:
-                merged.merge_from(data)
+        with span("ingest.parse", host=hostname):
+            for path in files:
+                data = parse_host_text(self.read_file(path),
+                                       allow_truncated=allow_truncated)
+                if not data.hostname:
+                    # parse_host_text only leaves the hostname unset for
+                    # a fully empty file; a non-empty headerless file
+                    # raises.
+                    continue
+                if merged is None:
+                    merged = data
+                else:
+                    merged.merge_from(data)
         return merged if merged is not None else HostData(hostname=hostname)
 
     def read_host_checked(self, hostname: str,
@@ -222,49 +231,54 @@ class HostArchive:
             raise FileNotFoundError(f"no archived files for {hostname}")
         records: list[QuarantinedRecord] = []
         merged: HostData | None = None
-        for path in files:
-            faults: list[ParseFault] = []
-            try:
-                text = self.read_file(path)
-                data = parse_host_text(text, allow_truncated=allow_truncated,
-                                       faults=faults)
-            except (ParseError, OSError, UnicodeDecodeError) as e:
-                records.append(QuarantinedRecord(
-                    hostname=hostname, path=str(path), lineno=None,
-                    kind="unreadable_file", error=f"{type(e).__name__}: {e}",
-                ))
-                continue
-            records.extend(
-                QuarantinedRecord(hostname=hostname, path=str(path),
-                                  lineno=f.lineno, kind="malformed_record",
-                                  error=f.error, text=f.text)
-                for f in faults
-            )
-            if not data.hostname:
-                continue  # fully empty file (node down all day)
-            if data.hostname != hostname:
-                # The directory name is authoritative; a file claiming a
-                # different host has a corrupted header (and must not
-                # become the merge base for the real host's data).
-                records.append(QuarantinedRecord(
-                    hostname=hostname, path=str(path), lineno=None,
-                    kind="hostname_mismatch",
-                    error=f"file claims hostname {data.hostname!r}",
-                ))
-                continue
-            if merged is None:
-                merged = data
-            else:
+        with span("ingest.parse", host=hostname):
+            for path in files:
+                faults: list[ParseFault] = []
                 try:
-                    merged.merge_from(data)
-                except ValueError as e:
-                    # Hostname mismatch / schema drift: a corrupted
-                    # header survived the line-level repair, so the
-                    # whole file is quarantined instead.
+                    text = self.read_file(path)
+                    data = parse_host_text(text,
+                                           allow_truncated=allow_truncated,
+                                           faults=faults)
+                except (ParseError, OSError, UnicodeDecodeError) as e:
                     records.append(QuarantinedRecord(
                         hostname=hostname, path=str(path), lineno=None,
-                        kind="unmergeable_file", error=str(e),
+                        kind="unreadable_file",
+                        error=f"{type(e).__name__}: {e}",
                     ))
+                    continue
+                records.extend(
+                    QuarantinedRecord(hostname=hostname, path=str(path),
+                                      lineno=f.lineno,
+                                      kind="malformed_record",
+                                      error=f.error, text=f.text)
+                    for f in faults
+                )
+                if not data.hostname:
+                    continue  # fully empty file (node down all day)
+                if data.hostname != hostname:
+                    # The directory name is authoritative; a file
+                    # claiming a different host has a corrupted header
+                    # (and must not become the merge base for the real
+                    # host's data).
+                    records.append(QuarantinedRecord(
+                        hostname=hostname, path=str(path), lineno=None,
+                        kind="hostname_mismatch",
+                        error=f"file claims hostname {data.hostname!r}",
+                    ))
+                    continue
+                if merged is None:
+                    merged = data
+                else:
+                    try:
+                        merged.merge_from(data)
+                    except ValueError as e:
+                        # Hostname mismatch / schema drift: a corrupted
+                        # header survived the line-level repair, so the
+                        # whole file is quarantined instead.
+                        records.append(QuarantinedRecord(
+                            hostname=hostname, path=str(path), lineno=None,
+                            kind="unmergeable_file", error=str(e),
+                        ))
         if merged is None:
             merged = HostData(hostname=hostname)
 

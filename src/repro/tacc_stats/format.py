@@ -29,6 +29,7 @@ from typing import TextIO
 import numpy as np
 
 from repro.tacc_stats.schema import TypeSchema
+from repro.telemetry.metrics import get_registry
 
 __all__ = ["StatsWriter", "FORMAT_VERSION"]
 
@@ -82,6 +83,9 @@ class StatsWriter:
         for schema in self._schemas.values():
             self._write(schema.header_line() + "\n")
         self._header_flushed = True
+        # One stream == one flushed header; counted here (not per row)
+        # so writing stays off the telemetry hot path.
+        get_registry().counter("format.streams_started").inc()
 
     def begin_block(self, time: float, jobids: tuple[str, ...] = ()) -> None:
         """Start the record block for one collector invocation."""

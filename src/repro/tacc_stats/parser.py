@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.tacc_stats.schema import TypeSchema
 from repro.tacc_stats.types import HostData, Mark, TimestampBlock
+from repro.telemetry.metrics import get_registry
 
 __all__ = ["ParseError", "ParseFault", "parse_host_text"]
 
@@ -164,6 +165,7 @@ def parse_host_text(text: str, allow_truncated: bool = False,
         misattributed to the previous timestamp.  Streams that cannot be
         salvaged at all (no ``$hostname`` header) still raise.
     """
+    faults_before = len(faults) if faults is not None else 0
     lines = text.split("\n")
     # Trailing '' from terminal newline is normal; a non-empty last element
     # means the file was truncated mid-line.
@@ -308,6 +310,16 @@ def parse_host_text(text: str, allow_truncated: bool = False,
     # missing rows per device.
     if not host.hostname and (host.blocks or host.schemas):
         raise ParseError("stream has data but no $hostname header")
+
+    # Bulk telemetry at end of parse — never per line, so the counters
+    # stay off the row fast path entirely.
+    registry = get_registry()
+    registry.counter("parse.files").inc()
+    registry.counter("parse.bytes").inc(len(text))
+    registry.counter("parse.lines").inc(len(lines))
+    registry.counter("parse.blocks").inc(len(host.blocks))
+    if faults is not None:
+        registry.counter("parse.faults").inc(len(faults) - faults_before)
     return host
 
 

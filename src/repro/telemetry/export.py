@@ -1,0 +1,63 @@
+"""Prometheus text exposition of a metrics snapshot.
+
+The paper's monitoring contemporaries (the LIKWID Monitoring Stack, the
+MPCDF system) all converge on a pull-based metrics endpoint; this module
+provides the serialization half — the standard Prometheus text format
+(version 0.0.4) — so a snapshot can be scraped from a file or served by
+any HTTP front end without new dependencies.
+
+Dotted metric names become underscore names (``ingest.parse.bytes`` →
+``repro_ingest_parse_bytes``); histograms expand to the conventional
+``_bucket``/``_sum``/``_count`` triplet with cumulative ``le`` labels.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.telemetry.metrics import MetricsSnapshot
+
+__all__ = ["to_prometheus"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    """A valid Prometheus metric name for one dotted repro name."""
+    return f"{prefix}_{_NAME_RE.sub('_', name)}"
+
+
+def _fmt(value: float) -> str:
+    """Numbers without trailing noise: ints stay ints."""
+    return str(int(value)) if float(value).is_integer() else repr(value)
+
+
+def to_prometheus(snapshot: MetricsSnapshot, prefix: str = "repro") -> str:
+    """Serialize *snapshot* in the Prometheus text format.
+
+    Counters become ``counter`` families, gauges ``gauge``, histograms
+    the standard cumulative-bucket expansion.  Output is sorted by
+    metric name, so two equal snapshots serialize byte-identically.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot.counters):
+        prom = _prom_name(name, prefix)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_fmt(snapshot.counters[name])}")
+    for name in sorted(snapshot.gauges):
+        prom = _prom_name(name, prefix)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_fmt(snapshot.gauges[name])}")
+    for name in sorted(snapshot.histograms):
+        data = snapshot.histograms[name]
+        prom = _prom_name(name, prefix)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for bound, count in zip(data.bounds, data.counts):
+            cumulative += count
+            lines.append(f'{prom}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+        cumulative += data.counts[-1]
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{prom}_sum {repr(float(data.total))}")
+        lines.append(f"{prom}_count {data.count}")
+    return "\n".join(lines) + "\n"

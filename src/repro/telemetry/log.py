@@ -1,0 +1,113 @@
+"""Structured logging: one ``get_logger()`` for the whole pipeline.
+
+TACC_Stats' record format is self-describing; the pipeline's own logs
+should be too.  Every record is a single ``key=value`` line carrying
+the run id and the emitting stage, machine-parseable without a regex
+zoo::
+
+    ts=2013-06-24T12:00:05 level=info run=a1b2c3 stage=ingest.parallel \
+        event=host_retry host=c001-002 attempt=2
+
+Built on stdlib :mod:`logging` (handlers, levels, and redirection all
+work as usual) under the ``repro`` logger namespace; the default
+handler writes to stderr only at WARNING and above, so library code can
+log liberally without polluting CLI stdout.  ``run=`` is taken from the
+ambient run id (:func:`set_run_id` / :func:`current_run_id`), which the
+CLIs and :class:`~repro.ingest.pipeline.IngestPipeline` establish per
+run.
+"""
+
+from __future__ import annotations
+
+import logging
+import uuid
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["get_logger", "new_run_id", "current_run_id", "set_run_id",
+           "run_scope", "StructuredLogger"]
+
+_run_id: str | None = None
+
+
+def new_run_id() -> str:
+    """A fresh short run id (12 hex chars)."""
+    return uuid.uuid4().hex[:12]
+
+
+def current_run_id() -> str | None:
+    """The ambient run id, or ``None`` outside any run scope."""
+    return _run_id
+
+
+def set_run_id(run_id: str | None) -> None:
+    """Set (or clear, with ``None``) the ambient run id."""
+    global _run_id
+    _run_id = run_id
+
+
+@contextmanager
+def run_scope(run_id: str | None = None) -> Iterator[str]:
+    """Establish a run id for a scope; yields the id in effect.
+
+    Nested scopes restore the outer id on exit.  Passing ``None`` mints
+    a fresh id.
+    """
+    global _run_id
+    previous = _run_id
+    _run_id = run_id or new_run_id()
+    try:
+        yield _run_id
+    finally:
+        _run_id = previous
+
+
+def _format_value(value: object) -> str:
+    """One value in key=value form: quote only when it contains spaces."""
+    text = str(value)
+    if " " in text or "=" in text or '"' in text:
+        return '"' + text.replace('"', "'") + '"'
+    return text
+
+
+class StructuredLogger:
+    """A thin key=value front end over one stdlib logger.
+
+    ``stage`` names the pipeline stage (``ingest.parallel``,
+    ``analytics.snapshot``); every record carries it plus the ambient
+    run id.  The positional *event* is the record's identity — grep
+    ``event=host_retry`` to find every retry across every run.
+    """
+
+    def __init__(self, stage: str):
+        self.stage = stage
+        self._logger = logging.getLogger(f"repro.{stage}")
+
+    def _emit(self, level: int, event: str, fields: dict) -> None:
+        if not self._logger.isEnabledFor(level):
+            return
+        parts = [f"run={_run_id or '-'}", f"stage={self.stage}",
+                 f"event={event}"]
+        parts.extend(f"{k}={_format_value(v)}" for k, v in fields.items())
+        self._logger.log(level, " ".join(parts))
+
+    def debug(self, event: str, **fields) -> None:
+        """Emit a DEBUG record."""
+        self._emit(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields) -> None:
+        """Emit an INFO record."""
+        self._emit(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields) -> None:
+        """Emit a WARNING record."""
+        self._emit(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields) -> None:
+        """Emit an ERROR record."""
+        self._emit(logging.ERROR, event, fields)
+
+
+def get_logger(stage: str) -> StructuredLogger:
+    """The structured logger for one pipeline stage."""
+    return StructuredLogger(stage)

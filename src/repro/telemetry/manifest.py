@@ -1,0 +1,252 @@
+"""Run manifests: one self-describing JSON artifact per pipeline run.
+
+Mirrors the paper's unified-record philosophy at the meta level: every
+run of the pipeline can leave behind a single JSON document recording
+what ran, how long each stage took, and what the counters said — next
+to the warehouse it produced, so a regression hunt starts from the
+artifact instead of a re-run.
+
+Contents (see ``docs/OBSERVABILITY.md`` for the full schema):
+
+* identity — ``run_id``, ``schema_version``, the systems ingested;
+* ``stages`` — the span tree from the run's tracer;
+* ``metrics`` — the merged :class:`~repro.telemetry.metrics.MetricsSnapshot`
+  (ingest byte/record counters, analytics cache hits/misses, per-stage
+  latency histograms);
+* ``ingest_health`` — the PR 3 fault-tolerance summary when the run
+  read an archive (quarantine/retry counts match ``IngestHealth``);
+* ``effective_workers`` and ``slowest_hosts`` — the fan-out shape and
+  the top-N hosts by scan wall time.
+
+:func:`validate_manifest` is a dependency-free structural check (the
+container has no jsonschema); CI validates the smoke run's manifest
+with it before uploading the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.telemetry.log import current_run_id, new_run_id
+from repro.telemetry.metrics import MetricsSnapshot, get_registry
+from repro.telemetry.trace import Span, get_tracer
+
+__all__ = ["RunManifest", "build_manifest", "slowest_hosts",
+           "validate_manifest", "MANIFEST_SCHEMA_VERSION"]
+
+#: Bump when the manifest layout changes incompatibly.
+MANIFEST_SCHEMA_VERSION = 1
+
+
+@dataclass
+class RunManifest:
+    """Everything one pipeline run wants to say about itself."""
+
+    run_id: str
+    systems: list[str] = field(default_factory=list)
+    stages: list[Span] = field(default_factory=list)
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+    ingest_health: dict | None = None
+    effective_workers: int = 1
+    slowest_hosts: list[tuple[str, float]] = field(default_factory=list)
+    extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """The JSON-ready form (what :meth:`write` serializes)."""
+        return {
+            "schema_version": MANIFEST_SCHEMA_VERSION,
+            "run_id": self.run_id,
+            "systems": list(self.systems),
+            "stages": [s.to_dict() for s in self.stages],
+            "metrics": self.metrics.to_dict(),
+            "ingest_health": self.ingest_health,
+            "effective_workers": self.effective_workers,
+            "slowest_hosts": [
+                {"host": h, "seconds": s} for h, s in self.slowest_hosts
+            ],
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunManifest":
+        """Rebuild a manifest from :meth:`to_dict` output.
+
+        Raises :class:`ValueError` when the document fails
+        :func:`validate_manifest` — a manifest that half-loads is worse
+        than one that fails loudly.
+        """
+        problems = validate_manifest(d)
+        if problems:
+            raise ValueError(
+                "invalid run manifest: " + "; ".join(problems)
+            )
+        return cls(
+            run_id=d["run_id"],
+            systems=list(d.get("systems", [])),
+            stages=[Span.from_dict(s) for s in d.get("stages", [])],
+            metrics=MetricsSnapshot.from_dict(d.get("metrics", {})),
+            ingest_health=d.get("ingest_health"),
+            effective_workers=int(d.get("effective_workers", 1)),
+            slowest_hosts=[
+                (e["host"], float(e["seconds"]))
+                for e in d.get("slowest_hosts", [])
+            ],
+            extra=dict(d.get("extra", {})),
+        )
+
+    def write(self, path: str | Path) -> Path:
+        """Write the manifest JSON to *path* and return it."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+    @classmethod
+    def read(cls, path: str | Path) -> "RunManifest":
+        """Load and validate a manifest written by :meth:`write`."""
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+
+#: Gauge-name shape for per-host scan wall time (see
+#: ``repro.ingest.parallel``): ``ingest.host_scan.<hostname>.seconds``.
+_HOST_GAUGE_PREFIX = "ingest.host_scan."
+_HOST_GAUGE_SUFFIX = ".seconds"
+
+
+def slowest_hosts(metrics: MetricsSnapshot,
+                  top: int = 5) -> list[tuple[str, float]]:
+    """The *top* hosts by scan wall time, slowest first.
+
+    Extracted from the ``ingest.host_scan.<host>.seconds`` gauges each
+    host scan records; ties break on hostname so the listing is stable.
+    """
+    timed = [
+        (name[len(_HOST_GAUGE_PREFIX):-len(_HOST_GAUGE_SUFFIX)], value)
+        for name, value in metrics.gauges.items()
+        if name.startswith(_HOST_GAUGE_PREFIX)
+        and name.endswith(_HOST_GAUGE_SUFFIX)
+    ]
+    timed.sort(key=lambda hv: (-hv[1], hv[0]))
+    return timed[:top]
+
+
+def build_manifest(systems: list[str] | None = None,
+                   ingest_health: dict | None = None,
+                   effective_workers: int = 1,
+                   top_hosts: int = 5,
+                   extra: dict | None = None) -> RunManifest:
+    """Assemble a :class:`RunManifest` from the ambient telemetry state.
+
+    Snapshots the active registry, adopts the active tracer's root spans
+    as the stage tree, and derives ``slowest_hosts`` from the per-host
+    scan gauges.  The run id is the ambient one when a run scope is
+    open, else freshly minted.
+    """
+    metrics = get_registry().snapshot()
+    return RunManifest(
+        run_id=current_run_id() or new_run_id(),
+        systems=list(systems or []),
+        stages=list(get_tracer().roots),
+        metrics=metrics,
+        ingest_health=ingest_health,
+        effective_workers=effective_workers,
+        slowest_hosts=slowest_hosts(metrics, top_hosts),
+        extra=dict(extra or {}),
+    )
+
+
+def _check(problems: list[str], ok: bool, message: str) -> None:
+    if not ok:
+        problems.append(message)
+
+
+def validate_manifest(d: object) -> list[str]:
+    """Structural validation; returns human-readable problems (empty =
+    valid).
+
+    Checks the required keys, their types, the histogram invariants
+    (``len(counts) == len(bounds) + 1``), and the span-tree shape.
+    Deliberately dependency-free — the container has no jsonschema, and
+    the schema is small enough to state directly.
+    """
+    problems: list[str] = []
+    if not isinstance(d, dict):
+        return ["manifest must be a JSON object"]
+    _check(problems, d.get("schema_version") == MANIFEST_SCHEMA_VERSION,
+           f"schema_version must be {MANIFEST_SCHEMA_VERSION}, "
+           f"got {d.get('schema_version')!r}")
+    _check(problems, isinstance(d.get("run_id"), str) and d.get("run_id"),
+           "run_id must be a non-empty string")
+    _check(problems, isinstance(d.get("systems"), list),
+           "systems must be a list")
+
+    def walk_span(s: object, where: str) -> None:
+        if not isinstance(s, dict) or not isinstance(s.get("name"), str):
+            problems.append(f"{where}: span needs a string name")
+            return
+        if not isinstance(s.get("duration_s"), (int, float)):
+            problems.append(f"{where}: span {s['name']} needs duration_s")
+        if s.get("status") not in ("ok", "error"):
+            problems.append(f"{where}: span {s['name']} has bad status")
+        for i, c in enumerate(s.get("children", [])):
+            walk_span(c, f"{where}.{s['name']}[{i}]")
+
+    stages = d.get("stages")
+    if not isinstance(stages, list):
+        problems.append("stages must be a list of spans")
+    else:
+        for i, s in enumerate(stages):
+            walk_span(s, f"stages[{i}]")
+
+    metrics = d.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append("metrics must be an object")
+    else:
+        for key in ("counters", "gauges", "histograms"):
+            section = metrics.get(key, {})
+            if not isinstance(section, dict):
+                problems.append(f"metrics.{key} must be an object")
+                continue
+            if key == "histograms":
+                for name, h in section.items():
+                    if not isinstance(h, dict):
+                        problems.append(f"histogram {name} must be an object")
+                        continue
+                    bounds, counts = h.get("bounds"), h.get("counts")
+                    if (not isinstance(bounds, list)
+                            or not isinstance(counts, list)
+                            or len(counts) != len(bounds) + 1):
+                        problems.append(
+                            f"histogram {name}: counts must have "
+                            f"len(bounds)+1 entries"
+                        )
+            else:
+                for name, v in section.items():
+                    if not isinstance(v, (int, float)):
+                        problems.append(f"metrics.{key}.{name} must be "
+                                        f"numeric")
+
+    health = d.get("ingest_health")
+    _check(problems, health is None or isinstance(health, dict),
+           "ingest_health must be an object or null")
+    _check(problems, isinstance(d.get("effective_workers"), int)
+           and d.get("effective_workers", 0) >= 1,
+           "effective_workers must be an int >= 1")
+    hosts = d.get("slowest_hosts")
+    if not isinstance(hosts, list):
+        problems.append("slowest_hosts must be a list")
+    else:
+        for i, entry in enumerate(hosts):
+            if (not isinstance(entry, dict)
+                    or not isinstance(entry.get("host"), str)
+                    or not isinstance(entry.get("seconds"), (int, float))):
+                problems.append(
+                    f"slowest_hosts[{i}] needs host (str) and seconds "
+                    f"(number)"
+                )
+    return problems

@@ -1,0 +1,355 @@
+"""Process-local metrics: counters, gauges, and fixed-bucket histograms.
+
+The paper's collector is sold on its ~0.1 % overhead budget; this module
+applies the same discipline to the pipeline that reproduces it.  All
+instruments are plain Python objects mutated with one attribute update
+(no locks, no label cardinality explosions, no allocation on the hot
+path), so leaving them on by default costs well under the 1 % ingest
+budget guarded by ``benchmarks/bench_telemetry_overhead.py``.
+
+Three pieces:
+
+* :class:`MetricsRegistry` — the mutable, process-local home of every
+  instrument, keyed by dotted metric name (``ingest.parse.bytes``).
+  One *active* registry exists per process (:func:`get_registry`);
+  :func:`use_registry` swaps it for a scope, which is how parallel
+  ingest workers collect into a private registry whose snapshot ships
+  back over the process boundary.
+* :class:`MetricsSnapshot` — the immutable, picklable, JSON-able image
+  of a registry.  Snapshots merge map/reduce-style (:meth:`MetricsSnapshot.merge`
+  is associative: counters and histogram buckets add, gauges are
+  last-write-wins), which is what makes a fan-out ingest report totals
+  identical to a serial run.
+* :func:`set_enabled` — the global kill switch: a disabled registry's
+  instruments become no-ops, which is how the overhead bench measures
+  the cost of the instrumentation itself.
+
+Naming convention: metrics whose name ends in ``.seconds`` are *timing*
+metrics; :meth:`MetricsSnapshot.without_timing` drops them, giving the
+deterministic subset that serial and parallel runs of the same facility
+must agree on exactly.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramData",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "get_registry",
+    "use_registry",
+    "set_enabled",
+    "telemetry_enabled",
+    "DEFAULT_SECONDS_BUCKETS",
+]
+
+#: Default histogram bounds for timing metrics, in seconds.  Geometric
+#: spacing from 1 ms to ~2 min covers everything from one ``group_by``
+#: kernel to a full archive ingest; the implicit last bucket is +inf.
+DEFAULT_SECONDS_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10.0, 30.0, 120.0,
+)
+
+_ENABLED = True
+
+
+def set_enabled(enabled: bool) -> None:
+    """Globally enable/disable all instrument mutations.
+
+    Registries and snapshots keep working (reads are unaffected);
+    ``inc``/``set``/``observe`` become no-ops.  This exists for the
+    overhead bench and for callers that want a hard zero-cost mode.
+    """
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+def telemetry_enabled() -> bool:
+    """Whether instrument mutations currently take effect."""
+    return _ENABLED
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, rows)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add *amount* (must be >= 0) to the counter."""
+        if not _ENABLED:
+            return
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (effective workers, queue depth)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        if not _ENABLED:
+            return
+        self.value = float(value)
+
+
+@dataclass(frozen=True)
+class HistogramData:
+    """The picklable image of one histogram: bounds + counts + moments.
+
+    ``counts`` has ``len(bounds) + 1`` entries; the last is the overflow
+    bucket (observations above every bound).
+    """
+
+    bounds: tuple[float, ...]
+    counts: tuple[int, ...]
+    total: float
+    count: int
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "HistogramData") -> "HistogramData":
+        """Bucket-wise sum; both histograms must share their bounds."""
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"cannot merge histograms with bounds {self.bounds} "
+                f"and {other.bounds}"
+            )
+        return HistogramData(
+            bounds=self.bounds,
+            counts=tuple(a + b for a, b in zip(self.counts, other.counts)),
+            total=self.total + other.total,
+            count=self.count + other.count,
+        )
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON serialization."""
+        return {"bounds": list(self.bounds), "counts": list(self.counts),
+                "total": self.total, "count": self.count}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "HistogramData":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(bounds=tuple(d["bounds"]), counts=tuple(d["counts"]),
+                   total=float(d["total"]), count=int(d["count"]))
+
+
+class Histogram:
+    """Fixed-bucket distribution (stage latencies, per-host scan times).
+
+    Buckets are fixed at construction so worker histograms merge by
+    bucket-wise addition; there is no dynamic rebinning.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "count")
+
+    def __init__(self, name: str,
+                 bounds: tuple[float, ...] = DEFAULT_SECONDS_BUCKETS):
+        if tuple(bounds) != tuple(sorted(bounds)):
+            raise ValueError(f"histogram {name}: bounds must be sorted")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        if not _ENABLED:
+            return
+        self.counts[bisect_right(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def data(self) -> HistogramData:
+        """The immutable image of the current state."""
+        return HistogramData(bounds=self.bounds, counts=tuple(self.counts),
+                             total=self.total, count=self.count)
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable, picklable image of a registry at one instant.
+
+    Snapshots are what crosses process boundaries (each parallel ingest
+    worker ships one back alongside its :class:`HostJobPartial` map) and
+    what the :class:`~repro.telemetry.manifest.RunManifest` embeds.
+    :meth:`merge` is associative and has :meth:`empty` as identity, so
+    any reduction tree over worker snapshots yields the same totals.
+    """
+
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, HistogramData] = field(default_factory=dict)
+
+    @classmethod
+    def empty(cls) -> "MetricsSnapshot":
+        """The merge identity."""
+        return cls()
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Combine two snapshots: counters and histogram buckets add,
+        gauges are last-write-wins (*other* overrides)."""
+        counters = dict(self.counters)
+        for name, value in other.counters.items():
+            counters[name] = counters.get(name, 0) + value
+        gauges = {**self.gauges, **other.gauges}
+        histograms = dict(self.histograms)
+        for name, data in other.histograms.items():
+            mine = histograms.get(name)
+            histograms[name] = data if mine is None else mine.merge(data)
+        return MetricsSnapshot(counters=counters, gauges=gauges,
+                               histograms=histograms)
+
+    def without_timing(self) -> "MetricsSnapshot":
+        """The deterministic subset: every metric whose name ends in
+        ``.seconds`` is dropped.  Serial and parallel ingests of the
+        same facility agree exactly on this subset (asserted by tests
+        and the CI telemetry smoke)."""
+        return MetricsSnapshot(
+            counters={k: v for k, v in self.counters.items()
+                      if not k.endswith(".seconds")},
+            gauges={k: v for k, v in self.gauges.items()
+                    if not k.endswith(".seconds")},
+            histograms={k: v for k, v in self.histograms.items()
+                        if not k.endswith(".seconds")},
+        )
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON serialization (sorted keys)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {k: v.to_dict()
+                           for k, v in sorted(self.histograms.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MetricsSnapshot":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            counters=dict(d.get("counters", {})),
+            gauges=dict(d.get("gauges", {})),
+            histograms={k: HistogramData.from_dict(v)
+                        for k, v in d.get("histograms", {}).items()},
+        )
+
+
+class MetricsRegistry:
+    """The mutable home of a process's (or worker's) instruments.
+
+    Instruments are created on first use and keyed by dotted name;
+    asking for an existing name returns the same object, so call sites
+    can re-resolve cheaply or cache the instrument in a local.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under *name* (created on first use)."""
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under *name* (created on first use)."""
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str,
+                  bounds: tuple[float, ...] = DEFAULT_SECONDS_BUCKETS
+                  ) -> Histogram:
+        """The histogram under *name*; *bounds* applies on first use only."""
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name, bounds)
+        return h
+
+    def snapshot(self) -> MetricsSnapshot:
+        """The immutable image of everything recorded so far.
+
+        Instruments that never recorded anything (zero counters, empty
+        histograms) are included — an exported zero is information.
+        """
+        return MetricsSnapshot(
+            counters={n: c.value for n, c in self._counters.items()},
+            gauges={n: g.value for n, g in self._gauges.items()},
+            histograms={n: h.data() for n, h in self._histograms.items()},
+        )
+
+    def merge_snapshot(self, snap: MetricsSnapshot) -> None:
+        """Fold a (worker's) snapshot into this registry in place."""
+        for name, value in snap.counters.items():
+            c = self.counter(name)
+            c.value += value
+        for name, value in snap.gauges.items():
+            self.gauge(name).value = value
+        for name, data in snap.histograms.items():
+            h = self.histogram(name, data.bounds)
+            if h.bounds != data.bounds:
+                raise ValueError(
+                    f"histogram {name}: bounds mismatch on merge"
+                )
+            for i, n in enumerate(data.counts):
+                h.counts[i] += n
+            h.total += data.total
+            h.count += data.count
+
+    def reset(self) -> None:
+        """Drop every instrument (a fresh run starts from zero)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+#: The process-wide active registry; swapped by :func:`use_registry`.
+_active = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The currently active registry for this process."""
+    return _active
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Make *registry* the active one for the scope of the ``with``.
+
+    Parallel ingest workers use this to collect into a private registry
+    whose snapshot ships back to the coordinator; tests use it for
+    isolation.
+    """
+    global _active
+    previous = _active
+    _active = registry
+    try:
+        yield registry
+    finally:
+        _active = previous

@@ -1,0 +1,154 @@
+"""Nested tracing spans: the pipeline's per-run wall-time breakdown.
+
+One :class:`Tracer` per run holds a tree of :class:`Span` records; the
+``span("ingest.parse", host=...)`` context manager opens a child of the
+current span, times its body with ``perf_counter``, and closes it even
+when the body raises (the span is then marked ``error`` and the
+exception propagates untouched).  This is the repo's *single* timing
+mechanism — ad-hoc ``time.time()`` bracketing in the CLIs and benches
+was replaced by spans so every measurement lands in the same tree.
+
+Every closed span also feeds a ``span.<name>.seconds`` histogram on the
+active :mod:`~repro.telemetry.metrics` registry, so stage-latency
+distributions aggregate across workers and runs without walking trees.
+
+Like the metrics registry, the active tracer is process-local state
+swapped with :func:`use_tracer`; spans recorded in pool workers stay in
+the worker (their *metrics* ship back via snapshots — trees are a
+per-process view).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.telemetry.metrics import get_registry, telemetry_enabled
+
+__all__ = ["Span", "Tracer", "get_tracer", "use_tracer", "span",
+           "render_span_tree"]
+
+
+@dataclass
+class Span:
+    """One timed operation in the run's trace tree."""
+
+    name: str
+    attrs: dict = field(default_factory=dict)
+    start: float = 0.0
+    duration: float = 0.0
+    status: str = "ok"
+    children: list["Span"] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON serialization (manifest embedding)."""
+        out: dict = {"name": self.name, "duration_s": self.duration,
+                     "status": self.status}
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Span":
+        """Rebuild a span tree from :meth:`to_dict` output."""
+        return cls(
+            name=d["name"],
+            attrs=dict(d.get("attrs", {})),
+            duration=float(d.get("duration_s", 0.0)),
+            status=d.get("status", "ok"),
+            children=[cls.from_dict(c) for c in d.get("children", [])],
+        )
+
+
+class Tracer:
+    """Collects one process's span tree for the current run."""
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Span]:
+        """Open a child span of the innermost open span (or a new root).
+
+        The span closes on scope exit no matter how the body ends; an
+        exception marks it ``error`` and propagates.  Attributes are
+        arbitrary JSON-able key/values (``host=...``, ``system=...``).
+        """
+        s = Span(name=name, attrs=attrs, start=time.perf_counter())
+        parent = self._stack[-1] if self._stack else None
+        (parent.children if parent else self.roots).append(s)
+        self._stack.append(s)
+        try:
+            yield s
+        except BaseException:
+            s.status = "error"
+            raise
+        finally:
+            s.duration = time.perf_counter() - s.start
+            self._stack.pop()
+            if telemetry_enabled():
+                get_registry().histogram(
+                    f"span.{name}.seconds").observe(s.duration)
+
+    def reset(self) -> None:
+        """Drop all recorded spans (a fresh run starts with an empty tree)."""
+        self.roots.clear()
+        self._stack.clear()
+
+
+#: The process-wide active tracer; swapped by :func:`use_tracer`.
+_active = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The currently active tracer for this process."""
+    return _active
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Make *tracer* the active one for the scope of the ``with``."""
+    global _active
+    previous = _active
+    _active = tracer
+    try:
+        yield tracer
+    finally:
+        _active = previous
+
+
+@contextmanager
+def span(name: str, **attrs) -> Iterator[Span]:
+    """``with span("ingest.parse", host=...):`` on the active tracer."""
+    with _active.span(name, **attrs) as s:
+        yield s
+
+
+def render_span_tree(roots: list[Span], min_ms: float = 0.0) -> str:
+    """A human-readable indented rendering of a span tree.
+
+    Spans faster than *min_ms* are elided (their time still shows in
+    the parent).  This is what ``repro-diagnose --telemetry`` prints.
+    """
+    lines: list[str] = []
+
+    def walk(s: Span, depth: int) -> None:
+        if s.duration * 1000.0 < min_ms and depth > 0:
+            return
+        attrs = "".join(
+            f" {k}={v}" for k, v in s.attrs.items()
+        )
+        flag = "" if s.status == "ok" else f" [{s.status}]"
+        lines.append(f"{'  ' * depth}{s.name:<32} "
+                     f"{s.duration * 1000.0:>10.1f} ms{flag}{attrs}")
+        for c in s.children:
+            walk(c, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines)

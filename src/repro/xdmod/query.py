@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.ingest.summarize import SUMMARY_METRICS
 from repro.ingest.warehouse import Warehouse
+from repro.telemetry.metrics import get_registry
 from repro.xdmod.snapshot import DIMENSIONS, SystemFrame, WarehouseSnapshot
 
 __all__ = ["JobQuery", "GroupResult", "DIMENSIONS"]
@@ -220,6 +221,9 @@ class JobQuery:
         for m in metrics:
             if m in SUMMARY_METRICS and m not in self.metrics:
                 raise KeyError(m)
+        # A counter, not a span: group_by is called per report cell and
+        # a span each would balloon the run's trace tree.
+        get_registry().counter("analytics.group_by_calls").inc()
         result = self._cached(
             "group_by", (dims, metrics),
             lambda: self._group_by_kernel(dims, metrics),

@@ -29,6 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ingest.warehouse import Warehouse
+from repro.telemetry.trace import span
 from repro.util.tables import render_kv, render_table
 from repro.util.textchart import radar_text, scatter_text, series_text
 from repro.xdmod.efficiency import EfficiencyAnalysis
@@ -64,7 +65,15 @@ class _BaseReport:
         """The rendered report, memoized per (kind, system, target) on
         the warehouse snapshot."""
         key = ("report", type(self).__name__, self.system, target)
-        return self._snapshot.cached(key, lambda: self._render(*target))
+
+        def compute() -> str:
+            # Only a cache miss opens a span: a memo hit costs nothing
+            # and would drown the trace tree in no-op entries.
+            with span("report.render", kind=type(self).__name__,
+                      system=self.system):
+                return self._render(*target)
+
+        return self._snapshot.cached(key, compute)
 
 
 class UserReport(_BaseReport):

@@ -38,6 +38,8 @@ import numpy as np
 
 from repro.ingest.summarize import SUMMARY_METRICS
 from repro.ingest.warehouse import Warehouse
+from repro.telemetry.metrics import get_registry
+from repro.telemetry.trace import span
 
 __all__ = [
     "DIMENSIONS",
@@ -212,8 +214,9 @@ class WarehouseSnapshot:
     def frame(self, system: str) -> SystemFrame:
         frame = self._frames.get(system)
         if frame is None:
-            frame = self._frames[system] = SystemFrame(
-                self._warehouse, system)
+            with span("analytics.frame_load", system=system):
+                frame = self._frames[system] = SystemFrame(
+                    self._warehouse, system)
         return frame
 
     def system_info(self, system: str) -> dict:
@@ -249,9 +252,11 @@ class WarehouseSnapshot:
             value = self._memo[key]
         except KeyError:
             self.misses += 1
+            get_registry().counter("analytics.cache_misses").inc()
             value = self._memo[key] = compute()
             return value
         self.hits += 1
+        get_registry().counter("analytics.cache_hits").inc()
         return value
 
     @property

@@ -1,0 +1,29 @@
+"""Isolation fixtures: every telemetry test gets pristine global state.
+
+The registry, tracer, run id, and enable flag are process-global by
+design (that is what makes instrumentation zero-config at call sites),
+so tests must not leak observations into each other — or into the rest
+of the suite, which runs the instrumented pipeline constantly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.log import set_run_id
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    set_enabled,
+    use_registry,
+)
+from repro.telemetry.trace import Tracer, use_tracer
+
+
+@pytest.fixture(autouse=True)
+def fresh_telemetry():
+    """Fresh registry + tracer per test; telemetry re-enabled on exit."""
+    with use_registry(MetricsRegistry()) as registry, \
+            use_tracer(Tracer()) as tracer:
+        yield registry, tracer
+    set_enabled(True)
+    set_run_id(None)

@@ -1,0 +1,233 @@
+"""Instrument semantics: counters, gauges, histograms, snapshots.
+
+The load-bearing contract is :class:`MetricsSnapshot.merge` being
+associative with :meth:`MetricsSnapshot.empty` as identity — that is
+what lets parallel ingest workers ship per-host snapshots that reduce
+to the same totals in any order.
+"""
+
+import pickle
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramData,
+    MetricsRegistry,
+    MetricsSnapshot,
+    get_registry,
+    set_enabled,
+    telemetry_enabled,
+    use_registry,
+)
+
+
+# -- counters / gauges -------------------------------------------------------
+
+
+def test_counter_accumulates_and_defaults_to_one():
+    c = Counter("t.events")
+    c.inc()
+    c.inc(4)
+    c.inc(0.5)
+    assert c.value == 5.5
+
+
+def test_counter_rejects_negative_increment():
+    c = Counter("t.events")
+    with pytest.raises(ValueError, match="negative"):
+        c.inc(-1)
+    assert c.value == 0
+
+
+def test_gauge_is_last_write_wins_and_coerces_float():
+    g = Gauge("t.depth")
+    g.set(3)
+    g.set(7)
+    assert g.value == 7.0
+    assert isinstance(g.value, float)
+
+
+# -- histograms --------------------------------------------------------------
+
+
+def test_histogram_bucket_placement_lower_inclusive():
+    """A value equal to a bound lands in the bucket *above* it, and
+    anything past the last bound lands in the overflow bucket."""
+    h = Histogram("t.lat", bounds=(1.0, 2.0))
+    for v in (0.5, 1.0, 1.5, 2.0, 99.0):
+        h.observe(v)
+    assert h.counts == [1, 2, 2]
+    assert h.count == 5
+    assert h.total == pytest.approx(104.0)
+
+
+def test_histogram_rejects_unsorted_bounds():
+    with pytest.raises(ValueError, match="sorted"):
+        Histogram("t.bad", bounds=(2.0, 1.0))
+
+
+def test_histogram_data_mean_and_empty():
+    h = Histogram("t.lat")
+    assert h.data().mean == 0.0
+    h.observe(2.0)
+    h.observe(4.0)
+    assert h.data().mean == pytest.approx(3.0)
+
+
+def test_histogram_merge_requires_identical_bounds():
+    a = Histogram("t.lat", bounds=(1.0,)).data()
+    b = Histogram("t.lat", bounds=(2.0,)).data()
+    with pytest.raises(ValueError, match="bounds"):
+        a.merge(b)
+
+
+def test_histogram_data_round_trips_through_dict():
+    h = Histogram("t.lat", bounds=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(5.0)
+    data = h.data()
+    assert HistogramData.from_dict(data.to_dict()) == data
+
+
+# -- the kill switch ---------------------------------------------------------
+
+
+def test_set_enabled_false_makes_all_mutations_noops():
+    set_enabled(False)
+    try:
+        assert not telemetry_enabled()
+        c, g = Counter("t.c"), Gauge("t.g")
+        h = Histogram("t.h")
+        c.inc(10)
+        g.set(10)
+        h.observe(10)
+        assert c.value == 0
+        assert g.value == 0.0
+        assert h.count == 0
+    finally:
+        set_enabled(True)
+    c.inc(2)
+    assert c.value == 2  # reads and re-enabled writes both work
+
+
+# -- snapshots ---------------------------------------------------------------
+
+
+def _snap(**counters) -> MetricsSnapshot:
+    return MetricsSnapshot(counters=dict(counters))
+
+
+def test_merge_counters_add_gauges_last_write_wins():
+    a = MetricsSnapshot(counters={"n": 1}, gauges={"g": 1.0})
+    b = MetricsSnapshot(counters={"n": 2, "m": 5}, gauges={"g": 9.0})
+    merged = a.merge(b)
+    assert merged.counters == {"n": 3, "m": 5}
+    assert merged.gauges == {"g": 9.0}
+
+
+def test_merge_is_associative_with_empty_identity():
+    r1, r2, r3 = MetricsRegistry(), MetricsRegistry(), MetricsRegistry()
+    # Powers of two keep the float sums exactly associative, so the
+    # comparison tests the merge algebra rather than rounding noise.
+    for i, r in enumerate((r1, r2, r3)):
+        r.counter("parse.bytes").inc(100 * (i + 1))
+        r.histogram("scan.seconds").observe(0.25 * 2 ** i)
+    a, b, c = r1.snapshot(), r2.snapshot(), r3.snapshot()
+
+    left = a.merge(b).merge(c)
+    right = a.merge(b.merge(c))
+    assert left.to_dict() == right.to_dict()
+
+    e = MetricsSnapshot.empty()
+    assert e.merge(a).to_dict() == a.to_dict()
+    assert a.merge(e).to_dict() == a.to_dict()
+
+
+def test_merge_histograms_bucket_wise():
+    r1, r2 = MetricsRegistry(), MetricsRegistry()
+    r1.histogram("h", bounds=(1.0,)).observe(0.5)
+    r2.histogram("h", bounds=(1.0,)).observe(2.0)
+    merged = r1.snapshot().merge(r2.snapshot())
+    assert merged.histograms["h"].counts == (1, 1)
+    assert merged.histograms["h"].count == 2
+
+
+def test_without_timing_drops_every_seconds_metric():
+    snap = MetricsSnapshot(
+        counters={"parse.bytes": 1, "span.x.seconds": 2},
+        gauges={"ingest.host_scan.h0.seconds": 0.1, "workers": 2},
+        histograms={"scan.seconds": Histogram("scan.seconds").data(),
+                    "rows": Histogram("rows").data()},
+    )
+    bare = snap.without_timing()
+    assert set(bare.counters) == {"parse.bytes"}
+    assert set(bare.gauges) == {"workers"}
+    assert set(bare.histograms) == {"rows"}
+
+
+def test_snapshot_round_trips_through_dict_and_pickle():
+    r = MetricsRegistry()
+    r.counter("c").inc(3)
+    r.gauge("g").set(1.5)
+    r.histogram("h").observe(0.2)
+    snap = r.snapshot()
+    assert MetricsSnapshot.from_dict(snap.to_dict()) == snap
+    assert pickle.loads(pickle.dumps(snap)) == snap
+
+
+# -- registries --------------------------------------------------------------
+
+
+def test_registry_returns_same_instrument_per_name():
+    r = MetricsRegistry()
+    assert r.counter("x") is r.counter("x")
+    assert r.gauge("y") is r.gauge("y")
+    assert r.histogram("z") is r.histogram("z")
+
+
+def test_registry_histogram_bounds_fixed_on_first_use():
+    r = MetricsRegistry()
+    h = r.histogram("h", bounds=(1.0, 2.0))
+    assert r.histogram("h", bounds=(9.0,)) is h
+    assert h.bounds == (1.0, 2.0)
+
+
+def test_merge_snapshot_folds_worker_totals_into_registry():
+    worker = MetricsRegistry()
+    worker.counter("parse.files").inc(4)
+    worker.histogram("scan.seconds").observe(0.3)
+
+    coord = MetricsRegistry()
+    coord.counter("parse.files").inc(1)
+    coord.merge_snapshot(worker.snapshot())
+    coord.merge_snapshot(worker.snapshot())
+
+    snap = coord.snapshot()
+    assert snap.counters["parse.files"] == 9
+    assert snap.histograms["scan.seconds"].count == 2
+
+
+def test_registry_reset_drops_everything():
+    r = MetricsRegistry()
+    r.counter("c").inc()
+    r.reset()
+    assert r.snapshot() == MetricsSnapshot.empty()
+
+
+def test_use_registry_swaps_and_restores_the_active_one():
+    outer = get_registry()
+    private = MetricsRegistry()
+    with use_registry(private):
+        assert get_registry() is private
+        get_registry().counter("c").inc()
+    assert get_registry() is outer
+    assert "c" not in outer.snapshot().counters
+    assert private.snapshot().counters["c"] == 1
+
+
+def test_default_seconds_buckets_are_sorted():
+    assert DEFAULT_SECONDS_BUCKETS == tuple(sorted(DEFAULT_SECONDS_BUCKETS))

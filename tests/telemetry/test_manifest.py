@@ -1,0 +1,187 @@
+"""Run manifests and the Prometheus exporter.
+
+The manifest is the run's single self-describing artifact; it must
+round-trip losslessly through JSON, and :func:`validate_manifest` must
+reject every malformed shape loudly rather than half-loading.
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry.log import run_scope
+from repro.telemetry.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    build_manifest,
+    slowest_hosts,
+    validate_manifest,
+)
+from repro.telemetry.metrics import MetricsRegistry, MetricsSnapshot
+from repro.telemetry.export import to_prometheus
+from repro.telemetry.trace import span
+
+
+def _full_registry() -> MetricsRegistry:
+    """A registry exercising every section of the snapshot."""
+    r = MetricsRegistry()
+    r.counter("parse.bytes").inc(4096)
+    r.gauge("ingest.host_scan.c001.seconds").set(0.25)
+    r.gauge("ingest.host_scan.c002.seconds").set(0.75)
+    r.histogram("ingest.host_scan.seconds").observe(0.25)
+    return r
+
+
+def _manifest() -> RunManifest:
+    with span("simulate", system="ranger"):
+        with span("ingest"):
+            pass
+    return build_manifest(
+        systems=["ranger"],
+        ingest_health={"policy": "quarantine"},
+        effective_workers=4,
+        extra={"jobs_simulated": 10},
+    )
+
+
+# -- build_manifest ----------------------------------------------------------
+
+
+def test_build_manifest_snapshots_ambient_state(fresh_telemetry):
+    registry, _tracer = fresh_telemetry
+    registry.counter("parse.bytes").inc(7)
+    with run_scope("runid0001") as run_id:
+        m = _manifest()
+    assert m.run_id == run_id
+    assert m.systems == ["ranger"]
+    assert m.effective_workers == 4
+    assert m.metrics.counters["parse.bytes"] == 7
+    assert [s.name for s in m.stages] == ["simulate"]
+    assert [c.name for c in m.stages[0].children] == ["ingest"]
+
+
+def test_build_manifest_mints_run_id_outside_any_scope():
+    m = build_manifest()
+    assert len(m.run_id) == 12
+
+
+def test_slowest_hosts_sorted_and_capped():
+    snap = _full_registry().snapshot()
+    assert slowest_hosts(snap) == [("c002", 0.75), ("c001", 0.25)]
+    assert slowest_hosts(snap, top=1) == [("c002", 0.75)]
+
+
+def test_slowest_hosts_ignores_non_host_gauges():
+    snap = MetricsSnapshot(gauges={"queue.depth": 3.0,
+                                   "ingest.host_scan.h0.seconds": 0.1})
+    assert slowest_hosts(snap) == [("h0", 0.1)]
+
+
+def test_slowest_hosts_ties_break_on_hostname():
+    snap = MetricsSnapshot(gauges={"ingest.host_scan.b.seconds": 0.5,
+                                   "ingest.host_scan.a.seconds": 0.5})
+    assert slowest_hosts(snap) == [("a", 0.5), ("b", 0.5)]
+
+
+# -- round trips -------------------------------------------------------------
+
+
+def test_manifest_round_trips_through_dict(fresh_telemetry):
+    registry, _tracer = fresh_telemetry
+    registry.merge_snapshot(_full_registry().snapshot())
+    m = _manifest()
+    d = m.to_dict()
+    assert validate_manifest(d) == []
+    rebuilt = RunManifest.from_dict(d)
+    assert rebuilt.to_dict() == d
+
+
+def test_manifest_round_trips_through_file(tmp_path, fresh_telemetry):
+    registry, _tracer = fresh_telemetry
+    registry.merge_snapshot(_full_registry().snapshot())
+    m = _manifest()
+    path = m.write(tmp_path / "out" / "manifest.json")
+    assert path.exists()  # parent directories created on demand
+    rebuilt = RunManifest.read(path)
+    assert rebuilt.to_dict() == m.to_dict()
+    # The on-disk form is ordinary sorted JSON, diffable across runs.
+    raw = json.loads(path.read_text())
+    assert raw["schema_version"] == MANIFEST_SCHEMA_VERSION
+
+
+# -- validation --------------------------------------------------------------
+
+
+def _valid_dict() -> dict:
+    return _manifest().to_dict()
+
+
+def test_validate_rejects_non_object():
+    assert validate_manifest([1, 2]) == ["manifest must be a JSON object"]
+
+
+@pytest.mark.parametrize("mutate, needle", [
+    (lambda d: d.update(schema_version=99), "schema_version"),
+    (lambda d: d.update(run_id=""), "run_id"),
+    (lambda d: d.update(systems="ranger"), "systems"),
+    (lambda d: d.update(stages={}), "stages"),
+    (lambda d: d.update(metrics=[]), "metrics"),
+    (lambda d: d.update(effective_workers=0), "effective_workers"),
+    (lambda d: d.update(ingest_health=[1]), "ingest_health"),
+    (lambda d: d.update(slowest_hosts=[{"host": 3}]), "slowest_hosts"),
+])
+def test_validate_flags_each_broken_field(mutate, needle):
+    d = _valid_dict()
+    mutate(d)
+    problems = validate_manifest(d)
+    assert problems and any(needle in p for p in problems)
+
+
+def test_validate_flags_bad_span_and_histogram_shapes():
+    d = _valid_dict()
+    d["stages"] = [{"name": "x", "duration_s": "fast", "status": "maybe"}]
+    d["metrics"]["histograms"] = {"h": {"bounds": [1.0], "counts": [1]}}
+    d["metrics"]["counters"] = {"c": "many"}
+    problems = validate_manifest(d)
+    assert any("duration_s" in p for p in problems)
+    assert any("bad status" in p for p in problems)
+    assert any("len(bounds)+1" in p for p in problems)
+    assert any("counters.c" in p for p in problems)
+
+
+def test_from_dict_raises_on_invalid_document():
+    d = _valid_dict()
+    d["run_id"] = ""
+    with pytest.raises(ValueError, match="invalid run manifest"):
+        RunManifest.from_dict(d)
+
+
+# -- prometheus export -------------------------------------------------------
+
+
+def test_prometheus_counters_gauges_and_types():
+    snap = MetricsSnapshot(counters={"parse.bytes": 4096},
+                           gauges={"workers": 2.5})
+    text = to_prometheus(snap)
+    assert "# TYPE repro_parse_bytes counter\nrepro_parse_bytes 4096" in text
+    assert "# TYPE repro_workers gauge\nrepro_workers 2.5" in text
+    assert text.endswith("\n")
+
+
+def test_prometheus_histogram_buckets_are_cumulative():
+    r = MetricsRegistry()
+    h = r.histogram("scan.seconds", bounds=(1.0, 2.0))
+    for v in (0.5, 1.5, 99.0):
+        h.observe(v)
+    text = to_prometheus(r.snapshot())
+    assert 'repro_scan_seconds_bucket{le="1"} 1' in text
+    assert 'repro_scan_seconds_bucket{le="2"} 2' in text
+    assert 'repro_scan_seconds_bucket{le="+Inf"} 3' in text
+    assert "repro_scan_seconds_count 3" in text
+    assert "repro_scan_seconds_sum 101.0" in text
+
+
+def test_prometheus_output_is_deterministic():
+    snap = _full_registry().snapshot()
+    assert to_prometheus(snap) == to_prometheus(
+        MetricsSnapshot.from_dict(snap.to_dict()))

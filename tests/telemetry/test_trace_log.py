@@ -1,0 +1,183 @@
+"""Tracing spans and structured logging.
+
+Spans must nest correctly, survive exceptions (marked ``error``, the
+exception untouched), and feed the ``span.<name>.seconds`` histograms;
+the structured logger must emit greppable key=value records carrying
+the ambient run id.
+"""
+
+import logging
+
+import pytest
+
+from repro.telemetry.log import (
+    current_run_id,
+    get_logger,
+    new_run_id,
+    run_scope,
+    set_run_id,
+)
+from repro.telemetry.metrics import get_registry, set_enabled
+from repro.telemetry.trace import (
+    Span,
+    Tracer,
+    get_tracer,
+    render_span_tree,
+    span,
+    use_tracer,
+)
+
+
+# -- span trees --------------------------------------------------------------
+
+
+def test_spans_nest_into_a_tree():
+    with span("ingest", system="ranger"):
+        with span("ingest.scan"):
+            pass
+        with span("ingest.load"):
+            pass
+    roots = get_tracer().roots
+    assert [s.name for s in roots] == ["ingest"]
+    assert [c.name for c in roots[0].children] == ["ingest.scan",
+                                                   "ingest.load"]
+    assert roots[0].attrs == {"system": "ranger"}
+    assert all(s.status == "ok" for s in roots[0].children)
+
+
+def test_sequential_roots_stay_separate():
+    with span("a"):
+        pass
+    with span("b"):
+        pass
+    assert [s.name for s in get_tracer().roots] == ["a", "b"]
+
+
+def test_span_closes_and_marks_error_when_body_raises():
+    with pytest.raises(RuntimeError, match="boom"):
+        with span("outer"):
+            with span("inner"):
+                raise RuntimeError("boom")
+    outer = get_tracer().roots[0]
+    assert outer.status == "error"
+    assert outer.children[0].status == "error"
+    assert outer.duration >= outer.children[0].duration >= 0.0
+    # The stack unwound: the next span is a fresh root, not a child.
+    with span("after"):
+        pass
+    assert [s.name for s in get_tracer().roots] == ["outer", "after"]
+
+
+def test_every_span_feeds_a_latency_histogram():
+    with span("ingest.parse", host="h0"):
+        pass
+    with span("ingest.parse", host="h1"):
+        pass
+    data = get_registry().snapshot().histograms["span.ingest.parse.seconds"]
+    assert data.count == 2
+    assert data.total >= 0.0
+
+
+def test_disabled_telemetry_still_builds_the_tree_without_metrics():
+    set_enabled(False)
+    try:
+        with span("quiet"):
+            pass
+    finally:
+        set_enabled(True)
+    assert [s.name for s in get_tracer().roots] == ["quiet"]
+    assert get_registry().snapshot().histograms == {}
+
+
+def test_use_tracer_swaps_and_restores():
+    outer = get_tracer()
+    private = Tracer()
+    with use_tracer(private):
+        with span("scoped"):
+            pass
+    assert get_tracer() is outer
+    assert [s.name for s in private.roots] == ["scoped"]
+    assert outer.roots == []
+
+
+def test_tracer_reset_clears_roots_and_stack():
+    t = get_tracer()
+    with span("x"):
+        pass
+    t.reset()
+    assert t.roots == []
+    with span("y"):
+        pass
+    assert [s.name for s in t.roots] == ["y"]
+
+
+def test_span_round_trips_through_dict():
+    with span("root", system="ranger"):
+        with span("child"):
+            pass
+    original = get_tracer().roots[0]
+    rebuilt = Span.from_dict(original.to_dict())
+    assert rebuilt.name == "root"
+    assert rebuilt.attrs == {"system": "ranger"}
+    assert rebuilt.duration == original.duration
+    assert [c.name for c in rebuilt.children] == ["child"]
+
+
+def test_render_span_tree_indents_and_elides():
+    fast = Span(name="fast", duration=0.0001)
+    tree = [Span(name="root", duration=1.0,
+                 children=[Span(name="slow", duration=0.5,
+                                attrs={"host": "c01"}),
+                           fast])]
+    full = render_span_tree(tree)
+    assert "root" in full and "  slow" in full and "host=c01" in full
+    pruned = render_span_tree(tree, min_ms=1.0)
+    assert "fast" not in pruned and "slow" in pruned
+
+
+# -- run ids and structured logs ---------------------------------------------
+
+
+def test_run_scope_mints_restores_and_nests():
+    assert current_run_id() is None
+    with run_scope() as outer_id:
+        assert current_run_id() == outer_id
+        assert len(outer_id) == 12
+        with run_scope("fixed") as inner_id:
+            assert inner_id == "fixed"
+            assert current_run_id() == "fixed"
+        assert current_run_id() == outer_id
+    assert current_run_id() is None
+
+
+def test_new_run_ids_are_unique():
+    assert new_run_id() != new_run_id()
+
+
+def test_structured_log_carries_run_stage_event_and_fields(caplog):
+    set_run_id("abc123")
+    try:
+        log = get_logger("ingest.parallel")
+        with caplog.at_level(logging.WARNING, logger="repro.ingest.parallel"):
+            log.warning("host_retry", host="c001-002", attempt=2)
+    finally:
+        set_run_id(None)
+    assert caplog.records[-1].message == (
+        "run=abc123 stage=ingest.parallel event=host_retry "
+        "host=c001-002 attempt=2")
+
+
+def test_structured_log_quotes_values_with_spaces(caplog):
+    log = get_logger("t")
+    with caplog.at_level(logging.ERROR, logger="repro.t"):
+        log.error("fail", reason='worker died with "OOM"')
+    msg = caplog.records[-1].message
+    assert "run=-" in msg
+    assert "reason=\"worker died with 'OOM'\"" in msg
+
+
+def test_structured_log_skips_formatting_below_level(caplog):
+    log = get_logger("t")
+    with caplog.at_level(logging.WARNING, logger="repro.t"):
+        log.debug("noise", detail="x")
+    assert caplog.records == []

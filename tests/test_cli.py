@@ -270,3 +270,60 @@ def test_simulate_policy_and_kernels(tmp_path, capsys):
     import numpy as np
     assert "appkernel" in np.unique(q.column("user"))
     wh.close()
+
+
+def test_simulate_telemetry_manifest_end_to_end(tmp_path, capsys):
+    """--telemetry-out writes a valid manifest that repro-diagnose
+    --telemetry renders and repro-report --cache-stats complements."""
+    from repro.cli.diagnose import main as diagnose_main
+    from repro.telemetry.manifest import RunManifest, validate_manifest
+
+    wh = str(tmp_path / "wh.sqlite")
+    manifest_path = str(tmp_path / "manifest.json")
+    rc = simulate_main([
+        "--system", "lonestar4", "--nodes", "6", "--days", "1",
+        "--users", "8", "--seed", "5", "--warehouse", wh,
+        "--archive", str(tmp_path / "archive"),
+        "--ingest-workers", "2",
+        "--telemetry-out", manifest_path,
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "telemetry manifest:" in out
+
+    manifest = RunManifest.read(manifest_path)
+    assert validate_manifest(manifest.to_dict()) == []
+    assert manifest.systems == ["lonestar4"]
+    assert manifest.stages[0].name == "simulate"
+    assert manifest.metrics.counters["ingest.jobs_loaded"] > 0
+    assert manifest.slowest_hosts
+    assert manifest.extra["jobs_simulated"] > 0
+
+    rc = diagnose_main(["--telemetry", manifest_path, "--min-ms", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Run telemetry" in out
+    assert "slowest hosts" in out
+    assert "ingest.jobs_loaded" in out
+
+    rc = report_main(["--warehouse", wh, "--system", "lonestar4",
+                      "support", "--cache-stats"])
+    assert rc == 0
+    assert "cache:" in capsys.readouterr().out
+
+
+def test_diagnose_telemetry_rejects_garbage(tmp_path, capsys):
+    from repro.cli.diagnose import main as diagnose_main
+    bad = tmp_path / "bad.json"
+    bad.write_text("{}")
+    rc = diagnose_main(["--telemetry", str(bad)])
+    assert rc != 0
+    assert "cannot read telemetry manifest" in capsys.readouterr().err
+
+
+def test_diagnose_without_warehouse_or_telemetry_dies(capsys):
+    from repro.cli.diagnose import main as diagnose_main
+    rc = diagnose_main([])
+    assert rc != 0
+    assert "--warehouse and --system are required" in \
+        capsys.readouterr().err
