@@ -9,11 +9,11 @@ coefficient of variation), i.e. the filesystem sees steadier pressure.
 
 import numpy as np
 
+from benchmarks.conftest import RANGER_BENCH
 from repro import Facility
 from repro.scheduler.policies import EasyBackfillPolicy
 from repro.scheduler.resource_aware import ResourceAwareBackfillPolicy
 from repro.util.tables import render_table
-from benchmarks.conftest import RANGER_BENCH
 
 _CFG = RANGER_BENCH.scaled(num_nodes=48, horizon_days=15, n_users=80)
 

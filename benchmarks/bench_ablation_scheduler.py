@@ -9,13 +9,13 @@ and lower queue waits, with identical job demand.
 
 import numpy as np
 
+from benchmarks.conftest import RANGER_BENCH
 from repro.cluster.cluster import Cluster
 from repro.scheduler.engine import SchedulerEngine
 from repro.scheduler.policies import EasyBackfillPolicy, FCFSPolicy
 from repro.util.rng import RngFactory
 from repro.util.tables import render_table
 from repro.workload.generator import WorkloadGenerator
-from benchmarks.conftest import RANGER_BENCH
 
 _CFG = RANGER_BENCH.scaled(num_nodes=48, horizon_days=15, n_users=80)
 

@@ -1,0 +1,126 @@
+"""Incremental ingest: ledger-driven append vs a full re-ingest.
+
+The paper's pipeline runs as a nightly delta ETL — each day's host
+files are folded into the warehouse without re-reading the months
+already loaded.  This bench reproduces that access pattern: a warehouse
+seeded through day N-1 absorbs the final day with
+``ingest(mode="append")`` and is compared against re-ingesting the
+whole archive from scratch.  The append pass must produce a warehouse
+whose analytics-visible rows are identical to the one-shot result, and
+the gate in ``check_regression.py`` requires the speedup to stay >= 5x
+(the delta is a few days of a ~20-day corpus; the remaining cost is
+the manifest scan plus the appended days' parse and lookback).
+
+Set ``REPRO_BENCH_QUICK=1`` to run one timed pass per configuration
+(CI smoke) instead of three.
+"""
+
+import io
+import os
+import time
+
+import pytest
+
+from repro import TEST_SYSTEM, Facility
+from repro.ingest.pipeline import IngestPipeline
+from repro.ingest.warehouse import Warehouse
+from repro.lariat.records import lariat_record_for
+from repro.scheduler.accounting import AccountingWriter
+from repro.tacc_stats.archive import HostArchive
+
+#: Facility horizon; the append pass consumes everything past SEED_DAYS.
+HORIZON_DAYS = 20
+SEED_DAYS = 19
+
+
+def _quick() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    """A finished HORIZON_DAYS archive plus its accounting and Lariat."""
+    cfg = TEST_SYSTEM.scaled(num_nodes=8, horizon_days=HORIZON_DAYS,
+                             n_users=24)
+    archive_dir = str(tmp_path_factory.mktemp("inc_bench"))
+    run = Facility(cfg, seed=33).run_with_files(archive_dir)
+    buf = io.StringIO()
+    AccountingWriter(buf, cfg.node.cores, cfg.name).write_all(run.records)
+    lariat = [lariat_record_for(r, cfg.node.cores) for r in run.records]
+    return cfg, archive_dir, buf.getvalue(), lariat, run
+
+
+def _ingest(corpus, warehouse, **kw):
+    cfg, archive_dir, accounting, lariat, _run = corpus
+    return IngestPipeline(warehouse).ingest(
+        cfg, accounting_text=accounting, archive=HostArchive(archive_dir),
+        lariat_records=lariat, **kw)
+
+
+def _data_rows(warehouse):
+    """Every analytics-visible row, ordered (ledger/meta excluded)."""
+    warehouse.commit()
+    return {
+        table: warehouse.connection.execute(
+            f"SELECT {cols} FROM {table} ORDER BY {cols}").fetchall()
+        for table, cols in [
+            ("jobs", "system, jobid, user, account, science_field, app, "
+                     "queue, exit_status, submit_time, start_time, "
+                     "end_time, nodes, cores, node_hours"),
+            ("job_metrics", "system, jobid, metric, value"),
+            ("system_series", "system, metric, t, value"),
+        ]
+    }
+
+
+def test_incremental_append_speedup(corpus, save_artifact):
+    """Time one appended day against re-ingesting the whole corpus."""
+    # The gated number is a ratio of two wall times, so both sides are
+    # best-of-N even in quick mode — a single noisy pass on a loaded CI
+    # runner would swing the speedup by +/-20%.
+    reps = 2 if _quick() else 3
+
+    full_times = []
+    for _ in range(reps):
+        w_full = Warehouse()
+        t0 = time.perf_counter()
+        full_report = _ingest(corpus, w_full)
+        full_times.append(time.perf_counter() - t0)
+        if _ == 0:
+            full_rows = _data_rows(w_full)
+        w_full.close()
+    full_s = min(full_times)
+
+    append_times = []
+    for _ in range(reps):
+        w_inc = Warehouse()
+        _ingest(corpus, w_inc, through_day=SEED_DAYS)
+        t0 = time.perf_counter()
+        report = _ingest(corpus, w_inc, mode="append")
+        append_times.append(time.perf_counter() - t0)
+        if _ == 0:
+            assert _data_rows(w_inc) == full_rows
+            delta = report.delta
+        w_inc.close()
+    append_s = min(append_times)
+
+    archive = HostArchive(corpus[1])
+    n_files = len(archive.manifest())
+    speedup = full_s / append_s
+    text = "\n".join([
+        "Incremental ingest (ledger-driven append vs full re-ingest)",
+        "",
+        f"corpus: {n_files} host-day files, "
+        f"{full_report.jobs_loaded} jobs, horizon {HORIZON_DAYS} days",
+        f"full re-ingest: {full_s:.2f} s",
+        f"seed through day {SEED_DAYS}, then append the rest "
+        f"({delta})",
+        f"append pass: {append_s:.2f} s",
+        f"append speedup: {speedup:.1f}x",
+        "",
+        "warehouse rows after append == one-shot ingest (checked)",
+    ])
+    save_artifact("incremental_ingest", text)
+    print("\n" + text)
+    assert full_report.jobs_loaded > 0
+    assert speedup > 1.0

@@ -18,7 +18,7 @@ import time
 
 import pytest
 
-from repro import Facility, TEST_SYSTEM
+from repro import TEST_SYSTEM, Facility
 from repro.ingest.parallel import effective_workers
 from repro.ingest.pipeline import IngestPipeline
 from repro.ingest.warehouse import Warehouse

@@ -7,7 +7,7 @@ text files → parse → match → summarize → load → render a stakeholder
 report) and times it, asserting every stage actually contributed.
 """
 
-from repro import Facility, TEST_SYSTEM
+from repro import TEST_SYSTEM, Facility
 from repro.xdmod.reports import SupportStaffReport
 
 

@@ -44,7 +44,7 @@ import time
 
 import pytest
 
-from repro import Facility, TEST_SYSTEM
+from repro import TEST_SYSTEM, Facility
 from repro.ingest.pipeline import IngestPipeline
 from repro.ingest.warehouse import Warehouse
 from repro.lariat.records import lariat_record_for

@@ -17,7 +17,7 @@ from pathlib import Path
 
 import pytest
 
-from repro import Facility, LONESTAR4, RANGER
+from repro import LONESTAR4, RANGER, Facility
 
 OUT_DIR = Path(__file__).parent / "out"
 

@@ -19,7 +19,7 @@ Quickstart::
         print(p.entity, p.values)
 """
 
-from repro.config import FacilityConfig, LONESTAR4, RANGER, TEST_SYSTEM
+from repro.config import LONESTAR4, RANGER, TEST_SYSTEM, FacilityConfig
 from repro.facility import Facility, FacilityRun
 from repro.ingest.summarize import KEY_METRICS, SUMMARY_METRICS
 from repro.ingest.warehouse import Warehouse

@@ -7,9 +7,9 @@ rationalized-syslog failure events — "anomalous resource use patterns ...
 are commonly the precursors of job failures" (§4.3.1).
 """
 
+from repro.anomaly.ancor import AncorAnalysis, Association, Diagnosis
 from repro.anomaly.detect import AnomalousJob, AnomalyDetector
 from repro.anomaly.link import AnomalyFailureLink, link_anomalies_to_failures
-from repro.anomaly.ancor import AncorAnalysis, Association, Diagnosis
 
 __all__ = [
     "AnomalousJob",

@@ -18,12 +18,12 @@ All entry points accept ``--help`` and return a nonzero exit status on
 error, so they compose in shell pipelines.
 """
 
-from repro.cli.simulate import main as simulate_main
-from repro.cli.report import main as report_main
-from repro.cli.stats_cat import main as stats_cat_main
-from repro.cli.persistence import main as persistence_main
 from repro.cli.diagnose import main as diagnose_main
 from repro.cli.export import main as export_main
+from repro.cli.persistence import main as persistence_main
+from repro.cli.report import main as report_main
+from repro.cli.simulate import main as simulate_main
+from repro.cli.stats_cat import main as stats_cat_main
 
 __all__ = [
     "simulate_main",

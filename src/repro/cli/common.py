@@ -5,7 +5,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.config import FacilityConfig, LONESTAR4, RANGER
+from repro.config import LONESTAR4, RANGER, FacilityConfig
 
 __all__ = ["SYSTEMS", "add_system_args", "config_from_args", "die"]
 

@@ -6,6 +6,7 @@ Examples::
     repro-diagnose --warehouse ranger.sqlite --system ranger --job 2000123
     repro-diagnose --warehouse ranger.sqlite --system ranger --associations
     repro-diagnose --warehouse ranger.sqlite --system ranger --ingest-health
+    repro-diagnose --warehouse ranger.sqlite --system ranger --ledger
     repro-diagnose --telemetry manifest.json
 
 ``--telemetry`` inspects a run manifest written by ``repro-simulate
@@ -49,6 +50,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the stored ingest-health accounting "
                              "(hosts ok/degraded/dropped, quarantined "
                              "records, retries) for the system")
+    parser.add_argument("--ledger", action="store_true",
+                        help="print the ingest ledger (consumed archive "
+                             "host-days with fingerprints and status) "
+                             "and the recorded ingest runs with their "
+                             "appended row ranges")
     parser.add_argument("--telemetry", default=None, metavar="MANIFEST",
                         help="inspect a telemetry manifest JSON (from "
                              "repro-simulate --telemetry-out): span tree, "
@@ -104,6 +110,47 @@ def _print_ingest_health(payload: dict, system: str) -> None:
               f"(see the archive's quarantine/ sidecar)")
 
 
+def _print_ledger(warehouse: Warehouse, system: str) -> None:
+    """Render the ingest ledger and the recorded ingest runs."""
+    ledger = warehouse.ledger_map(system)
+    if not ledger:
+        print(f"no ingest ledger for {system!r} (the warehouse was "
+              f"filled by the fast path or predates the ledger)")
+        return
+    days = sorted({day for _h, day in ledger})
+    by_status: dict[str, int] = {}
+    for entry in ledger.values():
+        by_status[entry.status] = by_status.get(entry.status, 0) + 1
+    print(render_kv({
+        "host-days consumed": len(ledger),
+        "days": f"{days[0]} .. {days[-1]} ({len(days)})",
+        "status": ", ".join(f"{k}={v}"
+                            for k, v in sorted(by_status.items())),
+    }, title=f"Ingest ledger — {system}"))
+    rows = [
+        {"host": host, "day": day,
+         "size": f"{entry.size:,}",
+         "sha256": entry.sha256[:12],
+         "status": entry.status,
+         "run": entry.run_id}
+        for (host, day), entry in sorted(ledger.items())
+    ]
+    print(render_table(
+        rows, ["host", "day", "size", "sha256", "status", "run"],
+        title="Consumed host-days",
+    ))
+    runs = warehouse.ingest_runs(system)
+    if runs:
+        print(render_table([
+            {"run": r["run_id"], "mode": r["mode"],
+             **{t: f"{lo}..{hi}" if hi > lo else "-"
+                for t, (lo, hi) in sorted(r["row_ranges"].items())}}
+            for r in runs
+        ], ["run", "mode", "jobs", "job_metrics", "system_series",
+            "syslog_events"],
+            title="Ingest runs (appended rowid ranges, half-open)"))
+
+
 def _print_diagnosis(d) -> None:
     print(render_kv({
         "job": d.jobid,
@@ -141,6 +188,10 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.system not in warehouse.systems():
             return die(f"system {args.system!r} not in {args.warehouse}")
+
+        if args.ledger:
+            _print_ledger(warehouse, args.system)
+            return 0
 
         if args.ingest_health:
             payload = warehouse.ingest_health(args.system)

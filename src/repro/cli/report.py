@@ -19,7 +19,6 @@ import sys
 from repro.cli.common import die
 from repro.ingest.warehouse import Warehouse
 from repro.telemetry.metrics import get_registry
-from repro.xdmod.snapshot import WarehouseSnapshot, set_cache_enabled
 from repro.xdmod.reports import (
     AdminReport,
     DeveloperReport,
@@ -28,6 +27,7 @@ from repro.xdmod.reports import (
     SupportStaffReport,
     UserReport,
 )
+from repro.xdmod.snapshot import WarehouseSnapshot, set_cache_enabled
 
 _NEEDS_TARGET = {"user": "a username", "developer": "an application tag"}
 

@@ -6,11 +6,16 @@ Examples::
         --warehouse ranger.sqlite
     repro-simulate --system lonestar4 --nodes 16 --days 2 \
         --warehouse ls4.sqlite --archive /tmp/ls4-stats
+    repro-simulate --system lonestar4 --nodes 16 --days 4 \
+        --warehouse ls4.sqlite --archive /tmp/ls4-stats --append
 
 With ``--archive`` the run goes through the full text-format tool chain
 (slower; intended for small configs); otherwise the fast synthesis path
 is used.  Multiple systems can share one warehouse file — run the
-command once per system.
+command once per system.  ``--ingest-days N`` consumes only the first N
+facility days of the archive; a later ``--append`` run diffs the
+archive against the warehouse's ingest ledger and parses only what is
+new (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -61,6 +66,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-retries", type=int, default=2,
                         help="retries per host for transient worker "
                              "failures during parallel ingest")
+    parser.add_argument("--append", action="store_true",
+                        help="incremental ingest into an existing system: "
+                             "diff the archive against the warehouse's "
+                             "ingest ledger and parse only new host-day "
+                             "files (requires --archive; see "
+                             "docs/PERFORMANCE.md)")
+    parser.add_argument("--ingest-days", type=int, default=None,
+                        metavar="N",
+                        help="consume only the first N facility days of "
+                             "the archive (requires --archive); a later "
+                             "--append run folds in the remainder")
     parser.add_argument("--fast-writes", action="store_true",
                         help="open the warehouse with WAL journaling and "
                              "synchronous=NORMAL (faster ingest; query "
@@ -105,11 +121,23 @@ def main(argv: list[str] | None = None) -> int:
         return die("--batch-size must be >= 1")
     if args.max_retries < 0:
         return die("--max-retries must be >= 0")
+    if args.append and not args.archive:
+        return die("--append requires --archive (the ingest ledger "
+                   "tracks archive files)")
+    if args.ingest_days is not None:
+        if not args.archive:
+            return die("--ingest-days requires --archive")
+        if args.append:
+            return die("--ingest-days only windows a full ingest; "
+                       "--append derives its window from the ledger")
+        if args.ingest_days < 1:
+            return die("--ingest-days must be >= 1")
     cfg = config_from_args(args)
     warehouse = Warehouse(args.warehouse, fast_writes=args.fast_writes)
-    if cfg.name in warehouse.systems():
+    if cfg.name in warehouse.systems() and not args.append:
         return die(f"system {cfg.name!r} already present in "
-                   f"{args.warehouse}; use a fresh file or another system")
+                   f"{args.warehouse}; use a fresh file, another system, "
+                   f"or --append to ingest incrementally")
     kernels = None
     if args.appkernels:
         from repro.xdmod.appkernels import DEFAULT_KERNELS
@@ -133,7 +161,9 @@ def main(argv: list[str] | None = None) -> int:
                     ingest_workers=args.ingest_workers,
                     batch_size=args.batch_size,
                     error_policy=args.error_policy,
-                    max_retries=args.max_retries)
+                    max_retries=args.max_retries,
+                    ingest_mode="append" if args.append else "full",
+                    ingest_through_day=args.ingest_days)
             else:
                 run = facility.run(warehouse=warehouse,
                                    with_syslog=not args.no_syslog)
@@ -141,6 +171,11 @@ def main(argv: list[str] | None = None) -> int:
 
         if args.telemetry_out:
             report = run.ingest_report
+            extra = {"jobs_simulated": len(run.records)}
+            if report is not None:
+                extra["ingest_mode"] = report.mode
+                if report.delta is not None:
+                    extra["ingest_delta"] = report.delta.to_dict()
             manifest = build_manifest(
                 systems=[cfg.name],
                 ingest_health=(report.health.to_dict()
@@ -148,7 +183,7 @@ def main(argv: list[str] | None = None) -> int:
                                and report.health is not None else None),
                 effective_workers=(report.effective_workers
                                    if report is not None else 1),
-                extra={"jobs_simulated": len(run.records)},
+                extra=extra,
             )
             path = manifest.write(args.telemetry_out)
             if not args.quiet:
@@ -167,6 +202,8 @@ def main(argv: list[str] | None = None) -> int:
                   f"{s.raw_bytes / 1e6:.1f} MB raw, "
                   f"{s.compression_ratio:.1f}x gzip")
         report = run.ingest_report
+        if report is not None and report.delta is not None:
+            print(f"ingest delta ({report.mode}): {report.delta}")
         if report is not None and report.health is not None:
             print(f"ingest health: {report.health}")
         print(f"warehouse: {args.warehouse}")

@@ -7,12 +7,12 @@ quotas and purge policy, an InfiniBand fabric, and an outage process that
 produces the planned/unplanned downtime visible in the paper's Figure 8.
 """
 
-from repro.cluster.hardware import ProcessorSpec, NodeHardware
-from repro.cluster.node import Node, NodeState
-from repro.cluster.cluster import Cluster, AllocationError
+from repro.cluster.cluster import AllocationError, Cluster
 from repro.cluster.filesystem import FilesystemSpec, FilesystemState
-from repro.cluster.interconnect import InterconnectSpec, Fabric
-from repro.cluster.outages import Outage, OutageKind, OutageGenerator
+from repro.cluster.hardware import NodeHardware, ProcessorSpec
+from repro.cluster.interconnect import Fabric, InterconnectSpec
+from repro.cluster.node import Node, NodeState
+from repro.cluster.outages import Outage, OutageGenerator, OutageKind
 
 __all__ = [
     "ProcessorSpec",

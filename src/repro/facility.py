@@ -139,7 +139,11 @@ def _replay_nodes_body(
 
     rng_factory = RngFactory(seed)
     prefix = cfg.stream_prefix
-    archive = HostArchive(archive_dir, compress=compress)
+    # resume_stats=False: each worker reports a session-scoped tally the
+    # coordinator sums; resuming from the shared, concurrently-growing
+    # directory would double-count sibling workers' files.
+    archive = HostArchive(archive_dir, compress=compress,
+                          resume_stats=False)
     wanted = set(node_indices)
     per_node: dict[int, list[tuple[float, float, JobRecord, int]]] = {}
     needed_jobs: set[str] = set()
@@ -438,6 +442,8 @@ class Facility:
         batch_size: int = 256,
         error_policy: str = "strict",
         max_retries: int = 2,
+        ingest_mode: str = "full",
+        ingest_through_day: int | None = None,
     ) -> FacilityRun:
         """Slow path: daemons write the text format; ingest parses it back.
 
@@ -452,7 +458,11 @@ class Facility:
         *error_policy* and *max_retries* select the ingest's
         fault-tolerance behaviour (see :class:`repro.errors.ErrorPolicy`
         and ``docs/ROBUSTNESS.md``); the default is strict, exactly as
-        before.
+        before.  *ingest_mode* / *ingest_through_day* drive the
+        incremental-ingest path (``docs/PERFORMANCE.md``): the replay
+        always writes the full horizon, but ``ingest_through_day=N``
+        consumes only the first N facility days, and a later
+        ``ingest_mode="append"`` run folds in just the remainder.
         """
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -530,6 +540,8 @@ class Facility:
             batch_size=batch_size,
             error_policy=error_policy,
             max_retries=max_retries,
+            mode=ingest_mode,
+            through_day=ingest_through_day,
         )
         return FacilityRun(
             config=cfg, warehouse=warehouse, workload=workload, sim=sim,

@@ -15,16 +15,6 @@ from repro.errors import (
     IngestHealth,
     QuarantinedRecord,
 )
-from repro.ingest.summarize import (
-    HostJobPartial,
-    JobSummary,
-    SummaryError,
-    SUMMARY_METRICS,
-    host_job_partials,
-    merge_job_partials,
-    summarize_job_from_hosts,
-    summarize_job_from_rates,
-)
 from repro.ingest.matcher import (
     HostJobView,
     MatchedJob,
@@ -41,8 +31,18 @@ from repro.ingest.parallel import (
     scan_archive,
     scan_host_data,
 )
-from repro.ingest.warehouse import Warehouse
 from repro.ingest.pipeline import IngestPipeline, IngestReport
+from repro.ingest.summarize import (
+    SUMMARY_METRICS,
+    HostJobPartial,
+    JobSummary,
+    SummaryError,
+    host_job_partials,
+    merge_job_partials,
+    summarize_job_from_hosts,
+    summarize_job_from_rates,
+)
+from repro.ingest.warehouse import Warehouse
 
 __all__ = [
     "ErrorPolicy",

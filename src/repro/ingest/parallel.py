@@ -106,7 +106,8 @@ def scan_host_data(host: HostData) -> HostScan:
 
 
 def _scan_host_checked(archive: HostArchive, hostname: str,
-                       allow_truncated: bool, policy: str) -> HostScanResult:
+                       allow_truncated: bool, policy: str,
+                       days: tuple[str, ...] | None = None) -> HostScanResult:
     """Read + scan one host inside a private metrics registry.
 
     Both the serial fast path and the pool worker route through this
@@ -124,7 +125,7 @@ def _scan_host_checked(archive: HostArchive, hostname: str,
         t0 = time.perf_counter()
         result = archive.read_host_checked(hostname,
                                            allow_truncated=allow_truncated,
-                                           policy=policy)
+                                           policy=policy, days=days)
         scan = (scan_host_data(result.data)
                 if result.data is not None else None)
         elapsed = time.perf_counter() - t0
@@ -136,17 +137,19 @@ def _scan_host_checked(archive: HostArchive, hostname: str,
 
 
 def _scan_one(root: str, hostname: str, allow_truncated: bool,
-              policy: str = ErrorPolicy.STRICT) -> HostScanResult:
+              policy: str = ErrorPolicy.STRICT,
+              days: tuple[str, ...] | None = None) -> HostScanResult:
     """Worker entry point: read, parse and scan one host by name.
 
     Module-level (not a closure) so it pickles under the ``spawn`` start
     method as well as ``fork``.  Under the ``strict`` policy a malformed
     host raises (the error crosses back through the future); otherwise
     malformed data is quarantined per the policy and reported in the
-    result.
+    result.  *days* restricts the read to those host-day files (the
+    delta-ingest path).
     """
     return _scan_host_checked(HostArchive(root), hostname,
-                              allow_truncated, policy)
+                              allow_truncated, policy, days=days)
 
 
 def effective_workers(workers: int, n_hosts: int,
@@ -198,7 +201,9 @@ def _record_outcome(health: IngestHealth | None, result: HostScanResult
 
 def _run_round(scan_fn: Callable, root: str, hosts: list[str], workers: int,
                allow_truncated: bool, policy: str, timeout: float | None,
-               results: dict[str, HostScanResult]) -> dict[str, str]:
+               results: dict[str, HostScanResult],
+               days_map: dict[str, tuple[str, ...] | None] | None = None,
+               ) -> dict[str, str]:
     """Submit one retry round to a fresh pool; return transient failures.
 
     Successful scans land in *results*.  Hosts whose future raised
@@ -209,9 +214,11 @@ def _run_round(scan_fn: Callable, root: str, hosts: list[str], workers: int,
     re-raised — retrying cannot fix bad bytes.
     """
     failures: dict[str, str] = {}
+    days_map = days_map or {}
     with ProcessPoolExecutor(max_workers=min(workers, len(hosts))) as ex:
         futures = {
-            ex.submit(scan_fn, root, h, allow_truncated, policy): h
+            ex.submit(scan_fn, root, h, allow_truncated, policy,
+                      days_map.get(h)): h
             for h in hosts
         }
         _done, not_done = wait(futures, timeout=timeout)
@@ -243,6 +250,7 @@ def _scan_parallel(scan_fn: Callable, root: str, hostnames: list[str],
                    workers: int, allow_truncated: bool, policy: str,
                    health: IngestHealth | None, max_retries: int,
                    retry_backoff: float, timeout: float | None,
+                   days_map: dict[str, tuple[str, ...] | None] | None = None,
                    ) -> dict[str, HostScanResult]:
     """The retrying fan-out: scan every host, tolerating worker death.
 
@@ -258,7 +266,8 @@ def _scan_parallel(scan_fn: Callable, root: str, hostnames: list[str],
     round_no = 0
     while pending:
         failures = _run_round(scan_fn, root, pending, workers,
-                              allow_truncated, policy, timeout, results)
+                              allow_truncated, policy, timeout, results,
+                              days_map)
         if not failures:
             break
         retry: list[str] = []
@@ -281,7 +290,7 @@ def _scan_parallel(scan_fn: Callable, root: str, hostnames: list[str],
                 health.record_retry(hostname)
             probe_failure = _run_round(
                 scan_fn, root, [hostname], 1, allow_truncated, policy,
-                timeout, results).get(hostname)
+                timeout, results, days_map).get(hostname)
             if probe_failure is None:
                 continue  # innocent: the probe produced its result
             if ErrorPolicy(policy) is ErrorPolicy.STRICT:
@@ -313,6 +322,7 @@ def scan_archive(
     retry_backoff: float = 0.1,
     timeout: float | None = None,
     scan_fn: Callable | None = None,
+    days_by_host: dict[str, tuple[str, ...]] | None = None,
 ) -> Iterator[HostScan]:
     """Yield one :class:`HostScan` per surviving host, in sorted order.
 
@@ -329,13 +339,26 @@ def scan_archive(
     into *health* when one is supplied.  *scan_fn* swaps the worker
     entry point (same signature as the default) and exists for the
     fault-injection harness to simulate crashing workers.
+
+    *days_by_host* narrows the scan to a delta: only the named hosts
+    are visited, and each reads just the listed ``YYYY-MM-DD`` files.
+    Quarantine/retry semantics are identical to a full scan — the delta
+    path reuses this exact fan-out.
     """
-    hostnames = archive.hostnames()
+    if days_by_host is not None:
+        hostnames = sorted(days_by_host)
+        days_map: dict[str, tuple[str, ...] | None] = {
+            h: tuple(sorted(days_by_host[h])) for h in hostnames
+        }
+    else:
+        hostnames = archive.hostnames()
+        days_map = {}
     workers = effective_workers(workers, len(hostnames), oversubscribe)
     if workers == 1 and scan_fn is None and timeout is None:
         for hostname in hostnames:
             outcome = _scan_host_checked(archive, hostname,
-                                         allow_truncated, policy)
+                                         allow_truncated, policy,
+                                         days=days_map.get(hostname))
             _record_outcome(health, outcome)
             if outcome.scan is not None:
                 yield outcome.scan
@@ -344,7 +367,7 @@ def scan_archive(
     results = _scan_parallel(
         scan_fn or _scan_one, str(archive.root), hostnames, workers,
         allow_truncated, policy, health, max_retries, retry_backoff,
-        timeout)
+        timeout, days_map)
     for hostname in hostnames:
         outcome = results.get(hostname)
         if outcome is None:  # pragma: no cover - every host gets a verdict

@@ -22,7 +22,7 @@ byte-identical to a serial run.
 from __future__ import annotations
 
 from contextlib import nullcontext
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro.config import FacilityConfig
@@ -38,7 +38,7 @@ from repro.ingest.summarize import (
     SummaryError,
     merge_job_partials,
 )
-from repro.ingest.warehouse import Warehouse
+from repro.ingest.warehouse import LedgerEntry, Warehouse
 from repro.lariat.records import LariatRecord
 from repro.scheduler.accounting import AccountingEntry, parse_accounting
 from repro.scheduler.job import JobRecord, JobRequest
@@ -48,10 +48,44 @@ from repro.tacc_stats.types import HostData
 from repro.telemetry.log import current_run_id, get_logger, run_scope
 from repro.telemetry.metrics import get_registry
 from repro.telemetry.trace import span
+from repro.util.timeutil import DAY, date_to_day_index, day_index_to_date
 
 _log = get_logger("ingest.pipeline")
 
-__all__ = ["IngestPipeline", "IngestReport"]
+__all__ = ["DeltaSummary", "IngestPipeline", "IngestReport"]
+
+
+@dataclass
+class DeltaSummary:
+    """What an incremental (or day-windowed) ingest decided to touch.
+
+    ``files_new`` were parsed because the ledger had never seen them;
+    ``files_lookback`` are unchanged files re-parsed only because a
+    still-unloaded job's day span crosses into them (the watermark-tail
+    overlap); ``files_skipped`` were proven unchanged and never opened.
+    ``jobs_deferred`` counts accounting entries left for a later append
+    because their data extends beyond the days on disk.  The watermarks
+    are facility seconds: syslog events in ``[before, after)`` were
+    loaded by this run.
+    """
+
+    files_new: int = 0
+    files_lookback: int = 0
+    files_skipped: int = 0
+    jobs_deferred: int = 0
+    watermark_before: int = 0
+    watermark_after: int = 0
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for the run manifest / JSON surfaces."""
+        return asdict(self)
+
+    def __str__(self) -> str:
+        return (
+            f"new={self.files_new} lookback={self.files_lookback} "
+            f"skipped={self.files_skipped} deferred={self.jobs_deferred} "
+            f"watermark={self.watermark_before}->{self.watermark_after}"
+        )
 
 
 @dataclass
@@ -75,6 +109,8 @@ class IngestReport:
     health: IngestHealth | None = None
     effective_workers: int = 1
     run_id: str | None = None
+    mode: str = "full"
+    delta: DeltaSummary | None = None
 
     def __str__(self) -> str:
         m = self.match
@@ -87,6 +123,8 @@ class IngestReport:
             f"lariat_attributed={self.lariat_attributed} "
             f"syslog={self.syslog_events_loaded}"
         )
+        if self.delta is not None:
+            text += f" | {self.mode}: {self.delta}"
         if self.health is not None:
             text += f" | {self.health}"
         return text
@@ -120,6 +158,183 @@ def _record_from_entry(entry: AccountingEntry, app: str) -> JobRecord:
     )
 
 
+def _span_days(entry: AccountingEntry) -> tuple[int, int]:
+    """Inclusive facility-day range an entry's stats blocks live in.
+
+    The daemon routes a block at time ``t`` to the file for day
+    ``t // DAY``, so a job's begin/periodic/end blocks span exactly
+    ``day(start_time) .. day(end_time)``.
+    """
+    return (int(float(entry.start_time) // DAY),
+            int(float(entry.end_time) // DAY))
+
+
+@dataclass
+class _DeltaPlan:
+    """Everything a ledger-driven ingest decided before scanning.
+
+    The plan is computable up front because *consumption* is decided by
+    the plan alone — a scanned file is ledgered whatever its scan
+    outcome (a quarantined host-day is consumed too, with its status
+    recorded), so watermarks and the load gate never depend on parse
+    results.
+    """
+
+    days_by_host: dict[str, tuple[str, ...]]
+    candidates: list[AccountingEntry]
+    consumed_days: set[int]
+    watermark_before: int
+    watermark_after: int
+    delta: DeltaSummary
+    ledger_base: dict
+
+    def loadable(self, entry: AccountingEntry) -> bool:
+        """True when no future archive file can change this job's match."""
+        d0, d1 = _span_days(entry)
+        return all(d in self.consumed_days for d in range(d0, d1 + 1))
+
+
+def _plan_append(archive: HostArchive, ledger: dict,
+                 entries: list[AccountingEntry], loaded: set[str],
+                 min_seconds: float) -> _DeltaPlan:
+    """Classify archive files against the ledger and pick the delta.
+
+    Incremental ingest follows the nightly-ETL watermark model: host-day
+    files accumulate in day order and never change once written.  A
+    ledgered file whose hash drifted (or vanished) violates that
+    contract and raises — the remedy is a full re-ingest into a fresh
+    warehouse, never a silent partial reload.
+
+    Files parsed = every never-ledgered file, plus unchanged files that
+    a still-unloaded job's day span reaches back into (the *lookback*
+    tail).  A not-yet-loaded job is deferred while its span extends past
+    the days on disk, and *finalized* (never revisited) once every file
+    of its span was consumed by an earlier run.
+    """
+    manifest = archive.manifest()
+    for key, led in ledger.items():
+        fp = manifest.get(key)
+        if fp is None:
+            raise ValueError(
+                f"append ingest: ledgered file {key[0]}/{key[1]} vanished "
+                f"from the archive; the ledger no longer describes this "
+                f"archive — re-ingest it in full into a fresh warehouse")
+        if fp.sha256 != led.sha256:
+            raise ValueError(
+                f"append ingest: archived file {key[0]}/{key[1]} mutated "
+                f"since it was ingested (content hash changed); append "
+                f"mode only supports append-only archives — re-ingest in "
+                f"full into a fresh warehouse")
+
+    by_day: dict[str, list[tuple[str, str]]] = {}
+    for cell in manifest:
+        by_day.setdefault(cell[1], []).append(cell)
+    day_indices = {day: date_to_day_index(day) for day in by_day}
+    max_present_day = max(day_indices.values(), default=-1)
+    max_ledger_day = max(
+        (date_to_day_index(day) for _h, day in ledger), default=-1)
+
+    def consumed_before(d: int) -> bool:
+        return all(cell in ledger
+                   for cell in by_day.get(day_index_to_date(d), ()))
+
+    delta = DeltaSummary()
+    candidates: list[AccountingEntry] = []
+    pending: list[AccountingEntry] = []
+    for entry in entries:
+        if entry.job_number in loaded:
+            continue
+        d0, d1 = _span_days(entry)
+        if d1 <= max_ledger_day and all(
+                consumed_before(d) for d in range(d0, d1 + 1)):
+            continue  # finalized: an earlier run saw everything it has
+        if d1 > max_present_day:
+            delta.jobs_deferred += 1  # its data hasn't arrived yet
+            continue
+        candidates.append(entry)
+        if float(entry.wall_seconds) >= min_seconds:
+            pending.append(entry)
+
+    needed_days: set[str] = set()
+    for entry in pending:
+        d0, d1 = _span_days(entry)
+        needed_days.update(day_index_to_date(d) for d in range(d0, d1 + 1))
+
+    days_by_host: dict[str, set[str]] = {}
+    for cell in manifest:
+        host, day = cell
+        if cell not in ledger:
+            days_by_host.setdefault(host, set()).add(day)
+            delta.files_new += 1
+        elif day in needed_days:
+            days_by_host.setdefault(host, set()).add(day)
+            delta.files_lookback += 1
+        else:
+            delta.files_skipped += 1
+
+    # A day with no file at all (facility dark, or simply beyond any
+    # host's activity) is vacuously consumed — nothing can arrive for it
+    # under the day-ordered arrival contract once later days exist.
+    scanned = {(h, d) for h, days in days_by_host.items() for d in days}
+    consumed_days: set[int] = set()
+    for d in range(max_present_day + 1):
+        cells = by_day.get(day_index_to_date(d), ())
+        if all(c in ledger or c in scanned for c in cells):
+            consumed_days.add(d)
+
+    def watermark(limit: int, consumed) -> int:
+        d = 0
+        while d <= limit and consumed(d):
+            d += 1
+        return d * DAY
+
+    delta.watermark_before = watermark(max_ledger_day, consumed_before)
+    delta.watermark_after = watermark(
+        max_present_day, lambda d: d in consumed_days)
+    return _DeltaPlan(
+        days_by_host={h: tuple(sorted(d)) for h, d in days_by_host.items()},
+        candidates=candidates, consumed_days=consumed_days,
+        watermark_before=delta.watermark_before,
+        watermark_after=delta.watermark_after,
+        delta=delta, ledger_base=manifest,
+    )
+
+
+def _plan_windowed(archive: HostArchive, entries: list[AccountingEntry],
+                   through_day: int) -> _DeltaPlan:
+    """A full ingest restricted to facility days ``0 .. through_day-1``.
+
+    This is how a warehouse is seeded for later appends: only files (and
+    accounting entries, and syslog events) strictly inside the window
+    are consumed, and everything consumed is ledgered.  A job whose end
+    block falls in day ``through_day`` or later is deferred whole — the
+    append run re-parses its tail-overlap days via the lookback rule.
+    """
+    manifest = archive.manifest()
+    delta = DeltaSummary()
+    days_by_host: dict[str, set[str]] = {}
+    for (host, day) in manifest:
+        if date_to_day_index(day) < through_day:
+            days_by_host.setdefault(host, set()).add(day)
+            delta.files_new += 1
+        else:
+            delta.files_skipped += 1
+    consumed_days = set(range(through_day))
+    candidates = []
+    for entry in entries:
+        if _span_days(entry)[1] < through_day:
+            candidates.append(entry)
+        else:
+            delta.jobs_deferred += 1
+    delta.watermark_after = through_day * DAY
+    return _DeltaPlan(
+        days_by_host={h: tuple(sorted(d)) for h, d in days_by_host.items()},
+        candidates=candidates, consumed_days=consumed_days,
+        watermark_before=0, watermark_after=delta.watermark_after,
+        delta=delta, ledger_base=manifest,
+    )
+
+
 class IngestPipeline:
     """Drives the full ETL for one system into a shared warehouse."""
 
@@ -143,10 +358,25 @@ class IngestPipeline:
         retry_backoff: float = 0.1,
         scan_timeout: float | None = None,
         quarantine_dir: str | Path | None = None,
+        mode: str = "full",
+        through_day: int | None = None,
     ) -> IngestReport:
         """Run the pipeline.
 
         Provide either parsed *hosts* or an *archive* to read them from.
+
+        ``mode="append"`` (archive path only) is the incremental ETL:
+        the archive manifest is diffed against the warehouse's ingest
+        ledger, only new host-day files (plus the lookback tail of
+        still-unloaded jobs) are parsed, and already-loaded rows are
+        never touched.  It assumes day-ordered arrival into an
+        append-only archive — a ledgered file that mutated or vanished
+        raises.  *through_day* (archive path, ``mode="full"`` only)
+        instead windows a full ingest to facility days
+        ``0 .. through_day-1``, seeding the ledger so later appends can
+        pick up where it stopped.  Every archive ingest records the
+        consumed host-days in the ledger and its appended rowid ranges
+        in ``ingest_runs``.
         *workers* fans per-host parsing and summarization over a process
         pool (archive path only — already-parsed *hosts* are reduced
         in-process; the count is clamped to the visible CPUs unless
@@ -170,16 +400,32 @@ class IngestPipeline:
             raise ValueError("provide exactly one of hosts= or archive=")
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if mode not in ("full", "append"):
+            raise ValueError(f"mode must be 'full' or 'append', got {mode!r}")
+        if mode == "append" and archive is None:
+            raise ValueError("mode='append' requires archive= (the ledger "
+                             "tracks archive files, not parsed hosts)")
+        if through_day is not None:
+            if archive is None:
+                raise ValueError("through_day= requires archive=")
+            if mode != "full":
+                raise ValueError("through_day= only windows a full ingest; "
+                                 "append mode derives its window from the "
+                                 "ledger")
+            if through_day < 1:
+                raise ValueError(
+                    f"through_day must be >= 1, got {through_day}")
         # Reuse the CLI's run id when one is ambient; otherwise this
         # ingest is its own run and mints one.
         scope = (nullcontext(current_run_id()) if current_run_id()
                  else run_scope())
-        with scope as run_id, span("ingest", system=config.name):
+        with scope as run_id, span("ingest", system=config.name,
+                                   mode=mode):
             report = self._ingest(
                 config, accounting_text, hosts, archive, lariat_records,
                 syslog, min_seconds, workers, batch_size, oversubscribe,
                 error_policy, max_retries, retry_backoff, scan_timeout,
-                quarantine_dir,
+                quarantine_dir, mode, through_day,
             )
             report.run_id = run_id
             _log.info("ingest_done", system=config.name,
@@ -204,29 +450,56 @@ class IngestPipeline:
         retry_backoff: float,
         scan_timeout: float | None,
         quarantine_dir: str | Path | None,
+        mode: str,
+        through_day: int | None,
     ) -> IngestReport:
         """The validated ingest body, run inside the run scope and the
         root ``ingest`` span (see :meth:`ingest` for parameter docs)."""
         policy = ErrorPolicy(error_policy)
         health: IngestHealth | None = None
+        min_s = (min_seconds if min_seconds is not None
+                 else config.sample_interval)
+        plan: _DeltaPlan | None = None
+        entries: list[AccountingEntry] | None = None
         n_workers = 1
         if hosts is None:
             assert archive is not None
+            if mode == "append" or through_day is not None:
+                # Plan modes parse the accounting up front: the entry
+                # day spans decide which archive files must be opened.
+                with span("ingest.plan", mode=mode):
+                    entries = list(parse_accounting(accounting_text))
+                    if mode == "append":
+                        plan = _plan_append(
+                            archive,
+                            self.warehouse.ledger_map(config.name),
+                            entries,
+                            self.warehouse.job_ids(config.name),
+                            min_s)
+                    else:
+                        plan = _plan_windowed(archive, entries,
+                                              through_day)
+                entries = plan.candidates
+            scan_hosts = (sorted(plan.days_by_host) if plan is not None
+                          else archive.hostnames())
             health = IngestHealth(policy=policy.value)
             n_workers = effective_workers(
-                workers, len(archive.hostnames()), oversubscribe)
-            scans = scan_archive(archive, workers=workers,
-                                 allow_truncated=True,
-                                 oversubscribe=oversubscribe,
-                                 policy=policy, health=health,
-                                 max_retries=max_retries,
-                                 retry_backoff=retry_backoff,
-                                 timeout=scan_timeout)
+                workers, len(scan_hosts), oversubscribe)
+            scans = scan_archive(
+                archive, workers=workers, allow_truncated=True,
+                oversubscribe=oversubscribe, policy=policy, health=health,
+                max_retries=max_retries, retry_backoff=retry_backoff,
+                timeout=scan_timeout,
+                days_by_host=plan.days_by_host if plan is not None
+                else None)
         else:
             scans = (scan_host_data(h) for h in hosts)
 
         report = IngestReport(system=config.name, health=health,
-                              effective_workers=n_workers)
+                              effective_workers=n_workers,
+                              mode=mode,
+                              delta=plan.delta if plan is not None
+                              else None)
 
         if config.name not in self.warehouse.systems():
             self.warehouse.add_system(
@@ -237,6 +510,14 @@ class IngestPipeline:
                 peak_tflops=config.peak_tflops,
                 sample_interval=config.sample_interval,
             )
+
+        # Low-water rowids per table: with an insert-only load, rows
+        # above these after the final commit are exactly what this run
+        # appended (recorded in ingest_runs for provenance).
+        _TABLES = ("jobs", "job_metrics", "system_series",
+                   "syslog_events")
+        row_lo = ({t: self.warehouse._max_rowid(t) for t in _TABLES}
+                  if archive is not None else None)
 
         # Drain the scan stream: per-host parsed data dies inside the
         # generator; only views and partials accumulate here.
@@ -258,12 +539,10 @@ class IngestPipeline:
             self.warehouse.set_ingest_health(config.name, health)
 
         with span("ingest.match"):
-            entries = list(parse_accounting(accounting_text))
-            matched, match = match_job_views(
-                entries, views,
-                min_seconds=min_seconds if min_seconds is not None
-                else config.sample_interval,
-            )
+            if entries is None:
+                entries = list(parse_accounting(accounting_text))
+            matched, match = match_job_views(entries, views,
+                                             min_seconds=min_s)
         report.match = match
 
         lariat_by_job = {r.jobid: r for r in (lariat_records or [])}
@@ -272,6 +551,14 @@ class IngestPipeline:
         with span("ingest.load"):
             for mj in matched:
                 entry = mj.entry
+                if plan is not None and not plan.loadable(entry):
+                    # Safety net: a candidate's span days are always
+                    # fully consumed by construction (new + lookback
+                    # cover them), so this should never fire — but a
+                    # deferred load is recoverable, a premature one is
+                    # not.
+                    plan.delta.jobs_deferred += 1
+                    continue
                 app = entry.app_tag
                 if not app or app == "-":
                     lar = lariat_by_job.get(entry.job_number)
@@ -316,11 +603,19 @@ class IngestPipeline:
 
         with span("ingest.syslog"):
             for msg in syslog or []:
+                if plan is not None and not (
+                        plan.watermark_before <= msg.time
+                        < plan.watermark_after):
+                    continue  # outside this run's consumed-day window
                 self.warehouse.add_syslog_event(
                     config.name, msg.time, msg.host, msg.jobid,
                     msg.kind.value, msg.severity,
                 )
                 report.syslog_events_loaded += 1
+
+        if archive is not None:
+            self._record_provenance(config.name, archive, plan, health,
+                                    mode, row_lo)
 
         self.warehouse.commit()
         registry = get_registry()
@@ -331,4 +626,53 @@ class IngestPipeline:
             report.lariat_attributed)
         registry.counter("ingest.syslog_events").inc(
             report.syslog_events_loaded)
+        if plan is not None:
+            d = plan.delta
+            registry.counter("ingest.delta.files_new").inc(d.files_new)
+            registry.counter("ingest.delta.files_lookback").inc(
+                d.files_lookback)
+            registry.counter("ingest.delta.files_skipped").inc(
+                d.files_skipped)
+            registry.counter("ingest.delta.jobs_deferred").inc(
+                d.jobs_deferred)
         return report
+
+    def _record_provenance(self, system: str, archive: HostArchive,
+                           plan: _DeltaPlan | None,
+                           health: IngestHealth | None, mode: str,
+                           row_lo: dict[str, int]) -> None:
+        """Ledger the consumed host-days and this run's row ranges.
+
+        Every archive ingest — full, windowed, or append — records what
+        it consumed, so a later ``mode="append"`` can diff against it
+        and ``repro-diagnose --ledger`` can attribute rows to runs.  A
+        host-day is ledgered whatever its scan outcome: a dropped
+        (quarantined) host's files are consumed too, with the outcome in
+        ``status``.
+        """
+        manifest = (plan.ledger_base if plan is not None
+                    else archive.manifest())
+        consumed = (
+            {(h, day) for h, days in plan.days_by_host.items()
+             for day in days}
+            if plan is not None else set(manifest))
+        status_of = {}
+        if health is not None:
+            status_of.update(dict.fromkeys(health.hosts_degraded,
+                                           "degraded"))
+            status_of.update(dict.fromkeys(health.hosts_dropped,
+                                           "dropped"))
+        run_id = current_run_id() or "unscoped"
+        self.warehouse.record_ledger(system, [
+            LedgerEntry(host=host, day=day,
+                        sha256=manifest[(host, day)].sha256,
+                        size=manifest[(host, day)].size,
+                        mtime_ns=manifest[(host, day)].mtime_ns,
+                        status=status_of.get(host, "loaded"),
+                        run_id=run_id)
+            for (host, day) in sorted(consumed)
+        ])
+        self.warehouse.record_ingest_run(system, run_id, mode, {
+            t: (lo, self.warehouse._max_rowid(t))
+            for t, lo in row_lo.items()
+        })

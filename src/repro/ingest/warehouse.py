@@ -43,7 +43,7 @@ from repro.ingest.summarize import SUMMARY_METRICS, JobSummary
 from repro.scheduler.job import JobRecord
 from repro.telemetry.metrics import get_registry
 
-__all__ = ["Warehouse", "JobRow"]
+__all__ = ["Warehouse", "JobRow", "LedgerEntry"]
 
 #: Bump when the SQL layout changes incompatibly; opening a file written
 #: by a different layout fails loudly instead of misreading it.
@@ -51,6 +51,32 @@ SCHEMA_VERSION = 1
 
 #: Buffered rows per table before an automatic executemany flush.
 _WRITE_BATCH = 512
+
+# Ledger of consumed archive host-days plus per-run row ranges.  Written
+# with IF NOT EXISTS so it doubles as the on-open migration for files
+# created before incremental ingest existed (same pattern as the
+# covering index): older warehouses gain empty ledger tables and every
+# archive-mode ingest from then on records what it consumed.
+_LEDGER_SCHEMA = """
+CREATE TABLE IF NOT EXISTS ingest_ledger (
+    system   TEXT NOT NULL,
+    host     TEXT NOT NULL,
+    day      TEXT NOT NULL,
+    sha256   TEXT NOT NULL,
+    size     INTEGER NOT NULL,
+    mtime_ns INTEGER NOT NULL,
+    status   TEXT NOT NULL,
+    run_id   TEXT NOT NULL,
+    PRIMARY KEY (system, host, day)
+);
+CREATE TABLE IF NOT EXISTS ingest_runs (
+    system     TEXT NOT NULL,
+    run_id     TEXT NOT NULL,
+    mode       TEXT NOT NULL,
+    row_ranges TEXT NOT NULL,
+    PRIMARY KEY (system, run_id)
+);
+"""
 
 _SCHEMA = """
 CREATE TABLE meta (
@@ -111,7 +137,25 @@ CREATE INDEX idx_jobs_field ON jobs(system, science_field);
 CREATE INDEX idx_metrics_metric ON job_metrics(system, metric);
 CREATE INDEX idx_metrics_covering ON job_metrics(system, metric, jobid, value);
 CREATE INDEX idx_syslog_job ON syslog_events(system, jobid);
-"""
+""" + _LEDGER_SCHEMA
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One consumed archive host-day, as recorded in ``ingest_ledger``.
+
+    ``status`` mirrors the host's scan outcome when the file was
+    consumed (``loaded`` / ``degraded`` / ``dropped``); ``run_id`` links
+    to the ``ingest_runs`` row holding that run's appended row ranges.
+    """
+
+    host: str
+    day: str
+    sha256: str
+    size: int
+    mtime_ns: int
+    status: str
+    run_id: str
 
 
 @dataclass(frozen=True)
@@ -177,6 +221,8 @@ class Warehouse:
                     "CREATE INDEX IF NOT EXISTS idx_metrics_covering "
                     "ON job_metrics(system, metric, jobid, value)"
                 )
+                # Same deal for the incremental-ingest ledger tables.
+                self._conn.executescript(_LEDGER_SCHEMA)
             except sqlite3.OperationalError:
                 pass  # read-only file: queries still work, just slower
 
@@ -188,6 +234,13 @@ class Warehouse:
         self._seen_job_keys: set[tuple[str, str]] = set()
         self._mutations = 0
         self._dirty = False
+        # Append-vs-rebuild signals for the snapshot layer: pure inserts
+        # leave ``_destructive`` alone (rowid watermarks describe the
+        # delta exactly); anything that rewrites existing rows bumps it.
+        # Series appends can update tail bins in place, so series carry
+        # a per-system epoch instead of a rowid watermark.
+        self._destructive = 0
+        self._series_epochs: dict[str, int] = {}
         row = self._conn.execute(
             "SELECT value FROM meta WHERE key='generation'"
         ).fetchone()
@@ -225,6 +278,45 @@ class Warehouse:
     def _mutated(self) -> None:
         self._mutations += 1
         self._dirty = True
+
+    def mark_destructive(self) -> None:
+        """Declare a non-append mutation (row rewrite/delete).
+
+        The snapshot layer's delta refresh only extends its frozen
+        arrays when nothing destructive happened since it was built;
+        callers poking the raw :attr:`connection` for writes should call
+        this so analytics fall back to a full rebuild.
+        """
+        self._destructive += 1
+        self._mutated()
+
+    def change_state(self) -> dict:
+        """Append-vs-rebuild bookkeeping for the snapshot layer.
+
+        Returns ``{"destructive": int, "series_epochs": {system: int}}``
+        (copies — safe to hold across further writes).  Combined with
+        per-table rowid watermarks this tells a snapshot exactly what an
+        O(delta) refresh must reload.
+        """
+        return {
+            "destructive": self._destructive,
+            "series_epochs": dict(self._series_epochs),
+        }
+
+    def _max_rowid(self, table: str) -> int:
+        """Current high-water rowid of *table* (0 when empty).
+
+        Flushes first so buffered rows are visible; with an insert-only
+        write path, rows above a recorded watermark are exactly the rows
+        appended since it was taken.
+        """
+        if table not in ("jobs", "job_metrics", "system_series",
+                         "syslog_events"):
+            raise ValueError(f"unknown table {table!r}")
+        self._flush()
+        return self._conn.execute(
+            f"SELECT COALESCE(MAX(rowid), 0) FROM {table}"
+        ).fetchone()[0]
 
     # -- write buffering ---------------------------------------------------------
 
@@ -328,9 +420,36 @@ class Warehouse:
         self._pending_series.extend(
             (system, metric, float(a), float(b)) for a, b in zip(t, v)
         )
+        self._series_epochs[system] = self._series_epochs.get(system, 0) + 1
         self._mutated()
         if len(self._pending_series) >= _WRITE_BATCH:
             self._flush()
+
+    def append_series(self, system: str, metric: str, times: np.ndarray,
+                      values: np.ndarray) -> None:
+        """Append series points, merging tail overlap deterministically.
+
+        An incremental ingest recomputes the bins that straddle its
+        watermark with strictly more data than the previous run had, so
+        on a ``(system, metric, t)`` collision the incoming value wins
+        (upsert).  Re-appending identical data is therefore idempotent,
+        and K batched appends converge to the same rows as one one-shot
+        ingest.
+        """
+        t = np.asarray(times, dtype=float)
+        v = np.asarray(values, dtype=float)
+        if t.shape != v.shape:
+            raise ValueError("times/values shape mismatch")
+        self._flush()  # keep plain inserts ahead of the upsert
+        rows = [(system, metric, float(a), float(b)) for a, b in zip(t, v)]
+        self._conn.executemany(
+            "INSERT INTO system_series VALUES (?,?,?,?) "
+            "ON CONFLICT(system, metric, t) DO UPDATE "
+            "SET value = excluded.value", rows
+        )
+        get_registry().counter("warehouse.rows.system_series").inc(len(rows))
+        self._series_epochs[system] = self._series_epochs.get(system, 0) + 1
+        self._mutated()
 
     def add_syslog_event(self, system: str, t: float, host: str,
                          jobid: str | None, kind: str, severity: str) -> None:
@@ -362,6 +481,59 @@ class Warehouse:
             (f"ingest_health:{system}",),
         ).fetchone()
         return json.loads(row[0]) if row else None
+
+    # -- ingest ledger -----------------------------------------------------------
+
+    def ledger_map(self, system: str) -> dict[tuple[str, str], LedgerEntry]:
+        """Every consumed host-day, keyed ``(host, day)``.
+
+        Empty for warehouses that predate the ledger (read-only legacy
+        files where the on-open migration could not run).
+        """
+        if not self._has_table("ingest_ledger"):
+            return {}
+        rows = self._conn.execute(
+            "SELECT host, day, sha256, size, mtime_ns, status, run_id "
+            "FROM ingest_ledger WHERE system=?", (system,)
+        ).fetchall()
+        return {(r[0], r[1]): LedgerEntry(*r) for r in rows}
+
+    def record_ledger(self, system: str,
+                      entries: list[LedgerEntry]) -> None:
+        """Upsert consumed host-days (a re-consumed day replaces its row)."""
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO ingest_ledger VALUES (?,?,?,?,?,?,?,?)",
+            [(system, e.host, e.day, e.sha256, e.size, e.mtime_ns,
+              e.status, e.run_id) for e in entries],
+        )
+        self._mutated()
+
+    def record_ingest_run(self, system: str, run_id: str, mode: str,
+                          row_ranges: dict[str, tuple[int, int]]) -> None:
+        """Record one ingest run's appended rowid ranges per table.
+
+        ``row_ranges`` maps table name to the half-open ``(lo, hi]``
+        rowid span the run appended, so an operator can attribute any
+        warehouse row back to the run (and archive files) it came from.
+        """
+        self._conn.execute(
+            "INSERT OR REPLACE INTO ingest_runs VALUES (?,?,?,?)",
+            (system, run_id, mode,
+             json.dumps({k: list(v) for k, v in row_ranges.items()},
+                        sort_keys=True)),
+        )
+        self._mutated()
+
+    def ingest_runs(self, system: str) -> list[dict]:
+        """All recorded ingest runs for *system*, oldest first."""
+        if not self._has_table("ingest_runs"):
+            return []
+        rows = self._conn.execute(
+            "SELECT run_id, mode, row_ranges FROM ingest_runs "
+            "WHERE system=? ORDER BY rowid", (system,)
+        ).fetchall()
+        return [{"run_id": r[0], "mode": r[1],
+                 "row_ranges": json.loads(r[2])} for r in rows]
 
     def commit(self) -> None:
         self._flush()
@@ -399,6 +571,14 @@ class Warehouse:
         return self._conn.execute(
             "SELECT COUNT(*) FROM jobs WHERE system=?", (system,)
         ).fetchone()[0]
+
+    def job_ids(self, system: str) -> set[str]:
+        """All loaded jobids for *system* — the append path's watermark."""
+        self._flush()
+        rows = self._conn.execute(
+            "SELECT jobid FROM jobs WHERE system=?", (system,)
+        ).fetchall()
+        return {r[0] for r in rows}
 
     def job_table(self, system: str,
                   metrics: tuple[str, ...] = SUMMARY_METRICS) -> dict[str, np.ndarray]:

@@ -7,7 +7,7 @@ applications; our ingest pipeline does the same (and the tests corrupt
 the app tag to prove attribution falls back to Lariat data).
 """
 
-from repro.lariat.records import LariatRecord, lariat_record_for
 from repro.lariat.logger import LariatLog, parse_lariat_log
+from repro.lariat.records import LariatRecord, lariat_record_for
 
 __all__ = ["LariatRecord", "lariat_record_for", "LariatLog", "parse_lariat_log"]

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, asdict
+from dataclasses import asdict, dataclass
 
 from repro.scheduler.job import JobRecord
 from repro.workload.applications import APP_CATALOG

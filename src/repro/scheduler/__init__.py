@@ -6,12 +6,12 @@ pipeline ingests: completed job records (→ SGE-style accounting log) and the
 node-occupancy intervals that the TACC_Stats daemons sample.
 """
 
-from repro.scheduler.job import ExitStatus, JobRequest, JobRecord
-from repro.scheduler.queue import WaitQueue
-from repro.scheduler.policies import FCFSPolicy, EasyBackfillPolicy, SchedulingPolicy
-from repro.scheduler.engine import SchedulerEngine, SimulationResult
 from repro.scheduler.accounting import AccountingWriter, parse_accounting
+from repro.scheduler.engine import SchedulerEngine, SimulationResult
 from repro.scheduler.events import SchedulerEventLog, parse_event_log
+from repro.scheduler.job import ExitStatus, JobRecord, JobRequest
+from repro.scheduler.policies import EasyBackfillPolicy, FCFSPolicy, SchedulingPolicy
+from repro.scheduler.queue import WaitQueue
 
 __all__ = [
     "ExitStatus",

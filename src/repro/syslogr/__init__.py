@@ -14,13 +14,13 @@ job id of the job running on the emitting node.  This package provides:
   which is what the ANCOR-style anomaly linkage consumes.
 """
 
-from repro.syslogr.catalog import MessageKind, RawMessage, MESSAGE_CATALOG
+from repro.syslogr.catalog import MESSAGE_CATALOG, MessageKind, RawMessage
+from repro.syslogr.generator import SyslogGenerator
 from repro.syslogr.rationalizer import (
     RationalizedMessage,
     Rationalizer,
     parse_rationalized_log,
 )
-from repro.syslogr.generator import SyslogGenerator
 
 __all__ = [
     "MessageKind",

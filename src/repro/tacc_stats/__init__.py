@@ -10,12 +10,12 @@ counters, and serializes everything in a unified, self-describing
 plain-text format tagged with batch job ids.
 """
 
-from repro.tacc_stats.schema import SchemaEntry, TypeSchema
-from repro.tacc_stats.types import HostData, TimestampBlock, Mark
+from repro.tacc_stats.archive import ArchiveStats, HostArchive
+from repro.tacc_stats.daemon import SampleContext, TaccStatsDaemon
 from repro.tacc_stats.format import StatsWriter
-from repro.tacc_stats.parser import parse_host_text, ParseError
-from repro.tacc_stats.daemon import TaccStatsDaemon, SampleContext
-from repro.tacc_stats.archive import HostArchive, ArchiveStats
+from repro.tacc_stats.parser import ParseError, parse_host_text
+from repro.tacc_stats.schema import SchemaEntry, TypeSchema
+from repro.tacc_stats.types import HostData, Mark, TimestampBlock
 
 __all__ = [
     "SchemaEntry",

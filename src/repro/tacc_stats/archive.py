@@ -13,13 +13,15 @@ claims (0.5 MB/node/day raw, ~3x gzip) can be measured directly
 from __future__ import annotations
 
 import gzip
+import hashlib
 import io
+from collections.abc import Collection
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import (
-    ErrorPolicy,
     QUARANTINE_DIRNAME,
+    ErrorPolicy,
     QuarantinedRecord,
 )
 from repro.tacc_stats.format import StatsWriter
@@ -29,7 +31,46 @@ from repro.telemetry.metrics import get_registry
 from repro.telemetry.trace import span
 from repro.util.timeutil import DAY, format_epoch
 
-__all__ = ["HostArchive", "ArchiveStats", "HostReadResult"]
+__all__ = ["HostArchive", "ArchiveStats", "HostReadResult", "FileFingerprint"]
+
+
+def _file_day(path: Path) -> str:
+    """The ``YYYY-MM-DD`` stamp an archived file's name carries."""
+    return path.name[:-3] if path.name.endswith(".gz") else path.name
+
+
+def _raw_size(path: Path) -> int:
+    """Uncompressed byte count of an archived file without inflating it.
+
+    For rotated ``.gz`` files this reads the ISIZE trailer (last four
+    bytes, little-endian); host-day files are far below 4 GiB so the
+    mod-2^32 caveat never bites.
+    """
+    size = path.stat().st_size
+    if not path.name.endswith(".gz"):
+        return size
+    if size < 4:
+        return 0
+    with path.open("rb") as fh:
+        fh.seek(-4, io.SEEK_END)
+        return int.from_bytes(fh.read(4), "little")
+
+
+@dataclass(frozen=True)
+class FileFingerprint:
+    """Identity of one archived host-day file, for delta classification.
+
+    ``size``/``mtime_ns`` are recorded for observability; ``sha256`` (of
+    the stored bytes) is the authoritative change detector, so touching
+    a file without altering content does not trigger a re-parse.
+    """
+
+    hostname: str
+    day: str
+    path: str
+    size: int
+    mtime_ns: int
+    sha256: str
 
 
 @dataclass(frozen=True)
@@ -87,14 +128,49 @@ class HostArchive:
         Directory to write under (created if missing).
     compress:
         gzip files at rotation/close time.
+    resume_stats:
+        Seed :class:`ArchiveStats` from files already on disk the first
+        time ``stats`` (or a writer) is touched, so re-opening an
+        existing root resumes volume accounting instead of restarting
+        from zero.  Multi-worker replay passes ``False``: each worker
+        holds a private session-scoped tally that the coordinator sums,
+        and eager seeding over the shared, concurrently-growing root
+        would double-count sibling workers' files.
     """
 
-    def __init__(self, root: str | Path, compress: bool = True):
+    def __init__(self, root: str | Path, compress: bool = True,
+                 resume_stats: bool = True):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.compress = compress
+        self.resume_stats = resume_stats
         self._open: dict[str, tuple[int, _OpenFile]] = {}
-        self.stats = ArchiveStats()
+        self._stats: ArchiveStats | None = None
+        #: stored path -> (raw, stored) contribution already counted, so
+        #: a resumed writer replacing a host-day on disk swaps its
+        #: contribution instead of adding on top.
+        self._counted: dict[Path, tuple[int, int]] = {}
+
+    @property
+    def stats(self) -> ArchiveStats:
+        """Volume accounting, lazily seeded from disk when resuming."""
+        if self._stats is None:
+            self._stats = ArchiveStats()
+            if self.resume_stats:
+                self._seed_stats()
+        return self._stats
+
+    def _seed_stats(self) -> None:
+        """Fold every file already on disk into the fresh tally."""
+        assert self._stats is not None
+        for hostname in self.hostnames():
+            for path in self.host_files(hostname):
+                raw, stored = _raw_size(path), path.stat().st_size
+                self._stats.raw_bytes += raw
+                self._stats.compressed_bytes += stored
+                self._stats.file_count += 1
+                self._stats.host_days += 1
+                self._counted[path] = (raw, stored)
 
     # -- writing ---------------------------------------------------------------
 
@@ -125,18 +201,32 @@ class HostArchive:
     def _close_file(self, hostname: str, of: _OpenFile) -> None:
         text = of.buffer.getvalue()
         raw = text.encode("utf-8")
-        self.stats.raw_bytes += len(raw)
-        self.stats.file_count += 1
-        self.stats.host_days += 1
         if self.compress:
             path = of.path.with_suffix(of.path.suffix + ".gz")
-            data = gzip.compress(raw, compresslevel=6)
+            # mtime=0 keeps the stored bytes a pure function of the
+            # content, so the manifest's sha256 is stable across
+            # re-writes of identical data (append mode depends on it).
+            data = gzip.compress(raw, compresslevel=6, mtime=0)
             path.write_bytes(data)
             stored = len(data)
         else:
-            of.path.write_text(text)
+            path = of.path
+            path.write_text(text)
             stored = len(raw)
-        self.stats.compressed_bytes += stored
+        stats = self.stats
+        counted = self._counted.pop(path, None)
+        if counted is not None:
+            # Rewriting a host-day that was already tallied (seeded from
+            # disk or written earlier this session): swap, don't add.
+            stats.raw_bytes -= counted[0]
+            stats.compressed_bytes -= counted[1]
+            stats.file_count -= 1
+            stats.host_days -= 1
+        stats.raw_bytes += len(raw)
+        stats.compressed_bytes += stored
+        stats.file_count += 1
+        stats.host_days += 1
+        self._counted[path] = (len(raw), stored)
         registry = get_registry()
         registry.counter("archive.files_written").inc()
         registry.counter("archive.bytes_raw").inc(len(raw))
@@ -151,12 +241,47 @@ class HostArchive:
 
     # -- reading ---------------------------------------------------------------
 
-    def host_files(self, hostname: str) -> list[Path]:
-        """All archived files for a host, in date order."""
+    def host_files(self, hostname: str,
+                   days: Collection[str] | None = None) -> list[Path]:
+        """Archived files for a host, in date order.
+
+        *days* (``YYYY-MM-DD`` stamps) restricts the listing to those
+        host-days — the delta-ingest path uses it to touch only the
+        files its ledger classified as worth parsing.
+        """
         hostdir = self.root / hostname
         if not hostdir.is_dir():
             return []
-        return sorted(hostdir.iterdir())
+        files = sorted(hostdir.iterdir())
+        if days is None:
+            return files
+        wanted = set(days)
+        return [p for p in files if _file_day(p) in wanted]
+
+    def manifest(self, hosts: Collection[str] | None = None,
+                 ) -> dict[tuple[str, str], FileFingerprint]:
+        """Fingerprint every archived host-day file.
+
+        Returns ``{(hostname, day): FileFingerprint}`` so an incremental
+        ingest can classify each file as new (key absent from the
+        ledger), unchanged (hash matches), or mutated (hash differs).
+        Hashing reads the stored bytes — no decompression — so a
+        manifest pass over N days of history costs I/O, not parsing.
+        """
+        out: dict[tuple[str, str], FileFingerprint] = {}
+        with span("archive.manifest"):
+            for hostname in sorted(hosts) if hosts is not None \
+                    else self.hostnames():
+                for path in self.host_files(hostname):
+                    st = path.stat()
+                    digest = hashlib.sha256(path.read_bytes()).hexdigest()
+                    day = _file_day(path)
+                    out[(hostname, day)] = FileFingerprint(
+                        hostname=hostname, day=day, path=str(path),
+                        size=st.st_size, mtime_ns=st.st_mtime_ns,
+                        sha256=digest)
+        get_registry().counter("archive.manifest_files").inc(len(out))
+        return out
 
     def hostnames(self) -> list[str]:
         """All hosts present in the archive, sorted.
@@ -175,14 +300,16 @@ class HostArchive:
         return path.read_text()
 
     def read_host(self, hostname: str,
-                  allow_truncated: bool = False) -> HostData:
-        """Parse and merge all of a host's files into one stream.
+                  allow_truncated: bool = False,
+                  days: Collection[str] | None = None) -> HostData:
+        """Parse and merge a host's files (optionally only *days*) into
+        one stream.
 
         Empty files (the node was down for the whole day) are skipped;
         if *every* file is empty the result is an empty stream carrying
         the directory's hostname.
         """
-        files = self.host_files(hostname)
+        files = self.host_files(hostname, days=days)
         if not files:
             raise FileNotFoundError(f"no archived files for {hostname}")
         merged: HostData | None = None
@@ -204,6 +331,7 @@ class HostArchive:
     def read_host_checked(self, hostname: str,
                           allow_truncated: bool = False,
                           policy: str = ErrorPolicy.STRICT,
+                          days: Collection[str] | None = None,
                           ) -> HostReadResult:
         """Policy-aware :meth:`read_host`: never raises for malformed
         data except under the ``strict`` policy.
@@ -223,10 +351,11 @@ class HostArchive:
         """
         policy = ErrorPolicy(policy)
         if policy is ErrorPolicy.STRICT:
-            data = self.read_host(hostname, allow_truncated=allow_truncated)
+            data = self.read_host(hostname, allow_truncated=allow_truncated,
+                                  days=days)
             return HostReadResult(hostname, data, (), "ok")
 
-        files = self.host_files(hostname)
+        files = self.host_files(hostname, days=days)
         if not files:
             raise FileNotFoundError(f"no archived files for {hostname}")
         records: list[QuarantinedRecord] = []

@@ -11,24 +11,24 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.node import Node
+from repro.tacc_stats.collectors.amd64_pmc import Amd64PmcCollector
 from repro.tacc_stats.collectors.base import Collector, SampleContext
+from repro.tacc_stats.collectors.block import BlockCollector
 from repro.tacc_stats.collectors.cpu import CpuCollector
-from repro.tacc_stats.collectors.mem import MemCollector
-from repro.tacc_stats.collectors.numa import NumaCollector
-from repro.tacc_stats.collectors.vm import VmCollector
-from repro.tacc_stats.collectors.tmpfs import TmpfsCollector
-from repro.tacc_stats.collectors.net import NetCollector
 from repro.tacc_stats.collectors.ib import IbCollector
+from repro.tacc_stats.collectors.intel_pmc import IntelPmcCollector
+from repro.tacc_stats.collectors.irq import IrqCollector
 from repro.tacc_stats.collectors.llite import LliteCollector
 from repro.tacc_stats.collectors.lnet import LnetCollector
+from repro.tacc_stats.collectors.mem import MemCollector
+from repro.tacc_stats.collectors.net import NetCollector
 from repro.tacc_stats.collectors.nfs import NfsCollector
-from repro.tacc_stats.collectors.block import BlockCollector
+from repro.tacc_stats.collectors.numa import NumaCollector
 from repro.tacc_stats.collectors.ps import PsCollector
 from repro.tacc_stats.collectors.sysv_shm import SysvShmCollector
-from repro.tacc_stats.collectors.irq import IrqCollector
+from repro.tacc_stats.collectors.tmpfs import TmpfsCollector
 from repro.tacc_stats.collectors.vfs import VfsCollector
-from repro.tacc_stats.collectors.amd64_pmc import Amd64PmcCollector
-from repro.tacc_stats.collectors.intel_pmc import IntelPmcCollector
+from repro.tacc_stats.collectors.vm import VmCollector
 
 __all__ = [
     "Collector",

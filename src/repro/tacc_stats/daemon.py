@@ -17,13 +17,17 @@ from __future__ import annotations
 
 from typing import Callable
 
+import numpy as np
+
 from repro.cluster.node import Node
-from repro.tacc_stats.collectors import Collector, SampleContext, build_collectors
+from repro.tacc_stats.collectors import (
+    Collector,
+    SampleContext,
+    build_collectors,
+)
 from repro.tacc_stats.format import StatsWriter
 from repro.util.timeutil import format_epoch
 from repro.workload.behavior import JobBehavior
-
-import numpy as np
 
 __all__ = ["TaccStatsDaemon", "SampleContext"]
 

@@ -229,7 +229,8 @@ def corrupt_archive(root: str | Path, hosts: dict[str, str],
 
 def crashy_scan(state_dir: str, crash_hosts: tuple[str, ...],
                 n_crashes: int, root: str, hostname: str,
-                allow_truncated: bool, policy: str):
+                allow_truncated: bool, policy: str,
+                days: tuple[str, ...] | None = None):
     """Scan worker that dies (``os._exit``) for chosen hosts.
 
     Bind the first three arguments with ``functools.partial`` and pass
@@ -245,12 +246,12 @@ def crashy_scan(state_dir: str, crash_hosts: tuple[str, ...],
         marker.write_text(str(attempts + 1))
         if n_crashes < 0 or attempts < n_crashes:
             os._exit(1)
-    return _scan_one(root, hostname, allow_truncated, policy)
+    return _scan_one(root, hostname, allow_truncated, policy, days)
 
 
 def sleepy_scan(sleep_hosts: tuple[str, ...], sleep_seconds: float,
                 root: str, hostname: str, allow_truncated: bool,
-                policy: str):
+                policy: str, days: tuple[str, ...] | None = None):
     """Scan worker that wedges (sleeps) for chosen hosts.
 
     Bind the first two arguments with ``functools.partial``; used to
@@ -258,4 +259,4 @@ def sleepy_scan(sleep_hosts: tuple[str, ...], sleep_seconds: float,
     """
     if hostname in sleep_hosts:
         time.sleep(sleep_seconds)
-    return _scan_one(root, hostname, allow_truncated, policy)
+    return _scan_one(root, hostname, allow_truncated, policy, days)

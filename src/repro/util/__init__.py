@@ -5,27 +5,8 @@ These modules are dependency-free (numpy/scipy only) and used by every other
 subpackage; nothing in here knows about clusters, jobs, or metrics.
 """
 
+from repro.util.kde import GaussianKDE, scott_bandwidth
 from repro.util.rng import RngFactory
-from repro.util.units import (
-    KB,
-    MB,
-    GB,
-    TB,
-    GIGA,
-    MEGA,
-    TERA,
-    format_bytes,
-    format_count,
-    parse_bytes,
-)
-from repro.util.timeutil import (
-    MINUTE,
-    HOUR,
-    DAY,
-    WEEK,
-    format_epoch,
-    diurnal_factor,
-)
 from repro.util.stats import (
     LinearFit,
     coefficient_of_variation,
@@ -35,7 +16,26 @@ from repro.util.stats import (
     weighted_quantile,
     weighted_std,
 )
-from repro.util.kde import GaussianKDE, scott_bandwidth
+from repro.util.timeutil import (
+    DAY,
+    HOUR,
+    MINUTE,
+    WEEK,
+    diurnal_factor,
+    format_epoch,
+)
+from repro.util.units import (
+    GB,
+    GIGA,
+    KB,
+    MB,
+    MEGA,
+    TB,
+    TERA,
+    format_bytes,
+    format_count,
+    parse_bytes,
+)
 
 __all__ = [
     "RngFactory",

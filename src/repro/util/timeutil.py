@@ -20,6 +20,8 @@ __all__ = [
     "format_duration",
     "diurnal_factor",
     "aligned_samples",
+    "date_to_day_index",
+    "day_index_to_date",
 ]
 
 MINUTE = 60
@@ -54,6 +56,36 @@ def _civil_from_days(days: int) -> tuple[int, int, int]:
     d = doy - (153 * mp + 2) // 5 + 1
     m = mp + 3 if mp < 10 else mp - 9
     return (y + (1 if m <= 2 else 0), m, d)
+
+
+def _days_from_civil(y: int, m: int, d: int) -> int:
+    """Convert (year, month, day) to days-since-1970-01-01.
+
+    Exact inverse of :func:`_civil_from_days` (same Hinnant paper), so
+    archive date stamps round-trip to day indices without ``datetime``.
+    """
+    y -= 1 if m <= 2 else 0
+    era = (y if y >= 0 else y - 399) // 400
+    yoe = y - era * 400
+    doy = (153 * (m + (-3 if m > 2 else 9)) + 2) // 5 + d - 1
+    doe = yoe * 365 + yoe // 4 - yoe // 100 + doy
+    return era * 146097 + doe - 719468
+
+
+def day_index_to_date(day_index: int, anchor: int = EPOCH_ANCHOR) -> str:
+    """Render a facility day index (``t // DAY``) as ``YYYY-MM-DD``."""
+    y, m, d = _civil_from_days(anchor // DAY + day_index)
+    return f"{y:04d}-{m:02d}-{d:02d}"
+
+
+def date_to_day_index(date: str, anchor: int = EPOCH_ANCHOR) -> int:
+    """Parse a ``YYYY-MM-DD`` stamp back to its facility day index.
+
+    Inverse of :func:`day_index_to_date`; used by the ingest ledger to
+    reason about archive file names in facility time.
+    """
+    y, m, d = (int(part) for part in date.split("-"))
+    return _days_from_civil(y, m, d) - anchor // DAY
 
 
 def format_epoch(sim_seconds: float, anchor: int = EPOCH_ANCHOR) -> str:

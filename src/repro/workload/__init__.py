@@ -9,18 +9,18 @@ whose per-metric correlation times drive the persistence results of
 Table 1 / Figure 6.
 """
 
-from repro.workload.fields import SCIENCE_FIELDS, field_weights
 from repro.workload.applications import (
     APP_CATALOG,
-    AppSignature,
     RATE_FIELDS,
     RATE_INDEX,
+    AppSignature,
 )
-from repro.workload.users import UserProfile, generate_users
 from repro.workload.arrivals import arrival_times
-from repro.workload.phases import PHASE_CALIBRATION, PhaseModel
-from repro.workload.behavior import JobBehavior, DerivedRates
+from repro.workload.behavior import DerivedRates, JobBehavior
+from repro.workload.fields import SCIENCE_FIELDS, field_weights
 from repro.workload.generator import WorkloadGenerator
+from repro.workload.phases import PHASE_CALIBRATION, PhaseModel
+from repro.workload.users import UserProfile, generate_users
 
 __all__ = [
     "SCIENCE_FIELDS",

@@ -28,8 +28,8 @@ import numpy as np
 from repro.cluster.hardware import NodeHardware
 from repro.util.rng import RngFactory
 from repro.workload.applications import (
-    AppSignature,
     RATE_INDEX,
+    AppSignature,
 )
 from repro.workload.phases import FIELD_GROUP, GROUPS, PhaseModel
 from repro.workload.users import UserProfile

@@ -8,39 +8,39 @@ correlation analysis that selected the key metrics (§4.2), and the
 per-stakeholder report generators (§4.3).
 """
 
-from repro.xdmod.metrics import METRIC_INFO, MetricInfo, KEY_METRICS
+from repro.xdmod.appkernels import (
+    DEFAULT_KERNELS,
+    AppKernelMonitor,
+    AppKernelSpec,
+    PerfRegression,
+)
+from repro.xdmod.bouquet import BouquetAnalysis
+from repro.xdmod.characterization import WorkloadCharacterization
+from repro.xdmod.correlation import correlation_matrix, select_independent
+from repro.xdmod.density import metric_density, series_density
+from repro.xdmod.efficiency import EfficiencyAnalysis, UserEfficiency
+from repro.xdmod.jobview import JobTimeline, job_timeline
+from repro.xdmod.metrics import KEY_METRICS, METRIC_INFO, MetricInfo
+from repro.xdmod.persistence import PERSISTENCE_METRICS, PersistenceAnalysis
+from repro.xdmod.profiles import UsageProfiler
+from repro.xdmod.query import GroupResult, JobQuery
+from repro.xdmod.realm import SupremmRealm
+from repro.xdmod.reports import (
+    AdminReport,
+    DeveloperReport,
+    FundingAgencyReport,
+    ResourceManagerReport,
+    SupportStaffReport,
+    UserReport,
+)
+from repro.xdmod.scheduling import SchedulingAnalysis
 from repro.xdmod.snapshot import (
     WarehouseSnapshot,
     cache_enabled,
     set_cache_enabled,
 )
-from repro.xdmod.query import JobQuery, GroupResult
-from repro.xdmod.correlation import correlation_matrix, select_independent
-from repro.xdmod.profiles import UsageProfiler
-from repro.xdmod.efficiency import EfficiencyAnalysis, UserEfficiency
-from repro.xdmod.persistence import PersistenceAnalysis, PERSISTENCE_METRICS
-from repro.xdmod.density import metric_density, series_density
 from repro.xdmod.timeseries import SystemTimeseries
-from repro.xdmod.realm import SupremmRealm
 from repro.xdmod.trends import TrendAnalysis, TrendResult
-from repro.xdmod.scheduling import SchedulingAnalysis
-from repro.xdmod.characterization import WorkloadCharacterization
-from repro.xdmod.bouquet import BouquetAnalysis
-from repro.xdmod.jobview import JobTimeline, job_timeline
-from repro.xdmod.appkernels import (
-    AppKernelMonitor,
-    AppKernelSpec,
-    DEFAULT_KERNELS,
-    PerfRegression,
-)
-from repro.xdmod.reports import (
-    UserReport,
-    DeveloperReport,
-    SupportStaffReport,
-    AdminReport,
-    ResourceManagerReport,
-    FundingAgencyReport,
-)
 
 __all__ = [
     "METRIC_INFO",

@@ -90,11 +90,17 @@ class SystemFrame:
     """
 
     __slots__ = ("system", "n_rows", "jobid", "numeric", "codes", "uniques",
-                 "_code_of", "_decoded", "_complete")
+                 "_code_of", "_decoded", "_complete", "_jobs_hi",
+                 "_metrics_hi")
 
     def __init__(self, warehouse: Warehouse, system: str):
         self.system = system
         conn = warehouse.connection
+        # Rowid watermarks taken before the reads: rows above them are
+        # exactly what :meth:`extended` must fetch later (the warehouse
+        # write path is insert-only unless it declares destruction).
+        self._jobs_hi = warehouse._max_rowid("jobs")
+        self._metrics_hi = warehouse._max_rowid("job_metrics")
         dim_cols = ", ".join(DIMENSIONS)
         fact_cols = ", ".join(FACT_COLUMNS)
         rows = conn.execute(
@@ -126,15 +132,19 @@ class SystemFrame:
         # pivoted in numpy instead of a correlated subquery per metric.
         pos = {jobid: i for i, jobid in enumerate(self.jobid)}
         metric_cols = {m: np.full(n, np.nan) for m in SUMMARY_METRICS}
+        n_metric_rows = 0
         for jobid, metric, value in conn.execute(
             "SELECT jobid, metric, value FROM job_metrics WHERE system=?",
             (system,),
         ):
+            n_metric_rows += 1
             col = metric_cols.get(metric)
             if col is not None:
                 col[pos[jobid]] = value
         for m, col in metric_cols.items():
             self.numeric[m] = _freeze(col)
+        get_registry().counter("analytics.frame_rows_scanned").inc(
+            n + n_metric_rows)
 
         self._decoded: dict[str, np.ndarray] = {}
         self._complete: dict[tuple[str, ...], np.ndarray] = {}
@@ -167,6 +177,149 @@ class SystemFrame:
             self._complete[key] = _freeze(mask)
         return mask
 
+    # -- delta refresh -----------------------------------------------------
+
+    def extended(self, warehouse: Warehouse) -> "SystemFrame":
+        """This frame plus every row appended since it was loaded.
+
+        O(delta) by construction: only rows above the recorded rowid
+        watermarks are fetched (the ``analytics.frame_rows_scanned``
+        counter proves it); pre-existing rows are merged in from this
+        frame's already-frozen arrays, never re-read from SQLite.
+        Returns ``self`` (with advanced watermarks) when nothing was
+        appended, else a new frame — the old one stays valid for any
+        consumer still holding it.
+        """
+        conn = warehouse.connection
+        jobs_hi = warehouse._max_rowid("jobs")
+        metrics_hi = warehouse._max_rowid("job_metrics")
+        dim_cols = ", ".join(DIMENSIONS)
+        fact_cols = ", ".join(FACT_COLUMNS)
+        rows = conn.execute(
+            f"SELECT jobid, {dim_cols}, {fact_cols} FROM jobs"
+            f" WHERE system=? AND rowid>? ORDER BY jobid",
+            (self.system, self._jobs_hi),
+        ).fetchall()
+        metric_rows = conn.execute(
+            "SELECT jobid, metric, value FROM job_metrics"
+            " WHERE system=? AND rowid>?",
+            (self.system, self._metrics_hi),
+        ).fetchall()
+        get_registry().counter("analytics.frame_rows_scanned").inc(
+            len(rows) + len(metric_rows))
+        if not rows and not metric_rows:
+            self._jobs_hi, self._metrics_hi = jobs_hi, metrics_hi
+            return self
+
+        n_new = len(rows)
+        cols = list(zip(*rows)) if rows else [
+            [] for _ in range(1 + len(DIMENSIONS) + len(FACT_COLUMNS))
+        ]
+        new = object.__new__(SystemFrame)
+        new.system = self.system
+        new.n_rows = self.n_rows + n_new
+        new._jobs_hi, new._metrics_hi = jobs_hi, metrics_hi
+        new_jobid = np.array(cols[0], dtype=object)
+        # Both halves are jobid-sorted, so a stable argsort of the
+        # concatenation is a merge; the same permutation reorders every
+        # column.
+        order = np.argsort(np.concatenate([self.jobid, new_jobid]),
+                           kind="stable")
+        new.jobid = _freeze(
+            np.concatenate([self.jobid, new_jobid])[order])
+
+        new.codes = {}
+        new.uniques = {}
+        new._code_of = {}
+        for i, dim in enumerate(DIMENSIONS, start=1):
+            vals = np.array(cols[i], dtype=object)
+            uniq = np.unique(np.concatenate([self.uniques[dim], vals]))
+            remap = np.searchsorted(uniq, self.uniques[dim])
+            old_codes = (remap[self.codes[dim]] if self.n_rows
+                         else np.empty(0, dtype=np.int64))
+            codes = np.concatenate(
+                [old_codes, np.searchsorted(uniq, vals)])[order]
+            new.uniques[dim] = _freeze(uniq)
+            new.codes[dim] = _freeze(codes.astype(np.int32))
+            new._code_of[dim] = {v: c for c, v in enumerate(uniq)}
+
+        new.numeric = {}
+        for i, name in enumerate(FACT_COLUMNS, start=1 + len(DIMENSIONS)):
+            col = np.concatenate(
+                [self.numeric[name], np.array(cols[i], dtype=float)])
+            new.numeric[name] = _freeze(col[order])
+
+        pos = {jobid: i for i, jobid in enumerate(new.jobid)}
+        pad = np.full(n_new, np.nan)
+        metric_cols = {
+            m: np.concatenate([self.numeric[m], pad])[order]
+            for m in SUMMARY_METRICS
+        }
+        for jobid, metric, value in metric_rows:
+            col = metric_cols.get(metric)
+            if col is not None:
+                col[pos[jobid]] = value
+        for m, col in metric_cols.items():
+            new.numeric[m] = _freeze(col)
+
+        new._decoded = {}
+        new._complete = {}
+        return new
+
+
+#: Numeric job columns that carry facility time — the only columns a
+#: range step can use to prove itself disjoint from appended data.
+_TIME_COLUMNS = ("submit_time", "start_time", "end_time")
+
+
+def _key_parts(key):
+    """Every leaf value in a (possibly nested) memo key tuple."""
+    for part in key:
+        if isinstance(part, tuple):
+            yield from _key_parts(part)
+        else:
+            yield part
+
+
+def _time_range_steps(key):
+    """Every ``("range", <time column>, lo, hi)`` step inside *key*."""
+    if isinstance(key, tuple):
+        if (len(key) == 4 and key[0] == "range"
+                and key[1] in _TIME_COLUMNS):
+            yield key
+        for part in key:
+            if isinstance(part, tuple):
+                yield from _time_range_steps(part)
+
+
+def _memo_survives(key, affected: set, series_changed: set,
+                   spans: dict) -> bool:
+    """Whether a memo entry provably cannot see the appended rows.
+
+    Conservative by construction: a key survives only when it names no
+    affected system at all, or when every affected system it names has
+    an inclusive time-range filter step disjoint from that system's
+    appended time span.  (System names are matched against every string
+    in the key — a dimension *value* that collides with a system name
+    merely over-drops, never under-drops.)
+    """
+    names = {p for p in _key_parts(key) if isinstance(p, str)}
+    hit = affected & names
+    if not hit:
+        return True
+    if hit & series_changed:
+        return False
+    steps = list(_time_range_steps(key))
+    for system in hit:
+        colspans = spans[system]
+        # One disjoint step suffices: if every appended row fails that
+        # filter, the memoized result cannot have changed.
+        if not any((hi is not None and hi < colspans[col][0])
+                   or (lo is not None and lo > colspans[col][1])
+                   for _op, col, lo, hi in steps):
+            return False
+    return True
+
 
 #: warehouse -> its live snapshot (dropped automatically when the
 #: warehouse object dies; superseded when its data_version moves).
@@ -188,19 +341,128 @@ class WarehouseSnapshot:
         self._memo: dict[tuple, Any] = {}
         self.hits = 0
         self.misses = 0
+        # Append-vs-rebuild bookkeeping: rowid high-waters plus the
+        # warehouse's destruction counter and per-system series epochs.
+        # If only rows above these appear later, :meth:`refresh` extends
+        # in O(delta) instead of rebuilding.
+        self._jobs_hi = warehouse._max_rowid("jobs")
+        self._metrics_hi = warehouse._max_rowid("job_metrics")
+        self._syslog_hi = warehouse._max_rowid("syslog_events")
+        state = warehouse.change_state()
+        self._destructive = state["destructive"]
+        self._series_epochs = state["series_epochs"]
 
     # -- lifecycle ---------------------------------------------------------
 
     @classmethod
     def for_warehouse(cls, warehouse: Warehouse) -> "WarehouseSnapshot":
-        """The memoized snapshot for *warehouse*, rebuilt iff its
+        """The memoized snapshot for *warehouse*, refreshed iff its
         ``data_version`` moved since the last call (i.e. on ingest
-        commit or any buffered write)."""
+        commit or any buffered write).  A stale snapshot is repaired by
+        :meth:`refresh` — O(delta) after an append-only ingest, full
+        rebuild after destructive writes."""
         snap = _SNAPSHOTS.get(warehouse)
-        if snap is None or snap.stamp != warehouse.data_version:
+        if snap is None:
             snap = cls(warehouse)
-            _SNAPSHOTS[warehouse] = snap
+        elif snap.stamp != warehouse.data_version:
+            snap = snap.refresh(warehouse)
+        _SNAPSHOTS[warehouse] = snap
         return snap
+
+    def refresh(self, warehouse: Warehouse) -> "WarehouseSnapshot":
+        """Bring this snapshot up to *warehouse*'s current data version.
+
+        Append-only delta (the common post-ingest case): every loaded
+        frame is extended with just the appended rows, series whose
+        epoch did not move stay loaded, and memo entries survive when
+        their key provably cannot see the appended data — either no
+        affected system appears in the key, or an inclusive time-range
+        step is disjoint from the appended time span.  Anything
+        destructive (row rewrites/deletes) falls back to a fresh
+        snapshot.  Returns ``self`` when already current or refreshed
+        in place, else the replacement snapshot.
+        """
+        if self.stamp == warehouse.data_version:
+            return self
+        state = warehouse.change_state()
+        if state["destructive"] != self._destructive:
+            get_registry().counter("analytics.snapshot_rebuild").inc()
+            return WarehouseSnapshot(warehouse)
+        with span("analytics.snapshot_refresh"):
+            conn = warehouse.connection
+            jobs_hi = warehouse._max_rowid("jobs")
+            metrics_hi = warehouse._max_rowid("job_metrics")
+            syslog_hi = warehouse._max_rowid("syslog_events")
+
+            # Appended-data time span per system and per time column,
+            # from the rows above the old high-waters (GROUP BY keeps
+            # this one indexed pass per table regardless of system
+            # count).  Per-column spans matter: a lookback job can be
+            # submitted days before it ends, and a union span would
+            # needlessly kill entries filtered on a single column.
+            spans: dict[str, dict[str, tuple[float, float]]] = {}
+
+            def widen(system: str, col: str, lo: float, hi: float
+                      ) -> None:
+                cur = spans.setdefault(system, {}).get(col)
+                spans[system][col] = (
+                    (lo, hi) if cur is None
+                    else (min(cur[0], lo), max(cur[1], hi)))
+
+            frame_affected: set[str] = set()
+            for system, *bounds in conn.execute(
+                "SELECT system, MIN(submit_time), MAX(submit_time),"
+                " MIN(start_time), MAX(start_time),"
+                " MIN(end_time), MAX(end_time)"
+                " FROM jobs WHERE rowid>? GROUP BY system",
+                (self._jobs_hi,),
+            ):
+                for i, col in enumerate(_TIME_COLUMNS):
+                    widen(system, col, bounds[2 * i], bounds[2 * i + 1])
+                frame_affected.add(system)
+            for (system,) in conn.execute(
+                "SELECT DISTINCT system FROM job_metrics WHERE rowid>?",
+                (self._metrics_hi,),
+            ):
+                if system not in frame_affected:
+                    # Metrics without their job row cannot happen via
+                    # the pipeline; treat as touching all of time.
+                    for col in _TIME_COLUMNS:
+                        widen(system, col, float("-inf"), float("inf"))
+                    frame_affected.add(system)
+            for system, lo, hi in conn.execute(
+                "SELECT system, MIN(t), MAX(t) FROM syslog_events"
+                " WHERE rowid>? GROUP BY system",
+                (self._syslog_hi,),
+            ):
+                for col in _TIME_COLUMNS:
+                    widen(system, col, lo, hi)
+
+            series_changed = {
+                s for s, epoch in state["series_epochs"].items()
+                if epoch != self._series_epochs.get(s, 0)
+            }
+            for system in frame_affected & self._frames.keys():
+                self._frames[system] = self._frames[system].extended(
+                    warehouse)
+            for key in [k for k in self._series
+                        if k[0] in series_changed]:
+                del self._series[key]
+            affected = set(spans) | series_changed
+            self._memo = {
+                key: value for key, value in self._memo.items()
+                if _memo_survives(key, affected, series_changed, spans)
+            }
+
+            self._jobs_hi = jobs_hi
+            self._metrics_hi = metrics_hi
+            self._syslog_hi = syslog_hi
+            self._destructive = state["destructive"]
+            self._series_epochs = state["series_epochs"]
+            self.stamp = warehouse.data_version
+            self.generation = warehouse.generation
+            get_registry().counter("analytics.snapshot_refresh").inc()
+        return self
 
     @classmethod
     def invalidate(cls, warehouse: Warehouse) -> None:

@@ -3,10 +3,10 @@
 import pytest
 
 from repro.cluster.hardware import (
-    NodeHardware,
     OPTERON_BARCELONA,
-    ProcessorSpec,
     XEON_5680,
+    NodeHardware,
+    ProcessorSpec,
     lonestar4_node,
     ranger_node,
 )

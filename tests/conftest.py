@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import Facility, RANGER, TEST_SYSTEM
+from repro import RANGER, TEST_SYSTEM, Facility
 from repro.xdmod.query import JobQuery
 
 

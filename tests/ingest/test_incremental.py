@@ -1,0 +1,319 @@
+"""Incremental (ledger-driven) ingest: the O(delta) ETL guarantees.
+
+The headline property, proved with hypothesis: splitting an archive's
+day range into ANY sequence of contiguous append batches produces a
+warehouse byte-identical to the one-shot ingest — jobs, metrics, series
+and syslog rows all equal — including when one batch carries a
+quarantined fault.  Plus the supporting contracts: manifest
+fingerprinting, ledger validation (mutated/vanished files), deferral
+and watermark accounting, and archive-stats resume on reopen.
+"""
+
+import io
+import shutil
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import TEST_SYSTEM
+from repro.facility import Facility
+from repro.ingest.pipeline import IngestPipeline
+from repro.ingest.warehouse import Warehouse
+from repro.lariat.records import lariat_record_for
+from repro.scheduler.accounting import AccountingWriter
+from repro.syslogr.catalog import MessageKind
+from repro.syslogr.rationalizer import RationalizedMessage
+from repro.tacc_stats.archive import HostArchive
+from repro.testing.faults import inject_fault
+from repro.util.timeutil import DAY, date_to_day_index
+
+N_DAYS = 3
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    """A finished 3-day archive plus accounting, Lariat and syslog."""
+    cfg = TEST_SYSTEM.scaled(num_nodes=4, horizon_days=N_DAYS, n_users=6)
+    archive_dir = str(tmp_path_factory.mktemp("inc_corpus"))
+    run = Facility(cfg, seed=11).run_with_files(archive_dir)
+    buf = io.StringIO()
+    AccountingWriter(buf, cfg.node.cores, cfg.name).write_all(run.records)
+    lariat = [lariat_record_for(r, cfg.node.cores) for r in run.records]
+    # Synthetic but realistic syslog: one epilog per job at its end
+    # time — spread over the whole horizon, so the append path's
+    # watermark window is genuinely exercised.
+    syslog = [
+        RationalizedMessage(time=r.end_time, host=f"c000-{0:03d}.{cfg.name}",
+                            jobid=r.jobid, kind=MessageKind.JOB_EPILOG,
+                            text=f"epilog {r.jobid}")
+        for r in run.records
+    ]
+    return cfg, archive_dir, buf.getvalue(), lariat, syslog
+
+
+def _archive_days(archive_dir):
+    """All day strings present in the archive, sorted ascending."""
+    archive = HostArchive(archive_dir)
+    days = set()
+    for host in archive.hostnames():
+        for _h, day in archive.manifest(hosts=[host]):
+            days.add(day)
+    return sorted(days)
+
+
+def _copy_days(src, dst, days):
+    """Copy every host's files for *days* from archive *src* to *dst*."""
+    src, dst = Path(src), Path(dst)
+    wanted = set(days)
+    for hostdir in sorted(p for p in src.iterdir() if p.is_dir()):
+        for f in sorted(hostdir.iterdir()):
+            day = f.name[:-3] if f.name.endswith(".gz") else f.name
+            if day in wanted:
+                (dst / hostdir.name).mkdir(parents=True, exist_ok=True)
+                shutil.copy2(f, dst / hostdir.name / f.name)
+
+
+def _ingest(corpus, root, warehouse=None, **kw):
+    cfg, _dir, accounting, lariat, syslog = corpus
+    w = warehouse if warehouse is not None else Warehouse()
+    report = IngestPipeline(w).ingest(
+        cfg, accounting_text=accounting, archive=HostArchive(root),
+        lariat_records=lariat, syslog=syslog, **kw)
+    return w, report
+
+
+def _data_rows(w):
+    """The byte-comparison view: every analytics-visible row, ordered.
+
+    The ledger/meta tables are deliberately excluded — run ids and
+    health legitimately differ between one-shot and batched ingests.
+    """
+    w.commit()
+    return {
+        table: w.connection.execute(
+            f"SELECT {cols} FROM {table} ORDER BY {cols}").fetchall()
+        for table, cols in [
+            ("jobs", "system, jobid, user, account, science_field, app, "
+                     "queue, exit_status, submit_time, start_time, "
+                     "end_time, nodes, cores, node_hours"),
+            ("job_metrics", "system, jobid, metric, value"),
+            ("system_series", "system, metric, t, value"),
+            ("syslog_events", "system, t, host, jobid, kind, severity"),
+        ]
+    }
+
+
+# -- the headline property ---------------------------------------------------
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(data=st.data())
+def test_any_day_partition_equals_oneshot(corpus, tmp_path_factory, data):
+    """Random contiguous day-chunk partitions: K append batches produce
+    a warehouse byte-identical to one-shot ingest of the full archive."""
+    days = _archive_days(corpus[1])
+    cuts = data.draw(st.sets(st.sampled_from(range(1, len(days))),
+                             max_size=len(days) - 1), label="cuts")
+    bounds = [0, *sorted(cuts), len(days)]
+    chunks = [days[lo:hi] for lo, hi in zip(bounds, bounds[1:])]
+
+    oneshot, _ = _ingest(corpus, corpus[1])
+
+    growing = tmp_path_factory.mktemp("growing")
+    w = Warehouse()
+    for chunk in chunks:
+        _copy_days(corpus[1], growing, chunk)
+        _ingest(corpus, growing, warehouse=w, mode="append")
+    assert _data_rows(w) == _data_rows(oneshot)
+
+
+def test_partition_with_quarantined_fault_equals_oneshot(
+        corpus, tmp_path_factory):
+    """A fatal fault in the first batch: batched repair-mode ingest still
+    equals one-shot repair-mode ingest of the same faulted archive."""
+    days = _archive_days(corpus[1])
+    faulted = tmp_path_factory.mktemp("faulted")
+    _copy_days(corpus[1], faulted, days)
+    victim = sorted(p for p in Path(faulted).iterdir() if p.is_dir())[1]
+    inject_fault(sorted(victim.iterdir())[0], "bit_flip", seed=5)
+
+    oneshot, oneshot_report = _ingest(corpus, faulted,
+                                      error_policy="repair")
+    assert oneshot_report.health.hosts_degraded  # the fault registered
+
+    growing = tmp_path_factory.mktemp("growing_faulted")
+    w = Warehouse()
+    for chunk in (days[:1], days[1:]):
+        _copy_days(faulted, growing, chunk)
+        _, report = _ingest(corpus, growing, warehouse=w, mode="append",
+                            error_policy="repair")
+    assert _data_rows(w) == _data_rows(oneshot)
+    # The faulted host-day is consumed WITH its outcome in the ledger.
+    ledger = w.ledger_map(corpus[0].name)
+    assert any(e.status == "degraded" for e in ledger.values())
+
+
+# -- plan accounting ---------------------------------------------------------
+
+
+def test_windowed_seed_defers_and_append_completes(corpus, tmp_path):
+    """through_day windows the ingest; the append run loads exactly the
+    deferred remainder and the watermarks advance day by day."""
+    w, seed_report = _ingest(corpus, corpus[1], through_day=2)
+    assert seed_report.mode == "full"
+    assert seed_report.delta is not None
+    assert seed_report.delta.jobs_deferred > 0
+    assert seed_report.delta.watermark_after == 2 * DAY
+
+    _, append_report = _ingest(corpus, corpus[1], warehouse=w,
+                               mode="append")
+    assert append_report.mode == "append"
+    d = append_report.delta
+    assert d.watermark_before == 2 * DAY
+    assert d.jobs_deferred == 0
+    assert d.files_skipped > 0  # unchanged files were never reopened
+    assert seed_report.jobs_loaded + append_report.jobs_loaded == \
+        _ingest(corpus, corpus[1])[1].jobs_loaded
+
+
+def test_append_on_unchanged_archive_is_noop(corpus):
+    """Re-appending with nothing new parses nothing and loads nothing."""
+    w, _ = _ingest(corpus, corpus[1])
+    before = _data_rows(w)
+    _, report = _ingest(corpus, corpus[1], warehouse=w, mode="append")
+    assert report.jobs_loaded == 0
+    assert report.delta.files_new == 0
+    assert report.delta.files_lookback == 0
+    assert report.syslog_events_loaded == 0
+    assert _data_rows(w) == before
+
+
+def test_mutated_ledgered_file_raises(corpus, tmp_path):
+    """Append mode assumes append-only archives: a hash drift on a
+    ledgered file is a contract violation, not a silent re-ingest."""
+    root = tmp_path / "archive"
+    shutil.copytree(corpus[1], root)
+    w, _ = _ingest(corpus, root)
+    victim = sorted(sorted(
+        p for p in root.iterdir() if p.is_dir())[0].iterdir())[0]
+    inject_fault(victim, "duplicate_timestamp", seed=3)  # benign but new
+    with pytest.raises(ValueError, match="mutated"):
+        _ingest(corpus, root, warehouse=w, mode="append")
+
+
+def test_vanished_ledgered_file_raises(corpus, tmp_path):
+    root = tmp_path / "archive"
+    shutil.copytree(corpus[1], root)
+    w, _ = _ingest(corpus, root)
+    victim = sorted(sorted(
+        p for p in root.iterdir() if p.is_dir())[0].iterdir())[0]
+    victim.unlink()
+    with pytest.raises(ValueError, match="vanished"):
+        _ingest(corpus, root, warehouse=w, mode="append")
+
+
+def test_mode_validation(corpus):
+    cfg = corpus[0]
+    pipe = IngestPipeline(Warehouse())
+    with pytest.raises(ValueError, match="mode"):
+        pipe.ingest(cfg, "", archive=HostArchive(corpus[1]),
+                    mode="sideways")
+    with pytest.raises(ValueError, match="archive"):
+        pipe.ingest(cfg, "", hosts=[], mode="append")
+    with pytest.raises(ValueError, match="through_day"):
+        pipe.ingest(cfg, "", archive=HostArchive(corpus[1]),
+                    through_day=0)
+    with pytest.raises(ValueError, match="full"):
+        pipe.ingest(cfg, "", archive=HostArchive(corpus[1]),
+                    mode="append", through_day=1)
+
+
+# -- manifest & fingerprints -------------------------------------------------
+
+
+def test_manifest_fingerprints_are_stable(corpus):
+    """Two manifests of an untouched archive are identical, and the raw
+    size of a gz file equals its decompressed length."""
+    import gzip
+
+    from repro.tacc_stats.archive import _raw_size
+
+    archive = HostArchive(corpus[1])
+    m1, m2 = archive.manifest(), archive.manifest()
+    assert m1 == m2
+    (host, day), fp = sorted(m1.items())[0]
+    path = Path(fp.path)
+    assert fp.size == path.stat().st_size
+    if path.name.endswith(".gz"):
+        # The ISIZE-trailer shortcut equals a real decompression.
+        assert _raw_size(path) == len(gzip.decompress(path.read_bytes()))
+
+
+def test_ledger_row_ranges_partition_the_tables(corpus):
+    """Every warehouse row is attributed to exactly one ingest run."""
+    w, _ = _ingest(corpus, corpus[1], through_day=2)
+    _ingest(corpus, corpus[1], warehouse=w, mode="append")
+    runs = w.ingest_runs(corpus[0].name)
+    assert [r["mode"] for r in runs] == ["full", "append"]
+    for table in ("jobs", "job_metrics", "syslog_events"):
+        spans = [tuple(r["row_ranges"][table]) for r in runs]
+        # Half-open, contiguous, and covering: 0..max rowid.
+        assert spans[0][0] == 0
+        assert spans[0][1] == spans[1][0]
+        assert spans[1][1] == w._max_rowid(table)
+
+
+# -- archive stats resume (rotation/close across sessions) -------------------
+
+
+def test_archive_stats_resume_from_disk(corpus, tmp_path):
+    """Reopening an existing archive root resumes ArchiveStats from the
+    files on disk instead of starting from zero."""
+    src = HostArchive(corpus[1])
+    fresh = src.stats
+    reopened = HostArchive(corpus[1])
+    assert reopened.stats.file_count == fresh.file_count
+    assert reopened.stats.host_days == fresh.host_days
+    assert reopened.stats.raw_bytes == fresh.raw_bytes
+    assert reopened.stats.compressed_bytes == fresh.compressed_bytes
+    assert reopened.stats.file_count == sum(
+        1 for h in reopened.hostnames() for _ in reopened.host_files(h))
+
+
+def _write_one_day(archive, t=100.0):
+    from repro.tacc_stats.schema import SchemaEntry, TypeSchema
+
+    writer = archive.writer("c001", t)
+    writer.register_schema(
+        TypeSchema("cpu", (SchemaEntry("user", is_event=True),)))
+    writer.begin_block(t)
+    writer.write_row("cpu", "0", [1])
+
+
+def test_rewriting_a_host_day_swaps_not_adds(tmp_path):
+    """Writing the same host-day twice (rotation after reopen) replaces
+    its tally instead of double-counting it."""
+    root = tmp_path / "arch"
+    archive = HostArchive(root)
+    _write_one_day(archive)
+    archive.close()
+    first = (archive.stats.file_count, archive.stats.raw_bytes)
+
+    again = HostArchive(root)
+    _write_one_day(again)
+    again.close()
+    assert again.stats.file_count == first[0]
+    assert again.stats.host_days == 1
+    assert again.stats.raw_bytes == first[1]
+
+
+def test_day_strings_round_trip(corpus):
+    """Archive day strings map to day indices and back consistently."""
+    for day in _archive_days(corpus[1]):
+        idx = date_to_day_index(day)
+        assert idx >= 0
+        from repro.util.timeutil import day_index_to_date
+        assert day_index_to_date(idx) == day

@@ -8,9 +8,9 @@ import pytest
 from repro.cluster.hardware import ranger_node
 from repro.cluster.node import Node
 from repro.ingest.summarize import (
-    JobSummary,
     KEY_METRICS,
     SUMMARY_METRICS,
+    JobSummary,
     summarize_job_from_hosts,
     summarize_job_from_rates,
 )

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.ingest.summarize import JobSummary, SUMMARY_METRICS
+from repro.ingest.summarize import SUMMARY_METRICS, JobSummary
 from repro.ingest.warehouse import Warehouse
 from repro.scheduler.job import ExitStatus, JobRecord
 from tests.scheduler.test_job import make_request

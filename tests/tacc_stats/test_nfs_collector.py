@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import Facility, LONESTAR4
+from repro import LONESTAR4, Facility
 from repro.cluster.hardware import lonestar4_node
 from repro.cluster.node import Node
 from repro.tacc_stats.collectors import NfsCollector, build_collectors

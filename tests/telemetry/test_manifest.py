@@ -9,6 +9,7 @@ import json
 
 import pytest
 
+from repro.telemetry.export import to_prometheus
 from repro.telemetry.log import run_scope
 from repro.telemetry.manifest import (
     MANIFEST_SCHEMA_VERSION,
@@ -18,7 +19,6 @@ from repro.telemetry.manifest import (
     validate_manifest,
 )
 from repro.telemetry.metrics import MetricsRegistry, MetricsSnapshot
-from repro.telemetry.export import to_prometheus
 from repro.telemetry.trace import span
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import Facility, LONESTAR4, RANGER
+from repro import LONESTAR4, RANGER, Facility
 from repro.xdmod.metrics import SERIES_NAMES
 
 

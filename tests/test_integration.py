@@ -4,7 +4,7 @@ synthesizer must tell the same story about the same simulated facility."""
 import numpy as np
 import pytest
 
-from repro import Facility, TEST_SYSTEM
+from repro import TEST_SYSTEM, Facility
 from repro.workload.applications import APP_CATALOG
 
 

@@ -7,7 +7,7 @@ correctness statement for the parallelization.
 
 import pytest
 
-from repro import Facility, RANGER
+from repro import RANGER, Facility
 from repro.tacc_stats.archive import HostArchive
 
 CFG = RANGER.scaled(num_nodes=8, horizon_days=1, n_users=10)

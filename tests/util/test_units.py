@@ -4,11 +4,11 @@ import pytest
 
 from repro.util.units import (
     GB,
+    GIGA,
     KB,
     MB,
-    TB,
-    GIGA,
     MEGA,
+    TB,
     TERA,
     format_bytes,
     format_count,

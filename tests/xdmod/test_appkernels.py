@@ -4,13 +4,13 @@ detection of an injected software-stack regression."""
 import numpy as np
 import pytest
 
-from repro import Facility, RANGER
+from repro import RANGER, Facility
 from repro.util.timeutil import DAY
 from repro.xdmod.appkernels import (
-    AppKernelSpec,
-    AppKernelMonitor,
     DEFAULT_KERNELS,
     KERNEL_USER,
+    AppKernelMonitor,
+    AppKernelSpec,
     PerfRegression,
     kernel_requests,
     kernel_user_profile,

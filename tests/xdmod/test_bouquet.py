@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Facility, LONESTAR4, RANGER
+from repro import LONESTAR4, RANGER, Facility
 from repro.ingest.warehouse import Warehouse
 from repro.xdmod.bouquet import BouquetAnalysis
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ingest.summarize import JobSummary, SUMMARY_METRICS
+from repro.ingest.summarize import SUMMARY_METRICS, JobSummary
 from repro.ingest.warehouse import Warehouse
 from repro.scheduler.job import ExitStatus, JobRecord
 from repro.xdmod.query import JobQuery
@@ -52,17 +52,20 @@ def test_warm_results_equal_cold(wh):
 
 
 def test_commit_invalidates_cache(wh):
+    """An append moves the data version; the refreshed snapshot must
+    drop the affected system's memoized results and serve fresh data
+    (the snapshot object itself may survive via delta refresh)."""
     add_job(wh, "alpha", "1", user="u1")
     wh.commit()
     q = JobQuery(wh, "alpha")
     assert len(q.group_by("user", metrics=())) == 1
-    old_snap = WarehouseSnapshot.for_warehouse(wh)
+    old_stamp = WarehouseSnapshot.for_warehouse(wh).stamp
 
     add_job(wh, "alpha", "2", user="u2")
     wh.commit()
     q2 = JobQuery(wh, "alpha")
     new_snap = WarehouseSnapshot.for_warehouse(wh)
-    assert new_snap is not old_snap
+    assert new_snap.stamp != old_stamp
     assert len(q2.group_by("user", metrics=())) == 2
 
 

@@ -1,0 +1,175 @@
+"""O(delta) snapshot refresh: extend-in-place vs full rebuild.
+
+Proves the three acceptance properties of the delta refresh:
+
+* an append-only commit refreshes the existing snapshot in place and
+  re-reads only the appended rows (asserted through the
+  ``analytics.frame_rows_scanned`` counter — the frame never re-scans
+  what it already holds);
+* memo entries whose time window provably cannot see the appended span
+  survive the refresh, everything else affected is dropped;
+* destructive writes (``mark_destructive``) force a full rebuild.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ingest.summarize import SUMMARY_METRICS, JobSummary
+from repro.ingest.warehouse import Warehouse
+from repro.scheduler.job import ExitStatus, JobRecord
+from repro.telemetry.metrics import get_registry
+from repro.xdmod.query import JobQuery
+from repro.xdmod.snapshot import WarehouseSnapshot
+from tests.scheduler.test_job import make_request
+
+
+@pytest.fixture
+def wh():
+    w = Warehouse()
+    for name in ("alpha", "beta"):
+        w.add_system(name, num_nodes=16, cores_per_node=16,
+                     mem_gb_per_node=32.0, peak_tflops=2.3,
+                     sample_interval=600.0)
+    return w
+
+
+def add_job(wh, system, jobid, user="u1", idle=0.1, nodes=2,
+            start=0.0, end=3600.0):
+    req = make_request(jobid=jobid, user=user, nodes=nodes)
+    rec = JobRecord(req, start, end, tuple(range(nodes)),
+                    ExitStatus.COMPLETED)
+    metrics = {m: 1.0 for m in SUMMARY_METRICS}
+    metrics["cpu_idle"] = idle
+    wh.add_job(system, rec, 16,
+               JobSummary(jobid, metrics, nodes, end - start, 6))
+
+
+def _scanned():
+    return get_registry().counter("analytics.frame_rows_scanned").value
+
+
+def test_refresh_extends_in_place_and_scans_only_delta(wh):
+    for i in range(8):
+        add_job(wh, "alpha", str(i), user=f"u{i % 3}")
+    wh.commit()
+    snap = WarehouseSnapshot.for_warehouse(wh)
+    assert snap.frame("alpha").n_rows == 8
+    before = _scanned()
+
+    add_job(wh, "alpha", "8", user="u9")
+    wh.commit()
+    snap2 = WarehouseSnapshot.for_warehouse(wh)
+    assert snap2 is snap  # refreshed, not rebuilt
+    assert snap2.frame("alpha").n_rows == 9
+    delta_rows = _scanned() - before
+    # 1 job row + its metric rows; a full reload would re-read all 9
+    # jobs plus 9 * len(SUMMARY_METRICS) metric rows.
+    assert delta_rows == 1 + len(SUMMARY_METRICS)
+
+
+def test_refreshed_frame_equals_cold_rebuild(wh):
+    for i in range(6):
+        add_job(wh, "alpha", str(i), user=f"u{i % 2}", idle=0.1 * i)
+    wh.commit()
+    warm = WarehouseSnapshot.for_warehouse(wh)
+    warm.frame("alpha")
+    add_job(wh, "alpha", "z9", user="u7", idle=0.55,
+            start=7200.0, end=10800.0)
+    wh.commit()
+    warm = WarehouseSnapshot.for_warehouse(wh)
+    groups_warm = JobQuery(wh, "alpha").group_by(
+        "user", metrics=("cpu_idle",))
+
+    WarehouseSnapshot.invalidate(wh)
+    groups_cold = JobQuery(wh, "alpha").group_by(
+        "user", metrics=("cpu_idle",))
+    assert groups_warm == groups_cold
+    cold = WarehouseSnapshot.for_warehouse(wh)
+    wf, cf = warm.frame("alpha"), cold.frame("alpha")
+    assert np.array_equal(wf.jobid, cf.jobid)
+    for dim in wf.uniques:
+        assert np.array_equal(wf.decode(dim), cf.decode(dim))
+    for col in wf.numeric:
+        assert np.allclose(wf.numeric[col], cf.numeric[col],
+                           equal_nan=True)
+
+
+def test_disjoint_time_window_entries_survive_refresh(wh):
+    """A memoized result filtered to a time range that cannot contain
+    the appended rows is served from cache after the refresh."""
+    for i in range(5):
+        add_job(wh, "alpha", str(i), start=0.0, end=3600.0)
+    wh.commit()
+    early = JobQuery(wh, "alpha").filter_range("end_time", hi=4000.0)
+    hours = early.node_hours
+    snap = WarehouseSnapshot.for_warehouse(wh)
+
+    # Appended job lives entirely after the filter window.
+    add_job(wh, "alpha", "9", start=90000.0, end=93600.0)
+    wh.commit()
+    snap = WarehouseSnapshot.for_warehouse(wh)
+    hits = snap.cache_stats["hits"]
+    assert JobQuery(wh, "alpha").filter_range(
+        "end_time", hi=4000.0).node_hours == hours
+    assert snap.cache_stats["hits"] == hits + 1
+
+
+def test_affected_unbounded_entries_are_dropped(wh):
+    for i in range(5):
+        add_job(wh, "alpha", str(i), user=f"u{i}")
+    add_job(wh, "beta", "b1", user="ub")
+    wh.commit()
+    q_alpha = JobQuery(wh, "alpha").group_by("user", metrics=())
+    q_beta = JobQuery(wh, "beta").group_by("user", metrics=())
+    snap = WarehouseSnapshot.for_warehouse(wh)
+    entries = snap.cache_stats["entries"]
+
+    add_job(wh, "alpha", "9", user="u9")
+    wh.commit()
+    snap = WarehouseSnapshot.for_warehouse(wh)
+    misses = snap.cache_stats["misses"]
+    hits = snap.cache_stats["hits"]
+    # alpha changed with no time filter: recomputed.
+    assert len(JobQuery(wh, "alpha").group_by("user", metrics=())) == 6
+    assert snap.cache_stats["misses"] == misses + 1
+    # beta untouched: pure memo hit.
+    assert JobQuery(wh, "beta").group_by("user", metrics=()) == q_beta
+    assert snap.cache_stats["hits"] == hits + 1
+    del q_alpha, entries
+
+
+def test_destructive_write_forces_rebuild(wh):
+    add_job(wh, "alpha", "1")
+    wh.commit()
+    snap = WarehouseSnapshot.for_warehouse(wh)
+    rebuilds = get_registry().counter("analytics.snapshot_rebuild").value
+
+    wh.mark_destructive()
+    wh.commit()
+    snap2 = WarehouseSnapshot.for_warehouse(wh)
+    assert snap2 is not snap
+    assert get_registry().counter(
+        "analytics.snapshot_rebuild").value == rebuilds + 1
+
+
+def test_series_epoch_bump_drops_only_that_system(wh):
+    wh.add_series("alpha", "load1", np.array([0.0, 600.0]),
+                  np.array([1.0, 2.0]))
+    wh.add_series("beta", "load1", np.array([0.0, 600.0]),
+                  np.array([3.0, 4.0]))
+    wh.commit()
+    snap = WarehouseSnapshot.for_warehouse(wh)
+    a0 = snap.series("alpha", "load1")
+    b0 = snap.series("beta", "load1")
+
+    wh.append_series("alpha", "load1", np.array([600.0, 1200.0]),
+                     np.array([2.5, 3.5]))
+    wh.commit()
+    snap2 = WarehouseSnapshot.for_warehouse(wh)
+    assert snap2 is snap
+    t, v = snap2.series("alpha", "load1")
+    # The tail-overlap point was merged (upsert), the new point appended.
+    assert t.tolist() == [0.0, 600.0, 1200.0]
+    assert v.tolist() == [1.0, 2.5, 3.5]
+    assert snap2.series("beta", "load1") is b0  # untouched system kept
+    del a0
