@@ -43,8 +43,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--warehouse", required=True,
                         help="SQLite file to create/extend")
     parser.add_argument("--archive", default=None,
-                        help="directory for a full text-format archive "
+                        help="directory for a full stats archive "
                              "(enables the slow path)")
+    parser.add_argument("--archive-format", choices=("text", "v2"),
+                        default="text",
+                        help="on-disk format the daemons write: the "
+                             "paper-faithful self-describing text "
+                             "(default) or the binary columnar v2 "
+                             "(docs/FORMAT.md); ingest autodetects per "
+                             "file and both produce byte-identical "
+                             "warehouses")
     parser.add_argument("--workers", type=int, default=1,
                         help="process-parallel node replay for --archive "
                              "runs (output is byte-identical)")
@@ -124,6 +132,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.append and not args.archive:
         return die("--append requires --archive (the ingest ledger "
                    "tracks archive files)")
+    if args.archive_format != "text" and not args.archive:
+        return die("--archive-format requires --archive (the fast path "
+                   "writes no files)")
     if args.ingest_days is not None:
         if not args.archive:
             return die("--ingest-days requires --archive")
@@ -163,7 +174,8 @@ def main(argv: list[str] | None = None) -> int:
                     error_policy=args.error_policy,
                     max_retries=args.max_retries,
                     ingest_mode="append" if args.append else "full",
-                    ingest_through_day=args.ingest_days)
+                    ingest_through_day=args.ingest_days,
+                    archive_format=args.archive_format)
             else:
                 run = facility.run(warehouse=warehouse,
                                    with_syslog=not args.no_syslog)

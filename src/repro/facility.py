@@ -103,6 +103,7 @@ def _replay_nodes(
     node_indices: list[int],
     archive_dir: str,
     compress: bool,
+    archive_format: str = "text",
 ) -> tuple[ArchiveStats, MetricsSnapshot]:
     """Replay a set of nodes' daemons into the shared archive directory.
 
@@ -118,7 +119,7 @@ def _replay_nodes(
     with use_registry(local):
         stats = _replay_nodes_body(
             cfg, seed, users, util_scale, phase_calibration, regressions,
-            records, node_indices, archive_dir, compress)
+            records, node_indices, archive_dir, compress, archive_format)
     return stats, local.snapshot()
 
 
@@ -133,6 +134,7 @@ def _replay_nodes_body(
     node_indices: list[int],
     archive_dir: str,
     compress: bool,
+    archive_format: str = "text",
 ) -> ArchiveStats:
     """The actual daemon replay; see :func:`_replay_nodes`."""
     from repro.cluster.node import Node
@@ -143,7 +145,8 @@ def _replay_nodes_body(
     # coordinator sums; resuming from the shared, concurrently-growing
     # directory would double-count sibling workers' files.
     archive = HostArchive(archive_dir, compress=compress,
-                          resume_stats=False)
+                          resume_stats=False,
+                          archive_format=archive_format)
     wanted = set(node_indices)
     per_node: dict[int, list[tuple[float, float, JobRecord, int]]] = {}
     needed_jobs: set[str] = set()
@@ -444,6 +447,7 @@ class Facility:
         max_retries: int = 2,
         ingest_mode: str = "full",
         ingest_through_day: int | None = None,
+        archive_format: str = "text",
     ) -> FacilityRun:
         """Slow path: daemons write the text format; ingest parses it back.
 
@@ -463,6 +467,10 @@ class Facility:
         always writes the full horizon, but ``ingest_through_day=N``
         consumes only the first N facility days, and a later
         ``ingest_mode="append"`` run folds in just the remainder.
+        *archive_format* selects the daemons' on-disk format
+        (``"text"`` or ``"v2"`` columnar); ingest autodetects per file,
+        and both formats produce byte-identical warehouses (asserted by
+        tests and the columnar bench).
         """
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -477,7 +485,8 @@ class Facility:
         with span("facility.replay", system=cfg.name, workers=workers):
             if workers == 1:
                 archive_stats, replay_metrics = _replay_nodes(
-                    *replay_args, all_nodes, archive_dir, compress)
+                    *replay_args, all_nodes, archive_dir, compress,
+                    archive_format)
                 get_registry().merge_snapshot(replay_metrics)
             else:
                 import multiprocessing
@@ -485,7 +494,8 @@ class Facility:
                 chunks = [all_nodes[i::workers] for i in range(workers)]
                 with multiprocessing.Pool(workers) as pool:
                     partials = pool.map(_replay_nodes_star, [
-                        (*replay_args, chunk, archive_dir, compress)
+                        (*replay_args, chunk, archive_dir, compress,
+                         archive_format)
                         for chunk in chunks if chunk
                     ])
                 archive_stats = ArchiveStats()

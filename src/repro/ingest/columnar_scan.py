@@ -1,0 +1,600 @@
+"""Columnar fast path: HostScan straight from v2 column chunks.
+
+The generic ingest path materializes a :class:`HostData` — per-block
+``{type: {device: vector}}`` dicts — and lets :func:`host_job_partials`
+iterate them.  For v2 archives that round trip through Python dicts is
+the bottleneck: building ~5k row dicts per host-day costs more than
+mapping the file did.  This module computes the same
+:class:`~repro.ingest.parallel.HostScan` (matcher views + per-job metric
+partials) directly from the mapped column arrays, without ever building
+row dicts.
+
+Float-for-float parity with the dict path is a hard requirement (the
+warehouse must be byte-identical), so every reduction here replicates
+the generic code's *exact* arithmetic:
+
+* counter deltas (:func:`event_delta`) are integer math — order-free, so
+  they vectorize freely;
+* gauge statistics sum devices per block and then average blocks with
+  the same numpy reductions over the same values in the same order
+  (pairwise summation over an axis of a contiguous array is identical
+  to summing each row separately);
+* PMC-foreignness is a boolean — ``np.isin`` replaces the triple loop.
+
+Anything the columns cannot express in the common shape (device sets
+changing mid-job, counter values out of range) falls back to a small
+dict built for just the blocks involved, running the generic inner
+loop — so the odd host is slower, never wrong.  ``tests`` assert
+partial-level equality against the dict path on simulated corpora, and
+the columnar bench + CI assert warehouse byte-identity end to end.
+
+Multi-day merge semantics mirror :meth:`HostArchive.read_host_checked`
+exactly (empty-file skip, hostname-mismatch and schema-drift
+quarantine); hosts whose day files are not all v2, or whose merged
+stream violates the concatenation invariants, are handed back to the
+generic path (``None`` from :func:`scan_v2_host`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ErrorPolicy, QuarantinedRecord
+from repro.ingest.matcher import HostJobView
+from repro.ingest.summarize import HostJobPartial
+from repro.tacc_stats.collectors.amd64_pmc import AMD64_EVENT_CODES
+from repro.tacc_stats.collectors.intel_pmc import (
+    FP_OVERCOUNT,
+    INTEL_EVENT_CODES,
+)
+from repro.tacc_stats.columnar import V2HostDay, is_v2_path, read_host_day
+from repro.tacc_stats.parser import ParseError, event_delta
+from repro.tacc_stats.schema import TypeSchema
+from repro.tacc_stats.types import Mark
+from repro.telemetry.trace import span
+from repro.util.units import GB, KB
+
+__all__ = ["ColumnarHost", "build_columnar_host", "scan_v2_host"]
+
+
+@dataclass
+class _TypeCols:
+    """One record type's merged columns across a host's day files."""
+
+    schema: TypeSchema
+    devices: list[str]
+    dev_map: dict[str, int]
+    dev_idx: np.ndarray   # i8[Rt] unified device index per row
+    values: np.ndarray    # u8[Rt, K] value matrix
+    seg: np.ndarray       # i8[N+1]: rows of block b are seg[b]:seg[b+1]
+
+
+class ColumnarHost:
+    """A host's merged day files as columns — the fast path's HostData."""
+
+    def __init__(self, hostname: str):
+        self.hostname = hostname
+        self.schemas: dict[str, TypeSchema] = {}
+        self.times: list[float] = []
+        self.jobids: list[tuple[str, ...]] = []
+        self.marks: list[Mark] = []
+        self.types: dict[str, _TypeCols] = {}
+
+    def job_window(self, jobid: str) -> tuple[float, float] | None:
+        """(begin, end) mark times — :meth:`HostData.job_window`."""
+        begin = end = None
+        for m in self.marks:
+            if m.jobid != jobid:
+                continue
+            if m.kind == "begin" and begin is None:
+                begin = m.time
+            elif m.kind == "end":
+                end = m.time
+        if begin is None or end is None:
+            return None
+        return (begin, end)
+
+
+def build_columnar_host(hostname: str,
+                        days: list[V2HostDay]) -> ColumnarHost | None:
+    """Merge one host's decoded day files into a :class:`ColumnarHost`.
+
+    The caller (:func:`scan_v2_host`) has already checked schema drift
+    and hostname consistency across *days*.  Returns ``None`` when the
+    merged stream violates the concatenation invariants (non-monotonic
+    block times across files) — the generic sort-based merge path
+    handles that case.
+    """
+    ch = ColumnarHost(hostname)
+    for day in days:
+        for t in day.types:
+            ch.schemas.setdefault(t.name, t.schema)
+
+    per_type: dict[str, list] = {name: [] for name in ch.schemas}
+    n_blocks = 0
+    for day in days:
+        times = day.times.tolist()
+        if ch.times and times and times[0] < ch.times[-1]:
+            return None  # cross-file overlap: generic merge sorts, we don't
+        tag_tuples = [
+            () if tag == "-" else tuple(tag.split(","))
+            for tag in day.header["jobid_tags"]
+        ]
+        ch.times.extend(times)
+        ch.jobids.extend(tag_tuples[g] for g in day.tags.tolist())
+        ch.marks.extend(
+            Mark(time=times[b], kind=kind, jobid=jobid)
+            for b, kind, jobid in day.header["marks"]
+        )
+        row_type = day.row_type
+        row_block = day.row_block
+        for ti, tc in enumerate(day.types):
+            if tc.values.shape[0] == 0:
+                continue
+            mask = row_type == ti
+            per_type[tc.name].append(
+                (n_blocks, tc, row_block[mask].astype(np.int64)))
+        n_blocks += len(times)
+    # merge_from sorts marks by time (stable); per-day lists are already
+    # time-ordered, so a stable sort of the concatenation matches it.
+    ch.marks.sort(key=lambda m: m.time)
+
+    for name, schema in ch.schemas.items():
+        devices: list[str] = []
+        dev_map: dict[str, int] = {}
+        dev_parts, val_parts, blk_parts = [], [], []
+        for block_off, tc, rb in per_type[name]:
+            remap = np.empty(len(tc.devices), dtype=np.int64)
+            for i, dev in enumerate(tc.devices):
+                di = dev_map.get(dev)
+                if di is None:
+                    di = dev_map[dev] = len(devices)
+                    devices.append(dev)
+                remap[i] = di
+            dev_parts.append(remap[tc.dev_idx])
+            val_parts.append(tc.values)
+            blk_parts.append(rb + block_off)
+        if dev_parts:
+            dev_idx = np.concatenate(dev_parts)
+            values = np.vstack(val_parts)
+            block_of = np.concatenate(blk_parts)
+        else:
+            dev_idx = np.empty(0, dtype=np.int64)
+            values = np.empty((0, schema.n_values), dtype=np.uint64)
+            block_of = np.empty(0, dtype=np.int64)
+        seg = np.searchsorted(block_of, np.arange(n_blocks + 1))
+        ch.types[name] = _TypeCols(
+            schema=schema, devices=devices, dev_map=dev_map,
+            dev_idx=dev_idx, values=values, seg=seg)
+    return ch
+
+
+# ---------------------------------------------------------------------------
+# Metric reductions (parity-exact counterparts of summarize._*).
+# ---------------------------------------------------------------------------
+
+
+def _delta_rate(ch: ColumnarHost, bidx, type_name: str, key: str,
+                scale: float, seconds: float) -> float | None:
+    """Columnar :func:`summarize._delta_rate` (first->last, summed)."""
+    tc = ch.types.get(type_name)
+    if tc is None:
+        return None
+    try:
+        col, width = tc.schema.column(key)
+    except KeyError:
+        return None
+    s0, e0 = tc.seg[bidx[0]], tc.seg[bidx[0] + 1]
+    s1, e1 = tc.seg[bidx[-1]], tc.seg[bidx[-1] + 1]
+    if e0 == s0 or e1 == s1:
+        return None
+    d0 = tc.dev_idx[s0:e0]
+    v0 = tc.values[s0:e0, col]
+    v1 = tc.values[s1:e1, col]
+    if np.array_equal(d0, tc.dev_idx[s1:e1]):
+        pairs = zip(v0.tolist(), v1.tolist())
+    else:
+        first_pos = {d: i for i, d in enumerate(d0.tolist())}
+        v0l, v1l = v0.tolist(), v1.tolist()
+        pairs = []
+        for j, d in enumerate(tc.dev_idx[s1:e1].tolist()):
+            i = first_pos.get(d)
+            if i is None:
+                return None  # device present at the end, absent at start
+            pairs.append((v0l[i], v1l[j]))
+    total = 0
+    for first, last in pairs:
+        total += event_delta(first, last, width)
+    return total * scale / seconds
+
+
+def _mount_delta_rate(ch: ColumnarHost, bidx, type_name: str, device: str,
+                      key: str, seconds: float) -> float | None:
+    """Columnar :func:`summarize._mount_delta_rate` (one device)."""
+    tc = ch.types.get(type_name)
+    if tc is None:
+        return None
+    try:
+        col, width = tc.schema.column(key)
+    except KeyError:
+        return None
+    di = tc.dev_map.get(device)
+    if di is None:
+        return None
+    s0, e0 = tc.seg[bidx[0]], tc.seg[bidx[0] + 1]
+    s1, e1 = tc.seg[bidx[-1]], tc.seg[bidx[-1] + 1]
+    p0 = np.flatnonzero(tc.dev_idx[s0:e0] == di)
+    p1 = np.flatnonzero(tc.dev_idx[s1:e1] == di)
+    if p0.size == 0 or p1.size == 0:
+        return None
+    return event_delta(int(tc.values[s0 + p0[0], col]),
+                       int(tc.values[s1 + p1[0], col]), width) / seconds
+
+
+def _chained_delta_rate(ch: ColumnarHost, bidx, type_name: str, key: str,
+                        scale: float, seconds: float) -> float | None:
+    """Columnar :func:`summarize._chained_delta_rate` (per-interval)."""
+    tc = ch.types.get(type_name)
+    if tc is None:
+        return None
+    try:
+        col, width = tc.schema.column(key)
+    except KeyError:
+        return None
+    starts = tc.seg[bidx]
+    ends = tc.seg[bidx + 1]
+    counts = ends - starts
+    if (counts == 0).any():
+        return None  # some block lacks the type entirely
+    d = int(counts[0])
+    uniform = bool((counts == d).all())
+    contiguous = bool((starts[1:] == ends[:-1]).all())
+    if uniform and contiguous:
+        rows = slice(int(starts[0]), int(ends[-1]))
+        dev2d = tc.dev_idx[rows].reshape(-1, d)
+        same_devs = bool((dev2d == dev2d[0]).all())
+        if same_devs:
+            vals = tc.values[rows, col].reshape(-1, d)
+            mod = 1 << width
+            if width < 64 and bool((vals >= mod).any()):
+                # event_delta's range check, message included.
+                raise ValueError(
+                    f"counter value out of range for width {width}")
+            # (last - first) mod 2**width == event_delta for every
+            # branch of its single-rollover correction; u8 subtraction
+            # wraps mod 2**64 natively.
+            deltas = vals[1:] - vals[:-1]
+            if width < 64:
+                deltas &= np.uint64(mod - 1)
+            # Exact integer total: each delta < 2**width and the bench
+            # corpus is far from 2**64 aggregate, but keep Python ints
+            # to make overflow impossible rather than unlikely.
+            total = int(np.sum(deltas, dtype=object))
+            return total * scale / seconds
+    # Fallback: generic inner loop over per-block dicts (rare shapes).
+    total = 0
+    prev = None
+    for b in bidx.tolist():
+        s, e = tc.seg[b], tc.seg[b + 1]
+        cur = dict(zip(tc.dev_idx[s:e].tolist(),
+                       tc.values[s:e, col].tolist()))
+        if prev is not None:
+            for dev, v_cur in cur.items():
+                v_prev = prev.get(dev)
+                if v_prev is None:
+                    return None
+                total += event_delta(v_prev, v_cur, width)
+        prev = cur
+    return total * scale / seconds
+
+
+def _gauge_stats(ch: ColumnarHost, bidx, type_name: str, key: str,
+                 agg_devices: str = "sum") -> tuple[float, float] | None:
+    """Columnar :func:`summarize._gauge_stats` ((time-mean, max))."""
+    tc = ch.types.get(type_name)
+    if tc is None:
+        return None
+    try:
+        col = tc.schema.index_of(key)
+    except KeyError:
+        return None
+    starts = tc.seg[bidx]
+    ends = tc.seg[bidx + 1]
+    counts = ends - starts
+    have = counts > 0
+    if not have.any():
+        return None
+    d = int(counts[have][0])
+    if bool((counts == d).all()) and bool(
+            (starts[1:] == ends[:-1]).all()):
+        # Uniform device count, contiguous rows: one reshape, one
+        # axis-reduction.  Summing along the last axis of a contiguous
+        # f8 array applies the same pairwise reduction to the same
+        # values in the same order as the dict path's per-block
+        # ``np.array([...]).sum()``.
+        per = tc.values[int(starts[0]):int(ends[-1]), col] \
+            .reshape(-1, d).astype(np.float64)
+        arr = per.sum(axis=1) if agg_devices == "sum" else per.mean(axis=1)
+    else:
+        vals = []
+        for b in bidx.tolist():
+            s, e = int(tc.seg[b]), int(tc.seg[b + 1])
+            if e == s:
+                continue
+            per_dev = tc.values[s:e, col].astype(np.float64)
+            vals.append(per_dev.sum() if agg_devices == "sum"
+                        else per_dev.mean())
+        arr = np.asarray(vals)
+    return float(arr.mean()), float(arr.max())
+
+
+_AMD_CODES = np.array(sorted(set(AMD64_EVENT_CODES.values())),
+                      dtype=np.uint64)
+_INTEL_CODES = np.array(sorted(set(INTEL_EVENT_CODES.values())),
+                        dtype=np.uint64)
+
+
+def _pmc_is_foreign(ch: ColumnarHost, bidx) -> bool:
+    """Columnar :func:`summarize._pmc_is_foreign` (pure boolean)."""
+    for type_name, codes in (("amd64_pmc", _AMD_CODES),
+                             ("intel_pmc", _INTEL_CODES)):
+        tc = ch.types.get(type_name)
+        if tc is None:
+            continue
+        ctl_cols = [i for i, e in enumerate(tc.schema.entries)
+                    if e.key.startswith("ctl")]
+        if not ctl_cols:
+            continue
+        starts = tc.seg[bidx]
+        ends = tc.seg[bidx + 1]
+        if bool((starts[1:] == ends[:-1]).all()):
+            ctl = tc.values[int(starts[0]):int(ends[-1])][:, ctl_cols]
+        else:
+            parts = [tc.values[int(s):int(e), :][:, ctl_cols]
+                     for s, e in zip(starts, ends) if e > s]
+            if not parts:
+                continue
+            ctl = np.concatenate(parts)
+        if ctl.size and not bool(np.isin(ctl, codes).all()):
+            return True
+    return False
+
+
+def _flops_rate(ch: ColumnarHost, bidx, seconds: float) -> float | None:
+    """Columnar :func:`summarize._flops_rate`."""
+    if "amd64_pmc" in ch.schemas:
+        rate = _delta_rate(ch, bidx, "amd64_pmc", "ctr0", 1.0, seconds)
+        if rate is None:
+            return None
+        return rate / 1e9
+    if "intel_pmc" in ch.schemas:
+        rate = _delta_rate(ch, bidx, "intel_pmc", "ctr0", 1.0, seconds)
+        if rate is None:
+            return None
+        return rate / FP_OVERCOUNT / 1e9
+    return None
+
+
+def _host_partial(ch: ColumnarHost, jobid: str,
+                  bidx: np.ndarray) -> HostJobPartial | None:
+    """Columnar :func:`summarize._host_partial` — same metrics, same
+    None conditions, same float operations in the same order."""
+    if len(bidx) < 2:
+        return None
+    seconds = ch.times[int(bidx[-1])] - ch.times[int(bidx[0])]
+    if seconds <= 0:
+        return None
+    h: dict[str, float] = {}
+    poisoned: tuple[str, ...] = ()
+
+    parts = {}
+    for key in ("user", "system", "idle", "iowait", "irq", "softirq",
+                "nice"):
+        r = _delta_rate(ch, bidx, "cpu", key, 1.0, seconds)
+        if r is None:
+            parts = None
+            break
+        parts[key] = r
+    if parts is not None:
+        total = sum(parts.values())
+        if total > 0:
+            h["cpu_idle"] = parts["idle"] / total
+            h["cpu_user"] = (parts["user"] + parts["nice"]) / total
+            h["cpu_sys"] = (
+                parts["system"] + parts["irq"] + parts["softirq"]
+            ) / total
+
+    if _pmc_is_foreign(ch, bidx):
+        poisoned = ("cpu_flops",)
+    else:
+        flops = _flops_rate(ch, bidx, seconds)
+        if flops is not None:
+            h["cpu_flops"] = flops
+
+    mem = _gauge_stats(ch, bidx, "mem", "MemUsed", "sum")
+    if mem is not None:
+        h["mem_used"] = mem[0] * KB / GB
+        h["mem_used_max"] = mem[1] * KB / GB
+
+    for mount in ("scratch", "work", "share"):
+        for op, key in (("write", "write_bytes"), ("read", "read_bytes")):
+            rate = _mount_delta_rate(ch, bidx, "llite", mount, key,
+                                     seconds)
+            if rate is None and mount == "share":
+                rate = _delta_rate(ch, bidx, "nfs", key, 1.0, seconds)
+            if rate is not None:
+                h[f"io_{mount}_{op}"] = rate / 1e6
+
+    for direction, key in (("tx", "port_xmit_data"),
+                           ("rx", "port_rcv_data")):
+        rate = _chained_delta_rate(ch, bidx, "ib", key, 4.0, seconds)
+        if rate is not None:
+            h[f"net_ib_{direction}"] = rate / 1e6
+
+    for direction, key in (("tx", "tx_bytes"), ("rx", "rx_bytes")):
+        rate = _delta_rate(ch, bidx, "lnet", key, 1.0, seconds)
+        if rate is not None:
+            h[f"net_lnet_{direction}"] = rate / 1e6
+
+    return HostJobPartial(
+        hostname=ch.hostname,
+        jobid=jobid,
+        metrics=h,
+        poisoned=poisoned,
+        n_blocks=len(bidx),
+        seconds=seconds,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scan assembly (views + partials), mirroring scan_host_data.
+# ---------------------------------------------------------------------------
+
+
+def columnar_views(ch: ColumnarHost) -> dict[str, HostJobView]:
+    """Columnar :func:`matcher.host_job_views`."""
+    span_first: dict[str, float] = {}
+    span_last: dict[str, float] = {}
+    for t, jids in zip(ch.times, ch.jobids):
+        for jid in jids:
+            if jid not in span_first:
+                span_first[jid] = t
+            span_last[jid] = t
+    seen = {m.jobid for m in ch.marks}
+    seen.update(span_first)
+    out: dict[str, HostJobView] = {}
+    for jid in seen:
+        span = ((span_first[jid], span_last[jid])
+                if jid in span_first else None)
+        out[jid] = HostJobView(
+            hostname=ch.hostname,
+            jobid=jid,
+            mark_window=ch.job_window(jid),
+            block_span=span,
+        )
+    return out
+
+
+def columnar_partials(ch: ColumnarHost) -> dict[str, HostJobPartial]:
+    """Columnar :func:`summarize.host_job_partials`."""
+    by_job: dict[str, list[int]] = {}
+    for bi, jids in enumerate(ch.jobids):
+        for jid in jids:
+            by_job.setdefault(jid, []).append(bi)
+    out: dict[str, HostJobPartial] = {}
+    for jid, blocks in by_job.items():
+        partial = _host_partial(ch, jid, np.asarray(blocks,
+                                                    dtype=np.int64))
+        if partial is not None:
+            out[jid] = partial
+    return out
+
+
+def scan_v2_host(archive, hostname: str,
+                 allow_truncated: bool = False,
+                 policy: str = ErrorPolicy.STRICT,
+                 days=None,
+                 ) -> tuple["object", tuple[QuarantinedRecord, ...],
+                            str] | None:
+    """Scan one host's v2 day files without ever building HostData.
+
+    The columnar equivalent of ``read_host_checked`` + ``scan_host_data``:
+    the same per-file outcomes (unreadable / empty / hostname-mismatch /
+    schema-drift quarantine, identical record kinds and error strings),
+    the same strict-mode exceptions (:class:`V2FormatError` for a corrupt
+    file, ``ValueError`` for merge conflicts, ``FileNotFoundError`` for
+    an unknown host), and a byte-identical warehouse downstream.
+
+    Returns ``(HostScan | None, records, status)``, or ``None`` when the
+    host needs the generic path — any non-v2 file in the mix, or a
+    cross-file ordering the concatenation invariants cannot express
+    (the generic merge sorts; this path does not).
+
+    *allow_truncated* is accepted for signature parity; a truncated v2
+    file is detected by its missing footer and handled by the policy
+    like any other corruption.
+    """
+    del allow_truncated  # v2 truncation == corruption; policy handles it
+    from repro.ingest.parallel import HostScan
+
+    files = archive.host_files(hostname, days=days)
+    if not files:
+        raise FileNotFoundError(f"no archived files for {hostname}")
+    if not all(is_v2_path(p) for p in files):
+        return None
+
+    policy = ErrorPolicy(policy)
+    records: list[QuarantinedRecord] = []
+    kept: list[V2HostDay] = []
+    schemas: dict[str, TypeSchema] = {}
+    base_hostname: str | None = None
+    with span("ingest.parse", host=hostname):
+        for path in files:
+            if policy is ErrorPolicy.STRICT:
+                day = read_host_day(path)  # V2FormatError propagates
+            else:
+                try:
+                    day = read_host_day(path)
+                except (ParseError, OSError, UnicodeDecodeError) as e:
+                    records.append(QuarantinedRecord(
+                        hostname=hostname, path=str(path), lineno=None,
+                        kind="unreadable_file",
+                        error=f"{type(e).__name__}: {e}",
+                    ))
+                    continue
+            name = day.hostname
+            if not name:
+                continue  # fully empty file (node down all day)
+            if policy is ErrorPolicy.STRICT:
+                # read_host merges onto the first non-empty file's
+                # claimed hostname and raises on a later mismatch.
+                if base_hostname is None:
+                    base_hostname = name
+                elif name != base_hostname:
+                    raise ValueError(
+                        f"cannot merge {name} into {base_hostname}")
+            elif name != hostname:
+                records.append(QuarantinedRecord(
+                    hostname=hostname, path=str(path), lineno=None,
+                    kind="hostname_mismatch",
+                    error=f"file claims hostname {name!r}",
+                ))
+                continue
+            scan_hostname = (base_hostname
+                             if base_hostname is not None else hostname)
+            drift = None
+            for t in day.types:
+                prev = schemas.get(t.name)
+                if prev is not None and prev != t.schema:
+                    drift = t.name
+                    break
+            if drift is not None:
+                if policy is ErrorPolicy.STRICT:
+                    raise ValueError(
+                        f"schema drift for type {drift} on {scan_hostname}")
+                records.append(QuarantinedRecord(
+                    hostname=hostname, path=str(path), lineno=None,
+                    kind="unmergeable_file",
+                    error=f"schema drift for type {drift} "
+                          f"on {scan_hostname}",
+                ))
+                continue
+            for t in day.types:
+                schemas.setdefault(t.name, t.schema)
+            kept.append(day)
+
+    scan_hostname = base_hostname if base_hostname is not None else hostname
+    ch = build_columnar_host(scan_hostname, kept)
+    if ch is None:
+        return None  # concatenation invariant broken: generic path
+
+    if policy is ErrorPolicy.QUARANTINE and records:
+        return (None, tuple(records), "dropped")
+    scan = HostScan(
+        hostname=ch.hostname,
+        views=tuple(columnar_views(ch).values()),
+        partials=columnar_partials(ch),
+    )
+    return (scan, tuple(records), "degraded" if records else "ok")

@@ -121,18 +121,30 @@ def _scan_host_checked(archive: HostArchive, hostname: str,
     # opened here must not pile up in a long-lived ambient tree — and
     # keeping the serial path identical means serial and parallel runs
     # produce the same trace shape (per-host timing travels as metrics).
+    from repro.ingest.columnar_scan import scan_v2_host
+
     with use_registry(local), use_tracer(Tracer()):
         t0 = time.perf_counter()
-        result = archive.read_host_checked(hostname,
-                                           allow_truncated=allow_truncated,
-                                           policy=policy, days=days)
-        scan = (scan_host_data(result.data)
-                if result.data is not None else None)
+        # Columnar fast path: hosts archived entirely as v2 files are
+        # scanned straight from the mapped column chunks (same views,
+        # same partials, same quarantine records — see columnar_scan).
+        fast = scan_v2_host(archive, hostname,
+                            allow_truncated=allow_truncated,
+                            policy=policy, days=days)
+        if fast is not None:
+            scan, records, status = fast
+        else:
+            result = archive.read_host_checked(
+                hostname, allow_truncated=allow_truncated,
+                policy=policy, days=days)
+            scan = (scan_host_data(result.data)
+                    if result.data is not None else None)
+            records, status = result.records, result.status
         elapsed = time.perf_counter() - t0
         local.histogram("ingest.host_scan.seconds").observe(elapsed)
         local.gauge(f"ingest.host_scan.{hostname}.seconds").set(elapsed)
     return HostScanResult(hostname=hostname, scan=scan,
-                          records=result.records, status=result.status,
+                          records=records, status=status,
                           metrics=local.snapshot())
 
 

@@ -4,10 +4,16 @@ Layout mirrors the production deployment::
 
     <root>/<hostname>/<YYYY-MM-DD>        (current, plain text)
     <root>/<hostname>/<YYYY-MM-DD>.gz     (rotated, compressed)
+    <root>/<hostname>/<YYYY-MM-DD>.v2     (binary columnar, v2)
 
 The archive tracks raw and compressed byte counts so the paper's volume
 claims (0.5 MB/node/day raw, ~3x gzip) can be measured directly
 (``bench_data_volume``).
+
+Formats are detected per file, so text and v2 host-days coexist in one
+root (e.g. mid-conversion, or a v2 archive quarantining an unconvertible
+text day).  ``archive_format="v2"`` makes the *writer* emit columnar
+files (see :mod:`repro.tacc_stats.columnar`); readers need no knob.
 """
 
 from __future__ import annotations
@@ -24,6 +30,15 @@ from repro.errors import (
     ErrorPolicy,
     QuarantinedRecord,
 )
+from repro.tacc_stats.columnar import (
+    V2_SUFFIX,
+    V2FormatError,
+    encode_host_text,
+    is_v2_path,
+    read_header,
+    read_host_day,
+    source_fingerprint_for_text,
+)
 from repro.tacc_stats.format import StatsWriter
 from repro.tacc_stats.parser import ParseError, ParseFault, parse_host_text
 from repro.tacc_stats.types import HostData
@@ -36,7 +51,12 @@ __all__ = ["HostArchive", "ArchiveStats", "HostReadResult", "FileFingerprint"]
 
 def _file_day(path: Path) -> str:
     """The ``YYYY-MM-DD`` stamp an archived file's name carries."""
-    return path.name[:-3] if path.name.endswith(".gz") else path.name
+    name = path.name
+    if name.endswith(".gz"):
+        return name[:-3]
+    if name.endswith(V2_SUFFIX):
+        return name[: -len(V2_SUFFIX)]
+    return name
 
 
 def _raw_size(path: Path) -> int:
@@ -44,9 +64,17 @@ def _raw_size(path: Path) -> int:
 
     For rotated ``.gz`` files this reads the ISIZE trailer (last four
     bytes, little-endian); host-day files are far below 4 GiB so the
-    mod-2^32 caveat never bites.
+    mod-2^32 caveat never bites.  v2 columnar files record the source
+    text's byte count in their header (``text_bytes``), so "raw" keeps
+    meaning *text-equivalent* bytes in every volume figure regardless
+    of the on-disk format.
     """
     size = path.stat().st_size
+    if is_v2_path(path):
+        try:
+            return int(read_header(path)["text_bytes"])
+        except (V2FormatError, KeyError, TypeError, ValueError):
+            return size  # corrupt header: fall back to stored size
     if not path.name.endswith(".gz"):
         return size
     if size < 4:
@@ -54,6 +82,17 @@ def _raw_size(path: Path) -> int:
     with path.open("rb") as fh:
         fh.seek(-4, io.SEEK_END)
         return int.from_bytes(fh.read(4), "little")
+
+
+def _suffix_kind(path: Path) -> str:
+    """``"v2"``, ``"gz"`` or ``"text"`` from a file's name."""
+    if is_v2_path(path):
+        return "v2"
+    return "gz" if path.name.endswith(".gz") else "text"
+
+
+#: Precedence when one host-day exists in several representations.
+_FORMAT_RANK = {"text": 0, "gz": 1, "v2": 2}
 
 
 @dataclass(frozen=True)
@@ -127,7 +166,12 @@ class HostArchive:
     root:
         Directory to write under (created if missing).
     compress:
-        gzip files at rotation/close time.
+        gzip files at rotation/close time (text format only).
+    archive_format:
+        ``"text"`` (default) writes the paper-faithful self-describing
+        text format; ``"v2"`` writes binary columnar files
+        (:mod:`repro.tacc_stats.columnar`).  Reading always autodetects
+        per file, so the knob only affects new writes.
     resume_stats:
         Seed :class:`ArchiveStats` from files already on disk the first
         time ``stats`` (or a writer) is touched, so re-opening an
@@ -139,10 +183,15 @@ class HostArchive:
     """
 
     def __init__(self, root: str | Path, compress: bool = True,
-                 resume_stats: bool = True):
+                 resume_stats: bool = True, archive_format: str = "text"):
+        if archive_format not in ("text", "v2"):
+            raise ValueError(
+                f"archive_format must be 'text' or 'v2', "
+                f"got {archive_format!r}")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.compress = compress
+        self.archive_format = archive_format
         self.resume_stats = resume_stats
         self._open: dict[str, tuple[int, _OpenFile]] = {}
         self._stats: ArchiveStats | None = None
@@ -201,7 +250,18 @@ class HostArchive:
     def _close_file(self, hostname: str, of: _OpenFile) -> None:
         text = of.buffer.getvalue()
         raw = text.encode("utf-8")
-        if self.compress:
+        if self.archive_format == "v2":
+            path = of.path.with_suffix(of.path.suffix + V2_SUFFIX)
+            # The header's source fingerprint is what the *text* path
+            # (at this compress setting) would have stored, so a v2
+            # archive is ledger-identical to the text archive of the
+            # same data (manifest() reports this digest for v2 files).
+            sha, kind = source_fingerprint_for_text(text, self.compress)
+            data = encode_host_text(text, source_sha256=sha,
+                                    source_kind=kind)
+            path.write_bytes(data)
+            stored = len(data)
+        elif self.compress:
             path = of.path.with_suffix(of.path.suffix + ".gz")
             # mtime=0 keeps the stored bytes a pure function of the
             # content, so the manifest's sha256 is stable across
@@ -248,11 +308,23 @@ class HostArchive:
         *days* (``YYYY-MM-DD`` stamps) restricts the listing to those
         host-days — the delta-ingest path uses it to touch only the
         files its ledger classified as worth parsing.
+
+        A day present in more than one representation (e.g. an
+        interrupted conversion left ``2021-01-01.gz`` next to
+        ``2021-01-01.v2``) is listed once, preferring ``.v2`` over
+        ``.gz`` over plain text, so the host-day is never double-read.
         """
         hostdir = self.root / hostname
         if not hostdir.is_dir():
             return []
-        files = sorted(hostdir.iterdir())
+        by_day: dict[str, Path] = {}
+        for p in sorted(hostdir.iterdir()):
+            day = _file_day(p)
+            prev = by_day.get(day)
+            if prev is None or _FORMAT_RANK[_suffix_kind(p)] > \
+                    _FORMAT_RANK[_suffix_kind(prev)]:
+                by_day[day] = p
+        files = [by_day[d] for d in sorted(by_day)]
         if days is None:
             return files
         wanted = set(days)
@@ -267,6 +339,17 @@ class HostArchive:
         ledger), unchanged (hash matches), or mutated (hash differs).
         Hashing reads the stored bytes — no decompression — so a
         manifest pass over N days of history costs I/O, not parsing.
+
+        For v2 columnar files the fingerprint is the header's
+        ``source_sha256`` — the digest of the bytes the *text* path
+        stored (or would have stored) for the same host-day.  That
+        makes the ledger format-agnostic: converting a text archive to
+        v2 changes no fingerprints, so ``ingest(mode="append")`` over a
+        freshly converted archive consumes zero files.  A v2 file whose
+        header is unreadable falls back to hashing its stored bytes,
+        which the delta plan then classifies as mutated — exactly the
+        "re-parse and let the error policy decide" outcome corruption
+        deserves.
         """
         out: dict[tuple[str, str], FileFingerprint] = {}
         with span("archive.manifest"):
@@ -274,7 +357,16 @@ class HostArchive:
                     else self.hostnames():
                 for path in self.host_files(hostname):
                     st = path.stat()
-                    digest = hashlib.sha256(path.read_bytes()).hexdigest()
+                    digest = None
+                    if is_v2_path(path):
+                        try:
+                            digest = str(
+                                read_header(path)["source_sha256"])
+                        except (V2FormatError, KeyError, TypeError):
+                            digest = None
+                    if digest is None:
+                        digest = hashlib.sha256(
+                            path.read_bytes()).hexdigest()
                     day = _file_day(path)
                     out[(hostname, day)] = FileFingerprint(
                         hostname=hostname, day=day, path=str(path),
@@ -294,10 +386,37 @@ class HostArchive:
 
     @staticmethod
     def read_file(path: Path) -> str:
-        """Decompressed text of one archived file (gz-aware)."""
+        """Text of one archived file (gz- and v2-aware).
+
+        For v2 files this reconstructs the canonical text
+        representation (``repro-convert`` back to text uses it); the
+        fast ingest path goes straight to column views instead via
+        :meth:`_load_file`.
+        """
+        if is_v2_path(path):
+            return read_host_day(path).to_text()
         if path.suffix == ".gz":
             return gzip.decompress(path.read_bytes()).decode("utf-8")
         return path.read_text()
+
+    @staticmethod
+    def _load_file(path: Path, allow_truncated: bool = False,
+                   faults: list[ParseFault] | None = None) -> HostData:
+        """Parse one archived file into :class:`HostData`, dispatching
+        on format: text goes through the line parser, v2 maps straight
+        to column views (no text reconstruction, no parsing).
+
+        v2 damage raises :class:`V2FormatError`, a
+        :class:`ParseError` subclass, so callers' error handling is
+        format-blind.  ``faults`` (repair policy) only applies to text:
+        a v2 file is digest-verified whole — it is either pristine or
+        quarantined entire, never salvaged line-by-line.
+        """
+        if is_v2_path(path):
+            return read_host_day(path).to_host_data()
+        return parse_host_text(HostArchive.read_file(path),
+                               allow_truncated=allow_truncated,
+                               faults=faults)
 
     def read_host(self, hostname: str,
                   allow_truncated: bool = False,
@@ -315,7 +434,7 @@ class HostArchive:
         merged: HostData | None = None
         with span("ingest.parse", host=hostname):
             for path in files:
-                data = parse_host_text(self.read_file(path),
+                data = self._load_file(path,
                                        allow_truncated=allow_truncated)
                 if not data.hostname:
                     # parse_host_text only leaves the hostname unset for
@@ -364,8 +483,7 @@ class HostArchive:
             for path in files:
                 faults: list[ParseFault] = []
                 try:
-                    text = self.read_file(path)
-                    data = parse_host_text(text,
+                    data = self._load_file(path,
                                            allow_truncated=allow_truncated,
                                            faults=faults)
                 except (ParseError, OSError, UnicodeDecodeError) as e:

@@ -1,0 +1,570 @@
+"""Archive v2: a binary, memory-mappable columnar host-day format.
+
+The text format (docs/FORMAT.md) is the paper-faithful interchange, but
+parsing it caps serial ingest at ~17-21 MB/s — every downstream lookback
+and re-read pays that tax.  A v2 file stores the same host-day as
+fixed-width numpy column chunks that the reader maps straight into the
+arrays the ingest engine consumes (``np.frombuffer`` over ``mmap`` —
+no line splitting, no str->int casts, no copies of the value data).
+
+On-disk layout (all integers little-endian, chunks 64-byte aligned so
+mapped arrays are cache-line aligned)::
+
+    magic     8B   b"\\x93RPC2\\r\\n\\x00"
+    version   u32  2
+    hdr_len   u32  byte length of the header JSON
+    header    JSON: hostname, ordered properties, schema lines, jobid
+              tag table, marks [(block, kind, jobid)], per-type device
+              tables and row counts, text_bytes, source fingerprint
+    chunks    binary column data (see table below)
+    footer    JSON chunk index: [{name, offset, nbytes, dtype, shape,
+              sha256}], written last so a truncated file can never
+              present a valid index
+    ftr_len   u64  byte length of the footer JSON
+    tail      8B   b"\\x00RPC2END"
+
+Column chunks (R = total data rows in file order, N = blocks)::
+
+    times        f8[N]      block timestamps
+    tags         u4[N]      index into the header's jobid tag table
+    row_type     u2[R]      global row stream: type of each row
+    row_block    u4[R]      global row stream: block of each row
+    dev/<type>   u4[Rt]     per type: device-table index per row
+    val/<type>   u8[Rt,K]   per type: value matrix (K = schema arity)
+
+The two global streams record the exact interleaving of rows, so a v2
+file reconstructs its source text byte-for-byte (for canonical,
+writer-produced text; see :func:`host_day_to_text`).  Every chunk
+carries a sha256 digest that the reader verifies on open, so silent
+bit-rot is impossible — a corrupt chunk raises :class:`V2FormatError`,
+which subclasses :class:`~repro.tacc_stats.parser.ParseError` so the
+quarantine/repair error policies treat a damaged v2 file exactly like a
+damaged gzip stream (``unreadable_file``).
+
+Fingerprint carryover: the header stores ``source_sha256`` — the sha256
+of the bytes the *text* path stored (gz or plain) for this host-day.
+:meth:`HostArchive.manifest` reports that digest for v2 files, so
+converting an archive in place never perturbs the PR5 ingest ledger: an
+``ingest(mode="append")`` over a freshly converted archive consumes
+zero files.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import mmap
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.tacc_stats.parser import ParseError, parse_host_text
+from repro.tacc_stats.schema import TypeSchema
+from repro.tacc_stats.types import HostData, Mark, TimestampBlock
+from repro.telemetry.metrics import get_registry
+
+__all__ = [
+    "V2_SUFFIX",
+    "V2FormatError",
+    "V2HostDay",
+    "encode_host_text",
+    "is_v2_path",
+    "read_header",
+    "read_host_day",
+    "source_fingerprint_for_text",
+]
+
+V2_SUFFIX = ".v2"
+_MAGIC = b"\x93RPC2\r\n\x00"
+_TAIL = b"\x00RPC2END"
+_VERSION = 2
+_ALIGN = 64
+
+#: Schema header lines are identical across every file a collector suite
+#: produces; parsing each once per process keeps the v2 open path cheap.
+_SCHEMA_CACHE: dict[str, TypeSchema] = {}
+
+
+class V2FormatError(ParseError):
+    """Malformed or corrupt v2 file.
+
+    Subclasses :class:`ParseError` so every existing error-policy path
+    (strict raise, quarantine drop, repair ``unreadable_file``) handles
+    a damaged v2 file exactly as it handles damaged text.
+    """
+
+
+def is_v2_path(path: Path) -> bool:
+    """True when *path* names a v2 columnar file (by suffix)."""
+    return path.name.endswith(V2_SUFFIX)
+
+
+def source_fingerprint_for_text(text: str, compress: bool) -> tuple[str, str]:
+    """(sha256, kind) the *text* path would have recorded for *text*.
+
+    ``kind`` is ``"gz"`` or ``"text"`` — what the archive would have
+    stored.  Writing a v2 file with this fingerprint makes a v2 archive
+    ledger-identical to the text archive of the same data, which is what
+    keeps append-mode ingest working across format conversions.
+    """
+    raw = text.encode("utf-8")
+    if compress:
+        return (hashlib.sha256(
+            gzip.compress(raw, compresslevel=6, mtime=0)).hexdigest(), "gz")
+    return hashlib.sha256(raw).hexdigest(), "text"
+
+
+def _pad_to(parts: list[bytes], size: int, align: int = _ALIGN) -> int:
+    """Append zero padding so the next part starts aligned; new offset."""
+    rem = size % align
+    if rem:
+        parts.append(b"\x00" * (align - rem))
+        size += align - rem
+    return size
+
+
+def _mark_block_indices(text: str) -> list[int]:
+    """Block index each ``%`` mark line belongs to, in file order.
+
+    :class:`HostData` keeps only a mark's *time*, which is ambiguous
+    when consecutive blocks share a timestamp; one cheap first-character
+    scan of the already-validated text recovers the exact block.
+    """
+    out: list[int] = []
+    bi = -1
+    for line in text.split("\n"):
+        if not line:
+            continue
+        c = line[0]
+        if c.isdigit():
+            bi += 1
+        elif c == "%":
+            out.append(bi)
+    return out
+
+
+def _format_time(t: float) -> str:
+    """Serialize a block timestamp the way :class:`StatsWriter` does."""
+    return str(int(t)) if float(t).is_integer() else repr(float(t))
+
+
+def encode_host_text(text: str, source_sha256: str | None = None,
+                     source_kind: str = "gz") -> bytes:
+    """Encode one host-day's *text* into v2 bytes.
+
+    The text must parse strictly (malformed input raises
+    :class:`ParseError` exactly as the text parser would — conversion
+    never launders corrupt data into a clean-looking binary file).
+    *source_sha256*/*source_kind* record the fingerprint of the stored
+    text representation this file replaces; when omitted they are
+    computed from *text* as if the archive had stored it per
+    *source_kind*.
+    """
+    if source_sha256 is None:
+        source_sha256, source_kind = source_fingerprint_for_text(
+            text, compress=(source_kind == "gz"))
+    host = parse_host_text(text)
+
+    type_order = list(host.schemas)
+    type_idx = {name: i for i, name in enumerate(type_order)}
+    devices: list[dict[str, int]] = [{} for _ in type_order]
+    dev_rows: list[list[int]] = [[] for _ in type_order]
+    val_rows: list[list[np.ndarray]] = [[] for _ in type_order]
+    row_type: list[int] = []
+    row_block: list[int] = []
+    for bi, block in enumerate(host.blocks):
+        for tname, by_dev in block.rows.items():
+            ti = type_idx[tname]
+            devmap = devices[ti]
+            for dev, vec in by_dev.items():
+                di = devmap.get(dev)
+                if di is None:
+                    di = devmap[dev] = len(devmap)
+                dev_rows[ti].append(di)
+                val_rows[ti].append(vec)
+                row_type.append(ti)
+                row_block.append(bi)
+
+    tag_table: dict[str, int] = {}
+    tag_idx = []
+    for block in host.blocks:
+        tag = ",".join(block.jobids) if block.jobids else "-"
+        gi = tag_table.get(tag)
+        if gi is None:
+            gi = tag_table[tag] = len(tag_table)
+        tag_idx.append(gi)
+
+    mark_blocks = _mark_block_indices(text)
+    assert len(mark_blocks) == len(host.marks)
+
+    header = {
+        "format": "repro-columnar",
+        "version": _VERSION,
+        "hostname": host.hostname,
+        "properties": [[k, v] for k, v in host.properties.items()],
+        "schemas": [host.schemas[n].header_line() for n in type_order],
+        "types": [
+            {"name": name, "devices": list(devices[i]),
+             "n_rows": len(dev_rows[i])}
+            for i, name in enumerate(type_order)
+        ],
+        "n_blocks": len(host.blocks),
+        "jobid_tags": list(tag_table),
+        "marks": [[mark_blocks[i], m.kind, m.jobid]
+                  for i, m in enumerate(host.marks)],
+        "text_bytes": len(text.encode("utf-8")),
+        "source_sha256": source_sha256,
+        "source_kind": source_kind,
+    }
+
+    chunks: list[tuple[str, np.ndarray]] = [
+        ("times", np.array([b.time for b in host.blocks], dtype="<f8")),
+        ("tags", np.array(tag_idx, dtype="<u4")),
+        ("row_type", np.array(row_type, dtype="<u2")),
+        ("row_block", np.array(row_block, dtype="<u4")),
+    ]
+    for i, name in enumerate(type_order):
+        k = host.schemas[name].n_values
+        vals = (np.vstack(val_rows[i]).astype("<u8", copy=False)
+                if val_rows[i] else np.empty((0, k), dtype="<u8"))
+        chunks.append((f"dev/{name}", np.array(dev_rows[i], dtype="<u4")))
+        chunks.append((f"val/{name}", vals))
+
+    header_json = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    parts = [_MAGIC, struct.pack("<II", _VERSION, len(header_json)),
+             header_json]
+    size = 16 + len(header_json)
+    index = []
+    for name, arr in chunks:
+        size = _pad_to(parts, size)
+        data = np.ascontiguousarray(arr).tobytes()
+        index.append({
+            "name": name,
+            "offset": size,
+            "nbytes": len(data),
+            "dtype": arr.dtype.str,
+            "shape": list(arr.shape),
+            "sha256": hashlib.sha256(data).hexdigest(),
+        })
+        parts.append(data)
+        size += len(data)
+    footer_json = json.dumps({"chunks": index},
+                             separators=(",", ":")).encode("utf-8")
+    parts.append(footer_json)
+    parts.append(struct.pack("<Q", len(footer_json)) + _TAIL)
+    blob = b"".join(parts)
+    registry = get_registry()
+    registry.counter("archive.v2.files_encoded").inc()
+    registry.counter("archive.v2.bytes_encoded").inc(len(blob))
+    return blob
+
+
+@dataclass(frozen=True)
+class _TypeColumns:
+    """One record type's decoded columns (views into the mapped file)."""
+
+    name: str
+    schema: TypeSchema
+    devices: tuple[str, ...]
+    dev_idx: np.ndarray
+    values: np.ndarray  # shape (n_rows, n_values)
+
+
+class V2HostDay:
+    """A decoded v2 file: header metadata plus zero-copy column views.
+
+    Constructed by :func:`read_host_day`.  ``to_host_data()`` builds the
+    :class:`HostData` the ingest engine consumes (value vectors are
+    views into the mapped file — nothing is copied); ``to_text()``
+    reconstructs the canonical text representation byte-for-byte.
+    """
+
+    def __init__(self, header: dict, times: np.ndarray, tags: np.ndarray,
+                 row_type: np.ndarray, row_block: np.ndarray,
+                 types: list[_TypeColumns], bytes_mapped: int,
+                 chunks_read: int):
+        self.header = header
+        self.times = times
+        self.tags = tags
+        self.row_type = row_type
+        self.row_block = row_block
+        self.types = types
+        self.bytes_mapped = bytes_mapped
+        self.chunks_read = chunks_read
+
+    @property
+    def hostname(self) -> str:
+        return self.header["hostname"]
+
+    def to_host_data(self) -> HostData:
+        """Rebuild :class:`HostData` with zero-copy value vectors.
+
+        Insertion order (types within a block, devices within a type)
+        reproduces the source file's order exactly, so float reductions
+        downstream (which sum in dict order) are bit-identical to the
+        text-parsed path.
+        """
+        host = HostData(hostname=self.hostname)
+        host.properties = dict(self.header["properties"])
+        for tc in self.types:
+            host.schemas[tc.name] = tc.schema
+
+        tag_tuples = [
+            () if tag == "-" else tuple(tag.split(","))
+            for tag in self.header["jobid_tags"]
+        ]
+        times_list = self.times.tolist()
+        blocks = [
+            TimestampBlock(time=t, jobids=tag_tuples[g])
+            for t, g in zip(times_list, self.tags.tolist())
+        ]
+        host.blocks = blocks
+
+        row_type = self.row_type
+        row_block = self.row_block
+        for ti, tc in enumerate(self.types):
+            n = tc.values.shape[0]
+            if n == 0:
+                continue
+            rb = row_block[row_type == ti]
+            if rb.shape[0] != n or (n > 1 and not bool(
+                    (rb[1:] >= rb[:-1]).all())):
+                raise V2FormatError(
+                    f"type {tc.name}: row stream inconsistent with "
+                    f"column chunks")
+            name = tc.name
+            dev_names = [tc.devices[i] for i in tc.dev_idx.tolist()]
+            rows = list(tc.values)  # one zero-copy view per row
+            if n == 1:
+                starts, ends = [0], [1]
+                seg_blocks = [int(rb[0])]
+            else:
+                cuts = np.flatnonzero(rb[1:] != rb[:-1]) + 1
+                starts = [0, *cuts.tolist()]
+                ends = [*cuts.tolist(), n]
+                seg_blocks = rb[np.concatenate(([0], cuts))].tolist()
+            for s, e, b in zip(starts, ends, seg_blocks):
+                blocks[b].rows[name] = dict(zip(dev_names[s:e],
+                                                rows[s:e]))
+
+        host.marks = [
+            Mark(time=times_list[b], kind=kind, jobid=jobid)
+            for b, kind, jobid in self.header["marks"]
+        ]
+        return host
+
+    def to_text(self) -> str:
+        """Reconstruct the canonical text representation.
+
+        Byte-identical to the source for canonical (writer-produced)
+        files; a valid-but-noncanonical source (fractional-second
+        trailing zeros, interleaved type runs inside one block)
+        round-trips value-identically in canonical form.
+        """
+        out: list[str] = []
+        for k, v in self.header["properties"]:
+            out.append(f"${k} {v}\n")
+        for line in self.header["schemas"]:
+            out.append(line + "\n")
+
+        marks_by_block: dict[int, list[tuple[str, str]]] = {}
+        for b, kind, jobid in self.header["marks"]:
+            marks_by_block.setdefault(b, []).append((kind, jobid))
+
+        tags = self.header["jobid_tags"]
+        times_list = self.times.tolist()
+        tag_list = self.tags.tolist()
+        row_type = self.row_type.tolist()
+        row_block = self.row_block.tolist()
+        cursors = [0] * len(self.types)
+        dev_lists = [
+            [tc.devices[i] for i in tc.dev_idx.tolist()]
+            for tc in self.types
+        ]
+        val_lists = [tc.values.tolist() for tc in self.types]
+        names = [tc.name for tc in self.types]
+
+        r = 0
+        n_rows = len(row_type)
+        for bi, (t, g) in enumerate(zip(times_list, tag_list)):
+            out.append(f"{_format_time(t)} {tags[g]}\n")
+            for kind, jobid in marks_by_block.get(bi, ()):
+                out.append(f"%{kind} {jobid}\n")
+            while r < n_rows and row_block[r] == bi:
+                ti = row_type[r]
+                c = cursors[ti]
+                cursors[ti] = c + 1
+                vals = " ".join(map(str, val_lists[ti][c]))
+                out.append(f"{names[ti]} {dev_lists[ti][c]} {vals}\n")
+                r += 1
+        return "".join(out)
+
+
+def _parse_schema_line(line: str) -> TypeSchema:
+    schema = _SCHEMA_CACHE.get(line)
+    if schema is None:
+        schema = _SCHEMA_CACHE[line] = TypeSchema.parse_header_line(line)
+    return schema
+
+
+def read_header(path: Path) -> dict:
+    """Read just the header JSON of a v2 file (no chunk mapping).
+
+    This is the cheap metadata path — :meth:`HostArchive.manifest` uses
+    it for the ``source_sha256`` fingerprint and the archive-stats
+    resume uses ``text_bytes``, neither of which should map the columns.
+    The tail sentinel is still checked (one seek), so a truncated file
+    is rejected here too rather than surfacing a stale fingerprint.
+    """
+    try:
+        with path.open("rb") as fh:
+            prelude = fh.read(16)
+            if len(prelude) < 16 or prelude[:8] != _MAGIC:
+                raise V2FormatError(f"{path.name}: not a v2 file "
+                                    f"(bad magic)")
+            version, hdr_len = struct.unpack("<II", prelude[8:16])
+            if version != _VERSION:
+                raise V2FormatError(
+                    f"{path.name}: unsupported v2 version {version}")
+            header = json.loads(fh.read(hdr_len).decode("utf-8"))
+            fh.seek(-len(_TAIL), 2)
+            if fh.read(len(_TAIL)) != _TAIL:
+                raise V2FormatError(f"{path.name}: truncated v2 file "
+                                    f"(missing tail sentinel)")
+            return header
+    except V2FormatError:
+        raise
+    except (OSError, ValueError, UnicodeDecodeError) as e:
+        raise V2FormatError(f"{path.name}: unreadable v2 header: "
+                            f"{e}") from e
+
+
+def read_host_day(path: Path, verify: bool = True) -> V2HostDay:
+    """Open, validate and map one v2 file.
+
+    The column chunks are presented as zero-copy numpy views over an
+    ``mmap`` of the file (the mapping lives as long as any view does).
+    *verify* checks every chunk's sha256 — on by default, because the
+    binary format has no per-line redundancy for the parser to trip
+    over, so the digests are what stands between bit-rot and silently
+    wrong numbers.  Any structural damage raises :class:`V2FormatError`.
+    """
+    try:
+        day = _read_host_day(path, verify)
+    except V2FormatError:
+        raise
+    except (OSError, ValueError, KeyError, TypeError, IndexError,
+            struct.error) as e:
+        raise V2FormatError(
+            f"{path.name}: corrupt v2 file: {type(e).__name__}: {e}"
+        ) from e
+    registry = get_registry()
+    registry.counter("archive.v2.files_read").inc()
+    registry.counter("archive.v2.chunks_read").inc(day.chunks_read)
+    registry.counter("archive.v2.bytes_mapped").inc(day.bytes_mapped)
+    return day
+
+
+def _read_host_day(path: Path, verify: bool) -> V2HostDay:
+    """The unwrapped body of :func:`read_host_day`."""
+    with path.open("rb") as fh:
+        mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+    view = memoryview(mm)
+    size = len(view)
+    if size < 16 + 16 or bytes(view[:8]) != _MAGIC:
+        raise V2FormatError(f"{path.name}: not a v2 file (bad magic)")
+    version, hdr_len = struct.unpack("<II", view[8:16])
+    if version != _VERSION:
+        raise V2FormatError(f"{path.name}: unsupported v2 version "
+                            f"{version}")
+    if bytes(view[size - 8:]) != _TAIL:
+        raise V2FormatError(f"{path.name}: truncated v2 file "
+                            f"(tail marker missing)")
+    (footer_len,) = struct.unpack("<Q", view[size - 16:size - 8])
+    footer_off = size - 16 - footer_len
+    if footer_len > size or footer_off < 16 + hdr_len:
+        raise V2FormatError(f"{path.name}: footer index out of bounds")
+    header = json.loads(bytes(view[16:16 + hdr_len]).decode("utf-8"))
+    footer = json.loads(
+        bytes(view[footer_off:footer_off + footer_len]).decode("utf-8"))
+
+    arrays: dict[str, np.ndarray] = {}
+    bytes_mapped = 0
+    for entry in footer["chunks"]:
+        off, nbytes = entry["offset"], entry["nbytes"]
+        if off < 0 or off + nbytes > footer_off:
+            raise V2FormatError(
+                f"{path.name}: chunk {entry['name']} out of bounds")
+        if verify:
+            digest = hashlib.sha256(view[off:off + nbytes]).hexdigest()
+            if digest != entry["sha256"]:
+                raise V2FormatError(
+                    f"{path.name}: chunk {entry['name']} digest "
+                    f"mismatch (file is corrupt)")
+        shape = tuple(entry["shape"])
+        count = 1
+        for d in shape:
+            count *= d
+        arr = np.frombuffer(mm, dtype=np.dtype(entry["dtype"]),
+                            count=count, offset=off).reshape(shape)
+        arrays[entry["name"]] = arr
+        bytes_mapped += nbytes
+
+    n_blocks = header["n_blocks"]
+    times = arrays["times"]
+    tags = arrays["tags"]
+    row_type = arrays["row_type"]
+    row_block = arrays["row_block"]
+    if times.shape != (n_blocks,) or tags.shape != (n_blocks,):
+        raise V2FormatError(f"{path.name}: block chunk shape mismatch")
+    if row_type.shape != row_block.shape:
+        raise V2FormatError(f"{path.name}: row stream shape mismatch")
+    if n_blocks > 1 and not bool((times[1:] >= times[:-1]).all()):
+        raise V2FormatError(f"{path.name}: non-monotonic timestamps")
+    if n_blocks and tags.size and int(tags.max()) >= len(
+            header["jobid_tags"]):
+        raise V2FormatError(f"{path.name}: jobid tag index out of range")
+    if row_block.size and int(row_block.max()) >= n_blocks:
+        raise V2FormatError(f"{path.name}: row block index out of range")
+
+    type_infos = header["types"]
+    schemas = [_parse_schema_line(line) for line in header["schemas"]]
+    if len(schemas) != len(type_infos) or any(
+            s.type_name != t["name"]
+            for s, t in zip(schemas, type_infos)):
+        raise V2FormatError(f"{path.name}: schema/type table mismatch")
+    if row_type.size and int(row_type.max()) >= len(type_infos):
+        raise V2FormatError(f"{path.name}: row type index out of range")
+    counts = np.bincount(row_type, minlength=len(type_infos))
+    types: list[_TypeColumns] = []
+    for ti, (info, schema) in enumerate(zip(type_infos, schemas)):
+        dev_idx = arrays[f"dev/{info['name']}"]
+        values = arrays[f"val/{info['name']}"]
+        n = info["n_rows"]
+        if (dev_idx.shape != (n,) or values.shape != (n, schema.n_values)
+                or (ti < counts.size and int(counts[ti]) != n)
+                or (ti >= counts.size and n != 0)):
+            raise V2FormatError(
+                f"{path.name}: type {info['name']} column shapes "
+                f"inconsistent")
+        if n and int(dev_idx.max()) >= len(info["devices"]):
+            raise V2FormatError(
+                f"{path.name}: type {info['name']} device index out "
+                f"of range")
+        types.append(_TypeColumns(
+            name=info["name"], schema=schema,
+            devices=tuple(info["devices"]), dev_idx=dev_idx,
+            values=values))
+
+    # Marks must point at real blocks and carry well-formed kinds.
+    for b, kind, _jobid in header["marks"]:
+        if not 0 <= b < n_blocks or kind not in ("begin", "end"):
+            raise V2FormatError(f"{path.name}: malformed mark entry")
+
+    return V2HostDay(header=header, times=times, tags=tags,
+                     row_type=row_type, row_block=row_block, types=types,
+                     bytes_mapped=bytes_mapped,
+                     chunks_read=len(footer["chunks"]))

@@ -1,0 +1,243 @@
+"""Mixed text/v2 archives: autodetection, conversion, scan parity.
+
+An archive may hold any mix of plain-text, gzipped and v2 host-day
+files — per-file detection means nothing is configured at read time.
+These tests pin the contracts the v2 rollout rests on:
+
+* a converted (or partially converted) archive ingests to the same
+  analytics rows as the original text archive, serial and parallel;
+* ``manifest()`` reports the *source* fingerprint for v2 files, so
+  converting an already-ingested archive then appending consumes zero
+  files (``files_new == files_lookback == 0``);
+* the columnar fast path produces views/partials identical to the
+  generic HostData path, and identical quarantine records for corrupt
+  v2 files under every error policy;
+* the v2 *write* path (``archive_format="v2"``) produces an archive
+  whose ingest matches the text run of the same seed.
+"""
+
+import io
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.config import TEST_SYSTEM
+from repro.errors import ErrorPolicy
+from repro.facility import Facility
+from repro.ingest.columnar_scan import scan_v2_host
+from repro.ingest.parallel import scan_host_data
+from repro.ingest.pipeline import IngestPipeline
+from repro.ingest.warehouse import Warehouse
+from repro.lariat.records import lariat_record_for
+from repro.scheduler.accounting import AccountingWriter
+from repro.tacc_stats.archive import HostArchive, _file_day
+from repro.tacc_stats.columnar import is_v2_path, read_host_day
+from repro.tacc_stats.convert import _to_v2_one, convert_archive
+
+N_DAYS = 3
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    """One small finished text archive plus accounting and Lariat."""
+    cfg = TEST_SYSTEM.scaled(num_nodes=4, horizon_days=N_DAYS, n_users=6)
+    archive_dir = str(tmp_path_factory.mktemp("mixed_corpus"))
+    run = Facility(cfg, seed=11).run_with_files(archive_dir)
+    buf = io.StringIO()
+    AccountingWriter(buf, cfg.node.cores, cfg.name).write_all(run.records)
+    lariat = [lariat_record_for(r, cfg.node.cores) for r in run.records]
+    return cfg, archive_dir, buf.getvalue(), lariat
+
+
+def _ingest(corpus, archive_dir, warehouse=None, **kw):
+    cfg, _, accounting, lariat = corpus
+    warehouse = warehouse or Warehouse()
+    report = IngestPipeline(warehouse).ingest(
+        cfg, accounting_text=accounting, archive=HostArchive(archive_dir),
+        lariat_records=lariat, **kw)
+    return warehouse, report
+
+
+def _data_rows(warehouse):
+    """Every analytics-visible row, ordered (ledger/meta excluded)."""
+    warehouse.commit()
+    return {
+        table: warehouse.connection.execute(
+            f"SELECT {cols} FROM {table} ORDER BY {cols}").fetchall()
+        for table, cols in [
+            ("jobs", "system, jobid, user, account, science_field, app, "
+                     "queue, exit_status, submit_time, start_time, "
+                     "end_time, nodes, cores, node_hours"),
+            ("job_metrics", "system, jobid, metric, value"),
+            ("system_series", "system, metric, t, value"),
+        ]
+    }
+
+
+@pytest.fixture(scope="module")
+def text_rows(corpus):
+    """The reference analytics rows from the all-text archive."""
+    w, report = _ingest(corpus, corpus[1])
+    rows = _data_rows(w)
+    w.close()
+    assert report.jobs_loaded > 0
+    return rows
+
+
+def _convert_copy(corpus, tmp_path, to="v2"):
+    root = tmp_path / f"as_{to}"
+    shutil.copytree(corpus[1], root)
+    report = convert_archive(str(root), to=to)
+    assert not report.passthrough and not report.drifted
+    return str(root)
+
+
+def test_converted_archive_ingests_identically(corpus, text_rows,
+                                               tmp_path):
+    v2_dir = _convert_copy(corpus, tmp_path)
+    assert all(is_v2_path(p) for p in Path(v2_dir).rglob("*")
+               if p.is_file())
+    for workers in (1, 2):
+        w, _ = _ingest(corpus, v2_dir, workers=workers)
+        assert _data_rows(w) == text_rows, f"workers={workers}"
+        w.close()
+
+
+def test_mixed_archive_ingests_identically(corpus, text_rows, tmp_path):
+    """Half the files v2, half text — per-file autodetection."""
+    mixed = tmp_path / "mixed"
+    shutil.copytree(corpus[1], mixed)
+    scratch = tmp_path / "scratch"
+    shutil.copytree(corpus[1], scratch)
+    convert_archive(str(scratch), to="v2")
+    # Swap every other host-day for its v2 twin, spanning host
+    # boundaries so some hosts end up internally mixed as well.
+    victims = sorted(p for p in mixed.rglob("*") if p.is_file())[::2]
+    for f in victims:
+        day = _file_day(f)
+        v2_name = day + ".v2"
+        host = f.parent.name
+        shutil.copy(scratch / host / v2_name, f.parent / v2_name)
+        f.unlink()
+    kinds = {p.suffix for p in mixed.rglob("*") if p.is_file()}
+    assert ".v2" in kinds and kinds - {".v2"}, "mix must be genuine"
+    w, _ = _ingest(corpus, str(mixed))
+    assert _data_rows(w) == text_rows
+    w.close()
+
+
+def test_manifest_reports_source_fingerprint(corpus, tmp_path):
+    v2_dir = _convert_copy(corpus, tmp_path)
+    orig = HostArchive(corpus[1]).manifest()
+    conv = HostArchive(v2_dir).manifest()
+    assert orig.keys() == conv.keys()
+    for key, fp in orig.items():
+        assert conv[key].sha256 == fp.sha256, key
+
+
+def test_convert_then_append_consumes_zero_files(corpus, tmp_path):
+    work = tmp_path / "append_archive"
+    shutil.copytree(corpus[1], work)
+    w, _ = _ingest(corpus, str(work))
+    convert_archive(str(work), to="v2")
+    rows_before = _data_rows(w)
+    _, report = _ingest(corpus, str(work), warehouse=w, mode="append")
+    assert report.delta.files_new == 0
+    assert report.delta.files_lookback == 0
+    assert _data_rows(w) == rows_before
+    w.close()
+
+
+def test_v2_to_text_roundtrip_restores_archive(corpus, tmp_path):
+    v2_dir = _convert_copy(corpus, tmp_path)
+    back = tmp_path / "back_to_text"
+    report = convert_archive(v2_dir, to="text", out_root=str(back))
+    assert not report.passthrough and not report.drifted
+    orig_files = sorted(p.relative_to(corpus[1])
+                        for p in Path(corpus[1]).rglob("*") if p.is_file())
+    back_files = sorted(p.relative_to(back)
+                        for p in back.rglob("*") if p.is_file())
+    assert orig_files == back_files
+    for rel in orig_files:
+        assert (back / rel).read_bytes() \
+            == (Path(corpus[1]) / rel).read_bytes(), rel
+
+
+def test_columnar_scan_matches_generic_path(corpus, tmp_path):
+    v2_dir = _convert_copy(corpus, tmp_path)
+    archive = HostArchive(v2_dir)
+    for hostname in archive.hostnames():
+        fast = scan_v2_host(archive, hostname)
+        assert fast is not None
+        scan, records, status = fast
+        assert records == () and status == "ok"
+        generic = scan_host_data(
+            archive.read_host_checked(hostname, policy="repair").data)
+        assert set(scan.views) == set(generic.views)
+        assert scan.partials == generic.partials
+
+
+def test_columnar_scan_declines_mixed_host(corpus, tmp_path):
+    mixed = tmp_path / "mixed_host"
+    shutil.copytree(corpus[1], mixed)
+    archive = HostArchive(str(mixed))
+    hostname = archive.hostnames()[0]
+    host_dir = mixed / hostname
+    files = sorted(p for p in host_dir.iterdir())
+    # Convert only the first day of this host.
+    src = files[0]
+    assert _to_v2_one(src, host_dir / (_file_day(src) + ".v2"),
+                      verify=True)
+    src.unlink()
+    archive = HostArchive(str(mixed))
+    assert scan_v2_host(archive, hostname) is None
+
+
+def test_corrupt_v2_quarantine_parity(corpus, tmp_path):
+    """Fast path and generic path emit identical quarantine records."""
+    v2_dir = _convert_copy(corpus, tmp_path)
+    archive = HostArchive(v2_dir)
+    hostname = archive.hostnames()[0]
+    victim = sorted((Path(v2_dir) / hostname).glob("*.v2"))[0]
+    blob = bytearray(victim.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    victim.write_bytes(bytes(blob))
+
+    for policy in (ErrorPolicy.QUARANTINE, ErrorPolicy.REPAIR):
+        fast = scan_v2_host(archive, hostname, policy=policy)
+        assert fast is not None
+        scan, records, status = fast
+        generic = archive.read_host_checked(hostname, policy=policy)
+        assert status == generic.status
+        assert records == generic.records
+        if policy is ErrorPolicy.QUARANTINE:
+            assert scan is None and generic.data is None
+        else:
+            assert [r.kind for r in records] == ["unreadable_file"]
+            gen_scan = scan_host_data(generic.data)
+            assert scan.partials == gen_scan.partials
+
+    with pytest.raises(Exception) as err:
+        scan_v2_host(archive, hostname, policy=ErrorPolicy.STRICT)
+    from repro.tacc_stats.parser import ParseError
+    assert isinstance(err.value, ParseError)
+
+
+def test_v2_write_path_matches_text_run(corpus, text_rows,
+                                        tmp_path_factory):
+    cfg = corpus[0]
+    v2_dir = str(tmp_path_factory.mktemp("v2_write"))
+    run = Facility(cfg, seed=11).run_with_files(v2_dir,
+                                               archive_format="v2")
+    files = [p for p in Path(v2_dir).rglob("*") if p.is_file()]
+    assert files and all(is_v2_path(p) for p in files)
+    # Every file carries the fingerprint of the text bytes the text
+    # writer would have stored, so ledgers stay portable across formats.
+    header = read_host_day(files[0]).header
+    assert header["source_kind"] in ("gz", "text")
+    assert header["source_sha256"]
+    w, report = _ingest(corpus, v2_dir)
+    assert report.jobs_loaded > 0
+    assert _data_rows(w) == text_rows
+    w.close()

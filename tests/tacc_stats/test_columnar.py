@@ -1,0 +1,287 @@
+"""Archive v2 columnar codec: round-trip identity, integrity, parity.
+
+The format's contract is threefold: (1) ``text -> v2 -> text`` is
+byte-identical for every canonical (writer-produced) stream — proved
+here as a hypothesis property over generated schemas/blocks/marks;
+(2) the decoded column views rebuild exactly the :class:`HostData` the
+text parser would produce; (3) corruption anywhere in a v2 file is
+*detected* (header magic, chunk digests, truncated footer) and surfaces
+as a :class:`ParseError` subclass, so every :class:`ErrorPolicy`
+outcome matches what the same corruption in a text archive produces.
+"""
+
+import gzip
+import io
+import shutil
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ErrorPolicy
+from repro.tacc_stats.archive import HostArchive
+from repro.tacc_stats.columnar import (
+    V2FormatError,
+    encode_host_text,
+    is_v2_path,
+    read_header,
+    read_host_day,
+    source_fingerprint_for_text,
+)
+from repro.tacc_stats.convert import convert_archive
+from repro.tacc_stats.format import StatsWriter
+from repro.tacc_stats.parser import ParseError, parse_host_text
+from repro.tacc_stats.schema import SchemaEntry, TypeSchema
+from repro.telemetry.metrics import MetricsRegistry, use_registry
+
+VALID = (
+    "$hostname i101-101\n"
+    "$uname Linux 2.6.18\n"
+    "!cpu user,E idle,E\n"
+    "!mem used free\n"
+    "!net rx,E,W=32 tx,E,W=32\n"
+    "1349000000 -\n"
+    "cpu 0 10 20\n"
+    "cpu 1 11 21\n"
+    "mem - 512 1536\n"
+    "net eth0 1000 2000\n"
+    "1349000600 2001\n"
+    "%begin 2001\n"
+    "cpu 0 310 620\n"
+    "cpu 1 311 621\n"
+    "mem - 600 1448\n"
+    "net eth0 4000 8000\n"
+    "1349001200 2001\n"
+    "%end 2001\n"
+    "cpu 0 910 1220\n"
+    "cpu 1 911 1221\n"
+    "mem - 700 1348\n"
+    "net eth0 9000 16000\n"
+)
+
+
+def _encode(text=VALID):
+    sha, kind = source_fingerprint_for_text(text, compress=False)
+    return encode_host_text(text, source_sha256=sha, source_kind=kind)
+
+
+def _write_v2(tmp_path, text=VALID, name="2012-09-30"):
+    path = tmp_path / name
+    path = path.with_suffix(path.suffix + ".v2")
+    path.write_bytes(_encode(text))
+    return path
+
+
+def _host_data_map(host):
+    """Every parsed record as plain comparable python values."""
+    out = {
+        "hostname": host.hostname,
+        "properties": dict(host.properties),
+        "schemas": dict(host.schemas),
+        "marks": list(host.marks),
+        "times": [b.time for b in host.blocks],
+        "jobids": [b.jobids for b in host.blocks],
+    }
+    rows = {}
+    for b in host.blocks:
+        for tname, devs in b.rows.items():
+            for dev, vec in devs.items():
+                rows[(b.time, tname, dev)] = tuple(int(v) for v in vec)
+    out["rows"] = rows
+    return out
+
+
+def test_text_roundtrip_byte_identical(tmp_path):
+    path = _write_v2(tmp_path)
+    assert is_v2_path(path)
+    day = read_host_day(path)
+    assert day.to_text() == VALID
+
+
+def test_decoded_host_data_matches_parser(tmp_path):
+    day = read_host_day(_write_v2(tmp_path))
+    assert _host_data_map(day.to_host_data()) == _host_data_map(
+        parse_host_text(VALID))
+
+
+def test_header_carries_source_fingerprint(tmp_path):
+    path = _write_v2(tmp_path)
+    header = read_header(path)
+    sha, kind = source_fingerprint_for_text(VALID, compress=False)
+    assert header["source_sha256"] == sha
+    assert header["source_kind"] == kind == "text"
+    assert header["hostname"] == "i101-101"
+    assert header["text_bytes"] == len(VALID.encode())
+
+
+def test_chunk_digest_detects_bit_flip(tmp_path):
+    path = _write_v2(tmp_path)
+    blob = bytearray(path.read_bytes())
+    # Flip a byte well inside the chunk region (past the JSON header).
+    blob[len(blob) // 2] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    with pytest.raises(V2FormatError):
+        read_host_day(path)
+
+
+def test_truncation_detected(tmp_path):
+    path = _write_v2(tmp_path)
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) - 16])
+    with pytest.raises(V2FormatError):
+        read_host_day(path)
+    with pytest.raises(V2FormatError):
+        read_header(path)
+
+
+def test_v2_format_error_is_parse_error():
+    # The whole policy engine keys off ParseError; v2 corruption must
+    # flow through the same quarantine/repair paths as text corruption.
+    assert issubclass(V2FormatError, ParseError)
+
+
+def test_read_telemetry_counters(tmp_path):
+    path = _write_v2(tmp_path)
+    local = MetricsRegistry()
+    with use_registry(local):
+        day = read_host_day(path)
+    assert local.counter("archive.v2.files_read").value == 1
+    assert local.counter("archive.v2.chunks_read").value \
+        == day.chunks_read > 0
+    assert local.counter("archive.v2.bytes_mapped").value \
+        == day.bytes_mapped > 0
+
+
+# ---------------------------------------------------------------------------
+# Property: text -> v2 -> text is byte-identical for any canonical
+# stream, and corrupted inputs land in identical ErrorPolicy outcomes.
+# ---------------------------------------------------------------------------
+
+_key = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,10}", fullmatch=True)
+_device = st.from_regex(r"[A-Za-z0-9_.-]{1,8}", fullmatch=True)
+
+
+@st.composite
+def _schema(draw):
+    name = draw(st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True))
+    n = draw(st.integers(1, 6))
+    keys = draw(st.lists(_key, min_size=n, max_size=n, unique=True))
+    entries = tuple(
+        SchemaEntry(
+            k,
+            is_event=draw(st.booleans()),
+            unit=draw(st.sampled_from([None, "B", "KB", "cs"])),
+            width=draw(st.sampled_from([32, 48, 64])),
+        )
+        for k in keys
+    )
+    return TypeSchema(name, entries)
+
+
+@st.composite
+def _host_text(draw):
+    """A canonical writer-produced host-day text with marks."""
+    schemas = draw(st.lists(_schema(), min_size=1, max_size=3,
+                            unique_by=lambda s: s.type_name))
+    n_blocks = draw(st.integers(1, 4))
+    times = sorted(draw(st.lists(
+        st.integers(0, 10**7), min_size=n_blocks, max_size=n_blocks,
+        unique=True)))
+    buf = io.StringIO()
+    w = StatsWriter(buf, "h1")
+    for s in schemas:
+        w.register_schema(s)
+    for t in times:
+        jobids = tuple(draw(st.lists(
+            st.from_regex(r"[0-9]{1,7}", fullmatch=True), max_size=2,
+            unique=True)))
+        w.begin_block(float(t), jobids)
+        for jid in jobids:
+            if draw(st.booleans()):
+                w.write_mark(draw(st.sampled_from(["begin", "end"])), jid)
+        for schema in schemas:
+            for dev in draw(st.lists(_device, min_size=1, max_size=3,
+                                     unique=True)):
+                w.write_row(schema.type_name, dev, draw(st.lists(
+                    st.integers(0, 2**31), min_size=schema.n_values,
+                    max_size=schema.n_values)))
+    return buf.getvalue()
+
+
+@given(_host_text())
+@settings(max_examples=60, deadline=None)
+def test_property_v2_roundtrip_identity(text):
+    sha, kind = source_fingerprint_for_text(text, compress=True)
+    blob = encode_host_text(text, source_sha256=sha, source_kind=kind)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "2012-09-30.v2"
+        path.write_bytes(blob)
+        day = read_host_day(path)
+    assert day.to_text() == text
+    assert _host_data_map(day.to_host_data()) == _host_data_map(
+        parse_host_text(text))
+
+
+def _policy_outcome(root, policy):
+    """Comparable (status-ish, record kinds, surviving data) triple."""
+    archive = HostArchive(root)
+    try:
+        result = archive.read_host_checked("h1", policy=policy)
+    except ParseError as e:
+        return ("raised", type(e).__name__ in ("ParseError",), None)
+    data = (_host_data_map(result.data)
+            if result.data is not None else None)
+    return (result.status,
+            tuple(sorted(r.kind for r in result.records)), data)
+
+
+_OPS = ("flip_digit", "delete_line", "truncate_line", "garbage")
+
+
+def _corrupt(text: str, op: str, idx: int) -> str:
+    lines = text.split("\n")
+    idx = idx % max(len(lines) - 1, 1)
+    if op == "flip_digit":
+        line = lines[idx]
+        digits = [i for i, ch in enumerate(line) if ch.isdigit()]
+        if not digits:
+            return text
+        i = digits[idx % len(digits)]
+        lines[idx] = line[:i] + chr(ord(line[i]) ^ 0x40) + line[i + 1:]
+    elif op == "delete_line":
+        lines.pop(idx)
+    elif op == "truncate_line":
+        lines[idx] = lines[idx][: len(lines[idx]) // 2]
+    else:
+        lines.insert(idx, "XYZZY corrupted segment")
+    return "\n".join(lines)
+
+
+@given(text=_host_text(), op=st.sampled_from(_OPS),
+       idx=st.integers(0, 40))
+@settings(max_examples=40, deadline=None)
+def test_property_policy_parity_after_convert(text, op, idx):
+    """Converting an archive never changes any ErrorPolicy outcome.
+
+    Corrupt (or leave alone) one host-day, store it as text, convert
+    the archive to v2 — unconvertible files pass through — and assert
+    strict/quarantine/repair all land in the same outcome on both
+    archives.  This is the "corruption is never laundered" half of the
+    round-trip contract.
+    """
+    corrupted = _corrupt(text, op, idx)
+    with tempfile.TemporaryDirectory() as tmp:
+        text_root = Path(tmp) / "text"
+        v2_root = Path(tmp) / "v2"
+        (text_root / "h1").mkdir(parents=True)
+        (text_root / "h1" / "2012-09-30.gz").write_bytes(
+            gzip.compress(corrupted.encode(), mtime=0))
+        shutil.copytree(text_root, v2_root)
+        convert_archive(str(v2_root), to="v2")
+        for policy in (ErrorPolicy.STRICT, ErrorPolicy.QUARANTINE,
+                       ErrorPolicy.REPAIR):
+            assert _policy_outcome(str(text_root), policy) \
+                == _policy_outcome(str(v2_root), policy), \
+                f"policy {policy} diverged after conversion ({op})"
