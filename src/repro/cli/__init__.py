@@ -12,7 +12,9 @@ package provides the equivalent operational surface:
 * ``repro-diagnose`` — ANCOR-style failure diagnosis and the mined
   anomaly→failure association table;
 * ``repro-export`` — dump any aggregate/profile/series/density as CSV or
-  chart JSON.
+  chart JSON;
+* ``repro-serve`` — serve reports/queries/timeseries over HTTP/JSON
+  (the dashboard back end; see docs/SERVICE.md).
 
 All entry points accept ``--help`` and return a nonzero exit status on
 error, so they compose in shell pipelines.
@@ -22,6 +24,7 @@ from repro.cli.diagnose import main as diagnose_main
 from repro.cli.export import main as export_main
 from repro.cli.persistence import main as persistence_main
 from repro.cli.report import main as report_main
+from repro.cli.serve import main as serve_main
 from repro.cli.simulate import main as simulate_main
 from repro.cli.stats_cat import main as stats_cat_main
 
@@ -32,4 +35,5 @@ __all__ = [
     "persistence_main",
     "diagnose_main",
     "export_main",
+    "serve_main",
 ]

@@ -1,0 +1,115 @@
+"""``repro-serve``: serve a warehouse over HTTP/JSON.
+
+Examples::
+
+    repro-serve --warehouse ranger.sqlite
+    repro-serve --warehouse ranger.sqlite --host 0.0.0.0 --port 8810
+    repro-serve --warehouse ranger.sqlite --telemetry-out serve.json
+
+The server is read-only and stateless: every request resolves the
+current shared :class:`~repro.xdmod.snapshot.WarehouseSnapshot`, so
+restarting it loses nothing but warm caches.  Concurrent ingest into
+the same file is adopted with ``POST /api/v1/refresh`` (an O(delta)
+snapshot swap).  See docs/SERVICE.md for the protocol; scrape
+Prometheus metrics at ``/metrics``.  On shutdown (SIGINT/SIGTERM) a
+telemetry manifest is written when ``--telemetry-out`` is given —
+inspect it with ``repro-diagnose --telemetry``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+
+from repro.cli.common import die
+from repro.service.server import RequestHandler, make_server
+from repro.service.state import ServiceState
+from repro.telemetry.log import run_scope
+from repro.telemetry.manifest import build_manifest
+from repro.xdmod.snapshot import set_cache_enabled
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``repro-serve`` (docstring = usage text)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--warehouse", required=True,
+                        help="SQLite warehouse file to serve")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8810,
+                        help="bind port; 0 picks a free one "
+                             "(default 8810)")
+    parser.add_argument("--cache-size", type=int, default=256,
+                        help="per-tenant L1 report-cache capacity "
+                             "(default 256)")
+    parser.add_argument("--report-cache", dest="report_cache",
+                        action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="serve repeated queries from the L1/memo "
+                             "caches (default: enabled); --no-report-cache "
+                             "recomputes every request (benchmarking)")
+    parser.add_argument("--log-requests", action="store_true",
+                        help="log one stderr line per request")
+    parser.add_argument("--telemetry-out", default=None, metavar="PATH",
+                        help="on shutdown, write the serving period's "
+                             "telemetry manifest (request counts, cache "
+                             "hits, latency histogram) as JSON to PATH")
+    parser.add_argument("--quiet", action="store_true")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; serves until SIGINT/SIGTERM."""
+    args = build_parser().parse_args(argv)
+    if args.cache_size < 1:
+        return die("--cache-size must be >= 1")
+    set_cache_enabled(args.report_cache)
+    try:
+        state = ServiceState(args.warehouse,
+                             cache_capacity=args.cache_size,
+                             report_cache=args.report_cache)
+    except Exception as e:
+        return die(f"cannot open warehouse {args.warehouse!r}: {e}")
+    systems = state.warehouse.systems()
+    if not systems:
+        state.close()
+        return die(f"warehouse {args.warehouse!r} holds no systems")
+
+    RequestHandler.log_requests = args.log_requests
+    server = make_server(state, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    if not args.quiet:
+        print(f"serving {args.warehouse} ({', '.join(systems)}) "
+              f"on http://{host}:{port} — Ctrl-C stops", flush=True)
+
+    # CI and process managers stop us with SIGTERM; turn it into the
+    # same clean unwind KeyboardInterrupt gives Ctrl-C.
+    signal.signal(signal.SIGTERM,
+                  lambda *_: (_ for _ in ()).throw(SystemExit(0)))
+    with run_scope() as run_id:
+        try:
+            server.serve_forever()
+        except (KeyboardInterrupt, SystemExit):
+            pass
+        finally:
+            server.server_close()
+            state.close()
+            if args.telemetry_out:
+                manifest = build_manifest(
+                    systems=systems,
+                    extra={"warehouse": args.warehouse,
+                           "bind": f"{host}:{port}"},
+                )
+                path = manifest.write(args.telemetry_out)
+                if not args.quiet:
+                    print(f"telemetry manifest: {path} (run {run_id})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

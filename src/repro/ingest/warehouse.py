@@ -181,8 +181,14 @@ class JobRow:
 class Warehouse:
     """A warehouse instance (in-memory by default, or a file path)."""
 
-    def __init__(self, path: str = ":memory:", fast_writes: bool = False):
-        self._conn = sqlite3.connect(path)
+    def __init__(self, path: str = ":memory:", fast_writes: bool = False,
+                 threadsafe: bool = False):
+        # threadsafe=True lets the connection be shared across threads
+        # (the service layer's lazy snapshot loads run on worker
+        # threads).  CPython builds SQLite in serialized mode, so the
+        # shared handle itself is safe; the snapshot layer additionally
+        # serializes its bulk scans behind a load lock.
+        self._conn = sqlite3.connect(path, check_same_thread=not threadsafe)
         self._conn.execute("PRAGMA foreign_keys = ON")
         self.fast_writes = fast_writes
         if fast_writes:
@@ -274,6 +280,24 @@ class Warehouse:
         this instance): ``(generation, uncommitted mutation count)``.
         The snapshot layer keys its caches on this."""
         return (self._generation, self._mutations)
+
+    def reread_generation(self) -> int:
+        """Re-read the persistent generation counter from the ``meta``
+        table, adopting commits made by *other* processes.
+
+        A long-lived reader (the service) watches one warehouse file
+        while ingest runs elsewhere append to it.  Those commits bump
+        the on-disk generation but not this instance's in-memory copy;
+        calling this moves :attr:`data_version` so the snapshot layer
+        notices and performs its usual O(delta) refresh off the rowid
+        watermarks.  Returns the (possibly updated) generation.
+        """
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key='generation'"
+        ).fetchone()
+        if row is not None:
+            self._generation = int(row[0])
+        return self._generation
 
     def _mutated(self) -> None:
         self._mutations += 1

@@ -1,0 +1,41 @@
+"""Analytics service layer: a concurrent XDMoD-style query server.
+
+The paper's end state is dashboards that facility staff and users hit
+interactively; this package puts a stateless HTTP/JSON API in front of
+the shared :class:`~repro.xdmod.snapshot.WarehouseSnapshot` so
+thousands of dashboard sessions share one frozen columnar view, one
+report cache, and one in-flight computation per distinct query.
+
+Layout (one concern per module):
+
+* :mod:`repro.service.protocol` — the request/response envelope:
+  structured JSON errors, parameter parsing and validation;
+* :mod:`repro.service.coalesce` — single-flight request coalescing
+  (identical in-flight queries compute once, the result fans out);
+* :mod:`repro.service.cache` — the per-tenant LRU report cache layered
+  over the snapshot memo;
+* :mod:`repro.service.state` — the process-wide service state: the
+  warehouse handle, snapshot resolution, and the endpoint compute
+  logic;
+* :mod:`repro.service.server` — the stdlib ``ThreadingHTTPServer``
+  front end and URL routing.
+
+See ``docs/SERVICE.md`` for the protocol and deployment knobs, and
+``benchmarks/bench_service_latency.py`` for the latency acceptance
+gates (warm-report p99, coalescing rate).
+"""
+
+from repro.service.cache import TenantReportCache
+from repro.service.coalesce import SingleFlight
+from repro.service.protocol import ServiceError
+from repro.service.server import ReproServer, make_server
+from repro.service.state import ServiceState
+
+__all__ = [
+    "ReproServer",
+    "ServiceError",
+    "ServiceState",
+    "SingleFlight",
+    "TenantReportCache",
+    "make_server",
+]

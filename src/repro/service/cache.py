@@ -1,0 +1,79 @@
+"""Per-tenant LRU report cache (the service's L1).
+
+The snapshot memo (PR 2) already caches every rendered report for the
+*process*; this layer adds the service semantics on top:
+
+* **tenancy** — each tenant (the ``X-Tenant`` header or ``tenant``
+  query parameter, default ``"public"``) gets an isolated LRU, so one
+  dashboard's burst cannot evict another's working set and per-tenant
+  hit rates stay observable;
+* **bounded memory** — the memo grows with distinct queries for a
+  snapshot's lifetime, the LRU holds the most recent *capacity*
+  entries per tenant;
+* **staleness by construction** — every key embeds the snapshot stamp
+  it was computed against, so after a refresh the old entries simply
+  stop being asked for and age out.  A stale response can never be
+  served.
+
+Counters: ``service.cache.hit`` / ``service.cache.miss`` (process
+totals) — exported via ``/metrics`` and the run manifest.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable
+
+from repro.telemetry.metrics import get_registry
+
+__all__ = ["TenantReportCache"]
+
+
+class TenantReportCache:
+    """A thread-safe map of tenant -> LRU of rendered responses."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._tenants: dict[str, OrderedDict[Hashable, Any]] = {}
+
+    def get(self, tenant: str, key: Hashable) -> Any | None:
+        """The cached value, refreshed to most-recently-used, or
+        ``None``.  Counts ``service.cache.hit`` / ``.miss``."""
+        with self._lock:
+            lru = self._tenants.get(tenant)
+            if lru is not None and key in lru:
+                lru.move_to_end(key)
+                value = lru[key]
+            else:
+                value = None
+        if value is None:
+            get_registry().counter("service.cache.miss").inc()
+        else:
+            get_registry().counter("service.cache.hit").inc()
+        return value
+
+    def put(self, tenant: str, key: Hashable, value: Any) -> None:
+        """Store *value*, evicting the tenant's least-recent entry at
+        capacity."""
+        with self._lock:
+            lru = self._tenants.setdefault(tenant, OrderedDict())
+            lru[key] = value
+            lru.move_to_end(key)
+            while len(lru) > self.capacity:
+                lru.popitem(last=False)
+
+    def stats(self) -> dict[str, int]:
+        """Entry counts per tenant plus the total (monitoring hook)."""
+        with self._lock:
+            per = {t: len(lru) for t, lru in self._tenants.items()}
+        per["total"] = sum(per.values())
+        return per
+
+    def clear(self) -> None:
+        """Drop every entry (tests and explicit refresh use this)."""
+        with self._lock:
+            self._tenants.clear()

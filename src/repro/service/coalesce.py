@@ -1,0 +1,95 @@
+"""Single-flight request coalescing.
+
+When N handler threads ask for the same uncached report at the same
+moment, computing it N times wastes N-1 computations *and* serializes
+them on the snapshot memo lock's ``setdefault``.  A
+:class:`SingleFlight` keyed on the PR 2 cache key makes the first
+caller the *leader* (it computes), and every concurrent duplicate a
+*follower* (it waits on the leader's event and receives the same
+result object).  The ``service.coalesced`` counter increments once per
+follower — *before* the wait — so tests and the latency bench can
+assert compute-once behaviour deterministically from telemetry alone.
+
+Failure fan-out: a leader's exception is delivered to every follower
+(each raises the same exception object).  The in-flight entry is
+removed before the event fires, so a retry after a failure computes
+afresh instead of observing a stale error.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Hashable
+
+from repro.telemetry.metrics import get_registry
+
+__all__ = ["SingleFlight"]
+
+
+class _Call:
+    """One in-flight computation: the leader's result or error, plus
+    the event followers wait on."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = None
+        self.error: BaseException | None = None
+
+
+class SingleFlight:
+    """Deduplicates concurrent calls with the same key.
+
+    ``do(key, compute)`` returns ``(value, coalesced)`` where
+    *coalesced* is True iff this caller was a follower that received a
+    leader's result instead of computing.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: dict[Hashable, _Call] = {}
+
+    def do(self, key: Hashable,
+           compute: Callable[[], Any]) -> tuple[Any, bool]:
+        """Run *compute* once per concurrent set of identical *key*\\ s.
+
+        The leader runs *compute* outside the flight lock (distinct
+        keys never serialize on each other); followers count
+        themselves in ``service.coalesced`` and then block until the
+        leader publishes.
+        """
+        with self._lock:
+            call = self._inflight.get(key)
+            if call is None:
+                call = _Call()
+                self._inflight[key] = call
+                leader = True
+            else:
+                leader = False
+                # Counted before the wait: the moment this increments,
+                # the request is provably riding an in-flight compute.
+                get_registry().counter("service.coalesced").inc()
+        if leader:
+            try:
+                call.value = compute()
+            except BaseException as exc:
+                call.error = exc
+                raise
+            finally:
+                # Remove before waking followers: a brand-new request
+                # arriving after the event fires must start a fresh
+                # flight, never adopt a completed one.
+                with self._lock:
+                    self._inflight.pop(key, None)
+                call.event.set()
+            return call.value, False
+        call.event.wait()
+        if call.error is not None:
+            raise call.error
+        return call.value, True
+
+    def in_flight(self) -> int:
+        """Number of keys currently being computed (monitoring hook)."""
+        with self._lock:
+            return len(self._inflight)

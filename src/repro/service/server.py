@@ -1,0 +1,219 @@
+"""The HTTP front end: stdlib ``ThreadingHTTPServer`` + URL routing.
+
+No framework, no new dependencies: a
+:class:`http.server.BaseHTTPRequestHandler` subclass parses the URL,
+dispatches into :class:`~repro.service.state.ServiceState`, and
+serializes the returned dict as JSON.  HTTP/1.1 keep-alive is on
+(``Content-Length`` is always set), so a dashboard session reuses one
+TCP connection across its whole query burst.
+
+Routes (all JSON unless noted)::
+
+    GET  /api/v1/health              liveness + warehouse identity
+    GET  /api/v1/systems             per-system configuration
+    GET  /api/v1/report/{kind}       ?system=&target=   rendered report
+    GET  /api/v1/query/group_by      ?system=&dimension=&metrics=a,b
+    GET  /api/v1/timeseries/{name}   ?system=           stored series
+    POST /api/v1/refresh             adopt external ingest commits
+    GET  /metrics                    Prometheus text 0.0.4
+
+Tenancy: the ``X-Tenant`` header (or ``tenant`` query parameter) keys
+the per-tenant L1 cache; unset means the shared ``public`` tenant.
+
+Telemetry per request: ``service.requests`` plus
+``service.requests.{endpoint}`` counters, the
+``service.latency.seconds`` histogram, ``service.errors`` on any
+non-2xx.  Scrape them at ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.service.protocol import (
+    ServiceError,
+    csv_tuple,
+    error_body,
+    one_param,
+)
+from repro.service.state import DEFAULT_TENANT, ServiceState
+from repro.telemetry.export import to_prometheus
+from repro.telemetry.metrics import get_registry
+
+__all__ = ["ReproServer", "RequestHandler", "make_server",
+           "SERVICE_LATENCY_BUCKETS"]
+
+#: Latency buckets tuned for an in-memory dashboard service: the p99
+#: acceptance gate is 10 ms, so resolution concentrates below it.
+SERVICE_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.1, 0.5, 2.5,
+)
+
+
+class ReproServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`ServiceState`."""
+
+    daemon_threads = True  # handler threads die with the process
+    #: A dashboard burst opens its sessions all at once; the
+    #: socketserver default backlog of 5 would drop the SYN flood and
+    #: cost every dropped client a full retransmission timeout.
+    request_queue_size = 128
+
+    def __init__(self, address: tuple[str, int], state: ServiceState):
+        super().__init__(address, RequestHandler)
+        self.state = state
+
+
+class RequestHandler(BaseHTTPRequestHandler):
+    """Routes one request into the service state; always answers JSON
+    (or Prometheus text for ``/metrics``), never an HTML traceback."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+    #: Responses are two small writes (header block, body); Nagle would
+    #: hold the second behind the peer's delayed ACK — a flat ~40 ms
+    #: tax on every warm request.
+    disable_nagle_algorithm = True
+    #: Toggled by the CLI; the default stays quiet so handler threads
+    #: never contend on stderr during benchmarks.
+    log_requests = False
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:
+        """Per-request stderr lines, off unless :attr:`log_requests`."""
+        if self.log_requests:
+            super().log_message(format, *args)
+
+    def _send(self, status: int, payload: bytes,
+              content_type: str = "application/json") -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(self, status: int, body: dict) -> None:
+        self._send(status, (json.dumps(body) + "\n").encode())
+
+    def _tenant(self, params: dict[str, list[str]]) -> str:
+        header = self.headers.get("X-Tenant")
+        if header:
+            return header
+        return one_param(params, "tenant", DEFAULT_TENANT)
+
+    # -- routing -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        """Dispatch a GET request."""
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        """Dispatch a POST request."""
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        url = urlsplit(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        endpoint = self._endpoint_name(parts)
+        registry = get_registry()
+        registry.counter("service.requests").inc()
+        registry.counter(f"service.requests.{endpoint}").inc()
+        start = time.perf_counter()
+        status = 500
+        try:
+            status, body, content_type = self._route(
+                method, parts, parse_qs(url.query))
+            self._send(status, body, content_type)
+        except ServiceError as exc:
+            status = exc.status
+            self._send_json(status, error_body(exc.code, exc.message,
+                                               exc.detail))
+        except BrokenPipeError:
+            status = 0  # client went away; nothing to answer
+        except Exception as exc:  # never an HTML traceback
+            status = 500
+            self._send_json(status, error_body(
+                "internal", f"{type(exc).__name__}: {exc}"))
+        finally:
+            registry.histogram("service.latency.seconds",
+                               SERVICE_LATENCY_BUCKETS).observe(
+                time.perf_counter() - start)
+            if status >= 400:
+                registry.counter("service.errors").inc()
+
+    @staticmethod
+    def _endpoint_name(parts: list[str]) -> str:
+        """The telemetry label for a path: the route family, never the
+        raw path (no label-cardinality explosion from bad URLs)."""
+        if parts == ["metrics"]:
+            return "metrics"
+        if len(parts) >= 3 and parts[:2] == ["api", "v1"]:
+            name = parts[2]
+            if name in ("health", "systems", "report", "query",
+                        "timeseries", "refresh"):
+                return name
+        return "unknown"
+
+    def _route(self, method: str, parts: list[str],
+               params: dict[str, list[str]]) -> tuple[int, bytes, str]:
+        state: ServiceState = self.server.state
+        if parts == ["metrics"]:
+            if method != "GET":
+                raise ServiceError("method_not_allowed",
+                                   "/metrics is GET-only")
+            text = to_prometheus(get_registry().snapshot())
+            return 200, text.encode(), "text/plain; version=0.0.4"
+
+        if len(parts) < 3 or parts[:2] != ["api", "v1"]:
+            raise ServiceError("unknown_endpoint",
+                               f"no such endpoint {self.path!r}")
+        head, tail = parts[2], parts[3:]
+
+        if head == "refresh" and not tail:
+            if method != "POST":
+                raise ServiceError("method_not_allowed",
+                                   "refresh is POST-only")
+            return self._json_ok(state.refresh())
+
+        if method != "GET":
+            raise ServiceError("method_not_allowed",
+                               f"{head} is GET-only")
+        if head == "health" and not tail:
+            return self._json_ok(state.health())
+        if head == "systems" and not tail:
+            return self._json_ok(state.systems())
+        if head == "report" and len(tail) == 1:
+            return self._json_ok(state.report(
+                kind=tail[0],
+                system=one_param(params, "system"),
+                target=one_param(params, "target"),
+                tenant=self._tenant(params)))
+        if head == "query" and tail == ["group_by"]:
+            return self._json_ok(state.group_by(
+                system=one_param(params, "system"),
+                dimension=one_param(params, "dimension"),
+                metrics=csv_tuple(one_param(params, "metrics")),
+                tenant=self._tenant(params)))
+        if head == "timeseries" and len(tail) == 1:
+            return self._json_ok(state.timeseries(
+                system=one_param(params, "system"),
+                series=tail[0],
+                tenant=self._tenant(params)))
+        raise ServiceError("unknown_endpoint",
+                           f"no such endpoint {self.path!r}")
+
+    @staticmethod
+    def _json_ok(body: dict) -> tuple[int, bytes, str]:
+        return (200, (json.dumps(body) + "\n").encode(),
+                "application/json")
+
+
+def make_server(state: ServiceState, host: str = "127.0.0.1",
+                port: int = 0) -> ReproServer:
+    """A bound (not yet serving) server; ``port=0`` picks a free port
+    (tests and the latency bench bind this way)."""
+    return ReproServer((host, port), state)

@@ -1,0 +1,270 @@
+"""The process-wide service state and endpoint compute logic.
+
+One :class:`ServiceState` owns the warehouse handle (opened
+``threadsafe=True`` so handler threads share the serialized SQLite
+connection), resolves the current
+:class:`~repro.xdmod.snapshot.WarehouseSnapshot` *once per request*
+(pinning the whole request to one frozen view, even mid-refresh), and
+layers the service caching stack over the PR 2 memo:
+
+1. **L1** — :class:`~repro.service.cache.TenantReportCache`, keyed by
+   ``(endpoint key..., snapshot stamp)``;
+2. **single-flight** — concurrent identical misses coalesce into one
+   computation (:class:`~repro.service.coalesce.SingleFlight`);
+3. **L2** — the snapshot memo itself, shared with CLI consumers.
+
+Everything here is transport-agnostic: methods take plain arguments
+and return JSON-able dicts or raise
+:class:`~repro.service.protocol.ServiceError`; the HTTP front end in
+:mod:`repro.service.server` is a thin routing shim over it.  Report
+text is byte-identical to ``repro-report`` output for the same query —
+both run the same report classes over the same snapshot machinery.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.ingest.summarize import SUMMARY_METRICS
+from repro.ingest.warehouse import Warehouse
+from repro.service.cache import TenantReportCache
+from repro.service.coalesce import SingleFlight
+from repro.service.protocol import ServiceError
+from repro.telemetry.metrics import get_registry
+from repro.xdmod.query import DIMENSIONS, JobQuery
+from repro.xdmod.reports import (
+    AdminReport,
+    DeveloperReport,
+    FundingAgencyReport,
+    ResourceManagerReport,
+    SupportStaffReport,
+    UserReport,
+)
+from repro.xdmod.snapshot import WarehouseSnapshot
+
+__all__ = ["ServiceState", "REPORT_KINDS", "DEFAULT_TENANT"]
+
+#: report realm -> generator class (same vocabulary as ``repro-report``).
+REPORT_KINDS = {
+    "user": UserReport,
+    "developer": DeveloperReport,
+    "support": SupportStaffReport,
+    "admin": AdminReport,
+    "manager": ResourceManagerReport,
+    "funding": FundingAgencyReport,
+}
+
+#: report realms whose render needs a target argument.
+NEEDS_TARGET = {"user": "a username", "developer": "an application tag"}
+
+DEFAULT_TENANT = "public"
+
+
+class ServiceState:
+    """Shared state behind every handler thread of one server."""
+
+    def __init__(self, warehouse_path: str, cache_capacity: int = 256,
+                 report_cache: bool = True):
+        self.warehouse = Warehouse(warehouse_path, threadsafe=True)
+        self.warehouse_path = warehouse_path
+        self._flight = SingleFlight()
+        self._cache = (TenantReportCache(cache_capacity)
+                       if report_cache else None)
+        self._refresh_lock = threading.Lock()
+
+    def close(self) -> None:
+        """Release the warehouse connection."""
+        self.warehouse.close()
+
+    # -- snapshot resolution ----------------------------------------------
+
+    def snapshot(self) -> WarehouseSnapshot:
+        """The current frozen view; resolved once per request so every
+        sub-query of that request sees one generation."""
+        return WarehouseSnapshot.for_warehouse(self.warehouse)
+
+    def refresh(self) -> dict:
+        """Adopt external commits: re-read the on-disk generation and
+        swap in a delta-refreshed snapshot (``POST /api/v1/refresh``).
+
+        In-flight requests keep the snapshot they already resolved;
+        only requests arriving after the swap see the new data.
+        """
+        with self._refresh_lock:
+            before = self.warehouse.generation
+            self.warehouse.reread_generation()
+            snap = self.snapshot()
+            get_registry().counter("service.refreshes").inc()
+            return {
+                "generation": snap.generation,
+                "changed": snap.generation != before,
+            }
+
+    # -- endpoints ----------------------------------------------------------
+
+    def health(self) -> dict:
+        """``GET /api/v1/health``: liveness plus warehouse identity."""
+        return {
+            "status": "ok",
+            "warehouse": self.warehouse_path,
+            "systems": self.warehouse.systems(),
+            "generation": self.warehouse.generation,
+        }
+
+    def systems(self) -> dict:
+        """``GET /api/v1/systems``: per-system configuration facts."""
+        snap = self.snapshot()
+        return {
+            "systems": {
+                name: snap.system_info(name)
+                for name in self.warehouse.systems()
+            }
+        }
+
+    def _check_system(self, system: str | None) -> str:
+        if not system:
+            raise ServiceError("missing_param",
+                               "missing required parameter 'system'")
+        if system not in self.warehouse.systems():
+            raise ServiceError(
+                "unknown_system", f"unknown system {system!r}",
+                {"known": self.warehouse.systems()})
+        return system
+
+    def report(self, kind: str, system: str | None,
+               target: str | None = None,
+               tenant: str = DEFAULT_TENANT) -> dict:
+        """``GET /api/v1/report/{kind}``: one rendered stakeholder
+        report, served through L1 -> single-flight -> snapshot memo."""
+        cls = REPORT_KINDS.get(kind)
+        if cls is None:
+            raise ServiceError(
+                "unknown_realm", f"unknown report realm {kind!r}",
+                {"known": sorted(REPORT_KINDS)})
+        system = self._check_system(system)
+        if kind in NEEDS_TARGET:
+            if not target:
+                raise ServiceError(
+                    "missing_target",
+                    f"report {kind!r} needs {NEEDS_TARGET[kind]}")
+            target_args: tuple[str, ...] = (target,)
+        else:
+            if target:
+                raise ServiceError("unexpected_target",
+                                   f"report {kind!r} takes no target")
+            target_args = ()
+
+        snap = self.snapshot()
+        # Same shape as the snapshot-memo report key (PR 2), extended
+        # with the stamp: identical in-flight requests coalesce, and a
+        # key can never alias across generations.
+        key = ("report", cls.__name__, system, target_args, snap.stamp)
+        body = {
+            "kind": kind,
+            "system": system,
+            "target": target,
+            "generation": snap.generation,
+        }
+        if self._cache is not None:
+            hit = self._cache.get(tenant, key)
+            if hit is not None:
+                return {**body, "report": hit, "cached": True}
+
+        def compute() -> str:
+            try:
+                return cls(self.warehouse, system,
+                           snapshot=snap).render(*target_args)
+            except (KeyError, ValueError) as exc:
+                # Unknown user/app inside a valid realm: a client
+                # error, not an internal one.
+                raise ServiceError("bad_request", str(exc)) from exc
+
+        text, coalesced = self._flight.do(key, compute)
+        if self._cache is not None:
+            self._cache.put(tenant, key, text)
+        return {**body, "report": text, "cached": False,
+                "coalesced": coalesced}
+
+    def group_by(self, system: str | None, dimension: str | None,
+                 metrics: tuple[str, ...] | None = None,
+                 tenant: str = DEFAULT_TENANT) -> dict:
+        """``GET /api/v1/query/group_by``: weighted aggregation by one
+        or more dimensions (comma-separated)."""
+        system = self._check_system(system)
+        if not dimension:
+            raise ServiceError("missing_param",
+                               "missing required parameter 'dimension'")
+        dims = tuple(d for d in dimension.split(",") if d)
+        for d in dims:
+            if d not in DIMENSIONS:
+                raise ServiceError(
+                    "unknown_dimension", f"unknown dimension {d!r}",
+                    {"known": list(DIMENSIONS)})
+        metrics = SUMMARY_METRICS if metrics is None else metrics
+        for m in metrics:
+            if m not in SUMMARY_METRICS:
+                raise ServiceError(
+                    "unknown_metric", f"unknown metric {m!r}",
+                    {"known": list(SUMMARY_METRICS)})
+
+        snap = self.snapshot()
+        key = ("service.group_by", system, dims, metrics, snap.stamp)
+        body = {"system": system, "dimension": list(dims),
+                "metrics": list(metrics), "generation": snap.generation}
+        if self._cache is not None:
+            hit = self._cache.get(tenant, key)
+            if hit is not None:
+                return {**body, "groups": hit, "cached": True}
+
+        def compute() -> list[dict]:
+            query = JobQuery(self.warehouse, system, snapshot=snap)
+            return [
+                {
+                    "key": g.key,
+                    "keys": list(g.keys),
+                    "job_count": g.job_count,
+                    "node_hours": g.node_hours,
+                    "weighted_means": g.weighted_means,
+                }
+                for g in query.group_by(
+                    dims if len(dims) > 1 else dims[0], metrics=metrics)
+            ]
+
+        groups, coalesced = self._flight.do(key, compute)
+        if self._cache is not None:
+            self._cache.put(tenant, key, groups)
+        return {**body, "groups": groups, "cached": False,
+                "coalesced": coalesced}
+
+    def timeseries(self, system: str | None, series: str | None,
+                   tenant: str = DEFAULT_TENANT) -> dict:
+        """``GET /api/v1/timeseries/{series}``: one stored system
+        series as parallel time/value arrays."""
+        system = self._check_system(system)
+        if not series:
+            raise ServiceError("missing_param", "missing series name")
+        known = self.warehouse.series_metrics(system)
+        if series not in known:
+            raise ServiceError(
+                "unknown_series",
+                f"no series {series!r} for system {system!r}",
+                {"known": known})
+
+        snap = self.snapshot()
+        key = ("service.timeseries", system, series, snap.stamp)
+        body = {"system": system, "series": series,
+                "generation": snap.generation}
+        if self._cache is not None:
+            hit = self._cache.get(tenant, key)
+            if hit is not None:
+                return {**body, **hit, "cached": True}
+
+        def compute() -> dict:
+            t, v = snap.series(system, series)
+            return {"times": t.tolist(), "values": v.tolist(),
+                    "mean": float(v.mean()) if v.size else 0.0}
+
+        payload, coalesced = self._flight.do(key, compute)
+        if self._cache is not None:
+            self._cache.put(tenant, key, payload)
+        return {**body, **payload, "cached": False, "coalesced": coalesced}

@@ -7,6 +7,13 @@ instruments are plain Python objects mutated with one attribute update
 path), so leaving them on by default costs well under the 1 % ingest
 budget guarded by ``benchmarks/bench_telemetry_overhead.py``.
 
+Since the analytics service layer landed, instruments are also
+*thread-safe*: each carries a private lock so concurrent writers (the
+query server's handler threads, the snapshot memo) never lose an
+update — a bare ``+=`` is a read-modify-write the GIL is free to
+interleave.  The lock is uncontended on single-threaded ingest, so the
+cost stays inside the same overhead budget (re-measured by the bench).
+
 Three pieces:
 
 * :class:`MetricsRegistry` — the mutable, process-local home of every
@@ -32,6 +39,7 @@ must agree on exactly.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_right
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -78,13 +86,20 @@ def telemetry_enabled() -> bool:
 
 
 class Counter:
-    """A monotonically increasing count (events, bytes, rows)."""
+    """A monotonically increasing count (events, bytes, rows).
 
-    __slots__ = ("name", "value")
+    Increments are serialized by a per-instrument lock: concurrent
+    service handler threads hammering the same counter must not lose a
+    single update (the hammer test in ``tests/telemetry`` proves they
+    don't).
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int | float = 1) -> None:
         """Add *amount* (must be >= 0) to the counter."""
@@ -92,11 +107,17 @@ class Counter:
             return
         if amount < 0:
             raise ValueError(f"counter {self.name}: negative increment")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
-    """A point-in-time value (effective workers, queue depth)."""
+    """A point-in-time value (effective workers, queue depth).
+
+    ``set`` is a single attribute store — atomic under the GIL — so a
+    gauge needs no lock: last write wins, which is already its merge
+    semantics.
+    """
 
     __slots__ = ("name", "value")
 
@@ -129,6 +150,30 @@ class HistogramData:
         """Mean of all observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile (0 < q < 1) from the buckets.
+
+        Linear interpolation inside the bucket holding the target rank;
+        the overflow bucket reports its lower bound (the estimate is a
+        floor there — fixed buckets cannot see beyond their last edge).
+        Returns 0.0 when the histogram is empty.
+        """
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile {q} outside (0, 1)")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            if seen + n >= rank and n:
+                lo = self.bounds[i - 1] if i else 0.0
+                if i >= len(self.bounds):
+                    return lo
+                hi = self.bounds[i]
+                return lo + (hi - lo) * (rank - seen) / n
+            seen += n
+        return self.bounds[-1]
+
     def merge(self, other: "HistogramData") -> "HistogramData":
         """Bucket-wise sum; both histograms must share their bounds."""
         if self.bounds != other.bounds:
@@ -159,10 +204,13 @@ class Histogram:
     """Fixed-bucket distribution (stage latencies, per-host scan times).
 
     Buckets are fixed at construction so worker histograms merge by
-    bucket-wise addition; there is no dynamic rebinning.
+    bucket-wise addition; there is no dynamic rebinning.  ``observe``
+    updates three fields together, so a per-instrument lock keeps
+    bucket counts, total, and count mutually consistent under
+    concurrent observers (and :meth:`data` reads under the same lock).
     """
 
-    __slots__ = ("name", "bounds", "counts", "total", "count")
+    __slots__ = ("name", "bounds", "counts", "total", "count", "_lock")
 
     def __init__(self, name: str,
                  bounds: tuple[float, ...] = DEFAULT_SECONDS_BUCKETS):
@@ -173,19 +221,24 @@ class Histogram:
         self.counts = [0] * (len(self.bounds) + 1)
         self.total = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one observation."""
         if not _ENABLED:
             return
-        self.counts[bisect_right(self.bounds, value)] += 1
-        self.total += value
-        self.count += 1
+        bucket = bisect_right(self.bounds, value)
+        with self._lock:
+            self.counts[bucket] += 1
+            self.total += value
+            self.count += 1
 
     def data(self) -> HistogramData:
         """The immutable image of the current state."""
-        return HistogramData(bounds=self.bounds, counts=tuple(self.counts),
-                             total=self.total, count=self.count)
+        with self._lock:
+            return HistogramData(bounds=self.bounds,
+                                 counts=tuple(self.counts),
+                                 total=self.total, count=self.count)
 
 
 @dataclass(frozen=True)
@@ -262,6 +315,9 @@ class MetricsRegistry:
     Instruments are created on first use and keyed by dotted name;
     asking for an existing name returns the same object, so call sites
     can re-resolve cheaply or cache the instrument in a local.
+    Creation uses ``dict.setdefault`` (atomic under the GIL), so two
+    threads racing to create the same instrument converge on one
+    object and neither loses its updates.
     """
 
     def __init__(self) -> None:
@@ -273,14 +329,14 @@ class MetricsRegistry:
         """The counter registered under *name* (created on first use)."""
         c = self._counters.get(name)
         if c is None:
-            c = self._counters[name] = Counter(name)
+            c = self._counters.setdefault(name, Counter(name))
         return c
 
     def gauge(self, name: str) -> Gauge:
         """The gauge registered under *name* (created on first use)."""
         g = self._gauges.get(name)
         if g is None:
-            g = self._gauges[name] = Gauge(name)
+            g = self._gauges.setdefault(name, Gauge(name))
         return g
 
     def histogram(self, name: str,
@@ -289,7 +345,7 @@ class MetricsRegistry:
         """The histogram under *name*; *bounds* applies on first use only."""
         h = self._histograms.get(name)
         if h is None:
-            h = self._histograms[name] = Histogram(name, bounds)
+            h = self._histograms.setdefault(name, Histogram(name, bounds))
         return h
 
     def snapshot(self) -> MetricsSnapshot:
@@ -297,18 +353,24 @@ class MetricsRegistry:
 
         Instruments that never recorded anything (zero counters, empty
         histograms) are included — an exported zero is information.
+        The instrument dicts are copied atomically (``list()`` of the
+        items runs without a bytecode boundary) so a snapshot taken
+        while handler threads create new instruments never raises
+        mid-iteration.
         """
         return MetricsSnapshot(
-            counters={n: c.value for n, c in self._counters.items()},
-            gauges={n: g.value for n, g in self._gauges.items()},
-            histograms={n: h.data() for n, h in self._histograms.items()},
+            counters={n: c.value for n, c in list(self._counters.items())},
+            gauges={n: g.value for n, g in list(self._gauges.items())},
+            histograms={n: h.data()
+                        for n, h in list(self._histograms.items())},
         )
 
     def merge_snapshot(self, snap: MetricsSnapshot) -> None:
         """Fold a (worker's) snapshot into this registry in place."""
         for name, value in snap.counters.items():
             c = self.counter(name)
-            c.value += value
+            with c._lock:
+                c.value += value
         for name, value in snap.gauges.items():
             self.gauge(name).value = value
         for name, data in snap.histograms.items():
@@ -317,10 +379,11 @@ class MetricsRegistry:
                 raise ValueError(
                     f"histogram {name}: bounds mismatch on merge"
                 )
-            for i, n in enumerate(data.counts):
-                h.counts[i] += n
-            h.total += data.total
-            h.count += data.count
+            with h._lock:
+                for i, n in enumerate(data.counts):
+                    h.counts[i] += n
+                h.total += data.total
+                h.count += data.count
 
     def reset(self) -> None:
         """Drop every instrument (a fresh run starts from zero)."""

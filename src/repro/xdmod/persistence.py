@@ -93,11 +93,13 @@ class PersistenceAnalysis:
         system: str,
         offsets_min: tuple[int, ...] = DEFAULT_OFFSETS_MIN,
         metrics: dict[str, str] | None = None,
+        snapshot: "WarehouseSnapshot | None" = None,
     ):
         self.system = system
         self.offsets_min = offsets_min
         self._metrics = dict(metrics or PERSISTENCE_METRICS)
-        self._snapshot = WarehouseSnapshot.for_warehouse(warehouse)
+        self._snapshot = (snapshot if snapshot is not None
+                          else WarehouseSnapshot.for_warehouse(warehouse))
         info = self._snapshot.system_info(system)
         self.step_min = info["sample_interval"] / 60.0
         self._series: dict[str, np.ndarray] = {}

@@ -62,13 +62,19 @@ class JobQuery:
 
     def __init__(self, warehouse: Warehouse, system: str,
                  metrics: tuple[str, ...] = SUMMARY_METRICS,
-                 _mask: np.ndarray | None = None):
+                 _mask: np.ndarray | None = None,
+                 snapshot: WarehouseSnapshot | None = None):
         for m in metrics:
             if m not in SUMMARY_METRICS:
                 raise ValueError(f"unknown metric {m!r}")
         self.system = system
         self.metrics = tuple(metrics)
-        self._snapshot = WarehouseSnapshot.for_warehouse(warehouse)
+        # An explicit snapshot pins the query to one frozen view (the
+        # service layer resolves the handle once per request so every
+        # sub-query of a report sees the same generation); otherwise
+        # the process-wide current snapshot is used.
+        self._snapshot = (snapshot if snapshot is not None
+                          else WarehouseSnapshot.for_warehouse(warehouse))
         self._frame: SystemFrame = self._snapshot.frame(system)
         if _mask is not None:
             self._mask = _mask

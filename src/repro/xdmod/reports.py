@@ -54,11 +54,16 @@ def _profile_block(profile: Profile, title: str) -> str:
 
 
 class _BaseReport:
-    def __init__(self, warehouse: Warehouse, system: str):
+    def __init__(self, warehouse: Warehouse, system: str,
+                 snapshot: WarehouseSnapshot | None = None):
         self.warehouse = warehouse
         self.system = system
-        self._snapshot = WarehouseSnapshot.for_warehouse(warehouse)
-        self.query = JobQuery(warehouse, system)
+        # Passing an explicit snapshot pins the whole report (and every
+        # sub-query) to one frozen view; the service layer does this so
+        # a report never straddles a mid-request refresh.
+        self._snapshot = (snapshot if snapshot is not None
+                          else WarehouseSnapshot.for_warehouse(warehouse))
+        self.query = JobQuery(warehouse, system, snapshot=self._snapshot)
         self.profiler = UsageProfiler(self.query)
 
     def render(self, *target: str) -> str:
@@ -221,7 +226,8 @@ class AdminReport(_BaseReport):
 
         exits = self.query.group_by("exit_status", metrics=())
         queues = self.query.group_by("queue", metrics=("cpu_idle",))
-        persistence = PersistenceAnalysis(self.warehouse, self.system)
+        persistence = PersistenceAnalysis(self.warehouse, self.system,
+                                          snapshot=self._snapshot)
         characterization = WorkloadCharacterization(self.query)
         return {
             "exit_profile": {g.key: g.job_count for g in exits},
@@ -286,7 +292,8 @@ class ResourceManagerReport(_BaseReport):
     """§4.3.5: system-level resource-use reports (Figures 7-12 data)."""
 
     def generate(self) -> dict:
-        ts = SystemTimeseries(self.warehouse, self.system)
+        ts = SystemTimeseries(self.warehouse, self.system,
+                              snapshot=self._snapshot)
         by_field = self.query.group_by(
             "science_field", metrics=("mem_used", "cpu_idle")
         )

@@ -27,10 +27,28 @@ metrics)`` tuples supplied by the query layer; keys never embed array
 data.  ``set_cache_enabled(False)`` turns memoization off globally
 (the ``repro-report --no-report-cache`` escape hatch) without touching
 the shared frames.
+
+Concurrency contract (the query service runs thousands of dashboard
+sessions over one snapshot):
+
+* a *published* snapshot is never mutated — :meth:`WarehouseSnapshot.
+  refresh` builds a replacement object and :meth:`for_warehouse` swaps
+  it in atomically, so a reader that grabbed the old handle keeps one
+  consistent frozen view for its whole request (no half-extended
+  frames, no memo entries pruned out from under it);
+* lazy loads (frames, series, system info) serialize on a load lock —
+  both because the SQLite connection is shared and so two threads never
+  duplicate a bulk scan;
+* memo bookkeeping (hit/miss counts and the entry store) serializes on
+  a second, short-hold lock; the compute itself runs outside it, so
+  distinct keys compute concurrently.  Two threads racing the same
+  cold key may both compute (both count as misses; the first store
+  wins), which keeps ``hits + misses == calls`` exact under contention.
 """
 
 from __future__ import annotations
 
+import threading
 import weakref
 from typing import Any, Callable
 
@@ -327,6 +345,10 @@ _SNAPSHOTS: "weakref.WeakKeyDictionary[Warehouse, WarehouseSnapshot]" = (
     weakref.WeakKeyDictionary()
 )
 
+#: Serializes snapshot lookup/refresh/publication: concurrent readers
+#: that find the table stale must not race two refreshes.
+_SNAP_LOCK = threading.Lock()
+
 
 class WarehouseSnapshot:
     """The shared columnar image of one warehouse at one data version."""
@@ -341,6 +363,11 @@ class WarehouseSnapshot:
         self._memo: dict[tuple, Any] = {}
         self.hits = 0
         self.misses = 0
+        # Load lock: serializes lazy SQLite scans (shared connection,
+        # no duplicated bulk work).  Memo lock: short-hold bookkeeping
+        # for the entry store and hit/miss counts.
+        self._load_lock = threading.RLock()
+        self._memo_lock = threading.Lock()
         # Append-vs-rebuild bookkeeping: rowid high-waters plus the
         # warehouse's destruction counter and per-system series epochs.
         # If only rows above these appear later, :meth:`refresh` extends
@@ -356,21 +383,26 @@ class WarehouseSnapshot:
 
     @classmethod
     def for_warehouse(cls, warehouse: Warehouse) -> "WarehouseSnapshot":
-        """The memoized snapshot for *warehouse*, refreshed iff its
+        """The memoized snapshot for *warehouse*, replaced iff its
         ``data_version`` moved since the last call (i.e. on ingest
-        commit or any buffered write).  A stale snapshot is repaired by
-        :meth:`refresh` — O(delta) after an append-only ingest, full
-        rebuild after destructive writes."""
-        snap = _SNAPSHOTS.get(warehouse)
-        if snap is None:
-            snap = cls(warehouse)
-        elif snap.stamp != warehouse.data_version:
-            snap = snap.refresh(warehouse)
-        _SNAPSHOTS[warehouse] = snap
-        return snap
+        commit or any buffered write).  A stale snapshot is superseded
+        by :meth:`refresh` — O(delta) after an append-only ingest, full
+        rebuild after destructive writes — and the replacement is
+        published atomically under one lock, so concurrent callers
+        always get either the old consistent snapshot or the new one,
+        never a half-refreshed hybrid."""
+        with _SNAP_LOCK:
+            snap = _SNAPSHOTS.get(warehouse)
+            if snap is None:
+                snap = cls(warehouse)
+            elif snap.stamp != warehouse.data_version:
+                snap = snap.refresh(warehouse)
+            _SNAPSHOTS[warehouse] = snap
+            return snap
 
     def refresh(self, warehouse: Warehouse) -> "WarehouseSnapshot":
-        """Bring this snapshot up to *warehouse*'s current data version.
+        """The snapshot brought up to *warehouse*'s current data
+        version — a **new object**; ``self`` is never mutated.
 
         Append-only delta (the common post-ingest case): every loaded
         frame is extended with just the appended rows, series whose
@@ -379,8 +411,17 @@ class WarehouseSnapshot:
         affected system appears in the key, or an inclusive time-range
         step is disjoint from the appended time span.  Anything
         destructive (row rewrites/deletes) falls back to a fresh
-        snapshot.  Returns ``self`` when already current or refreshed
-        in place, else the replacement snapshot.
+        snapshot.
+
+        Returning a replacement instead of extending in place is the
+        concurrency contract: a reader that resolved ``self`` before
+        the refresh keeps one frozen, mutually consistent set of
+        frames/series/memo entries for as long as it holds the
+        reference — it can never observe frame A extended while frame
+        B (or the memo pruned against the new rows) still describes
+        the old generation.  Unchanged frames and surviving entries
+        are shared by reference, so the O(delta) cost is unchanged.
+        Returns ``self`` only when already current.
         """
         if self.stamp == warehouse.data_version:
             return self
@@ -442,49 +483,76 @@ class WarehouseSnapshot:
                 s for s, epoch in state["series_epochs"].items()
                 if epoch != self._series_epochs.get(s, 0)
             }
-            for system in frame_affected & self._frames.keys():
-                self._frames[system] = self._frames[system].extended(
-                    warehouse)
-            for key in [k for k in self._series
-                        if k[0] in series_changed]:
-                del self._series[key]
             affected = set(spans) | series_changed
-            self._memo = {
-                key: value for key, value in self._memo.items()
-                if _memo_survives(key, affected, series_changed, spans)
-            }
 
-            self._jobs_hi = jobs_hi
-            self._metrics_hi = metrics_hi
-            self._syslog_hi = syslog_hi
-            self._destructive = state["destructive"]
-            self._series_epochs = state["series_epochs"]
-            self.stamp = warehouse.data_version
-            self.generation = warehouse.generation
+            # Assemble the replacement without touching self: extended
+            # frames for affected systems, everything else shared by
+            # reference, memo filtered into a fresh dict.
+            new = WarehouseSnapshot.__new__(WarehouseSnapshot)
+            new._warehouse = warehouse
+            with self._load_lock:
+                new._frames = {
+                    system: (frame.extended(warehouse)
+                             if system in frame_affected else frame)
+                    for system, frame in self._frames.items()
+                }
+                new._series = {
+                    key: pair for key, pair in self._series.items()
+                    if key[0] not in series_changed
+                }
+                new._info = dict(self._info)
+            with self._memo_lock:
+                new._memo = {
+                    key: value for key, value in self._memo.items()
+                    if _memo_survives(key, affected, series_changed,
+                                      spans)
+                }
+                new.hits = self.hits
+                new.misses = self.misses
+            new._load_lock = threading.RLock()
+            new._memo_lock = threading.Lock()
+            new._jobs_hi = jobs_hi
+            new._metrics_hi = metrics_hi
+            new._syslog_hi = syslog_hi
+            new._destructive = state["destructive"]
+            new._series_epochs = state["series_epochs"]
+            new.stamp = warehouse.data_version
+            new.generation = warehouse.generation
             get_registry().counter("analytics.snapshot_refresh").inc()
-        return self
+        return new
 
     @classmethod
     def invalidate(cls, warehouse: Warehouse) -> None:
         """Explicitly drop the cached snapshot (benchmarks use this to
         measure the cold path; ingest does not need it — commits move
         the data version, which invalidates implicitly)."""
-        _SNAPSHOTS.pop(warehouse, None)
+        with _SNAP_LOCK:
+            _SNAPSHOTS.pop(warehouse, None)
 
     # -- data --------------------------------------------------------------
 
     def frame(self, system: str) -> SystemFrame:
+        """The (lazily loaded) frame for *system*; double-checked under
+        the load lock so concurrent readers share one bulk scan."""
         frame = self._frames.get(system)
         if frame is None:
-            with span("analytics.frame_load", system=system):
-                frame = self._frames[system] = SystemFrame(
-                    self._warehouse, system)
+            with self._load_lock:
+                frame = self._frames.get(system)
+                if frame is None:
+                    with span("analytics.frame_load", system=system):
+                        frame = SystemFrame(self._warehouse, system)
+                    self._frames[system] = frame
         return frame
 
     def system_info(self, system: str) -> dict:
+        """System facts (nodes, cores, peak TF), loaded once."""
         info = self._info.get(system)
         if info is None:
-            info = self._info[system] = self._warehouse.system_info(system)
+            with self._load_lock:
+                info = self._info.get(system)
+                if info is None:
+                    info = self._warehouse.system_info(system)
+                    self._info[system] = info
         return info
 
     def series(self, system: str,
@@ -493,8 +561,12 @@ class WarehouseSnapshot:
         key = (system, metric)
         pair = self._series.get(key)
         if pair is None:
-            t, v = self._warehouse.series(system, metric)
-            pair = self._series[key] = (_freeze(t), _freeze(v))
+            with self._load_lock:
+                pair = self._series.get(key)
+                if pair is None:
+                    t, v = self._warehouse.series(system, metric)
+                    pair = (_freeze(t), _freeze(v))
+                    self._series[key] = pair
         return pair
 
     # -- memoization -------------------------------------------------------
@@ -507,19 +579,30 @@ class WarehouseSnapshot:
         metrics)``.  The warehouse generation is implicit: a new
         generation means a new snapshot, so stale entries can never be
         served.  With the cache disabled, *compute* runs every time.
+
+        Thread-safe: lookup and hit/miss accounting happen under the
+        memo lock, *compute* runs outside it (so concurrent misses on
+        distinct keys don't serialize), and the store uses
+        ``setdefault`` so the first finisher wins and every caller
+        returns the same object.  ``hits + misses`` equals the number
+        of calls exactly, under any interleaving.
         """
         if not _CACHE_ENABLED:
             return compute()
-        try:
-            value = self._memo[key]
-        except KeyError:
-            self.misses += 1
-            get_registry().counter("analytics.cache_misses").inc()
-            value = self._memo[key] = compute()
-            return value
-        self.hits += 1
-        get_registry().counter("analytics.cache_hits").inc()
-        return value
+        registry = get_registry()
+        with self._memo_lock:
+            try:
+                value = self._memo[key]
+            except KeyError:
+                self.misses += 1
+            else:
+                self.hits += 1
+                registry.counter("analytics.cache_hits").inc()
+                return value
+        registry.counter("analytics.cache_misses").inc()
+        value = compute()
+        with self._memo_lock:
+            return self._memo.setdefault(key, value)
 
     @property
     def cache_stats(self) -> dict[str, int]:

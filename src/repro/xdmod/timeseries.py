@@ -56,10 +56,12 @@ class SeriesSummary:
 class SystemTimeseries:
     """Accessors for one system's stored series."""
 
-    def __init__(self, warehouse: Warehouse, system: str):
+    def __init__(self, warehouse: Warehouse, system: str,
+                 snapshot: WarehouseSnapshot | None = None):
         self.warehouse = warehouse
         self.system = system
-        self._snapshot = WarehouseSnapshot.for_warehouse(warehouse)
+        self._snapshot = (snapshot if snapshot is not None
+                          else WarehouseSnapshot.for_warehouse(warehouse))
         self.info = self._snapshot.system_info(system)
 
     def _get(self, name: str) -> SeriesSummary:

@@ -1,0 +1,92 @@
+"""Service-layer fixtures: one small file-backed warehouse per session,
+one live HTTP server shared by the read-only protocol tests, and a
+tiny stdlib HTTP client.
+
+The server is session-scoped (binding and snapshot warm-up are the
+expensive parts); tests that need pristine cache or counter state use
+a fresh function-scoped :class:`ServiceState` instead of the shared
+server, or assert on counter *deltas*.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro import RANGER, Facility
+from repro.ingest.warehouse import Warehouse
+from repro.service.server import make_server
+from repro.service.state import ServiceState
+
+SYSTEM = "ranger"
+
+
+@pytest.fixture(scope="session")
+def warehouse_path(tmp_path_factory) -> str:
+    """A small simulated facility persisted to a SQLite file."""
+    path = tmp_path_factory.mktemp("service") / "facility.sqlite"
+    cfg = RANGER.scaled(num_nodes=16, horizon_days=6, n_users=24)
+    wh = Warehouse(str(path))
+    Facility(cfg, seed=3).run(warehouse=wh)
+    wh.commit()
+    wh.close()
+    return str(path)
+
+
+@pytest.fixture(scope="session")
+def server(warehouse_path):
+    """A live ``ReproServer`` on a free port, torn down after the
+    session."""
+    state = ServiceState(warehouse_path)
+    srv = make_server(state)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    state.close()
+    thread.join(timeout=5)
+
+
+class Client:
+    """A minimal JSON-over-HTTP client for one server."""
+
+    def __init__(self, server):
+        host, port = server.server_address[:2]
+        self.host, self.port = host, port
+
+    def request(self, method: str, path: str,
+                headers: dict | None = None):
+        """Returns ``(status, parsed_json_or_text)``."""
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=30)
+        try:
+            conn.request(method, path, headers=headers or {})
+            resp = conn.getresponse()
+            raw = resp.read().decode()
+            if resp.headers.get_content_type() == "application/json":
+                return resp.status, json.loads(raw)
+            return resp.status, raw
+        finally:
+            conn.close()
+
+    def get(self, path: str, headers: dict | None = None):
+        return self.request("GET", path, headers)
+
+    def post(self, path: str, headers: dict | None = None):
+        return self.request("POST", path, headers)
+
+
+@pytest.fixture(scope="session")
+def client(server) -> Client:
+    return Client(server)
+
+
+@pytest.fixture()
+def fresh_state(warehouse_path):
+    """A function-scoped state with empty caches (no HTTP in front)."""
+    state = ServiceState(warehouse_path)
+    yield state
+    state.close()

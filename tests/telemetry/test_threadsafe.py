@@ -1,0 +1,176 @@
+"""Concurrency hammer tests: instruments and the snapshot memo never
+lose an update under contention.
+
+A bare ``+=`` on a Python attribute is a read-modify-write the GIL is
+free to interleave; these tests drive enough threads through the hot
+paths that a regression back to unlocked updates fails loudly (dozens
+of lost increments), not flakily.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.ingest.summarize import SUMMARY_METRICS, JobSummary
+from repro.ingest.warehouse import Warehouse
+from repro.scheduler.job import ExitStatus, JobRecord
+from repro.telemetry.metrics import get_registry
+from repro.xdmod.snapshot import WarehouseSnapshot
+from tests.scheduler.test_job import make_request
+
+THREADS = 8
+ROUNDS = 2000
+
+
+def _hammer(worker) -> None:
+    """Run *worker* on THREADS threads, all released at one barrier."""
+    barrier = threading.Barrier(THREADS)
+
+    def run():
+        barrier.wait()
+        worker()
+
+    threads = [threading.Thread(target=run) for _ in range(THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(30)
+
+
+def test_counter_increments_are_exact():
+    counter = get_registry().counter("hammer.counter")
+    _hammer(lambda: [counter.inc() for _ in range(ROUNDS)])
+    assert counter.value == THREADS * ROUNDS
+
+
+def test_counter_weighted_increments_are_exact():
+    counter = get_registry().counter("hammer.weighted")
+    _hammer(lambda: [counter.inc(3) for _ in range(ROUNDS)])
+    assert counter.value == 3 * THREADS * ROUNDS
+
+
+def test_histogram_observations_are_exact():
+    hist = get_registry().histogram("hammer.seconds")
+
+    def worker():
+        for i in range(ROUNDS):
+            hist.observe(0.0001 * (i % 50))
+
+    _hammer(worker)
+    data = hist.data()
+    assert data.count == THREADS * ROUNDS
+    assert sum(data.counts) == data.count
+
+
+def test_racing_instrument_creation_converges():
+    """Two threads racing to create the same counter must converge on
+    one object (no lost updates split across duplicates)."""
+    registry = get_registry()
+    out = []
+
+    def worker():
+        c = registry.counter("hammer.create")
+        out.append(c)
+        for _ in range(ROUNDS):
+            c.inc()
+
+    _hammer(worker)
+    assert len({id(c) for c in out}) == 1
+    assert registry.counter("hammer.create").value == THREADS * ROUNDS
+
+
+def test_snapshot_taken_during_creation_never_raises():
+    """Registry snapshots race instrument creation without tripping
+    over a mutating dict."""
+    registry = get_registry()
+    stop = threading.Event()
+
+    def create():
+        i = 0
+        while not stop.is_set():
+            registry.counter(f"hammer.dyn.{i % 500}").inc()
+            i += 1
+
+    creator = threading.Thread(target=create)
+    creator.start()
+    try:
+        for _ in range(300):
+            registry.snapshot()  # must not raise RuntimeError
+    finally:
+        stop.set()
+        creator.join(10)
+
+
+def _tiny_warehouse() -> Warehouse:
+    wh = Warehouse()
+    wh.add_system("sys", num_nodes=4, cores_per_node=4,
+                  mem_gb_per_node=8.0, peak_tflops=1.0,
+                  sample_interval=600.0)
+    for i in range(4):
+        req = make_request(jobid=str(i), user="u", nodes=1)
+        rec = JobRecord(req, 0.0, 3600.0, (0,), ExitStatus.COMPLETED)
+        wh.add_job("sys", rec, 4,
+                   JobSummary(str(i), {m: 1.0 for m in SUMMARY_METRICS},
+                              1, 3600.0, 6))
+    wh.commit()
+    return wh
+
+
+def test_memo_hit_miss_counters_stay_exact_under_contention():
+    """The PR 2 memo under THREADS concurrent callers over a mix of
+    shared keys: ``hits + misses`` equals the exact number of
+    ``cached()`` calls, the registry counters move in lockstep with
+    the snapshot's own counts, and every caller of a key sees the same
+    value object."""
+    wh = _tiny_warehouse()
+    snap = WarehouseSnapshot.for_warehouse(wh)
+    registry = get_registry()
+    hits0 = registry.counter("analytics.cache_hits").value
+    misses0 = registry.counter("analytics.cache_misses").value
+    snap_hits0, snap_misses0 = snap.hits, snap.misses
+
+    keys = [("hammer", i) for i in range(10)]
+    calls_per_thread = 500
+    computed: dict[tuple, list] = {k: [] for k in keys}
+    computed_lock = threading.Lock()
+    results: list[list] = []
+
+    def worker(seed: int) -> list:
+        got = []
+        for i in range(calls_per_thread):
+            key = keys[(seed + i) % len(keys)]
+
+            def compute(key=key):
+                value = object()
+                with computed_lock:
+                    computed[key].append(value)
+                return value
+
+            got.append((key, snap.cached(key, compute)))
+        return got
+
+    with ThreadPoolExecutor(max_workers=THREADS) as pool:
+        results = [f.result()
+                   for f in [pool.submit(worker, s)
+                             for s in range(THREADS)]]
+
+    total_calls = THREADS * calls_per_thread
+    hits = snap.hits - snap_hits0
+    misses = snap.misses - snap_misses0
+    # Exactness: every call is exactly one hit or one miss.
+    assert hits + misses == total_calls
+    # Telemetry counters move in lockstep with the snapshot's counts.
+    assert registry.counter("analytics.cache_hits").value - hits0 == hits
+    assert (registry.counter("analytics.cache_misses").value
+            - misses0 == misses)
+    # Each key converged on exactly one stored value; every caller got
+    # it (first-store-wins, losers discard their duplicate compute).
+    canonical = {k: snap.cached(k, lambda: None) for k in keys}
+    for got in results:
+        for key, value in got:
+            assert value is canonical[key]
+    # Misses can exceed len(keys) (concurrent first-misses) but every
+    # one corresponds to a real compute invocation.
+    assert misses == sum(len(v) for v in computed.values())
+    assert misses >= len(keys)

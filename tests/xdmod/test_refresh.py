@@ -1,11 +1,14 @@
-"""O(delta) snapshot refresh: extend-in-place vs full rebuild.
+"""O(delta) snapshot refresh: atomic-swap delta vs full rebuild.
 
-Proves the three acceptance properties of the delta refresh:
+Proves the acceptance properties of the delta refresh:
 
-* an append-only commit refreshes the existing snapshot in place and
+* an append-only commit publishes a *replacement* snapshot that
   re-reads only the appended rows (asserted through the
   ``analytics.frame_rows_scanned`` counter — the frame never re-scans
-  what it already holds);
+  what it already holds) and shares unchanged frames by reference;
+* a reader holding the pre-refresh snapshot keeps one frozen,
+  mutually consistent view — the swap is atomic, never a
+  half-extended hybrid;
 * memo entries whose time window provably cannot see the appended span
   survive the refresh, everything else affected is dropped;
 * destructive writes (``mark_destructive``) force a full rebuild.
@@ -48,23 +51,64 @@ def _scanned():
     return get_registry().counter("analytics.frame_rows_scanned").value
 
 
-def test_refresh_extends_in_place_and_scans_only_delta(wh):
+def _refreshes():
+    return get_registry().counter("analytics.snapshot_refresh").value
+
+
+def test_refresh_scans_only_delta(wh):
     for i in range(8):
         add_job(wh, "alpha", str(i), user=f"u{i % 3}")
     wh.commit()
     snap = WarehouseSnapshot.for_warehouse(wh)
     assert snap.frame("alpha").n_rows == 8
     before = _scanned()
+    refreshes = _refreshes()
+    rebuilds = get_registry().counter("analytics.snapshot_rebuild").value
 
     add_job(wh, "alpha", "8", user="u9")
     wh.commit()
     snap2 = WarehouseSnapshot.for_warehouse(wh)
-    assert snap2 is snap  # refreshed, not rebuilt
+    # Delta-refreshed (new handle, not a from-scratch rebuild).
+    assert _refreshes() == refreshes + 1
+    assert get_registry().counter(
+        "analytics.snapshot_rebuild").value == rebuilds
     assert snap2.frame("alpha").n_rows == 9
     delta_rows = _scanned() - before
     # 1 job row + its metric rows; a full reload would re-read all 9
     # jobs plus 9 * len(SUMMARY_METRICS) metric rows.
     assert delta_rows == 1 + len(SUMMARY_METRICS)
+
+
+def test_refresh_swap_leaves_old_reader_consistent(wh):
+    """A reader that resolved the snapshot before an ingest commit
+    keeps the pre-refresh view: same row count, same frozen arrays,
+    same stamp — the refresh builds a replacement instead of extending
+    the old object underneath the reader."""
+    for i in range(4):
+        add_job(wh, "alpha", str(i))
+    add_job(wh, "beta", "b1")
+    wh.commit()
+    old = WarehouseSnapshot.for_warehouse(wh)
+    old_alpha = old.frame("alpha")
+    old_beta = old.frame("beta")
+    old_stamp = old.stamp
+    old_jobids = old_alpha.jobid
+
+    add_job(wh, "alpha", "9", start=90000.0, end=93600.0)
+    wh.commit()
+    new = WarehouseSnapshot.for_warehouse(wh)
+
+    assert new is not old
+    # The old handle is untouched: the reader's whole view stays on
+    # the pre-commit generation.
+    assert old.stamp == old_stamp
+    assert old.frame("alpha") is old_alpha
+    assert old_alpha.n_rows == 4
+    assert old_alpha.jobid is old_jobids
+    # The replacement sees the append; the unchanged system's frame is
+    # shared by reference (O(delta), no reload).
+    assert new.frame("alpha").n_rows == 5
+    assert new.frame("beta") is old_beta
 
 
 def test_refreshed_frame_equals_cold_rebuild(wh):
@@ -166,7 +210,7 @@ def test_series_epoch_bump_drops_only_that_system(wh):
                      np.array([2.5, 3.5]))
     wh.commit()
     snap2 = WarehouseSnapshot.for_warehouse(wh)
-    assert snap2 is snap
+    assert snap2 is not snap  # refresh publishes a replacement
     t, v = snap2.series("alpha", "load1")
     # The tail-overlap point was merged (upsert), the new point appended.
     assert t.tolist() == [0.0, 600.0, 1200.0]
