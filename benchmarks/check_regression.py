@@ -31,9 +31,17 @@ the opposite thing — a hard minimum the slack rule can never relax,
 used where the requirement is an acceptance criterion rather than a
 measured baseline.
 
+The service gates (:data:`ADVISORY`) are wall-clock-sensitive — a p99
+under concurrency and a thread-overlap dedup rate both wobble on
+shared CI runners — so by default their failures print as ADVISORY
+warnings without flipping the exit code.  Pass ``--strict`` (or set
+``REPRO_BENCH_STRICT=1``) to enforce them: do that locally on quiet
+hardware, and always before refreshing the baseline — ``--update``
+implies strict measurement conditions.
+
 Refresh the baseline after an intentional perf change with::
 
-    python benchmarks/check_regression.py --update
+    python benchmarks/check_regression.py --strict --update
 
 run on the same machine class as CI (the committed numbers come from a
 quick-mode run, ``REPRO_BENCH_QUICK=1``).
@@ -128,6 +136,13 @@ METRICS = {
     ),
 }
 
+#: Wall-clock-sensitive gates: enforced only under ``--strict`` /
+#: ``REPRO_BENCH_STRICT=1`` (local quiet hardware, baseline updates);
+#: on shared CI runners their failures are advisory warnings so a
+#: noisy-neighbour scheduler blip cannot fail an unrelated PR.
+ADVISORY = {"service_p99_ms", "service_cli_speedup_x",
+            "service_coalesce_rate"}
+
 
 def read_metrics(out_dir: Path) -> dict[str, float]:
     """Extract every gated metric from the artifacts in *out_dir*.
@@ -153,11 +168,15 @@ def read_metrics(out_dir: Path) -> dict[str, float]:
 
 
 def check(current: dict[str, float], baseline: dict[str, float],
-          slack: float) -> list[str]:
-    """Return a list of human-readable regression messages (empty = pass)."""
-    failures = []
+          slack: float, strict: bool = False
+          ) -> tuple[list[str], list[str]]:
+    """Return ``(failures, advisories)`` — human-readable regression
+    messages; only *failures* flip the exit code."""
+    failures: list[str] = []
+    advisories: list[str] = []
     for name, value in current.items():
         _, _, direction, floor = METRICS[name]
+        advisory = name in ADVISORY and not strict
         base = baseline.get(name)
         if base is None:
             failures.append(f"{name}: no baseline entry — run with "
@@ -177,13 +196,14 @@ def check(current: dict[str, float], baseline: dict[str, float],
                 limit = max(base, floor) * (1.0 + slack)
                 ok = value <= limit
                 verdict = f"<= {limit:.1f} required"
-        status = "ok" if ok else "REGRESSION"
+        status = "ok" if ok else ("ADVISORY" if advisory else "REGRESSION")
         print(f"  {name:<24} {value:>10.1f}  (baseline {base:.1f}, "
               f"{verdict}) {status}")
         if not ok:
-            failures.append(f"{name}: {value:.1f} vs baseline {base:.1f} "
-                            f"(> {slack:.0%} worse)")
-    return failures
+            message = (f"{name}: {value:.1f} vs baseline {base:.1f} "
+                       f"(> {slack:.0%} worse)")
+            (advisories if advisory else failures).append(message)
+    return failures, advisories
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -204,6 +224,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the current "
                              "artifacts instead of checking")
+    parser.add_argument("--strict", action="store_true",
+                        default=os.environ.get("REPRO_BENCH_STRICT",
+                                               "") not in ("", "0"),
+                        help="enforce the wall-clock-sensitive service "
+                             "gates instead of reporting them as "
+                             "advisory (default: REPRO_BENCH_STRICT)")
     args = parser.parse_args(argv)
 
     current = read_metrics(Path(args.out_dir))
@@ -222,14 +248,21 @@ def main(argv: list[str] | None = None) -> int:
                  f"to record one")
     baseline = json.loads(baseline_path.read_text())
 
-    print(f"bench regression gate (slack {args.slack:.0%}):")
-    failures = check(current, baseline, args.slack)
+    mode = "strict" if args.strict else "service gates advisory"
+    print(f"bench regression gate (slack {args.slack:.0%}, {mode}):")
+    failures, advisories = check(current, baseline, args.slack,
+                                 strict=args.strict)
+    if advisories:
+        print("\nADVISORY (timing-sensitive; not failing this run — "
+              "verify locally with --strict):")
+        for a in advisories:
+            print(f"  {a}")
     if failures:
         print("\nFAIL:")
         for f in failures:
             print(f"  {f}")
         return 1
-    print("all bench metrics within slack")
+    print("all enforced bench metrics within slack")
     return 0
 
 

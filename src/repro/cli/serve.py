@@ -47,6 +47,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-size", type=int, default=256,
                         help="per-tenant L1 report-cache capacity "
                              "(default 256)")
+    parser.add_argument("--max-tenants", type=int, default=64,
+                        help="most tenant LRUs kept live; the least-"
+                             "recently-used whole tenant is evicted "
+                             "beyond this (default 64)")
     parser.add_argument("--report-cache", dest="report_cache",
                         action=argparse.BooleanOptionalAction,
                         default=True,
@@ -68,11 +72,14 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.cache_size < 1:
         return die("--cache-size must be >= 1")
+    if args.max_tenants < 1:
+        return die("--max-tenants must be >= 1")
     set_cache_enabled(args.report_cache)
     try:
         state = ServiceState(args.warehouse,
                              cache_capacity=args.cache_size,
-                             report_cache=args.report_cache)
+                             report_cache=args.report_cache,
+                             max_tenants=args.max_tenants)
     except Exception as e:
         return die(f"cannot open warehouse {args.warehouse!r}: {e}")
     systems = state.warehouse.systems()
@@ -97,6 +104,11 @@ def main(argv: list[str] | None = None) -> int:
         except (KeyboardInterrupt, SystemExit):
             pass
         finally:
+            # Handler threads are daemons, so server_close does not
+            # join them; drain the dispatched requests first so none
+            # dies on the closed warehouse connection below (late
+            # arrivals on open keep-alive connections get a 503).
+            server.drain()
             server.server_close()
             state.close()
             if args.telemetry_out:

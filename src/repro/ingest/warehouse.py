@@ -28,7 +28,11 @@ Generation stamp: the ``meta`` table carries a ``generation`` counter
 that :meth:`commit` bumps whenever the commit actually wrote something.
 :attr:`data_version` combines it with an in-process mutation counter;
 the analytics snapshot layer uses it to invalidate its caches exactly
-when the warehouse contents change.
+when the warehouse contents change.  The append-vs-rebuild change
+state (destructive counter, per-system series epochs) is persisted
+next to it under ``change_state``, so a long-lived reader adopting an
+external commit (:meth:`Warehouse.reread_generation`) learns not just
+*that* the file moved but *how*.
 """
 
 from __future__ import annotations
@@ -244,9 +248,17 @@ class Warehouse:
         # leave ``_destructive`` alone (rowid watermarks describe the
         # delta exactly); anything that rewrites existing rows bumps it.
         # Series appends can update tail bins in place, so series carry
-        # a per-system epoch instead of a rowid watermark.
+        # a per-system epoch instead of a rowid watermark.  Both are
+        # seeded from the persisted copy (written by :meth:`commit`
+        # next to the generation) so the counters are monotonic across
+        # processes and :meth:`reread_generation` can tell an external
+        # series rewrite from a pure append.
         self._destructive = 0
         self._series_epochs: dict[str, int] = {}
+        persisted = self._read_change_state()
+        if persisted is not None:
+            self._destructive = persisted[0]
+            self._series_epochs = persisted[1]
         row = self._conn.execute(
             "SELECT value FROM meta WHERE key='generation'"
         ).fetchone()
@@ -281,6 +293,19 @@ class Warehouse:
         The snapshot layer keys its caches on this."""
         return (self._generation, self._mutations)
 
+    def _read_change_state(self) -> tuple[int, dict[str, int]] | None:
+        """The persisted ``(destructive, series_epochs)`` pair written
+        by :meth:`commit`, or ``None`` for files that predate it."""
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key='change_state'"
+        ).fetchone()
+        if row is None:
+            return None
+        state = json.loads(row[0])
+        return (int(state.get("destructive", 0)),
+                {s: int(e) for s, e in
+                 state.get("series_epochs", {}).items()})
+
     def reread_generation(self) -> int:
         """Re-read the persistent generation counter from the ``meta``
         table, adopting commits made by *other* processes.
@@ -290,13 +315,38 @@ class Warehouse:
         the on-disk generation but not this instance's in-memory copy;
         calling this moves :attr:`data_version` so the snapshot layer
         notices and performs its usual O(delta) refresh off the rowid
-        watermarks.  Returns the (possibly updated) generation.
+        watermarks.  The persisted change-state rides along: an
+        external series write or destructive commit moves the epochs /
+        destructive counter too, so the snapshot layer reloads (or
+        fully rebuilds for) exactly what the other process touched
+        instead of delta-extending over rewritten rows.  Returns the
+        (possibly updated) generation.
         """
         row = self._conn.execute(
             "SELECT value FROM meta WHERE key='generation'"
         ).fetchone()
-        if row is not None:
-            self._generation = int(row[0])
+        if row is None:
+            return self._generation
+        disk = int(row[0])
+        if disk == self._generation:
+            return self._generation
+        self._generation = disk
+        persisted = self._read_change_state()
+        if persisted is None:
+            # The commit came from code that predates the persisted
+            # change-state: appends and rewrites are indistinguishable,
+            # so force the conservative full rebuild.
+            self._destructive += 1
+        else:
+            destructive, epochs = persisted
+            # Element-wise max: the counters are monotonic and shared
+            # (every process seeds from the persisted copy on open), so
+            # max-merging adopts the writer's bumps without ever
+            # rolling back this process's own.
+            self._destructive = max(self._destructive, destructive)
+            for system, epoch in epochs.items():
+                self._series_epochs[system] = max(
+                    self._series_epochs.get(system, 0), epoch)
         return self._generation
 
     def _mutated(self) -> None:
@@ -566,6 +616,16 @@ class Warehouse:
             self._conn.execute(
                 "INSERT OR REPLACE INTO meta VALUES ('generation', ?)",
                 (str(self._generation),),
+            )
+            # Persist the change-state in the same transaction so a
+            # reader in another process that adopts this generation
+            # (reread_generation) also sees which systems' series moved
+            # and whether anything destructive happened.
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta VALUES ('change_state', ?)",
+                (json.dumps({"destructive": self._destructive,
+                             "series_epochs": self._series_epochs},
+                            sort_keys=True),),
             )
             self._dirty = False
         self._conn.commit()

@@ -7,16 +7,22 @@ The snapshot memo (PR 2) already caches every rendered report for the
   query parameter, default ``"public"``) gets an isolated LRU, so one
   dashboard's burst cannot evict another's working set and per-tenant
   hit rates stay observable;
-* **bounded memory** — the memo grows with distinct queries for a
-  snapshot's lifetime, the LRU holds the most recent *capacity*
-  entries per tenant;
+* **bounded memory** — two limits, both LRU: at most *capacity*
+  entries per tenant, and at most *max_tenants* tenants total.  The
+  tenant name is client-controlled, so without the second bound a
+  misbehaving client minting fresh tenant names could grow the map
+  (each slot holding up to *capacity* full report bodies) without
+  limit in a long-lived server.  When a new tenant would exceed the
+  bound, the least-recently-*used* tenant's whole LRU is dropped
+  (``service.cache.tenant_evictions`` counts these);
 * **staleness by construction** — every key embeds the snapshot stamp
   it was computed against, so after a refresh the old entries simply
   stop being asked for and age out.  A stale response can never be
   served.
 
 Counters: ``service.cache.hit`` / ``service.cache.miss`` (process
-totals) — exported via ``/metrics`` and the run manifest.
+totals) plus ``service.cache.tenant_evictions`` — exported via
+``/metrics`` and the run manifest.
 """
 
 from __future__ import annotations
@@ -31,14 +37,20 @@ __all__ = ["TenantReportCache"]
 
 
 class TenantReportCache:
-    """A thread-safe map of tenant -> LRU of rendered responses."""
+    """A thread-safe map of tenant -> LRU of rendered responses,
+    itself LRU-bounded on the number of tenants."""
 
-    def __init__(self, capacity: int = 256):
+    def __init__(self, capacity: int = 256, max_tenants: int = 64):
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
+        if max_tenants < 1:
+            raise ValueError("max tenants must be >= 1")
         self.capacity = capacity
+        self.max_tenants = max_tenants
         self._lock = threading.Lock()
-        self._tenants: dict[str, OrderedDict[Hashable, Any]] = {}
+        self._tenants: OrderedDict[str, OrderedDict[Hashable, Any]] = (
+            OrderedDict()
+        )
 
     def get(self, tenant: str, key: Hashable) -> Any | None:
         """The cached value, refreshed to most-recently-used, or
@@ -46,6 +58,7 @@ class TenantReportCache:
         with self._lock:
             lru = self._tenants.get(tenant)
             if lru is not None and key in lru:
+                self._tenants.move_to_end(tenant)
                 lru.move_to_end(key)
                 value = lru[key]
             else:
@@ -58,13 +71,22 @@ class TenantReportCache:
 
     def put(self, tenant: str, key: Hashable, value: Any) -> None:
         """Store *value*, evicting the tenant's least-recent entry at
-        capacity."""
+        capacity and the least-recently-used whole tenant when the
+        tenant bound is exceeded."""
+        evicted_tenants = 0
         with self._lock:
             lru = self._tenants.setdefault(tenant, OrderedDict())
+            self._tenants.move_to_end(tenant)
             lru[key] = value
             lru.move_to_end(key)
             while len(lru) > self.capacity:
                 lru.popitem(last=False)
+            while len(self._tenants) > self.max_tenants:
+                self._tenants.popitem(last=False)
+                evicted_tenants += 1
+        if evicted_tenants:
+            get_registry().counter(
+                "service.cache.tenant_evictions").inc(evicted_tenants)
 
     def stats(self) -> dict[str, int]:
         """Entry counts per tenant plus the total (monitoring hook)."""

@@ -18,7 +18,12 @@ from __future__ import annotations
 from typing import Any
 
 __all__ = ["ServiceError", "ERROR_STATUS", "error_body", "csv_tuple",
-           "one_param"]
+           "one_param", "valid_tenant", "MAX_TENANT_LEN"]
+
+#: Longest accepted tenant name.  The tenant is client-controlled and
+#: keys a per-tenant cache slot, so it is validated like any other
+#: parameter instead of being stored verbatim.
+MAX_TENANT_LEN = 128
 
 #: error code -> HTTP status.  The closed vocabulary of failure modes a
 #: client can observe; ``internal`` is the only 5xx.
@@ -35,6 +40,7 @@ ERROR_STATUS: dict[str, int] = {
     "unknown_endpoint": 404,
     "method_not_allowed": 405,
     "internal": 500,
+    "shutting_down": 503,
 }
 
 
@@ -88,6 +94,25 @@ def one_param(params: dict[str, list[str]], name: str,
                                f"missing required parameter {name!r}")
         return default
     return values[0]
+
+
+def valid_tenant(name: str) -> str:
+    """Validate a client-supplied tenant name.
+
+    Rejects empty names, names longer than :data:`MAX_TENANT_LEN`, and
+    names containing control characters — each a ``bad_request``.
+    Returns the name unchanged when valid.
+    """
+    if not name:
+        raise ServiceError("bad_request", "tenant name must be non-empty")
+    if len(name) > MAX_TENANT_LEN:
+        raise ServiceError(
+            "bad_request",
+            f"tenant name longer than {MAX_TENANT_LEN} characters")
+    if any(ord(c) < 0x20 or ord(c) == 0x7F for c in name):
+        raise ServiceError("bad_request",
+                           "tenant name contains control characters")
+    return name
 
 
 def csv_tuple(value: str | None) -> tuple[str, ...] | None:

@@ -29,6 +29,7 @@ non-2xx.  Scrape them at ``/metrics``.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
@@ -38,6 +39,7 @@ from repro.service.protocol import (
     csv_tuple,
     error_body,
     one_param,
+    valid_tenant,
 )
 from repro.service.state import DEFAULT_TENANT, ServiceState
 from repro.telemetry.export import to_prometheus
@@ -65,6 +67,45 @@ class ReproServer(ThreadingHTTPServer):
     def __init__(self, address: tuple[str, int], state: ServiceState):
         super().__init__(address, RequestHandler)
         self.state = state
+        # In-flight accounting for a clean shutdown: handler threads
+        # are daemons (an idle keep-alive connection parked on a
+        # blocking read must not pin the process), so ``server_close``
+        # never joins them — :meth:`drain` is what keeps the warehouse
+        # connection open until every *dispatched* request finished.
+        self._inflight = 0
+        self._draining = False
+        self._idle = threading.Condition()
+
+    def request_started(self) -> bool:
+        """Count a request in; ``False`` once draining (the handler
+        answers 503 without touching the service state)."""
+        with self._idle:
+            if self._draining:
+                return False
+            self._inflight += 1
+            return True
+
+    def request_finished(self) -> None:
+        """Count a request out, waking :meth:`drain` at zero."""
+        with self._idle:
+            self._inflight -= 1
+            if self._inflight <= 0:
+                self._idle.notify_all()
+
+    def drain(self, timeout: float = 5.0) -> bool:
+        """Stop admitting requests and wait (up to *timeout* seconds)
+        for the in-flight ones to finish.
+
+        Call after ``serve_forever`` returns and before closing the
+        shared warehouse connection; requests arriving on still-open
+        keep-alive connections afterwards get a structured 503 instead
+        of a ``sqlite3.ProgrammingError``-driven 500.  Returns whether
+        the server went idle within the timeout.
+        """
+        with self._idle:
+            self._draining = True
+            return self._idle.wait_for(
+                lambda: self._inflight <= 0, timeout)
 
 
 class RequestHandler(BaseHTTPRequestHandler):
@@ -102,8 +143,9 @@ class RequestHandler(BaseHTTPRequestHandler):
     def _tenant(self, params: dict[str, list[str]]) -> str:
         header = self.headers.get("X-Tenant")
         if header:
-            return header
-        return one_param(params, "tenant", DEFAULT_TENANT)
+            return valid_tenant(header)
+        name = one_param(params, "tenant", DEFAULT_TENANT)
+        return name if name == DEFAULT_TENANT else valid_tenant(name)
 
     # -- routing -----------------------------------------------------------
 
@@ -116,6 +158,22 @@ class RequestHandler(BaseHTTPRequestHandler):
         self._dispatch("POST")
 
     def _dispatch(self, method: str) -> None:
+        if not self.server.request_started():
+            # Shutdown drain in progress: the service state is about to
+            # close, so answer without touching it.
+            try:
+                self._send_json(503, error_body(
+                    "shutting_down", "server is shutting down"))
+            except OSError:
+                pass
+            self.close_connection = True
+            return
+        try:
+            self._handle_counted(method)
+        finally:
+            self.server.request_finished()
+
+    def _handle_counted(self, method: str) -> None:
         url = urlsplit(self.path)
         parts = [p for p in url.path.split("/") if p]
         endpoint = self._endpoint_name(parts)

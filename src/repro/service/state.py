@@ -64,11 +64,12 @@ class ServiceState:
     """Shared state behind every handler thread of one server."""
 
     def __init__(self, warehouse_path: str, cache_capacity: int = 256,
-                 report_cache: bool = True):
+                 report_cache: bool = True, max_tenants: int = 64):
         self.warehouse = Warehouse(warehouse_path, threadsafe=True)
         self.warehouse_path = warehouse_path
         self._flight = SingleFlight()
-        self._cache = (TenantReportCache(cache_capacity)
+        self._cache = (TenantReportCache(cache_capacity,
+                                         max_tenants=max_tenants)
                        if report_cache else None)
         self._refresh_lock = threading.Lock()
 

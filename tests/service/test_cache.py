@@ -1,0 +1,70 @@
+"""TenantReportCache bounds: per-tenant capacity LRU plus the
+whole-tenant LRU bound.
+
+The tenant name is client-controlled (``X-Tenant`` / ``tenant``
+parameter), so the map of tenants must be bounded too — otherwise a
+client minting fresh tenant names grows server memory without limit,
+each slot pinning up to ``capacity`` full report bodies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.cache import TenantReportCache
+from repro.telemetry.metrics import get_registry
+
+
+def test_per_tenant_capacity_evicts_oldest():
+    cache = TenantReportCache(capacity=2)
+    cache.put("t", "a", 1)
+    cache.put("t", "b", 2)
+    cache.put("t", "c", 3)
+    assert cache.get("t", "a") is None
+    assert cache.get("t", "b") == 2
+    assert cache.get("t", "c") == 3
+
+
+def test_tenant_count_is_bounded():
+    cache = TenantReportCache(capacity=4, max_tenants=3)
+    for i in range(5):
+        cache.put(f"tenant-{i}", "k", i)
+    stats = cache.stats()
+    assert stats["total"] == 3
+    assert "tenant-0" not in stats and "tenant-1" not in stats
+    assert cache.get("tenant-4", "k") == 4
+
+
+def test_tenant_eviction_is_lru_not_fifo():
+    cache = TenantReportCache(capacity=4, max_tenants=2)
+    cache.put("old", "k", 1)
+    cache.put("busy", "k", 2)
+    assert cache.get("old", "k") == 1  # touch: old is now most recent
+    cache.put("new", "k", 3)  # evicts "busy", the least recently used
+    assert cache.get("old", "k") == 1
+    assert cache.get("busy", "k") is None
+    assert cache.get("new", "k") == 3
+
+
+def test_tenant_evictions_counted():
+    counter = get_registry().counter("service.cache.tenant_evictions")
+    before = counter.value
+    cache = TenantReportCache(capacity=1, max_tenants=1)
+    cache.put("a", "k", 1)
+    cache.put("b", "k", 2)
+    cache.put("c", "k", 3)
+    assert counter.value == before + 2
+
+
+def test_clear_drops_all_tenants():
+    cache = TenantReportCache(capacity=2, max_tenants=4)
+    cache.put("a", "k", 1)
+    cache.put("b", "k", 2)
+    cache.clear()
+    assert cache.stats()["total"] == 0
+
+
+@pytest.mark.parametrize("max_tenants", [0, -1])
+def test_max_tenants_validated(max_tenants):
+    with pytest.raises(ValueError):
+        TenantReportCache(max_tenants=max_tenants)

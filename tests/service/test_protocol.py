@@ -104,3 +104,24 @@ def test_service_error_requires_registered_code():
 
 def test_error_statuses_are_http_errors():
     assert all(400 <= s < 600 for s in ERROR_STATUS.values())
+
+
+def test_overlong_tenant_rejected(client):
+    status, body = client.get(
+        f"/api/v1/report/support?system={SYSTEM}",
+        headers={"X-Tenant": "t" * 200})
+    assert_error(status, body, "bad_request")
+    status, body = client.get(
+        f"/api/v1/report/support?system={SYSTEM}&tenant={'t' * 200}")
+    assert_error(status, body, "bad_request")
+
+
+def test_valid_tenant_rules():
+    from repro.service.protocol import MAX_TENANT_LEN, valid_tenant
+
+    assert valid_tenant("acct-team") == "acct-team"
+    assert valid_tenant("t" * MAX_TENANT_LEN) == "t" * MAX_TENANT_LEN
+    for bad in ("", "t" * (MAX_TENANT_LEN + 1), "a\x00b", "a\nb"):
+        with pytest.raises(ServiceError) as err:
+            valid_tenant(bad)
+        assert err.value.code == "bad_request"

@@ -192,3 +192,76 @@ def test_refresh_adopts_external_commit(client, warehouse_path):
     status, body = client.post("/api/v1/refresh")
     assert status == 200
     assert body["changed"] is False
+
+
+def test_refresh_adopts_external_series_write(client, warehouse_path):
+    """An external ``append_series`` (tail rewrite via upsert) must be
+    visible after ``POST /api/v1/refresh`` — the persisted change-state
+    tells the adopting snapshot to reload that system's series instead
+    of serving the stale frozen arrays."""
+    path = f"/api/v1/timeseries/active_nodes?system={SYSTEM}"
+    _, before = client.get(path)
+
+    wh = Warehouse(warehouse_path)
+    try:
+        t, v = wh.series(SYSTEM, "active_nodes")
+        wh.append_series(SYSTEM, "active_nodes",
+                         t[-1:], v[-1:] + 7.0)
+        wh.commit()
+    finally:
+        wh.close()
+
+    # Not adopted until refresh: the served snapshot is stable.
+    _, still = client.get(path)
+    assert still["values"] == before["values"]
+
+    status, body = client.post("/api/v1/refresh")
+    assert status == 200
+    assert body["changed"] is True
+
+    _, after = client.get(path)
+    assert after["times"] == before["times"]
+    assert after["values"][-1] == before["values"][-1] + 7.0
+    assert after["values"][:-1] == before["values"][:-1]
+
+
+def test_drain_waits_for_inflight_requests(fresh_state):
+    from repro.service.server import make_server
+
+    server = make_server(fresh_state)
+    try:
+        assert server.request_started() is True
+        # One dispatched request still running: drain times out, new
+        # arrivals are refused.
+        assert server.drain(timeout=0.05) is False
+        assert server.request_started() is False
+        server.request_finished()
+        assert server.drain(timeout=1.0) is True
+    finally:
+        server.server_close()
+
+
+def test_requests_during_drain_get_structured_503(warehouse_path):
+    from repro.service.server import make_server
+    from repro.service.state import ServiceState
+    from tests.service.conftest import Client
+
+    state = ServiceState(warehouse_path)
+    server = make_server(state)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        probe = Client(server)
+        status, _ = probe.get("/api/v1/health")
+        assert status == 200
+        assert server.drain(timeout=1.0) is True
+        # The warehouse is still open, but the drain gate answers
+        # without touching it — a structured 503, never a 500.
+        status, body = probe.get("/api/v1/health")
+        assert status == 503
+        assert body["error"]["code"] == "shutting_down"
+    finally:
+        server.shutdown()
+        server.server_close()
+        state.close()
+        thread.join(timeout=5)

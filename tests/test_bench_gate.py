@@ -1,0 +1,46 @@
+"""Regression-gate semantics for the wall-clock-sensitive service
+metrics: advisory by default (shared CI runners), enforced under
+``--strict``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.check_regression import ADVISORY, METRICS, check
+
+
+def test_advisory_metrics_are_registered():
+    assert ADVISORY <= set(METRICS)
+
+
+def test_service_gate_failure_is_advisory_by_default(capsys):
+    current = {"service_p99_ms": 50.0}
+    baseline = {"service_p99_ms": 5.0}
+    failures, advisories = check(current, baseline, 0.30, strict=False)
+    assert failures == []
+    assert len(advisories) == 1
+    assert "ADVISORY" in capsys.readouterr().out
+
+
+def test_service_gate_failure_fails_under_strict():
+    current = {"service_p99_ms": 50.0}
+    baseline = {"service_p99_ms": 5.0}
+    failures, advisories = check(current, baseline, 0.30, strict=True)
+    assert len(failures) == 1
+    assert advisories == []
+
+
+def test_non_advisory_regression_still_fails():
+    current = {"report_warm_ms": 500.0}
+    baseline = {"report_warm_ms": 10.0}
+    failures, advisories = check(current, baseline, 0.30, strict=False)
+    assert len(failures) == 1
+    assert advisories == []
+
+
+def test_passing_metrics_raise_nothing_either_way():
+    current = {"service_p99_ms": 4.0, "report_warm_ms": 20.0}
+    baseline = {"service_p99_ms": 5.0, "report_warm_ms": 10.0}
+    for strict in (False, True):
+        failures, advisories = check(current, baseline, 0.30,
+                                     strict=strict)
+        assert failures == [] and advisories == []

@@ -217,3 +217,126 @@ def test_series_epoch_bump_drops_only_that_system(wh):
     assert v.tolist() == [1.0, 2.5, 3.5]
     assert snap2.series("beta", "load1") is b0  # untouched system kept
     del a0
+
+# -- cross-process adoption (reread_generation) -----------------------------
+#
+# The service watches one warehouse file while ingest runs in *other*
+# processes; reread_generation() must adopt not just the generation but
+# the persisted change-state, so an external series rewrite or
+# destructive commit invalidates exactly like an in-process one.
+
+
+def _file_warehouse(path, *systems):
+    w = Warehouse(str(path))
+    for name in systems:
+        w.add_system(name, num_nodes=16, cores_per_node=16,
+                     mem_gb_per_node=32.0, peak_tflops=2.3,
+                     sample_interval=600.0)
+    return w
+
+
+def test_change_state_persists_across_open(tmp_path):
+    path = tmp_path / "w.sqlite"
+    w = _file_warehouse(path, "alpha")
+    w.add_series("alpha", "load1", np.array([0.0]), np.array([1.0]))
+    w.mark_destructive()
+    w.commit()
+    destructive, epochs = w._destructive, dict(w._series_epochs)
+    w.close()
+
+    reopened = Warehouse(str(path))
+    assert reopened._destructive == destructive
+    assert reopened._series_epochs == epochs
+    reopened.close()
+
+
+def test_external_series_commit_adopted_via_reread(tmp_path):
+    path = tmp_path / "w.sqlite"
+    w = _file_warehouse(path, "alpha", "beta")
+    w.add_series("alpha", "load1", np.array([0.0, 600.0]),
+                 np.array([1.0, 2.0]))
+    w.add_series("beta", "load1", np.array([0.0]), np.array([5.0]))
+    w.commit()
+    w.close()
+
+    reader = Warehouse(str(path))
+    snap = WarehouseSnapshot.for_warehouse(reader)
+    assert snap.series("alpha", "load1")[1].tolist() == [1.0, 2.0]
+    beta_pair = snap.series("beta", "load1")
+    snap.cached(("q", "alpha"), lambda: "stale")
+    snap.cached(("q", "beta"), lambda: "keep")
+
+    external = Warehouse(str(path))
+    external.append_series("alpha", "load1", np.array([600.0]),
+                           np.array([9.0]))
+    external.commit()
+    external.close()
+
+    reader.reread_generation()
+    snap2 = WarehouseSnapshot.for_warehouse(reader)
+    assert snap2 is not snap
+    # The rewritten series is reloaded, not served from the old arrays.
+    assert snap2.series("alpha", "load1")[1].tolist() == [1.0, 9.0]
+    # Untouched system: shared by reference, memo entry survives.
+    assert snap2.series("beta", "load1") is beta_pair
+    assert ("q", "beta") in snap2._memo
+    # Series-dependent memo entries naming the changed system are gone.
+    assert ("q", "alpha") not in snap2._memo
+    reader.close()
+
+
+def test_external_destructive_commit_forces_rebuild(tmp_path):
+    path = tmp_path / "w.sqlite"
+    w = _file_warehouse(path, "alpha")
+    add_job(w, "alpha", "1")
+    w.commit()
+    w.close()
+
+    reader = Warehouse(str(path))
+    snap = WarehouseSnapshot.for_warehouse(reader)
+    snap.frame("alpha")
+    rebuilds = get_registry().counter("analytics.snapshot_rebuild").value
+
+    external = Warehouse(str(path))
+    external.mark_destructive()
+    external.commit()
+    external.close()
+
+    reader.reread_generation()
+    snap2 = WarehouseSnapshot.for_warehouse(reader)
+    assert snap2 is not snap
+    assert get_registry().counter(
+        "analytics.snapshot_rebuild").value == rebuilds + 1
+    reader.close()
+
+
+def test_legacy_external_commit_falls_back_to_rebuild(tmp_path):
+    """A commit from code predating the persisted change-state (no
+    ``change_state`` meta row) cannot prove it was append-only, so
+    adoption must force the conservative full rebuild."""
+    import sqlite3
+
+    path = tmp_path / "w.sqlite"
+    w = _file_warehouse(path, "alpha")
+    add_job(w, "alpha", "1")
+    w.commit()
+    w.close()
+
+    reader = Warehouse(str(path))
+    snap = WarehouseSnapshot.for_warehouse(reader)
+    snap.frame("alpha")
+    rebuilds = get_registry().counter("analytics.snapshot_rebuild").value
+
+    conn = sqlite3.connect(str(path))
+    conn.execute("UPDATE meta SET value = CAST(CAST(value AS INTEGER)"
+                 " + 1 AS TEXT) WHERE key='generation'")
+    conn.execute("DELETE FROM meta WHERE key='change_state'")
+    conn.commit()
+    conn.close()
+
+    reader.reread_generation()
+    snap2 = WarehouseSnapshot.for_warehouse(reader)
+    assert snap2 is not snap
+    assert get_registry().counter(
+        "analytics.snapshot_rebuild").value == rebuilds + 1
+    reader.close()
