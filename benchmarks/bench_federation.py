@@ -1,0 +1,192 @@
+"""Federation: scatter-gather query latency and shard ingest scaling.
+
+Two headline numbers for ``check_regression.py`` (both wall-clock-
+sensitive, so their gates are ADVISORY on shared CI runners):
+
+* **Scatter-gather vs sequential per-shard.**  A held-open
+  :class:`FederatedWarehouse` answers a merged cross-cluster report
+  from the per-shard snapshot memos; the baseline answers the same
+  question the pre-federation way — one fresh warehouse open + scan
+  per shard per request (N ``repro-report`` invocations and a manual
+  merge).  The warm scatter path must win by a wide margin.
+* **N-shard parallel ingest scaling.**  ``shard_workers=N`` fans whole
+  shards over a process pool; the shard files must be row-identical to
+  the serial run (determinism is asserted, not assumed) and the wall
+  clock should improve.
+
+Set ``REPRO_BENCH_QUICK=1`` for the smaller CI-smoke configuration.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import sqlite3
+import time
+
+import pytest
+
+from repro import LONESTAR4, RANGER, STAMPEDE
+from repro.federation import (
+    ClusterPlan,
+    FederatedFacility,
+    FederatedWarehouse,
+    merge_group_results,
+)
+from repro.ingest.warehouse import Warehouse
+from repro.xdmod.query import GroupResult, JobQuery
+
+
+def _quick() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def _plans() -> list[ClusterPlan]:
+    nodes, days, users = (12, 4, 24) if _quick() else (24, 8, 48)
+    return [
+        ClusterPlan("ranger",
+                    RANGER.scaled(num_nodes=nodes, horizon_days=days,
+                                  n_users=users), seed=7),
+        ClusterPlan("lonestar4",
+                    LONESTAR4.scaled(num_nodes=nodes, horizon_days=days,
+                                     n_users=users), seed=21),
+        ClusterPlan("stampede",
+                    STAMPEDE.scaled(num_nodes=nodes, horizon_days=days,
+                                    n_users=users), seed=42),
+    ]
+
+
+@pytest.fixture(scope="module")
+def fed_root(tmp_path_factory) -> str:
+    """A three-shard on-disk federation (fast path)."""
+    root = str(tmp_path_factory.mktemp("fed_bench") / "fed")
+    FederatedFacility.plan(root, _plans()).run()
+    return root
+
+
+def _jobs_rows(path: str) -> list:
+    conn = sqlite3.connect(path)
+    try:
+        return conn.execute(
+            "SELECT system, jobid, user, app, node_hours FROM jobs "
+            "ORDER BY system, jobid").fetchall()
+    finally:
+        conn.close()
+
+
+def test_scatter_gather_vs_sequential(fed_root, save_artifact):
+    """Warm federated group_by vs per-request shard opens + merge."""
+    reps = 20 if _quick() else 50
+    dims = ("cluster", "app")
+
+    fed = FederatedWarehouse.open(fed_root)
+    try:
+        clusters = fed.clusters
+        # Cold: first scatter builds each shard's columnar frame.
+        t0 = time.perf_counter()
+        cold_groups = fed.group_by(dims)
+        cold_ms = (time.perf_counter() - t0) * 1000.0
+
+        snaps = fed.snapshots()
+        warm_times = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            warm_groups = fed.group_by(dims, snapshots=snaps)
+            warm_times.append(time.perf_counter() - t0)
+        warm_ms = min(warm_times) * 1000.0
+        assert [g.keys for g in warm_groups] == \
+            [g.keys for g in cold_groups]
+
+        # Sequential baseline: every request pays N fresh opens + scans
+        # (what answering a cross-cluster question cost before the
+        # federation layer: one repro-report per shard, merged by hand).
+        seq_reps = 3 if _quick() else 5
+        seq_times = []
+        for _ in range(seq_reps):
+            t0 = time.perf_counter()
+            parts = []
+            for cluster in clusters:
+                wh = Warehouse(f"{fed_root}/{cluster}.sqlite")
+                for system in wh.systems():
+                    q = JobQuery(wh, system)
+                    groups = q.group_by("app")
+                    parts.append([
+                        GroupResult(key=f"{system}|{g.key}",
+                                    job_count=g.job_count,
+                                    node_hours=g.node_hours,
+                                    weighted_means=g.weighted_means,
+                                    keys=(system,) + g.keys)
+                        for g in groups
+                    ])
+                wh.close()
+            seq_groups = merge_group_results(parts)
+            seq_times.append(time.perf_counter() - t0)
+        seq_ms = min(seq_times) * 1000.0
+        assert [g.keys for g in seq_groups] == \
+            [g.keys for g in warm_groups]
+
+        speedup = seq_ms / warm_ms
+        n_jobs = sum(len(fed.query(s)) for s in fed.all_systems())
+    finally:
+        fed.close()
+
+    text = "\n".join([
+        "Federation scatter-gather vs sequential per-shard",
+        "",
+        f"shards: {len(clusters)} ({', '.join(clusters)}), "
+        f"{n_jobs} jobs total, group_by {'|'.join(dims)}",
+        f"federated cold (first scatter): {cold_ms:.2f} ms",
+        f"federated warm (scatter-gather): {warm_ms:.2f} ms",
+        f"sequential per-shard opens: {seq_ms:.2f} ms",
+        f"scatter speedup: {speedup:.1f}x",
+        "",
+        "merged groups identical across all three paths (checked)",
+    ])
+    save_artifact("federation_scatter", text)
+    print("\n" + text)
+    assert speedup > 1.0
+
+
+def test_parallel_shard_ingest_scaling(tmp_path_factory, save_artifact):
+    """shard_workers=N wall clock vs the serial loop, same output."""
+    base = tmp_path_factory.mktemp("fed_scaling")
+    plans = _plans()
+    # At least 2 workers so the pool path is always exercised; on a
+    # single-core runner the measured "speedup" is then pool overhead
+    # (advisory gate — see check_regression.py).
+    workers = min(len(plans), max(os.cpu_count() or 1, 2))
+
+    def _build(root: str, shard_workers: int) -> float:
+        fac = FederatedFacility.plan(root, plans)
+        t0 = time.perf_counter()
+        fac.run(shard_workers=shard_workers)
+        return time.perf_counter() - t0
+
+    serial_root = str(base / "serial")
+    parallel_root = str(base / "parallel")
+    serial_s = _build(serial_root, 1)
+    parallel_s = _build(parallel_root, workers)
+
+    # Determinism: the fan-out must not change a single row.
+    for plan in plans:
+        assert _jobs_rows(f"{serial_root}/{plan.cluster}.sqlite") == \
+            _jobs_rows(f"{parallel_root}/{plan.cluster}.sqlite"), \
+            plan.cluster
+    shutil.rmtree(serial_root)
+    shutil.rmtree(parallel_root)
+
+    speedup = serial_s / parallel_s
+    text = "\n".join([
+        "Federation parallel shard ingest scaling",
+        "",
+        f"shards: {len(plans)}, shard workers: {workers}",
+        f"serial shard loop: {serial_s:.2f} s",
+        f"process-pool fan-out: {parallel_s:.2f} s",
+        f"parallel shard speedup: {speedup:.2f}x",
+        "",
+        "per-shard warehouse rows identical for any worker count "
+        "(checked)",
+    ])
+    save_artifact("federation_ingest", text)
+    print("\n" + text)
+    assert speedup > 0.0

@@ -21,6 +21,13 @@ Gated metrics::
     service_cli_speedup_x         warm report vs per-request
                                   CLI invocation            (higher)
     service_coalesce_rate         single-flight dedup rate  (higher)
+    federation_warm_ms            warm cross-cluster
+                                  scatter-gather group_by   (lower)
+    federation_scatter_speedup_x  scatter-gather vs N
+                                  sequential shard opens    (higher)
+    federation_shard_ingest_speedup_x
+                                  process-pool shard fan-out
+                                  vs the serial loop        (higher)
 
 Latency metrics carry an absolute *floor*: anything at or under the
 floor passes outright, because below it the measurement is timer and
@@ -123,6 +130,32 @@ METRICS = {
         "higher",
         0.5,
     ),
+    # The federation gates (docs/FEDERATION.md): a warm cross-cluster
+    # scatter-gather answers from the per-shard snapshot memos (sub-
+    # millisecond territory, same noise floor as report_warm_ms), and
+    # it must beat re-opening every shard per request.  The shard
+    # fan-out gate has no hard floor: on a single-core runner the
+    # process pool measures its own overhead (that is why all three
+    # are wall-clock ADVISORY gates).
+    "federation_warm_ms": (
+        "federation_scatter.txt",
+        re.compile(r"^federated warm \(scatter-gather\): ([\d.]+) ms",
+                   re.MULTILINE),
+        "lower",
+        50.0,
+    ),
+    "federation_scatter_speedup_x": (
+        "federation_scatter.txt",
+        re.compile(r"^scatter speedup: ([\d.]+)x", re.MULTILINE),
+        "higher",
+        1.0,
+    ),
+    "federation_shard_ingest_speedup_x": (
+        "federation_ingest.txt",
+        re.compile(r"^parallel shard speedup: ([\d.]+)x", re.MULTILINE),
+        "higher",
+        0.0,
+    ),
     # The observability budget: telemetry stays on by default, so its
     # cost is a gated headline number.  The 1.0 floor IS the < 1 %
     # budget from docs/OBSERVABILITY.md — at or under it the gate
@@ -141,7 +174,9 @@ METRICS = {
 #: on shared CI runners their failures are advisory warnings so a
 #: noisy-neighbour scheduler blip cannot fail an unrelated PR.
 ADVISORY = {"service_p99_ms", "service_cli_speedup_x",
-            "service_coalesce_rate"}
+            "service_coalesce_rate", "federation_warm_ms",
+            "federation_scatter_speedup_x",
+            "federation_shard_ingest_speedup_x"}
 
 
 def read_metrics(out_dir: Path) -> dict[str, float]:
@@ -149,21 +184,32 @@ def read_metrics(out_dir: Path) -> dict[str, float]:
 
     Raises ``SystemExit`` with a readable message when an artifact is
     missing or its format has drifted away from the regexes above —
-    a gate that silently matches nothing is worse than no gate.
+    a gate that silently matches nothing is worse than no gate.  Every
+    problem is collected before exiting, so one run reports the whole
+    damage instead of failing artifact-by-artifact across retries.
     """
     values = {}
+    errors: list[str] = []
+    missing_artifacts: set[str] = set()
     for name, (artifact, pattern, _, _) in METRICS.items():
         path = out_dir / artifact
         if not path.exists():
-            sys.exit(f"error: {path} not found — run the bench smoke "
-                     f"(REPRO_BENCH_QUICK=1 python -m pytest "
-                     f"benchmarks/bench_*.py -q -s) first")
+            # One message per missing file, not per metric in it.
+            if artifact not in missing_artifacts:
+                missing_artifacts.add(artifact)
+                errors.append(f"{path} not found — run the bench smoke "
+                              f"(REPRO_BENCH_QUICK=1 python -m pytest "
+                              f"benchmarks/bench_*.py -q -s) first")
+            continue
         match = pattern.search(path.read_text())
         if match is None:
-            sys.exit(f"error: could not find {name} in {path}; the "
-                     f"artifact format drifted — update METRICS in "
-                     f"{__file__}")
+            errors.append(f"could not find {name} in {path}; the "
+                          f"artifact format drifted — update METRICS in "
+                          f"{__file__}")
+            continue
         values[name] = float(match.group(1))
+    if errors:
+        sys.exit("error:\n  " + "\n  ".join(errors))
     return values
 
 

@@ -19,7 +19,13 @@ Quickstart::
         print(p.entity, p.values)
 """
 
-from repro.config import LONESTAR4, RANGER, TEST_SYSTEM, FacilityConfig
+from repro.config import (
+    LONESTAR4,
+    RANGER,
+    STAMPEDE,
+    TEST_SYSTEM,
+    FacilityConfig,
+)
 from repro.facility import Facility, FacilityRun
 from repro.ingest.summarize import KEY_METRICS, SUMMARY_METRICS
 from repro.ingest.warehouse import Warehouse
@@ -32,6 +38,7 @@ __all__ = [
     "FacilityConfig",
     "RANGER",
     "LONESTAR4",
+    "STAMPEDE",
     "TEST_SYSTEM",
     "Warehouse",
     "KEY_METRICS",

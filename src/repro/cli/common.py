@@ -5,13 +5,14 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.config import LONESTAR4, RANGER, FacilityConfig
+from repro.config import LONESTAR4, RANGER, STAMPEDE, FacilityConfig
 
 __all__ = ["SYSTEMS", "add_system_args", "config_from_args", "die"]
 
 SYSTEMS: dict[str, FacilityConfig] = {
     "ranger": RANGER,
     "lonestar4": LONESTAR4,
+    "stampede": STAMPEDE,
 }
 
 

@@ -12,6 +12,15 @@ Examples::
 ``--telemetry`` inspects a run manifest written by ``repro-simulate
 --telemetry-out`` (stage span tree, slowest hosts, counter totals) and
 needs no warehouse.
+
+Federation mode walks every member shard (docs/FEDERATION.md)::
+
+    repro-diagnose --federation fed/ --ledger
+    repro-diagnose --federation fed/ --cluster ranger --ingest-health
+
+Without ``--cluster`` the ledger/ingest-health views print one section
+per shard; ANCOR diagnosis needs a single cluster, so ``--cluster`` is
+required there.
 """
 
 from __future__ import annotations
@@ -40,6 +49,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--system", default=None,
                         help="system name inside the warehouse (required "
                              "for everything except --telemetry)")
+    parser.add_argument("--federation", default=None, metavar="DIR",
+                        help="federation directory of warehouse shards "
+                             "(alternative to --warehouse/--system)")
+    parser.add_argument("--cluster", default=None,
+                        help="with --federation: restrict to one member "
+                             "cluster (required for ANCOR diagnosis)")
     parser.add_argument("--job", default=None,
                         help="diagnose one job id (default: all failures)")
     parser.add_argument("--associations", action="store_true",
@@ -169,6 +184,99 @@ def _print_diagnosis(d) -> None:
     print()
 
 
+def _main_federation(args) -> int:
+    """Federation mode: per-shard ledgers, health, or routed diagnosis."""
+    from repro.federation import FederatedWarehouse
+
+    if args.warehouse or args.system:
+        return die("--warehouse/--system and --federation are different "
+                   "modes; pick one")
+    try:
+        federated = FederatedWarehouse.open(args.federation)
+    except (FileNotFoundError, ValueError) as e:
+        return die(str(e))
+    try:
+        clusters = federated.clusters
+        if args.cluster:
+            if args.cluster not in clusters:
+                return die(f"cluster {args.cluster!r} not in federation; "
+                           f"has: {clusters}")
+            clusters = [args.cluster]
+
+        if args.ledger or args.ingest_health:
+            for i, cluster in enumerate(clusters):
+                if i:
+                    print()
+                shard = federated.shard(cluster)
+                for system in shard.systems():
+                    if args.ledger:
+                        _print_ledger(shard, system)
+                    else:
+                        payload = shard.ingest_health(system)
+                        if payload is None:
+                            print(f"no ingest-health record for "
+                                  f"{system!r} (the ingest ran with the "
+                                  f"strict policy)")
+                        else:
+                            _print_ingest_health(payload, system)
+            return 0
+
+        # ANCOR diagnosis is per-system: route through one shard.
+        if not args.cluster:
+            return die(f"ANCOR diagnosis needs --cluster "
+                       f"(federation has: {federated.clusters})")
+        shard = federated.shard(args.cluster)
+        systems = shard.systems()
+        if len(systems) != 1:
+            return die(f"cluster {args.cluster!r} holds {systems}; "
+                       f"use --warehouse on the shard file directly")
+        return _diagnose_one(args, shard, systems[0])
+    finally:
+        federated.close()
+
+
+def _diagnose_one(args, warehouse: Warehouse, system: str) -> int:
+    """The ANCOR diagnosis flows against one (warehouse, system)."""
+    ancor = AncorAnalysis(warehouse, system)
+
+    if args.associations:
+        rows = [
+            {"metric": a.metric, "failure": a.kind,
+             "lift": f"{a.lift:.1f}",
+             "confidence": f"{a.confidence:.1%}",
+             "support": a.support}
+            for a in ancor.association_table()
+        ]
+        if not rows:
+            print("no associations with sufficient support")
+            return 0
+        print(render_table(
+            rows, ["metric", "failure", "lift", "confidence",
+                   "support"],
+            title=f"Anomaly -> failure associations — {system}",
+        ))
+        return 0
+
+    if args.job:
+        try:
+            _print_diagnosis(ancor.diagnose(args.job))
+        except KeyError as e:
+            return die(str(e), code=1)
+        return 0
+
+    diagnoses = ancor.diagnose_failures()
+    if not diagnoses:
+        print("no diagnosable failures")
+        return 0
+    lead = ancor.mean_lead_time()
+    print(f"{len(diagnoses)} diagnosable failures"
+          + (f"; mean warning window {lead / 60:.0f} min"
+             if lead is not None else "") + "\n")
+    for d in diagnoses[: args.limit]:
+        _print_diagnosis(d)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit status."""
     args = build_parser().parse_args(argv)
@@ -181,9 +289,12 @@ def main(argv: list[str] | None = None) -> int:
         _print_telemetry(manifest, args.min_ms)
         return 0
 
+    if args.federation:
+        return _main_federation(args)
+
     if not args.warehouse or not args.system:
         return die("--warehouse and --system are required "
-                   "(unless using --telemetry)")
+                   "(unless using --telemetry or --federation)")
     warehouse = Warehouse(args.warehouse)
     try:
         if args.system not in warehouse.systems():
@@ -202,44 +313,7 @@ def main(argv: list[str] | None = None) -> int:
             _print_ingest_health(payload, args.system)
             return 0
 
-        ancor = AncorAnalysis(warehouse, args.system)
-
-        if args.associations:
-            rows = [
-                {"metric": a.metric, "failure": a.kind,
-                 "lift": f"{a.lift:.1f}",
-                 "confidence": f"{a.confidence:.1%}",
-                 "support": a.support}
-                for a in ancor.association_table()
-            ]
-            if not rows:
-                print("no associations with sufficient support")
-                return 0
-            print(render_table(
-                rows, ["metric", "failure", "lift", "confidence",
-                       "support"],
-                title=f"Anomaly -> failure associations — {args.system}",
-            ))
-            return 0
-
-        if args.job:
-            try:
-                _print_diagnosis(ancor.diagnose(args.job))
-            except KeyError as e:
-                return die(str(e), code=1)
-            return 0
-
-        diagnoses = ancor.diagnose_failures()
-        if not diagnoses:
-            print("no diagnosable failures")
-            return 0
-        lead = ancor.mean_lead_time()
-        print(f"{len(diagnoses)} diagnosable failures"
-              + (f"; mean warning window {lead / 60:.0f} min"
-                 if lead is not None else "") + "\n")
-        for d in diagnoses[: args.limit]:
-            _print_diagnosis(d)
-        return 0
+        return _diagnose_one(args, warehouse, args.system)
     finally:
         warehouse.close()
 

@@ -5,6 +5,13 @@ Examples::
     repro-serve --warehouse ranger.sqlite
     repro-serve --warehouse ranger.sqlite --host 0.0.0.0 --port 8810
     repro-serve --warehouse ranger.sqlite --telemetry-out serve.json
+    repro-serve --federation fed/
+
+``--federation DIR`` serves a directory of warehouse shards (created
+by ``repro-simulate --federation``; docs/FEDERATION.md): per-system
+requests route to the owning shard unchanged, ``system=all`` answers
+cross-cluster scatter-gather queries, and two extra endpoints appear
+(``GET /api/v1/clusters``, ``GET /api/v1/federation/overview``).
 
 The server is read-only and stateless: every request resolves the
 current shared :class:`~repro.xdmod.snapshot.WarehouseSnapshot`, so
@@ -37,8 +44,11 @@ def build_parser() -> argparse.ArgumentParser:
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    parser.add_argument("--warehouse", required=True,
+    parser.add_argument("--warehouse", default=None,
                         help="SQLite warehouse file to serve")
+    parser.add_argument("--federation", default=None, metavar="DIR",
+                        help="federation directory of warehouse shards "
+                             "to serve (alternative to --warehouse)")
     parser.add_argument("--host", default="127.0.0.1",
                         help="bind address (default 127.0.0.1)")
     parser.add_argument("--port", type=int, default=8810,
@@ -75,23 +85,32 @@ def main(argv: list[str] | None = None) -> int:
     if args.max_tenants < 1:
         return die("--max-tenants must be >= 1")
     set_cache_enabled(args.report_cache)
+    if (args.warehouse is None) == (args.federation is None):
+        return die("pass exactly one of --warehouse / --federation")
+    source = args.federation or args.warehouse
     try:
-        state = ServiceState(args.warehouse,
+        state = ServiceState(warehouse_path=args.warehouse,
                              cache_capacity=args.cache_size,
                              report_cache=args.report_cache,
-                             max_tenants=args.max_tenants)
+                             max_tenants=args.max_tenants,
+                             federation_root=args.federation)
     except Exception as e:
-        return die(f"cannot open warehouse {args.warehouse!r}: {e}")
-    systems = state.warehouse.systems()
+        what = "federation" if args.federation else "warehouse"
+        return die(f"cannot open {what} {source!r}: {e}")
+    systems = (state.federation.all_systems() if state.federation
+               else state.warehouse.systems())
     if not systems:
         state.close()
-        return die(f"warehouse {args.warehouse!r} holds no systems")
+        return die(f"{source!r} holds no systems")
 
     RequestHandler.log_requests = args.log_requests
     server = make_server(state, host=args.host, port=args.port)
     host, port = server.server_address[:2]
     if not args.quiet:
-        print(f"serving {args.warehouse} ({', '.join(systems)}) "
+        what = (f"federation {source} "
+                f"[{', '.join(state.federation.clusters)}]"
+                if state.federation else source)
+        print(f"serving {what} ({', '.join(systems)}) "
               f"on http://{host}:{port} — Ctrl-C stops", flush=True)
 
     # CI and process managers stop us with SIGTERM; turn it into the
@@ -114,7 +133,7 @@ def main(argv: list[str] | None = None) -> int:
             if args.telemetry_out:
                 manifest = build_manifest(
                     systems=systems,
-                    extra={"warehouse": args.warehouse,
+                    extra={"warehouse": source,
                            "bind": f"{host}:{port}"},
                 )
                 path = manifest.write(args.telemetry_out)

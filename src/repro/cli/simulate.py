@@ -16,6 +16,21 @@ command once per system.  ``--ingest-days N`` consumes only the first N
 facility days of the archive; a later ``--append`` run diffs the
 archive against the warehouse's ingest ledger and parses only what is
 new (see docs/PERFORMANCE.md).
+
+Federation mode (docs/FEDERATION.md) simulates several clusters at
+once, one warehouse shard each::
+
+    repro-simulate --clusters ranger,lonestar4,stampede \
+        --federation fed/ --nodes 8 --days 2
+    repro-simulate --federation fed/ --with-archives --append
+
+``--clusters`` takes archetype names (optionally aliased,
+``ranger-a=ranger``); every shard gets the same scaling knobs.
+``--with-archives`` runs each cluster through the slow text-format
+path into ``fed/archives/<cluster>/`` so later ``--append`` runs use
+the per-shard ingest ledgers; ``--shard-workers`` fans whole shards
+over a process pool.  A later run against an existing federation reads
+the member list back from ``fed/federation.json``.
 """
 
 from __future__ import annotations
@@ -40,8 +55,29 @@ def build_parser() -> argparse.ArgumentParser:
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     add_system_args(parser)
-    parser.add_argument("--warehouse", required=True,
-                        help="SQLite file to create/extend")
+    parser.add_argument("--warehouse", default=None,
+                        help="SQLite file to create/extend (required "
+                             "unless running in federation mode)")
+    parser.add_argument("--clusters", default=None, metavar="A,B,...",
+                        help="federation mode: comma-separated member "
+                             "clusters (archetype names, optionally "
+                             "aliased as name=archetype); each gets its "
+                             "own warehouse shard under --federation")
+    parser.add_argument("--federation", default=None, metavar="DIR",
+                        help="federation directory (shards + manifest); "
+                             "required with --clusters, sufficient alone "
+                             "for --append runs against an existing "
+                             "federation")
+    parser.add_argument("--with-archives", action="store_true",
+                        help="federation mode: run each cluster through "
+                             "the slow archive path into "
+                             "DIR/archives/<cluster>/ (enables later "
+                             "--append runs via the per-shard ledgers)")
+    parser.add_argument("--shard-workers", type=int, default=1,
+                        help="federation mode: process-parallel shard "
+                             "fan-out (each shard is an independent "
+                             "file set; output is identical for any "
+                             "worker count)")
     parser.add_argument("--archive", default=None,
                         help="directory for a full stats archive "
                              "(enables the slow path)")
@@ -107,6 +143,157 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_clusters(spec: str) -> list[tuple[str, str]]:
+    """``"ranger,ls4-b=lonestar4"`` -> [(cluster, archetype), ...]."""
+    out = []
+    for entry in (e.strip() for e in spec.split(",")):
+        if not entry:
+            continue
+        cluster, _, archetype = entry.partition("=")
+        out.append((cluster, archetype or cluster))
+    return out
+
+
+def _federation_plans(args) -> tuple[str, "list", bool]:
+    """Resolve the member plans: from the manifest of an existing
+    federation, or from ``--clusters`` for a fresh one.
+
+    Returns ``(root, plans, existed)``.
+    """
+    from pathlib import Path
+
+    from repro.cli.common import SYSTEMS
+    from repro.federation import ClusterPlan, FederationLayout
+
+    root = args.federation
+    manifest = Path(root) / "federation.json"
+    if manifest.exists():
+        layout = FederationLayout.open(root)
+        if args.clusters:
+            wanted = sorted(c for c, _a in _parse_clusters(args.clusters))
+            if wanted != layout.clusters:
+                raise ValueError(
+                    f"--clusters {wanted} does not match the existing "
+                    f"federation {layout.clusters}; omit --clusters to "
+                    f"reuse the manifest")
+        plans = []
+        for spec in layout.shards.values():
+            base = SYSTEMS.get(spec.system)
+            if base is None:
+                raise ValueError(f"manifest names unknown archetype "
+                                 f"{spec.system!r}")
+            config = base.scaled(num_nodes=spec.nodes,
+                                 horizon_days=spec.days,
+                                 n_users=spec.users)
+            plans.append(ClusterPlan(spec.cluster, config, spec.seed))
+        return root, plans, True
+    if not args.clusters:
+        raise ValueError(f"no federation at {root} — pass --clusters to "
+                         f"create one")
+    plans = []
+    for cluster, archetype in _parse_clusters(args.clusters):
+        base = SYSTEMS.get(archetype)
+        if base is None:
+            raise ValueError(f"unknown archetype {archetype!r} "
+                             f"(have: {sorted(SYSTEMS)})")
+        config = base.scaled(num_nodes=args.nodes, horizon_days=args.days,
+                             n_users=args.users)
+        plans.append(ClusterPlan(cluster, config, args.seed))
+    return root, plans, False
+
+
+def _run_federation(args) -> int:
+    """Federation mode: one shard per cluster under ``--federation``."""
+    from repro.federation import (
+        FederatedFacility,
+        FederatedWarehouse,
+        FederationLayout,
+    )
+
+    if args.warehouse:
+        return die("--warehouse and --federation are different modes; "
+                   "pick one")
+    if args.archive:
+        return die("federation mode manages archive paths itself; use "
+                   "--with-archives instead of --archive")
+    if args.shard_workers < 1:
+        return die("--shard-workers must be >= 1")
+    if args.append and not args.with_archives:
+        return die("--append requires --with-archives in federation mode "
+                   "(the per-shard ledgers live with the archives)")
+    if args.ingest_days is not None and not args.with_archives:
+        return die("--ingest-days requires --with-archives")
+    if args.archive_format != "text" and not args.with_archives:
+        return die("--archive-format requires --with-archives")
+    try:
+        root, plans, existed = _federation_plans(args)
+    except ValueError as e:
+        return die(str(e))
+    if existed and not args.append:
+        from pathlib import Path
+        built = [p.cluster for p in plans
+                 if Path(root, f"{p.cluster}.sqlite").exists()]
+        if built:
+            return die(f"federation at {root} already has shards "
+                       f"{built}; use --append to extend them")
+    federated = (FederatedFacility(FederationLayout.open(root), plans)
+                 if existed else FederatedFacility.plan(root, plans))
+
+    get_registry().reset()
+    get_tracer().reset()
+    with run_scope() as run_id:
+        with span("federation.simulate", clusters=len(plans)) as root_span:
+            try:
+                results = federated.run(
+                    archive=args.with_archives,
+                    shard_workers=args.shard_workers,
+                    workers=args.workers,
+                    ingest_workers=args.ingest_workers,
+                    batch_size=args.batch_size,
+                    error_policy=args.error_policy,
+                    max_retries=args.max_retries,
+                    append=args.append,
+                    through_day=args.ingest_days,
+                    archive_format=args.archive_format,
+                    fast_writes=args.fast_writes,
+                    with_syslog=not args.no_syslog,
+                )
+            except ValueError as e:
+                return die(str(e))
+        elapsed = root_span.duration
+
+        if args.telemetry_out:
+            manifest = build_manifest(
+                systems=[p.cluster for p in plans],
+                extra={
+                    "federation": root,
+                    "jobs_simulated": sum(r["jobs"]
+                                          for r in results.values()),
+                    "shard_workers": args.shard_workers,
+                },
+            )
+            path = manifest.write(args.telemetry_out)
+            if not args.quiet:
+                print(f"telemetry manifest: {path} (run {run_id})")
+
+    if not args.quiet:
+        for cluster, r in sorted(results.items()):
+            line = (f"[{cluster}] {r['jobs']} jobs simulated, "
+                    f"{r['summarized']} with full summaries, "
+                    f"{r['node_hours']:,.0f} node-hours, "
+                    f"efficiency {r['efficiency']:.1%}")
+            if r["delta"]:
+                line += f" — ingest delta ({r['mode']}): {r['delta']}"
+            print(line)
+        fw = FederatedWarehouse.open(root)
+        try:
+            print(fw.render_overview())
+        finally:
+            fw.close()
+        print(f"federation: {root} ({elapsed:.1f}s)")
+    return 0
+
+
 def _policy(name: str):
     if name == "fcfs":
         from repro.scheduler.policies import FCFSPolicy
@@ -129,6 +316,16 @@ def main(argv: list[str] | None = None) -> int:
         return die("--batch-size must be >= 1")
     if args.max_retries < 0:
         return die("--max-retries must be >= 0")
+    if args.clusters and not args.federation:
+        return die("--clusters requires --federation DIR")
+    if args.federation:
+        return _run_federation(args)
+    if args.with_archives or args.shard_workers != 1:
+        return die("--with-archives/--shard-workers are federation-mode "
+                   "flags (pass --federation DIR)")
+    if not args.warehouse:
+        return die("--warehouse is required (or --federation DIR for "
+                   "federation mode)")
     if args.append and not args.archive:
         return die("--append requires --archive (the ingest ledger "
                    "tracks archive files)")

@@ -88,6 +88,19 @@ def lonestar4_filesystems() -> tuple[FilesystemSpec, ...]:
     )
 
 
+def stampede_filesystems() -> tuple[FilesystemSpec, ...]:
+    """Stampede: big purged Lustre scratch, quota'd work, NFS home."""
+    return (
+        FilesystemSpec("scratch", "lustre", "/scratch", quota_bytes=1000 * TB,
+                       purged=True, purge_age_days=10,
+                       capacity_bytes=7000 * TB),
+        FilesystemSpec("work", "lustre", "/work", quota_bytes=400 * GB,
+                       capacity_bytes=400 * TB),
+        FilesystemSpec("home", "nfs", "/home", quota_bytes=5 * GB,
+                       capacity_bytes=40 * TB),
+    )
+
+
 @dataclass
 class FilesystemState:
     """Mutable state of one filesystem: usage ledger + throughput counters.

@@ -9,6 +9,13 @@ The paper's two systems differ in exactly the ways TACC_Stats cares about:
   3.33 GHz, 24 GB/node.  PMCs are programmed for FLOPS, SMP/NUMA traffic and
   L1D hits, and the FLOPS event is *not* SSE-comparable to Ranger's (the
   paper notes the two systems' FLOPS series cannot be compared directly).
+
+A third archetype exercises the multi-cluster federation: **Stampede** —
+2 × octa-core Intel Xeon E5-2680 (Sandy Bridge) per node @ 2.7 GHz,
+32 GB/node.  Its PMC event set differs again (AVX ``SIMD_FP_256`` instead
+of ``FP_COMP_OPS``, last-level-cache misses instead of L1D hits), so a
+federation must carry three mutually incomparable FLOPS definitions —
+exactly the situation the paper describes across TACC's machine room.
 """
 
 from __future__ import annotations
@@ -17,7 +24,8 @@ from dataclasses import dataclass
 
 from repro.util.units import GB
 
-__all__ = ["ProcessorSpec", "NodeHardware", "OPTERON_BARCELONA", "XEON_5680"]
+__all__ = ["ProcessorSpec", "NodeHardware", "OPTERON_BARCELONA", "XEON_5680",
+           "XEON_E5_2680"]
 
 
 @dataclass(frozen=True)
@@ -86,6 +94,19 @@ XEON_5680 = ProcessorSpec(
     counter_width=48,
 )
 
+#: Sandy Bridge doubles the FP width (AVX: 8 DP FLOPs/cycle) and its FP
+#: event counts 256-bit SIMD ops — a third FLOPS definition incomparable
+#: to both FP_COMP_OPS and SSE_FLOPS.
+XEON_E5_2680 = ProcessorSpec(
+    model="Intel Xeon E5-2680 (Sandy Bridge-EP)",
+    arch="intel",
+    clock_ghz=2.7,
+    cores=8,
+    flops_per_cycle=8,
+    pmc_events=("SIMD_FP_256", "QPI_TRAFFIC", "LLC_MISSES"),
+    counter_width=48,
+)
+
 
 @dataclass(frozen=True)
 class NodeHardware:
@@ -147,5 +168,15 @@ def lonestar4_node() -> NodeHardware:
         processor=XEON_5680,
         sockets=2,
         memory_bytes=24 * GB,
+        swap_bytes=0,
+    )
+
+
+def stampede_node() -> NodeHardware:
+    """A Stampede compute node: 2 sockets × 8 cores, 32 GB (345.6 GF peak)."""
+    return NodeHardware(
+        processor=XEON_E5_2680,
+        sockets=2,
+        memory_bytes=32 * GB,
         swap_bytes=0,
     )

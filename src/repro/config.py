@@ -19,12 +19,19 @@ from repro.cluster.filesystem import (
     FilesystemSpec,
     lonestar4_filesystems,
     ranger_filesystems,
+    stampede_filesystems,
 )
-from repro.cluster.hardware import NodeHardware, lonestar4_node, ranger_node
+from repro.cluster.hardware import (
+    NodeHardware,
+    lonestar4_node,
+    ranger_node,
+    stampede_node,
+)
 from repro.cluster.interconnect import InterconnectSpec
 from repro.util.timeutil import DAY, MINUTE
 
-__all__ = ["FacilityConfig", "RANGER", "LONESTAR4", "TEST_SYSTEM"]
+__all__ = ["FacilityConfig", "RANGER", "LONESTAR4", "STAMPEDE",
+           "TEST_SYSTEM"]
 
 
 @dataclass(frozen=True)
@@ -154,6 +161,23 @@ LONESTAR4 = FacilityConfig(
     avg_job_minutes=446.0,
     target_efficiency=0.85,
     n_users=1200,
+)
+
+#: Stampede as deployed in 2013: 6400 nodes × 16 Sandy Bridge cores,
+#: 32 GB, FDR InfiniBand — the federation's third archetype, with a PMC
+#: event set (AVX SIMD_FP_256, LLC misses) incomparable to both Ranger's
+#: SSE_FLOPS and Lonestar4's FP_COMP_OPS.  Workload facts extrapolate
+#: the paper's pattern: shorter mean jobs than Ranger, efficiency
+#: between the two published systems, the era's largest user base.
+STAMPEDE = FacilityConfig(
+    name="stampede",
+    num_nodes=6400,
+    node=stampede_node(),
+    filesystems=stampede_filesystems(),
+    interconnect=InterconnectSpec(kind="infiniband", link_gbps=56.0),
+    avg_job_minutes=480.0,
+    target_efficiency=0.88,
+    n_users=2600,
 )
 
 #: Tiny system for unit tests: fast to simulate end-to-end through the

@@ -1,0 +1,121 @@
+"""On-disk layout of a federation: one directory, one shard per cluster.
+
+::
+
+    <root>/
+        federation.json          # manifest: clusters, seeds, paths
+        <cluster>.sqlite         # that cluster's warehouse shard
+        archives/<cluster>/      # that cluster's stats archive (slow path)
+
+Each shard is a complete, self-contained warehouse — its own ingest
+ledger, its own generation stamp, queryable on its own with every
+existing tool (``repro-report --warehouse <root>/<cluster>.sqlite``).
+The manifest is what makes the directory a *federation*: it names the
+member clusters so every consumer (CLI, service, benchmarks) resolves
+the same shard set in the same order.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+__all__ = ["FederationLayout", "ShardSpec", "MANIFEST_NAME"]
+
+MANIFEST_NAME = "federation.json"
+
+#: Manifest schema version; bumped on incompatible layout changes.
+LAYOUT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One member cluster of a federation.
+
+    ``system`` is the base archetype name (``"ranger"``); ``cluster``
+    is the shard's name and defaults to the system name.  ``seed`` and
+    the scaling knobs are recorded so a later ``--append`` run can
+    regenerate the identical simulation stream.
+    """
+
+    cluster: str
+    system: str
+    seed: int
+    nodes: int
+    days: float
+    users: int
+
+    def __post_init__(self):
+        if not self.cluster or "/" in self.cluster:
+            raise ValueError(f"bad cluster name {self.cluster!r}")
+
+
+class FederationLayout:
+    """Resolves shard paths inside one federation directory."""
+
+    def __init__(self, root: str | Path, shards: list[ShardSpec]):
+        names = [s.cluster for s in shards]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate cluster names: {names}")
+        self.root = Path(root)
+        #: cluster name -> spec, in manifest (creation) order.
+        self.shards: dict[str, ShardSpec] = {s.cluster: s for s in shards}
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def create(cls, root: str | Path,
+               shards: list[ShardSpec]) -> "FederationLayout":
+        """Create the directory (idempotent) and write the manifest."""
+        layout = cls(root, shards)
+        layout.root.mkdir(parents=True, exist_ok=True)
+        layout.save()
+        return layout
+
+    @classmethod
+    def open(cls, root: str | Path) -> "FederationLayout":
+        """Open an existing federation by reading its manifest."""
+        path = Path(root) / MANIFEST_NAME
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise FileNotFoundError(
+                f"{path} not found — not a federation directory "
+                f"(create one with repro-simulate --clusters)") from None
+        if payload.get("version") != LAYOUT_VERSION:
+            raise ValueError(f"unsupported federation layout version "
+                             f"{payload.get('version')!r} in {path}")
+        shards = [ShardSpec(**entry) for entry in payload["clusters"]]
+        return cls(root, shards)
+
+    def save(self) -> None:
+        """(Re)write the manifest."""
+        payload = {
+            "version": LAYOUT_VERSION,
+            "clusters": [asdict(s) for s in self.shards.values()],
+        }
+        (self.root / MANIFEST_NAME).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    # -- path resolution --------------------------------------------------
+
+    @property
+    def clusters(self) -> list[str]:
+        """Member cluster names, sorted (the canonical scatter order)."""
+        return sorted(self.shards)
+
+    def warehouse_path(self, cluster: str) -> str:
+        """The shard warehouse file for *cluster*."""
+        self._check(cluster)
+        return str(self.root / f"{cluster}.sqlite")
+
+    def archive_path(self, cluster: str) -> str:
+        """The stats-archive directory for *cluster* (slow path only)."""
+        self._check(cluster)
+        return str(self.root / "archives" / cluster)
+
+    def _check(self, cluster: str) -> None:
+        if cluster not in self.shards:
+            raise KeyError(f"unknown cluster {cluster!r}; federation has "
+                           f"{self.clusters}")

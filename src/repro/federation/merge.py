@@ -1,0 +1,131 @@
+"""Partial-merge kernels for scatter-gather queries across shards.
+
+Everything the reports aggregate is either *extensive* (job counts,
+node-hours, system-wide rates: sums of per-job or per-node
+contributions) or a node-hour/node-count *weighted mean*.  Both merge
+exactly from per-shard partials::
+
+    count  = sum(count_i)
+    hours  = sum(hours_i)
+    mean   = sum(mean_i * hours_i) / sum(hours_i)
+
+which is the same algebra :func:`repro.ingest.summarize.merge_job_partials`
+uses to fold per-host partials into a job summary — the federation
+gather step is that reduction one level up, over per-cluster
+aggregates instead of per-host samples.  The kernels are deterministic:
+inputs are folded in the caller-supplied order (callers pass shards
+sorted by cluster name), so the same shards always produce the same
+floats.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.xdmod.query import GroupResult
+
+__all__ = ["merge_group_results", "merge_series", "series_merge_mode",
+           "CLUSTER_DIM"]
+
+#: The virtual dimension the federation layer adds to group-by: its
+#: value is the system (cluster) name a job's shard carries.  It never
+#: appears inside a single shard's frame — the gather step owns it.
+CLUSTER_DIM = "cluster"
+
+
+def merge_group_results(
+    parts: Iterable[Sequence[GroupResult]],
+) -> list[GroupResult]:
+    """Merge per-shard ``group_by`` outputs into one cross-shard result.
+
+    Groups are unified by their ``keys`` tuple; ``job_count`` and
+    ``node_hours`` sum, and every weighted mean merges node-hour-
+    weighted.  The result is ordered like the single-shard kernel:
+    descending node-hours (ties broken by key for determinism).
+    """
+    acc: dict[tuple[str, ...], dict] = {}
+    for shard_groups in parts:
+        for g in shard_groups:
+            slot = acc.get(g.keys)
+            if slot is None:
+                slot = acc[g.keys] = {
+                    "key": g.key,
+                    "job_count": 0,
+                    "node_hours": 0.0,
+                    "wsums": dict.fromkeys(g.weighted_means, 0.0),
+                }
+            slot["job_count"] += g.job_count
+            slot["node_hours"] += g.node_hours
+            for m, mean in g.weighted_means.items():
+                slot["wsums"][m] = (slot["wsums"].get(m, 0.0)
+                                    + mean * g.node_hours)
+    out = []
+    for keys, slot in acc.items():
+        hours = slot["node_hours"]
+        out.append(GroupResult(
+            key=slot["key"],
+            job_count=slot["job_count"],
+            node_hours=hours,
+            weighted_means={
+                m: (ws / hours if hours > 0 else float("nan"))
+                for m, ws in slot["wsums"].items()
+            },
+            keys=keys,
+        ))
+    out.sort(key=lambda g: (-g.node_hours, g.keys))
+    return out
+
+
+def series_merge_mode(name: str) -> str:
+    """How a stored system series aggregates across clusters.
+
+    ``"sum"`` for extensive series (active nodes, system FLOPS,
+    aggregate I/O and fabric rates), ``"mean"`` for intensive ones
+    (CPU-state fractions, per-node memory) — the latter merge weighted
+    by each cluster's active nodes at that instant.
+    """
+    if name.startswith("cpu_") or name.endswith("_per_node"):
+        return "mean"
+    return "sum"
+
+
+def merge_series(
+    parts: Sequence[tuple[np.ndarray, np.ndarray]],
+    mode: str = "sum",
+    weights: Sequence[tuple[np.ndarray, np.ndarray]] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge per-shard ``(times, values)`` series onto the union grid.
+
+    Shards sample independently, so the merged series lives on the
+    union of the time points.  With ``mode="sum"`` a shard contributes
+    zero where it has no sample (a cluster that is down adds nothing to
+    facility FLOPS); with ``mode="mean"`` each shard's value is weighted
+    by the matching *weights* series (its active-node count), yielding
+    the facility-wide per-node average.
+    """
+    if mode not in ("sum", "mean"):
+        raise ValueError(f"unknown merge mode {mode!r}")
+    if mode == "mean" and (weights is None or len(weights) != len(parts)):
+        raise ValueError("mode='mean' needs one weight series per part")
+    if not parts:
+        return np.array([]), np.array([])
+    grid = np.unique(np.concatenate([t for t, _ in parts]))
+    num = np.zeros(grid.shape, dtype=float)
+    den = np.zeros(grid.shape, dtype=float)
+    for i, (t, v) in enumerate(parts):
+        pos = np.searchsorted(grid, t)
+        if mode == "sum":
+            np.add.at(num, pos, v)
+        else:
+            wt, wv = weights[i]
+            if wt.shape != t.shape or not np.array_equal(wt, t):
+                # Weight series on a different grid: align by lookup.
+                wv = wv[np.searchsorted(wt, t).clip(0, len(wv) - 1)]
+            np.add.at(num, pos, v * wv)
+            np.add.at(den, pos, wv)
+    if mode == "mean":
+        with np.errstate(divide="ignore", invalid="ignore"):
+            num = np.where(den > 0, num / den, 0.0)
+    return grid, num

@@ -194,6 +194,8 @@ class Warehouse:
         # serializes its bulk scans behind a load lock.
         self._conn = sqlite3.connect(path, check_same_thread=not threadsafe)
         self._conn.execute("PRAGMA foreign_keys = ON")
+        #: Where this warehouse lives (shard identity in a federation).
+        self.path = path
         self.fast_writes = fast_writes
         if fast_writes:
             # WAL keeps readers unblocked during ingest and groups page

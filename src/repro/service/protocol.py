@@ -34,6 +34,8 @@ ERROR_STATUS: dict[str, int] = {
     "unexpected_target": 400,
     "unknown_realm": 404,
     "unknown_system": 404,
+    "unknown_cluster": 404,
+    "not_federated": 400,
     "unknown_metric": 404,
     "unknown_dimension": 404,
     "unknown_series": 404,

@@ -11,11 +11,18 @@ Routes (all JSON unless noted)::
 
     GET  /api/v1/health              liveness + warehouse identity
     GET  /api/v1/systems             per-system configuration
+    GET  /api/v1/clusters            federation shard topology
     GET  /api/v1/report/{kind}       ?system=&target=   rendered report
     GET  /api/v1/query/group_by      ?system=&dimension=&metrics=a,b
     GET  /api/v1/timeseries/{name}   ?system=           stored series
+    GET  /api/v1/federation/overview cross-cluster rollup
     POST /api/v1/refresh             adopt external ingest commits
     GET  /metrics                    Prometheus text 0.0.4
+
+In federation mode (``repro-serve --federation DIR``) the query and
+timeseries endpoints additionally accept ``system=all`` for the
+scatter-gather cross-cluster path; ``group_by`` then understands the
+virtual ``cluster`` dimension.
 
 Tenancy: the ``X-Tenant`` header (or ``tenant`` query parameter) keys
 the per-tenant L1 cache; unset means the shared ``public`` tenant.
@@ -211,8 +218,8 @@ class RequestHandler(BaseHTTPRequestHandler):
             return "metrics"
         if len(parts) >= 3 and parts[:2] == ["api", "v1"]:
             name = parts[2]
-            if name in ("health", "systems", "report", "query",
-                        "timeseries", "refresh"):
+            if name in ("health", "systems", "clusters", "report",
+                        "query", "timeseries", "refresh", "federation"):
                 return name
         return "unknown"
 
@@ -244,6 +251,12 @@ class RequestHandler(BaseHTTPRequestHandler):
             return self._json_ok(state.health())
         if head == "systems" and not tail:
             return self._json_ok(state.systems())
+        if head == "clusters" and not tail:
+            return self._json_ok(state.clusters(
+                cluster=one_param(params, "cluster")))
+        if head == "federation" and tail == ["overview"]:
+            return self._json_ok(state.federation_overview(
+                tenant=self._tenant(params)))
         if head == "report" and len(tail) == 1:
             return self._json_ok(state.report(
                 kind=tail[0],

@@ -19,6 +19,15 @@ and return JSON-able dicts or raise
 :mod:`repro.service.server` is a thin routing shim over it.  Report
 text is byte-identical to ``repro-report`` output for the same query —
 both run the same report classes over the same snapshot machinery.
+
+Federation mode (``federation_root=``) serves a directory of warehouse
+shards through the same stack: single-system requests route to the
+owning shard (same code path, so responses match single-warehouse
+serving exactly), while ``system=all`` scatter-gathers a query across
+every shard and merges with the federation kernels — cached in L1 and
+coalesced in single-flight under a combined all-shard stamp, so a
+cross-cluster dashboard burst costs one scatter.  See
+docs/FEDERATION.md.
 """
 
 from __future__ import annotations
@@ -59,14 +68,32 @@ NEEDS_TARGET = {"user": "a username", "developer": "an application tag"}
 
 DEFAULT_TENANT = "public"
 
+#: The ``system`` parameter value that targets the whole federation.
+ALL_SYSTEMS = "all"
+
 
 class ServiceState:
     """Shared state behind every handler thread of one server."""
 
-    def __init__(self, warehouse_path: str, cache_capacity: int = 256,
-                 report_cache: bool = True, max_tenants: int = 64):
-        self.warehouse = Warehouse(warehouse_path, threadsafe=True)
+    def __init__(self, warehouse_path: str | None = None,
+                 cache_capacity: int = 256,
+                 report_cache: bool = True, max_tenants: int = 64,
+                 federation_root: str | None = None):
+        if (warehouse_path is None) == (federation_root is None):
+            raise ValueError("pass exactly one of warehouse_path / "
+                             "federation_root")
+        self.federation = None
+        self.federation_root = None
+        self.warehouse = None
         self.warehouse_path = warehouse_path
+        if federation_root is not None:
+            from repro.federation import FederatedWarehouse
+
+            self.federation = FederatedWarehouse.open(federation_root,
+                                                     threadsafe=True)
+            self.federation_root = str(federation_root)
+        else:
+            self.warehouse = Warehouse(warehouse_path, threadsafe=True)
         self._flight = SingleFlight()
         self._cache = (TenantReportCache(cache_capacity,
                                          max_tenants=max_tenants)
@@ -74,8 +101,11 @@ class ServiceState:
         self._refresh_lock = threading.Lock()
 
     def close(self) -> None:
-        """Release the warehouse connection."""
-        self.warehouse.close()
+        """Release the warehouse (or every shard) connection."""
+        if self.federation is not None:
+            self.federation.close()
+        else:
+            self.warehouse.close()
 
     # -- snapshot resolution ----------------------------------------------
 
@@ -84,18 +114,45 @@ class ServiceState:
         sub-query of that request sees one generation."""
         return WarehouseSnapshot.for_warehouse(self.warehouse)
 
+    def _all_systems(self) -> list[str]:
+        """Every servable system (across every shard when federated)."""
+        if self.federation is not None:
+            return self.federation.all_systems()
+        return self.warehouse.systems()
+
+    def _resolve(self, system: str) -> tuple[Warehouse, WarehouseSnapshot]:
+        """The warehouse + pinned snapshot answering for *system*.
+
+        Single-warehouse mode returns the one warehouse; federation
+        mode routes to the owning shard — the same classes either way,
+        which is what keeps shard responses identical to single-
+        warehouse serving.
+        """
+        if self.federation is None:
+            return self.warehouse, self.snapshot()
+        wh = self.federation.shard(self.federation.shard_of(system))
+        return wh, WarehouseSnapshot.for_warehouse(wh)
+
     def refresh(self) -> dict:
         """Adopt external commits: re-read the on-disk generation and
         swap in a delta-refreshed snapshot (``POST /api/v1/refresh``).
 
         In-flight requests keep the snapshot they already resolved;
-        only requests arriving after the swap see the new data.
+        only requests arriving after the swap see the new data.  In
+        federation mode every shard re-reads its own generation.
         """
         with self._refresh_lock:
+            get_registry().counter("service.refreshes").inc()
+            if self.federation is not None:
+                before = self.federation.generations()
+                after = self.federation.refresh()
+                return {
+                    "generations": after,
+                    "changed": after != before,
+                }
             before = self.warehouse.generation
             self.warehouse.reread_generation()
             snap = self.snapshot()
-            get_registry().counter("service.refreshes").inc()
             return {
                 "generation": snap.generation,
                 "changed": snap.generation != before,
@@ -105,6 +162,14 @@ class ServiceState:
 
     def health(self) -> dict:
         """``GET /api/v1/health``: liveness plus warehouse identity."""
+        if self.federation is not None:
+            return {
+                "status": "ok",
+                "federation": self.federation_root,
+                "clusters": self.federation.clusters,
+                "systems": self.federation.all_systems(),
+                "generations": self.federation.generations(),
+            }
         return {
             "status": "ok",
             "warehouse": self.warehouse_path,
@@ -114,11 +179,33 @@ class ServiceState:
 
     def systems(self) -> dict:
         """``GET /api/v1/systems``: per-system configuration facts."""
-        snap = self.snapshot()
+        out = {}
+        for name in self._all_systems():
+            _wh, snap = self._resolve(name)
+            out[name] = snap.system_info(name)
+        return {"systems": out}
+
+    def clusters(self, cluster: str | None = None) -> dict:
+        """``GET /api/v1/clusters``: the federation's shard topology
+        (optionally filtered to one member cluster)."""
+        if self.federation is None:
+            raise ServiceError("not_federated",
+                               "server is not serving a federation")
+        names = self.federation.clusters
+        if cluster is not None:
+            if cluster not in names:
+                raise ServiceError(
+                    "unknown_cluster", f"unknown cluster {cluster!r}",
+                    {"known": names})
+            names = [cluster]
         return {
-            "systems": {
-                name: snap.system_info(name)
-                for name in self.warehouse.systems()
+            "clusters": {
+                name: {
+                    "systems": self.federation.shards[name].systems(),
+                    "generation": self.federation.shards[name].generation,
+                    "warehouse": self.federation.shards[name].path,
+                }
+                for name in names
             }
         }
 
@@ -126,10 +213,10 @@ class ServiceState:
         if not system:
             raise ServiceError("missing_param",
                                "missing required parameter 'system'")
-        if system not in self.warehouse.systems():
+        if system not in self._all_systems():
             raise ServiceError(
                 "unknown_system", f"unknown system {system!r}",
-                {"known": self.warehouse.systems()})
+                {"known": self._all_systems()})
         return system
 
     def report(self, kind: str, system: str | None,
@@ -155,7 +242,7 @@ class ServiceState:
                                    f"report {kind!r} takes no target")
             target_args = ()
 
-        snap = self.snapshot()
+        warehouse, snap = self._resolve(system)
         # Same shape as the snapshot-memo report key (PR 2), extended
         # with the stamp: identical in-flight requests coalesce, and a
         # key can never alias across generations.
@@ -173,7 +260,7 @@ class ServiceState:
 
         def compute() -> str:
             try:
-                return cls(self.warehouse, system,
+                return cls(warehouse, system,
                            snapshot=snap).render(*target_args)
             except (KeyError, ValueError) as exc:
                 # Unknown user/app inside a valid realm: a client
@@ -186,29 +273,48 @@ class ServiceState:
         return {**body, "report": text, "cached": False,
                 "coalesced": coalesced}
 
-    def group_by(self, system: str | None, dimension: str | None,
-                 metrics: tuple[str, ...] | None = None,
-                 tenant: str = DEFAULT_TENANT) -> dict:
-        """``GET /api/v1/query/group_by``: weighted aggregation by one
-        or more dimensions (comma-separated)."""
-        system = self._check_system(system)
-        if not dimension:
-            raise ServiceError("missing_param",
-                               "missing required parameter 'dimension'")
-        dims = tuple(d for d in dimension.split(",") if d)
+    @staticmethod
+    def _check_dims(dims: tuple[str, ...], allow_cluster: bool) -> None:
         for d in dims:
-            if d not in DIMENSIONS:
-                raise ServiceError(
-                    "unknown_dimension", f"unknown dimension {d!r}",
-                    {"known": list(DIMENSIONS)})
+            if d in DIMENSIONS or (allow_cluster and d == "cluster"):
+                continue
+            known = list(DIMENSIONS) + (["cluster"] if allow_cluster
+                                        else [])
+            raise ServiceError(
+                "unknown_dimension", f"unknown dimension {d!r}",
+                {"known": known})
+
+    @staticmethod
+    def _check_metrics(metrics: tuple[str, ...] | None) -> tuple[str, ...]:
         metrics = SUMMARY_METRICS if metrics is None else metrics
         for m in metrics:
             if m not in SUMMARY_METRICS:
                 raise ServiceError(
                     "unknown_metric", f"unknown metric {m!r}",
                     {"known": list(SUMMARY_METRICS)})
+        return metrics
 
-        snap = self.snapshot()
+    def group_by(self, system: str | None, dimension: str | None,
+                 metrics: tuple[str, ...] | None = None,
+                 tenant: str = DEFAULT_TENANT) -> dict:
+        """``GET /api/v1/query/group_by``: weighted aggregation by one
+        or more dimensions (comma-separated).
+
+        In federation mode ``system=all`` scatter-gathers across every
+        shard; the dimension list may then include the virtual
+        ``cluster`` dimension.
+        """
+        if self.federation is not None and system == ALL_SYSTEMS:
+            return self._federated_group_by(dimension, metrics, tenant)
+        system = self._check_system(system)
+        if not dimension:
+            raise ServiceError("missing_param",
+                               "missing required parameter 'dimension'")
+        dims = tuple(d for d in dimension.split(",") if d)
+        self._check_dims(dims, allow_cluster=False)
+        metrics = self._check_metrics(metrics)
+
+        warehouse, snap = self._resolve(system)
         key = ("service.group_by", system, dims, metrics, snap.stamp)
         body = {"system": system, "dimension": list(dims),
                 "metrics": list(metrics), "generation": snap.generation}
@@ -218,7 +324,7 @@ class ServiceState:
                 return {**body, "groups": hit, "cached": True}
 
         def compute() -> list[dict]:
-            query = JobQuery(self.warehouse, system, snapshot=snap)
+            query = JobQuery(warehouse, system, snapshot=snap)
             return [
                 {
                     "key": g.key,
@@ -237,21 +343,97 @@ class ServiceState:
         return {**body, "groups": groups, "cached": False,
                 "coalesced": coalesced}
 
+    def _federated_group_by(self, dimension: str | None,
+                            metrics: tuple[str, ...] | None,
+                            tenant: str) -> dict:
+        """The ``system=all`` scatter-gather behind :meth:`group_by`."""
+        if not dimension:
+            raise ServiceError("missing_param",
+                               "missing required parameter 'dimension'")
+        dims = tuple(d for d in dimension.split(",") if d)
+        self._check_dims(dims, allow_cluster=True)
+        metrics = self._check_metrics(metrics)
+
+        snaps = self.federation.snapshots()
+        stamp = self.federation.stamp(snaps)
+        key = ("federation.group_by", dims, metrics, stamp)
+        body = {"system": ALL_SYSTEMS, "dimension": list(dims),
+                "metrics": list(metrics),
+                "clusters": self.federation.clusters,
+                "generations": self.federation.generations()}
+        if self._cache is not None:
+            hit = self._cache.get(tenant, key)
+            if hit is not None:
+                return {**body, "groups": hit, "cached": True}
+
+        def compute() -> list[dict]:
+            return [
+                {
+                    "key": g.key,
+                    "keys": list(g.keys),
+                    "job_count": g.job_count,
+                    "node_hours": g.node_hours,
+                    "weighted_means": g.weighted_means,
+                }
+                for g in self.federation.group_by(
+                    dims if len(dims) > 1 else dims[0],
+                    metrics=metrics, snapshots=snaps)
+            ]
+
+        groups, coalesced = self._flight.do(key, compute)
+        if self._cache is not None:
+            self._cache.put(tenant, key, groups)
+        return {**body, "groups": groups, "cached": False,
+                "coalesced": coalesced}
+
+    def federation_overview(self, tenant: str = DEFAULT_TENANT) -> dict:
+        """``GET /api/v1/federation/overview``: the cross-cluster
+        rollup (per-cluster facts, merged totals, rendered table),
+        served through the same L1/single-flight stack."""
+        if self.federation is None:
+            raise ServiceError("not_federated",
+                               "server is not serving a federation")
+        snaps = self.federation.snapshots()
+        stamp = self.federation.stamp(snaps)
+        key = ("federation.overview", stamp)
+        body = {"clusters": self.federation.clusters,
+                "generations": self.federation.generations()}
+        if self._cache is not None:
+            hit = self._cache.get(tenant, key)
+            if hit is not None:
+                return {**body, **hit, "cached": True}
+
+        def compute() -> dict:
+            overview = self.federation.overview(snapshots=snaps)
+            return {**overview, "report": self.federation.render_overview()}
+
+        payload, coalesced = self._flight.do(key, compute)
+        if self._cache is not None:
+            self._cache.put(tenant, key, payload)
+        return {**body, **payload, "cached": False, "coalesced": coalesced}
+
     def timeseries(self, system: str | None, series: str | None,
                    tenant: str = DEFAULT_TENANT) -> dict:
         """``GET /api/v1/timeseries/{series}``: one stored system
-        series as parallel time/value arrays."""
+        series as parallel time/value arrays.
+
+        In federation mode ``system=all`` returns the series merged
+        across every cluster (sums for extensive series, active-node-
+        weighted means for intensive ones).
+        """
+        if self.federation is not None and system == ALL_SYSTEMS:
+            return self._federated_timeseries(series, tenant)
         system = self._check_system(system)
         if not series:
             raise ServiceError("missing_param", "missing series name")
-        known = self.warehouse.series_metrics(system)
+        warehouse, snap = self._resolve(system)
+        known = warehouse.series_metrics(system)
         if series not in known:
             raise ServiceError(
                 "unknown_series",
                 f"no series {series!r} for system {system!r}",
                 {"known": known})
 
-        snap = self.snapshot()
         key = ("service.timeseries", system, series, snap.stamp)
         body = {"system": system, "series": series,
                 "generation": snap.generation}
@@ -262,6 +444,39 @@ class ServiceState:
 
         def compute() -> dict:
             t, v = snap.series(system, series)
+            return {"times": t.tolist(), "values": v.tolist(),
+                    "mean": float(v.mean()) if v.size else 0.0}
+
+        payload, coalesced = self._flight.do(key, compute)
+        if self._cache is not None:
+            self._cache.put(tenant, key, payload)
+        return {**body, **payload, "cached": False, "coalesced": coalesced}
+
+    def _federated_timeseries(self, series: str | None,
+                              tenant: str) -> dict:
+        """The ``system=all`` merged-series behind :meth:`timeseries`."""
+        if not series:
+            raise ServiceError("missing_param", "missing series name")
+        known = self.federation.series_metrics()
+        if series not in known:
+            raise ServiceError(
+                "unknown_series",
+                f"no series {series!r} in any federation shard",
+                {"known": known})
+
+        snaps = self.federation.snapshots()
+        stamp = self.federation.stamp(snaps)
+        key = ("federation.timeseries", series, stamp)
+        body = {"system": ALL_SYSTEMS, "series": series,
+                "clusters": self.federation.clusters,
+                "generations": self.federation.generations()}
+        if self._cache is not None:
+            hit = self._cache.get(tenant, key)
+            if hit is not None:
+                return {**body, **hit, "cached": True}
+
+        def compute() -> dict:
+            t, v = self.federation.timeseries(series, snapshots=snaps)
             return {"times": t.tolist(), "values": v.tolist(),
                     "mean": float(v.mean()) if v.size else 0.0}
 

@@ -21,6 +21,11 @@ INTEL_EVENT_CODES: dict[str, int] = {
     "FP_COMP_OPS": 0x530110,
     "QPI_TRAFFIC": 0x530020,
     "L1D_HITS": 0x530140,
+    # Sandy Bridge (Stampede archetype): AVX FP ops and last-level-cache
+    # misses; counter semantics are unchanged (ctr0 carries the FP
+    # event, ctr2 the cache event), only the programmed codes differ.
+    "SIMD_FP_256": 0x530211,
+    "LLC_MISSES": 0x53412E,
 }
 
 #: Issued-vs-retired over-count of FP_COMP_OPS_EXE relative to true FLOPs.

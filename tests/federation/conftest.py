@@ -1,0 +1,61 @@
+"""Federation fixtures: the same three simulated systems arranged two
+ways — one warehouse shard per system (the federation under test) and
+one union warehouse holding all three (the single-warehouse ground
+truth).  Shard-partition invariance means every cross-cluster query
+must answer identically over both arrangements.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LONESTAR4, RANGER, STAMPEDE, Facility
+from repro.federation import FederatedWarehouse
+from repro.ingest.warehouse import Warehouse
+
+#: The three member archetypes, scaled small enough for test speed but
+#: large enough that weighted means differ between clusters.
+MEMBER_CONFIGS = {
+    "lonestar4": (LONESTAR4.scaled(num_nodes=16, horizon_days=4,
+                                   n_users=20), 21),
+    "ranger": (RANGER.scaled(num_nodes=24, horizon_days=4,
+                             n_users=30), 7),
+    "stampede": (STAMPEDE.scaled(num_nodes=16, horizon_days=4,
+                                 n_users=20), 42),
+}
+
+
+@pytest.fixture(scope="session")
+def shard_warehouses() -> dict[str, Warehouse]:
+    """One in-memory warehouse per member system (the sharded layout)."""
+    shards = {}
+    for name, (cfg, seed) in MEMBER_CONFIGS.items():
+        wh = Warehouse()
+        Facility(cfg, seed=seed).run(warehouse=wh)
+        shards[name] = wh
+    yield shards
+    for wh in shards.values():
+        wh.close()
+
+
+@pytest.fixture(scope="session")
+def union_warehouse() -> Warehouse:
+    """All three member systems simulated into ONE warehouse."""
+    wh = Warehouse()
+    for _name, (cfg, seed) in sorted(MEMBER_CONFIGS.items()):
+        Facility(cfg, seed=seed).run(warehouse=wh)
+    yield wh
+    wh.close()
+
+
+@pytest.fixture(scope="session")
+def federated(shard_warehouses) -> FederatedWarehouse:
+    """The three-shard federation."""
+    return FederatedWarehouse(shard_warehouses)
+
+
+@pytest.fixture(scope="session")
+def union_federated(union_warehouse) -> FederatedWarehouse:
+    """A one-shard federation over the union warehouse — the same
+    host-days with the shard partition collapsed."""
+    return FederatedWarehouse({"union": union_warehouse})

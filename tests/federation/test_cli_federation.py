@@ -1,0 +1,234 @@
+"""Federation mode of the CLI tools (in-process via ``main(argv)``).
+
+Includes the acceptance-critical byte-identity check: a one-cluster
+federation's shard must hold row-identical data tables — and render
+byte-identical reports — to the legacy ``--warehouse`` path with the
+same knobs.  (Raw file bytes are not compared: ingest bookkeeping rows
+carry a random run id by design.)
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.cli.diagnose import main as diagnose_main
+from repro.cli.report import main as report_main
+from repro.cli.serve import main as serve_main
+from repro.cli.simulate import main as simulate_main
+
+KNOBS = ["--nodes", "8", "--days", "2", "--users", "10", "--seed", "5"]
+
+
+@pytest.fixture(scope="module")
+def fed_dir(tmp_path_factory) -> str:
+    """A 3-cluster federation built by the CLI (fast path), including
+    an aliased second Ranger shard."""
+    root = str(tmp_path_factory.mktemp("cli_fed") / "fed")
+    rc = simulate_main(["--clusters",
+                        "ranger,lonestar4,ranger-b=ranger",
+                        "--federation", root, *KNOBS, "--quiet"])
+    assert rc == 0
+    return root
+
+
+DATA_TABLES = ("systems", "jobs", "job_metrics", "system_series",
+               "syslog_events")
+
+
+def _dump(path: str) -> dict[str, list]:
+    """Every data-table row, ordered — the byte-identity view."""
+    conn = sqlite3.connect(path)
+    try:
+        out = {}
+        for table in DATA_TABLES:
+            cols = [r[1] for r in
+                    conn.execute(f"PRAGMA table_info({table})")]
+            out[table] = conn.execute(
+                f"SELECT * FROM {table} ORDER BY {', '.join(cols)}"
+            ).fetchall()
+        return out
+    finally:
+        conn.close()
+
+
+# -- simulate ----------------------------------------------------------------
+
+
+def test_simulate_builds_all_shards(fed_dir, capsys):
+    for cluster in ("ranger", "lonestar4", "ranger-b"):
+        assert _dump(f"{fed_dir}/{cluster}.sqlite")["jobs"]
+    # Re-running without --append refuses to clobber the shards.
+    rc = simulate_main(["--federation", fed_dir, *KNOBS, "--quiet"])
+    assert rc != 0
+    assert "use --append" in capsys.readouterr().err
+
+
+def test_simulate_prints_overview(tmp_path, capsys):
+    root = str(tmp_path / "fed")
+    rc = simulate_main(["--clusters", "ranger,lonestar4",
+                        "--federation", root, "--nodes", "6",
+                        "--days", "1", "--users", "8", "--seed", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "FEDERATION OVERVIEW — 2 clusters" in out
+    assert "[ranger]" in out and "[lonestar4]" in out
+
+
+def test_simulate_federation_flag_validation(fed_dir, tmp_path, capsys):
+    cases = [
+        (["--clusters", "ranger"], "--clusters requires --federation"),
+        (["--federation", str(tmp_path / "none")], "pass --clusters"),
+        (["--clusters", "ranger", "--federation", str(tmp_path / "x"),
+          "--warehouse", "w.sqlite"], "different modes"),
+        (["--clusters", "ranger", "--federation", str(tmp_path / "x"),
+          "--archive", "a/"], "--with-archives instead"),
+        (["--clusters", "ranger", "--federation", str(tmp_path / "x"),
+          "--append"], "requires --with-archives"),
+        (["--clusters", "bogus", "--federation", str(tmp_path / "x")],
+         "unknown archetype"),
+        (["--clusters", "ranger,stampede", "--federation", fed_dir],
+         "does not match"),
+        (["--with-archives"], "federation-mode flags"),
+        (["--shard-workers", "2"], "federation-mode flags"),
+    ]
+    for argv, needle in cases:
+        rc = simulate_main(argv + ["--quiet"])
+        assert rc != 0, argv
+        assert needle in capsys.readouterr().err, argv
+
+
+def test_simulate_archive_federation_with_append(tmp_path, capsys):
+    """The slow path: per-shard archives + ledgers, windowed ingest,
+    then an --append run that folds in the remaining day."""
+    root = str(tmp_path / "fed")
+    base = ["--federation", root, "--nodes", "4", "--days", "2",
+            "--users", "6", "--seed", "3", "--with-archives"]
+    rc = simulate_main(["--clusters", "test=ranger", *base,
+                        "--ingest-days", "1", "--quiet"])
+    assert rc == 0
+    rc = simulate_main([*base, "--append", "--shard-workers", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "ingest delta (append)" in out
+    # The shard's ledger is visible through repro-diagnose.
+    rc = diagnose_main(["--federation", root, "--ledger"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Ingest ledger — test" in out
+    assert "append" in out
+
+
+# -- byte identity -----------------------------------------------------------
+
+
+def test_single_cluster_federation_matches_legacy_path(tmp_path, capsys):
+    """MUST-preserve acceptance: one-cluster federation == legacy
+    single-warehouse run, row for row and report for report."""
+    root = str(tmp_path / "fed")
+    legacy = str(tmp_path / "legacy.sqlite")
+    rc = simulate_main(["--clusters", "ranger", "--federation", root,
+                        *KNOBS, "--quiet"])
+    assert rc == 0
+    rc = simulate_main(["--system", "ranger", "--warehouse", legacy,
+                        *KNOBS, "--quiet"])
+    assert rc == 0
+    assert _dump(f"{root}/ranger.sqlite") == _dump(legacy)
+
+    rc = report_main(["--federation", root, "--cluster", "ranger",
+                      "support"])
+    assert rc == 0
+    fed_text = capsys.readouterr().out
+    rc = report_main(["--warehouse", legacy, "--system", "ranger",
+                      "support"])
+    assert rc == 0
+    assert fed_text == capsys.readouterr().out
+
+
+def test_aliased_shards_draw_distinct_workloads(fed_dir):
+    """ranger and ranger-b share an archetype and seed but not data."""
+    assert _dump(f"{fed_dir}/ranger.sqlite")["jobs"] != \
+        _dump(f"{fed_dir}/ranger-b.sqlite")["jobs"]
+
+
+# -- report ------------------------------------------------------------------
+
+
+def test_report_federation_kind(fed_dir, capsys):
+    rc = report_main(["--federation", fed_dir, "federation"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "FEDERATION OVERVIEW — 3 clusters" in out
+    assert "TOTAL" in out
+
+
+def test_report_routed_to_cluster(fed_dir, capsys):
+    rc = report_main(["--federation", fed_dir, "--cluster", "ranger-b",
+                      "admin"])
+    assert rc == 0
+    assert "SYSTEMS ADMIN REPORT — ranger-b" in capsys.readouterr().out
+
+
+def test_report_federation_flag_validation(fed_dir, capsys):
+    cases = [
+        (["federation"], "needs --federation"),
+        (["--federation", fed_dir, "--warehouse", "w.sqlite",
+          "federation"], "different modes"),
+        (["--federation", fed_dir, "support"], "needs --cluster"),
+        (["--federation", fed_dir, "--cluster", "nope", "support"],
+         "not in federation"),
+        (["--federation", fed_dir, "federation", "extra"], "no target"),
+    ]
+    for argv, needle in cases:
+        rc = report_main(argv)
+        assert rc != 0, argv
+        assert needle in capsys.readouterr().err, argv
+
+
+# -- diagnose ----------------------------------------------------------------
+
+
+def test_diagnose_federation_requires_cluster_for_ancor(fed_dir, capsys):
+    rc = diagnose_main(["--federation", fed_dir])
+    assert rc != 0
+    assert "needs --cluster" in capsys.readouterr().err
+    rc = diagnose_main(["--federation", fed_dir, "--cluster", "ranger"])
+    assert rc == 0
+
+
+def test_diagnose_federation_ingest_health_all_shards(fed_dir, capsys):
+    rc = diagnose_main(["--federation", fed_dir, "--ingest-health"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    # Fast-path shards have no ingest-health record; one line each.
+    assert out.count("no ingest-health record") == 3
+
+
+def test_diagnose_federation_flag_validation(fed_dir, capsys):
+    rc = diagnose_main(["--federation", fed_dir, "--warehouse", "w",
+                        "--system", "s"])
+    assert rc != 0
+    assert "different modes" in capsys.readouterr().err
+    rc = diagnose_main(["--federation", fed_dir, "--cluster", "nope",
+                        "--ledger"])
+    assert rc != 0
+    assert "not in federation" in capsys.readouterr().err
+
+
+# -- serve -------------------------------------------------------------------
+
+
+def test_serve_requires_exactly_one_source(fed_dir, capsys):
+    rc = serve_main([])
+    assert rc != 0
+    assert "exactly one" in capsys.readouterr().err
+    rc = serve_main(["--warehouse", "w.sqlite", "--federation", fed_dir])
+    assert rc != 0
+    assert "exactly one" in capsys.readouterr().err
+
+
+def test_serve_rejects_missing_federation(tmp_path, capsys):
+    rc = serve_main(["--federation", str(tmp_path / "nope")])
+    assert rc != 0
+    assert "cannot open federation" in capsys.readouterr().err

@@ -1,0 +1,175 @@
+"""The partial-merge kernels against independent numpy oracles.
+
+The kernels are the load-bearing piece of scatter-gather correctness:
+if ``count``/``hours`` sum and every mean merges node-hour-weighted,
+then any partition of the jobs into shards answers identically.  Each
+test checks the kernel against arithmetic done a *different* way
+(flat numpy reductions over the concatenated inputs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.federation import (
+    merge_group_results,
+    merge_series,
+    series_merge_mode,
+)
+from repro.xdmod.query import GroupResult
+
+
+def _group(key: str, count: int, hours: float, **means) -> GroupResult:
+    return GroupResult(key=key, job_count=count, node_hours=hours,
+                       weighted_means=means, keys=(key,))
+
+
+# -- group merge -------------------------------------------------------------
+
+
+def test_counts_and_hours_sum_means_merge_weighted():
+    merged = merge_group_results([
+        [_group("namd", 10, 100.0, cpu_idle=0.2)],
+        [_group("namd", 5, 300.0, cpu_idle=0.6)],
+    ])
+    assert len(merged) == 1
+    g = merged[0]
+    assert g.job_count == 15
+    assert g.node_hours == pytest.approx(400.0)
+    # Oracle: sum(mean_i * hours_i) / sum(hours_i).
+    assert g.weighted_means["cpu_idle"] == pytest.approx(
+        (0.2 * 100.0 + 0.6 * 300.0) / 400.0)
+
+
+def test_disjoint_groups_pass_through_sorted_by_hours():
+    merged = merge_group_results([
+        [_group("small", 1, 10.0, m=0.5)],
+        [_group("big", 1, 90.0, m=0.5)],
+    ])
+    assert [g.key for g in merged] == ["big", "small"]
+
+
+def test_empty_parts_merge_to_empty():
+    assert merge_group_results([]) == []
+    assert merge_group_results([[], []]) == []
+
+
+def test_zero_hour_group_gets_nan_mean_not_crash():
+    merged = merge_group_results([[_group("idle", 3, 0.0, m=0.1)]])
+    assert merged[0].job_count == 3
+    assert np.isnan(merged[0].weighted_means["m"])
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["a", "b", "c"]),
+            st.integers(min_value=0, max_value=50),
+            st.floats(min_value=0.1, max_value=1e4),
+            st.floats(min_value=0.0, max_value=1.0),
+        ),
+        max_size=4),
+    max_size=4))
+def test_merge_matches_flat_numpy_oracle(parts):
+    """Kernel output == flat reductions over the concatenated groups."""
+    merged = merge_group_results([
+        [_group(k, c, h, m=v) for k, c, h, v in shard]
+        for shard in parts
+    ])
+    flat = [entry for shard in parts for entry in shard]
+    for g in merged:
+        rows = [(c, h, v) for k, c, h, v in flat if k == g.key]
+        hours = np.array([h for _c, h, _v in rows])
+        vals = np.array([v for _c, _h, v in rows])
+        assert g.job_count == sum(c for c, _h, _v in rows)
+        assert g.node_hours == pytest.approx(hours.sum())
+        assert g.weighted_means["m"] == pytest.approx(
+            float((vals * hours).sum() / hours.sum()))
+    assert {g.key for g in merged} == {k for k, _c, _h, _v in flat}
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.tuples(
+        st.sampled_from(["x", "y"]),
+        st.integers(min_value=1, max_value=20),
+        st.floats(min_value=0.5, max_value=100.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    ),
+    min_size=1, max_size=12),
+    st.integers(min_value=1, max_value=5))
+def test_merge_is_partition_invariant(flat, nparts):
+    """Any partition of the same groups merges to the same answer."""
+    groups = [_group(k, c, h, m=v) for k, c, h, v in flat]
+    one = merge_group_results([groups])
+    split = merge_group_results(
+        [groups[i::nparts] for i in range(nparts)])
+    assert [g.keys for g in one] == [g.keys for g in split]
+    for a, b in zip(one, split):
+        assert a.job_count == b.job_count
+        assert a.node_hours == pytest.approx(b.node_hours)
+        assert a.weighted_means["m"] == pytest.approx(
+            b.weighted_means["m"])
+
+
+# -- series merge ------------------------------------------------------------
+
+
+def test_series_sum_on_shared_grid():
+    t = np.array([0.0, 10.0, 20.0])
+    gt, gv = merge_series([(t, np.array([1.0, 2.0, 3.0])),
+                           (t, np.array([10.0, 20.0, 30.0]))], mode="sum")
+    assert np.array_equal(gt, t)
+    assert np.allclose(gv, [11.0, 22.0, 33.0])
+
+
+def test_series_sum_union_grid_missing_samples_add_zero():
+    gt, gv = merge_series([
+        (np.array([0.0, 10.0]), np.array([1.0, 1.0])),
+        (np.array([10.0, 20.0]), np.array([5.0, 5.0])),
+    ], mode="sum")
+    assert np.array_equal(gt, [0.0, 10.0, 20.0])
+    assert np.allclose(gv, [1.0, 6.0, 5.0])
+
+
+def test_series_mean_weights_by_active_nodes():
+    t = np.array([0.0, 10.0])
+    parts = [(t, np.array([0.2, 0.2])), (t, np.array([0.8, 0.8]))]
+    weights = [(t, np.array([30.0, 30.0])), (t, np.array([10.0, 10.0]))]
+    _gt, gv = merge_series(parts, mode="mean", weights=weights)
+    # Oracle: (0.2*30 + 0.8*10) / 40.
+    assert np.allclose(gv, (0.2 * 30 + 0.8 * 10) / 40.0)
+
+
+def test_series_mean_requires_matching_weights():
+    t = np.array([0.0])
+    with pytest.raises(ValueError, match="weight series"):
+        merge_series([(t, np.array([1.0]))], mode="mean")
+
+
+def test_series_unknown_mode_rejected():
+    with pytest.raises(ValueError, match="merge mode"):
+        merge_series([], mode="median")
+
+
+def test_series_empty_parts():
+    gt, gv = merge_series([], mode="sum")
+    assert gt.size == 0 and gv.size == 0
+
+
+@pytest.mark.parametrize("name,mode", [
+    ("cpu_user_frac", "mean"),
+    ("cpu_idle_frac", "mean"),
+    ("mem_used_gb_per_node", "mean"),
+    ("active_nodes", "sum"),
+    ("busy_nodes", "sum"),
+    ("flops_tf", "sum"),
+    ("io_scratch_write_mb", "sum"),
+    ("net_ib_tx_mb", "sum"),
+])
+def test_series_merge_mode_table(name, mode):
+    """Intensive series average; extensive series sum."""
+    assert series_merge_mode(name) == mode
