@@ -28,6 +28,10 @@ Gated metrics::
     federation_shard_ingest_speedup_x
                                   process-pool shard fan-out
                                   vs the serial loop        (higher)
+    live_batch_ms                 live micro-batch append +
+                                  snapshot refresh latency  (lower)
+    live_top_warm_ms              warm /api/v1/live/top
+                                  rate-poll latency         (lower)
 
 Latency metrics carry an absolute *floor*: anything at or under the
 floor passes outright, because below it the measurement is timer and
@@ -156,6 +160,25 @@ METRICS = {
         "higher",
         0.0,
     ),
+    # The live-mode gates (docs/OBSERVABILITY.md "Live monitoring"):
+    # a micro-batch (replay + rotation + ledger append + snapshot
+    # refresh) must complete far inside the rotation cadence, and a
+    # warm live/top poll — deliberately uncached, one counter scan
+    # plus an in-memory rate diff — stays in the same noise-floor
+    # territory as the other warm read paths.  Both are wall-clock
+    # ADVISORY gates.
+    "live_batch_ms": (
+        "live_append.txt",
+        re.compile(r"^live batch median: ([\d.]+) ms", re.MULTILINE),
+        "lower",
+        250.0,
+    ),
+    "live_top_warm_ms": (
+        "live_append.txt",
+        re.compile(r"^warm live/top median: ([\d.]+) ms", re.MULTILINE),
+        "lower",
+        10.0,
+    ),
     # The observability budget: telemetry stays on by default, so its
     # cost is a gated headline number.  The 1.0 floor IS the < 1 %
     # budget from docs/OBSERVABILITY.md — at or under it the gate
@@ -176,7 +199,8 @@ METRICS = {
 ADVISORY = {"service_p99_ms", "service_cli_speedup_x",
             "service_coalesce_rate", "federation_warm_ms",
             "federation_scatter_speedup_x",
-            "federation_shard_ingest_speedup_x"}
+            "federation_shard_ingest_speedup_x",
+            "live_batch_ms", "live_top_warm_ms"}
 
 
 def read_metrics(out_dir: Path) -> dict[str, float]:

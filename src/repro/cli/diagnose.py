@@ -90,6 +90,11 @@ def _print_telemetry(manifest: RunManifest, min_ms: float) -> None:
     if manifest.stages:
         print("\nstage timings:")
         print(render_span_tree(manifest.stages, min_ms=min_ms))
+    else:
+        # An explicit line beats silence: an empty tree usually means
+        # the run was traced with a reset registry or the producer
+        # never entered a span, and the operator should know which.
+        print("\nstage timings: no spans recorded")
     if manifest.slowest_hosts:
         print("\nslowest hosts (scan wall time):")
         for host, seconds in manifest.slowest_hosts:

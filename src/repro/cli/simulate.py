@@ -31,6 +31,20 @@ path into ``fed/archives/<cluster>/`` so later ``--append`` runs use
 the per-shard ingest ledgers; ``--shard-workers`` fans whole shards
 over a process pool.  A later run against an existing federation reads
 the member list back from ``fed/federation.json``.
+
+Live mode (docs/OBSERVABILITY.md, "Live monitoring") streams the same
+study period as rolling micro-batches instead of one offline pass::
+
+    repro-simulate --system ranger --nodes 8 --days 1 \
+        --warehouse live.sqlite --archive /tmp/live-stats --live
+
+Each batch advances the replay by ``--live-segment-seconds`` of
+facility time, rotates the completed archive segment, appends it
+through the watermark ledger, and refreshes the warehouse snapshot in
+place — watch it with ``repro-top`` or ``repro-serve`` against the
+same warehouse file while it runs (``--live-sleep`` paces batches in
+wall-clock time for that).  The final warehouse is byte-identical to
+a one-shot run at the same rotation period.
 """
 
 from __future__ import annotations
@@ -135,6 +149,28 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--appkernels", action="store_true",
                         help="submit the standard application-kernel "
                              "battery on its cadence")
+    parser.add_argument("--live", action="store_true",
+                        help="stream the study period as rolling "
+                             "micro-batches through the append ledger "
+                             "(requires --archive; watch with repro-top "
+                             "or repro-serve on the same warehouse)")
+    parser.add_argument("--live-segment-seconds", type=int, default=3600,
+                        metavar="S",
+                        help="live mode: archive rotation period in "
+                             "facility seconds (default 3600)")
+    parser.add_argument("--live-batch-segments", type=int, default=1,
+                        metavar="K",
+                        help="live mode: completed segments folded in "
+                             "per micro-batch (default 1)")
+    parser.add_argument("--live-max-batches", type=int, default=None,
+                        metavar="N",
+                        help="live mode: stop after N micro-batches "
+                             "(default: run the whole horizon)")
+    parser.add_argument("--live-sleep", type=float, default=0.0,
+                        metavar="SEC",
+                        help="live mode: wall-clock pause between "
+                             "micro-batches, so concurrent viewers see "
+                             "rates evolve (default 0)")
     parser.add_argument("--telemetry-out", default=None, metavar="PATH",
                         help="write the run's telemetry manifest (stage "
                              "spans, metric totals, ingest health, "
@@ -294,6 +330,75 @@ def _run_federation(args) -> int:
     return 0
 
 
+def _run_live(args, cfg, facility, warehouse) -> int:
+    """Live mode: stream the horizon as micro-batches (see
+    docs/OBSERVABILITY.md, "Live monitoring")."""
+    import time as _time
+
+    from repro.live.runner import LiveSession
+
+    try:
+        session = LiveSession(
+            facility, args.archive, warehouse=warehouse,
+            segment_seconds=args.live_segment_seconds,
+            batch_segments=args.live_batch_segments)
+    except ValueError as e:
+        return die(str(e))
+
+    get_registry().reset()
+    get_tracer().reset()
+    reports = []
+    with run_scope() as run_id:
+        with span("live.session", system=cfg.name,
+                  segment_seconds=args.live_segment_seconds) as root:
+            while not session.done:
+                if (args.live_max_batches is not None
+                        and len(reports) >= args.live_max_batches):
+                    break
+                report = session.run_batch()
+                if report is None:
+                    break
+                reports.append(report)
+                if not args.quiet:
+                    print(report, flush=True)
+                if args.live_sleep and not session.done:
+                    _time.sleep(args.live_sleep)
+        elapsed = root.duration
+
+        if args.telemetry_out:
+            manifest = build_manifest(
+                systems=[cfg.name],
+                extra={
+                    "live": {
+                        "segment_seconds": args.live_segment_seconds,
+                        "batch_segments": args.live_batch_segments,
+                        "batches": len(reports),
+                        "complete": session.done,
+                        "snapshot_rows": [r.snapshot_rows
+                                          for r in reports],
+                        "jobs_loaded": sum(r.jobs_loaded
+                                           for r in reports),
+                        "counter_rows": sum(r.counter_rows
+                                            for r in reports),
+                    },
+                },
+            )
+            path = manifest.write(args.telemetry_out)
+            if not args.quiet:
+                print(f"telemetry manifest: {path} (run {run_id})")
+
+    if not args.quiet:
+        jobs = warehouse.job_count(cfg.name)
+        rows = reports[-1].snapshot_rows if reports else 0
+        state = "complete" if session.done else "stopped"
+        print(f"[{cfg.name}] live {state}: {len(reports)} batches, "
+              f"{jobs} jobs in warehouse, {rows} snapshot rows "
+              f"({elapsed:.1f}s)")
+        print(f"warehouse: {args.warehouse}")
+    warehouse.close()
+    return 0
+
+
 def _policy(name: str):
     if name == "fcfs":
         from repro.scheduler.policies import FCFSPolicy
@@ -318,6 +423,32 @@ def main(argv: list[str] | None = None) -> int:
         return die("--max-retries must be >= 0")
     if args.clusters and not args.federation:
         return die("--clusters requires --federation DIR")
+    if args.live:
+        if args.federation:
+            return die("--live streams a single system; federation "
+                       "mode is batch-only")
+        if not args.archive:
+            return die("--live requires --archive (the rolling "
+                       "segments live there)")
+        if args.append or args.ingest_days is not None:
+            return die("--live manages its own incremental ingest; "
+                       "drop --append/--ingest-days")
+        if args.archive_format != "text":
+            return die("--live writes the text archive format")
+        if args.workers != 1 or args.ingest_workers != 1:
+            return die("--live replays in-process; drop --workers/"
+                       "--ingest-workers")
+        if args.no_syslog:
+            return die("--live always generates the syslog stream")
+        if args.live_segment_seconds < 1:
+            return die("--live-segment-seconds must be >= 1")
+        if args.live_batch_segments < 1:
+            return die("--live-batch-segments must be >= 1")
+        if (args.live_max_batches is not None
+                and args.live_max_batches < 1):
+            return die("--live-max-batches must be >= 1")
+        if args.live_sleep < 0:
+            return die("--live-sleep must be >= 0")
     if args.federation:
         return _run_federation(args)
     if args.with_archives or args.shard_workers != 1:
@@ -352,6 +483,8 @@ def main(argv: list[str] | None = None) -> int:
         kernels = DEFAULT_KERNELS
     facility = Facility(cfg, seed=args.seed, policy=_policy(args.policy),
                         appkernels=kernels)
+    if args.live:
+        return _run_live(args, cfg, facility, warehouse)
 
     # One timing mechanism: the run is bracketed by the root telemetry
     # span (its duration is what the summary line prints) instead of

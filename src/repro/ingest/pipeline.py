@@ -48,7 +48,7 @@ from repro.tacc_stats.types import HostData
 from repro.telemetry.log import current_run_id, get_logger, run_scope
 from repro.telemetry.metrics import get_registry
 from repro.telemetry.trace import span
-from repro.util.timeutil import DAY, date_to_day_index, day_index_to_date
+from repro.util.timeutil import DAY, label_to_period_index, period_label
 
 _log = get_logger("ingest.pipeline")
 
@@ -158,15 +158,23 @@ def _record_from_entry(entry: AccountingEntry, app: str) -> JobRecord:
     )
 
 
-def _span_days(entry: AccountingEntry) -> tuple[int, int]:
-    """Inclusive facility-day range an entry's stats blocks live in.
+def _span_segments(entry: AccountingEntry,
+                   period: int = DAY) -> tuple[int, int]:
+    """Inclusive rotation-segment range an entry's stats blocks live in.
 
-    The daemon routes a block at time ``t`` to the file for day
-    ``t // DAY``, so a job's begin/periodic/end blocks span exactly
-    ``day(start_time) .. day(end_time)``.
+    The daemon routes a block at time ``t`` to the file for segment
+    ``t // period`` (days under the default rotation), so a job's
+    begin/periodic/end blocks span exactly
+    ``segment(start_time) .. segment(end_time)``.
     """
-    return (int(float(entry.start_time) // DAY),
-            int(float(entry.end_time) // DAY))
+    return (int(float(entry.start_time) // period),
+            int(float(entry.end_time) // period))
+
+
+def _archive_period(archive: HostArchive) -> int:
+    """The archive's rotation period; days for anything that predates
+    the ``rotate_seconds`` knob."""
+    return int(getattr(archive, "rotate_seconds", DAY))
 
 
 @dataclass
@@ -187,10 +195,11 @@ class _DeltaPlan:
     watermark_after: int
     delta: DeltaSummary
     ledger_base: dict
+    period: int = DAY
 
     def loadable(self, entry: AccountingEntry) -> bool:
         """True when no future archive file can change this job's match."""
-        d0, d1 = _span_days(entry)
+        d0, d1 = _span_segments(entry, self.period)
         return all(d in self.consumed_days for d in range(d0, d1 + 1))
 
 
@@ -210,7 +219,12 @@ def _plan_append(archive: HostArchive, ledger: dict,
     tail).  A not-yet-loaded job is deferred while its span extends past
     the days on disk, and *finalized* (never revisited) once every file
     of its span was consumed by an earlier run.
+
+    All of the "day" arithmetic actually runs at the archive's rotation
+    period: a live archive cutting sub-day segments flows through the
+    identical watermark/lookback/finalize logic, just with finer cells.
     """
+    period = _archive_period(archive)
     manifest = archive.manifest()
     for key, led in ledger.items():
         fp = manifest.get(key)
@@ -229,14 +243,16 @@ def _plan_append(archive: HostArchive, ledger: dict,
     by_day: dict[str, list[tuple[str, str]]] = {}
     for cell in manifest:
         by_day.setdefault(cell[1], []).append(cell)
-    day_indices = {day: date_to_day_index(day) for day in by_day}
+    day_indices = {day: label_to_period_index(day, period)
+                   for day in by_day}
     max_present_day = max(day_indices.values(), default=-1)
     max_ledger_day = max(
-        (date_to_day_index(day) for _h, day in ledger), default=-1)
+        (label_to_period_index(day, period) for _h, day in ledger),
+        default=-1)
 
     def consumed_before(d: int) -> bool:
         return all(cell in ledger
-                   for cell in by_day.get(day_index_to_date(d), ()))
+                   for cell in by_day.get(period_label(d, period), ()))
 
     delta = DeltaSummary()
     candidates: list[AccountingEntry] = []
@@ -244,7 +260,7 @@ def _plan_append(archive: HostArchive, ledger: dict,
     for entry in entries:
         if entry.job_number in loaded:
             continue
-        d0, d1 = _span_days(entry)
+        d0, d1 = _span_segments(entry, period)
         if d1 <= max_ledger_day and all(
                 consumed_before(d) for d in range(d0, d1 + 1)):
             continue  # finalized: an earlier run saw everything it has
@@ -257,8 +273,9 @@ def _plan_append(archive: HostArchive, ledger: dict,
 
     needed_days: set[str] = set()
     for entry in pending:
-        d0, d1 = _span_days(entry)
-        needed_days.update(day_index_to_date(d) for d in range(d0, d1 + 1))
+        d0, d1 = _span_segments(entry, period)
+        needed_days.update(period_label(d, period)
+                           for d in range(d0, d1 + 1))
 
     days_by_host: dict[str, set[str]] = {}
     for cell in manifest:
@@ -278,7 +295,7 @@ def _plan_append(archive: HostArchive, ledger: dict,
     scanned = {(h, d) for h, days in days_by_host.items() for d in days}
     consumed_days: set[int] = set()
     for d in range(max_present_day + 1):
-        cells = by_day.get(day_index_to_date(d), ())
+        cells = by_day.get(period_label(d, period), ())
         if all(c in ledger or c in scanned for c in cells):
             consumed_days.add(d)
 
@@ -286,7 +303,7 @@ def _plan_append(archive: HostArchive, ledger: dict,
         d = 0
         while d <= limit and consumed(d):
             d += 1
-        return d * DAY
+        return d * period
 
     delta.watermark_before = watermark(max_ledger_day, consumed_before)
     delta.watermark_after = watermark(
@@ -296,7 +313,7 @@ def _plan_append(archive: HostArchive, ledger: dict,
         candidates=candidates, consumed_days=consumed_days,
         watermark_before=delta.watermark_before,
         watermark_after=delta.watermark_after,
-        delta=delta, ledger_base=manifest,
+        delta=delta, ledger_base=manifest, period=period,
     )
 
 
@@ -310,28 +327,32 @@ def _plan_windowed(archive: HostArchive, entries: list[AccountingEntry],
     block falls in day ``through_day`` or later is deferred whole — the
     append run re-parses its tail-overlap days via the lookback rule.
     """
+    period = _archive_period(archive)
+    # The CLI window stays day-granular; on a sub-day archive it simply
+    # covers every whole segment inside those days.
+    through_seg = (through_day * DAY) // period
     manifest = archive.manifest()
     delta = DeltaSummary()
     days_by_host: dict[str, set[str]] = {}
     for (host, day) in manifest:
-        if date_to_day_index(day) < through_day:
+        if label_to_period_index(day, period) < through_seg:
             days_by_host.setdefault(host, set()).add(day)
             delta.files_new += 1
         else:
             delta.files_skipped += 1
-    consumed_days = set(range(through_day))
+    consumed_days = set(range(through_seg))
     candidates = []
     for entry in entries:
-        if _span_days(entry)[1] < through_day:
+        if _span_segments(entry, period)[1] < through_seg:
             candidates.append(entry)
         else:
             delta.jobs_deferred += 1
-    delta.watermark_after = through_day * DAY
+    delta.watermark_after = through_seg * period
     return _DeltaPlan(
         days_by_host={h: tuple(sorted(d)) for h, d in days_by_host.items()},
         candidates=candidates, consumed_days=consumed_days,
         watermark_before=0, watermark_after=delta.watermark_after,
-        delta=delta, ledger_base=manifest,
+        delta=delta, ledger_base=manifest, period=period,
     )
 
 

@@ -82,6 +82,28 @@ CREATE TABLE IF NOT EXISTS ingest_runs (
 );
 """
 
+# Live-mode per-job cumulative counters: one row per (system, jobid,
+# metric) holding the *latest* monotonic counter value and its sample
+# time.  Deliberately outside the snapshot frame tables (jobs /
+# job_metrics / system_series / syslog_events): live micro-batches
+# upsert here at high cadence and readers (repro-top, /api/v1/live/*)
+# go straight to SQL, so the columnar snapshot never rebuilds over it.
+# Written with IF NOT EXISTS so it doubles as the on-open migration,
+# same pattern as the ingest ledger.
+_LIVE_SCHEMA = """
+CREATE TABLE IF NOT EXISTS live_job_counters (
+    system TEXT NOT NULL,
+    jobid  TEXT NOT NULL,
+    user   TEXT NOT NULL,
+    app    TEXT NOT NULL,
+    t      REAL NOT NULL,
+    ended  INTEGER NOT NULL,
+    metric TEXT NOT NULL,
+    value  INTEGER NOT NULL,
+    PRIMARY KEY (system, jobid, metric)
+);
+"""
+
 _SCHEMA = """
 CREATE TABLE meta (
     key   TEXT PRIMARY KEY,
@@ -141,7 +163,7 @@ CREATE INDEX idx_jobs_field ON jobs(system, science_field);
 CREATE INDEX idx_metrics_metric ON job_metrics(system, metric);
 CREATE INDEX idx_metrics_covering ON job_metrics(system, metric, jobid, value);
 CREATE INDEX idx_syslog_job ON syslog_events(system, jobid);
-""" + _LEDGER_SCHEMA
+""" + _LEDGER_SCHEMA + _LIVE_SCHEMA
 
 
 @dataclass(frozen=True)
@@ -233,8 +255,10 @@ class Warehouse:
                     "CREATE INDEX IF NOT EXISTS idx_metrics_covering "
                     "ON job_metrics(system, metric, jobid, value)"
                 )
-                # Same deal for the incremental-ingest ledger tables.
+                # Same deal for the incremental-ingest ledger tables
+                # and the live-mode counter table.
                 self._conn.executescript(_LEDGER_SCHEMA)
+                self._conn.executescript(_LIVE_SCHEMA)
             except sqlite3.OperationalError:
                 pass  # read-only file: queries still work, just slower
 
@@ -599,6 +623,63 @@ class Warehouse:
                         sort_keys=True)),
         )
         self._mutated()
+
+    # -- live counters -----------------------------------------------------------
+
+    def record_live_counters(self, system: str,
+                             rows: list[tuple]) -> None:
+        """Upsert the latest live counter sample per job metric.
+
+        *rows* are ``(jobid, user, app, t, ended, metric, value)``
+        tuples; ``value`` is a cumulative monotonic counter (wrapped at
+        the rate engine's counter width), ``t`` the facility time it
+        was observed, ``ended`` whether the job has finished (its final
+        counters; ``t`` stops advancing, so rate engines age it out).
+        """
+        self._conn.executemany(
+            "INSERT INTO live_job_counters VALUES (?,?,?,?,?,?,?,?) "
+            "ON CONFLICT(system, jobid, metric) DO UPDATE SET "
+            "t = excluded.t, ended = excluded.ended, "
+            "value = excluded.value",
+            [(system, *row) for row in rows],
+        )
+        get_registry().counter("warehouse.rows.live_counters").inc(
+            len(rows))
+        self._mutated()
+
+    def live_counters(self, system: str) -> list[dict]:
+        """Every job's latest live counter samples, one dict per job:
+        ``{"jobid", "user", "app", "t", "ended", "counters": {metric:
+        value}}``, sorted by jobid.  Empty for warehouses that predate
+        live mode (read-only legacy files skip the migration)."""
+        if not self._has_table("live_job_counters"):
+            return []
+        rows = self._conn.execute(
+            "SELECT jobid, user, app, t, ended, metric, value "
+            "FROM live_job_counters WHERE system=? ORDER BY jobid, metric",
+            (system,),
+        ).fetchall()
+        out: dict[str, dict] = {}
+        for jobid, user, app, t, ended, metric, value in rows:
+            job = out.setdefault(jobid, {
+                "jobid": jobid, "user": user, "app": app,
+                "t": t, "ended": bool(ended), "counters": {},
+            })
+            job["counters"][metric] = int(value)
+            job["t"] = max(job["t"], t)
+            job["ended"] = job["ended"] or bool(ended)
+        return list(out.values())
+
+    def live_high_water(self, system: str) -> float:
+        """The newest live counter sample time for *system* (0.0 when
+        none) — what the long-poll watch endpoint compares against."""
+        if not self._has_table("live_job_counters"):
+            return 0.0
+        row = self._conn.execute(
+            "SELECT COALESCE(MAX(t), 0.0) FROM live_job_counters "
+            "WHERE system=?", (system,),
+        ).fetchone()
+        return float(row[0])
 
     def ingest_runs(self, system: str) -> list[dict]:
         """All recorded ingest runs for *system*, oldest first."""

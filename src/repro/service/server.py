@@ -16,8 +16,16 @@ Routes (all JSON unless noted)::
     GET  /api/v1/query/group_by      ?system=&dimension=&metrics=a,b
     GET  /api/v1/timeseries/{name}   ?system=           stored series
     GET  /api/v1/federation/overview cross-cluster rollup
+    GET  /api/v1/live/top            ?system=&n=&order_by=&user=&app=
+    GET  /api/v1/live/watch          ?system=&since=&timeout=  long-poll
     POST /api/v1/refresh             adopt external ingest commits
     GET  /metrics                    Prometheus text 0.0.4
+
+The live endpoints bypass the per-tenant L1 cache (their responses are
+a function of the calling client's previous poll — see
+:meth:`~repro.service.state.ServiceState.live_top`); ``/metrics``
+refreshes the ``service.snapshot.age_seconds`` staleness gauge on
+every scrape.
 
 In federation mode (``repro-serve --federation DIR``) the query and
 timeseries endpoints additionally accept ``system=all`` for the
@@ -219,7 +227,8 @@ class RequestHandler(BaseHTTPRequestHandler):
         if len(parts) >= 3 and parts[:2] == ["api", "v1"]:
             name = parts[2]
             if name in ("health", "systems", "clusters", "report",
-                        "query", "timeseries", "refresh", "federation"):
+                        "query", "timeseries", "refresh", "federation",
+                        "live"):
                 return name
         return "unknown"
 
@@ -230,6 +239,7 @@ class RequestHandler(BaseHTTPRequestHandler):
             if method != "GET":
                 raise ServiceError("method_not_allowed",
                                    "/metrics is GET-only")
+            state.snapshot_age_seconds()  # freshen the staleness gauge
             text = to_prometheus(get_registry().snapshot())
             return 200, text.encode(), "text/plain; version=0.0.4"
 
@@ -274,8 +284,49 @@ class RequestHandler(BaseHTTPRequestHandler):
                 system=one_param(params, "system"),
                 series=tail[0],
                 tenant=self._tenant(params)))
+        if head == "live" and tail == ["top"]:
+            return self._json_ok(state.live_top(
+                system=one_param(params, "system"),
+                n=self._int_param(params, "n", 5),
+                order_by=one_param(params, "metric", "flops_gf"),
+                user=one_param(params, "user"),
+                app=one_param(params, "app"),
+                client=self._tenant(params)))
+        if head == "live" and tail == ["watch"]:
+            since = one_param(params, "since")
+            return self._json_ok(state.live_watch(
+                system=one_param(params, "system"),
+                since=self._float_param(params, "since")
+                if since is not None else None,
+                timeout=self._float_param(params, "timeout", 15.0)))
         raise ServiceError("unknown_endpoint",
                            f"no such endpoint {self.path!r}")
+
+    @staticmethod
+    def _int_param(params: dict[str, list[str]], name: str,
+                   default: int) -> int:
+        raw = one_param(params, name)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            raise ServiceError(
+                "bad_request",
+                f"{name} must be an integer, got {raw!r}") from None
+
+    @staticmethod
+    def _float_param(params: dict[str, list[str]], name: str,
+                     default: float = 0.0) -> float:
+        raw = one_param(params, name)
+        if raw is None:
+            return default
+        try:
+            return float(raw)
+        except ValueError:
+            raise ServiceError(
+                "bad_request",
+                f"{name} must be a number, got {raw!r}") from None
 
     @staticmethod
     def _json_ok(body: dict) -> tuple[int, bytes, str]:

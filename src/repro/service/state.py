@@ -20,6 +20,13 @@ and return JSON-able dicts or raise
 text is byte-identical to ``repro-report`` output for the same query —
 both run the same report classes over the same snapshot machinery.
 
+The live view endpoints (``/api/v1/live/top``, ``/api/v1/live/watch``)
+sit outside that stack on purpose: their responses depend on the
+calling client's previous poll (per-client
+:class:`~repro.live.rates.RateEngine` state) or on blocking for new
+data, so they bypass the L1 cache and read the live counter table
+directly.  See docs/OBSERVABILITY.md ("Live monitoring").
+
 Federation mode (``federation_root=``) serves a directory of warehouse
 shards through the same stack: single-system requests route to the
 owning shard (same code path, so responses match single-warehouse
@@ -33,9 +40,13 @@ docs/FEDERATION.md.
 from __future__ import annotations
 
 import threading
+import time
+from collections import OrderedDict
 
 from repro.ingest.summarize import SUMMARY_METRICS
 from repro.ingest.warehouse import Warehouse
+from repro.live.rates import RateEngine, top_jobs, total_rates
+from repro.live.runner import LIVE_COUNTER_METRICS
 from repro.service.cache import TenantReportCache
 from repro.service.coalesce import SingleFlight
 from repro.service.protocol import ServiceError
@@ -99,6 +110,20 @@ class ServiceState:
                                          max_tenants=max_tenants)
                        if report_cache else None)
         self._refresh_lock = threading.Lock()
+        # Snapshot staleness: when the served stamp last changed.
+        self._stamp_lock = threading.Lock()
+        self._last_stamp: object = None
+        self._stamp_time = time.monotonic()
+        # Live view state: one RateEngine per (client, system) — the
+        # between-query windows belong to that client's poll cadence,
+        # so engines are never shared.  LRU-bounded like the tenant
+        # cache so an open endpoint can't grow state without bound.
+        self._engines_lock = threading.Lock()
+        self._engines: OrderedDict[tuple[str, str], RateEngine] = \
+            OrderedDict()
+        self._max_engines = max(max_tenants, 1)
+        self._watchers_lock = threading.Lock()
+        self._watchers = 0
 
     def close(self) -> None:
         """Release the warehouse (or every shard) connection."""
@@ -158,10 +183,34 @@ class ServiceState:
                 "changed": snap.generation != before,
             }
 
+    def snapshot_age_seconds(self) -> float:
+        """Seconds since the served snapshot stamp last changed.
+
+        Dashboards alert on this: a live deployment refreshing every
+        few minutes should never see it grow past a couple of batch
+        periods.  Updating the observation also publishes the
+        ``service.snapshot.age_seconds`` gauge, so both ``/metrics``
+        scrapes and ``/api/v1/health`` keep it current.
+        """
+        if self.federation is not None:
+            stamp: object = tuple(sorted(
+                self.federation.generations().items()))
+        else:
+            stamp = self.warehouse.data_version
+        now = time.monotonic()
+        with self._stamp_lock:
+            if stamp != self._last_stamp:
+                self._last_stamp = stamp
+                self._stamp_time = now
+            age = now - self._stamp_time
+        get_registry().gauge("service.snapshot.age_seconds").set(age)
+        return age
+
     # -- endpoints ----------------------------------------------------------
 
     def health(self) -> dict:
         """``GET /api/v1/health``: liveness plus warehouse identity."""
+        age = round(self.snapshot_age_seconds(), 3)
         if self.federation is not None:
             return {
                 "status": "ok",
@@ -169,12 +218,14 @@ class ServiceState:
                 "clusters": self.federation.clusters,
                 "systems": self.federation.all_systems(),
                 "generations": self.federation.generations(),
+                "snapshot_age_seconds": age,
             }
         return {
             "status": "ok",
             "warehouse": self.warehouse_path,
             "systems": self.warehouse.systems(),
             "generation": self.warehouse.generation,
+            "snapshot_age_seconds": age,
         }
 
     def systems(self) -> dict:
@@ -451,6 +502,118 @@ class ServiceState:
         if self._cache is not None:
             self._cache.put(tenant, key, payload)
         return {**body, **payload, "cached": False, "coalesced": coalesced}
+
+    # -- live view ----------------------------------------------------------
+
+    def _live_warehouse(self, system: str) -> Warehouse:
+        if self.federation is None:
+            return self.warehouse
+        return self.federation.shard(self.federation.shard_of(system))
+
+    def _engine_for(self, client: str, system: str) -> RateEngine:
+        """The *client*'s rate engine for *system* (LRU-bounded)."""
+        key = (client, system)
+        with self._engines_lock:
+            engine = self._engines.get(key)
+            if engine is None:
+                engine = self._engines[key] = RateEngine()
+                while len(self._engines) > self._max_engines:
+                    self._engines.popitem(last=False)
+            else:
+                self._engines.move_to_end(key)
+            return engine
+
+    def live_top(self, system: str | None, n: int = 5,
+                 order_by: str = "flops_gf", user: str | None = None,
+                 app: str | None = None,
+                 client: str = DEFAULT_TENANT) -> dict:
+        """``GET /api/v1/live/top``: top-N jobs by between-query rate.
+
+        Deliberately **bypasses the L1 cache**: the response is a
+        function of the calling client's previous poll (its rate
+        engine state), so a cached body would hand one client another
+        client's window — and the underlying counter read is a single
+        indexed SQL scan, far cheaper than a report render.  The
+        ``client`` parameter (defaulting to the tenant) names the
+        engine; a client polling at its own cadence always gets rates
+        over *its* windows.  The first poll only baselines
+        (``baseline: true``, no rates yet), exactly like glljobstat's
+        first interval.
+        """
+        system = self._check_system(system)
+        if order_by not in LIVE_COUNTER_METRICS:
+            raise ServiceError(
+                "unknown_metric", f"unknown live metric {order_by!r}",
+                {"known": list(LIVE_COUNTER_METRICS)})
+        if not 1 <= n <= 1000:
+            raise ServiceError("bad_request",
+                               f"n must be in 1..1000, got {n}")
+        warehouse = self._live_warehouse(system)
+        samples = warehouse.live_counters(system)
+        engine = self._engine_for(client, system)
+        # Engines serialize their own observe: two in-flight polls
+        # from one client must not interleave window state.
+        with self._engines_lock:
+            rates = engine.observe(samples)
+        top = top_jobs(rates, n=n, order_by=order_by, user=user,
+                       app=app)
+        get_registry().counter("live.top_requests").inc()
+        return {
+            "system": system,
+            "order_by": order_by,
+            "n": n,
+            "t": max((s["t"] for s in samples), default=0.0),
+            "jobs_observed": len(samples),
+            "baseline": bool(samples) and not rates,
+            "total": total_rates(rates),
+            "jobs": [r.to_dict() for r in top],
+        }
+
+    def live_watch(self, system: str | None, since: float | None = None,
+                   timeout: float = 15.0) -> dict:
+        """``GET /api/v1/live/watch``: long-poll for new live samples.
+
+        Blocks (up to *timeout* seconds, clamped to 30) until the
+        system's live counter high-water time advances past *since*,
+        re-reading the on-disk generation each poll so external
+        micro-batch commits are seen.  With no *since* it returns the
+        current high-water immediately — the bootstrap call.  Never
+        cached (it is a synchronization primitive, not a query); the
+        ``live.watchers`` gauge counts blocked watchers.
+        """
+        system = self._check_system(system)
+        timeout = min(max(float(timeout), 0.0), 30.0)
+        warehouse = self._live_warehouse(system)
+        registry = get_registry()
+        registry.counter("live.watch_requests").inc()
+        gauge = registry.gauge("live.watchers")
+
+        def high_water() -> float:
+            warehouse.reread_generation()
+            return warehouse.live_high_water(system)
+
+        hw = high_water()
+        if since is None or hw > since:
+            return {"system": system, "changed": since is not None,
+                    "t": hw, "generation": warehouse.generation}
+        with self._watchers_lock:
+            self._watchers += 1
+            gauge.set(float(self._watchers))
+        try:
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline:
+                time.sleep(min(0.05, max(deadline - time.monotonic(),
+                                         0.0)))
+                hw = high_water()
+                if hw > since:
+                    return {"system": system, "changed": True, "t": hw,
+                            "generation": warehouse.generation}
+            return {"system": system, "changed": False, "t": hw,
+                    "generation": warehouse.generation}
+        finally:
+            with self._watchers_lock:
+                self._watchers -= 1
+                gauge.set(float(self._watchers))
 
     def _federated_timeseries(self, series: str | None,
                               tenant: str) -> dict:

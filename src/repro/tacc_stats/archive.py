@@ -1,10 +1,20 @@
-"""On-disk archive of per-host stats files with daily rotation.
+"""On-disk archive of per-host stats files with periodic rotation.
 
 Layout mirrors the production deployment::
 
     <root>/<hostname>/<YYYY-MM-DD>        (current, plain text)
     <root>/<hostname>/<YYYY-MM-DD>.gz     (rotated, compressed)
     <root>/<hostname>/<YYYY-MM-DD>.v2     (binary columnar, v2)
+
+Rotation defaults to the production daily cadence; a live streaming
+deployment passes ``rotate_seconds`` to cut sub-day segments instead
+(files named ``YYYY-MM-DDTHHMMSS`` after the segment's start instant).
+The chosen period is persisted in an ``archive.json`` sidecar at the
+root so re-opening a segmented archive needs no knob, and every
+consumer of file labels goes through
+:func:`repro.util.timeutil.period_label` /
+:func:`~repro.util.timeutil.label_to_period_index`, which degrade to
+the historical date stamps when the period is one day.
 
 The archive tracks raw and compressed byte counts so the paper's volume
 claims (0.5 MB/node/day raw, ~3x gzip) can be measured directly
@@ -21,6 +31,7 @@ from __future__ import annotations
 import gzip
 import hashlib
 import io
+import json
 from collections.abc import Collection
 from dataclasses import dataclass
 from pathlib import Path
@@ -44,13 +55,20 @@ from repro.tacc_stats.parser import ParseError, ParseFault, parse_host_text
 from repro.tacc_stats.types import HostData
 from repro.telemetry.metrics import get_registry
 from repro.telemetry.trace import span
-from repro.util.timeutil import DAY, format_epoch
+from repro.util.timeutil import DAY, period_label
 
-__all__ = ["HostArchive", "ArchiveStats", "HostReadResult", "FileFingerprint"]
+__all__ = ["HostArchive", "ArchiveStats", "HostReadResult",
+           "FileFingerprint", "ARCHIVE_META_FILENAME"]
+
+#: Root sidecar recording a non-default rotation period, so reopening a
+#: segmented archive infers its cadence without a knob.
+ARCHIVE_META_FILENAME = "archive.json"
 
 
 def _file_day(path: Path) -> str:
-    """The ``YYYY-MM-DD`` stamp an archived file's name carries."""
+    """The rotation label an archived file's name carries
+    (``YYYY-MM-DD`` for day archives, ``YYYY-MM-DDTHHMMSS`` for
+    sub-day segments)."""
     name = path.name
     if name.endswith(".gz"):
         return name[:-3]
@@ -180,16 +198,42 @@ class HostArchive:
         holds a private session-scoped tally that the coordinator sums,
         and eager seeding over the shared, concurrently-growing root
         would double-count sibling workers' files.
+    rotate_seconds:
+        Rotation period in facility seconds (default one day, the
+        production cadence).  A non-default period is persisted in the
+        :data:`ARCHIVE_META_FILENAME` sidecar; reopening the root with
+        the default adopts the stored period, while passing a
+        *different* explicit period raises (a segmented archive's
+        labels only make sense at the cadence that wrote them).
     """
 
     def __init__(self, root: str | Path, compress: bool = True,
-                 resume_stats: bool = True, archive_format: str = "text"):
+                 resume_stats: bool = True, archive_format: str = "text",
+                 rotate_seconds: int | float = DAY):
         if archive_format not in ("text", "v2"):
             raise ValueError(
                 f"archive_format must be 'text' or 'v2', "
                 f"got {archive_format!r}")
+        rotate = int(rotate_seconds)
+        if rotate <= 0 or rotate != rotate_seconds:
+            raise ValueError(f"rotate_seconds must be a positive whole "
+                             f"number of seconds, got {rotate_seconds!r}")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        meta_path = self.root / ARCHIVE_META_FILENAME
+        if meta_path.is_file():
+            stored = int(json.loads(meta_path.read_text())
+                         ["rotate_seconds"])
+            if rotate != DAY and rotate != stored:
+                raise ValueError(
+                    f"archive at {self.root} rotates every {stored}s "
+                    f"(per its {ARCHIVE_META_FILENAME}); cannot reopen "
+                    f"it with rotate_seconds={rotate}")
+            rotate = stored
+        elif rotate != DAY:
+            meta_path.write_text(
+                json.dumps({"rotate_seconds": rotate}) + "\n")
+        self.rotate_seconds = rotate
         self.compress = compress
         self.archive_format = archive_format
         self.resume_stats = resume_stats
@@ -225,27 +269,48 @@ class HostArchive:
 
     def writer(self, hostname: str, t: float,
                properties: dict[str, str] | None = None) -> StatsWriter:
-        """The current writer for *hostname*, rotating at day boundaries.
+        """The current writer for *hostname*, rotating at period
+        boundaries (days by default; see ``rotate_seconds``).
 
         Note: rotation starts a fresh file with its own header, so the
         caller (the daemon) must re-register schemas on each new writer —
         exactly what the real tool does on its daily restart.
         """
-        day = int(t // DAY)
+        seg = int(t // self.rotate_seconds)
         current = self._open.get(hostname)
-        if current is not None and current[0] == day:
+        if current is not None and current[0] == seg:
             return current[1].writer
         if current is not None:
             self._close_file(hostname, current[1])
-        date = format_epoch(day * DAY).split("T")[0]
+        label = period_label(seg, self.rotate_seconds)
         hostdir = self.root / hostname
         hostdir.mkdir(parents=True, exist_ok=True)
-        path = hostdir / date
+        path = hostdir / label
         buffer = io.StringIO()
         writer = StatsWriter(buffer, hostname, properties or {})
         of = _OpenFile(path, writer, buffer)
-        self._open[hostname] = (day, of)
+        self._open[hostname] = (seg, of)
         return writer
+
+    def flush_before(self, t: float) -> int:
+        """Write to disk every open file whose rotation segment ended
+        at or before *t*; returns how many files were closed.
+
+        The live micro-batcher calls this at each batch boundary:
+        rotation alone only closes a host's previous segment when its
+        *next* write arrives, so a host idle across the boundary would
+        otherwise keep a completed segment buffered in memory where the
+        ingest manifest cannot see it.  Open segments that *t* still
+        falls inside are left untouched.
+        """
+        boundary = int(t // self.rotate_seconds)
+        closed = 0
+        for hostname, (seg, of) in sorted(self._open.items()):
+            if seg < boundary:
+                self._close_file(hostname, of)
+                del self._open[hostname]
+                closed += 1
+        return closed
 
     def _close_file(self, hostname: str, of: _OpenFile) -> None:
         text = of.buffer.getvalue()

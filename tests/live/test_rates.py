@@ -1,0 +1,226 @@
+"""Rate-engine math, pinned to hand-computed deltas.
+
+Every expected number here is worked out by hand from the model
+``rate = ((cur - prev) mod 2^48) / dt`` — including a counter that
+wraps between polls and a job that ends mid-window — and the same
+windows are then replayed through the ``repro-top --json`` CLI against
+a real warehouse to prove the operator view prints exactly these
+values.
+"""
+
+import json
+
+import pytest
+
+from repro.live.rates import (
+    COUNTER_WRAP_BITS,
+    JobRates,
+    RateEngine,
+    top_jobs,
+    total_rates,
+)
+
+WRAP = 1 << COUNTER_WRAP_BITS
+
+
+def _sample(jobid, t, ended=False, **counters):
+    return {"jobid": jobid, "user": f"u_{jobid}", "app": "app",
+            "t": float(t), "ended": ended, "counters": counters}
+
+
+# -- two hand-computed windows ----------------------------------------------
+
+
+def test_first_poll_only_baselines():
+    engine = RateEngine()
+    assert engine.observe([_sample("j1", 100.0, flops_gf=500)]) == []
+
+
+def test_two_windows_hand_computed():
+    """Three polls, two windows, every rate checked by hand."""
+    engine = RateEngine()
+    # poll 1 (t=1000): baseline.  flops=100, io=40.
+    assert engine.observe(
+        [_sample("j1", 1000, flops_gf=100, io_mb=40)]) == []
+    # poll 2 (t=1250, dt=250): flops 100->850 = 750/250 = 3.0;
+    # io 40->90 = 50/250 = 0.2.
+    [r] = engine.observe(
+        [_sample("j1", 1250, flops_gf=850, io_mb=90)])
+    assert r.t == 1250.0 and r.dt == 250.0
+    assert r.rates == {"flops_gf": 3.0, "io_mb": 0.2}
+    # poll 3 (t=1350, dt=100): flops 850->1050 = 200/100 = 2.0;
+    # io 90->90 = 0.0 — a stalled counter is rate zero, not absent.
+    [r] = engine.observe(
+        [_sample("j1", 1350, flops_gf=1050, io_mb=90)])
+    assert r.dt == 100.0
+    assert r.rates == {"flops_gf": 2.0, "io_mb": 0.0}
+
+
+def test_counter_wrap_mid_window():
+    """A counter that rolls over 2^48 still yields the true increment."""
+    engine = RateEngine()
+    engine.observe([_sample("j1", 0, flops_gf=WRAP - 50)])
+    # t=0 -> t=25: counter wrapped to 30; true delta = 50 + 30 = 80,
+    # so rate = 80 / 25 = 3.2 — never a huge negative number.
+    [r] = engine.observe([_sample("j1", 25, flops_gf=30)])
+    assert r.rates == {"flops_gf": 80 / 25}
+    assert r.rates["flops_gf"] == pytest.approx(3.2)
+
+
+def test_job_ending_mid_window_yields_one_final_rate():
+    """A job ending between polls gets one partial-window rate (its
+    final counters, over prev.t .. end), then ages out."""
+    engine = RateEngine()
+    engine.observe([_sample("j1", 1000, flops_gf=100),
+                    _sample("j2", 1000, flops_gf=10)])
+    # j1 ended at t=1100 with final flops=400; the publisher stamps its
+    # last sample at the end time.  Window is 100 s, not the 200 s the
+    # still-running j2 saw: rate = 300/100 = 3.0.
+    out = engine.observe([
+        _sample("j1", 1100, ended=True, flops_gf=400),
+        _sample("j2", 1200, flops_gf=50),
+    ])
+    assert [(r.jobid, r.dt, r.ended) for r in out] == [
+        ("j1", 100.0, True), ("j2", 200.0, False)]
+    assert out[0].rates == {"flops_gf": 3.0}
+    assert out[1].rates == {"flops_gf": 0.2}
+    # Next poll: j1's sample time no longer advances -> no rate row.
+    out = engine.observe([
+        _sample("j1", 1100, ended=True, flops_gf=400),
+        _sample("j2", 1300, flops_gf=80),
+    ])
+    assert [r.jobid for r in out] == ["j2"]
+
+
+def test_vanished_job_is_forgotten():
+    engine = RateEngine()
+    engine.observe([_sample("j1", 100, flops_gf=5)])
+    assert engine.observe([]) == []
+    # j1 reappears: it must re-baseline, not difference a stale prev.
+    assert engine.observe([_sample("j1", 900, flops_gf=999)]) == []
+
+
+def test_new_metric_needs_its_own_baseline():
+    engine = RateEngine()
+    engine.observe([_sample("j1", 100, flops_gf=10)])
+    [r] = engine.observe([_sample("j1", 200, flops_gf=20, io_mb=7)])
+    assert r.rates == {"flops_gf": 0.1}  # io_mb had no previous value
+
+
+def test_wrap_bits_validation():
+    with pytest.raises(ValueError, match="wrap_bits"):
+        RateEngine(wrap_bits=0)
+
+
+# -- ranking and filtering ---------------------------------------------------
+
+
+def _rows():
+    return [
+        JobRates("j1", "alice", "wrf", 100, 10, False,
+                 {"flops_gf": 5.0, "io_mb": 9.0}),
+        JobRates("j2", "bob", "vasp", 100, 10, False,
+                 {"flops_gf": 8.0, "io_mb": 1.0}),
+        JobRates("j3", "alice", "vasp", 100, 10, True,
+                 {"flops_gf": 8.0}),
+    ]
+
+
+def test_top_jobs_orders_and_breaks_ties_by_jobid():
+    top = top_jobs(_rows(), n=2, order_by="flops_gf")
+    assert [r.jobid for r in top] == ["j2", "j3"]  # 8.0 tie -> j2 first
+
+
+def test_top_jobs_other_metric_missing_ranks_zero():
+    top = top_jobs(_rows(), n=3, order_by="io_mb")
+    assert [r.jobid for r in top] == ["j1", "j2", "j3"]
+
+
+def test_top_jobs_filters():
+    assert [r.jobid for r in top_jobs(_rows(), user="alice")] == \
+        ["j3", "j1"]
+    assert [r.jobid for r in top_jobs(_rows(), app="vasp",
+                                      user="bob")] == ["j2"]
+    with pytest.raises(ValueError, match="n must be"):
+        top_jobs(_rows(), n=0)
+
+
+def test_total_rates_sums_per_metric():
+    assert total_rates(_rows()) == {"flops_gf": 21.0, "io_mb": 10.0}
+    assert total_rates([]) == {}
+
+
+# -- the CLI prints exactly these numbers ------------------------------------
+
+
+class _InstantSleep:
+    """Stands in for the time module inside repro.cli.top: ``sleep``
+    runs the between-polls warehouse mutation instead of waiting."""
+
+    def __init__(self, actions):
+        self.actions = list(actions)
+
+    def sleep(self, _seconds):
+        if self.actions:
+            self.actions.pop(0)()
+
+
+def test_repro_top_json_matches_hand_computed_deltas(
+        tmp_path, monkeypatch, capsys):
+    """Three polls of ``repro-top --json``: the printed rates equal the
+    hand-computed window deltas, wrap case and mid-window end included."""
+    from repro.cli import top as top_cli
+    from repro.ingest.warehouse import Warehouse
+
+    path = str(tmp_path / "live.sqlite")
+    wh = Warehouse(path)
+    # The CLI validates --system against the systems table first.
+    wh.add_system("ranger", 4, 16, 32.0, 0.6, 600.0)
+
+    def put(rows):
+        wh.record_live_counters("ranger", rows)
+        wh.commit()
+
+    # Poll 1 state (t=1000): j1 and j2 baselines.
+    put([("j1", "alice", "wrf", 1000.0, 0, "flops_gf", 100),
+         ("j1", "alice", "wrf", 1000.0, 0, "net_mpi_mb", WRAP - 50),
+         ("j2", "bob", "vasp", 1000.0, 0, "flops_gf", 10)])
+
+    def second_state():
+        # t=1250 (dt=250): j1 flops 100->850 (rate 3.0), net wraps to
+        # 30 (delta 80, rate 0.32); j2 ended at t=1100 with final
+        # flops 40 (dt=100, rate 0.3).
+        put([("j1", "alice", "wrf", 1250.0, 0, "flops_gf", 850),
+             ("j1", "alice", "wrf", 1250.0, 0, "net_mpi_mb", 30),
+             ("j2", "bob", "vasp", 1100.0, 1, "flops_gf", 40)])
+
+    def third_state():
+        # t=1350 (dt=100): j1 flops 850->1050 (rate 2.0), net
+        # 30->40 (rate 0.1); j2's time no longer advances.
+        put([("j1", "alice", "wrf", 1350.0, 0, "flops_gf", 1050),
+             ("j1", "alice", "wrf", 1350.0, 0, "net_mpi_mb", 40)])
+
+    monkeypatch.setattr(
+        top_cli, "time", _InstantSleep([second_state, third_state]))
+    assert top_cli.main(["--warehouse", path, "--system", "ranger",
+                         "-r", "3", "--json"]) == 0
+    wh.close()
+
+    polls = [json.loads(line)
+             for line in capsys.readouterr().out.splitlines()]
+    assert len(polls) == 3
+    assert polls[0]["baseline"] is True and polls[0]["jobs"] == []
+
+    second = {j["jobid"]: j for j in polls[1]["jobs"]}
+    assert second["j1"]["rates"] == {"flops_gf": 3.0,
+                                     "net_mpi_mb": 0.32}
+    assert second["j1"]["dt"] == 250.0
+    assert second["j2"] == {
+        "jobid": "j2", "user": "bob", "app": "vasp", "t": 1100.0,
+        "dt": 100.0, "ended": True, "rates": {"flops_gf": 0.3}}
+    assert polls[1]["total"]["flops_gf"] == pytest.approx(3.3)
+
+    # Third window: only j1 still advances; the ranking is by flops.
+    assert [j["jobid"] for j in polls[2]["jobs"]] == ["j1"]
+    assert polls[2]["jobs"][0]["rates"] == {"flops_gf": 2.0,
+                                            "net_mpi_mb": 0.1}

@@ -327,3 +327,87 @@ def test_diagnose_without_warehouse_or_telemetry_dies(capsys):
     assert rc != 0
     assert "--warehouse and --system are required" in \
         capsys.readouterr().err
+
+
+def test_simulate_live_end_to_end(tmp_path, capsys):
+    """--live streams the horizon, prints per-batch lines, records the
+    live section in the manifest, and repro-top reads the result."""
+    from repro.cli.top import main as top_main
+    from repro.telemetry.manifest import RunManifest
+
+    wh = str(tmp_path / "live.sqlite")
+    manifest_path = str(tmp_path / "live_manifest.json")
+    rc = simulate_main([
+        "--system", "ranger", "--nodes", "3", "--days", "1",
+        "--users", "5", "--seed", "5", "--warehouse", wh,
+        "--archive", str(tmp_path / "archive"), "--live",
+        "--live-segment-seconds", str(6 * 3600),
+        "--telemetry-out", manifest_path,
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "[live] batch=0" in out
+    assert "live complete" in out
+
+    manifest = RunManifest.read(manifest_path)
+    live = manifest.extra["live"]
+    assert live["complete"] is True
+    assert live["batches"] == len(live["snapshot_rows"])
+    assert live["snapshot_rows"] == sorted(live["snapshot_rows"])
+    assert manifest.metrics.counters["live.batches"] == live["batches"]
+
+    rc = top_main(["--warehouse", wh, "--system", "ranger", "-r", "1"])
+    assert rc == 0
+    assert "repro-top — system ranger" in capsys.readouterr().out
+
+
+def test_simulate_live_flag_validation(tmp_path, capsys):
+    wh = str(tmp_path / "wh.sqlite")
+    cases = [
+        (["--live", "--warehouse", wh], "requires --archive"),
+        (["--live", "--warehouse", wh, "--archive",
+          str(tmp_path / "a"), "--append"], "incremental ingest"),
+        (["--live", "--warehouse", wh, "--archive",
+          str(tmp_path / "a"), "--live-segment-seconds", "0"],
+         "--live-segment-seconds"),
+        (["--live", "--federation", str(tmp_path / "fed")],
+         "batch-only"),
+    ]
+    for argv, needle in cases:
+        rc = simulate_main(argv)
+        assert rc != 0
+        assert needle in capsys.readouterr().err
+
+
+def test_repro_top_validation(tmp_path, capsys):
+    from repro.cli.top import main as top_main
+
+    rc = top_main(["--warehouse", str(tmp_path / "nope.sqlite"),
+                   "--system", "ranger", "-n", "0"])
+    assert rc != 0
+    assert "--count" in capsys.readouterr().err
+
+    from repro.ingest.warehouse import Warehouse
+    path = str(tmp_path / "empty.sqlite")
+    Warehouse(path).close()
+    rc = top_main(["--warehouse", path, "--system", "ranger"])
+    assert rc != 0
+    assert "unknown system" in capsys.readouterr().err
+
+    rc = top_main(["--url", "http://127.0.0.1:1", "--system", "ranger",
+                   "-r", "1"])
+    assert rc != 0
+    assert "cannot reach" in capsys.readouterr().err
+
+
+def test_diagnose_telemetry_empty_spans_explicit(tmp_path, capsys):
+    """A manifest with no spans gets an explicit line, not silence."""
+    from repro.cli.diagnose import main as diagnose_main
+    from repro.telemetry.manifest import build_manifest
+
+    manifest = build_manifest(systems=["ranger"])
+    manifest.stages = []
+    path = manifest.write(str(tmp_path / "empty.json"))
+    rc = diagnose_main(["--telemetry", str(path)])
+    assert rc == 0
+    assert "no spans recorded" in capsys.readouterr().out
