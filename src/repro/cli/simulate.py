@@ -103,6 +103,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "(docs/FORMAT.md); ingest autodetects per "
                              "file and both produce byte-identical "
                              "warehouses")
+    parser.add_argument("--synthesis", choices=("fast", "scalar"),
+                        default="fast",
+                        help="replay engine for --archive runs: the "
+                             "vectorized per-node synthesis (batched "
+                             "collector kernels, direct-to-v2 column "
+                             "writes; default) or the per-sample scalar "
+                             "daemon loop kept as the oracle — both "
+                             "produce byte-identical archives and "
+                             "warehouses")
     parser.add_argument("--workers", type=int, default=1,
                         help="process-parallel node replay for --archive "
                              "runs (output is byte-identical)")
@@ -261,6 +270,8 @@ def _run_federation(args) -> int:
         return die("--ingest-days requires --with-archives")
     if args.archive_format != "text" and not args.with_archives:
         return die("--archive-format requires --with-archives")
+    if args.synthesis != "fast" and not args.with_archives:
+        return die("--synthesis requires --with-archives")
     try:
         root, plans, existed = _federation_plans(args)
     except ValueError as e:
@@ -291,6 +302,7 @@ def _run_federation(args) -> int:
                     append=args.append,
                     through_day=args.ingest_days,
                     archive_format=args.archive_format,
+                    synthesis=args.synthesis,
                     fast_writes=args.fast_writes,
                     with_syslog=not args.no_syslog,
                 )
@@ -341,7 +353,8 @@ def _run_live(args, cfg, facility, warehouse) -> int:
         session = LiveSession(
             facility, args.archive, warehouse=warehouse,
             segment_seconds=args.live_segment_seconds,
-            batch_segments=args.live_batch_segments)
+            batch_segments=args.live_batch_segments,
+            synthesis=args.synthesis)
     except ValueError as e:
         return die(str(e))
 
@@ -463,6 +476,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.archive_format != "text" and not args.archive:
         return die("--archive-format requires --archive (the fast path "
                    "writes no files)")
+    if args.synthesis != "fast" and not args.archive:
+        return die("--synthesis requires --archive (without an archive "
+                   "no replay runs at all)")
     if args.ingest_days is not None:
         if not args.archive:
             return die("--ingest-days requires --archive")
@@ -505,7 +521,8 @@ def main(argv: list[str] | None = None) -> int:
                     max_retries=args.max_retries,
                     ingest_mode="append" if args.append else "full",
                     ingest_through_day=args.ingest_days,
-                    archive_format=args.archive_format)
+                    archive_format=args.archive_format,
+                    synthesis=args.synthesis)
             else:
                 run = facility.run(warehouse=warehouse,
                                    with_syslog=not args.no_syslog)

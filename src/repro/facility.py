@@ -39,6 +39,7 @@ from repro.syslogr.generator import SyslogGenerator
 from repro.syslogr.rationalizer import Rationalizer
 from repro.tacc_stats.archive import ArchiveStats, HostArchive
 from repro.tacc_stats.daemon import TaccStatsDaemon
+from repro.tacc_stats.synth import NodeSynth
 from repro.telemetry.metrics import (
     MetricsRegistry,
     MetricsSnapshot,
@@ -92,6 +93,34 @@ def _build_behavior(cfg: FacilityConfig, users: dict, util_scale: float,
     )
 
 
+def _noise_stream_factory(rng_factory: RngFactory, prefix: str, ni: int):
+    """Collector-noise stream factory for one node.
+
+    Streams are named ``<prefix>/noise/<node>/<collector>``, so every
+    draw sequence is fully determined by (seed, node, collector) — the
+    determinism contract shared by the scalar daemon, the vectorized
+    synthesis engine, and any worker-count decomposition of the replay.
+    """
+    def stream(name: str) -> np.random.Generator:
+        return rng_factory.stream(f"{prefix}/noise/{ni}/{name}")
+    return stream
+
+
+def _node_chunks(num_nodes: int, workers: int) -> list[list[int]]:
+    """Split node indices across *workers*, one non-empty chunk each.
+
+    Workers are clamped to the node count: strided splitting with more
+    workers than nodes would produce empty chunks, and dispatching a
+    pool task that opens an archive handle only to write nothing is
+    pure overhead.  The stride keeps each chunk's cost balanced when
+    job placement favours low node indices.
+    """
+    n_workers = min(max(workers, 1), max(num_nodes, 1))
+    all_nodes = list(range(num_nodes))
+    return [all_nodes[i::n_workers] for i in range(n_workers) if
+            all_nodes[i::n_workers]]
+
+
 def _replay_nodes(
     cfg: FacilityConfig,
     seed: int,
@@ -104,6 +133,7 @@ def _replay_nodes(
     archive_dir: str,
     compress: bool,
     archive_format: str = "text",
+    synthesis: str = "fast",
 ) -> tuple[ArchiveStats, MetricsSnapshot]:
     """Replay a set of nodes' daemons into the shared archive directory.
 
@@ -119,7 +149,8 @@ def _replay_nodes(
     with use_registry(local):
         stats = _replay_nodes_body(
             cfg, seed, users, util_scale, phase_calibration, regressions,
-            records, node_indices, archive_dir, compress, archive_format)
+            records, node_indices, archive_dir, compress, archive_format,
+            synthesis)
     return stats, local.snapshot()
 
 
@@ -135,9 +166,14 @@ def _replay_nodes_body(
     archive_dir: str,
     compress: bool,
     archive_format: str = "text",
+    synthesis: str = "fast",
 ) -> ArchiveStats:
     """The actual daemon replay; see :func:`_replay_nodes`."""
     from repro.cluster.node import Node
+
+    if synthesis not in ("fast", "scalar"):
+        raise ValueError(
+            f"synthesis must be 'fast' or 'scalar', got {synthesis!r}")
 
     rng_factory = RngFactory(seed)
     prefix = cfg.stream_prefix
@@ -172,13 +208,22 @@ def _replay_nodes_body(
         node = Node(index=ni,
                     hostname=f"c{ni // 100:03d}-{ni % 100:03d}.{cfg.name}",
                     hardware=cfg.node)
-        daemon = TaccStatsDaemon(
-            node,
-            rng_factory.stream(f"{prefix}/noise/{ni}"),
-            writer=lambda t, h=node.hostname: archive.writer(h, t),
-            lustre_mounts=lustre,
-            nfs_mounts=nfs,
-        )
+        # Per-collector noise streams keyed (seed, node, collector): each
+        # collector's draw sequence is independent of its siblings and of
+        # how nodes are chunked across workers, and identical between the
+        # scalar daemon and the vectorized synthesis engine.
+        noise = _noise_stream_factory(rng_factory, prefix, ni)
+        if synthesis == "fast":
+            engine = NodeSynth(node, noise, archive,
+                               lustre_mounts=lustre, nfs_mounts=nfs)
+        else:
+            engine = TaccStatsDaemon(
+                node,
+                noise,
+                writer=lambda t, h=node.hostname: archive.writer(h, t),
+                lustre_mounts=lustre,
+                nfs_mounts=nfs,
+            )
         # Same-instant ordering: end < periodic tick < begin, so a
         # back-to-back allocation (next job starts the second the
         # previous one releases the node) replays correctly.
@@ -186,19 +231,29 @@ def _replay_nodes_body(
             (t, 1, None) for t in ticks
         ]
         for start, end, record, slot in per_node.get(ni, []):
-            events.append((start, 2, ("begin", record, slot)))
-            events.append((end, 0, ("end", record)))
+            if end > start:
+                events.append((start, 2, ("begin", record, slot)))
+                events.append((end, 0, ("end", record)))
+            else:
+                # Zero-duration allocation (a job truncated at the
+                # horizon): its end would sort *before* its begin under
+                # the same-instant rule, so fire both back to back.
+                events.append((start, 2, ("beginend", record, slot)))
         events.sort(key=lambda e: (e[0], e[1]))
         for t, kind, payload in events:
             if kind == 1:
-                daemon.sample(t)
+                engine.sample(t)
             elif kind == 2:
-                _tag, record, slot = payload
-                daemon.begin_job(record.jobid, t,
+                tag, record, slot = payload
+                engine.begin_job(record.jobid, t,
                                  behaviors[record.jobid], slot)
+                if tag == "beginend":
+                    engine.end_job(record.jobid, t)
             else:
                 _tag, record = payload
-                daemon.end_job(record.jobid, t)
+                engine.end_job(record.jobid, t)
+        if synthesis == "fast":
+            engine.flush()
     return archive.close()
 
 
@@ -448,6 +503,7 @@ class Facility:
         ingest_mode: str = "full",
         ingest_through_day: int | None = None,
         archive_format: str = "text",
+        synthesis: str = "fast",
     ) -> FacilityRun:
         """Slow path: daemons write the text format; ingest parses it back.
 
@@ -470,7 +526,12 @@ class Facility:
         *archive_format* selects the daemons' on-disk format
         (``"text"`` or ``"v2"`` columnar); ingest autodetects per file,
         and both formats produce byte-identical warehouses (asserted by
-        tests and the columnar bench).
+        tests and the columnar bench).  *synthesis* selects the replay
+        engine: ``"fast"`` (default) runs the vectorized per-node
+        synthesis (:class:`~repro.tacc_stats.synth.NodeSynth`, batched
+        collector kernels, direct-to-v2 column writes); ``"scalar"``
+        runs the per-sample daemon loop.  Both produce byte-identical
+        archives and warehouses (asserted by property tests).
         """
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -481,22 +542,21 @@ class Facility:
             cfg, self.seed, workload.users, workload.util_scale,
             self.phase_calibration, self.regressions, sim.records,
         )
-        all_nodes = list(range(cfg.num_nodes))
         with span("facility.replay", system=cfg.name, workers=workers):
             if workers == 1:
                 archive_stats, replay_metrics = _replay_nodes(
-                    *replay_args, all_nodes, archive_dir, compress,
-                    archive_format)
+                    *replay_args, list(range(cfg.num_nodes)), archive_dir,
+                    compress, archive_format, synthesis)
                 get_registry().merge_snapshot(replay_metrics)
             else:
                 import multiprocessing
 
-                chunks = [all_nodes[i::workers] for i in range(workers)]
-                with multiprocessing.Pool(workers) as pool:
+                chunks = _node_chunks(cfg.num_nodes, workers)
+                with multiprocessing.Pool(len(chunks)) as pool:
                     partials = pool.map(_replay_nodes_star, [
                         (*replay_args, chunk, archive_dir, compress,
-                         archive_format)
-                        for chunk in chunks if chunk
+                         archive_format, synthesis)
+                        for chunk in chunks
                     ])
                 archive_stats = ArchiveStats()
                 for p, snap in partials:

@@ -27,7 +27,7 @@ from dataclasses import asdict, dataclass
 import numpy as np
 
 from repro.config import FacilityConfig
-from repro.facility import Facility, _build_behavior
+from repro.facility import Facility, _build_behavior, _noise_stream_factory
 from repro.ingest.pipeline import DeltaSummary, IngestPipeline
 from repro.ingest.summarize import summarize_job_from_rates
 from repro.ingest.warehouse import Warehouse
@@ -39,6 +39,7 @@ from repro.syslogr.generator import SyslogGenerator
 from repro.syslogr.rationalizer import Rationalizer
 from repro.tacc_stats.archive import HostArchive
 from repro.tacc_stats.daemon import TaccStatsDaemon
+from repro.tacc_stats.synth import NodeSynth
 from repro.telemetry.metrics import get_registry
 from repro.telemetry.trace import span
 from repro.util.rng import RngFactory
@@ -80,12 +81,16 @@ class LiveReplay:
     def __init__(self, cfg: FacilityConfig, seed: int, users: dict,
                  util_scale: float, phase_calibration: dict | None,
                  regressions: tuple, records: list[JobRecord],
-                 archive: HostArchive):
+                 archive: HostArchive, synthesis: str = "fast"):
         from repro.cluster.node import Node
 
+        if synthesis not in ("fast", "scalar"):
+            raise ValueError(
+                f"synthesis must be 'fast' or 'scalar', got {synthesis!r}")
         rng_factory = RngFactory(seed)
         prefix = cfg.stream_prefix
         self.archive = archive
+        self.synthesis = synthesis
         per_node: dict[int, list[tuple[float, float, JobRecord, int]]] = {}
         for record in records:
             for slot, ni in enumerate(record.node_indices):
@@ -111,19 +116,31 @@ class LiveReplay:
                 index=ni,
                 hostname=f"c{ni // 100:03d}-{ni % 100:03d}.{cfg.name}",
                 hardware=cfg.node)
-            daemon = TaccStatsDaemon(
-                node,
-                rng_factory.stream(f"{prefix}/noise/{ni}"),
-                writer=lambda t, h=node.hostname: archive.writer(h, t),
-                lustre_mounts=lustre,
-                nfs_mounts=nfs,
-            )
+            noise = _noise_stream_factory(rng_factory, prefix, ni)
+            if synthesis == "fast":
+                daemon = NodeSynth(node, noise, archive,
+                                   lustre_mounts=lustre, nfs_mounts=nfs)
+            else:
+                daemon = TaccStatsDaemon(
+                    node,
+                    noise,
+                    writer=lambda t, h=node.hostname: archive.writer(h, t),
+                    lustre_mounts=lustre,
+                    nfs_mounts=nfs,
+                )
             events: list[tuple[float, int, object]] = [
                 (t, 1, None) for t in ticks
             ]
             for start, end, record, slot in per_node.get(ni, []):
-                events.append((start, 2, ("begin", record, slot)))
-                events.append((end, 0, ("end", record)))
+                if end > start:
+                    events.append((start, 2, ("begin", record, slot)))
+                    events.append((end, 0, ("end", record)))
+                else:
+                    # Zero-duration allocation (a job truncated at the
+                    # horizon): its end would sort *before* its begin
+                    # under the same-instant rule, so fire both back to
+                    # back.
+                    events.append((start, 2, ("beginend", record, slot)))
             events.sort(key=lambda e: (e[0], e[1]))
             self._nodes.append([daemon, events, 0])
         self.clock = 0.0
@@ -142,15 +159,22 @@ class LiveReplay:
                 if kind == 1:
                     daemon.sample(t)
                 elif kind == 2:
-                    _tag, record, slot = payload
+                    tag, record, slot = payload
                     daemon.begin_job(record.jobid, t,
                                      self.behaviors[record.jobid], slot)
+                    if tag == "beginend":
+                        daemon.end_job(record.jobid, t)
                 else:
                     _tag, record = payload
                     daemon.end_job(record.jobid, t)
                 ptr += 1
                 fired += 1
             state[2] = ptr
+            if self.synthesis == "fast":
+                # Materialize the batch before the caller closes segment
+                # files — the synthesis engine buffers queued samples
+                # until a job-begin boundary or an explicit flush.
+                daemon.flush()
         self.clock = until
         return fired
 
@@ -205,7 +229,7 @@ class LiveSession:
     def __init__(self, facility: Facility, archive_dir: str,
                  warehouse: Warehouse | None = None,
                  segment_seconds: int = HOUR, batch_segments: int = 1,
-                 compress: bool = True):
+                 compress: bool = True, synthesis: str = "fast"):
         seg = int(segment_seconds)
         if seg <= 0 or seg != segment_seconds:
             raise ValueError(f"segment_seconds must be a positive whole "
@@ -225,7 +249,7 @@ class LiveSession:
         self.replay = LiveReplay(
             cfg, facility.seed, workload.users, workload.util_scale,
             facility.phase_calibration, facility.regressions,
-            sim.records, self.archive)
+            sim.records, self.archive, synthesis=synthesis)
 
         acct_buf = io.StringIO()
         AccountingWriter(acct_buf, cfg.node.cores,

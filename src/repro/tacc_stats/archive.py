@@ -32,7 +32,7 @@ import gzip
 import hashlib
 import io
 import json
-from collections.abc import Collection
+from collections.abc import Callable, Collection
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -238,6 +238,11 @@ class HostArchive:
         self.archive_format = archive_format
         self.resume_stats = resume_stats
         self._open: dict[str, tuple[int, _OpenFile]] = {}
+        #: hostname -> callable(writer, text, sha, kind) -> bytes | None.
+        #: The vectorized synthesis engine registers one per host so v2
+        #: files are encoded from its column arrays instead of re-parsing
+        #: the rendered text; a None return falls back to the text path.
+        self._v2_encoders: dict[str, "Callable[..., bytes | None]"] = {}
         self._stats: ArchiveStats | None = None
         #: stored path -> (raw, stored) contribution already counted, so
         #: a resumed writer replacing a host-day on disk swaps its
@@ -292,6 +297,22 @@ class HostArchive:
         self._open[hostname] = (seg, of)
         return writer
 
+    def set_v2_encoder(
+        self, hostname: str,
+        encoder: Callable[[StatsWriter, str, str, str], bytes | None],
+    ) -> None:
+        """Register a direct v2 encoder for *hostname*'s files.
+
+        *encoder* is called at file close as ``encoder(writer, text,
+        source_sha256, source_kind)`` and returns the encoded v2 bytes,
+        or None to fall back to re-parsing the rendered text
+        (:func:`~repro.tacc_stats.columnar.encode_host_text`).  The
+        vectorized synthesis engine uses this to write its column
+        arrays straight into v2 chunks.  No-op unless
+        ``archive_format="v2"``.
+        """
+        self._v2_encoders[hostname] = encoder
+
     def flush_before(self, t: float) -> int:
         """Write to disk every open file whose rotation segment ended
         at or before *t*; returns how many files were closed.
@@ -322,8 +343,13 @@ class HostArchive:
             # archive is ledger-identical to the text archive of the
             # same data (manifest() reports this digest for v2 files).
             sha, kind = source_fingerprint_for_text(text, self.compress)
-            data = encode_host_text(text, source_sha256=sha,
-                                    source_kind=kind)
+            data = None
+            encoder = self._v2_encoders.get(hostname)
+            if encoder is not None:
+                data = encoder(of.writer, text, sha, kind)
+            if data is None:
+                data = encode_host_text(text, source_sha256=sha,
+                                        source_kind=kind)
             path.write_bytes(data)
             stored = len(data)
         elif self.compress:

@@ -15,7 +15,15 @@ never roll over within a job.
 
 from __future__ import annotations
 
-from repro.tacc_stats.collectors.base import Collector, SampleContext, core_fractions
+import numpy as np
+
+from repro.tacc_stats.collectors.base import (
+    BlockContext,
+    Collector,
+    SampleContext,
+    core_fractions,
+    core_fractions_block,
+)
 from repro.tacc_stats.schema import SchemaEntry, TypeSchema
 
 __all__ = ["Amd64PmcCollector", "AMD64_EVENT_CODES"]
@@ -99,6 +107,37 @@ class Amd64PmcCollector(Collector):
                       self.noisy(dram_bytes * share * 0.3 / _CACHE_LINE * dt))
             self.bump(dev, "ctr3",
                       self.noisy(ht_bytes * share / _CACHE_LINE * dt))
+
+    def sample_block(self, block: BlockContext) -> np.ndarray:
+        # _user_programmed is constant inside a block: it only changes in
+        # on_job_begin, and the synthesis engine cuts blocks there.
+        n = self.node.hardware.cores
+        dt = np.asarray(block.dts, dtype=np.float64)
+        inc = np.zeros((block.n, n, self._schema.n_values))
+        if self._user_programmed:
+            clock = self.node.hardware.processor.clock_ghz * 1e9
+            tick = np.where((~block.idle) & (dt > 0), 0.25 * clock * dt, 0.0)
+            inc[:, :, 4:] = tick[:, None, None]
+        else:
+            active = core_fractions_block(block.rate("cpu_user_frac"), n)
+            total_active = np.maximum(active.sum(axis=1), 1e-9)
+            share = active / total_active[:, None]
+            node_flops = block.rate("flops_gf") * 1e9
+            dram_bytes = node_flops * 0.8 + block.rate("mem_used_gb") * 1e7
+            ht_bytes = (block.rate("net_mpi_mb") * 1e6) * 1.5
+            # Idle and dt <= 0 rows end up with zero amounts (share or dt
+            # is zero), which matches the scalar guard's early return.
+            ds = dram_bytes[:, None] * share
+            amounts = np.stack([
+                node_flops[:, None] * share * dt[:, None],
+                ds / _CACHE_LINE * dt[:, None],
+                ds * 0.3 / _CACHE_LINE * dt[:, None],
+                ht_bytes[:, None] * share / _CACHE_LINE * dt[:, None],
+            ], axis=-1)
+            inc[:, :, 4:] = self.noisy_block(amounts)
+        # ctl gauges stay at their carried values (set by on_job_begin);
+        # a zero increment through the cumsum leaves them bit-identical.
+        return self.wrap_block(self.accumulate_block(inc))
 
     @property
     def user_programmed(self) -> bool:

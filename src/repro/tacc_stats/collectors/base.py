@@ -21,7 +21,8 @@ from repro.cluster.node import Node
 from repro.tacc_stats.schema import TypeSchema
 from repro.workload.applications import RATE_INDEX
 
-__all__ = ["SampleContext", "Collector", "core_fractions"]
+__all__ = ["SampleContext", "BlockContext", "Collector", "core_fractions",
+           "core_fractions_block"]
 
 
 @dataclass(frozen=True)
@@ -52,6 +53,49 @@ class SampleContext:
         if self.rates is None:
             return default
         return float(self.rates[RATE_INDEX[name]])
+
+
+@dataclass(frozen=True)
+class BlockContext:
+    """A whole batch of consecutive invocations, for vectorized kernels.
+
+    One BlockContext covers samples that share collector state (no PMC
+    reprogramming boundary inside it).  ``rates`` rows where ``idle`` is
+    True are placeholders (zeros) — kernels must route idle samples
+    through their defaults exactly as the scalar path does, which
+    :meth:`rate` handles for the common case.
+
+    Attributes
+    ----------
+    times:
+        ``[T]`` facility epoch seconds, strictly ordered.
+    dts:
+        ``[T]`` seconds since the previous invocation (0 at daemon start).
+    rates:
+        ``[T, n_fields]`` node-level rate matrix (zero rows when idle).
+    idle:
+        ``[T]`` bool — True where the scalar path saw ``rates=None``.
+    jobids:
+        Per-sample job tags (serialization only; collectors ignore it).
+    """
+
+    times: np.ndarray
+    dts: np.ndarray
+    rates: np.ndarray
+    idle: np.ndarray
+    jobids: tuple[tuple[str, ...], ...] = ()
+
+    @property
+    def n(self) -> int:
+        return self.times.shape[0]
+
+    def rate(self, name: str, default: float = 0.0) -> np.ndarray:
+        """``[T]`` named rate, with the idle-node default applied."""
+        return np.where(self.idle, default, self.rates[:, RATE_INDEX[name]])
+
+    def rates_row(self, i: int) -> np.ndarray | None:
+        """The scalar-path ``rates`` argument for sample *i*."""
+        return None if self.idle[i] else self.rates[i]
 
 
 class Collector(ABC):
@@ -141,6 +185,84 @@ class Collector(ABC):
             return 0.0
         return amount * float(self.rng.lognormal(0.0, self.NOISE_SIGMA))
 
+    # -- vectorized (block) machinery ----------------------------------------
+
+    def sample_block(self, block: BlockContext) -> np.ndarray:
+        """Advance through a whole block; return ``[T, D, K]`` uint64 rows.
+
+        The base implementation falls back to the scalar path one sample
+        at a time, so any collector without a batched kernel stays
+        bit-identical automatically.  Kernel overrides must consume their
+        RNG stream in exactly the scalar draw order (time-major, then the
+        per-sample order of ``advance``) and leave ``self._acc`` at the
+        end-of-block state so scalar and vectorized processing can be
+        freely interleaved.
+        """
+        out = np.empty(
+            (block.n, len(self._devices), self._schema.n_values),
+            dtype=np.uint64)
+        for i in range(block.n):
+            ctx = SampleContext(
+                time=float(block.times[i]), dt=float(block.dts[i]),
+                rates=block.rates_row(i),
+                jobids=block.jobids[i] if block.jobids else ())
+            for d, (_device, values) in enumerate(self.sample(ctx)):
+                out[i, d] = values
+        return out
+
+    def noisy_block(self, amounts: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`noisy` over an array of increments.
+
+        Draws one lognormal per strictly-positive amount, in C order —
+        exactly the sequence the scalar path consumes when it visits the
+        same amounts one at a time (``noisy`` skips the draw entirely
+        for ``amount <= 0``).
+        """
+        amounts = np.ascontiguousarray(amounts, dtype=np.float64)
+        out = np.zeros_like(amounts)
+        flat = amounts.reshape(-1)
+        mask = flat > 0
+        n = int(mask.sum())
+        if n:
+            draws = self.rng.lognormal(0.0, self.NOISE_SIGMA, size=n)
+            out.reshape(-1)[mask] = flat[mask] * draws
+        return out
+
+    def _carry(self) -> np.ndarray:
+        """``[D, K]`` float accumulator state, in device order."""
+        return np.stack([self._acc[d] for d in self._devices])
+
+    def _store_carry(self, acc_last: np.ndarray) -> None:
+        """Write the end-of-block ``[D, K]`` state back into ``_acc``."""
+        for i, d in enumerate(self._devices):
+            self._acc[d] = acc_last[i].astype(np.float64, copy=True)
+
+    def accumulate_block(self, inc: np.ndarray) -> np.ndarray:
+        """Integrate per-sample increments ``[T, D, K]`` from the carried
+        accumulator state; returns the ``[T, D, K]`` float accumulator
+        trajectory and stores the final state back in ``_acc``.
+
+        ``np.cumsum`` over the carry-prefixed series reproduces the
+        scalar path's sequential ``+=`` bit-for-bit (same left-to-right
+        float addition order).
+        """
+        acc0 = self._carry()
+        acc = np.cumsum(
+            np.concatenate([acc0[None, :, :], inc], axis=0), axis=0)[1:]
+        self._store_carry(acc[-1] if inc.shape[0] else acc0)
+        return acc
+
+    def wrap_block(self, acc: np.ndarray) -> np.ndarray:
+        """Render float accumulators as the registers' uint64 values.
+
+        ``int(v) % 2**w`` of the scalar path, vectorized: all schema
+        widths are powers of two, so truncation plus a mask is exact for
+        every magnitude the synthesizer produces (far below 2**63).
+        """
+        masks = np.array([e.modulus - 1 for e in self._schema.entries],
+                         dtype=np.uint64)
+        return acc.astype(np.int64).astype(np.uint64) & masks
+
 
 def core_fractions(node_fraction: float, n_cores: int) -> np.ndarray:
     """Distribute a node-level busy fraction across cores, fill-first.
@@ -158,4 +280,21 @@ def core_fractions(node_fraction: float, n_cores: int) -> np.ndarray:
     out[:full] = 1.0
     if full < n_cores:
         out[full] = total - full
+    return out
+
+
+def core_fractions_block(node_fraction: np.ndarray, n_cores: int) -> np.ndarray:
+    """:func:`core_fractions` for a ``[T]`` vector → ``[T, n_cores]``.
+
+    Matches the scalar function bit-for-bit: clip only affects
+    out-of-range inputs, ``int()`` truncates toward zero (inputs are
+    non-negative after the clip), and the fractional core gets the exact
+    ``total - full`` remainder.
+    """
+    f = np.clip(np.asarray(node_fraction, dtype=np.float64), 0.0, 1.0)
+    total = f * n_cores
+    full = total.astype(np.int64)
+    out = (np.arange(n_cores)[None, :] < full[:, None]).astype(np.float64)
+    rows = np.flatnonzero(full < n_cores)
+    out[rows, full[rows]] = total[rows] - full[rows]
     return out

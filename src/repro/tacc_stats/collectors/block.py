@@ -3,7 +3,9 @@
 
 from __future__ import annotations
 
-from repro.tacc_stats.collectors.base import Collector, SampleContext
+import numpy as np
+
+from repro.tacc_stats.collectors.base import BlockContext, Collector, SampleContext
 from repro.tacc_stats.schema import SchemaEntry, TypeSchema
 
 __all__ = ["BlockCollector"]
@@ -46,3 +48,21 @@ class BlockCollector(Collector):
             self.bump(dev, "rd_sectors", rb / _SECTOR)
             self.bump(dev, "wr_ios", wb / _IO_BYTES)
             self.bump(dev, "rd_ios", rb / _IO_BYTES)
+
+    def sample_block(self, block: BlockContext) -> np.ndarray:
+        dt = np.asarray(block.dts, dtype=np.float64)
+        n_dev = len(self.devices)
+        per_dev = block.rate("block_mb", 0.005) / n_dev
+        # Per sample, per device: write then read draws.
+        amounts = np.repeat(
+            np.stack([per_dev * 0.7 * 1e6 * dt, per_dev * 0.3 * 1e6 * dt],
+                     axis=-1)[:, None, :],
+            n_dev, axis=1)
+        b = self.noisy_block(amounts)
+        wb, rb = b[..., 0], b[..., 1]
+        inc = np.empty((block.n, n_dev, self._schema.n_values))
+        inc[..., 0] = rb / _SECTOR
+        inc[..., 1] = wb / _SECTOR
+        inc[..., 2] = rb / _IO_BYTES
+        inc[..., 3] = wb / _IO_BYTES
+        return self.wrap_block(self.accumulate_block(inc))

@@ -10,7 +10,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.tacc_stats.collectors.base import Collector, SampleContext, core_fractions
+from repro.tacc_stats.collectors.base import (
+    BlockContext,
+    Collector,
+    SampleContext,
+    core_fractions,
+    core_fractions_block,
+)
 from repro.tacc_stats.schema import SchemaEntry, TypeSchema
 
 __all__ = ["CpuCollector"]
@@ -79,3 +85,47 @@ class CpuCollector(Collector):
             self.bump(dev, "irq", irq)
             self.bump(dev, "softirq", soft)
             self.bump(dev, "idle", dt_cs - busy)
+
+    def sample_block(self, block: BlockContext) -> np.ndarray:
+        n = self.node.hardware.cores
+        dt_cs = np.asarray(block.dts, dtype=np.float64) * 100.0
+        user_f = block.rate("cpu_user_frac")
+        sys_f = block.rate("cpu_sys_frac", _IDLE_SYS_FRAC)
+        wait_f = block.rate("cpu_iowait_frac")
+        sys_c = np.minimum(sys_f, 1.0)
+        cap = np.maximum(1.0 - sys_c, 1e-6)
+        per_core_user = (
+            core_fractions_block(np.minimum(user_f / cap, 1.0), n)
+            * cap[:, None])
+        per_core_sys = np.repeat(sys_c[:, None], n, axis=1)
+        per_core_wait = (
+            core_fractions_block(np.minimum(wait_f / cap, 1.0), n)[:, ::-1]
+            * cap[:, None])
+        # Draw order matches the scalar loop: time-major, then per core
+        # the (user, system, iowait) triple.  dt <= 0 rows contribute
+        # zero amounts, so — like the scalar early return — they draw
+        # nothing and bump nothing.
+        amounts = (
+            np.stack([per_core_user, per_core_sys, per_core_wait], axis=-1)
+            * dt_cs[:, None, None])
+        usw = self.noisy_block(amounts)
+        u, s, w = usw[..., 0], usw[..., 1], usw[..., 2]
+        irq = np.repeat((_IDLE_IRQ_FRAC * dt_cs)[:, None], n, axis=1)
+        soft = 0.5 * irq
+        busy = u + s + w + irq + soft
+        cap_cs = dt_cs[:, None]
+        over = busy > cap_cs
+        idle = cap_cs - busy
+        if over.any():
+            scale = np.broadcast_to(cap_cs, busy.shape)[over] / busy[over]
+            for arr in (u, s, w, irq, soft):
+                arr[over] = arr[over] * scale
+            idle[over] = 0.0
+        inc = np.zeros((block.n, n, self._schema.n_values))
+        inc[..., 0] = u
+        inc[..., 2] = s
+        inc[..., 3] = idle
+        inc[..., 4] = w
+        inc[..., 5] = irq
+        inc[..., 6] = soft
+        return self.wrap_block(self.accumulate_block(inc))

@@ -14,7 +14,9 @@ from these counters.
 
 from __future__ import annotations
 
-from repro.tacc_stats.collectors.base import Collector, SampleContext
+import numpy as np
+
+from repro.tacc_stats.collectors.base import BlockContext, Collector, SampleContext
 from repro.tacc_stats.schema import SchemaEntry, TypeSchema
 from repro.workload.behavior import DerivedRates
 
@@ -61,3 +63,22 @@ class IbCollector(Collector):
             self.bump(dev, "port_rcv_data", rx_b / _WORD)
             self.bump(dev, "port_xmit_pkts", tx_b / _MTU)
             self.bump(dev, "port_rcv_pkts", rx_b / _MTU)
+
+    def sample_block(self, block: BlockContext) -> np.ndarray:
+        dt = np.asarray(block.dts, dtype=np.float64)
+        tx_mb = np.where(block.idle, 0.01, DerivedRates.ib_tx_mb(block.rates))
+        rx_mb = np.where(block.idle, 0.01, DerivedRates.ib_rx_mb(block.rates))
+        n_dev = len(self.devices)
+        # Per sample, per device: tx then rx draws (amounts identical
+        # across devices, draws independent).
+        amounts = np.repeat(
+            np.stack([tx_mb * 1e6 * dt, rx_mb * 1e6 * dt], axis=-1)[:, None, :],
+            n_dev, axis=1)
+        b = self.noisy_block(amounts)
+        tx_b, rx_b = b[..., 0], b[..., 1]
+        inc = np.empty((block.n, n_dev, self._schema.n_values))
+        inc[..., 0] = tx_b / _WORD
+        inc[..., 1] = rx_b / _WORD
+        inc[..., 2] = tx_b / _MTU
+        inc[..., 3] = rx_b / _MTU
+        return self.wrap_block(self.accumulate_block(inc))

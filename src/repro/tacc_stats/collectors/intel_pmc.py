@@ -12,7 +12,15 @@ incomparability is reproduced, not papered over.
 
 from __future__ import annotations
 
-from repro.tacc_stats.collectors.base import Collector, SampleContext, core_fractions
+import numpy as np
+
+from repro.tacc_stats.collectors.base import (
+    BlockContext,
+    Collector,
+    SampleContext,
+    core_fractions,
+    core_fractions_block,
+)
 from repro.tacc_stats.schema import SchemaEntry, TypeSchema
 
 __all__ = ["IntelPmcCollector", "INTEL_EVENT_CODES", "FP_OVERCOUNT"]
@@ -102,6 +110,38 @@ class IntelPmcCollector(Collector):
                       self.noisy(qpi_bytes * share / _CACHE_LINE * dt))
             self.bump(dev, "ctr2",
                       self.noisy(0.35 * clock * active[c] * dt))
+
+    def sample_block(self, block: BlockContext) -> np.ndarray:
+        # _user_programmed is constant inside a block (see amd64_pmc).
+        n = self.node.hardware.cores
+        dt = np.asarray(block.dts, dtype=np.float64)
+        clock = self.node.hardware.processor.clock_ghz * 1e9
+        active = core_fractions_block(block.rate("cpu_user_frac"), n)
+        inc = np.zeros((block.n, n, self._schema.n_values))
+        if self._user_programmed:
+            # Idle rows have active == 0, so they contribute nothing —
+            # same as the scalar guard.
+            ipc = 1.1 * active
+            mask = ((~block.idle) & (dt > 0)).astype(np.float64)
+            inc[:, :, 0] = ipc * clock * dt[:, None] * mask[:, None]
+            inc[:, :, 4:] = (active * clock * dt[:, None] * mask[:, None])[:, :, None]
+        else:
+            total_active = np.maximum(active.sum(axis=1), 1e-9)
+            share = active / total_active[:, None]
+            node_flops = block.rate("flops_gf") * 1e9
+            qpi_bytes = (block.rate("net_mpi_mb") * 1e6) * 1.5 \
+                + block.rate("mem_used_gb") * 1e7
+            ipc = 1.1 * active
+            amounts = np.stack([
+                ipc * clock * dt[:, None],
+                node_flops[:, None] * FP_OVERCOUNT * share * dt[:, None],
+                qpi_bytes[:, None] * share / _CACHE_LINE * dt[:, None],
+                0.35 * clock * active * dt[:, None],
+            ], axis=-1)
+            drawn = self.noisy_block(amounts)
+            inc[:, :, 0] = drawn[..., 0]
+            inc[:, :, 4:] = drawn[..., 1:]
+        return self.wrap_block(self.accumulate_block(inc))
 
     @property
     def user_programmed(self) -> bool:

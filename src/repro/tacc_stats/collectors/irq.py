@@ -3,7 +3,9 @@
 
 from __future__ import annotations
 
-from repro.tacc_stats.collectors.base import Collector, SampleContext
+import numpy as np
+
+from repro.tacc_stats.collectors.base import BlockContext, Collector, SampleContext
 from repro.tacc_stats.schema import SchemaEntry, TypeSchema
 from repro.workload.behavior import DerivedRates
 
@@ -51,3 +53,23 @@ class IrqCollector(Collector):
         self.bump("-", "ib", self.noisy(ib_mb * 1e6 / _IB_MTU / 8.0 * dt))
         block_mb = ctx.rate("block_mb", 0.005)
         self.bump("-", "block", self.noisy(block_mb * 1e6 / (64 * 1024) * dt))
+
+    def sample_block(self, block: BlockContext) -> np.ndarray:
+        dt = np.asarray(block.dts, dtype=np.float64)
+        cores = self.node.hardware.cores
+        eth_mb = block.rate("net_eth_mb", 0.002)
+        ib_mb = np.where(
+            block.idle, 0.01,
+            DerivedRates.ib_tx_mb(block.rates) + DerivedRates.ib_rx_mb(block.rates))
+        block_mb = block.rate("block_mb", 0.005)
+        # Per sample: eth, ib, block draws (timer is deterministic).
+        amounts = np.stack([
+            eth_mb * 1e6 / _ETH_MTU * dt,
+            ib_mb * 1e6 / _IB_MTU / 8.0 * dt,
+            block_mb * 1e6 / (64 * 1024) * dt,
+        ], axis=-1)
+        drawn = self.noisy_block(amounts)
+        inc = np.empty((block.n, 1, self._schema.n_values))
+        inc[:, 0, 0] = _TIMER_HZ * cores * dt
+        inc[:, 0, 1:] = drawn
+        return self.wrap_block(self.accumulate_block(inc))

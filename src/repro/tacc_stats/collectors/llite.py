@@ -8,7 +8,9 @@ the ``write_bytes`` column here.
 
 from __future__ import annotations
 
-from repro.tacc_stats.collectors.base import Collector, SampleContext
+import numpy as np
+
+from repro.tacc_stats.collectors.base import BlockContext, Collector, SampleContext
 from repro.tacc_stats.schema import SchemaEntry, TypeSchema
 
 __all__ = ["LliteCollector"]
@@ -60,6 +62,25 @@ class LliteCollector(Collector):
             self.bump(mount, "close", opens)
             self.bump(mount, "getattr", opens * 5.0)
 
+    def sample_block(self, block: BlockContext) -> np.ndarray:
+        dt = np.asarray(block.dts, dtype=np.float64)
+        n_m = len(self.devices)
+        amounts = np.empty((block.n, n_m, 2))
+        for m, mount in enumerate(self.devices):
+            amounts[:, m, 0] = self.rate_block(block, f"io_{mount}_write_mb") * 1e6 * dt
+            amounts[:, m, 1] = self.rate_block(block, f"io_{mount}_read_mb") * 1e6 * dt
+        # Per sample, per mount: write then read draws.
+        b = self.noisy_block(amounts)
+        wb, rb = b[..., 0], b[..., 1]
+        opens = (wb + rb) / (_RPC_BYTES * 64) + (0.002 * dt)[:, None]
+        inc = np.empty((block.n, n_m, self._schema.n_values))
+        inc[..., 0] = rb
+        inc[..., 1] = wb
+        inc[..., 2] = opens
+        inc[..., 3] = opens
+        inc[..., 4] = opens * 5.0
+        return self.wrap_block(self.accumulate_block(inc))
+
     @staticmethod
     def rate(ctx: SampleContext, name: str) -> float:
         """Rate lookup tolerating mounts absent from the canonical vector
@@ -70,3 +91,11 @@ class LliteCollector(Collector):
             return ctx.rate(name)
         except KeyError:
             return 0.0
+
+    @staticmethod
+    def rate_block(block: BlockContext, name: str) -> np.ndarray:
+        """Block analogue of :meth:`rate` (zeros for unknown mounts)."""
+        try:
+            return block.rate(name, 0.0)
+        except KeyError:
+            return np.zeros(block.n)

@@ -8,7 +8,9 @@ overhead); it rides the InfiniBand fabric on both of the paper's systems.
 
 from __future__ import annotations
 
-from repro.tacc_stats.collectors.base import Collector, SampleContext
+import numpy as np
+
+from repro.tacc_stats.collectors.base import BlockContext, Collector, SampleContext
 from repro.tacc_stats.schema import SchemaEntry, TypeSchema
 from repro.workload.behavior import DerivedRates
 
@@ -53,3 +55,19 @@ class LnetCollector(Collector):
         self.bump("-", "rx_bytes", rx_b)
         self.bump("-", "tx_msgs", tx_b / _MSG_BYTES + 0.01 * dt)
         self.bump("-", "rx_msgs", rx_b / _MSG_BYTES + 0.01 * dt)
+
+    def sample_block(self, block: BlockContext) -> np.ndarray:
+        dt = np.asarray(block.dts, dtype=np.float64)
+        floor = DerivedRates.LNET_FLOOR_MB
+        tx_mb = np.where(block.idle, floor, DerivedRates.lnet_tx_mb(block.rates))
+        rx_mb = np.where(block.idle, floor, DerivedRates.lnet_rx_mb(block.rates))
+        # Per sample: tx then rx draws.
+        amounts = np.stack([tx_mb * 1e6 * dt, rx_mb * 1e6 * dt], axis=-1)
+        b = self.noisy_block(amounts)
+        tx_b, rx_b = b[:, 0], b[:, 1]
+        inc = np.empty((block.n, 1, self._schema.n_values))
+        inc[:, 0, 0] = tx_b
+        inc[:, 0, 1] = rx_b
+        inc[:, 0, 2] = tx_b / _MSG_BYTES + 0.01 * dt
+        inc[:, 0, 3] = rx_b / _MSG_BYTES + 0.01 * dt
+        return self.wrap_block(self.accumulate_block(inc))

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.tacc_stats.collectors.base import Collector, SampleContext
+from repro.tacc_stats.collectors.base import BlockContext, Collector, SampleContext
 from repro.tacc_stats.schema import SchemaEntry, TypeSchema
 from repro.util.units import GB, KB
 
@@ -67,3 +67,34 @@ class MemCollector(Collector):
             self.set_gauge(dev, "Cached", cached_kb * 0.88)
             self.set_gauge(dev, "Active", used_kb * 0.6)
             self.set_gauge(dev, "Dirty", cached_kb * 0.02)
+
+    def sample_block(self, block: BlockContext) -> np.ndarray:
+        hw = self.node.hardware
+        sockets = hw.sockets
+        total_kb_per_socket = hw.memory_bytes / sockets / KB
+
+        used_gb = np.minimum(
+            block.rate("mem_used_gb", 0.0) + _BASE_OS_GB,
+            hw.memory_gb * 0.995)
+        cache_gb = np.minimum(block.rate("mem_cache_gb", 0.3), used_gb * 0.95)
+
+        weights = np.full(sockets, 1.0)
+        weights[0] = 1.35
+        weights /= weights.sum()
+        used_kb = np.minimum(
+            (used_gb * GB / KB)[:, None] * weights[None, :],
+            total_kb_per_socket * 0.999)
+        cached_kb = np.minimum(
+            (cache_gb * GB / KB)[:, None] * weights[None, :],
+            used_kb * 0.95)
+        vals = np.empty((block.n, sockets, self._schema.n_values))
+        vals[..., 0] = total_kb_per_socket
+        vals[..., 1] = used_kb
+        vals[..., 2] = total_kb_per_socket - used_kb
+        vals[..., 3] = cached_kb * 0.12
+        vals[..., 4] = cached_kb * 0.88
+        vals[..., 5] = used_kb * 0.6
+        vals[..., 6] = cached_kb * 0.02
+        if block.n:
+            self._store_carry(vals[-1])
+        return self.wrap_block(vals)

@@ -10,7 +10,9 @@ data, as it was in production.
 
 from __future__ import annotations
 
-from repro.tacc_stats.collectors.base import Collector, SampleContext
+import numpy as np
+
+from repro.tacc_stats.collectors.base import BlockContext, Collector, SampleContext
 from repro.tacc_stats.schema import SchemaEntry, TypeSchema
 
 __all__ = ["NetCollector"]
@@ -57,3 +59,23 @@ class NetCollector(Collector):
             self.bump(dev, "rx_bytes", rx)
             self.bump(dev, "tx_packets", tx / _MTU)
             self.bump(dev, "rx_packets", rx / _MTU)
+
+    def sample_block(self, block: BlockContext) -> np.ndarray:
+        dt = np.asarray(block.dts, dtype=np.float64)
+        eth_mb = block.rate("net_eth_mb", 0.002)
+        mpi_mb = block.rate("net_mpi_mb")
+        mb = np.empty((block.n, len(self.devices)))
+        for d, dev in enumerate(self.devices):
+            mb[:, d] = mpi_mb * _IPOIB_SHARE if dev.startswith("ib") else eth_mb
+        # Per sample, per device: the scalar draws tx then rx.  Keep the
+        # scalar's left-to-right association: (mb * 1e6) * dt [* 0.9].
+        base = mb * 1e6 * dt[:, None]
+        amounts = np.stack([base, base * 0.9], axis=-1)
+        txrx = self.noisy_block(amounts)
+        tx, rx = txrx[..., 0], txrx[..., 1]
+        inc = np.empty((block.n, len(self.devices), self._schema.n_values))
+        inc[..., 0] = rx
+        inc[..., 1] = tx
+        inc[..., 2] = rx / _MTU
+        inc[..., 3] = tx / _MTU
+        return self.wrap_block(self.accumulate_block(inc))

@@ -11,7 +11,9 @@ non-scratch/work mount a system has — Lustre ``share`` on Ranger, NFS
 
 from __future__ import annotations
 
-from repro.tacc_stats.collectors.base import Collector, SampleContext
+import numpy as np
+
+from repro.tacc_stats.collectors.base import BlockContext, Collector, SampleContext
 from repro.tacc_stats.schema import SchemaEntry, TypeSchema
 
 __all__ = ["NfsCollector"]
@@ -61,3 +63,23 @@ class NfsCollector(Collector):
             self.bump(mount, "read_bytes", rb)
             self.bump(mount, "rpc_ops", ops)
             self.bump(mount, "retrans", 1e-4 * ops)
+
+    def sample_block(self, block: BlockContext) -> np.ndarray:
+        dt = np.asarray(block.dts, dtype=np.float64)
+        n_m = len(self.devices)
+        w = block.rate("io_share_write_mb", 0.0)
+        r = block.rate("io_share_read_mb", 0.0)
+        # Per sample, per mount: write then read draws (amounts identical
+        # across mounts, draws independent).
+        amounts = np.repeat(
+            np.stack([w * 1e6 * dt, r * 1e6 * dt], axis=-1)[:, None, :],
+            n_m, axis=1)
+        b = self.noisy_block(amounts)
+        wb, rb = b[..., 0], b[..., 1]
+        ops = (wb + rb) / _RPC_BYTES + (0.01 * dt)[:, None]
+        inc = np.empty((block.n, n_m, self._schema.n_values))
+        inc[..., 0] = rb
+        inc[..., 1] = wb
+        inc[..., 2] = ops
+        inc[..., 3] = 1e-4 * ops
+        return self.wrap_block(self.accumulate_block(inc))

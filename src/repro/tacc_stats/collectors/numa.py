@@ -3,7 +3,9 @@
 
 from __future__ import annotations
 
-from repro.tacc_stats.collectors.base import Collector, SampleContext
+import numpy as np
+
+from repro.tacc_stats.collectors.base import BlockContext, Collector, SampleContext
 from repro.tacc_stats.schema import SchemaEntry, TypeSchema
 
 __all__ = ["NumaCollector"]
@@ -55,3 +57,24 @@ class NumaCollector(Collector):
             self.bump(dev, "numa_foreign", miss)
             self.bump(dev, "local_node", hit)
             self.bump(dev, "other_node", miss)
+
+    def sample_block(self, block: BlockContext) -> np.ndarray:
+        io_mb = (
+            block.rate("io_scratch_write_mb") + block.rate("io_scratch_read_mb")
+            + block.rate("io_work_write_mb") + block.rate("io_work_read_mb")
+            + block.rate("block_mb")
+        )
+        churn_mb = io_mb + 0.05 * block.rate("mem_used_gb") * 1024 / 600.0 + 0.01
+        pages_per_s = churn_mb * 1024.0 / _PAGE_KB
+        sockets = self.node.hardware.sockets
+        # One draw per sample (shared by every socket), same as scalar.
+        per_socket = self.noisy_block(pages_per_s * block.dts) / sockets
+        miss = per_socket * _MISS_FRAC
+        hit = per_socket - miss
+        inc = np.empty((block.n, sockets, self._schema.n_values))
+        inc[..., 0] = hit[:, None]
+        inc[..., 1] = miss[:, None]
+        inc[..., 2] = miss[:, None]
+        inc[..., 3] = hit[:, None]
+        inc[..., 4] = miss[:, None]
+        return self.wrap_block(self.accumulate_block(inc))

@@ -5,7 +5,9 @@ of MPI ranks on the node."""
 
 from __future__ import annotations
 
-from repro.tacc_stats.collectors.base import Collector, SampleContext
+import numpy as np
+
+from repro.tacc_stats.collectors.base import BlockContext, Collector, SampleContext
 from repro.tacc_stats.schema import SchemaEntry, TypeSchema
 from repro.util.units import MB
 
@@ -45,3 +47,15 @@ class SysvShmCollector(Collector):
         segs = ranks if net > 0.5 else 1
         self.set_gauge("-", "used_count", segs)
         self.set_gauge("-", "used_bytes", segs * _SEG_MB * MB)
+
+    def sample_block(self, block: BlockContext) -> np.ndarray:
+        cores = self.node.hardware.cores
+        ranks = np.maximum(1.0, np.round(block.rate("cpu_user_frac") * cores))
+        segs = np.where(block.rate("net_mpi_mb") > 0.5, ranks, 1.0)
+        segs = np.where(block.idle, 0.0, segs)
+        vals = np.empty((block.n, 1, self._schema.n_values))
+        vals[:, 0, 0] = segs
+        vals[:, 0, 1] = segs * _SEG_MB * MB
+        if block.n:
+            self._store_carry(vals[-1])
+        return self.wrap_block(vals)

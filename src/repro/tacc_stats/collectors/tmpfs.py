@@ -3,7 +3,9 @@ and the job's ramdisk scratch), gauges in bytes and inodes."""
 
 from __future__ import annotations
 
-from repro.tacc_stats.collectors.base import Collector, SampleContext
+import numpy as np
+
+from repro.tacc_stats.collectors.base import BlockContext, Collector, SampleContext
 from repro.tacc_stats.schema import SchemaEntry, TypeSchema
 from repro.util.units import GB, MB
 
@@ -43,3 +45,21 @@ class TmpfsCollector(Collector):
         self.set_gauge("dev_shm", "files_used", max(1, shm_bytes // (32 * MB)))
         self.set_gauge("tmp", "bytes_used", tmp_bytes)
         self.set_gauge("tmp", "files_used", max(4, tmp_bytes // MB // 4))
+
+    def sample_block(self, block: BlockContext) -> np.ndarray:
+        shm_bytes = np.where(
+            block.idle,
+            float(1 * MB),
+            np.minimum(block.rate("net_mpi_mb") * 8 * MB, 2 * GB) + 1 * MB)
+        tmp_bytes = np.where(
+            block.idle,
+            float(4 * MB),
+            4 * MB + block.rate("block_mb") * 64 * MB)
+        vals = np.empty((block.n, 2, self._schema.n_values))
+        vals[:, 0, 0] = shm_bytes
+        vals[:, 0, 1] = np.maximum(1.0, shm_bytes // (32 * MB))
+        vals[:, 1, 0] = tmp_bytes
+        vals[:, 1, 1] = np.maximum(4.0, tmp_bytes // MB // 4)
+        if block.n:
+            self._store_carry(vals[-1])
+        return self.wrap_block(vals)

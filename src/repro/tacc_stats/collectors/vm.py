@@ -3,7 +3,9 @@ cumulative event counts for the whole node."""
 
 from __future__ import annotations
 
-from repro.tacc_stats.collectors.base import Collector, SampleContext
+import numpy as np
+
+from repro.tacc_stats.collectors.base import BlockContext, Collector, SampleContext
 from repro.tacc_stats.schema import SchemaEntry, TypeSchema
 
 __all__ = ["VmCollector"]
@@ -56,3 +58,28 @@ class VmCollector(Collector):
         self.bump("-", "pswpout", self.noisy(swap_mb * 1024.0 / _PAGE_KB * dt * 0.6))
         self.bump("-", "pgfault", self.noisy(fault_rate * dt))
         self.bump("-", "pgmajfault", self.noisy(0.002 * fault_rate * dt))
+
+    def sample_block(self, block: BlockContext) -> np.ndarray:
+        dt = np.asarray(block.dts, dtype=np.float64)
+        read_mb = (
+            block.rate("io_scratch_read_mb") + block.rate("io_work_read_mb")
+            + block.rate("io_share_read_mb") + block.rate("block_mb") * 0.5
+        )
+        write_mb = (
+            block.rate("io_scratch_write_mb") + block.rate("io_work_write_mb")
+            + block.rate("io_share_write_mb") + block.rate("block_mb") * 0.5
+        )
+        swap_mb = block.rate("swap_mb")
+        fault_rate = 50.0 + 2000.0 * block.rate("cpu_user_frac", 0.0)
+        # Same per-sample draw order as the scalar loop; dt <= 0 rows
+        # produce zero amounts, hence no draws.
+        amounts = np.stack([
+            read_mb * 1024.0 * dt,
+            write_mb * 1024.0 * dt,
+            swap_mb * 1024.0 / _PAGE_KB * dt * 0.4,
+            swap_mb * 1024.0 / _PAGE_KB * dt * 0.6,
+            fault_rate * dt,
+            0.002 * fault_rate * dt,
+        ], axis=-1)
+        inc = self.noisy_block(amounts)[:, None, :]
+        return self.wrap_block(self.accumulate_block(inc))

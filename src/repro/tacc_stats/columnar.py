@@ -70,6 +70,7 @@ __all__ = [
     "V2_SUFFIX",
     "V2FormatError",
     "V2HostDay",
+    "encode_host_blocks",
     "encode_host_text",
     "is_v2_path",
     "read_header",
@@ -233,6 +234,19 @@ def encode_host_text(text: str, source_sha256: str | None = None,
         chunks.append((f"dev/{name}", np.array(dev_rows[i], dtype="<u4")))
         chunks.append((f"val/{name}", vals))
 
+    return _assemble_v2(header, chunks)
+
+
+def _assemble_v2(header: dict,
+                 chunks: list[tuple[str, np.ndarray]]) -> bytes:
+    """Serialize a prepared header + column chunks into v2 bytes.
+
+    Shared tail of :func:`encode_host_text` (text re-parse path) and
+    :func:`encode_host_blocks` (direct synthesis path): both produce the
+    same header dict and chunk list, so the bytes — including per-chunk
+    digests and the footer index — are identical whichever path built
+    the columns.
+    """
     header_json = json.dumps(header, separators=(",", ":")).encode("utf-8")
     parts = [_MAGIC, struct.pack("<II", _VERSION, len(header_json)),
              header_json]
@@ -260,6 +274,95 @@ def encode_host_text(text: str, source_sha256: str | None = None,
     registry.counter("archive.v2.files_encoded").inc()
     registry.counter("archive.v2.bytes_encoded").inc(len(blob))
     return blob
+
+
+def encode_host_blocks(
+    text: str,
+    hostname: str,
+    properties: dict[str, str],
+    schemas: list[TypeSchema],
+    devices_by_type: list[tuple[str, ...]],
+    times: np.ndarray,
+    tags: list[str],
+    marks: list[tuple[int, str, str]],
+    values_by_type: list[np.ndarray],
+    source_sha256: str,
+    source_kind: str,
+) -> bytes:
+    """Encode synthesized column arrays straight into v2 bytes.
+
+    The direct-to-v2 fast path: the vectorized synthesis engine already
+    holds every block's values as ``[n_blocks, n_devices, n_values]``
+    uint64 arrays per type, so re-parsing the rendered text (what
+    :func:`encode_host_text` does) would only reconstruct what the
+    caller started from.  This builds the identical header and chunks
+    from the arrays — every block carries every (type, device) row in
+    suite order, which is exactly what the daemon emits — and defers to
+    :func:`_assemble_v2`, so the output is byte-identical to encoding
+    the rendered *text*.
+
+    *text* is the rendered text representation (still produced by the
+    fast path — the archive's ledger fingerprint and ``text_bytes``
+    volume accounting are defined over it); *times* holds the block
+    timestamps as serialized (``float(int(t))``); *marks* are
+    ``(block_index, kind, jobid)`` in file order.
+    """
+    n_blocks = int(np.asarray(times).shape[0])
+    tag_table: dict[str, int] = {}
+    tag_idx = []
+    for tag in tags:
+        gi = tag_table.get(tag)
+        if gi is None:
+            gi = tag_table[tag] = len(tag_table)
+        tag_idx.append(gi)
+
+    header = {
+        "format": "repro-columnar",
+        "version": _VERSION,
+        "hostname": hostname,
+        "properties": [[k, v] for k, v in properties.items()],
+        "schemas": [s.header_line() for s in schemas],
+        "types": [
+            {"name": s.type_name, "devices": list(devices_by_type[i]),
+             "n_rows": n_blocks * len(devices_by_type[i])}
+            for i, s in enumerate(schemas)
+        ],
+        "n_blocks": n_blocks,
+        "jobid_tags": list(tag_table),
+        "marks": [[b, kind, jobid] for b, kind, jobid in marks],
+        "text_bytes": len(text.encode("utf-8")),
+        "source_sha256": source_sha256,
+        "source_kind": source_kind,
+    }
+
+    # Every block emits the full suite in order, so the global row
+    # streams are one repeated pattern: types in suite order with one
+    # row per device.
+    pattern = np.concatenate([
+        np.full(len(devs), ti, dtype="<u2")
+        for ti, devs in enumerate(devices_by_type)
+    ]) if devices_by_type else np.empty(0, dtype="<u2")
+    chunks: list[tuple[str, np.ndarray]] = [
+        ("times", np.asarray(times, dtype="<f8")),
+        ("tags", np.array(tag_idx, dtype="<u4")),
+        ("row_type", np.tile(pattern, n_blocks)),
+        ("row_block", np.repeat(np.arange(n_blocks, dtype="<u4"),
+                                pattern.shape[0])),
+    ]
+    for i, schema in enumerate(schemas):
+        n_dev = len(devices_by_type[i])
+        k = schema.n_values
+        vals = np.asarray(values_by_type[i])
+        if vals.shape != (n_blocks, n_dev, k):
+            raise ValueError(
+                f"{schema.type_name}: values shape {vals.shape}, "
+                f"expected {(n_blocks, n_dev, k)}")
+        chunks.append((f"dev/{schema.type_name}",
+                       np.tile(np.arange(n_dev, dtype="<u4"), n_blocks)))
+        chunks.append((f"val/{schema.type_name}",
+                       vals.reshape(n_blocks * n_dev, k).astype(
+                           "<u8", copy=False)))
+    return _assemble_v2(header, chunks)
 
 
 @dataclass(frozen=True)

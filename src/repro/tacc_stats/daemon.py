@@ -40,7 +40,11 @@ class TaccStatsDaemon:
     node:
         The node being measured.
     rng:
-        Measurement-noise stream for this node.
+        Measurement-noise source for this node: a shared generator, or a
+        stream factory ``name -> Generator`` giving every collector its
+        own stream keyed by ``(seed, node, collector)`` (what the
+        replay paths pass, and what the vectorized synthesis engine
+        requires for byte-identity with this scalar path).
     writer:
         Either a fixed :class:`StatsWriter` or a factory ``(time) ->
         StatsWriter`` (the archive's rotating provider).  A new writer from
@@ -52,7 +56,7 @@ class TaccStatsDaemon:
     def __init__(
         self,
         node: Node,
-        rng: np.random.Generator,
+        rng: np.random.Generator | Callable[[str], np.random.Generator],
         writer: StatsWriter | Callable[[float], StatsWriter],
         lustre_mounts: tuple[str, ...] = ("scratch", "work", "share"),
         nfs_mounts: tuple[str, ...] = (),

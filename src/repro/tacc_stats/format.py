@@ -132,6 +132,27 @@ class StatsWriter:
         ints = " ".join(str(int(v)) for v in vals)
         self._write(f"{type_name} {device} {ints}\n")
 
+    def append_rendered(self, first_time: float, last_time: float,
+                        text: str) -> None:
+        """Append pre-rendered block text (the vectorized synthesis path).
+
+        *text* must be complete, already-validated block output — one or
+        more ``begin_block``-equivalent sections whose first block starts
+        at *first_time* and whose last starts at *last_time*.  The header
+        is flushed and monotonicity enforced exactly as :meth:`begin_block`
+        would; per-row validation is the caller's responsibility (the
+        synthesis engine renders from schema-conformant uint64 arrays).
+        """
+        self._flush_header()
+        if self._last_time is not None and first_time < self._last_time:
+            raise ValueError(
+                f"non-monotonic block time {first_time} after "
+                f"{self._last_time}"
+            )
+        self._last_time = last_time
+        self._in_block = False
+        self._write(text)
+
     @property
     def schemas(self) -> dict[str, TypeSchema]:
         return dict(self._schemas)

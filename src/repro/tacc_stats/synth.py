@@ -1,0 +1,316 @@
+"""Vectorized per-node synthesis engine (the daemon's fast path).
+
+:class:`NodeSynth` replaces :class:`~repro.tacc_stats.daemon.TaccStatsDaemon`
+for replay: instead of emitting one text block per invocation, it queues
+the invocation metadata (time, dt, prevailing rates source, job tags,
+marks) and, at each job-begin boundary — the only point where collector
+state is reprogrammed — materializes the whole pending run as one
+:class:`~repro.tacc_stats.collectors.base.BlockContext` and calls every
+collector's batched ``sample_block`` kernel once.  The resulting
+``[T, devices, values]`` uint64 arrays are rendered to text in bulk and,
+for v2 archives, handed to
+:func:`~repro.tacc_stats.columnar.encode_host_blocks` directly so the
+archive never re-parses text it just rendered.
+
+Byte-identity with the scalar daemon is a hard contract, not an
+approximation: collectors draw from per-collector RNG streams keyed by
+``(seed, node, collector)``, every kernel consumes its stream in scalar
+draw order and preserves the scalar float association, and the rendered
+text / v2 bytes are covered by property tests that diff the two paths'
+archives end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.cluster.node import Node
+from repro.tacc_stats.archive import HostArchive
+from repro.tacc_stats.collectors import Collector, build_collectors
+from repro.tacc_stats.collectors.base import BlockContext
+from repro.tacc_stats.columnar import encode_host_blocks
+from repro.tacc_stats.format import StatsWriter
+from repro.telemetry.metrics import get_registry
+from repro.workload.applications import RATE_FIELDS
+from repro.workload.behavior import JobBehavior
+
+__all__ = ["NodeSynth"]
+
+
+class _Pending:
+    """One queued collector invocation awaiting its block flush."""
+
+    __slots__ = ("t", "dt", "jobids", "mark", "rate_src")
+
+    def __init__(self, t: float, dt: float, jobids: tuple[str, ...],
+                 mark: tuple[str, str] | None,
+                 rate_src: tuple[JobBehavior, int, float] | None):
+        self.t = t
+        self.dt = dt
+        self.jobids = jobids
+        self.mark = mark
+        #: (behavior, node_slot, elapsed) the interval's rates come
+        #: from, or None for an idle interval.
+        self.rate_src = rate_src
+
+
+class _V2Accum:
+    """Per-open-file accumulation of synthesized v2 columns."""
+
+    __slots__ = ("writer", "times", "tags", "marks", "values")
+
+    def __init__(self, writer: StatsWriter, n_collectors: int):
+        self.writer = writer
+        self.times: list[float] = []
+        self.tags: list[str] = []
+        self.marks: list[tuple[int, str, str]] = []
+        self.values: list[list[np.ndarray]] = [
+            [] for _ in range(n_collectors)
+        ]
+
+
+class NodeSynth:
+    """One node's batched collector suite, API-compatible with the
+    daemon's job lifecycle (``begin_job`` / ``end_job`` / ``sample``)
+    plus an explicit :meth:`flush` the driver calls once its event
+    stream (or micro-batch) is exhausted.
+
+    Writes go straight to a :class:`HostArchive` — rotation, schema
+    re-registration on fresh files, and (for v2 archives) direct column
+    encoding are all handled here.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        rng: np.random.Generator | Callable[[str], np.random.Generator],
+        archive: HostArchive,
+        lustre_mounts: tuple[str, ...] = ("scratch", "work", "share"),
+        nfs_mounts: tuple[str, ...] = (),
+    ):
+        self.node = node
+        self.collectors: list[Collector] = build_collectors(
+            node, rng, lustre_mounts, nfs_mounts
+        )
+        self.archive = archive
+        self._last_time: float | None = None
+        # (jobid, behavior, node_slot, job_start) of the current job.
+        self._job: tuple[str, JobBehavior, int, float] | None = None
+        self.samples_taken = 0
+        self._pending: list[_Pending] = []
+        self._v2 = archive.archive_format == "v2"
+        #: id(writer) -> accumulated columns; the accum holds a strong
+        #: reference to its writer (checked with ``is``) so a recycled
+        #: id can never alias a rotated-away file.
+        self._accums: dict[int, _V2Accum] = {}
+        if self._v2:
+            archive.set_v2_encoder(node.hostname, self._encode_v2)
+        get_registry().counter("synth.nodes").inc()
+
+    # -- job lifecycle (daemon-compatible) ----------------------------------
+
+    def begin_job(self, jobid: str, t: float, behavior: JobBehavior,
+                  node_slot: int) -> None:
+        """Job launches: flush the pending block, reprogram PMCs, queue
+        the baseline sample."""
+        if self._job is not None:
+            raise RuntimeError(
+                f"{self.node.hostname}: job {self._job[0]} still active"
+            )
+        # PMC reprogramming changes collector state, so the samples
+        # queued so far must be materialized first — this is the block
+        # boundary the kernels' "constant within a block" contract
+        # relies on.
+        self.flush()
+        for c in self.collectors:
+            c.on_job_begin(jobid, t)
+        self._queue(t, jobids=(jobid,), mark=("begin", jobid))
+        self._job = (jobid, behavior, node_slot, t)
+
+    def end_job(self, jobid: str, t: float) -> None:
+        """Job leaves this node: queue the final ``%end`` sample."""
+        if self._job is None or self._job[0] != jobid:
+            raise RuntimeError(
+                f"{self.node.hostname}: end_job({jobid}) but current is "
+                f"{self._job[0] if self._job else None}"
+            )
+        self._queue(t, jobids=(jobid,), mark=("end", jobid))
+        for c in self.collectors:
+            c.on_job_end(jobid, t)
+        self._job = None
+
+    def sample(self, t: float) -> None:
+        """Periodic (cron) invocation."""
+        jobids = (self._job[0],) if self._job else ()
+        self._queue(t, jobids=jobids, mark=None)
+
+    @property
+    def current_jobid(self) -> str | None:
+        return self._job[0] if self._job else None
+
+    # -- queueing -----------------------------------------------------------
+
+    def _queue(self, t: float, jobids: tuple[str, ...],
+               mark: tuple[str, str] | None) -> None:
+        if self._last_time is not None and t < self._last_time:
+            raise ValueError(
+                f"{self.node.hostname}: sample time moved backwards "
+                f"({t} < {self._last_time})"
+            )
+        dt = 0.0 if self._last_time is None else t - self._last_time
+        # A begin-mark sample accounts the *previous* interval (idle, or
+        # a job that already emitted its end sample) — same rule as the
+        # daemon's _interval_rates.
+        if self._job is None:
+            src = None
+        else:
+            _jobid, behavior, slot, start = self._job
+            ref = self._last_time if self._last_time is not None else t
+            src = (behavior, slot, max(ref - start, 0.0))
+        self._pending.append(_Pending(t, dt, jobids, mark, src))
+        self._last_time = t
+        self.samples_taken += 1
+
+    # -- block materialization ----------------------------------------------
+
+    def flush(self) -> None:
+        """Materialize every queued invocation through the batched
+        kernels and write the rendered blocks to the archive."""
+        pending = self._pending
+        if not pending:
+            return
+        self._pending = []
+        n = len(pending)
+
+        times = np.array([p.t for p in pending], dtype=np.float64)
+        dts = np.array([p.dt for p in pending], dtype=np.float64)
+        idle = np.array([p.rate_src is None for p in pending], dtype=bool)
+        rates = np.zeros((n, len(RATE_FIELDS)), dtype=np.float64)
+        # Group job rows by their (behavior, slot) source — at most one
+        # group per flush in practice (blocks are cut at job begins),
+        # but grouping keeps this correct regardless.
+        groups: dict[tuple[int, int], list[int]] = {}
+        for i, p in enumerate(pending):
+            if p.rate_src is not None:
+                behavior, slot, _ = p.rate_src
+                groups.setdefault((id(behavior), slot), []).append(i)
+        for rows in groups.values():
+            behavior, slot, _ = pending[rows[0]].rate_src
+            elapsed = np.array([pending[i].rate_src[2] for i in rows])
+            steps = behavior.steps_of(elapsed)
+            rates[rows] = behavior.node_rates_block(steps, slot)
+
+        block = BlockContext(
+            times=times, dts=dts, rates=rates, idle=idle,
+            jobids=tuple(p.jobids for p in pending),
+        )
+        vals_by_collector = [c.sample_block(block) for c in self.collectors]
+
+        # Render every (collector, device) row stream to text lines in
+        # bulk: uint64 .tolist() yields Python ints whose str() matches
+        # the scalar writer's str(int(v)) exactly.
+        line_lists: list[list[str]] = []
+        n_rows = 0
+        for c, vals in zip(self.collectors, vals_by_collector):
+            for d, dev in enumerate(c.devices):
+                prefix = f"{c.type_name} {dev} "
+                line_lists.append([
+                    prefix + " ".join(map(str, row)) + "\n"
+                    for row in vals[:, d, :].tolist()
+                ])
+            n_rows += n * len(c.devices)
+
+        self._write_runs(pending, line_lists, vals_by_collector)
+
+        registry = get_registry()
+        registry.counter("synth.chunks").inc()
+        registry.counter("synth.samples").inc(n)
+        registry.counter("synth.rows").inc(n_rows)
+
+    def _write_runs(self, pending: list[_Pending],
+                    line_lists: list[list[str]],
+                    vals_by_collector: list[np.ndarray]) -> None:
+        """Write the flushed block to the archive, splitting the run at
+        rotation-segment boundaries (each segment is its own file)."""
+        rot = self.archive.rotate_seconds
+        hostname = self.node.hostname
+        n = len(pending)
+        i0 = 0
+        while i0 < n:
+            seg = int(pending[i0].t // rot)
+            i1 = i0 + 1
+            while i1 < n and int(pending[i1].t // rot) == seg:
+                i1 += 1
+            w = self.archive.writer(hostname, pending[i0].t)
+            # Rotation starts a fresh file with its own header — same
+            # re-registration rule as the daemon's _writer_at.
+            if self.collectors[0].schema.type_name not in w.schemas:
+                for c in self.collectors:
+                    w.register_schema(c.schema)
+            parts: list[str] = []
+            tags: list[str] = []
+            for i in range(i0, i1):
+                p = pending[i]
+                tag = ",".join(p.jobids) if p.jobids else "-"
+                tags.append(tag)
+                parts.append(f"{int(p.t)} {tag}\n")
+                if p.mark is not None:
+                    parts.append(f"%{p.mark[0]} {p.mark[1]}\n")
+                for lines in line_lists:
+                    parts.append(lines[i])
+            w.append_rendered(pending[i0].t, pending[i1 - 1].t,
+                              "".join(parts))
+            if self._v2:
+                self._accumulate_v2(w, pending, tags, i0, i1,
+                                    vals_by_collector)
+            i0 = i1
+
+    # -- direct v2 encoding --------------------------------------------------
+
+    def _accumulate_v2(self, w: StatsWriter, pending: list[_Pending],
+                       tags: list[str], i0: int, i1: int,
+                       vals_by_collector: list[np.ndarray]) -> None:
+        accum = self._accums.get(id(w))
+        if accum is None or accum.writer is not w:
+            accum = self._accums[id(w)] = _V2Accum(
+                w, len(self.collectors))
+        base = len(accum.times)
+        for off, i in enumerate(range(i0, i1)):
+            p = pending[i]
+            # begin_block serializes int(t), so the re-parsed text path
+            # would store float(int(t)) — match it exactly.
+            accum.times.append(float(int(p.t)))
+            accum.tags.append(tags[off])
+            if p.mark is not None:
+                accum.marks.append((base + off, p.mark[0], p.mark[1]))
+        for ci, vals in enumerate(vals_by_collector):
+            accum.values[ci].append(vals[i0:i1])
+
+    def _encode_v2(self, writer: StatsWriter, text: str,
+                   source_sha256: str, source_kind: str) -> bytes | None:
+        """Archive close callback: encode this file's accumulated
+        columns; None (fall back to text re-parse) when the file was
+        not produced by this engine."""
+        accum = self._accums.pop(id(writer), None)
+        if accum is None or accum.writer is not writer or not accum.times:
+            return None
+        values = [
+            chunks[0] if len(chunks) == 1
+            else np.concatenate(chunks, axis=0)
+            for chunks in accum.values
+        ]
+        return encode_host_blocks(
+            text,
+            hostname=writer.hostname,
+            properties=writer.properties,
+            schemas=[c.schema for c in self.collectors],
+            devices_by_type=[c.devices for c in self.collectors],
+            times=np.array(accum.times, dtype=np.float64),
+            tags=accum.tags,
+            marks=accum.marks,
+            values_by_type=values,
+            source_sha256=source_sha256,
+            source_kind=source_kind,
+        )

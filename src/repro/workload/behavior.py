@@ -320,6 +320,36 @@ class JobBehavior:
         )
         return r
 
+    def steps_of(self, elapsed: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_step_of`: grid step per elapsed second."""
+        steps = (np.asarray(elapsed, dtype=float)
+                 / self.sample_interval).astype(np.int64)
+        return np.clip(steps, 0, self.n_steps - 1)
+
+    def node_rates_block(self, steps: np.ndarray,
+                         node_slot: int) -> np.ndarray:
+        """Vectorized :meth:`node_rates_at`: ``(len(steps), n_fields)``.
+
+        Bit-identical per row to calling :meth:`node_rates_at` with the
+        elapsed time that maps to each step — every operation here is
+        the elementwise counterpart of the scalar path, so the
+        vectorized synthesis engine and the per-sample daemon integrate
+        exactly the same rates.
+        """
+        if not 0 <= node_slot < self.n_nodes:
+            raise IndexError(f"node slot {node_slot} out of range")
+        base = self._rates[steps]
+        r = base.copy()
+        f = self._node_rate_spread[node_slot]
+        r[:, _PLAIN_FIELDS] *= f
+        mem_f = self._node_mem_spread[node_slot]
+        r[:, _I_MEM] = np.minimum(base[:, _I_MEM] * mem_f,
+                                  0.99 * self.node_hw.memory_gb)
+        r[:, _I_CACHE] = np.minimum(base[:, _I_CACHE] * mem_f,
+                                    r[:, _I_MEM])
+        r[:, _I_FLOPS] = base[:, _I_FLOPS] * float(np.clip(f, 0.85, 1.15))
+        return r
+
 
 class DerivedRates:
     """Quantities computed from the canonical rate vector.
